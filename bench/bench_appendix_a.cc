@@ -1,0 +1,76 @@
+// Exercises the Appendix A reduction end to end: DNF validity instances
+// are encoded as RE(a,a?) containment instances; the automata-based
+// decision agrees with brute-force validity, and the decision time grows
+// with the variable count (coNP-hardness in action).
+
+#include <cstdio>
+
+#include <chrono>
+
+#include "common/interner.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "regex/automaton.h"
+#include "regex/glushkov.h"
+#include "regex/reduction.h"
+
+int main() {
+  using namespace rwdt;
+  using namespace rwdt::regex;
+  std::printf(
+      "=== Appendix A: DNF validity as RE(a,a?) containment ===\n");
+
+  Rng rng(4242);
+  AsciiTable table({"vars", "clauses", "instances", "agreements",
+                    "lhs size", "rhs size", "avg decide (us)"});
+  for (size_t num_vars = 2; num_vars <= 7; ++num_vars) {
+    const size_t num_clauses = 3;
+    const int instances = 12;
+    int agree = 0;
+    size_t lhs_size = 0, rhs_size = 0;
+    double total_us = 0;
+    for (int i = 0; i < instances; ++i) {
+      DnfFormula f;
+      f.num_vars = num_vars;
+      for (size_t c = 0; c < num_clauses; ++c) {
+        DnfFormula::Clause clause;
+        const size_t width = 1 + rng.NextBelow(2);
+        for (size_t l = 0; l < width; ++l) {
+          const int var = 1 + static_cast<int>(rng.NextBelow(num_vars));
+          clause.push_back(rng.NextBool(0.5) ? var : -var);
+        }
+        clause.push_back(rng.NextBool(0.5)
+                             ? -(1 + static_cast<int>(rng.NextBelow(
+                                         num_vars)))
+                             : (1 + static_cast<int>(rng.NextBelow(
+                                        num_vars))));
+        f.clauses.push_back(std::move(clause));
+      }
+      // Make validity plausible half the time: add x ∨ ¬x clauses.
+      if (rng.NextBool(0.5)) {
+        f.clauses.push_back({1});
+        f.clauses.push_back({-1});
+      }
+      Interner dict;
+      const auto inst = EncodeValidityAsContainment(f, &dict);
+      lhs_size = inst.lhs->Size();
+      rhs_size = inst.rhs->Size();
+      const auto start = std::chrono::steady_clock::now();
+      const bool contained = IsContained(ToDfa(inst.lhs), ToDfa(inst.rhs));
+      const auto stop = std::chrono::steady_clock::now();
+      total_us += std::chrono::duration<double, std::micro>(stop - start)
+                      .count();
+      if (contained == f.IsValidBruteForce()) ++agree;
+    }
+    table.AddRow({std::to_string(num_vars), std::to_string(num_clauses),
+                  std::to_string(instances), std::to_string(agree),
+                  std::to_string(lhs_size), std::to_string(rhs_size),
+                  Fixed(total_us / instances, 1)});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "\nEvery row must show agreements == instances (the reduction is "
+      "correct);\nthe per-instance decision time grows with the number "
+      "of variables, the\ncoNP-hardness shape of Theorem 4.4(d).\n");
+  return 0;
+}

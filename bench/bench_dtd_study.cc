@@ -1,0 +1,57 @@
+// Reproduces the DTD corpus statistics of Sections 4.1-4.2.3 (Choi; Bex
+// et al.): fraction of sequential (chain) expressions, of SOREs, of
+// deterministic expressions, recursion, parse depth, and the RE(...)
+// fragment histogram.
+
+#include <cstdio>
+
+#include "common/interner.h"
+#include "common/table.h"
+#include "core/studies.h"
+#include "loggen/corpus_gen.h"
+
+int main() {
+  using namespace rwdt;
+  std::printf("=== DTD corpus study (Sections 4.1-4.2.3) ===\n");
+
+  Interner dict;
+  loggen::DtdCorpusOptions options;
+  options.num_dtds = 103;  // the Bex et al. corpus size
+  const auto corpus = loggen::GenerateDtdCorpus(options, &dict, 2022);
+  const core::DtdStudyResult r = core::RunDtdStudy(corpus, dict);
+
+  AsciiTable table({"Metric", "Measured", "Paper reference"});
+  table.AddRow({"DTDs", std::to_string(r.num_dtds), "103 (Bex et al.)"});
+  table.AddRow({"content-model expressions",
+                std::to_string(r.num_expressions), "-"});
+  table.AddRow({"sequential (chain) expressions",
+                Percent(r.chain_expressions, r.num_expressions),
+                "> 92%"});
+  table.AddRow({"single-occurrence (SOREs)",
+                Percent(r.sores, r.num_expressions), "> 99% (over 99%)"});
+  table.AddRow({"2-OREs", Percent(r.kore2, r.num_expressions), "-"});
+  table.AddRow({"deterministic (one-unambiguous)",
+                Percent(r.deterministic, r.num_expressions),
+                "most; violations exist (Choi)"});
+  table.AddRow({"recursive DTDs",
+                std::to_string(r.recursive_dtds) + " / " +
+                    std::to_string(r.num_dtds),
+                "35 / 60 (Choi)"});
+  table.AddRow({"max parse depth", std::to_string(r.max_parse_depth),
+                "1..9 (Choi)"});
+  size_t max_depth = 0;
+  for (size_t d : r.nonrecursive_depths) max_depth = std::max(max_depth, d);
+  table.AddRow({"max doc depth (non-recursive)",
+                std::to_string(max_depth), "up to 20 (Choi)"});
+  std::printf("%s", table.Render().c_str());
+
+  std::printf("\nRE(...) fragment histogram of the chain expressions:\n");
+  AsciiTable fragments({"Fragment", "Count"});
+  size_t shown = 0;
+  for (const auto& [sig, count] : r.fragment_histogram) {
+    if (++shown > 12) break;
+    fragments.AddRow({sig, WithThousands(count)});
+  }
+  std::printf("%s", fragments.Render().c_str());
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Reproduces the schema-inference story of Section 4.2.3 (Theorems
+// 4.8/4.9, the RWR / CRX / iDRegEx algorithms): inference quality as a
+// function of sample size for SORE targets, plus the k-ORE ladder.
+
+#include <cstdio>
+
+#include "common/interner.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "inference/crx.h"
+#include "inference/kore.h"
+#include "inference/rwr.h"
+#include "regex/automaton.h"
+#include "regex/glushkov.h"
+#include "regex/parser.h"
+#include "regex/sampler.h"
+
+int main() {
+  using namespace rwdt;
+  using namespace rwdt::regex;
+  std::printf(
+      "=== Schema inference: SORE recovery vs sample size (Section "
+      "4.2.3) ===\n");
+
+  Interner dict;
+  const std::vector<std::string> targets = {
+      "a(b|c)d?",      "(a|b)+c",    "ab*c?d",
+      "a?(b|c)(d|e)*", "a(b(c|d))?e", "(a|b)(c|d)(e|f)"};
+
+  AsciiTable table({"sample size", "targets", "covers sample",
+                    "equivalent to target", "no repairs"});
+  for (const size_t sample_size : {2, 5, 10, 25, 75, 200}) {
+    size_t covers = 0, equivalent = 0, clean = 0;
+    for (size_t t = 0; t < targets.size(); ++t) {
+      auto parsed = ParseRegex(targets[t], &dict);
+      if (!parsed.ok()) return 1;
+      const RegexPtr target = parsed.value();
+      const Nfa nfa = ToNfa(target);
+      Rng rng(1000 * sample_size + t);
+      std::vector<Word> sample;
+      if (auto w = ShortestAccepted(ToDfa(target)); w.has_value()) {
+        sample.push_back(*w);
+      }
+      for (size_t i = 0; i < sample_size; ++i) {
+        Word w;
+        if (SampleAcceptedWord(nfa, 12, rng, &w)) sample.push_back(w);
+      }
+      const auto result = inference::InferSore(sample);
+      const Nfa inferred = ToNfa(result.expression);
+      bool all = true;
+      for (const auto& w : sample) all = all && inferred.Accepts(w);
+      covers += all;
+      clean += result.repairs == 0;
+      equivalent += AreEquivalent(ToDfa(result.expression), ToDfa(target));
+    }
+    table.AddRow({std::to_string(sample_size),
+                  std::to_string(targets.size()), std::to_string(covers),
+                  std::to_string(equivalent), std::to_string(clean)});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "\nShape to hold: coverage is always total (soundness invariant); "
+      "exact\nrecovery climbs with sample size, mirroring the "
+      "learning-in-the-limit\nbehaviour of Theorem 4.9 / the RWR "
+      "evaluation of Bex et al.\n");
+
+  // k-ORE ladder: the language (aba)+ is not SORE-expressible; the
+  // iDRegEx-style driver needs k = 2.
+  std::printf("\n=== k-ORE ladder (iDRegEx-style driver) ===\n");
+  Rng rng(99);
+  auto target = ParseRegex("(aba)+", &dict);
+  const Nfa nfa = ToNfa(target.value());
+  std::vector<Word> sample;
+  for (int i = 0; i < 60; ++i) {
+    Word w;
+    if (SampleAcceptedWord(nfa, 15, rng, &w)) sample.push_back(w);
+  }
+  size_t chosen_k = 0;
+  const RegexPtr learned =
+      inference::InferBestKore(sample, 3, &chosen_k);
+  std::printf("target (aba)+ : chosen k = %zu, inferred %s\n", chosen_k,
+              learned->ToString(dict).c_str());
+  std::printf("covers sample: %s\n",
+              [&] {
+                const Nfa inf = ToNfa(learned);
+                for (const auto& w : sample) {
+                  if (!inf.Accepts(w)) return "NO";
+                }
+                return "yes";
+              }());
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Reproduces the RDF structure analyses of Section 7.1 (Ding-Finin,
+// Bachlechner-Strang, Fernandez et al.): degree power laws,
+// predicate/subject/object overlaps, predicate lists, and per-pair
+// uniqueness statistics.
+
+#include <cstdio>
+
+#include "common/interner.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "graph/generators.h"
+#include "graph/rdf.h"
+
+int main() {
+  using namespace rwdt;
+  std::printf("=== RDF structure study (Section 7.1) ===\n");
+
+  Interner dict;
+  Rng rng(2022);
+  const graph::TripleStore store =
+      graph::MakeRdfDataset(30000, 8, 5, &dict, rng);
+  const graph::RdfStructureStats s = graph::AnalyzeRdfStructure(store);
+
+  AsciiTable table({"Metric", "Measured", "Paper reference"});
+  table.AddRow({"triples", WithThousands(s.num_triples), "-"});
+  table.AddRow({"subjects / predicates / objects",
+                WithThousands(s.num_subjects) + " / " +
+                    WithThousands(s.num_predicates) + " / " +
+                    WithThousands(s.num_objects),
+                "-"});
+  table.AddRow({"|P ∩ S| / |P ∪ S|", Fixed(s.predicate_subject_overlap, 7),
+                "0 .. 1e-3 (Fernandez)"});
+  table.AddRow({"|P ∩ O| / |P ∪ O|", Fixed(s.predicate_object_overlap, 7),
+                "0 .. 1e-3 (Fernandez)"});
+  table.AddRow({"out-degree mean / max",
+                Fixed(s.out_degree_mean, 2) + " / " +
+                    Fixed(s.out_degree_max, 0),
+                "mean 9.56, max 7,739 (FOAF)"});
+  table.AddRow({"in-degree mean / max",
+                Fixed(s.in_degree_mean, 2) + " / " +
+                    Fixed(s.in_degree_max, 0),
+                "highly skewed"});
+  table.AddRow({"in-degree power-law alpha", Fixed(s.in_degree_alpha, 2),
+                "power law (Ding-Finin)"});
+  table.AddRow({"distinct predicate lists / subjects",
+                Fixed(s.predicate_list_ratio, 4),
+                "~0.01 (99% share a list)"});
+  table.AddRow({"objects per (s,p)", Fixed(s.objects_per_sp, 3),
+                "close to 1"});
+  table.AddRow({"subjects per (p,o) (stddev)",
+                Fixed(s.subjects_per_po, 2) + " (" +
+                    Fixed(s.subjects_per_po_stddev, 2) + ")",
+                "~1 with high stddev"});
+  table.AddRow({"predicates per object",
+                Fixed(s.predicates_per_object, 3), "close to 1"});
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "\nShape to hold: predicates essentially never appear as "
+      "subjects/objects\n(justifying the edge-labeled-graph abstraction), "
+      "in-degrees are power-law\nskewed, and subjects overwhelmingly "
+      "share a handful of predicate lists.\n");
+  return 0;
+}

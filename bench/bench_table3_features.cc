@@ -1,0 +1,42 @@
+// Reproduces Table 3: use of individual SPARQL features, split into
+// DBpedia-BritM and Wikidata groups, Valid (V) and Unique (U).
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "study_util.h"
+
+int main() {
+  using namespace rwdt;
+  const uint64_t scale = bench::ScaleFromEnv(20000);
+  std::printf("=== Table 3: use of individual features ===\n");
+  const bench::StudyCorpus corpus = bench::RunFullStudy(scale);
+
+  AsciiTable table({"SPARQL operator", "DBp AbsV", "DBp RelV", "DBp RelU",
+                    "Wiki AbsV", "Wiki RelV", "Wiki RelU"});
+  auto count = [](const core::LogAggregates& agg, sparql::Feature f) {
+    auto it = agg.feature_counts.find(f);
+    return it == agg.feature_counts.end() ? uint64_t{0} : it->second;
+  };
+  const core::LogAggregates& dv = corpus.dbpedia_britm.valid_agg;
+  const core::LogAggregates& du = corpus.dbpedia_britm.unique_agg;
+  const core::LogAggregates& wv = corpus.wikidata.valid_agg;
+  const core::LogAggregates& wu = corpus.wikidata.unique_agg;
+  for (sparql::Feature f : sparql::AllFeatures()) {
+    table.AddRow({sparql::FeatureName(f), WithThousands(count(dv, f)),
+                  Percent(count(dv, f), dv.select_ask_construct, true),
+                  Percent(count(du, f), du.select_ask_construct, true),
+                  WithThousands(count(wv, f)),
+                  Percent(count(wv, f), wv.select_ask_construct, true),
+                  Percent(count(wu, f), wu.select_ask_construct, true)});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "\nPaper reference highlights (RelV): DBpedia-BritM Filter 46.17%%,"
+      " And 40.22%%,\nOptional 33.37%%, Union 26.40%%, paths 0.44%%;"
+      " Wikidata Values 31.96%%, And 35.74%%,\npaths 24.03%%, Service"
+      " 8.39%%, Filter 17.80%%. The group contrast (paths and\nService"
+      " prominent only in Wikidata, Filter/Optional/Union much heavier"
+      " in\nDBpedia-BritM) is the shape to compare.\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Reproduces Table 4: queries using only And / Filter (the CQ+F
+// fragment) in the DBpedia-BritM logs.
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "study_util.h"
+
+int main() {
+  using namespace rwdt;
+  const uint64_t scale = bench::ScaleFromEnv(20000);
+  std::printf(
+      "=== Table 4: And/Filter operator sets, DBpedia-BritM ===\n");
+  const bench::StudyCorpus corpus = bench::RunFullStudy(scale);
+
+  const core::LogAggregates& v = corpus.dbpedia_britm.valid_agg;
+  const core::LogAggregates& u = corpus.dbpedia_britm.unique_agg;
+  AsciiTable table({"Operator Set", "AbsoluteV", "RelativeV", "AbsoluteU",
+                    "RelativeU"});
+  auto row = [&](const std::string& name, uint64_t av, uint64_t au) {
+    table.AddRow({name, WithThousands(av),
+                  Percent(av, v.select_ask_construct),
+                  WithThousands(au),
+                  Percent(au, u.select_ask_construct)});
+  };
+  row("none", v.ops_none, u.ops_none);
+  row("And", v.ops_and, u.ops_and);
+  row("Filter", v.ops_filter, u.ops_filter);
+  row("And, Filter", v.ops_and_filter, u.ops_and_filter);
+  table.AddSeparator();
+  row("CQ+F subtotal", v.cq_f, u.cq_f);
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "\nPaper reference: none 33.32%% (36.31%%), And 4.69%% (8.87%%), "
+      "Filter 9.53%%\n(16.93%%), And+Filter 2.98%% (4.77%%); CQ+F "
+      "subtotal 50.51%% (66.89%%). The\nshape to hold: conjunctive "
+      "queries are roughly half of the DBpedia-BritM\nlogs, dominated by "
+      "the operator-free class.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Reproduces Table 5: operator sets including property paths (2RPQs) in
+// the Wikidata logs — the C2RPQ+F fragment.
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "study_util.h"
+
+int main() {
+  using namespace rwdt;
+  const uint64_t scale = bench::ScaleFromEnv(20000);
+  std::printf(
+      "=== Table 5: And/Filter/2RPQ operator sets, Wikidata ===\n");
+  const bench::StudyCorpus corpus = bench::RunFullStudy(scale);
+
+  const core::LogAggregates& v = corpus.wikidata.valid_agg;
+  const core::LogAggregates& u = corpus.wikidata.unique_agg;
+  AsciiTable table({"Operator Set", "AbsoluteV", "RelativeV", "AbsoluteU",
+                    "RelativeU"});
+  auto row = [&](const std::string& name, uint64_t av, uint64_t au) {
+    table.AddRow({name, WithThousands(av),
+                  Percent(av, v.select_ask_construct, true),
+                  WithThousands(au),
+                  Percent(au, u.select_ask_construct, true)});
+  };
+  row("none", v.ops_none, u.ops_none);
+  row("And", v.ops_and, u.ops_and);
+  row("Filter", v.ops_filter, u.ops_filter);
+  row("And, Filter", v.ops_and_filter, u.ops_and_filter);
+  table.AddSeparator();
+  row("CQ+F subtotal", v.cq_f, u.cq_f);
+  table.AddSeparator();
+  row("2RPQ", v.ops_rpq, u.ops_rpq);
+  row("And, 2RPQ", v.ops_and_rpq, u.ops_and_rpq);
+  row("Filter, 2RPQ", v.ops_filter_rpq, u.ops_filter_rpq);
+  row("And, Filter, 2RPQ", v.ops_and_filter_rpq, u.ops_and_filter_rpq);
+  table.AddSeparator();
+  row("C2RPQ+F subtotal", v.c2rpq_f, u.c2rpq_f);
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "\nPaper reference: CQ+F subtotal 19.85%% (11.68%%); C2RPQ+F "
+      "subtotal 34.67%%\n(21.13%%). The shape to hold: CQ-like fragments "
+      "are much smaller in Wikidata\nthan in DBpedia-BritM (Table 4), and "
+      "adding 2RPQs roughly doubles coverage.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Reproduces Table 6: hypertree width and free-connex acyclicity of the
+// conjunctive (CQ) and CQ+F queries in the DBpedia-BritM logs,
+// cumulative over htw <= 1, 2, 3.
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "study_util.h"
+
+int main() {
+  using namespace rwdt;
+  const uint64_t scale = bench::ScaleFromEnv(20000);
+  std::printf(
+      "=== Table 6: hypertree width / free-connex acyclicity, "
+      "DBpedia-BritM ===\n");
+  const bench::StudyCorpus corpus = bench::RunFullStudy(scale);
+
+  auto emit = [&](const char* title, bool cq_only) {
+    const core::LogAggregates& v = corpus.dbpedia_britm.valid_agg;
+    const core::LogAggregates& u = corpus.dbpedia_britm.unique_agg;
+    const uint64_t tv = cq_only ? v.cq : v.cq_f;
+    const uint64_t tu = cq_only ? u.cq : u.cq_f;
+    AsciiTable table({title, "AbsoluteV", "RelativeV", "AbsoluteU",
+                      "RelativeU"});
+    auto row = [&](const std::string& name, uint64_t av, uint64_t au) {
+      table.AddRow({name, WithThousands(av), Percent(av, tv),
+                    WithThousands(au), Percent(au, tu)});
+    };
+    row("FCA", cq_only ? v.cq_fca : v.cqf_fca,
+        cq_only ? u.cq_fca : u.cqf_fca);
+    row("htw <= 1", cq_only ? v.cq_htw1 : v.cqf_htw1,
+        cq_only ? u.cq_htw1 : u.cqf_htw1);
+    row("htw <= 2", cq_only ? v.cq_htw2 : v.cqf_htw2,
+        cq_only ? u.cq_htw2 : u.cqf_htw2);
+    row("htw <= 3", cq_only ? v.cq_htw3 : v.cqf_htw3,
+        cq_only ? u.cq_htw3 : u.cqf_htw3);
+    table.AddSeparator();
+    row("Total", tv, tu);
+    std::printf("%s", table.Render().c_str());
+  };
+  emit("CQ", true);
+  std::printf("\n");
+  emit("CQ+F", false);
+  std::printf(
+      "\nPaper reference: CQ — FCA 96.14%% (93.00%%), htw<=1 96.61%% "
+      "(94.08%%),\nhtw<=2 100%%; CQ+F — FCA 93.98%% (91.19%%), htw<=1 "
+      "96.63%% (95.56%%),\nhtw<=2 100%%. Shape to hold: almost everything "
+      "is acyclic and even\nfree-connex; width 2 already covers the "
+      "whole corpus.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Reproduces Table 7: cumulative shape analysis of the canonical graphs
+// of graph-CQ+F queries in the DBpedia-BritM logs, with constants (top)
+// and without (bottom).
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "study_util.h"
+
+int main() {
+  using namespace rwdt;
+  using hypergraph::GraphShape;
+  const uint64_t scale = bench::ScaleFromEnv(20000);
+  std::printf(
+      "=== Table 7: cumulative shapes of graph-CQ+F queries, "
+      "DBpedia-BritM ===\n");
+  const bench::StudyCorpus corpus = bench::RunFullStudy(scale);
+
+  const GraphShape order[] = {
+      GraphShape::kNoEdge,     GraphShape::kSingleEdge,
+      GraphShape::kChain,      GraphShape::kStar,
+      GraphShape::kTree,       GraphShape::kForest,
+      GraphShape::kTreewidth2, GraphShape::kTreewidth3,
+      GraphShape::kOther};
+
+  auto emit = [&](const char* title, bool with_constants) {
+    const core::LogAggregates& v = corpus.dbpedia_britm.valid_agg;
+    const core::LogAggregates& u = corpus.dbpedia_britm.unique_agg;
+    const auto& mv =
+        with_constants ? v.shapes_with_constants : v.shapes_without_constants;
+    const auto& mu =
+        with_constants ? u.shapes_with_constants : u.shapes_without_constants;
+    AsciiTable table(
+        {title, "AbsoluteV", "RelativeV", "AbsoluteU", "RelativeU"});
+    uint64_t cum_v = 0, cum_u = 0;
+    for (GraphShape shape : order) {
+      cum_v += mv.count(shape) ? mv.at(shape) : 0;
+      cum_u += mu.count(shape) ? mu.at(shape) : 0;
+      if (shape == GraphShape::kOther) continue;  // folded into total
+      table.AddRow({hypergraph::GraphShapeName(shape),
+                    WithThousands(cum_v), Percent(cum_v, v.graph_cqf),
+                    WithThousands(cum_u), Percent(cum_u, u.graph_cqf)});
+    }
+    table.AddSeparator();
+    table.AddRow({"total", WithThousands(v.graph_cqf), "100.00%",
+                  WithThousands(u.graph_cqf), "100.00%"});
+    std::printf("%s", table.Render().c_str());
+  };
+  emit("Shape (with constants)", true);
+  std::printf("\n");
+  emit("Shape (without constants)", false);
+  std::printf(
+      "\nPaper reference (with constants): <=1 edge 87.56%% (83.05%%), "
+      "chain 96.68%%\n(96.72%%), star 98.82%% (99.02%%), tree 99.07%%, "
+      "tw<=2 100%%. Without\nconstants, 'no edge' alone jumps to 86.75%% "
+      "(84.07%%). Shape to hold: chains\nand stars dominate, constants "
+      "carry most of the structure.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Reproduces Table 8: the property-path type distribution of the robotic
+// Wikidata logs, plus the Section 9.6 class coverage (simple transitive
+// expressions, C_tract / T_tract certificates).
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "study_util.h"
+
+int main() {
+  using namespace rwdt;
+  using paths::Table8Type;
+  const uint64_t scale = bench::ScaleFromEnv(20000);
+  std::printf("=== Table 8: property path structure, Wikidata ===\n");
+  const bench::StudyCorpus corpus = bench::RunFullStudy(scale);
+
+  const core::LogAggregates& v = corpus.wikidata.valid_agg;
+  const core::LogAggregates& u = corpus.wikidata.unique_agg;
+  const Table8Type transitive[] = {
+      Table8Type::kAStar,         Table8Type::kABStarOrAPlus,
+      Table8Type::kABStarCStar,   Table8Type::kDisjStar,
+      Table8Type::kABStarC,       Table8Type::kAStarBStar,
+      Table8Type::kABCStar,       Table8Type::kAOptBStar,
+      Table8Type::kDisjPlus,      Table8Type::kDisjBStar,
+      Table8Type::kOtherTransitive};
+  const Table8Type nontransitive[] = {
+      Table8Type::kWord,    Table8Type::kDisj,
+      Table8Type::kDisjOpt, Table8Type::kWordOptTail,
+      Table8Type::kInverse, Table8Type::kABCOpt,
+      Table8Type::kOtherNonTransitive};
+
+  AsciiTable table({"Expression Type", "AbsoluteV", "RelativeV",
+                    "AbsoluteU", "RelativeU"});
+  auto row = [&](Table8Type t) {
+    const uint64_t av = v.path_types.count(t) ? v.path_types.at(t) : 0;
+    const uint64_t au = u.path_types.count(t) ? u.path_types.at(t) : 0;
+    table.AddRow({paths::Table8TypeName(t), WithThousands(av),
+                  Percent(av, v.property_paths, true), WithThousands(au),
+                  Percent(au, u.property_paths, true)});
+  };
+  for (Table8Type t : transitive) row(t);
+  table.AddSeparator();
+  for (Table8Type t : nontransitive) row(t);
+  table.AddSeparator();
+  table.AddRow({"Total", WithThousands(v.property_paths), "100%",
+                WithThousands(u.property_paths), "100%"});
+  std::printf("%s", table.Render().c_str());
+
+  std::printf(
+      "\nClass coverage (Section 9.6):\n"
+      "  simple transitive expressions: %s (V) / %s (U)\n"
+      "  certified in C_tract:          %s (V) / %s (U)\n"
+      "  certified in T_tract:          %s (V) / %s (U)\n",
+      Percent(v.path_ste, v.property_paths).c_str(),
+      Percent(u.path_ste, u.property_paths).c_str(),
+      Percent(v.path_ctract, v.property_paths).c_str(),
+      Percent(u.path_ctract, u.property_paths).c_str(),
+      Percent(v.path_ttract, v.property_paths).c_str(),
+      Percent(u.path_ttract, u.property_paths).c_str());
+  std::printf(
+      "\nPaper reference (robotic, RelativeV): a* 50.48%%, {ab*, a+} "
+      "17.07%%,\na1...ak 24.26%%, A 5.52%%, ab*c* 1.49%%, A* 0.60%%; "
+      "98.4%% of robotic paths\nare simple transitive expressions. Shape "
+      "to hold: a* dominates transitive\ntypes, plain words dominate "
+      "non-transitive ones, STEs cover ~98-99%%.\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Reproduces the complexity landscape of Theorem 4.4 (containment for
+// chain regular expression fragments): the PTIME fragments RE(a,a+) and
+// RE(a,(+a)) scale polynomially via the specialized algorithms, while
+// the coNP-complete fragment RE(a,a?) exhibits exponential scaling on
+// the hard instances produced by the Appendix A reduction.
+
+#include <benchmark/benchmark.h>
+
+#include "common/interner.h"
+#include "common/rng.h"
+#include "regex/automaton.h"
+#include "regex/chain_algorithms.h"
+#include "regex/glushkov.h"
+#include "regex/reduction.h"
+
+namespace {
+
+using namespace rwdt;
+using namespace rwdt::regex;
+
+/// RE(a,a+) instances: long unary-run chains.
+std::pair<RegexPtr, RegexPtr> MakeUnaryRunInstance(size_t n) {
+  Rng rng(n * 7 + 1);
+  std::vector<RegexPtr> lhs, rhs;
+  for (size_t i = 0; i < n; ++i) {
+    const SymbolId sym = static_cast<SymbolId>(i % 5);
+    // lhs run: a a+ (>=2); rhs run: a+ (>=1) -- contained per run.
+    lhs.push_back(Regex::Symbol(sym));
+    lhs.push_back(Regex::Plus(Regex::Symbol(sym)));
+    rhs.push_back(Regex::Plus(Regex::Symbol(sym)));
+    // Separator symbol so adjacent runs stay distinct.
+    const SymbolId sep = static_cast<SymbolId>(5 + (i % 3));
+    lhs.push_back(Regex::Symbol(sep));
+    rhs.push_back(Regex::Symbol(sep));
+  }
+  return {Regex::Concat(std::move(lhs)), Regex::Concat(std::move(rhs))};
+}
+
+void BM_ContainmentReAPlus_Ptime(benchmark::State& state) {
+  const auto [lhs, rhs] = MakeUnaryRunInstance(state.range(0));
+  for (auto _ : state) {
+    auto decision = DecideContainment(lhs, rhs);
+    if (decision.algorithm != ContainmentAlgorithm::kUnaryRuns ||
+        !decision.contained) {
+      state.SkipWithError("unexpected result");
+    }
+    benchmark::DoNotOptimize(decision);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ContainmentReAPlus_Ptime)
+    ->RangeMultiplier(2)
+    ->Range(8, 512)
+    ->Complexity(benchmark::oN);
+
+/// RE(a,(+a)) instances: fixed-length products with widening sets.
+void BM_ContainmentFixedLength_Ptime(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<RegexPtr> lhs, rhs;
+  for (size_t i = 0; i < n; ++i) {
+    const SymbolId a = static_cast<SymbolId>(2 * i);
+    const SymbolId b = static_cast<SymbolId>(2 * i + 1);
+    lhs.push_back(Regex::Symbol(a));
+    rhs.push_back(Regex::Union(Regex::Symbol(a), Regex::Symbol(b)));
+  }
+  const RegexPtr l = Regex::Concat(std::move(lhs));
+  const RegexPtr r = Regex::Concat(std::move(rhs));
+  for (auto _ : state) {
+    auto decision = DecideContainment(l, r);
+    if (decision.algorithm != ContainmentAlgorithm::kFixedLength ||
+        !decision.contained) {
+      state.SkipWithError("unexpected result");
+    }
+    benchmark::DoNotOptimize(decision);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ContainmentFixedLength_Ptime)
+    ->RangeMultiplier(2)
+    ->Range(8, 512)
+    ->Complexity(benchmark::oN);
+
+/// Hard RE(a,a?) instances from the Appendix A validity reduction:
+/// the generic automata-based decision procedure pays an exponential
+/// price as the variable count grows.
+void BM_ContainmentReAOpt_Hard(benchmark::State& state) {
+  const size_t num_vars = static_cast<size_t>(state.range(0));
+  Interner dict;
+  DnfFormula f;
+  f.num_vars = num_vars;
+  // x1 ∨ ¬x1 ∨ (x2 ∧ x3 ...) : valid, but the decision procedure still
+  // explores the assignment space.
+  f.clauses.push_back({1});
+  f.clauses.push_back({-1});
+  DnfFormula::Clause big;
+  for (size_t i = 2; i <= num_vars; ++i) big.push_back(static_cast<int>(i));
+  f.clauses.push_back(big);
+  const auto inst = EncodeValidityAsContainment(f, &dict);
+  for (auto _ : state) {
+    const bool contained = IsContained(ToDfa(inst.lhs), ToDfa(inst.rhs));
+    if (!contained) state.SkipWithError("reduction says valid");
+    benchmark::DoNotOptimize(contained);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ContainmentReAOpt_Hard)->DenseRange(2, 9, 1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// Reproduces Theorem 4.6's upper-bound mechanics: a k-ORE over alphabet
+// Sigma converts to a DFA with at most |Sigma| * 2^k states, so k-ORE
+// containment is PTIME for fixed k. We measure DFA sizes and containment
+// time as |Sigma| grows for k = 1, 2, 3.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "regex/automaton.h"
+#include "regex/fragments.h"
+#include "regex/glushkov.h"
+#include "regex/sampler.h"
+
+namespace {
+
+using namespace rwdt;
+using namespace rwdt::regex;
+
+/// A random k-ORE over `sigma` symbols: concatenation/union/postfix over
+/// k copies of each symbol, shuffled.
+RegexPtr MakeKore(size_t sigma, size_t k, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<RegexPtr> atoms;
+  for (size_t s = 0; s < sigma; ++s) {
+    for (size_t c = 0; c < k; ++c) {
+      RegexPtr atom = Regex::Symbol(static_cast<SymbolId>(s));
+      switch (rng.NextBelow(4)) {
+        case 0:
+          atom = Regex::Star(atom);
+          break;
+        case 1:
+          atom = Regex::Optional(atom);
+          break;
+        default:
+          break;
+      }
+      atoms.push_back(std::move(atom));
+    }
+  }
+  // Shuffle and group into a chain of small unions.
+  for (size_t i = atoms.size(); i > 1; --i) {
+    std::swap(atoms[i - 1], atoms[rng.NextBelow(i)]);
+  }
+  std::vector<RegexPtr> parts;
+  for (size_t i = 0; i < atoms.size(); i += 2) {
+    if (i + 1 < atoms.size() && rng.NextBool(0.3)) {
+      parts.push_back(Regex::Union(atoms[i], atoms[i + 1]));
+    } else {
+      parts.push_back(atoms[i]);
+      if (i + 1 < atoms.size()) parts.push_back(atoms[i + 1]);
+    }
+  }
+  return Regex::Concat(std::move(parts));
+}
+
+void RunKoreContainment(benchmark::State& state, size_t k) {
+  const size_t sigma = static_cast<size_t>(state.range(0));
+  const RegexPtr e1 = MakeKore(sigma, k, 11 * k + sigma);
+  const RegexPtr e2 = MakeKore(sigma, k, 31 * k + sigma);
+  if (!IsKore(e1, k) || !IsKore(e2, k)) {
+    state.SkipWithError("generator produced a non-k-ORE");
+    return;
+  }
+  size_t dfa_states = 0;
+  for (auto _ : state) {
+    const Dfa d1 = ToDfa(e1);
+    const Dfa d2 = ToDfa(e2);
+    dfa_states = std::max(d1.NumStates(), d2.NumStates());
+    benchmark::DoNotOptimize(IsContained(d1, d2));
+  }
+  state.counters["dfa_states"] = static_cast<double>(dfa_states);
+  state.counters["sigma_2k_bound"] =
+      static_cast<double>(sigma) * static_cast<double>(1ull << k);
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_KoreContainment_K1(benchmark::State& state) {
+  RunKoreContainment(state, 1);
+}
+void BM_KoreContainment_K2(benchmark::State& state) {
+  RunKoreContainment(state, 2);
+}
+void BM_KoreContainment_K3(benchmark::State& state) {
+  RunKoreContainment(state, 3);
+}
+BENCHMARK(BM_KoreContainment_K1)->RangeMultiplier(2)->Range(4, 64);
+BENCHMARK(BM_KoreContainment_K2)->RangeMultiplier(2)->Range(4, 64);
+BENCHMARK(BM_KoreContainment_K3)->RangeMultiplier(2)->Range(4, 32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

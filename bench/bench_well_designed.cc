@@ -1,0 +1,61 @@
+// Reproduces the Section 9.1/9.4 well-designedness statistics: among the
+// queries that only use And/Filter/Optional, nearly all are
+// well-designed (paper: 98.74% / 94.18%), and evaluation of
+// well-designed OPTIONAL stays benign on a concrete store.
+
+#include <cstdio>
+
+#include <chrono>
+
+#include "common/interner.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "graph/generators.h"
+#include "sparql/analysis.h"
+#include "sparql/eval.h"
+#include "sparql/parser.h"
+#include "study_util.h"
+
+int main() {
+  using namespace rwdt;
+  const uint64_t scale = bench::ScaleFromEnv(40000);
+  std::printf("=== Well-designed patterns (Sections 9.1, 9.4) ===\n");
+  const bench::StudyCorpus corpus = bench::RunFullStudy(scale);
+
+  AsciiTable table({"Group", "AFO-only V", "share", "well-designed V",
+                    "of AFO-only"});
+  for (const core::SourceStudy* group :
+       {&corpus.dbpedia_britm, &corpus.wikidata}) {
+    const core::LogAggregates& v = group->valid_agg;
+    table.AddRow({group->name, WithThousands(v.afo_only),
+                  Percent(v.afo_only, v.select_ask_construct),
+                  WithThousands(v.well_designed),
+                  Percent(v.well_designed, v.afo_only)});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "\nPaper reference: And/Filter/Optional-only queries are 62.31%% "
+      "of\nDBpedia-BritM and 27.72%% of Wikidata; of those, 98.74%% and "
+      "94.18%% are\nwell-designed.\n");
+
+  // Micro-benchmark: evaluating an OPTIONAL-heavy query on a store.
+  Interner dict;
+  Rng rng(7);
+  graph::TripleStore store = graph::MakeRdfDataset(3000, 5, 4, &dict, rng);
+  const std::string query_text =
+      "SELECT * WHERE { ?x pred:links_to ?y "
+      "OPTIONAL { ?y pred:links_to ?z } }";
+  auto q = sparql::ParseSparql(query_text, &dict);
+  if (!q.ok()) return 1;
+  const bool wd = sparql::IsWellDesigned(q.value());
+  sparql::Evaluator eval(store, &dict);
+  const auto start = std::chrono::steady_clock::now();
+  const auto rows = eval.EvalQuery(q.value());
+  const auto stop = std::chrono::steady_clock::now();
+  std::printf(
+      "\nevaluation check: %s -> well-designed=%s, %zu solutions in %.1f "
+      "ms\n",
+      query_text.c_str(), wd ? "yes" : "no", rows.size(),
+      std::chrono::duration<double, std::milli>(stop - start).count());
+  return 0;
+}

@@ -1,0 +1,54 @@
+#ifndef RWDT_BENCH_STUDY_UTIL_H_
+#define RWDT_BENCH_STUDY_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/log_study.h"
+#include "loggen/sparql_gen.h"
+
+namespace rwdt::bench {
+
+/// Shared driver for the Table 2-8 / Figure 3 benchmarks: runs the full
+/// log-study pipeline over the seventeen Table 2 source profiles.
+///
+/// `scale` divides the paper's query counts; the default keeps each
+/// bench binary in the seconds range on one core. Override with the
+/// RWDT_SCALE environment variable (smaller value = bigger corpus).
+struct StudyCorpus {
+  std::vector<core::SourceStudy> sources;
+  core::SourceStudy dbpedia_britm;  // merged non-Wikidata sources
+  core::SourceStudy wikidata;       // merged Wikidata sources
+};
+
+inline uint64_t ScaleFromEnv(uint64_t fallback) {
+  const char* env = std::getenv("RWDT_SCALE");
+  if (env == nullptr) return fallback;
+  const uint64_t v = std::strtoull(env, nullptr, 10);
+  return v == 0 ? fallback : v;
+}
+
+inline StudyCorpus RunFullStudy(uint64_t scale, uint64_t seed = 2022) {
+  StudyCorpus corpus;
+  corpus.dbpedia_britm.name = "DBpedia-BritM";
+  corpus.wikidata.name = "Wikidata";
+  for (const auto& profile : loggen::Table2Profiles(scale)) {
+    std::fprintf(stderr, "  analyzing %-16s (%llu queries)...\n",
+                 profile.name.c_str(),
+                 static_cast<unsigned long long>(profile.total_queries));
+    core::SourceStudy study = core::AnalyzeLog(profile, seed);
+    if (profile.wikidata_like) {
+      core::MergeSource(study, &corpus.wikidata);
+    } else {
+      core::MergeSource(study, &corpus.dbpedia_britm);
+    }
+    corpus.sources.push_back(std::move(study));
+  }
+  return corpus;
+}
+
+}  // namespace rwdt::bench
+
+#endif  // RWDT_BENCH_STUDY_UTIL_H_

@@ -1,0 +1,82 @@
+// A miniature end-to-end "practical study" (paper Section 11): generate
+// a query log, push every query through the analysis pipeline, and print
+// the study report the way the paper's tables do.
+//
+//   $ ./build/examples/log_study [num_queries]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.h"
+#include "core/log_study.h"
+
+int main(int argc, char** argv) {
+  using namespace rwdt;
+  const uint64_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 5000;
+
+  loggen::SourceProfile profile = loggen::ExampleProfile(n);
+  profile.name = "mini-study";
+  std::printf("analyzing a synthetic log of %llu queries...\n\n",
+              static_cast<unsigned long long>(n));
+  const core::SourceStudy study = core::AnalyzeLog(profile, 7);
+
+  std::printf("log: total %llu, valid %llu, unique %llu\n\n",
+              static_cast<unsigned long long>(study.total),
+              static_cast<unsigned long long>(study.valid),
+              static_cast<unsigned long long>(study.unique));
+
+  const core::LogAggregates& v = study.valid_agg;
+  const core::LogAggregates& u = study.unique_agg;
+
+  AsciiTable features({"Feature", "Valid", "Rel", "Unique", "Rel"});
+  for (sparql::Feature f : sparql::AllFeatures()) {
+    auto count = [&](const core::LogAggregates& a) -> uint64_t {
+      auto it = a.feature_counts.find(f);
+      return it == a.feature_counts.end() ? 0 : it->second;
+    };
+    if (count(v) == 0) continue;
+    features.AddRow({sparql::FeatureName(f), WithThousands(count(v)),
+                     Percent(count(v), v.select_ask_construct),
+                     WithThousands(count(u)),
+                     Percent(count(u), u.select_ask_construct)});
+  }
+  std::printf("feature usage:\n%s\n", features.Render().c_str());
+
+  AsciiTable fragments({"Fragment", "Valid", "Rel"});
+  fragments.AddRow({"CQ (only And)", WithThousands(v.cq),
+                    Percent(v.cq, v.select_ask_construct)});
+  fragments.AddRow({"CQ+F", WithThousands(v.cq_f),
+                    Percent(v.cq_f, v.select_ask_construct)});
+  fragments.AddRow({"C2RPQ+F", WithThousands(v.c2rpq_f),
+                    Percent(v.c2rpq_f, v.select_ask_construct)});
+  fragments.AddRow({"And/Filter/Optional only", WithThousands(v.afo_only),
+                    Percent(v.afo_only, v.select_ask_construct)});
+  fragments.AddRow({"  of which well-designed",
+                    WithThousands(v.well_designed),
+                    Percent(v.well_designed, v.afo_only)});
+  std::printf("fragments:\n%s\n", fragments.Render().c_str());
+
+  AsciiTable structure({"Structure (CQ+F)", "Valid", "Rel"});
+  structure.AddRow({"free-connex acyclic", WithThousands(v.cqf_fca),
+                    Percent(v.cqf_fca, v.cq_f)});
+  structure.AddRow({"hypertree width <= 1", WithThousands(v.cqf_htw1),
+                    Percent(v.cqf_htw1, v.cq_f)});
+  structure.AddRow({"hypertree width <= 2", WithThousands(v.cqf_htw2),
+                    Percent(v.cqf_htw2, v.cq_f)});
+  std::printf("structure:\n%s\n", structure.Render().c_str());
+
+  AsciiTable shapes({"Shape (with constants)", "Valid", "Rel"});
+  for (const auto& [shape, count] : v.shapes_with_constants) {
+    shapes.AddRow({hypergraph::GraphShapeName(shape),
+                   WithThousands(count), Percent(count, v.graph_cqf)});
+  }
+  std::printf("shapes of graph-CQ+F queries:\n%s", shapes.Render().c_str());
+  std::printf(
+      "\nLesson from Section 11 ('The Right Perspective'): %s of these\n"
+      "queries have at most one triple pattern, which explains most of "
+      "the\nconjunctive dominance above.\n",
+      Percent(v.triple_histogram[0] + v.triple_histogram[1],
+              v.select_ask_construct)
+          .c_str());
+  return 0;
+}

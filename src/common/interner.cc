@@ -1,0 +1,19 @@
+#include "common/interner.h"
+
+namespace rwdt {
+
+SymbolId Interner::Intern(std::string_view s) {
+  auto it = ids_.find(std::string(s));
+  if (it != ids_.end()) return it->second;
+  const SymbolId id = static_cast<SymbolId>(names_.size());
+  names_.emplace_back(s);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+SymbolId Interner::Lookup(std::string_view s) const {
+  auto it = ids_.find(std::string(s));
+  return it == ids_.end() ? kInvalidSymbol : it->second;
+}
+
+}  // namespace rwdt

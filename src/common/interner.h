@@ -1,0 +1,45 @@
+#ifndef RWDT_COMMON_INTERNER_H_
+#define RWDT_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace rwdt {
+
+/// Dense integer id for an interned string. Ids start at 0 and are assigned
+/// in first-seen order, so they are stable for a fixed insertion sequence.
+using SymbolId = uint32_t;
+
+inline constexpr SymbolId kInvalidSymbol = 0xffffffffu;
+
+/// Bidirectional string <-> dense-id dictionary.
+///
+/// Used as the label dictionary for trees, the IRI/literal dictionary for
+/// RDF stores, and the alphabet for regular expressions. Interning makes all
+/// downstream algorithms operate on small integers.
+class Interner {
+ public:
+  Interner() = default;
+
+  /// Returns the id for `s`, interning it if new.
+  SymbolId Intern(std::string_view s);
+
+  /// Returns the id for `s`, or kInvalidSymbol when absent.
+  SymbolId Lookup(std::string_view s) const;
+
+  /// Returns the string for an id. Requires `id < size()`.
+  const std::string& Name(SymbolId id) const { return names_[id]; }
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, SymbolId> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace rwdt
+
+#endif  // RWDT_COMMON_INTERNER_H_

@@ -1,0 +1,62 @@
+#ifndef RWDT_COMMON_RNG_H_
+#define RWDT_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rwdt {
+
+/// Deterministic 64-bit PRNG (splitmix64 seeded xoshiro256**).
+///
+/// All corpus generators in the library take an explicit seed and draw only
+/// from this generator, so every benchmark and test is reproducible
+/// bit-for-bit across runs and platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform over all 64-bit values.
+  uint64_t Next();
+
+  /// Uniform in [0, bound). `bound` must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool NextBool(double p);
+
+  /// Samples an index according to (unnormalized, non-negative) weights.
+  /// Returns 0 when all weights are zero or the vector is empty... callers
+  /// must pass at least one weight.
+  size_t NextWeighted(const std::vector<double>& weights);
+
+  /// Derives an independent child generator; convenient for fanning a single
+  /// seed out across corpus sources without correlated streams.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+};
+
+/// Samples from a (bounded) Zipf distribution over {0, 1, ..., n-1} with
+/// exponent `s`: P(k) proportional to 1/(k+1)^s. Precomputes the CDF.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s);
+
+  size_t Sample(Rng& rng) const;
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace rwdt
+
+#endif  // RWDT_COMMON_RNG_H_

@@ -1,0 +1,50 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rwdt {
+
+Summary Summarize(std::vector<uint64_t> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  s.median = values[values.size() / 2];
+  double sum = 0;
+  for (uint64_t v : values) sum += static_cast<double>(v);
+  s.mean = sum / static_cast<double>(values.size());
+  double var = 0;
+  for (uint64_t v : values) {
+    const double d = static_cast<double>(v) - s.mean;
+    var += d * d;
+  }
+  s.stddev = std::sqrt(var / static_cast<double>(values.size()));
+  return s;
+}
+
+double PowerLawAlpha(const std::vector<uint64_t>& values, uint64_t xmin) {
+  double log_sum = 0;
+  size_t n = 0;
+  for (uint64_t v : values) {
+    if (v < xmin || v == 0) continue;
+    log_sum += std::log(static_cast<double>(v) /
+                        (static_cast<double>(xmin) - 0.5));
+    ++n;
+  }
+  if (n < 2 || log_sum <= 0) return 0;
+  return 1.0 + static_cast<double>(n) / log_sum;
+}
+
+std::vector<uint64_t> ClampedHistogram(const std::vector<uint64_t>& values,
+                                       size_t max_bucket) {
+  std::vector<uint64_t> hist(max_bucket + 1, 0);
+  for (uint64_t v : values) {
+    hist[std::min<uint64_t>(v, max_bucket)]++;
+  }
+  return hist;
+}
+
+}  // namespace rwdt

@@ -1,0 +1,39 @@
+#ifndef RWDT_COMMON_STATS_H_
+#define RWDT_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rwdt {
+
+/// Summary statistics for a sample of non-negative values.
+struct Summary {
+  size_t count = 0;
+  double mean = 0;
+  double stddev = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  uint64_t median = 0;
+};
+
+/// Computes count/mean/stddev/min/max/median. Sorts a copy of `values`.
+Summary Summarize(std::vector<uint64_t> values);
+
+/// Maximum-likelihood estimate of the exponent alpha of a discrete power
+/// law P(x) ~ x^-alpha fitted to `values >= xmin` (Clauset-Shalizi-Newman
+/// approximation alpha = 1 + n / sum(ln(x_i / (xmin - 0.5)))).
+///
+/// Returns 0 when fewer than 2 values are >= xmin. Used to verify that the
+/// degree distributions of generated RDF data are power-law-like, matching
+/// the observations of Ding-Finin and Fernandez et al. (paper Section 7.1).
+double PowerLawAlpha(const std::vector<uint64_t>& values, uint64_t xmin = 1);
+
+/// Histogram over buckets 0..max_bucket, with values above max_bucket
+/// clamped into the last bucket (the paper's "11+" style bucketing).
+std::vector<uint64_t> ClampedHistogram(const std::vector<uint64_t>& values,
+                                       size_t max_bucket);
+
+}  // namespace rwdt
+
+#endif  // RWDT_COMMON_STATS_H_

@@ -1,0 +1,40 @@
+#include "common/status.h"
+
+namespace rwdt {
+namespace {
+
+const char* CodeName(Code code) {
+  switch (code) {
+    case Code::kOk:
+      return "OK";
+    case Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Code::kParseError:
+      return "ParseError";
+    case Code::kNotFound:
+      return "NotFound";
+    case Code::kOutOfRange:
+      return "OutOfRange";
+    case Code::kUnsupported:
+      return "Unsupported";
+    case Code::kResourceExhausted:
+      return "ResourceExhausted";
+    case Code::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace rwdt

@@ -1,0 +1,89 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace rwdt {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void AsciiTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void AsciiTable::AddSeparator() { rows_.emplace_back(); }
+
+std::string AsciiTable::Render() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+
+  auto rule = [&] {
+    std::string line = "+";
+    for (size_t w : widths) line += std::string(w + 2, '-') + "+";
+    line += "\n";
+    return line;
+  };
+  auto render_row = [&](const std::vector<std::string>& row, bool left_all) {
+    std::string line = "|";
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      const size_t pad = widths[i] - cell.size();
+      // First column left-aligned; the rest right-aligned (numeric).
+      if (i == 0 || left_all) {
+        line += " " + cell + std::string(pad, ' ') + " |";
+      } else {
+        line += " " + std::string(pad, ' ') + cell + " |";
+      }
+    }
+    line += "\n";
+    return line;
+  };
+
+  std::string out = rule();
+  out += render_row(header_, /*left_all=*/true);
+  out += rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      out += rule();
+    } else {
+      out += render_row(row, /*left_all=*/false);
+    }
+  }
+  out += rule();
+  return out;
+}
+
+std::string WithThousands(uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  const size_t len = digits.size();
+  for (size_t i = 0; i < len; ++i) {
+    if (i > 0 && (len - i) % 3 == 0) out += ',';
+    out += digits[i];
+  }
+  return out;
+}
+
+std::string Percent(uint64_t num, uint64_t denom, bool blank_zero) {
+  if (denom == 0) return blank_zero ? "" : "0.00%";
+  const double pct = 100.0 * static_cast<double>(num) / denom;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f%%", pct);
+  if (blank_zero && std::string(buf) == "0.00%") return "";
+  return buf;
+}
+
+std::string Fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+}  // namespace rwdt

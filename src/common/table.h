@@ -1,0 +1,44 @@
+#ifndef RWDT_COMMON_TABLE_H_
+#define RWDT_COMMON_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rwdt {
+
+/// Renders aligned ASCII tables in the style of the paper's tables:
+/// a header row, left-aligned first column, right-aligned numeric columns.
+///
+/// Used by every benchmark binary so the reproduced tables are directly
+/// comparable with the published ones.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Inserts a horizontal separator before the next row.
+  void AddSeparator();
+
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+/// Formats `n` with thousands separators, e.g. 28651075 -> "28,651,075".
+std::string WithThousands(uint64_t n);
+
+/// Formats `num/denom` as a percentage with two decimals, e.g. "29.83%".
+/// Returns "" when the value rounds to 0.00% (matching the paper's blank
+/// cells) if `blank_zero` is set.
+std::string Percent(uint64_t num, uint64_t denom, bool blank_zero = false);
+
+/// Formats a double with `digits` decimal places.
+std::string Fixed(double v, int digits);
+
+}  // namespace rwdt
+
+#endif  // RWDT_COMMON_TABLE_H_

@@ -1,0 +1,107 @@
+#include "core/studies.h"
+
+#include <algorithm>
+
+#include "regex/fragments.h"
+#include "regex/glushkov.h"
+#include "xpath/xpath.h"
+
+namespace rwdt::core {
+
+DtdStudyResult RunDtdStudy(const std::vector<schema::Dtd>& corpus,
+                           const Interner& dict) {
+  (void)dict;
+  DtdStudyResult result;
+  result.num_dtds = corpus.size();
+  for (const auto& dtd : corpus) {
+    if (schema::IsRecursive(dtd)) {
+      result.recursive_dtds++;
+    } else if (auto depth = schema::MaxDocumentDepth(dtd);
+               depth.has_value()) {
+      result.nonrecursive_depths.push_back(*depth);
+    }
+    for (const auto& [label, content] : dtd.rules) {
+      (void)label;
+      result.num_expressions++;
+      result.max_parse_depth =
+          std::max(result.max_parse_depth, content->Depth());
+      auto chain = regex::ToChainRegex(content);
+      if (chain.has_value()) {
+        result.chain_expressions++;
+        // Fragment signature, e.g. "RE(a, a?, (+a)*)".
+        std::string sig = "RE(";
+        bool first = true;
+        for (regex::FactorType t : chain->Signature()) {
+          if (!first) sig += ", ";
+          first = false;
+          sig += regex::FactorTypeName(t);
+        }
+        sig += ")";
+        result.fragment_histogram[sig]++;
+      }
+      if (regex::IsSore(content)) result.sores++;
+      if (regex::IsKore(content, 2)) result.kore2++;
+      if (regex::IsDeterministic(content)) result.deterministic++;
+    }
+  }
+  return result;
+}
+
+XmlQualityResult RunXmlQualityStudy(
+    const std::vector<loggen::XmlCorpusDocument>& corpus) {
+  XmlQualityResult result;
+  result.documents = corpus.size();
+  Interner dict;
+  for (const auto& doc : corpus) {
+    auto parse = tree::ParseXml(doc.text, &dict);
+    if (parse.well_formed) {
+      result.well_formed++;
+    } else {
+      result.error_histogram[parse.error.category]++;
+    }
+  }
+  return result;
+}
+
+XPathStudyResult RunXPathStudy(const std::vector<std::string>& corpus,
+                               Interner* dict) {
+  XPathStudyResult result;
+  result.queries = corpus.size();
+  for (const auto& text : corpus) {
+    auto parsed = xpath::ParseXPath(text, dict);
+    if (!parsed.ok()) continue;
+    result.parsed++;
+    const xpath::Query& q = parsed.value();
+    const auto axes = q.AxesUsed();
+    bool non_child = false;
+    for (xpath::Axis a : axes) {
+      result.axis_counts[xpath::AxisName(a)]++;
+      if (a != xpath::Axis::kChild) non_child = true;
+    }
+    if (non_child) result.uses_any_axis++;
+    if (xpath::IsPositiveXPath(q)) result.positive++;
+    if (xpath::IsCoreXPath1(q)) result.core1++;
+    if (xpath::IsDownwardXPath(q)) result.downward++;
+    if (xpath::IsTreePattern(q)) result.tree_patterns++;
+    result.sizes.push_back(q.Size());
+  }
+  return result;
+}
+
+TreewidthRow MeasureTreewidth(const std::string& name,
+                              const graph::SimpleGraph& g,
+                              bool use_min_fill) {
+  TreewidthRow row;
+  row.name = name;
+  row.nodes = g.NumVertices();
+  row.edges = g.NumEdges();
+  const size_t degeneracy = graph::TreewidthLowerBoundDegeneracy(g);
+  const size_t mmd = graph::TreewidthLowerBoundMmdPlus(g);
+  row.lower = std::max(degeneracy, mmd);
+  row.upper = use_min_fill ? graph::TreewidthUpperBoundMinFill(g)
+                           : graph::TreewidthUpperBoundMinDegree(g);
+  row.upper = std::max(row.upper, row.lower);
+  return row;
+}
+
+}  // namespace rwdt::core

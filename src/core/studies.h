@@ -1,0 +1,75 @@
+#ifndef RWDT_CORE_STUDIES_H_
+#define RWDT_CORE_STUDIES_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/interner.h"
+#include "graph/treewidth.h"
+#include "loggen/corpus_gen.h"
+#include "tree/xml.h"
+
+namespace rwdt::core {
+
+/// DTD corpus study (Sections 4.1-4.2.3): the Choi / Bex et al.
+/// statistics, recomputed by the library's classifiers over a corpus.
+struct DtdStudyResult {
+  size_t num_dtds = 0;
+  size_t num_expressions = 0;
+  size_t chain_expressions = 0;          // sequential (Definition 4.3)
+  size_t sores = 0;                      // single-occurrence
+  size_t kore2 = 0;                      // 2-OREs (includes SOREs)
+  size_t deterministic = 0;              // one-unambiguous
+  size_t recursive_dtds = 0;
+  size_t max_parse_depth = 0;            // Choi: 1..9 in his corpus
+  std::vector<size_t> nonrecursive_depths;  // Choi: up to 20
+  std::map<std::string, size_t> fragment_histogram;  // RE(...) signatures
+};
+
+DtdStudyResult RunDtdStudy(const std::vector<schema::Dtd>& corpus,
+                           const Interner& dict);
+
+/// XML quality study (Grijzenhout-Marx, Section 3.1).
+struct XmlQualityResult {
+  size_t documents = 0;
+  size_t well_formed = 0;
+  std::map<tree::XmlErrorCategory, size_t> error_histogram;
+};
+
+XmlQualityResult RunXmlQualityStudy(
+    const std::vector<loggen::XmlCorpusDocument>& corpus);
+
+/// XPath corpus study (Baelde et al. / Pasqua, Section 5).
+struct XPathStudyResult {
+  size_t queries = 0;
+  size_t parsed = 0;
+  std::map<std::string, size_t> axis_counts;  // by axis name
+  size_t uses_any_axis = 0;  // queries with an explicit non-child step
+  size_t positive = 0;
+  size_t core1 = 0;
+  size_t downward = 0;
+  size_t tree_patterns = 0;
+  std::vector<uint64_t> sizes;
+};
+
+XPathStudyResult RunXPathStudy(const std::vector<std::string>& corpus,
+                               Interner* dict);
+
+/// Treewidth study (Maniu et al., Table 1): bounds per dataset.
+struct TreewidthRow {
+  std::string name;
+  size_t nodes = 0;
+  size_t edges = 0;
+  size_t lower = 0;  // max(degeneracy, MMD+)
+  size_t upper = 0;  // min(min-fill, min-degree)
+};
+
+TreewidthRow MeasureTreewidth(const std::string& name,
+                              const graph::SimpleGraph& g,
+                              bool use_min_fill);
+
+}  // namespace rwdt::core
+
+#endif  // RWDT_CORE_STUDIES_H_

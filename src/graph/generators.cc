@@ -1,0 +1,156 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace rwdt::graph {
+
+SimpleGraph MakeRoadNetwork(size_t width, size_t height, double p_diagonal,
+                            double p_remove, Rng& rng) {
+  SimpleGraph g(width * height);
+  auto id = [&](size_t x, size_t y) {
+    return static_cast<uint32_t>(y * width + x);
+  };
+  for (size_t y = 0; y < height; ++y) {
+    for (size_t x = 0; x < width; ++x) {
+      if (x + 1 < width && !rng.NextBool(p_remove)) {
+        g.AddEdge(id(x, y), id(x + 1, y));
+      }
+      if (y + 1 < height && !rng.NextBool(p_remove)) {
+        g.AddEdge(id(x, y), id(x, y + 1));
+      }
+      if (x + 1 < width && y + 1 < height && rng.NextBool(p_diagonal)) {
+        g.AddEdge(id(x, y), id(x + 1, y + 1));
+      }
+    }
+  }
+  return g;
+}
+
+SimpleGraph MakePreferentialAttachment(size_t n, size_t edges_per_node,
+                                       Rng& rng) {
+  SimpleGraph g(n);
+  // Repeated-endpoint list: sampling uniformly from it is proportional
+  // to degree.
+  std::vector<uint32_t> endpoints;
+  const size_t seed_size = std::max<size_t>(edges_per_node + 1, 2);
+  for (uint32_t v = 0; v < seed_size && v + 1 < n; ++v) {
+    g.AddEdge(v, v + 1);
+    endpoints.push_back(v);
+    endpoints.push_back(v + 1);
+  }
+  for (uint32_t v = static_cast<uint32_t>(seed_size + 1); v < n; ++v) {
+    std::set<uint32_t> targets;
+    while (targets.size() < edges_per_node && targets.size() < v) {
+      const uint32_t t = endpoints[rng.NextBelow(endpoints.size())];
+      if (t != v) targets.insert(t);
+    }
+    for (uint32_t t : targets) {
+      g.AddEdge(v, t);
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return g;
+}
+
+SimpleGraph MakeRandomGraph(size_t n, size_t m, Rng& rng) {
+  SimpleGraph g(n);
+  size_t added = 0;
+  size_t guard = 0;
+  while (added < m && guard < m * 20) {
+    ++guard;
+    const uint32_t u = static_cast<uint32_t>(rng.NextBelow(n));
+    const uint32_t v = static_cast<uint32_t>(rng.NextBelow(n));
+    if (u == v || g.HasEdge(u, v)) continue;
+    g.AddEdge(u, v);
+    ++added;
+  }
+  return g;
+}
+
+SimpleGraph MakeGenealogy(size_t n, double p_marriage, Rng& rng) {
+  SimpleGraph g(n);
+  // Ancestry forest: each person (except roots) attaches to a parent
+  // among the previous individuals, biased toward recent ones.
+  for (uint32_t v = 1; v < n; ++v) {
+    const uint32_t lo = v > 12 ? v - 12 : 0;
+    const uint32_t parent =
+        static_cast<uint32_t>(rng.NextInt(lo, static_cast<int64_t>(v) - 1));
+    g.AddEdge(v, parent);
+    if (rng.NextBool(p_marriage) && v >= 2) {
+      const uint32_t spouse = static_cast<uint32_t>(rng.NextBelow(v));
+      g.AddEdge(v, spouse);
+    }
+  }
+  return g;
+}
+
+TripleStore MakeRdfDataset(size_t num_entities, size_t num_classes,
+                           size_t predicates_per_class, Interner* dict,
+                           Rng& rng) {
+  TripleStore store;
+  // Class predicate lists.
+  std::vector<std::vector<SymbolId>> class_predicates(num_classes);
+  for (size_t c = 0; c < num_classes; ++c) {
+    for (size_t p = 0; p < predicates_per_class; ++p) {
+      class_predicates[c].push_back(dict->Intern(
+          "pred:c" + std::to_string(c) + "_" + std::to_string(p)));
+    }
+  }
+  // Zipf-popular objects (shared values: tags, countries, years...).
+  const size_t num_values = std::max<size_t>(num_entities / 4, 8);
+  ZipfSampler zipf(num_values, 1.8);
+  std::vector<SymbolId> values;
+  values.reserve(num_values);
+  for (size_t i = 0; i < num_values; ++i) {
+    values.push_back(dict->Intern("val:" + std::to_string(i)));
+  }
+  std::vector<SymbolId> entities;
+  entities.reserve(num_entities);
+  for (size_t i = 0; i < num_entities; ++i) {
+    entities.push_back(dict->Intern("ent:" + std::to_string(i)));
+  }
+  const SymbolId knows = dict->Intern("pred:links_to");
+  for (size_t i = 0; i < num_entities; ++i) {
+    const size_t cls = i % num_classes;
+    for (SymbolId p : class_predicates[cls]) {
+      // Each (s, p) relates to a single object almost always
+      // (Fernandez et al.: objects per (s,p) close to 1).
+      store.Add(entities[i], p, values[zipf.Sample(rng)]);
+      if (rng.NextBool(0.03)) {
+        store.Add(entities[i], p, values[zipf.Sample(rng)]);
+      }
+    }
+    // Entity-to-entity links for graph structure.
+    const size_t links = 1 + rng.NextBelow(3);
+    for (size_t l = 0; l < links; ++l) {
+      store.Add(entities[i], knows,
+                entities[rng.NextBelow(num_entities)]);
+    }
+  }
+  return store;
+}
+
+SimpleGraph ToSimpleGraph(const TripleStore& store,
+                          std::vector<SymbolId>* node_terms) {
+  std::map<SymbolId, uint32_t> index;
+  std::vector<SymbolId> terms;
+  auto intern = [&](SymbolId term) {
+    auto [it, inserted] =
+        index.emplace(term, static_cast<uint32_t>(terms.size()));
+    if (inserted) terms.push_back(term);
+    return it->second;
+  };
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  for (const Triple& t : store.triples()) {
+    edges.emplace_back(intern(t.s), intern(t.o));
+  }
+  SimpleGraph g(terms.size());
+  for (const auto& [u, v] : edges) g.AddEdge(u, v);
+  if (node_terms != nullptr) *node_terms = std::move(terms);
+  return g;
+}
+
+}  // namespace rwdt::graph

@@ -1,0 +1,53 @@
+#ifndef RWDT_GRAPH_GENERATORS_H_
+#define RWDT_GRAPH_GENERATORS_H_
+
+#include "common/interner.h"
+#include "common/rng.h"
+#include "graph/rdf.h"
+#include "graph/treewidth.h"
+
+namespace rwdt::graph {
+
+/// Structural analogues of the real-world datasets in the Maniu et al.
+/// treewidth study (Table 1). The generators reproduce the *class* of
+/// each dataset: road networks are near-planar with bounded degree;
+/// web-like networks follow preferential attachment; communication
+/// networks are sparse random graphs; genealogies are trees with a few
+/// marriage cross-links.
+
+/// Road network: a w x h grid with a fraction of diagonal shortcuts and a
+/// fraction of removed edges (dead ends). Treewidth ~ O(min(w, h)).
+SimpleGraph MakeRoadNetwork(size_t width, size_t height, double p_diagonal,
+                            double p_remove, Rng& rng);
+
+/// Web-like network: Barabasi-Albert preferential attachment with
+/// `edges_per_node` links per arriving node. Heavy-tailed degrees; huge
+/// treewidth relative to size.
+SimpleGraph MakePreferentialAttachment(size_t n, size_t edges_per_node,
+                                       Rng& rng);
+
+/// Communication network (Gnutella-like): Erdos-Renyi G(n, m) sparse
+/// random graph.
+SimpleGraph MakeRandomGraph(size_t n, size_t m, Rng& rng);
+
+/// Genealogy ("Royal"): a forest of ancestry trees plus a few
+/// intermarriage edges. Treewidth stays tiny.
+SimpleGraph MakeGenealogy(size_t n, double p_marriage, Rng& rng);
+
+/// Synthetic RDF dataset exercising the Section 7.1 structure analyses:
+/// entities belong to `num_classes` classes; each class has a fixed
+/// predicate list (matching the observation that subjects almost always
+/// share their predicate set); object popularity is Zipf-distributed so
+/// in-degrees follow a power law.
+TripleStore MakeRdfDataset(size_t num_entities, size_t num_classes,
+                           size_t predicates_per_class, Interner* dict,
+                           Rng& rng);
+
+/// Undirected view of a triple store (nodes = subjects and objects,
+/// one edge per triple), the input shape of the treewidth study.
+SimpleGraph ToSimpleGraph(const TripleStore& store,
+                          std::vector<SymbolId>* node_terms = nullptr);
+
+}  // namespace rwdt::graph
+
+#endif  // RWDT_GRAPH_GENERATORS_H_

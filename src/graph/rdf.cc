@@ -1,0 +1,210 @@
+#include "graph/rdf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace rwdt::graph {
+
+void TripleStore::Add(SymbolId s, SymbolId p, SymbolId o) {
+  spo_.push_back({s, p, o});
+  dirty_ = true;
+}
+
+const std::vector<Triple>& TripleStore::EnsureSorted() const {
+  if (dirty_) {
+    std::sort(spo_.begin(), spo_.end());
+    spo_.erase(std::unique(spo_.begin(), spo_.end()), spo_.end());
+    pos_ = spo_;
+    std::sort(pos_.begin(), pos_.end(), [](const Triple& a, const Triple& b) {
+      if (a.p != b.p) return a.p < b.p;
+      if (a.o != b.o) return a.o < b.o;
+      return a.s < b.s;
+    });
+    osp_ = spo_;
+    std::sort(osp_.begin(), osp_.end(), [](const Triple& a, const Triple& b) {
+      if (a.o != b.o) return a.o < b.o;
+      if (a.s != b.s) return a.s < b.s;
+      return a.p < b.p;
+    });
+    dirty_ = false;
+  }
+  return spo_;
+}
+
+std::vector<Triple> TripleStore::Match(SymbolId s, SymbolId p,
+                                       SymbolId o) const {
+  EnsureSorted();
+  std::vector<Triple> out;
+  auto scan = [&](const std::vector<Triple>& index, auto lo_key,
+                  auto in_range) {
+    auto it = std::lower_bound(index.begin(), index.end(), Triple{},
+                               lo_key);
+    for (; it != index.end() && in_range(*it); ++it) {
+      if ((s == kInvalidSymbol || it->s == s) &&
+          (p == kInvalidSymbol || it->p == p) &&
+          (o == kInvalidSymbol || it->o == o)) {
+        out.push_back(*it);
+      }
+    }
+  };
+  if (s != kInvalidSymbol) {
+    scan(
+        spo_,
+        [&](const Triple& a, const Triple&) { return a.s < s; },
+        [&](const Triple& t) { return t.s == s; });
+  } else if (p != kInvalidSymbol) {
+    scan(
+        pos_,
+        [&](const Triple& a, const Triple&) { return a.p < p; },
+        [&](const Triple& t) { return t.p == p; });
+  } else if (o != kInvalidSymbol) {
+    scan(
+        osp_,
+        [&](const Triple& a, const Triple&) { return a.o < o; },
+        [&](const Triple& t) { return t.o == o; });
+  } else {
+    out = spo_;
+  }
+  return out;
+}
+
+std::vector<SymbolId> TripleStore::Objects(SymbolId s, SymbolId p) const {
+  std::vector<SymbolId> out;
+  for (const Triple& t : Match(s, p, kInvalidSymbol)) out.push_back(t.o);
+  return out;
+}
+
+std::vector<SymbolId> TripleStore::Subjects(SymbolId p, SymbolId o) const {
+  std::vector<SymbolId> out;
+  for (const Triple& t : Match(kInvalidSymbol, p, o)) out.push_back(t.s);
+  return out;
+}
+
+bool TripleStore::Contains(SymbolId s, SymbolId p, SymbolId o) const {
+  EnsureSorted();
+  return std::binary_search(spo_.begin(), spo_.end(), Triple{s, p, o});
+}
+
+std::set<SymbolId> TripleStore::SubjectSet() const {
+  std::set<SymbolId> out;
+  for (const Triple& t : EnsureSorted()) out.insert(t.s);
+  return out;
+}
+
+std::set<SymbolId> TripleStore::PredicateSet() const {
+  std::set<SymbolId> out;
+  for (const Triple& t : EnsureSorted()) out.insert(t.p);
+  return out;
+}
+
+std::set<SymbolId> TripleStore::ObjectSet() const {
+  std::set<SymbolId> out;
+  for (const Triple& t : EnsureSorted()) out.insert(t.o);
+  return out;
+}
+
+RdfStructureStats AnalyzeRdfStructure(const TripleStore& store) {
+  RdfStructureStats stats;
+  const auto& triples = store.triples();
+  stats.num_triples = triples.size();
+
+  const auto subjects = store.SubjectSet();
+  const auto predicates = store.PredicateSet();
+  const auto objects = store.ObjectSet();
+  stats.num_subjects = subjects.size();
+  stats.num_predicates = predicates.size();
+  stats.num_objects = objects.size();
+
+  auto jaccard = [](const std::set<SymbolId>& a,
+                    const std::set<SymbolId>& b) {
+    size_t inter = 0;
+    for (SymbolId x : a) inter += b.count(x);
+    const size_t uni = a.size() + b.size() - inter;
+    return uni == 0 ? 0.0
+                    : static_cast<double>(inter) / static_cast<double>(uni);
+  };
+  stats.predicate_subject_overlap = jaccard(predicates, subjects);
+  stats.predicate_object_overlap = jaccard(predicates, objects);
+
+  // Degrees.
+  std::map<SymbolId, uint64_t> out_degree, in_degree;
+  std::map<SymbolId, std::set<SymbolId>> predicate_list;
+  std::map<std::pair<SymbolId, SymbolId>, uint64_t> sp_count, po_count;
+  std::map<SymbolId, std::set<SymbolId>> predicates_of_object;
+  for (const Triple& t : triples) {
+    out_degree[t.s]++;
+    in_degree[t.o]++;
+    predicate_list[t.s].insert(t.p);
+    sp_count[{t.s, t.p}]++;
+    po_count[{t.p, t.o}]++;
+    predicates_of_object[t.o].insert(t.p);
+  }
+  auto degree_stats = [](const std::map<SymbolId, uint64_t>& degrees,
+                         double* mean, double* max, double* alpha) {
+    std::vector<uint64_t> values;
+    values.reserve(degrees.size());
+    for (const auto& [node, d] : degrees) {
+      (void)node;
+      values.push_back(d);
+    }
+    const Summary s = Summarize(values);
+    *mean = s.mean;
+    *max = static_cast<double>(s.max);
+    *alpha = PowerLawAlpha(values, 2);
+  };
+  degree_stats(out_degree, &stats.out_degree_mean, &stats.out_degree_max,
+               &stats.out_degree_alpha);
+  degree_stats(in_degree, &stats.in_degree_mean, &stats.in_degree_max,
+               &stats.in_degree_alpha);
+
+  std::set<std::set<SymbolId>> distinct_lists;
+  for (const auto& [s, list] : predicate_list) {
+    (void)s;
+    distinct_lists.insert(list);
+  }
+  stats.distinct_predicate_lists = distinct_lists.size();
+  stats.predicate_list_ratio =
+      stats.num_subjects == 0
+          ? 0
+          : static_cast<double>(distinct_lists.size()) /
+                static_cast<double>(stats.num_subjects);
+
+  auto mean_of = [](const std::map<std::pair<SymbolId, SymbolId>, uint64_t>&
+                        counts) {
+    if (counts.empty()) return 0.0;
+    double sum = 0;
+    for (const auto& [k, v] : counts) {
+      (void)k;
+      sum += static_cast<double>(v);
+    }
+    return sum / static_cast<double>(counts.size());
+  };
+  stats.objects_per_sp = mean_of(sp_count);
+  stats.subjects_per_po = mean_of(po_count);
+  {
+    double var = 0;
+    for (const auto& [k, v] : po_count) {
+      (void)k;
+      const double d = static_cast<double>(v) - stats.subjects_per_po;
+      var += d * d;
+    }
+    stats.subjects_per_po_stddev =
+        po_count.empty() ? 0
+                         : std::sqrt(var / static_cast<double>(
+                                               po_count.size()));
+  }
+  if (!predicates_of_object.empty()) {
+    double sum = 0;
+    for (const auto& [o, preds] : predicates_of_object) {
+      (void)o;
+      sum += static_cast<double>(preds.size());
+    }
+    stats.predicates_per_object =
+        sum / static_cast<double>(predicates_of_object.size());
+  }
+  return stats;
+}
+
+}  // namespace rwdt::graph

@@ -1,0 +1,105 @@
+#ifndef RWDT_GRAPH_RDF_H_
+#define RWDT_GRAPH_RDF_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/interner.h"
+
+namespace rwdt::graph {
+
+/// An RDF triple (s, p, o) over dictionary-encoded terms (paper
+/// Section 7). The abstraction is an edge-labeled directed graph: an edge
+/// from s to o with label p.
+struct Triple {
+  SymbolId s = kInvalidSymbol;
+  SymbolId p = kInvalidSymbol;
+  SymbolId o = kInvalidSymbol;
+
+  bool operator<(const Triple& other) const {
+    if (s != other.s) return s < other.s;
+    if (p != other.p) return p < other.p;
+    return o < other.o;
+  }
+  bool operator==(const Triple& other) const {
+    return s == other.s && p == other.p && o == other.o;
+  }
+};
+
+/// A set-semantics triple store with SPO / POS / OSP orderings for
+/// pattern lookups. Terms are interned in a caller-owned dictionary.
+class TripleStore {
+ public:
+  /// Inserts a triple; duplicates are ignored. Invalidates iterators.
+  void Add(SymbolId s, SymbolId p, SymbolId o);
+  void Add(const Triple& t) { Add(t.s, t.p, t.o); }
+
+  size_t size() const { return EnsureSorted().size(); }
+
+  /// All triples matching a pattern; kInvalidSymbol is a wildcard.
+  std::vector<Triple> Match(SymbolId s, SymbolId p, SymbolId o) const;
+
+  /// Objects o with (s, p, o); the hot path of query evaluation.
+  std::vector<SymbolId> Objects(SymbolId s, SymbolId p) const;
+  /// Subjects s with (s, p, o).
+  std::vector<SymbolId> Subjects(SymbolId p, SymbolId o) const;
+
+  bool Contains(SymbolId s, SymbolId p, SymbolId o) const;
+
+  const std::vector<Triple>& triples() const { return EnsureSorted(); }
+
+  std::set<SymbolId> SubjectSet() const;
+  std::set<SymbolId> PredicateSet() const;
+  std::set<SymbolId> ObjectSet() const;
+
+ private:
+  const std::vector<Triple>& EnsureSorted() const;
+
+  mutable std::vector<Triple> spo_;   // sorted (s,p,o)
+  mutable std::vector<Triple> pos_;   // sorted by (p,o,s)
+  mutable std::vector<Triple> osp_;   // sorted by (o,s,p)
+  mutable bool dirty_ = false;
+};
+
+/// Structure metrics from the practical studies of Section 7.1
+/// (Ding-Finin, Bachlechner-Strang, Fernandez et al.).
+struct RdfStructureStats {
+  size_t num_triples = 0;
+  size_t num_subjects = 0;
+  size_t num_predicates = 0;
+  size_t num_objects = 0;
+
+  /// |P ∩ S| / |P ∪ S| and |P ∩ O| / |P ∪ O| — near zero in practice,
+  /// justifying the edge-labeled-graph abstraction (Fernandez et al.).
+  double predicate_subject_overlap = 0;
+  double predicate_object_overlap = 0;
+
+  /// Out-degree (triples per subject) and in-degree (triples per object).
+  double out_degree_mean = 0, out_degree_max = 0;
+  double in_degree_mean = 0, in_degree_max = 0;
+  /// Power-law MLE exponents of the degree distributions.
+  double out_degree_alpha = 0, in_degree_alpha = 0;
+
+  /// Predicate lists L_s (Section 7.1.2): distinct predicate sets over
+  /// subjects; the ratio is near 0.01 in practice ("subjects almost
+  /// always have the same set of labels").
+  size_t distinct_predicate_lists = 0;
+  double predicate_list_ratio = 0;  // distinct lists / subjects
+
+  /// Mean objects per (s,p) pair and subjects per (p,o) pair; both are
+  /// close to 1 in real data, the latter with high variance.
+  double objects_per_sp = 0;
+  double subjects_per_po = 0;
+  double subjects_per_po_stddev = 0;
+  /// Mean predicates per object (close to 1 in the wild).
+  double predicates_per_object = 0;
+};
+
+RdfStructureStats AnalyzeRdfStructure(const TripleStore& store);
+
+}  // namespace rwdt::graph
+
+#endif  // RWDT_GRAPH_RDF_H_

@@ -1,0 +1,363 @@
+#include "graph/treewidth.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <map>
+
+namespace rwdt::graph {
+
+size_t SimpleGraph::NumEdges() const {
+  size_t twice = 0;
+  for (const auto& nbrs : adj_) twice += nbrs.size();
+  return twice / 2;
+}
+
+uint32_t SimpleGraph::AddVertex() {
+  adj_.emplace_back();
+  return static_cast<uint32_t>(adj_.size() - 1);
+}
+
+void SimpleGraph::AddEdge(uint32_t u, uint32_t v) {
+  if (u == v) return;
+  adj_[u].insert(v);
+  adj_[v].insert(u);
+}
+
+bool SimpleGraph::HasEdge(uint32_t u, uint32_t v) const {
+  return adj_[u].count(v) > 0;
+}
+
+std::vector<std::vector<uint32_t>> SimpleGraph::Components() const {
+  std::vector<std::vector<uint32_t>> out;
+  std::vector<bool> seen(NumVertices(), false);
+  for (uint32_t root = 0; root < NumVertices(); ++root) {
+    if (seen[root]) continue;
+    std::vector<uint32_t> comp;
+    std::deque<uint32_t> queue = {root};
+    seen[root] = true;
+    while (!queue.empty()) {
+      const uint32_t v = queue.front();
+      queue.pop_front();
+      comp.push_back(v);
+      for (uint32_t u : adj_[v]) {
+        if (!seen[u]) {
+          seen[u] = true;
+          queue.push_back(u);
+        }
+      }
+    }
+    out.push_back(std::move(comp));
+  }
+  return out;
+}
+
+namespace {
+
+using Adj = std::vector<std::set<uint32_t>>;
+
+Adj CopyAdjacency(const SimpleGraph& g) {
+  Adj adj(g.NumVertices());
+  for (uint32_t v = 0; v < g.NumVertices(); ++v) adj[v] = g.Neighbors(v);
+  return adj;
+}
+
+/// Eliminates `v`: connects its neighbors into a clique, removes v.
+void Eliminate(Adj* adj, std::vector<bool>* gone, uint32_t v) {
+  const std::set<uint32_t> nbrs = (*adj)[v];
+  for (uint32_t u : nbrs) (*adj)[u].erase(v);
+  for (auto it = nbrs.begin(); it != nbrs.end(); ++it) {
+    auto jt = it;
+    for (++jt; jt != nbrs.end(); ++jt) {
+      (*adj)[*it].insert(*jt);
+      (*adj)[*jt].insert(*it);
+    }
+  }
+  (*adj)[v].clear();
+  (*gone)[v] = true;
+}
+
+size_t FillCount(const Adj& adj, uint32_t v) {
+  size_t missing = 0;
+  const auto& nbrs = adj[v];
+  for (auto it = nbrs.begin(); it != nbrs.end(); ++it) {
+    auto jt = it;
+    for (++jt; jt != nbrs.end(); ++jt) {
+      if (adj[*it].count(*jt) == 0) ++missing;
+    }
+  }
+  return missing;
+}
+
+size_t EliminationUpperBound(const SimpleGraph& g, bool min_fill) {
+  Adj adj = CopyAdjacency(g);
+  std::vector<bool> gone(g.NumVertices(), false);
+  size_t width = 0;
+  for (size_t step = 0; step < g.NumVertices(); ++step) {
+    uint32_t best = 0;
+    size_t best_score = std::numeric_limits<size_t>::max();
+    for (uint32_t v = 0; v < g.NumVertices(); ++v) {
+      if (gone[v]) continue;
+      // Cheap pre-filter: degree-based score first.
+      const size_t degree = adj[v].size();
+      size_t score;
+      if (min_fill) {
+        // Degree<=1 vertices never add fill; skip the quadratic count.
+        score = degree <= 1 ? 0 : FillCount(adj, v);
+      } else {
+        score = degree;
+      }
+      if (score < best_score) {
+        best_score = score;
+        best = v;
+        if (score == 0 && !min_fill) break;
+        if (score == 0 && min_fill) break;
+      }
+    }
+    width = std::max(width, adj[best].size());
+    Eliminate(&adj, &gone, best);
+  }
+  return width;
+}
+
+}  // namespace
+
+size_t TreewidthUpperBoundMinFill(const SimpleGraph& g) {
+  return EliminationUpperBound(g, /*min_fill=*/true);
+}
+
+size_t TreewidthUpperBoundMinDegree(const SimpleGraph& g) {
+  return EliminationUpperBound(g, /*min_fill=*/false);
+}
+
+size_t TreewidthLowerBoundDegeneracy(const SimpleGraph& g) {
+  Adj adj = CopyAdjacency(g);
+  std::vector<bool> gone(g.NumVertices(), false);
+  size_t best = 0;
+  for (size_t step = 0; step < g.NumVertices(); ++step) {
+    uint32_t argmin = 0;
+    size_t min_degree = std::numeric_limits<size_t>::max();
+    for (uint32_t v = 0; v < g.NumVertices(); ++v) {
+      if (!gone[v] && adj[v].size() < min_degree) {
+        min_degree = adj[v].size();
+        argmin = v;
+      }
+    }
+    best = std::max(best, min_degree);
+    for (uint32_t u : adj[argmin]) adj[u].erase(argmin);
+    adj[argmin].clear();
+    gone[argmin] = true;
+  }
+  return best;
+}
+
+size_t TreewidthLowerBoundMmdPlus(const SimpleGraph& g) {
+  Adj adj = CopyAdjacency(g);
+  std::vector<bool> gone(g.NumVertices(), false);
+  size_t best = 0;
+  size_t remaining = g.NumVertices();
+  while (remaining > 1) {
+    uint32_t argmin = 0;
+    size_t min_degree = std::numeric_limits<size_t>::max();
+    for (uint32_t v = 0; v < g.NumVertices(); ++v) {
+      if (!gone[v] && adj[v].size() < min_degree) {
+        min_degree = adj[v].size();
+        argmin = v;
+      }
+    }
+    best = std::max(best, min_degree);
+    if (adj[argmin].empty()) {
+      gone[argmin] = true;
+      --remaining;
+      continue;
+    }
+    // Contract argmin into its least-degree neighbor.
+    uint32_t target = *adj[argmin].begin();
+    for (uint32_t u : adj[argmin]) {
+      if (adj[u].size() < adj[target].size()) target = u;
+    }
+    for (uint32_t u : adj[argmin]) {
+      adj[u].erase(argmin);
+      if (u != target) {
+        adj[u].insert(target);
+        adj[target].insert(u);
+      }
+    }
+    adj[argmin].clear();
+    gone[argmin] = true;
+    --remaining;
+  }
+  return best;
+}
+
+bool IsForest(const SimpleGraph& g) {
+  // Union-find cycle detection.
+  std::vector<uint32_t> parent(g.NumVertices());
+  for (uint32_t v = 0; v < g.NumVertices(); ++v) parent[v] = v;
+  std::function<uint32_t(uint32_t)> find = [&](uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (uint32_t v = 0; v < g.NumVertices(); ++v) {
+    for (uint32_t u : g.Neighbors(v)) {
+      if (u <= v) continue;
+      const uint32_t ru = find(u), rv = find(v);
+      if (ru == rv) return false;
+      parent[ru] = rv;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// Branch-and-bound exact treewidth on a component of <= 64 vertices
+/// (bitmask state), with memoization.
+class ExactSolver {
+ public:
+  explicit ExactSolver(const std::vector<std::vector<uint32_t>>& adj)
+      : n_(adj.size()) {
+    masks_.resize(n_);
+    for (size_t v = 0; v < n_; ++v) {
+      for (uint32_t u : adj[v]) masks_[v] |= 1ull << u;
+    }
+  }
+
+  size_t Solve(size_t upper) {
+    best_ = upper;
+    Search(0, 0);
+    return best_;
+  }
+
+ private:
+  /// Degree of v in the graph where `eliminated` has been eliminated
+  /// (with fill): neighbors of v among remaining vertices, plus remaining
+  /// vertices reachable from v through eliminated vertices.
+  size_t EliminatedDegree(uint64_t eliminated, uint32_t v) const {
+    uint64_t reached = 1ull << v;
+    uint64_t frontier = masks_[v] & eliminated;
+    uint64_t result = masks_[v] & ~eliminated;
+    while (frontier != 0) {
+      const int u = __builtin_ctzll(frontier);
+      frontier &= frontier - 1;
+      if (reached & (1ull << u)) continue;
+      reached |= 1ull << u;
+      result |= masks_[u] & ~eliminated;
+      frontier |= masks_[u] & eliminated & ~reached;
+    }
+    result &= ~(1ull << v);
+    return static_cast<size_t>(__builtin_popcountll(result));
+  }
+
+  void Search(uint64_t eliminated, size_t width) {
+    if (width >= best_) return;
+    const size_t remaining = n_ - __builtin_popcountll(eliminated);
+    if (remaining <= 1) {
+      best_ = std::min(best_, width);
+      return;
+    }
+    auto memo = memo_.find(eliminated);
+    if (memo != memo_.end() && memo->second <= width) return;
+    memo_[eliminated] = width;
+
+    // If some vertex's eliminated-degree >= remaining-1, eliminating it
+    // last is free; standard "simplicial vertex first" speed-ups:
+    // eliminate a vertex whose remaining neighborhood is a clique
+    // immediately (it never hurts).
+    std::vector<std::pair<size_t, uint32_t>> candidates;
+    for (uint32_t v = 0; v < n_; ++v) {
+      if (eliminated & (1ull << v)) continue;
+      const size_t d = EliminatedDegree(eliminated, v);
+      if (d <= 1) {
+        // Always safe to eliminate degree-<=1 vertices first.
+        Search(eliminated | (1ull << v), std::max(width, d));
+        return;
+      }
+      candidates.emplace_back(d, v);
+    }
+    std::sort(candidates.begin(), candidates.end());
+    for (const auto& [d, v] : candidates) {
+      if (d >= best_) break;  // sorted: the rest are no better
+      Search(eliminated | (1ull << v), std::max(width, d));
+    }
+  }
+
+  size_t n_;
+  std::vector<uint64_t> masks_;
+  std::map<uint64_t, size_t> memo_;
+  size_t best_ = 0;
+};
+
+}  // namespace
+
+std::optional<size_t> TreewidthExact(const SimpleGraph& g,
+                                     size_t max_component) {
+  size_t width = 0;
+  for (const auto& comp : g.Components()) {
+    if (comp.size() > max_component || comp.size() > 64) {
+      return std::nullopt;
+    }
+    if (comp.size() == 1) continue;
+    // Re-index the component.
+    std::map<uint32_t, uint32_t> index;
+    for (uint32_t v : comp) {
+      index.emplace(v, static_cast<uint32_t>(index.size()));
+    }
+    std::vector<std::vector<uint32_t>> adj(comp.size());
+    SimpleGraph sub(comp.size());
+    for (uint32_t v : comp) {
+      for (uint32_t u : g.Neighbors(v)) {
+        adj[index[v]].push_back(index[u]);
+        if (index[u] > index[v]) sub.AddEdge(index[v], index[u]);
+      }
+    }
+    const size_t upper = TreewidthUpperBoundMinFill(sub);
+    ExactSolver solver(adj);
+    width = std::max(width, solver.Solve(upper));
+  }
+  return width;
+}
+
+std::optional<bool> TreewidthAtMost(const SimpleGraph& g, size_t k,
+                                    size_t max_component) {
+  if (k == 0) return g.NumEdges() == 0;
+  if (k == 1) return IsForest(g);
+  if (k == 2) {
+    // Complete reduction: a graph has treewidth <= 2 iff it reduces to
+    // the empty graph by repeatedly eliminating vertices of degree <= 2
+    // (series-parallel reduction).
+    Adj adj = CopyAdjacency(g);
+    std::vector<bool> gone(g.NumVertices(), false);
+    std::deque<uint32_t> queue;
+    for (uint32_t v = 0; v < g.NumVertices(); ++v) {
+      if (adj[v].size() <= 2) queue.push_back(v);
+    }
+    size_t removed = 0;
+    std::vector<bool> queued(g.NumVertices(), false);
+    while (!queue.empty()) {
+      const uint32_t v = queue.front();
+      queue.pop_front();
+      queued[v] = false;
+      if (gone[v] || adj[v].size() > 2) continue;
+      const std::set<uint32_t> nbrs = adj[v];
+      Eliminate(&adj, &gone, v);
+      ++removed;
+      for (uint32_t u : nbrs) {
+        if (!gone[u] && adj[u].size() <= 2 && !queued[u]) {
+          queue.push_back(u);
+          queued[u] = true;
+        }
+      }
+    }
+    return removed == g.NumVertices();
+  }
+  auto exact = TreewidthExact(g, max_component);
+  if (!exact.has_value()) return std::nullopt;
+  return *exact <= k;
+}
+
+}  // namespace rwdt::graph

@@ -1,0 +1,69 @@
+#ifndef RWDT_GRAPH_TREEWIDTH_H_
+#define RWDT_GRAPH_TREEWIDTH_H_
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace rwdt::graph {
+
+/// A simple undirected graph on vertices 0..n-1 (no self-loops, no
+/// multi-edges). Used by the treewidth algorithms of the Maniu et al.
+/// reproduction (Table 1) and the query shape analysis (Table 7).
+class SimpleGraph {
+ public:
+  explicit SimpleGraph(size_t n = 0) : adj_(n) {}
+
+  size_t NumVertices() const { return adj_.size(); }
+  size_t NumEdges() const;
+
+  uint32_t AddVertex();
+  void AddEdge(uint32_t u, uint32_t v);
+  bool HasEdge(uint32_t u, uint32_t v) const;
+  const std::set<uint32_t>& Neighbors(uint32_t v) const { return adj_[v]; }
+
+  /// Connected components as vertex lists.
+  std::vector<std::vector<uint32_t>> Components() const;
+
+ private:
+  std::vector<std::set<uint32_t>> adj_;
+};
+
+/// Treewidth upper bound via the min-fill elimination heuristic (the
+/// workhorse heuristic in the Maniu et al. study).
+size_t TreewidthUpperBoundMinFill(const SimpleGraph& g);
+
+/// Treewidth upper bound via min-degree elimination.
+size_t TreewidthUpperBoundMinDegree(const SimpleGraph& g);
+
+/// Treewidth lower bound: graph degeneracy (MMD — maximum over the
+/// peeling process of the minimum degree).
+size_t TreewidthLowerBoundDegeneracy(const SimpleGraph& g);
+
+/// Stronger lower bound MMD+ : like MMD but the minimum-degree vertex is
+/// contracted into its least-degree neighbor instead of deleted
+/// (minor-monotone, so still a treewidth lower bound).
+size_t TreewidthLowerBoundMmdPlus(const SimpleGraph& g);
+
+/// Exact treewidth via branch-and-bound over elimination orders with
+/// memoization. Practical to ~25 vertices per connected component
+/// (query-sized graphs); returns nullopt when a component exceeds
+/// `max_component` vertices.
+std::optional<size_t> TreewidthExact(const SimpleGraph& g,
+                                     size_t max_component = 25);
+
+/// Decides treewidth <= k. k=0,1 and 2 use linear reductions (isolated /
+/// leaf deletion; degree-<=2 elimination, complete for k<=2); larger k
+/// falls back to TreewidthExact. Returns nullopt only when the exact
+/// fallback gives up (component too large).
+std::optional<bool> TreewidthAtMost(const SimpleGraph& g, size_t k,
+                                    size_t max_component = 25);
+
+/// True iff g is a forest (treewidth <= 1 with at least one edge, or
+/// edgeless).
+bool IsForest(const SimpleGraph& g);
+
+}  // namespace rwdt::graph
+
+#endif  // RWDT_GRAPH_TREEWIDTH_H_

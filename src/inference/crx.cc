@@ -1,0 +1,181 @@
+#include "inference/crx.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+
+namespace rwdt::inference {
+namespace {
+
+/// Union-find over dense indices.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Merge(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+std::optional<regex::ChainRegex> InferChain(
+    const std::vector<regex::Word>& sample) {
+  // Dense-index the alphabet.
+  std::map<SymbolId, size_t> index_of;
+  std::vector<SymbolId> symbols;
+  for (const auto& w : sample) {
+    for (SymbolId s : w) {
+      if (index_of.emplace(s, symbols.size()).second) symbols.push_back(s);
+    }
+  }
+  const size_t n = symbols.size();
+  if (n == 0) {
+    // Sample of empty words (or empty sample): the empty chain.
+    return regex::ChainRegex{};
+  }
+
+  // before[a][b]: some occurrence of a precedes some occurrence of b.
+  std::vector<std::vector<bool>> before(n, std::vector<bool>(n, false));
+  for (const auto& w : sample) {
+    std::set<size_t> seen;
+    for (SymbolId s : w) {
+      const size_t b = index_of[s];
+      for (size_t a : seen) before[a][b] = true;
+      seen.insert(b);
+    }
+  }
+
+  // Two symbols share a factor when they are order-incomparable: either
+  // both relative orders occur (conflict), or no order was ever observed
+  // (the symbols are alternatives that never co-occur).
+  UnionFind uf(n);
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = a + 1; b < n; ++b) {
+      if (before[a][b] == before[b][a]) uf.Merge(a, b);
+    }
+  }
+
+  // Merge class cycles (mutual precedence through intermediaries) until
+  // the class precedence relation is acyclic. Iterate to a fixpoint.
+  for (;;) {
+    // class precedence: c1 < c2 if some member precedes some member.
+    std::map<size_t, std::set<size_t>> succ;
+    for (size_t a = 0; a < n; ++a) {
+      for (size_t b = 0; b < n; ++b) {
+        if (!before[a][b]) continue;
+        const size_t ca = uf.Find(a);
+        const size_t cb = uf.Find(b);
+        if (ca != cb) succ[ca].insert(cb);
+      }
+    }
+    // Detect a 2-cycle or longer cycle via DFS; merge its endpoints.
+    bool merged = false;
+    std::map<size_t, int> color;  // 0 white 1 grey 2 black
+    std::vector<std::pair<size_t, size_t>> cycle_edge;
+    std::function<bool(size_t)> dfs = [&](size_t u) -> bool {
+      color[u] = 1;
+      for (size_t v : succ[u]) {
+        if (color[v] == 1) {
+          cycle_edge.emplace_back(u, v);
+          return true;
+        }
+        if (color[v] == 0 && dfs(v)) return true;
+      }
+      color[u] = 2;
+      return false;
+    };
+    for (const auto& [c, _] : succ) {
+      (void)_;
+      if (color[c] == 0 && dfs(c)) {
+        uf.Merge(cycle_edge.back().first, cycle_edge.back().second);
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) break;
+  }
+
+  // Collect classes and order them: topological order of precedence,
+  // ties broken by smallest member symbol for determinism.
+  std::map<size_t, std::vector<size_t>> members;
+  for (size_t a = 0; a < n; ++a) members[uf.Find(a)].push_back(a);
+
+  std::vector<size_t> classes;
+  for (const auto& [c, _] : members) {
+    (void)_;
+    classes.push_back(c);
+  }
+  // Precedence DAG over classes.
+  std::map<size_t, std::set<size_t>> preds;
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = 0; b < n; ++b) {
+      if (!before[a][b]) continue;
+      const size_t ca = uf.Find(a);
+      const size_t cb = uf.Find(b);
+      if (ca != cb) preds[cb].insert(ca);
+    }
+  }
+  std::vector<size_t> order;
+  std::set<size_t> emitted;
+  while (order.size() < classes.size()) {
+    bool progressed = false;
+    for (size_t c : classes) {
+      if (emitted.count(c)) continue;
+      bool ready = true;
+      for (size_t p : preds[c]) {
+        if (!emitted.count(p)) {
+          ready = false;
+          break;
+        }
+      }
+      if (ready) {
+        order.push_back(c);
+        emitted.insert(c);
+        progressed = true;
+      }
+    }
+    if (!progressed) return std::nullopt;  // cycle survived: inconsistent
+  }
+
+  // Per-class per-word occurrence counts decide modifiers.
+  regex::ChainRegex chain;
+  for (size_t c : order) {
+    std::set<size_t> member_set(members[c].begin(), members[c].end());
+    uint64_t min_count = UINT64_MAX;
+    uint64_t max_count = 0;
+    for (const auto& w : sample) {
+      uint64_t count = 0;
+      for (SymbolId s : w) count += member_set.count(index_of[s]);
+      min_count = std::min(min_count, count);
+      max_count = std::max(max_count, count);
+    }
+    regex::SimpleFactor factor;
+    for (size_t m : members[c]) factor.symbols.push_back(symbols[m]);
+    std::sort(factor.symbols.begin(), factor.symbols.end());
+    if (min_count >= 1 && max_count <= 1) {
+      factor.modifier = regex::FactorModifier::kOnce;
+    } else if (min_count == 0 && max_count <= 1) {
+      factor.modifier = regex::FactorModifier::kOptional;
+    } else if (min_count >= 1) {
+      factor.modifier = regex::FactorModifier::kPlus;
+    } else {
+      factor.modifier = regex::FactorModifier::kStar;
+    }
+    chain.factors.push_back(std::move(factor));
+  }
+  return chain;
+}
+
+}  // namespace rwdt::inference

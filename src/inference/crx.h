@@ -1,0 +1,32 @@
+#ifndef RWDT_INFERENCE_CRX_H_
+#define RWDT_INFERENCE_CRX_H_
+
+#include <optional>
+#include <vector>
+
+#include "regex/ast.h"
+#include "regex/automaton.h"
+#include "regex/fragments.h"
+
+namespace rwdt::inference {
+
+/// Infers a chain regular expression (sequential RE, Definition 4.3) from
+/// positive examples, in the spirit of the CRX algorithm of Bex et al.
+/// (paper Section 4.2.3): symbols that occur in both relative orders in
+/// the sample are grouped into one disjunction factor; factors are ordered
+/// by the precedence observed in the sample; modifiers are derived from
+/// per-word occurrence counts (absent somewhere -> optional, repeated ->
+/// plus, both -> star).
+///
+/// Returns nullopt when the sample is not "chain-consistent": some word
+/// revisits a factor after leaving it (e.g. sample {aba} with distinct
+/// factors for a and b), in which case no chain expression fits the
+/// grouping. Callers fall back to InferSore.
+///
+/// Guarantee (when a value is returned): every sample word matches.
+std::optional<regex::ChainRegex> InferChain(
+    const std::vector<regex::Word>& sample);
+
+}  // namespace rwdt::inference
+
+#endif  // RWDT_INFERENCE_CRX_H_

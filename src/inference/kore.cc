@@ -1,0 +1,93 @@
+#include "inference/kore.h"
+
+#include <map>
+
+#include "inference/rwr.h"
+
+namespace rwdt::inference {
+
+using regex::Regex;
+using regex::RegexPtr;
+
+namespace {
+
+/// Relabels the i-th occurrence of each symbol in a word (capped at k-1)
+/// to the variant id sym * k + i.
+std::vector<regex::Word> RelabelSample(const std::vector<regex::Word>& sample,
+                                       size_t k) {
+  std::vector<regex::Word> out;
+  out.reserve(sample.size());
+  for (const auto& w : sample) {
+    regex::Word rw;
+    rw.reserve(w.size());
+    std::map<SymbolId, size_t> count;
+    for (SymbolId s : w) {
+      const size_t i = std::min(count[s], k - 1);
+      count[s]++;
+      rw.push_back(static_cast<SymbolId>(s * k + i));
+    }
+    out.push_back(std::move(rw));
+  }
+  return out;
+}
+
+/// Replaces each variant symbol by its original (erasing the occurrence
+/// index homomorphically).
+RegexPtr EraseVariants(const RegexPtr& e, size_t k) {
+  switch (e->op()) {
+    case regex::Op::kSymbol:
+      return Regex::Symbol(static_cast<SymbolId>(e->symbol() / k));
+    case regex::Op::kEmpty:
+    case regex::Op::kEpsilon:
+      return e;
+    default: {
+      std::vector<RegexPtr> children;
+      children.reserve(e->children().size());
+      for (const auto& c : e->children()) {
+        children.push_back(EraseVariants(c, k));
+      }
+      switch (e->op()) {
+        case regex::Op::kConcat:
+          return Regex::Concat(std::move(children));
+        case regex::Op::kUnion:
+          return Regex::Union(std::move(children));
+        case regex::Op::kStar:
+          return Regex::Star(children[0]);
+        case regex::Op::kPlus:
+          return Regex::Plus(children[0]);
+        case regex::Op::kOptional:
+          return Regex::Optional(children[0]);
+        default:
+          return e;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+regex::RegexPtr InferKore(const std::vector<regex::Word>& sample, size_t k) {
+  if (k == 0) k = 1;
+  const auto relabeled = RelabelSample(sample, k);
+  const SoreInferenceResult result = InferSore(relabeled);
+  return EraseVariants(result.expression, k);
+}
+
+regex::RegexPtr InferBestKore(const std::vector<regex::Word>& sample,
+                              size_t max_k, size_t* chosen_k) {
+  if (max_k == 0) max_k = 1;
+  regex::RegexPtr last;
+  for (size_t k = 1; k <= max_k; ++k) {
+    const auto relabeled = RelabelSample(sample, k);
+    const SoreInferenceResult result = InferSore(relabeled);
+    last = EraseVariants(result.expression, k);
+    if (result.repairs == 0) {
+      if (chosen_k != nullptr) *chosen_k = k;
+      return last;
+    }
+  }
+  if (chosen_k != nullptr) *chosen_k = max_k;
+  return last;
+}
+
+}  // namespace rwdt::inference

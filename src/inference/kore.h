@@ -1,0 +1,32 @@
+#ifndef RWDT_INFERENCE_KORE_H_
+#define RWDT_INFERENCE_KORE_H_
+
+#include <vector>
+
+#include "common/interner.h"
+#include "regex/ast.h"
+#include "regex/automaton.h"
+
+namespace rwdt::inference {
+
+/// Infers a k-occurrence regular expression from positive examples
+/// (paper Section 4.2.3, Theorem 4.9 / the iDRegEx system).
+///
+/// This is a deterministic, HMM-free variant of iDRegEx: the i-th
+/// occurrence of each symbol within a word (capped at k) is relabeled to a
+/// distinct variant symbol, a SORE is inferred on the relabeled sample,
+/// and variants are erased afterwards. Erasure is a homomorphism, so the
+/// inferred language still covers the sample, and every symbol occurs at
+/// most k times in the result.
+regex::RegexPtr InferKore(const std::vector<regex::Word>& sample, size_t k);
+
+/// iDRegEx-style driver: tries k = 1, 2, ..., max_k and returns the first
+/// expression whose language is not strictly generalized by a repair
+/// (i.e., the smallest k whose inference needed no repairs), or the max_k
+/// result.
+regex::RegexPtr InferBestKore(const std::vector<regex::Word>& sample,
+                              size_t max_k, size_t* chosen_k = nullptr);
+
+}  // namespace rwdt::inference
+
+#endif  // RWDT_INFERENCE_KORE_H_

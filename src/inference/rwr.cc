@@ -1,0 +1,251 @@
+#include "inference/rwr.h"
+
+#include <algorithm>
+#include <set>
+
+namespace rwdt::inference {
+
+using regex::Regex;
+using regex::RegexPtr;
+
+namespace {
+
+/// Mutable rewrite graph: nodes carry partial expressions; src/snk are
+/// sentinels whose labels are unused.
+class RewriteGraph {
+ public:
+  explicit RewriteGraph(const Soa& soa) {
+    labels_.resize(soa.NumNodes());
+    alive_.assign(soa.NumNodes(), true);
+    succ_.resize(soa.NumNodes());
+    pred_.resize(soa.NumNodes());
+    for (size_t i = 2; i < soa.NumNodes(); ++i) {
+      labels_[i] = Regex::Symbol(soa.node_symbol[i]);
+    }
+    for (uint32_t u = 0; u < soa.NumNodes(); ++u) {
+      for (uint32_t v : soa.edges[u]) {
+        if (u == Soa::kSource && v == Soa::kSink) continue;  // epsilon
+        AddEdge(u, v);
+      }
+    }
+  }
+
+  void AddEdge(uint32_t u, uint32_t v) {
+    succ_[u].insert(v);
+    pred_[v].insert(u);
+  }
+
+  void RemoveEdge(uint32_t u, uint32_t v) {
+    succ_[u].erase(v);
+    pred_[v].erase(u);
+  }
+
+  bool HasEdge(uint32_t u, uint32_t v) const {
+    return succ_[u].count(v) > 0;
+  }
+
+  std::vector<uint32_t> AliveSymbolNodes() const {
+    std::vector<uint32_t> out;
+    for (uint32_t i = 2; i < alive_.size(); ++i) {
+      if (alive_[i]) out.push_back(i);
+    }
+    return out;
+  }
+
+  /// Rule 1 — iterate: self-loop becomes Kleene plus.
+  bool ApplyIterate() {
+    bool any = false;
+    for (uint32_t v : AliveSymbolNodes()) {
+      if (HasEdge(v, v)) {
+        labels_[v] = Regex::Plus(labels_[v]);
+        RemoveEdge(v, v);
+        any = true;
+      }
+    }
+    return any;
+  }
+
+  /// Rule 2 — concatenate: succ(u)={v} and pred(v)={u} merge u·v.
+  bool ApplyConcat() {
+    for (uint32_t u : AliveSymbolNodes()) {
+      if (succ_[u].size() != 1) continue;
+      const uint32_t v = *succ_[u].begin();
+      if (v == Soa::kSink || v == u) continue;
+      if (pred_[v].size() != 1) continue;
+      labels_[u] = Regex::Concat(labels_[u], labels_[v]);
+      RemoveEdge(u, v);
+      // u inherits v's successors.
+      for (uint32_t s : std::set<uint32_t>(succ_[v])) {
+        RemoveEdge(v, s);
+        AddEdge(u, s);
+      }
+      alive_[v] = false;
+      return true;
+    }
+    return false;
+  }
+
+  /// Rule 3 — disjoin: nodes with identical external neighborhoods and
+  /// symmetric internal edges merge into a union.
+  bool ApplyDisjunction() {
+    const auto nodes = AliveSymbolNodes();
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      for (size_t j = i + 1; j < nodes.size(); ++j) {
+        const uint32_t u = nodes[i];
+        const uint32_t v = nodes[j];
+        if (!SameExternalNeighborhood(u, v)) continue;
+        if (HasEdge(u, u) != HasEdge(v, v)) continue;
+        if (HasEdge(u, v) != HasEdge(v, u)) continue;
+        MergeAsUnion(u, v);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Rule 4 — optional: if every predecessor of v connects directly to
+  /// every successor of v, v can be made optional and the bypass edges
+  /// dropped.
+  bool ApplyOptional() {
+    for (uint32_t v : AliveSymbolNodes()) {
+      if (HasEdge(v, v)) continue;
+      bool all_bypassed = true;
+      size_t pairs = 0;
+      for (uint32_t p : pred_[v]) {
+        if (p == v) continue;
+        for (uint32_t s : succ_[v]) {
+          if (s == v) continue;
+          ++pairs;
+          if (!HasEdge(p, s)) {
+            all_bypassed = false;
+            break;
+          }
+        }
+        if (!all_bypassed) break;
+      }
+      if (!all_bypassed || pairs == 0) continue;
+      labels_[v] = Regex::Optional(labels_[v]);
+      for (uint32_t p : std::set<uint32_t>(pred_[v])) {
+        for (uint32_t s : std::set<uint32_t>(succ_[v])) {
+          if (p != v && s != v) RemoveEdge(p, s);
+        }
+      }
+      return true;
+    }
+    return false;
+  }
+
+  /// Repair — force the most similar pair into a (generalizing) union.
+  void ApplyRepair() {
+    const auto nodes = AliveSymbolNodes();
+    double best = -1;
+    uint32_t bu = nodes[0], bv = nodes[1];
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      for (size_t j = i + 1; j < nodes.size(); ++j) {
+        const double score =
+            Similarity(nodes[i], nodes[j]);
+        if (score > best) {
+          best = score;
+          bu = nodes[i];
+          bv = nodes[j];
+        }
+      }
+    }
+    MergeAsUnion(bu, bv);
+  }
+
+  RegexPtr Finish(bool accepts_epsilon, size_t repairs) const {
+    RegexPtr result;
+    const auto nodes = AliveSymbolNodes();
+    if (nodes.empty()) {
+      result = accepts_epsilon ? Regex::Epsilon() : Regex::Empty();
+      return result;
+    }
+    (void)repairs;
+    result = labels_[nodes[0]];
+    if (accepts_epsilon && !result->Nullable()) {
+      result = Regex::Optional(result);
+    }
+    return result;
+  }
+
+  size_t NumAlive() const { return AliveSymbolNodes().size(); }
+
+ private:
+  bool SameExternalNeighborhood(uint32_t u, uint32_t v) const {
+    auto strip = [&](const std::set<uint32_t>& s) {
+      std::set<uint32_t> out;
+      for (uint32_t x : s) {
+        if (x != u && x != v) out.insert(x);
+      }
+      return out;
+    };
+    return strip(pred_[u]) == strip(pred_[v]) &&
+           strip(succ_[u]) == strip(succ_[v]);
+  }
+
+  double Similarity(uint32_t u, uint32_t v) const {
+    auto jaccard = [](const std::set<uint32_t>& a,
+                      const std::set<uint32_t>& b) {
+      if (a.empty() && b.empty()) return 1.0;
+      size_t inter = 0;
+      for (uint32_t x : a) inter += b.count(x);
+      return static_cast<double>(inter) /
+             static_cast<double>(a.size() + b.size() - inter);
+    };
+    return jaccard(pred_[u], pred_[v]) + jaccard(succ_[u], succ_[v]);
+  }
+
+  void MergeAsUnion(uint32_t u, uint32_t v) {
+    const bool internal = HasEdge(u, u) || HasEdge(v, v) || HasEdge(u, v) ||
+                          HasEdge(v, u);
+    labels_[u] = Regex::Union(labels_[u], labels_[v]);
+    RemoveEdge(u, v);
+    RemoveEdge(v, u);
+    RemoveEdge(u, u);
+    RemoveEdge(v, v);
+    for (uint32_t p : std::set<uint32_t>(pred_[v])) {
+      RemoveEdge(p, v);
+      AddEdge(p, u);
+    }
+    for (uint32_t s : std::set<uint32_t>(succ_[v])) {
+      RemoveEdge(v, s);
+      AddEdge(u, s);
+    }
+    if (internal) AddEdge(u, u);
+    alive_[v] = false;
+  }
+
+  std::vector<RegexPtr> labels_;
+  std::vector<bool> alive_;
+  std::vector<std::set<uint32_t>> succ_;
+  std::vector<std::set<uint32_t>> pred_;
+};
+
+}  // namespace
+
+SoreInferenceResult RewriteSoa(const Soa& soa) {
+  RewriteGraph graph(soa);
+  SoreInferenceResult result;
+  // Reduce until a single node remains. Each iteration applies the
+  // highest-priority applicable rule; repair guarantees progress.
+  for (;;) {
+    if (graph.ApplyIterate()) continue;
+    if (graph.NumAlive() <= 1) break;
+    if (graph.ApplyConcat()) continue;
+    if (graph.ApplyDisjunction()) continue;
+    if (graph.ApplyOptional()) continue;
+    graph.ApplyRepair();
+    result.repairs++;
+  }
+  // Final iterate/optional sweep for the last node's self-loop.
+  graph.ApplyIterate();
+  result.expression = graph.Finish(soa.accepts_epsilon, result.repairs);
+  return result;
+}
+
+SoreInferenceResult InferSore(const std::vector<regex::Word>& sample) {
+  return RewriteSoa(BuildSoa(sample));
+}
+
+}  // namespace rwdt::inference

@@ -1,0 +1,36 @@
+#ifndef RWDT_INFERENCE_RWR_H_
+#define RWDT_INFERENCE_RWR_H_
+
+#include <vector>
+
+#include "inference/soa.h"
+#include "regex/ast.h"
+
+namespace rwdt::inference {
+
+/// Result of SORE inference.
+struct SoreInferenceResult {
+  regex::RegexPtr expression;
+  /// Number of repair steps (forced generalizing merges) that were needed
+  /// because the SOA was not expressible as a SORE; 0 means the rewriting
+  /// succeeded exactly and L(expression) == L(SOA).
+  size_t repairs = 0;
+};
+
+/// Infers a single-occurrence regular expression from positive examples
+/// using the RWR rewriting of Bex-Neven-Schwentick-Tuyls (paper Section
+/// 4.2.3): build the SOA, then repeatedly contract it with
+/// iterate (self-loop -> e+), optional (bypassed node -> e?),
+/// concatenation, and disjunction rules. When no rule applies, a repair
+/// step forces the most similar node pair into a disjunction
+/// (generalizing the language), mirroring RWR's repair extension.
+///
+/// Guarantee: every sample word is in L(result).
+SoreInferenceResult InferSore(const std::vector<regex::Word>& sample);
+
+/// Runs the rewriting directly on a prebuilt SOA.
+SoreInferenceResult RewriteSoa(const Soa& soa);
+
+}  // namespace rwdt::inference
+
+#endif  // RWDT_INFERENCE_RWR_H_

@@ -1,0 +1,54 @@
+#include "inference/soa.h"
+
+#include <map>
+
+namespace rwdt::inference {
+
+bool Soa::Accepts(const regex::Word& w) const {
+  if (w.empty()) return accepts_epsilon;
+  // Map symbols to nodes.
+  std::map<SymbolId, uint32_t> node_of;
+  for (size_t i = 2; i < node_symbol.size(); ++i) {
+    node_of[node_symbol[i]] = static_cast<uint32_t>(i);
+  }
+  uint32_t cur = kSource;
+  for (SymbolId s : w) {
+    auto it = node_of.find(s);
+    if (it == node_of.end()) return false;
+    if (!HasEdge(cur, it->second)) return false;
+    cur = it->second;
+  }
+  return HasEdge(cur, kSink);
+}
+
+Soa BuildSoa(const std::vector<regex::Word>& sample) {
+  Soa soa;
+  soa.node_symbol = {kInvalidSymbol, kInvalidSymbol};  // source, sink
+  soa.edges.resize(2);
+  std::map<SymbolId, uint32_t> node_of;
+  auto intern = [&](SymbolId s) {
+    auto it = node_of.find(s);
+    if (it != node_of.end()) return it->second;
+    const uint32_t id = static_cast<uint32_t>(soa.node_symbol.size());
+    soa.node_symbol.push_back(s);
+    soa.edges.emplace_back();
+    node_of.emplace(s, id);
+    return id;
+  };
+  for (const auto& w : sample) {
+    if (w.empty()) {
+      soa.accepts_epsilon = true;
+      continue;
+    }
+    uint32_t prev = Soa::kSource;
+    for (SymbolId s : w) {
+      const uint32_t node = intern(s);
+      soa.edges[prev].insert(node);
+      prev = node;
+    }
+    soa.edges[prev].insert(Soa::kSink);
+  }
+  return soa;
+}
+
+}  // namespace rwdt::inference

@@ -1,0 +1,42 @@
+#ifndef RWDT_INFERENCE_SOA_H_
+#define RWDT_INFERENCE_SOA_H_
+
+#include <set>
+#include <vector>
+
+#include "regex/ast.h"
+#include "regex/automaton.h"
+
+namespace rwdt::inference {
+
+/// Single-occurrence automaton (SOA) of a sample, also known as the
+/// 2T-INF automaton of Garcia & Vidal: one state per alphabet symbol plus
+/// synthetic source and sink; an edge a -> b exists iff "ab" occurs in
+/// some sample word. The SOA is the starting point of the RWR algorithm
+/// for SORE inference (Bex et al., paper Section 4.2.3).
+struct Soa {
+  static constexpr uint32_t kSource = 0;
+  static constexpr uint32_t kSink = 1;
+
+  /// node_symbol[i] = alphabet symbol of node i (i >= 2).
+  std::vector<SymbolId> node_symbol;
+  /// Adjacency: edges[u] = set of successors.
+  std::vector<std::set<uint32_t>> edges;
+  /// True when the empty word is in the sample (source -> sink edge).
+  bool accepts_epsilon = false;
+
+  size_t NumNodes() const { return edges.size(); }
+  bool HasEdge(uint32_t u, uint32_t v) const {
+    return edges[u].count(v) > 0;
+  }
+
+  /// Whether `w` is accepted: a path source -> symbols -> sink.
+  bool Accepts(const regex::Word& w) const;
+};
+
+/// Builds the SOA of a sample of words.
+Soa BuildSoa(const std::vector<regex::Word>& sample);
+
+}  // namespace rwdt::inference
+
+#endif  // RWDT_INFERENCE_SOA_H_

@@ -1,0 +1,345 @@
+#include "loggen/corpus_gen.h"
+
+#include <algorithm>
+#include <map>
+
+#include "regex/ast.h"
+#include "regex/glushkov.h"
+
+namespace rwdt::loggen {
+namespace {
+
+using regex::Regex;
+using regex::RegexPtr;
+
+/// Builds a chain (sequential) content model over the given child labels.
+RegexPtr ChainContent(const std::vector<SymbolId>& children, Rng& rng,
+                      bool allow_repeat) {
+  std::vector<RegexPtr> factors;
+  for (size_t i = 0; i < children.size(); ++i) {
+    RegexPtr base;
+    // Occasionally a disjunction factor (a|b).
+    if (i + 1 < children.size() && rng.NextBool(0.2)) {
+      base = Regex::Union(Regex::Symbol(children[i]),
+                          Regex::Symbol(children[i + 1]));
+      ++i;
+    } else {
+      base = Regex::Symbol(children[i]);
+    }
+    switch (rng.NextBelow(5)) {
+      case 0:
+        base = Regex::Star(base);
+        break;
+      case 1:
+        base = Regex::Optional(base);
+        break;
+      case 2:
+        base = Regex::Plus(base);
+        break;
+      default:
+        break;  // plain, twice as likely
+    }
+    factors.push_back(base);
+    if (allow_repeat && rng.NextBool(0.5) && !children.empty()) {
+      // Repeat an earlier symbol: the expression stops being a SORE.
+      factors.push_back(Regex::Symbol(children[rng.NextBelow(
+          children.size())]));
+      allow_repeat = false;
+    }
+  }
+  if (factors.empty()) return Regex::Epsilon();
+  return Regex::Concat(std::move(factors));
+}
+
+/// A non-chain content model: nested structure like (ab)* or (a|bc)d.
+RegexPtr NestedContent(const std::vector<SymbolId>& children, Rng& rng) {
+  if (children.size() < 2) {
+    return children.empty() ? Regex::Epsilon()
+                            : Regex::Star(Regex::Symbol(children[0]));
+  }
+  RegexPtr pair = Regex::Concat(Regex::Symbol(children[0]),
+                                Regex::Symbol(children[1]));
+  RegexPtr rest = Regex::Epsilon();
+  if (children.size() > 2) {
+    std::vector<RegexPtr> tail;
+    for (size_t i = 2; i < children.size(); ++i) {
+      tail.push_back(Regex::Symbol(children[i]));
+    }
+    rest = Regex::Concat(std::move(tail));
+  }
+  switch (rng.NextBelow(3)) {
+    case 0:
+      return Regex::Concat(Regex::Star(pair), rest);
+    case 1:
+      return Regex::Union(Regex::Optional(pair), rest);
+    default:
+      return Regex::Star(Regex::Union(pair, rest));
+  }
+}
+
+/// A deliberately non-deterministic content model, e.g. (a|b)*a...
+RegexPtr NondeterministicContent(const std::vector<SymbolId>& children,
+                                 Rng& rng) {
+  if (children.size() < 2) return NestedContent(children, rng);
+  const RegexPtr a = Regex::Symbol(children[0]);
+  const RegexPtr b = Regex::Symbol(children[1]);
+  if (rng.NextBool(0.5)) {
+    return Regex::Concat(Regex::Star(Regex::Union(a, b)), a);
+  }
+  return Regex::Concat(Regex::Optional(a), a);
+}
+
+}  // namespace
+
+std::vector<schema::Dtd> GenerateDtdCorpus(const DtdCorpusOptions& options,
+                                           Interner* dict, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<schema::Dtd> out;
+  for (size_t d = 0; d < options.num_dtds; ++d) {
+    schema::Dtd dtd;
+    const size_t n = std::max<size_t>(options.elements_per_dtd, 2);
+    std::vector<SymbolId> labels;
+    for (size_t i = 0; i < n; ++i) {
+      labels.push_back(dict->Intern("e" + std::to_string(d) + "_" +
+                                    std::to_string(i)));
+    }
+    const bool recursive = rng.NextBool(options.p_recursive);
+    for (size_t i = 0; i < n; ++i) {
+      // Children: labels strictly below in the ordering keeps the DTD
+      // non-recursive; a recursive DTD adds a back reference.
+      std::vector<SymbolId> children;
+      for (size_t j = i + 1; j < n && children.size() < 4; ++j) {
+        if (rng.NextBool(0.6)) children.push_back(labels[j]);
+      }
+      if (recursive && i > 0 && rng.NextBool(0.3)) {
+        children.push_back(labels[rng.NextBelow(i + 1)]);
+      }
+      RegexPtr content;
+      if (rng.NextBool(options.p_nondeterministic)) {
+        content = NondeterministicContent(children, rng);
+      } else if (rng.NextBool(options.p_chain_expression)) {
+        content = ChainContent(children, rng,
+                               rng.NextBool(options.p_kore2));
+      } else {
+        content = NestedContent(children, rng);
+      }
+      dtd.rules[labels[i]] = content;
+    }
+    dtd.start.insert(labels[0]);
+    out.push_back(std::move(dtd));
+  }
+  return out;
+}
+
+namespace {
+
+bool GrowTree(const schema::Dtd& dtd,
+              const std::map<SymbolId, regex::Dfa>& dfas, Rng& rng,
+              tree::Tree* t, tree::NodeId node, size_t depth,
+              size_t max_depth, size_t max_nodes) {
+  if (t->NumNodes() > max_nodes) return false;
+  const SymbolId label = t->node(node).label;
+  auto it = dfas.find(label);
+  if (it == dfas.end()) return true;  // no rule: leaf
+  const regex::Dfa& dfa = it->second;
+  // Random accepted word by walking the DFA, biased toward acceptance
+  // as depth grows.
+  regex::State state = dfa.start;
+  std::vector<SymbolId> word;
+  for (int step = 0; step < 24; ++step) {
+    const bool want_stop =
+        dfa.accept[state] &&
+        (depth >= max_depth || rng.NextBool(0.5 + 0.1 * depth));
+    if (want_stop) break;
+    // Available moves.
+    std::vector<size_t> moves;
+    for (size_t a = 0; a < dfa.alphabet.size(); ++a) {
+      if (dfa.trans[state][a] != regex::kNoState) moves.push_back(a);
+    }
+    if (moves.empty()) break;
+    const size_t pick = moves[rng.NextBelow(moves.size())];
+    word.push_back(dfa.alphabet[pick]);
+    state = dfa.trans[state][pick];
+  }
+  if (!dfa.accept[state]) {
+    // Walk a shortest accepting completion.
+    // BFS from state.
+    std::map<regex::State, std::pair<regex::State, SymbolId>> parent;
+    std::vector<regex::State> queue = {state};
+    parent[state] = {regex::kNoState, kInvalidSymbol};
+    regex::State goal = regex::kNoState;
+    for (size_t qi = 0; qi < queue.size(); ++qi) {
+      const regex::State q = queue[qi];
+      if (dfa.accept[q]) {
+        goal = q;
+        break;
+      }
+      for (size_t a = 0; a < dfa.alphabet.size(); ++a) {
+        const regex::State nxt = dfa.trans[q][a];
+        if (nxt != regex::kNoState && parent.find(nxt) == parent.end()) {
+          parent[nxt] = {q, dfa.alphabet[a]};
+          queue.push_back(nxt);
+        }
+      }
+    }
+    if (goal == regex::kNoState) return false;
+    std::vector<SymbolId> completion;
+    for (regex::State cur = goal; parent[cur].first != regex::kNoState;
+         cur = parent[cur].first) {
+      completion.push_back(parent[cur].second);
+    }
+    std::reverse(completion.begin(), completion.end());
+    for (SymbolId s : completion) word.push_back(s);
+  }
+  for (SymbolId child_label : word) {
+    const tree::NodeId child = t->AddChild(node, child_label);
+    if (!GrowTree(dtd, dfas, rng, t, child, depth + 1, max_depth,
+                  max_nodes)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+tree::Tree GenerateValidTree(const schema::Dtd& dtd, Interner* dict,
+                             Rng& rng, size_t max_depth, size_t max_nodes) {
+  (void)dict;
+  tree::Tree t;
+  if (dtd.start.empty()) return t;
+  std::map<SymbolId, regex::Dfa> dfas;
+  for (const auto& [label, content] : dtd.rules) {
+    dfas.emplace(label, regex::ToDfa(content));
+  }
+  std::vector<SymbolId> starts(dtd.start.begin(), dtd.start.end());
+  t.AddRoot(starts[rng.NextBelow(starts.size())]);
+  if (!GrowTree(dtd, dfas, rng, &t, t.root(), 1, max_depth, max_nodes)) {
+    return tree::Tree();
+  }
+  return t;
+}
+
+std::vector<XmlCorpusDocument> GenerateXmlCorpus(
+    const XmlCorpusOptions& options, Interner* dict, uint64_t seed) {
+  Rng rng(seed);
+  DtdCorpusOptions dtd_options;
+  dtd_options.num_dtds = 10;
+  dtd_options.p_recursive = 0.2;
+  const auto dtds = GenerateDtdCorpus(dtd_options, dict, rng.Next());
+
+  std::vector<XmlCorpusDocument> out;
+  const std::vector<double> weights = {
+      options.w_tag_mismatch,  options.w_premature_end,
+      options.w_bad_encoding,  options.w_bad_attribute,
+      options.w_bad_entity,    options.w_bad_comment,
+      options.w_multiple_roots, options.w_stray_content};
+  while (out.size() < options.num_documents) {
+    const auto& dtd = dtds[rng.NextBelow(dtds.size())];
+    tree::Tree t = GenerateValidTree(dtd, dict, rng, 6, 120);
+    if (t.empty()) continue;
+    XmlCorpusDocument doc;
+    doc.text = tree::ToXml(t, *dict);
+    if (rng.NextBool(options.p_corrupt)) {
+      doc.intended_well_formed = false;
+      switch (rng.NextWeighted(weights)) {
+        case 0: {  // tag mismatch: rename one closing tag
+          const size_t pos = doc.text.rfind("</");
+          if (pos != std::string::npos && pos + 2 < doc.text.size()) {
+            doc.text[pos + 2] = 'Z';
+          }
+          break;
+        }
+        case 1:  // premature end
+          doc.text = doc.text.substr(0, doc.text.size() / 2);
+          break;
+        case 2:  // invalid UTF-8 byte inside text content
+          doc.text.insert(doc.text.size() / 2, "\xc3\x28");
+          break;
+        case 3: {  // unquoted attribute
+          const size_t pos = doc.text.find('>');
+          if (pos != std::string::npos) {
+            doc.text.insert(pos, " id=17");
+          }
+          break;
+        }
+        case 4: {  // stray ampersand
+          const size_t pos = doc.text.find('>');
+          if (pos != std::string::npos) {
+            doc.text.insert(pos + 1, "ham & eggs");
+          }
+          break;
+        }
+        case 5: {  // '--' inside a comment
+          const size_t pos = doc.text.find('>');
+          if (pos != std::string::npos) {
+            doc.text.insert(pos + 1, "<!-- a -- b -->");
+          }
+          break;
+        }
+        case 6:  // multiple roots
+          doc.text += "<extra/>";
+          break;
+        default:  // stray content after the root
+          doc.text += "trailing";
+          break;
+      }
+    }
+    out.push_back(std::move(doc));
+  }
+  return out;
+}
+
+std::vector<std::string> GenerateXPathCorpus(
+    const XPathCorpusOptions& options, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> out;
+  const std::vector<std::string> names = {"a",    "b",   "item", "name",
+                                          "node", "ref", "list", "entry"};
+  auto name = [&] { return names[rng.NextBelow(names.size())]; };
+
+  for (size_t i = 0; i < options.num_queries; ++i) {
+    // Zipf-ish small sizes with a heavy tail (Baelde et al. report a
+    // power law; most queries have size <= 13).
+    size_t steps = 1 + rng.NextBelow(3);
+    if (rng.NextBool(0.15)) steps += rng.NextBelow(6);
+    if (rng.NextBool(0.01)) steps += 10 + rng.NextBelow(30);
+
+    std::string q;
+    for (size_t s = 0; s < steps; ++s) {
+      q += rng.NextBool(0.45) ? "//" : "/";
+      // Axis choice.
+      if (rng.NextBool(options.p_upward)) {
+        q += rng.NextBool(0.5) ? ".." : "ancestor::" + name();
+        continue;
+      }
+      if (rng.NextBool(options.p_sibling_or_order)) {
+        q += "following-sibling::" + name();
+        continue;
+      }
+      if (s + 1 == steps && rng.NextBool(options.p_attribute)) {
+        q += "@" + name();
+        continue;
+      }
+      q += rng.NextBool(options.p_wildcard) ? "*" : name();
+      if (rng.NextBool(options.p_predicate)) {
+        if (rng.NextBool(options.p_negation)) {
+          q += "[not(" + name() + ")]";
+        } else if (rng.NextBool(options.p_disjunction)) {
+          q += "[" + name() + " or " + name() + "]";
+        } else if (rng.NextBool(0.3)) {
+          q += "[" + name() + " and .//" + name() + "]";
+        } else {
+          q += "[" + name() + "]";
+        }
+      }
+    }
+    if (rng.NextBool(options.p_union)) {
+      q += " | //" + name();
+    }
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace rwdt::loggen

@@ -1,0 +1,84 @@
+#ifndef RWDT_LOGGEN_CORPUS_GEN_H_
+#define RWDT_LOGGEN_CORPUS_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/interner.h"
+#include "common/rng.h"
+#include "schema/dtd.h"
+#include "tree/tree.h"
+#include "tree/xml.h"
+
+namespace rwdt::loggen {
+
+/// Knobs for the synthetic DTD corpus standing in for the Bex et al. /
+/// Choi studies (Sections 4.1-4.2): fraction of chain (sequential)
+/// content models, of SOREs, of deterministic expressions, of recursive
+/// DTDs. Calibrated defaults follow the published findings (>92% chain,
+/// >99% SORE, ~35/60 recursive).
+struct DtdCorpusOptions {
+  size_t num_dtds = 100;
+  size_t elements_per_dtd = 8;
+  double p_chain_expression = 0.92;
+  double p_nondeterministic = 0.05;
+  double p_recursive = 0.55;
+  double p_kore2 = 0.008;  // non-SORE (symbol repeated) expressions
+};
+
+/// Generates a corpus of DTDs. Element names are interned into `dict`.
+std::vector<schema::Dtd> GenerateDtdCorpus(const DtdCorpusOptions& options,
+                                           Interner* dict, uint64_t seed);
+
+/// Generates a random tree valid w.r.t. the DTD (best effort; recursion
+/// is depth-bounded). Returns an empty tree when the DTD admits none
+/// within bounds.
+tree::Tree GenerateValidTree(const schema::Dtd& dtd, Interner* dict,
+                             Rng& rng, size_t max_depth = 8,
+                             size_t max_nodes = 400);
+
+/// Knobs for the XML-quality study corpus (Grijzenhout-Marx, Section
+/// 3.1): fraction of corrupted documents and the error-category mix
+/// (top-3 categories are tag mismatch, premature end, bad UTF-8,
+/// together 79.9% of errors in the wild).
+struct XmlCorpusOptions {
+  size_t num_documents = 1000;
+  double p_corrupt = 0.15;  // the study found 85% well-formed
+  // Relative weights of injected error kinds.
+  double w_tag_mismatch = 42, w_premature_end = 25, w_bad_encoding = 13,
+         w_bad_attribute = 8, w_bad_entity = 5, w_bad_comment = 3,
+         w_multiple_roots = 2, w_stray_content = 2;
+};
+
+struct XmlCorpusDocument {
+  std::string text;
+  bool intended_well_formed = true;
+};
+
+/// Generates XML documents (valid trees serialized) and corrupts a
+/// fraction of them with the configured error mix.
+std::vector<XmlCorpusDocument> GenerateXmlCorpus(
+    const XmlCorpusOptions& options, Interner* dict, uint64_t seed);
+
+/// Knobs for the XPath corpus (Baelde et al. / Pasqua, Section 5):
+/// axis usage rates and fragment mix.
+struct XPathCorpusOptions {
+  size_t num_queries = 5000;
+  double p_axis_step = 0.465;       // queries using an explicit axis
+  double p_attribute = 0.171;       // attribute axis usage
+  double p_upward = 0.036;          // parent/ancestor
+  double p_sibling_or_order = 0.02; // following/preceding(-sibling)
+  double p_predicate = 0.35;
+  double p_negation = 0.08;
+  double p_disjunction = 0.10;
+  double p_union = 0.05;
+  double p_wildcard = 0.15;
+};
+
+/// Generates XPath query texts.
+std::vector<std::string> GenerateXPathCorpus(
+    const XPathCorpusOptions& options, uint64_t seed);
+
+}  // namespace rwdt::loggen
+
+#endif  // RWDT_LOGGEN_CORPUS_GEN_H_

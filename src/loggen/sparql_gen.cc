@@ -1,0 +1,535 @@
+#include "loggen/sparql_gen.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace rwdt::loggen {
+namespace {
+
+class QueryGenerator {
+ public:
+  QueryGenerator(const SourceProfile& profile, Rng& rng, uint64_t query_id)
+      : profile_(profile), rng_(rng), query_id_(query_id) {}
+
+  std::string Generate() {
+    const size_t n = SampleTripleCount();
+    std::vector<std::string> triples = BuildTriples(n);
+    std::string body = AssembleBody(std::move(triples));
+    return AssembleQuery(std::move(body));
+  }
+
+ private:
+  std::string Var(size_t i) { return "?v" + std::to_string(i); }
+
+  std::string FreshConstant() {
+    // A large constant space keeps generated unique queries distinct.
+    return "c" + std::to_string(query_id_ % 100000) + "_" +
+           std::to_string(rng_.NextBelow(8));
+  }
+
+  std::string Predicate() {
+    return "p" + std::to_string(rng_.NextBelow(60));
+  }
+
+  size_t SampleTripleCount() {
+    const size_t bucket = rng_.NextWeighted(profile_.triple_count_weights);
+    if (bucket < 11) return bucket;
+    // The "11+" bucket: mostly 11-20, occasionally very large (the paper
+    // saw queries with 200-230 triples).
+    if (rng_.NextBool(0.01)) {
+      return 100 + rng_.NextBelow(130);
+    }
+    return 11 + rng_.NextBelow(10);
+  }
+
+  std::string PathExpression() {
+    // Sample a Table 8 type and instantiate with concrete predicates.
+    std::vector<std::string> keys;
+    std::vector<double> weights;
+    for (const auto& [key, w] : profile_.path_type_weights) {
+      keys.push_back(key);
+      weights.push_back(w);
+    }
+    const std::string type = keys[rng_.NextWeighted(weights)];
+    auto p = [&] { return Predicate(); };
+    if (type == "a*") return p() + "*";
+    if (type == "a+") return p() + "+";
+    if (type == "ab*") return p() + "/" + p() + "*";
+    if (type == "ab*c*") return p() + "/" + p() + "*/" + p() + "*";
+    if (type == "A*") return "(" + p() + "|" + p() + ")*";
+    if (type == "ab*c") return p() + "/" + p() + "*/" + p();
+    if (type == "a*b*") return p() + "*/" + p() + "*";
+    if (type == "abc*") return p() + "/" + p() + "/" + p() + "*";
+    if (type == "a?b*") return p() + "?/" + p() + "*";
+    if (type == "A+") return "(" + p() + "|" + p() + ")+";
+    if (type == "Ab*") return "(" + p() + "|" + p() + ")/" + p() + "*";
+    if (type == "word") {
+      const size_t k = 2 + rng_.NextBelow(3);
+      std::string out = p();
+      for (size_t i = 1; i < k; ++i) out += "/" + p();
+      return out;
+    }
+    if (type == "A") {
+      if (rng_.NextBool(0.3)) return "!" + p();
+      return "(" + p() + "|" + p() + ")";
+    }
+    if (type == "A?") return "(" + p() + "|" + p() + ")?";
+    if (type == "wordopt") return p() + "/" + p() + "?/" + p() + "?";
+    if (type == "^a") return "^" + p();
+    if (type == "abc?") return p() + "/" + p() + "/" + p() + "?";
+    return p() + "*";
+  }
+
+  std::string Object(size_t var_index) {
+    if (rng_.NextBool(profile_.p_constant_object)) {
+      if (rng_.NextBool(0.25)) {
+        return "\"" + std::to_string(rng_.NextBelow(1000)) + "\"";
+      }
+      return FreshConstant();
+    }
+    return Var(var_index);
+  }
+
+  /// Builds `n` triple patterns over variables, following the shape mix.
+  std::vector<std::string> BuildTriples(size_t n) {
+    std::vector<std::string> out;
+    if (n == 0) return out;
+    num_vars_ = 1;
+    const double r = rng_.NextDouble();
+    const double chain_cut = profile_.p_chain_shape;
+    const double star_cut = chain_cut + profile_.p_star_shape;
+    const double tree_cut = star_cut + profile_.p_tree_shape;
+    enum class Shape { kChain, kStar, kTree, kCyclic } shape;
+    if (r < chain_cut) {
+      shape = Shape::kChain;
+    } else if (r < star_cut) {
+      shape = Shape::kStar;
+    } else if (r < tree_cut) {
+      shape = Shape::kTree;
+    } else {
+      shape = Shape::kCyclic;
+    }
+    // Subject chain/star skeleton over variables; constants appear in
+    // object positions.
+    size_t chain_head = 0;
+    for (size_t i = 0; i < n; ++i) {
+      std::string subject, object;
+      switch (shape) {
+        case Shape::kChain:
+        case Shape::kCyclic:
+          subject = Var(chain_head);
+          if (i + 1 == n && shape == Shape::kCyclic && n >= 3) {
+            object = Var(0);
+          } else if (i + 1 == n &&
+                     rng_.NextBool(profile_.p_constant_object)) {
+            object = FreshConstant();
+          } else {
+            object = Var(num_vars_);
+            chain_head = num_vars_;
+            ++num_vars_;
+          }
+          break;
+        case Shape::kStar:
+          subject = Var(0);
+          object = Object(num_vars_);
+          ++num_vars_;
+          break;
+        case Shape::kTree: {
+          const size_t parent = rng_.NextBelow(num_vars_);
+          subject = Var(parent);
+          object = Object(num_vars_);
+          ++num_vars_;
+          break;
+        }
+      }
+      std::string predicate;
+      if (rng_.NextBool(profile_.p_path)) {
+        predicate = PathExpression();
+      } else if (rng_.NextBool(0.03)) {
+        predicate = "?p" + std::to_string(i);  // variable predicate
+      } else {
+        predicate = Predicate();
+      }
+      out.push_back(subject + " " + predicate + " " + object);
+    }
+    return out;
+  }
+
+  std::string Filter() {
+    const std::string v = Var(rng_.NextBelow(std::max<size_t>(num_vars_, 1)));
+    if (rng_.NextBool(profile_.p_safe_filter)) {
+      switch (rng_.NextBelow(3)) {
+        case 0:
+          return "FILTER(bound(" + v + "))";
+        case 1:
+          return "FILTER(lang(" + v + ")=\"en\")";
+        default: {
+          const std::string w =
+              Var(rng_.NextBelow(std::max<size_t>(num_vars_, 1)));
+          return "FILTER(" + v + " = " + w + ")";
+        }
+      }
+    }
+    switch (rng_.NextBelow(3)) {
+      case 0: {
+        const std::string w =
+            Var(rng_.NextBelow(std::max<size_t>(num_vars_, 1)));
+        return "FILTER(" + v + " != " + w + ")";
+      }
+      case 1:
+        return "FILTER(" + v + " > \"" +
+               std::to_string(rng_.NextBelow(100)) + "\")";
+      default:
+        return "FILTER(regex(" + v + ", \"x\"))";
+    }
+  }
+
+  std::string AssembleBody(std::vector<std::string> triples) {
+    std::string body;
+    const size_t n = triples.size();
+
+    // UNION: split the triples into two branches. Optional and Union
+    // overlap in real logs, so a union branch may itself carry an
+    // OPTIONAL part.
+    if (n >= 2 && rng_.NextBool(profile_.p_union)) {
+      const size_t cut = 1 + rng_.NextBelow(n - 1);
+      std::string left, right;
+      for (size_t i = 0; i < cut; ++i) left += triples[i] + " . ";
+      if (n - cut >= 1 && rng_.NextBool(profile_.p_optional)) {
+        const size_t ocut = cut + rng_.NextBelow(n - cut);
+        for (size_t i = cut; i < ocut; ++i) right += triples[i] + " . ";
+        right += "OPTIONAL { ";
+        for (size_t i = ocut; i < n; ++i) right += triples[i] + " . ";
+        right += "} ";
+      } else {
+        for (size_t i = cut; i < n; ++i) right += triples[i] + " . ";
+      }
+      body = "{ " + left + "} UNION { " + right + "} ";
+    } else if (n >= 1 && rng_.NextBool(profile_.p_optional)) {
+      const size_t cut = rng_.NextBelow(n);
+      for (size_t i = 0; i < cut; ++i) body += triples[i] + " . ";
+      body += "OPTIONAL { ";
+      for (size_t i = cut; i < n; ++i) body += triples[i] + " . ";
+      // Filters over optional-only variables live inside the OPTIONAL
+      // (real queries do this; it also keeps the pattern well-designed).
+      if (rng_.NextBool(profile_.p_filter) && num_vars_ > 0) {
+        body += Filter() + " ";
+        filter_emitted_ = true;
+      }
+      body += "} ";
+    } else {
+      for (const auto& t : triples) body += t + " . ";
+    }
+
+    if (!filter_emitted_ && rng_.NextBool(profile_.p_filter) &&
+        num_vars_ > 0) {
+      body += Filter() + " ";
+    }
+    if (rng_.NextBool(profile_.p_values) && num_vars_ > 0) {
+      body += "VALUES " + Var(0) + " { " + FreshConstant() + " " +
+              FreshConstant() + " } ";
+    }
+    if (rng_.NextBool(profile_.p_graph)) {
+      body = "GRAPH ?g { " + body + "} ";
+    }
+    if (rng_.NextBool(profile_.p_minus) && n >= 1) {
+      body += "MINUS { " + Var(0) + " " + Predicate() + " " +
+              Object(num_vars_ + 1) + " } ";
+    }
+    if (rng_.NextBool(profile_.p_notexists) && num_vars_ > 0) {
+      body += "FILTER NOT EXISTS { " + Var(0) + " " + Predicate() + " " +
+              "?ne } ";
+    }
+    if (rng_.NextBool(profile_.p_exists) && num_vars_ > 0) {
+      body += "FILTER EXISTS { " + Var(0) + " " + Predicate() + " ?ex } ";
+    }
+    if (rng_.NextBool(profile_.p_service)) {
+      body += "SERVICE wikibase:label { " + Var(0) +
+              " rdfs:label ?lbl } ";
+    }
+    if (rng_.NextBool(profile_.p_bind) && num_vars_ > 0) {
+      body += "BIND(" + Var(0) + " AS ?alias) ";
+    }
+    return body;
+  }
+
+  std::string AssembleQuery(std::string body) {
+    const double r = rng_.NextDouble();
+    std::string head;
+    std::string tail;
+
+    const bool group_by =
+        rng_.NextBool(profile_.p_groupby) && num_vars_ > 0;
+    std::string aggregate_item;
+    if (group_by) {
+      tail += " GROUP BY " + Var(0);
+      std::string fn = "COUNT";
+      const double a = rng_.NextDouble();
+      const double total = profile_.p_count + profile_.p_avg +
+                           profile_.p_min + profile_.p_max +
+                           profile_.p_sum;
+      if (total > 0) {
+        double x = a * total;
+        if ((x -= profile_.p_count) < 0) {
+          fn = "COUNT";
+        } else if ((x -= profile_.p_avg) < 0) {
+          fn = "AVG";
+        } else if ((x -= profile_.p_min) < 0) {
+          fn = "MIN";
+        } else if ((x -= profile_.p_max) < 0) {
+          fn = "MAX";
+        } else {
+          fn = "SUM";
+        }
+      }
+      aggregate_item =
+          " (" + fn + "(" + Var(num_vars_ > 1 ? 1 : 0) + ") AS ?agg)";
+      if (rng_.NextBool(profile_.p_having / std::max(
+                            profile_.p_groupby, 1e-9))) {
+        tail += " HAVING(?agg > \"1\")";
+      }
+    }
+
+    if (r < profile_.p_ask) {
+      head = "ASK";
+    } else if (r < profile_.p_ask + profile_.p_construct) {
+      head = "CONSTRUCT { ?v0 rel ?c } WHERE";
+      body = body.empty() ? "?v0 " + Predicate() + " ?c . " : body;
+    } else if (r < profile_.p_ask + profile_.p_construct +
+                       profile_.p_describe) {
+      return "DESCRIBE " + FreshConstant();
+    } else {
+      head = "SELECT";
+      if (rng_.NextBool(profile_.p_distinct)) head += " DISTINCT";
+      if (group_by) {
+        head += " " + Var(0) + aggregate_item;
+      } else if (rng_.NextBool(0.5) || num_vars_ == 0) {
+        head += " *";
+      } else {
+        const size_t k =
+            1 + rng_.NextBelow(std::min<size_t>(num_vars_, 3));
+        for (size_t i = 0; i < k; ++i) head += " " + Var(i);
+      }
+      head += " WHERE";
+    }
+
+    if (rng_.NextBool(profile_.p_orderby) && num_vars_ > 0) {
+      tail += " ORDER BY " + Var(0);
+    }
+    if (rng_.NextBool(profile_.p_limit)) {
+      tail += " LIMIT " + std::to_string(1 + rng_.NextBelow(1000));
+    }
+    if (rng_.NextBool(profile_.p_offset)) {
+      tail += " OFFSET " + std::to_string(rng_.NextBelow(1000));
+    }
+    return head + " { " + body + "}" + tail;
+  }
+
+  const SourceProfile& profile_;
+  Rng& rng_;
+  uint64_t query_id_;
+  size_t num_vars_ = 1;
+  bool filter_emitted_ = false;
+};
+
+std::string Corrupt(std::string text, Rng& rng) {
+  if (text.empty()) return "(";
+  switch (rng.NextBelow(4)) {
+    case 0:  // truncate mid-token and leave an opener dangling
+      return text.substr(0, text.size() / 2) + " (";
+    case 1: {  // unbalance the braces
+      const size_t pos = text.rfind('}');
+      if (pos != std::string::npos) {
+        text.erase(pos, 1);
+      } else {
+        text += " }";
+      }
+      return text;
+    }
+    case 2:  // garble the head keyword
+      text[0] = '%';
+      return text;
+    default:  // unbalanced parenthesis in a filter
+      return text + " )";
+  }
+}
+
+}  // namespace
+
+std::vector<LogEntry> GenerateLog(const SourceProfile& profile,
+                                  uint64_t seed) {
+  Rng rng(seed ^ std::hash<std::string>{}(profile.name));
+  std::vector<LogEntry> out;
+  out.reserve(profile.total_queries);
+
+  const double dup = std::max(profile.duplicate_factor, 1.0);
+  const double p_repeat = 1.0 - 1.0 / dup;
+  // Each valid draw emits ~dup entries while an invalid draw emits one;
+  // correct the per-draw probability so invalid entries make up
+  // invalid_rate of the *total*.
+  const double r = profile.invalid_rate;
+  const double p_invalid_draw =
+      r <= 0 ? 0 : (r * dup) / (1.0 - r + r * dup);
+
+  uint64_t produced = 0;
+  uint64_t unique_id = 0;
+  while (produced < profile.total_queries) {
+    LogEntry entry;
+    if (rng.NextBool(p_invalid_draw)) {
+      QueryGenerator gen(profile, rng, unique_id++);
+      entry.text = Corrupt(gen.Generate(), rng);
+      entry.intended_valid = false;
+      out.push_back(entry);
+      ++produced;
+      continue;
+    }
+    QueryGenerator gen(profile, rng, unique_id++);
+    entry.text = gen.Generate();
+    entry.intended_valid = true;
+    // Emit with geometric multiplicity (duplicates in real logs).
+    do {
+      out.push_back(entry);
+      ++produced;
+    } while (produced < profile.total_queries && rng.NextBool(p_repeat));
+  }
+  // Interleave duplicates through the log.
+  for (size_t i = out.size(); i > 1; --i) {
+    std::swap(out[i - 1], out[rng.NextBelow(i)]);
+  }
+  return out;
+}
+
+namespace {
+
+SourceProfile WikidataRobotic() {
+  SourceProfile p;
+  p.wikidata_like = true;
+  p.p_path = 0.155;  // ~24% of queries end up with >= 1 path
+  p.p_filter = 0.178;
+  p.p_optional = 0.17;
+  p.p_union = 0.20;
+  p.p_distinct = 0.077;
+  p.p_limit = 0.185;
+  p.p_offset = 0.067;
+  p.p_orderby = 0.088;
+  p.p_graph = 0.0;
+  p.p_values = 0.32;
+  p.p_service = 0.084;
+  p.p_minus = 0.0086;
+  p.p_notexists = 0.0021;
+  p.p_exists = 0.0005;
+  p.p_groupby = 0.0044;
+  p.p_count = 0.0042;
+  p.triple_count_weights = {18, 35, 17, 11, 7, 4, 3, 2, 1.2, 0.8, 0.5,
+                            0.5};
+  return p;
+}
+
+SourceProfile WikidataOrganic() {
+  SourceProfile p = WikidataRobotic();
+  // Organic queries have more triple patterns (Figure 3) and use more
+  // features interactively.
+  p.triple_count_weights = {6, 22, 20, 15, 11, 8, 6, 4, 3, 2, 1.5, 1.5};
+  p.p_path = 0.22;
+  p.p_optional = 0.30;
+  p.p_service = 0.35;
+  p.p_limit = 0.30;
+  p.p_orderby = 0.12;
+  p.p_groupby = 0.02;
+  p.p_count = 0.018;
+  return p;
+}
+
+SourceProfile DbpediaLike() {
+  SourceProfile p;  // defaults are calibrated to DBpedia-BritM
+  return p;
+}
+
+}  // namespace
+
+std::vector<SourceProfile> Table2Profiles(uint64_t scale) {
+  // (name, total, valid, unique) from Table 2, in thousands.
+  struct Row {
+    const char* name;
+    double total_k, valid_k, unique_k;
+    int flavor;  // 0 dbpedia-like, 1 small-queries, 2 templated,
+                 // 3 wiki robotic, 4 wiki organic, 5 wiki robotic TO,
+                 // 6 wiki organic TO
+  };
+  const Row rows[] = {
+      {"DBpedia9-12", 28651, 27622, 13438, 0},
+      {"DBpedia13", 5244, 4820, 2628, 0},
+      {"DBpedia14", 37220, 33996, 17217, 0},
+      {"DBpedia15", 43479, 42710, 13254, 0},
+      {"DBpedia16", 15098, 14688, 4370, 0},
+      {"DBpedia17", 169110, 164298, 34441, 0},
+      {"LGD13", 1928, 1531, 358, 0},
+      {"LGD14", 2000, 1952, 629, 0},
+      {"BioP13", 4627, 4624, 688, 1},
+      {"BioP14", 26439, 26405, 2191, 1},
+      {"BioMed13", 883, 883, 27, 1},
+      {"SWDF13", 13854, 13671, 1230, 1},
+      {"BritM14", 1556, 1546, 135, 2},
+      {"WikiRobot/OK", 207539, 207498, 34527, 3},
+      {"WikiOrganic/OK", 676, 665, 261, 4},
+      {"WikiRobot/TO", 34, 33, 3, 5},
+      {"WikiOrganic/TO", 15, 14, 9, 6},
+  };
+  std::vector<SourceProfile> out;
+  for (const Row& row : rows) {
+    SourceProfile p;
+    switch (row.flavor) {
+      case 1:
+        p = DbpediaLike();
+        // API-style logs: almost everything is a 1-triple lookup.
+        p.triple_count_weights = {3, 70, 12, 6, 3, 2, 1.5, 1, 0.7, 0.4,
+                                  0.2, 0.2};
+        break;
+      case 2:
+        p = DbpediaLike();
+        p.p_union = 0.45;  // fixed templates with unions
+        p.triple_count_weights = {0, 10, 15, 30, 25, 10, 5, 3, 1, 0.5,
+                                  0.3, 0.2};
+        break;
+      case 3:
+        p = WikidataRobotic();
+        break;
+      case 4:
+        p = WikidataOrganic();
+        break;
+      case 5:
+        p = WikidataRobotic();
+        p.triple_count_weights = {2, 10, 14, 15, 14, 12, 9, 7, 5, 4, 3,
+                                  5};
+        break;
+      case 6:
+        p = WikidataOrganic();
+        p.triple_count_weights = {1, 8, 12, 14, 14, 12, 10, 8, 6, 5, 4,
+                                  6};
+        break;
+      default:
+        p = DbpediaLike();
+        break;
+    }
+    p.name = row.name;
+    p.total_queries = std::max<uint64_t>(
+        static_cast<uint64_t>(row.total_k * 1000.0 /
+                              static_cast<double>(scale)),
+        60);
+    p.invalid_rate =
+        row.total_k > 0 ? 1.0 - row.valid_k / row.total_k : 0.0;
+    p.duplicate_factor =
+        row.unique_k > 0 ? row.valid_k / row.unique_k : 1.0;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+SourceProfile ExampleProfile(uint64_t total) {
+  SourceProfile p;
+  p.name = "example";
+  p.total_queries = total;
+  return p;
+}
+
+}  // namespace rwdt::loggen

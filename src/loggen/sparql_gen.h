@@ -1,0 +1,90 @@
+#ifndef RWDT_LOGGEN_SPARQL_GEN_H_
+#define RWDT_LOGGEN_SPARQL_GEN_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace rwdt::loggen {
+
+/// A workload profile describing one query-log source of the paper's
+/// Table 2 (DBpedia9-12 ... WikiOrganic/TO). The knobs are calibrated to
+/// the *published marginals* (Tables 2-5, Figure 3); every generated
+/// query is plain SPARQL text that flows through the full parser +
+/// classifier pipeline, so all downstream statistics are measured, not
+/// copied.
+struct SourceProfile {
+  std::string name;
+  uint64_t total_queries = 10000;
+  /// Fraction of log entries that fail to parse (Table 2:
+  /// Valid < Total).
+  double invalid_rate = 0.02;
+  /// Expected multiplicity of each unique query (Table 2:
+  /// Valid / Unique).
+  double duplicate_factor = 2.0;
+  /// Wikidata-style log (affects C2RPQ reporting downstream).
+  bool wikidata_like = false;
+
+  /// Triple-pattern count distribution, buckets 0..11 (last = "11+",
+  /// drawn uniformly in [11, 20] plus a tiny tail). Figure 3.
+  std::vector<double> triple_count_weights =
+      {5, 46, 15, 12, 8, 5, 3, 2, 1.5, 1, 0.8, 0.7};
+
+  // Per-feature usage probabilities (Table 3 marginals).
+  double p_filter = 0.46, p_optional = 0.33, p_union = 0.55;
+  double p_distinct = 0.30, p_limit = 0.14, p_offset = 0.03;
+  double p_orderby = 0.011, p_graph = 0.086, p_values = 0.024;
+  double p_minus = 0.007, p_notexists = 0.008, p_exists = 0.0001;
+  double p_groupby = 0.028, p_having = 0.0006, p_service = 0.00001;
+  double p_count = 0.003, p_avg = 0.00002, p_min = 0.00002,
+         p_max = 0.00002, p_sum = 0.00001;
+  /// Probability that a predicate position is a property path.
+  double p_path = 0.0044;
+  /// Probability of a BIND clause.
+  double p_bind = 0.002;
+
+  // Query form mix.
+  double p_ask = 0.02, p_construct = 0.02, p_describe = 0.03;
+
+  // Conjunctive-core shape mix (Table 7: stars and chains dominate).
+  double p_chain_shape = 0.45, p_star_shape = 0.40, p_tree_shape = 0.10,
+         p_cyclic_shape = 0.05;
+  /// Probability that a triple's object is a constant (IRI/literal); the
+  /// paper's canonical-graph analysis "without constants" hinges on it.
+  double p_constant_object = 0.55;
+  /// Probability that a filter is safe / simple (Section 9.5).
+  double p_safe_filter = 0.90;
+
+  /// Table 8 property-path type mix: weights by type string.
+  std::map<std::string, double> path_type_weights = {
+      {"a*", 50.5},  {"ab*", 13.0}, {"a+", 4.0},   {"ab*c*", 1.5},
+      {"A*", 0.6},   {"ab*c", 0.2}, {"a*b*", 0.1}, {"abc*", 0.05},
+      {"a?b*", 0.03}, {"A+", 0.01}, {"Ab*", 0.005}, {"word", 24.3},
+      {"A", 5.5},    {"A?", 0.06},  {"wordopt", 0.05}, {"^a", 0.04},
+      {"abc?", 0.01},
+  };
+};
+
+/// One generated log entry.
+struct LogEntry {
+  std::string text;
+  bool intended_valid = true;  // generator's intent (parser decides)
+};
+
+/// Generates a full log for one source. Deterministic in `seed`.
+std::vector<LogEntry> GenerateLog(const SourceProfile& profile,
+                                  uint64_t seed);
+
+/// The seventeen source profiles of Table 2, with query counts scaled
+/// down by `scale` (positions and relative sizes preserved).
+std::vector<SourceProfile> Table2Profiles(uint64_t scale = 5000);
+
+/// Convenience: a single small profile for examples and tests.
+SourceProfile ExampleProfile(uint64_t total = 2000);
+
+}  // namespace rwdt::loggen
+
+#endif  // RWDT_LOGGEN_SPARQL_GEN_H_

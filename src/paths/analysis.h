@@ -1,0 +1,67 @@
+#ifndef RWDT_PATHS_ANALYSIS_H_
+#define RWDT_PATHS_ANALYSIS_H_
+
+#include <string>
+
+#include "paths/path.h"
+
+namespace rwdt::paths {
+
+/// The aggregated property-path type buckets of Table 8 (robotic Wikidata
+/// queries). Following the paper: variables/IRIs are replaced by letters
+/// in order of first occurrence; each type is aggregated with its
+/// reverse; '^a' inside larger expressions counts as a plain letter;
+/// disjunctions of >= 2 symbols (including negated sets and !a) become
+/// capital letters.
+enum class Table8Type {
+  kAStar,            // a*
+  kABStarOrAPlus,    // ab*, a+ (and reverses)
+  kABStarCStar,      // ab*c*
+  kDisjStar,         // A*
+  kABStarC,          // ab*c
+  kAStarBStar,       // a*b*
+  kABCStar,          // abc*
+  kAOptBStar,        // a?b*
+  kDisjPlus,         // A+
+  kDisjBStar,        // Ab*
+  kOtherTransitive,  // remaining transitive types
+  kWord,             // a1...ak (concatenation of plain letters)
+  kDisj,             // A
+  kDisjOpt,          // A?
+  kWordOptTail,      // a1 a2? ... ak? (plain prefix, optional tail)
+  kInverse,          // ^a (a single inverse step)
+  kABCOpt,           // abc?
+  kOtherNonTransitive,
+};
+
+std::string Table8TypeName(Table8Type type);
+
+/// Classifies a property path into its Table 8 bucket.
+Table8Type ClassifyTable8(const Path& path);
+
+/// The canonical type string (e.g. "a*b*" for wdt:P31*/wdt:P279*), before
+/// bucket aggregation. Reverse aggregation picks the lexicographically
+/// smaller of the type and its reverse.
+std::string CanonicalTypeString(const Path& path);
+
+/// Simple transitive expressions (Martens-Trautner, Section 9.6): at most
+/// one transitive factor, which must be a Kleene-starred/plussed
+/// disjunction of atoms (an atom is an IRI, an inverted IRI, or a negated
+/// set), and all other factors are atoms or optional disjunctions of
+/// atoms, concatenated. Covers > 99% of the property paths in the
+/// DBpedia-BritM logs and ~98% of Wikidata's. The canonical non-member
+/// is a*b* (two transitive factors).
+bool IsSimpleTransitiveExpression(const Path& path);
+
+/// Sufficient syntactic conditions for membership in Bagan-Bonifati-Groz
+/// C_tract (tractable data complexity under simple-path semantics) and
+/// the trail-semantics analogue T_tract of Martens-Niewerth-Trautner.
+/// Both classes contain all finite languages and all simple transitive
+/// expressions; the full characterizations are semantic and out of scope,
+/// so a `false` here means "not certified", not "provably hard".
+bool CertifiedInCtract(const Path& path);
+bool CertifiedInTtract(const Path& path);
+
+}  // namespace rwdt::paths
+
+#endif  // RWDT_PATHS_ANALYSIS_H_

@@ -1,0 +1,32 @@
+#ifndef RWDT_PATHS_SEMANTICS_H_
+#define RWDT_PATHS_SEMANTICS_H_
+
+#include <cstdint>
+
+#include "graph/rdf.h"
+#include "paths/path.h"
+
+namespace rwdt::paths {
+
+/// Evaluation semantics for regular path queries (Section 9.6):
+/// homomorphism (arbitrary walks, the SPARQL default — PTIME), simple
+/// path (node-disjoint — NP-complete in general, tractable on C_tract),
+/// and trail (edge-disjoint — tractable on T_tract).
+enum class PathSemantics { kWalk, kSimplePath, kTrail };
+
+struct PathMatch {
+  bool decided = false;   // false: budget exhausted
+  bool matched = false;
+  uint64_t steps = 0;     // search steps expended
+};
+
+/// Does a path from `source` to `target` matching `path` exist under the
+/// given semantics? `budget` caps the number of search steps for the
+/// backtracking semantics (walk semantics always decides).
+PathMatch MatchPath(const graph::TripleStore& store, const Path& path,
+                    SymbolId source, SymbolId target,
+                    PathSemantics semantics, uint64_t budget = 1 << 22);
+
+}  // namespace rwdt::paths
+
+#endif  // RWDT_PATHS_SEMANTICS_H_

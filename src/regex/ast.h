@@ -1,0 +1,96 @@
+#ifndef RWDT_REGEX_AST_H_
+#define RWDT_REGEX_AST_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/interner.h"
+
+namespace rwdt::regex {
+
+/// Node kinds of the regular-expression AST, following the paper's
+/// Section 2 grammar: empty set, epsilon, symbols, concatenation, union
+/// ("+" in the paper, "|" in our concrete syntax), Kleene star, Kleene
+/// plus, and optionality ("?").
+enum class Op {
+  kEmpty,     // ∅
+  kEpsilon,   // ε
+  kSymbol,    // a ∈ Lab
+  kConcat,    // e1 · e2 · ... · en  (n >= 2)
+  kUnion,     // e1 + e2 + ... + en  (n >= 2)
+  kStar,      // e*
+  kPlus,      // e+
+  kOptional,  // e?
+};
+
+class Regex;
+using RegexPtr = std::shared_ptr<const Regex>;
+
+/// Immutable regular-expression node. Construct via the factory functions
+/// below; they perform light normalization (flattening nested
+/// concats/unions) but no language-level simplification, so the syntactic
+/// classifiers in fragments.h see the expression as written.
+class Regex {
+ public:
+  Op op() const { return op_; }
+  SymbolId symbol() const { return symbol_; }
+  const std::vector<RegexPtr>& children() const { return children_; }
+  const RegexPtr& child() const { return children_[0]; }
+
+  /// Number of AST nodes.
+  size_t Size() const;
+
+  /// Nesting depth of the parse tree ("parse depth" in Choi's study,
+  /// paper Section 4.2.1). A bare symbol has depth 1.
+  size_t Depth() const;
+
+  /// Collects the set of symbols occurring in the expression.
+  void CollectAlphabet(std::set<SymbolId>* out) const;
+  std::set<SymbolId> Alphabet() const;
+
+  /// Number of occurrences of each symbol; an expression is a k-ORE iff
+  /// every count is <= k (Section 4.2.3).
+  std::map<SymbolId, size_t> SymbolOccurrences() const;
+
+  /// Max occurrences of any one symbol (0 for symbol-free expressions);
+  /// the minimal k such that the expression is a k-ORE.
+  size_t MaxSymbolOccurrences() const;
+
+  /// True if epsilon is in the language (computed syntactically).
+  bool Nullable() const;
+
+  /// Renders the expression with '|' for union, postfix * + ?, and
+  /// parentheses only where required. Symbol names come from `dict`.
+  std::string ToString(const Interner& dict) const;
+
+  // Factory functions.
+  static RegexPtr Empty();
+  static RegexPtr Epsilon();
+  static RegexPtr Symbol(SymbolId s);
+  static RegexPtr Concat(std::vector<RegexPtr> parts);
+  static RegexPtr Concat(RegexPtr a, RegexPtr b);
+  static RegexPtr Union(std::vector<RegexPtr> parts);
+  static RegexPtr Union(RegexPtr a, RegexPtr b);
+  static RegexPtr Star(RegexPtr e);
+  static RegexPtr Plus(RegexPtr e);
+  static RegexPtr Optional(RegexPtr e);
+
+ private:
+  Regex(Op op, SymbolId symbol, std::vector<RegexPtr> children)
+      : op_(op), symbol_(symbol), children_(std::move(children)) {}
+
+  Op op_;
+  SymbolId symbol_ = kInvalidSymbol;
+  std::vector<RegexPtr> children_;
+};
+
+/// Structural equality of two expressions (same tree shape & symbols).
+bool StructurallyEqual(const RegexPtr& a, const RegexPtr& b);
+
+}  // namespace rwdt::regex
+
+#endif  // RWDT_REGEX_AST_H_

@@ -1,0 +1,470 @@
+#include "regex/automaton.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <queue>
+#include <set>
+
+namespace rwdt::regex {
+
+size_t Nfa::NumTransitions() const {
+  size_t n = 0;
+  for (const auto& t : trans) n += t.size();
+  return n;
+}
+
+bool Nfa::Accepts(const Word& w) const {
+  std::set<State> current(start.begin(), start.end());
+  for (SymbolId sym : w) {
+    std::set<State> next;
+    for (State q : current) {
+      for (const auto& [s, target] : trans[q]) {
+        if (s == sym) next.insert(target);
+      }
+    }
+    current = std::move(next);
+    if (current.empty()) return false;
+  }
+  for (State q : current) {
+    if (accept[q]) return true;
+  }
+  return false;
+}
+
+size_t Dfa::SymbolIndex(SymbolId sym) const {
+  auto it = std::lower_bound(alphabet.begin(), alphabet.end(), sym);
+  if (it == alphabet.end() || *it != sym) return alphabet.size();
+  return static_cast<size_t>(it - alphabet.begin());
+}
+
+State Dfa::Step(State q, SymbolId sym) const {
+  if (q == kNoState) return kNoState;
+  const size_t idx = SymbolIndex(sym);
+  if (idx == alphabet.size()) return kNoState;
+  return trans[q][idx];
+}
+
+bool Dfa::Accepts(const Word& w) const {
+  State q = start;
+  for (SymbolId sym : w) {
+    q = Step(q, sym);
+    if (q == kNoState) return false;
+  }
+  return accept[q];
+}
+
+bool Dfa::IsComplete() const {
+  for (const auto& row : trans) {
+    for (State t : row) {
+      if (t == kNoState) return false;
+    }
+  }
+  return true;
+}
+
+Dfa Determinize(const Nfa& nfa) {
+  Dfa dfa;
+  dfa.alphabet = nfa.alphabet;
+  const size_t k = dfa.alphabet.size();
+
+  std::map<std::vector<State>, State> ids;
+  std::vector<std::vector<State>> subsets;
+
+  std::vector<State> initial(nfa.start);
+  ids[initial] = 0;
+  subsets.push_back(initial);
+  dfa.trans.emplace_back(k, kNoState);
+  dfa.accept.push_back(false);
+
+  for (size_t i = 0; i < subsets.size(); ++i) {
+    // Copy: dfa.trans may reallocate while we fill the row.
+    const std::vector<State> subset = subsets[i];
+    bool acc = false;
+    for (State q : subset) acc = acc || nfa.accept[q];
+    dfa.accept[i] = acc;
+
+    for (size_t a = 0; a < k; ++a) {
+      const SymbolId sym = dfa.alphabet[a];
+      std::set<State> next_set;
+      for (State q : subset) {
+        for (const auto& [s, target] : nfa.trans[q]) {
+          if (s == sym) next_set.insert(target);
+        }
+      }
+      if (next_set.empty()) continue;
+      std::vector<State> next(next_set.begin(), next_set.end());
+      auto [it, inserted] =
+          ids.emplace(next, static_cast<State>(subsets.size()));
+      if (inserted) {
+        subsets.push_back(next);
+        dfa.trans.emplace_back(k, kNoState);
+        dfa.accept.push_back(false);
+      }
+      dfa.trans[i][a] = it->second;
+    }
+  }
+  return dfa;
+}
+
+namespace {
+
+// Removes states that are unreachable from the start or cannot reach an
+// accepting state. Keeps the DFA partial. If the language is empty the
+// result is a single non-accepting state with no transitions.
+Dfa Trim(const Dfa& dfa) {
+  const size_t n = dfa.NumStates();
+  const size_t k = dfa.alphabet.size();
+
+  std::vector<bool> reachable(n, false);
+  std::deque<State> queue = {dfa.start};
+  reachable[dfa.start] = true;
+  while (!queue.empty()) {
+    const State q = queue.front();
+    queue.pop_front();
+    for (State t : dfa.trans[q]) {
+      if (t != kNoState && !reachable[t]) {
+        reachable[t] = true;
+        queue.push_back(t);
+      }
+    }
+  }
+
+  // Backward reachability from accepting states.
+  std::vector<std::vector<State>> rev(n);
+  for (size_t q = 0; q < n; ++q) {
+    for (size_t a = 0; a < k; ++a) {
+      const State t = dfa.trans[q][a];
+      if (t != kNoState) rev[t].push_back(static_cast<State>(q));
+    }
+  }
+  std::vector<bool> useful(n, false);
+  for (size_t q = 0; q < n; ++q) {
+    if (dfa.accept[q] && reachable[q] && !useful[q]) {
+      useful[q] = true;
+      queue.push_back(static_cast<State>(q));
+    }
+  }
+  while (!queue.empty()) {
+    const State q = queue.front();
+    queue.pop_front();
+    for (State p : rev[q]) {
+      if (reachable[p] && !useful[p]) {
+        useful[p] = true;
+        queue.push_back(p);
+      }
+    }
+  }
+
+  std::vector<State> remap(n, kNoState);
+  State next_id = 0;
+  for (size_t q = 0; q < n; ++q) {
+    if (reachable[q] && useful[q]) remap[q] = next_id++;
+  }
+
+  Dfa out;
+  out.alphabet = dfa.alphabet;
+  if (remap[dfa.start] == kNoState) {
+    // Empty language: single initial state, everything undefined.
+    out.trans.emplace_back(k, kNoState);
+    out.accept.push_back(false);
+    out.start = 0;
+    return out;
+  }
+  out.trans.assign(next_id, std::vector<State>(k, kNoState));
+  out.accept.assign(next_id, false);
+  for (size_t q = 0; q < n; ++q) {
+    if (remap[q] == kNoState) continue;
+    out.accept[remap[q]] = dfa.accept[q];
+    for (size_t a = 0; a < k; ++a) {
+      const State t = dfa.trans[q][a];
+      if (t != kNoState && remap[t] != kNoState) {
+        out.trans[remap[q]][a] = remap[t];
+      }
+    }
+  }
+  out.start = remap[dfa.start];
+  return out;
+}
+
+}  // namespace
+
+Dfa Minimize(const Dfa& input) {
+  Dfa dfa = Trim(input);
+  const size_t n = dfa.NumStates();
+  const size_t k = dfa.alphabet.size();
+
+  // Moore's partition refinement. kNoState acts as an implicit class.
+  std::vector<uint32_t> cls(n);
+  for (size_t q = 0; q < n; ++q) cls[q] = dfa.accept[q] ? 1 : 0;
+
+  for (;;) {
+    // Signature = (class, class of each successor; kNoState -> sentinel).
+    std::map<std::vector<uint32_t>, uint32_t> sig_ids;
+    std::vector<uint32_t> next_cls(n);
+    for (size_t q = 0; q < n; ++q) {
+      std::vector<uint32_t> sig;
+      sig.reserve(k + 1);
+      sig.push_back(cls[q]);
+      for (size_t a = 0; a < k; ++a) {
+        const State t = dfa.trans[q][a];
+        sig.push_back(t == kNoState ? 0xffffffffu : cls[t]);
+      }
+      auto [it, inserted] =
+          sig_ids.emplace(std::move(sig), static_cast<uint32_t>(sig_ids.size()));
+      next_cls[q] = it->second;
+    }
+    bool changed = false;
+    for (size_t q = 0; q < n; ++q) {
+      if (next_cls[q] != cls[q]) {
+        changed = true;
+        break;
+      }
+    }
+    cls = std::move(next_cls);
+    if (!changed) break;
+  }
+
+  const uint32_t num_classes =
+      n == 0 ? 0 : *std::max_element(cls.begin(), cls.end()) + 1;
+  Dfa out;
+  out.alphabet = dfa.alphabet;
+  out.trans.assign(num_classes, std::vector<State>(k, kNoState));
+  out.accept.assign(num_classes, false);
+  for (size_t q = 0; q < n; ++q) {
+    out.accept[cls[q]] = dfa.accept[q];
+    for (size_t a = 0; a < k; ++a) {
+      const State t = dfa.trans[q][a];
+      if (t != kNoState) out.trans[cls[q]][a] = cls[t];
+    }
+  }
+  out.start = cls[dfa.start];
+  return out;
+}
+
+Dfa Complete(const Dfa& dfa, const std::vector<SymbolId>& alphabet) {
+  Dfa out;
+  out.alphabet = alphabet;
+  const size_t k = alphabet.size();
+  const size_t n = dfa.NumStates();
+  out.trans.assign(n + 1, std::vector<State>(k, static_cast<State>(n)));
+  out.accept.assign(n + 1, false);
+  for (size_t q = 0; q < n; ++q) {
+    out.accept[q] = dfa.accept[q];
+    for (size_t a = 0; a < k; ++a) {
+      const size_t old_idx = dfa.SymbolIndex(alphabet[a]);
+      if (old_idx == dfa.alphabet.size()) continue;  // stays dead
+      const State t = dfa.trans[q][old_idx];
+      if (t != kNoState) out.trans[q][a] = t;
+    }
+  }
+  out.start = dfa.start;
+  return out;
+}
+
+Dfa Complement(const Dfa& dfa, const std::vector<SymbolId>& alphabet) {
+  Dfa out = Complete(dfa, alphabet);
+  for (size_t q = 0; q < out.NumStates(); ++q) {
+    out.accept[q] = !out.accept[q];
+  }
+  return out;
+}
+
+std::vector<SymbolId> UnionAlphabet(const std::vector<SymbolId>& a,
+                                    const std::vector<SymbolId>& b) {
+  std::vector<SymbolId> out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+Dfa Product(const Dfa& a_in, const Dfa& b_in, bool intersect) {
+  const std::vector<SymbolId> alphabet =
+      UnionAlphabet(a_in.alphabet, b_in.alphabet);
+  const Dfa a = Complete(a_in, alphabet);
+  const Dfa b = Complete(b_in, alphabet);
+  const size_t k = alphabet.size();
+
+  Dfa out;
+  out.alphabet = alphabet;
+  std::map<std::pair<State, State>, State> ids;
+  std::vector<std::pair<State, State>> pairs;
+  auto intern = [&](State qa, State qb) {
+    auto [it, inserted] =
+        ids.emplace(std::make_pair(qa, qb), static_cast<State>(pairs.size()));
+    if (inserted) {
+      pairs.emplace_back(qa, qb);
+      out.trans.emplace_back(k, kNoState);
+      const bool acc = intersect ? (a.accept[qa] && b.accept[qb])
+                                 : (a.accept[qa] || b.accept[qb]);
+      out.accept.push_back(acc);
+    }
+    return it->second;
+  };
+  intern(a.start, b.start);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const auto [qa, qb] = pairs[i];
+    for (size_t s = 0; s < k; ++s) {
+      const State ta = a.trans[qa][s];
+      const State tb = b.trans[qb][s];
+      out.trans[i][s] = intern(ta, tb);
+    }
+  }
+  out.start = 0;
+  return out;
+}
+
+bool IsEmptyLanguage(const Dfa& dfa) {
+  return !ShortestAccepted(dfa).has_value();
+}
+
+std::optional<Word> ShortestAccepted(const Dfa& dfa) {
+  const size_t n = dfa.NumStates();
+  std::vector<std::pair<State, SymbolId>> parent(
+      n, {kNoState, kInvalidSymbol});
+  std::vector<bool> seen(n, false);
+  std::deque<State> queue = {dfa.start};
+  seen[dfa.start] = true;
+  while (!queue.empty()) {
+    const State q = queue.front();
+    queue.pop_front();
+    if (dfa.accept[q]) {
+      Word w;
+      State cur = q;
+      while (cur != dfa.start || (w.empty() && cur == dfa.start)) {
+        const auto [p, sym] = parent[cur];
+        if (p == kNoState) break;
+        w.push_back(sym);
+        cur = p;
+      }
+      std::reverse(w.begin(), w.end());
+      return w;
+    }
+    for (size_t a = 0; a < dfa.alphabet.size(); ++a) {
+      const State t = dfa.trans[q][a];
+      if (t != kNoState && !seen[t]) {
+        seen[t] = true;
+        parent[t] = {q, dfa.alphabet[a]};
+        queue.push_back(t);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool IsContained(const Dfa& a, const Dfa& b, Word* witness) {
+  const std::vector<SymbolId> alphabet =
+      UnionAlphabet(a.alphabet, b.alphabet);
+  const Dfa not_b = Complement(b, alphabet);
+  const Dfa diff = Product(a, not_b, /*intersect=*/true);
+  auto w = ShortestAccepted(diff);
+  if (w.has_value()) {
+    if (witness != nullptr) *witness = *w;
+    return false;
+  }
+  return true;
+}
+
+bool AreEquivalent(const Dfa& a, const Dfa& b) {
+  return IsContained(a, b) && IsContained(b, a);
+}
+
+std::optional<bool> IntersectionNonEmpty(const std::vector<Nfa>& nfas,
+                                         Word* witness, size_t max_configs) {
+  if (nfas.empty()) return true;
+  std::vector<SymbolId> alphabet;
+  for (const auto& nfa : nfas) {
+    alphabet = UnionAlphabet(alphabet, nfa.alphabet);
+  }
+
+  // Configuration: tuple of state *sets* (subset construction per NFA,
+  // interleaved on the fly). Encoded as a flat vector with separators.
+  using Config = std::vector<std::vector<State>>;
+  auto accepts = [&](const Config& cfg) {
+    for (size_t i = 0; i < nfas.size(); ++i) {
+      bool any = false;
+      for (State q : cfg[i]) any = any || nfas[i].accept[q];
+      if (!any) return false;
+    }
+    return true;
+  };
+
+  Config init;
+  for (const auto& nfa : nfas) {
+    init.push_back(nfa.start);
+    if (nfa.start.empty()) return false;
+  }
+
+  std::map<Config, std::pair<const Config*, SymbolId>> parents;
+  std::deque<const Config*> queue;
+  auto [it0, ins0] = parents.emplace(init, std::make_pair(nullptr, kInvalidSymbol));
+  queue.push_back(&it0->first);
+
+  while (!queue.empty()) {
+    if (parents.size() > max_configs) return std::nullopt;
+    const Config* cfg = queue.front();
+    queue.pop_front();
+    if (accepts(*cfg)) {
+      if (witness != nullptr) {
+        Word w;
+        const Config* cur = cfg;
+        while (cur != nullptr) {
+          const auto& [parent, sym] = parents.at(*cur);
+          if (parent == nullptr) break;
+          w.push_back(sym);
+          cur = parent;
+        }
+        std::reverse(w.begin(), w.end());
+        *witness = w;
+      }
+      return true;
+    }
+    for (SymbolId sym : alphabet) {
+      Config next(nfas.size());
+      bool dead = false;
+      for (size_t i = 0; i < nfas.size() && !dead; ++i) {
+        std::set<State> next_set;
+        for (State q : (*cfg)[i]) {
+          for (const auto& [s, target] : nfas[i].trans[q]) {
+            if (s == sym) next_set.insert(target);
+          }
+        }
+        if (next_set.empty()) dead = true;
+        next[i].assign(next_set.begin(), next_set.end());
+      }
+      if (dead) continue;
+      auto [it, inserted] = parents.emplace(
+          std::move(next), std::make_pair(cfg, sym));
+      if (inserted) queue.push_back(&it->first);
+    }
+  }
+  return false;
+}
+
+std::vector<Word> EnumerateLanguage(const Dfa& dfa, size_t limit,
+                                    size_t max_len) {
+  std::vector<Word> out;
+  // BFS over (state, word) in length-lexicographic order.
+  std::deque<std::pair<State, Word>> queue = {{dfa.start, {}}};
+  while (!queue.empty() && out.size() < limit) {
+    auto [q, w] = std::move(queue.front());
+    queue.pop_front();
+    if (dfa.accept[q]) out.push_back(w);
+    if (w.size() >= max_len) continue;
+    for (size_t a = 0; a < dfa.alphabet.size(); ++a) {
+      const State t = dfa.trans[q][a];
+      if (t == kNoState) continue;
+      Word next = w;
+      next.push_back(dfa.alphabet[a]);
+      queue.emplace_back(t, std::move(next));
+    }
+  }
+  return out;
+}
+
+size_t MinimalDfaSize(const Dfa& dfa) {
+  const Dfa min = Minimize(dfa);
+  return min.NumStates() + (min.IsComplete() ? 0 : 1);
+}
+
+}  // namespace rwdt::regex

@@ -1,0 +1,120 @@
+#ifndef RWDT_REGEX_AUTOMATON_H_
+#define RWDT_REGEX_AUTOMATON_H_
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "common/interner.h"
+#include "regex/ast.h"
+
+namespace rwdt::regex {
+
+using State = uint32_t;
+inline constexpr State kNoState = std::numeric_limits<State>::max();
+
+/// A word over the interned alphabet.
+using Word = std::vector<SymbolId>;
+
+/// Epsilon-free nondeterministic finite automaton. Glushkov construction
+/// (see glushkov.h) produces NFAs directly without epsilon transitions, so
+/// the library never needs epsilon closure.
+struct Nfa {
+  /// Sorted, duplicate-free alphabet. Operations on two automata use the
+  /// union of their alphabets.
+  std::vector<SymbolId> alphabet;
+
+  /// trans[q] holds (symbol, target) pairs, sorted by (symbol, target).
+  std::vector<std::vector<std::pair<SymbolId, State>>> trans;
+
+  std::vector<State> start;    // sorted
+  std::vector<bool> accept;    // size == NumStates()
+
+  size_t NumStates() const { return trans.size(); }
+  size_t NumTransitions() const;
+
+  bool Accepts(const Word& w) const;
+};
+
+/// Deterministic finite automaton, possibly partial: missing transitions
+/// are kNoState (an implicit dead state). State 0 is the start state,
+/// except when `start` is overridden (used by orbit automata in bkw.cc).
+struct Dfa {
+  std::vector<SymbolId> alphabet;             // sorted
+  std::vector<std::vector<State>> trans;      // NumStates() x alphabet.size()
+  std::vector<bool> accept;
+  State start = 0;
+
+  size_t NumStates() const { return trans.size(); }
+
+  /// Index of `sym` in `alphabet`, or npos.
+  size_t SymbolIndex(SymbolId sym) const;
+
+  State Step(State q, SymbolId sym) const;
+  bool Accepts(const Word& w) const;
+
+  /// True when every transition is present (no implicit dead state).
+  bool IsComplete() const;
+};
+
+/// Subset construction. The result is partial (no dead-state padding) and
+/// only contains reachable subsets.
+Dfa Determinize(const Nfa& nfa);
+
+/// Moore minimization of a (possibly partial) DFA. Unreachable and dead
+/// (non-co-reachable) states are removed first, so the result is the
+/// canonical minimal *partial* DFA of the language (no dead state).
+Dfa Minimize(const Dfa& dfa);
+
+/// Adds an explicit dead state (if needed) and extends the alphabet to
+/// `alphabet` (a superset of dfa.alphabet), making the DFA complete.
+Dfa Complete(const Dfa& dfa, const std::vector<SymbolId>& alphabet);
+
+/// Complements a DFA with respect to words over `alphabet`.
+Dfa Complement(const Dfa& dfa, const std::vector<SymbolId>& alphabet);
+
+/// Product automaton; `intersect` selects intersection vs union semantics
+/// for the accepting condition. Operates over the union alphabet (both
+/// inputs are completed first). Only reachable product states are built.
+Dfa Product(const Dfa& a, const Dfa& b, bool intersect);
+
+/// Language emptiness (no accepting state reachable).
+bool IsEmptyLanguage(const Dfa& dfa);
+
+/// Shortest accepted word, or nullopt when the language is empty.
+std::optional<Word> ShortestAccepted(const Dfa& dfa);
+
+/// Language containment L(a) subseteq L(b), decided via a x complement(b).
+/// Returns a counterexample through `witness` when non-contained and
+/// `witness` != nullptr.
+bool IsContained(const Dfa& a, const Dfa& b, Word* witness = nullptr);
+
+/// Language equivalence.
+bool AreEquivalent(const Dfa& a, const Dfa& b);
+
+/// On-the-fly emptiness test of the intersection of several NFAs, i.e. the
+/// generic (PSPACE) algorithm for the Intersection problem of Section 4.2.2.
+/// Explores tuples of state sets via BFS; `witness` receives a word in the
+/// intersection when non-empty. `max_configs` bounds the explored
+/// configuration count (returns nullopt when exceeded).
+std::optional<bool> IntersectionNonEmpty(const std::vector<Nfa>& nfas,
+                                         Word* witness = nullptr,
+                                         size_t max_configs = 1u << 22);
+
+/// Merges two sorted alphabets.
+std::vector<SymbolId> UnionAlphabet(const std::vector<SymbolId>& a,
+                                    const std::vector<SymbolId>& b);
+
+/// Enumerates up to `limit` words of L(dfa) in length-lexicographic order.
+std::vector<Word> EnumerateLanguage(const Dfa& dfa, size_t limit,
+                                    size_t max_len);
+
+/// Number of states of the minimal complete DFA (minimal partial + dead
+/// state when the language is not total). Used by the determinization
+/// blow-up experiment (Section 4.2.1).
+size_t MinimalDfaSize(const Dfa& dfa);
+
+}  // namespace rwdt::regex
+
+#endif  // RWDT_REGEX_AUTOMATON_H_

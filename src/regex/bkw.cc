@@ -1,0 +1,239 @@
+#include "regex/bkw.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "regex/glushkov.h"
+
+namespace rwdt::regex {
+namespace {
+
+/// Kosaraju strongly connected components; comp[q] = component id.
+std::vector<uint32_t> Scc(const Dfa& dfa, uint32_t* num_components) {
+  const size_t n = dfa.NumStates();
+  std::vector<std::vector<State>> fwd(n), rev(n);
+  for (size_t q = 0; q < n; ++q) {
+    for (State t : dfa.trans[q]) {
+      if (t != kNoState) {
+        fwd[q].push_back(t);
+        rev[t].push_back(static_cast<State>(q));
+      }
+    }
+  }
+  std::vector<bool> visited(n, false);
+  std::vector<State> order;
+  order.reserve(n);
+  // Iterative post-order DFS.
+  for (size_t root = 0; root < n; ++root) {
+    if (visited[root]) continue;
+    std::vector<std::pair<State, size_t>> stack = {
+        {static_cast<State>(root), 0}};
+    visited[root] = true;
+    while (!stack.empty()) {
+      auto& [q, idx] = stack.back();
+      if (idx < fwd[q].size()) {
+        const State t = fwd[q][idx++];
+        if (!visited[t]) {
+          visited[t] = true;
+          stack.emplace_back(t, 0);
+        }
+      } else {
+        order.push_back(q);
+        stack.pop_back();
+      }
+    }
+  }
+  std::vector<uint32_t> comp(n, 0xffffffffu);
+  uint32_t c = 0;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if (comp[*it] != 0xffffffffu) continue;
+    std::vector<State> stack = {*it};
+    comp[*it] = c;
+    while (!stack.empty()) {
+      const State q = stack.back();
+      stack.pop_back();
+      for (State t : rev[q]) {
+        if (comp[t] == 0xffffffffu) {
+          comp[t] = c;
+          stack.push_back(t);
+        }
+      }
+    }
+    ++c;
+  }
+  *num_components = c;
+  return comp;
+}
+
+/// Symbols a such that every final state q has delta(q, a) defined and
+/// all final states agree on the target ("M-consistent" symbols).
+std::vector<size_t> ConsistentSymbolIndices(const Dfa& dfa) {
+  std::vector<State> finals;
+  for (size_t q = 0; q < dfa.NumStates(); ++q) {
+    if (dfa.accept[q]) finals.push_back(static_cast<State>(q));
+  }
+  std::vector<size_t> out;
+  for (size_t a = 0; a < dfa.alphabet.size(); ++a) {
+    State target = kNoState;
+    bool consistent = !finals.empty();
+    for (State q : finals) {
+      const State t = dfa.trans[q][a];
+      if (t == kNoState) {
+        consistent = false;
+        break;
+      }
+      if (target == kNoState) {
+        target = t;
+      } else if (target != t) {
+        consistent = false;
+        break;
+      }
+    }
+    if (consistent) out.push_back(a);
+  }
+  return out;
+}
+
+/// Removes delta(q, a) for all final q and consistent symbol indices.
+/// Returns true through `cut_any` when at least one transition was removed.
+Dfa CutConsistent(const Dfa& dfa, const std::vector<size_t>& symbol_indices,
+                  bool* cut_any) {
+  Dfa out = dfa;
+  *cut_any = false;
+  for (size_t q = 0; q < out.NumStates(); ++q) {
+    if (!out.accept[q]) continue;
+    for (size_t a : symbol_indices) {
+      if (out.trans[q][a] != kNoState) {
+        out.trans[q][a] = kNoState;
+        *cut_any = true;
+      }
+    }
+  }
+  return out;
+}
+
+bool IsGate(const Dfa& dfa, const std::vector<uint32_t>& comp, State q) {
+  if (dfa.accept[q]) return true;
+  for (State t : dfa.trans[q]) {
+    if (t != kNoState && comp[t] != comp[q]) return true;
+  }
+  return false;
+}
+
+/// BKW orbit property: within each orbit, all gates agree on finality and
+/// have identical out-of-orbit transition behavior.
+bool HasOrbitProperty(const Dfa& dfa, const std::vector<uint32_t>& comp,
+                      uint32_t num_components) {
+  const size_t k = dfa.alphabet.size();
+  std::vector<std::vector<State>> gates(num_components);
+  for (size_t q = 0; q < dfa.NumStates(); ++q) {
+    if (IsGate(dfa, comp, static_cast<State>(q))) {
+      gates[comp[q]].push_back(static_cast<State>(q));
+    }
+  }
+  for (uint32_t c = 0; c < num_components; ++c) {
+    const auto& gs = gates[c];
+    for (size_t i = 1; i < gs.size(); ++i) {
+      const State q1 = gs[0];
+      const State q2 = gs[i];
+      if (dfa.accept[q1] != dfa.accept[q2]) return false;
+      for (size_t a = 0; a < k; ++a) {
+        const State t1 = dfa.trans[q1][a];
+        const State t2 = dfa.trans[q2][a];
+        const bool out1 = t1 != kNoState && comp[t1] != c;
+        const bool out2 = t2 != kNoState && comp[t2] != c;
+        if (out1 || out2) {
+          if (t1 != t2) return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+/// Orbit automaton M_K(q): the orbit of q with in-orbit transitions only,
+/// start q, gates as finals.
+Dfa OrbitAutomaton(const Dfa& dfa, const std::vector<uint32_t>& comp,
+                   State start) {
+  const uint32_t c = comp[start];
+  const size_t k = dfa.alphabet.size();
+  std::vector<State> remap(dfa.NumStates(), kNoState);
+  std::vector<State> members;
+  for (size_t q = 0; q < dfa.NumStates(); ++q) {
+    if (comp[q] == c) {
+      remap[q] = static_cast<State>(members.size());
+      members.push_back(static_cast<State>(q));
+    }
+  }
+  Dfa out;
+  out.alphabet = dfa.alphabet;
+  out.trans.assign(members.size(), std::vector<State>(k, kNoState));
+  out.accept.assign(members.size(), false);
+  for (size_t i = 0; i < members.size(); ++i) {
+    const State q = members[i];
+    out.accept[i] = IsGate(dfa, comp, q);
+    for (size_t a = 0; a < k; ++a) {
+      const State t = dfa.trans[q][a];
+      if (t != kNoState && comp[t] == c) out.trans[i][a] = remap[t];
+    }
+  }
+  out.start = remap[start];
+  return out;
+}
+
+bool HasAnyTransition(const Dfa& dfa) {
+  for (const auto& row : dfa.trans) {
+    for (State t : row) {
+      if (t != kNoState) return true;
+    }
+  }
+  return false;
+}
+
+bool CheckRecursive(const Dfa& input, int depth) {
+  if (depth > 256) return false;  // safety; never reached in practice
+  const Dfa dfa = Minimize(input);
+
+  bool any_final = false;
+  for (bool f : dfa.accept) any_final = any_final || f;
+  if (!any_final) return true;  // empty language
+  if (dfa.NumStates() == 1 && !HasAnyTransition(dfa)) return true;
+
+  bool cut_any = false;
+  const Dfa cut =
+      CutConsistent(dfa, ConsistentSymbolIndices(dfa), &cut_any);
+
+  uint32_t num_components = 0;
+  const std::vector<uint32_t> comp = Scc(cut, &num_components);
+
+  if (num_components == 1 && !cut_any) {
+    // Strongly connected minimal DFA with no consistent symbols cut:
+    // not one-unambiguous (BKW).
+    return false;
+  }
+  if (!HasOrbitProperty(cut, comp, num_components)) return false;
+
+  // Recurse into each orbit automaton. By the orbit property it suffices
+  // to pick one start per orbit when gates agree, but we test every state
+  // for robustness (orbit sizes in practice are tiny).
+  for (size_t q = 0; q < cut.NumStates(); ++q) {
+    const Dfa orbit = OrbitAutomaton(cut, comp, static_cast<State>(q));
+    if (num_components == 1 && !cut_any) return false;  // unreachable
+    // Progress guarantee: either the orbit is a strict subset of states,
+    // or transitions were cut; both shrink the problem.
+    if (orbit.NumStates() == cut.NumStates() && !cut_any) return false;
+    if (!CheckRecursive(orbit, depth + 1)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool IsDreDefinableDfa(const Dfa& dfa) { return CheckRecursive(dfa, 0); }
+
+bool IsDreDefinable(const RegexPtr& e) {
+  return IsDreDefinableDfa(ToMinimalDfa(e));
+}
+
+}  // namespace rwdt::regex

@@ -1,0 +1,29 @@
+#ifndef RWDT_REGEX_BKW_H_
+#define RWDT_REGEX_BKW_H_
+
+#include "regex/ast.h"
+#include "regex/automaton.h"
+
+namespace rwdt::regex {
+
+/// Decides whether a regular *language* is definable by a deterministic
+/// (one-unambiguous) regular expression, using the Brüggemann-Klein & Wood
+/// characterization on the minimal DFA (paper Section 4.2.1):
+///
+///   L is one-unambiguous iff the minimal partial DFA of L, after cutting
+///   the transitions of M-consistent symbols out of final states, has the
+///   orbit property and all its orbit automata are one-unambiguous.
+///
+/// The paper's canonical non-example (a+b)*a(a+b) is rejected by this test;
+/// (a+b)*a (equivalent to the deterministic b*a(b*a)*) is accepted.
+///
+/// `dfa` must be the minimal partial DFA of the language (as produced by
+/// Minimize); the function re-minimizes defensively.
+bool IsDreDefinableDfa(const Dfa& dfa);
+
+/// Convenience wrapper: tests DRE-definability of L(e).
+bool IsDreDefinable(const RegexPtr& e);
+
+}  // namespace rwdt::regex
+
+#endif  // RWDT_REGEX_BKW_H_

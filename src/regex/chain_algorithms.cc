@@ -1,0 +1,292 @@
+#include "regex/chain_algorithms.h"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "regex/automaton.h"
+#include "regex/glushkov.h"
+
+namespace rwdt::regex {
+
+uint64_t CompressedWord::Length() const {
+  uint64_t n = 0;
+  for (const auto& [sym, count] : runs) {
+    (void)sym;
+    n += count;
+  }
+  return n;
+}
+
+CompressedWord CompressedWord::FromWord(const std::vector<SymbolId>& word) {
+  CompressedWord out;
+  for (SymbolId s : word) {
+    if (!out.runs.empty() && out.runs.back().first == s) {
+      out.runs.back().second++;
+    } else {
+      out.runs.emplace_back(s, 1);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+bool FactorContains(const SimpleFactor& f, SymbolId sym) {
+  return std::binary_search(f.symbols.begin(), f.symbols.end(), sym);
+}
+
+/// Configuration set for the compressed-membership DP: runs 0..j-1 fully
+/// consumed; run j has r symbols remaining for some r in [lo, hi], with
+/// the invariant 1 <= lo <= hi <= count(j). Completion ("all runs
+/// consumed") is tracked separately.
+class ConfigSet {
+ public:
+  explicit ConfigSet(const CompressedWord& word) : word_(&word) {}
+
+  void AddFresh(size_t j) {
+    if (j >= word_->runs.size()) {
+      done_ = true;
+    } else {
+      Add(j, word_->runs[j].second, word_->runs[j].second);
+    }
+  }
+
+  /// Inserts (j, [lo, hi] ∩ [0, count_j]) with normalization: a remainder
+  /// of 0 becomes the fresh configuration of run j+1.
+  void Add(size_t j, uint64_t lo, uint64_t hi) {
+    if (j >= word_->runs.size()) {
+      done_ = true;
+      return;
+    }
+    hi = std::min(hi, word_->runs[j].second);
+    if (lo > hi) return;
+    if (lo == 0) {
+      AddFresh(j + 1);
+      lo = 1;
+    }
+    if (lo <= hi) set_.emplace(j, lo, hi);
+  }
+
+  bool done() const { return done_; }
+  void set_done(bool d) { done_ = d; }
+  const std::set<std::tuple<size_t, uint64_t, uint64_t>>& set() const {
+    return set_;
+  }
+
+ private:
+  const CompressedWord* word_ = nullptr;
+  std::set<std::tuple<size_t, uint64_t, uint64_t>> set_;
+  bool done_ = false;
+};
+
+}  // namespace
+
+bool ChainMatchesCompressed(const ChainRegex& chain,
+                            const CompressedWord& word) {
+  ConfigSet configs(word);
+  configs.AddFresh(0);
+
+  for (const auto& factor : chain.factors) {
+    ConfigSet next(word);
+    const bool allows_zero = factor.modifier == FactorModifier::kOptional ||
+                             factor.modifier == FactorModifier::kStar;
+    const bool bounded = factor.modifier == FactorModifier::kOnce ||
+                         factor.modifier == FactorModifier::kOptional;
+    if (allows_zero) {
+      next.set_done(configs.done());
+      for (const auto& [j, lo, hi] : configs.set()) next.Add(j, lo, hi);
+    }
+    for (const auto& [j, lo, hi] : configs.set()) {
+      const SymbolId sym = word.runs[j].first;
+      if (!FactorContains(factor, sym)) continue;
+      if (bounded) {
+        // Consume exactly one symbol of run j.
+        next.Add(j, lo - 1, hi - 1);
+      } else {
+        // Unbounded factor: consume 1..r symbols of run j, then possibly
+        // whole or partial subsequent runs whose symbols it contains.
+        next.Add(j, 0, hi - 1);
+        for (size_t jj = j + 1; jj < word.runs.size(); ++jj) {
+          if (!FactorContains(factor, word.runs[jj].first)) break;
+          next.Add(jj, 0, word.runs[jj].second);
+        }
+        // If the factor can consume through the final run, Add's
+        // normalization has already recorded completion.
+      }
+    }
+    configs = std::move(next);
+    if (configs.set().empty() && !configs.done()) return false;
+  }
+  return configs.done();
+}
+
+std::optional<std::vector<UnaryRun>> ToUnaryRuns(const ChainRegex& chain) {
+  std::vector<UnaryRun> runs;
+  for (const auto& f : chain.factors) {
+    if (!f.IsSingleSymbol()) return std::nullopt;
+    if (f.modifier == FactorModifier::kOptional) return std::nullopt;
+    const SymbolId sym = f.symbols[0];
+    const uint64_t min = f.modifier == FactorModifier::kStar ? 0 : 1;
+    const bool unbounded = f.modifier != FactorModifier::kOnce;
+    if (!runs.empty() && runs.back().symbol == sym) {
+      runs.back().min_count += min;
+      runs.back().unbounded = runs.back().unbounded || unbounded;
+    } else {
+      runs.push_back({sym, min, unbounded});
+    }
+  }
+  // A run that can vanish (min 0) breaks forced block alignment; the
+  // normal form then no longer characterizes the language.
+  for (const auto& r : runs) {
+    if (r.min_count == 0) return std::nullopt;
+  }
+  return runs;
+}
+
+std::optional<bool> UnaryRunContainment(const ChainRegex& lhs,
+                                        const ChainRegex& rhs) {
+  auto a = ToUnaryRuns(lhs);
+  auto b = ToUnaryRuns(rhs);
+  if (!a.has_value() || !b.has_value()) return std::nullopt;
+  if (a->size() != b->size()) return false;
+  for (size_t i = 0; i < a->size(); ++i) {
+    const UnaryRun& x = (*a)[i];
+    const UnaryRun& y = (*b)[i];
+    if (x.symbol != y.symbol) return false;
+    if (x.unbounded) {
+      if (!y.unbounded || x.min_count < y.min_count) return false;
+    } else {
+      if (y.unbounded) {
+        if (x.min_count < y.min_count) return false;
+      } else if (x.min_count != y.min_count) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::optional<bool> UnaryRunIntersection(
+    const std::vector<ChainRegex>& chains, CompressedWord* witness) {
+  if (chains.empty()) return std::nullopt;
+  std::vector<std::vector<UnaryRun>> all;
+  for (const auto& c : chains) {
+    auto runs = ToUnaryRuns(c);
+    if (!runs.has_value()) return std::nullopt;
+    all.push_back(std::move(*runs));
+  }
+  const size_t n = all[0].size();
+  for (const auto& runs : all) {
+    if (runs.size() != n) return false;
+  }
+  CompressedWord w;
+  for (size_t i = 0; i < n; ++i) {
+    const SymbolId sym = all[0][i].symbol;
+    uint64_t min = 0;
+    bool has_exact = false;
+    uint64_t exact = 0;
+    for (const auto& runs : all) {
+      if (runs[i].symbol != sym) return false;
+      min = std::max(min, runs[i].min_count);
+      if (!runs[i].unbounded) {
+        if (has_exact && exact != runs[i].min_count) return false;
+        has_exact = true;
+        exact = runs[i].min_count;
+      }
+    }
+    if (has_exact && exact < min) return false;
+    w.runs.emplace_back(sym, has_exact ? exact : min);
+  }
+  if (witness != nullptr) *witness = w;
+  return true;
+}
+
+namespace {
+
+/// For fixed-length chains (RE(a,(+a))): all modifiers are kOnce.
+bool IsFixedLength(const ChainRegex& chain) {
+  for (const auto& f : chain.factors) {
+    if (f.modifier != FactorModifier::kOnce) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<bool> FixedLengthContainment(const ChainRegex& lhs,
+                                           const ChainRegex& rhs) {
+  if (!IsFixedLength(lhs) || !IsFixedLength(rhs)) return std::nullopt;
+  if (lhs.factors.size() != rhs.factors.size()) return false;
+  for (size_t i = 0; i < lhs.factors.size(); ++i) {
+    const auto& a = lhs.factors[i].symbols;
+    const auto& b = rhs.factors[i].symbols;
+    if (!std::includes(b.begin(), b.end(), a.begin(), a.end())) return false;
+  }
+  return true;
+}
+
+std::optional<bool> FixedLengthIntersection(
+    const std::vector<ChainRegex>& chains) {
+  if (chains.empty()) return std::nullopt;
+  for (const auto& c : chains) {
+    if (!IsFixedLength(c)) return std::nullopt;
+  }
+  const size_t n = chains[0].factors.size();
+  for (const auto& c : chains) {
+    if (c.factors.size() != n) return false;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<SymbolId> common = chains[0].factors[i].symbols;
+    for (size_t c = 1; c < chains.size(); ++c) {
+      std::vector<SymbolId> next;
+      const auto& other = chains[c].factors[i].symbols;
+      std::set_intersection(common.begin(), common.end(), other.begin(),
+                            other.end(), std::back_inserter(next));
+      common = std::move(next);
+    }
+    if (common.empty()) return false;
+  }
+  return true;
+}
+
+std::optional<bool> FastChainEquivalence(const ChainRegex& lhs,
+                                         const ChainRegex& rhs) {
+  auto a = ToUnaryRuns(lhs);
+  auto b = ToUnaryRuns(rhs);
+  if (!a.has_value() || !b.has_value()) return std::nullopt;
+  if (a->size() != b->size()) return false;
+  for (size_t i = 0; i < a->size(); ++i) {
+    const UnaryRun& x = (*a)[i];
+    const UnaryRun& y = (*b)[i];
+    if (x.symbol != y.symbol || x.min_count != y.min_count ||
+        x.unbounded != y.unbounded) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ContainmentDecision DecideContainment(const RegexPtr& lhs,
+                                      const RegexPtr& rhs) {
+  ContainmentDecision decision;
+  auto lc = ToChainRegex(lhs);
+  auto rc = ToChainRegex(rhs);
+  if (lc.has_value() && rc.has_value()) {
+    if (auto r = UnaryRunContainment(*lc, *rc); r.has_value()) {
+      decision.contained = *r;
+      decision.algorithm = ContainmentAlgorithm::kUnaryRuns;
+      return decision;
+    }
+    if (auto r = FixedLengthContainment(*lc, *rc); r.has_value()) {
+      decision.contained = *r;
+      decision.algorithm = ContainmentAlgorithm::kFixedLength;
+      return decision;
+    }
+  }
+  decision.contained = IsContained(ToDfa(lhs), ToDfa(rhs));
+  decision.algorithm = ContainmentAlgorithm::kAutomata;
+  return decision;
+}
+
+}  // namespace rwdt::regex

@@ -1,0 +1,100 @@
+#ifndef RWDT_REGEX_CHAIN_ALGORITHMS_H_
+#define RWDT_REGEX_CHAIN_ALGORITHMS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "regex/ast.h"
+#include "regex/fragments.h"
+
+namespace rwdt::regex {
+
+/// A run-length-encoded word: maximal blocks of equal symbols.
+/// Supports words of length up to 2^64-1 with a polynomial description,
+/// which is how the NP upper bounds of Theorem 4.5(c-g) represent their
+/// candidate witnesses.
+struct CompressedWord {
+  std::vector<std::pair<SymbolId, uint64_t>> runs;  // (symbol, count>0)
+
+  uint64_t Length() const;
+  static CompressedWord FromWord(const std::vector<SymbolId>& word);
+};
+
+/// Polynomial-time membership of a compressed (possibly exponentially
+/// long) word in a chain regular expression. This is the verification
+/// procedure behind the NP upper bounds of Theorem 4.5: "it is possible to
+/// guess a polynomial-size representation of a candidate witness word w
+/// ... and to test in polynomial time if w is in each of the languages."
+bool ChainMatchesCompressed(const ChainRegex& chain,
+                            const CompressedWord& word);
+
+/// Unary-run normal form for expressions in RE(a, a+) (and RE(a, a*) with
+/// no pure-star runs): a sequence of runs over single symbols where
+/// adjacent runs carry distinct symbols.
+struct UnaryRun {
+  SymbolId symbol = kInvalidSymbol;
+  uint64_t min_count = 0;   // exact count when !unbounded
+  bool unbounded = false;   // true: any count >= min_count
+};
+
+/// Computes the run normal form of a chain regex whose factors are all
+/// single-symbol with modifiers in {once, plus} (the RE(a, a+) fragment)
+/// or {once, plus, star} where star factors merge into adjacent runs of
+/// the same symbol. Returns nullopt when the expression has a "vanishing"
+/// run (a pure star run, min 0) adjacent to runs of different symbols, in
+/// which case block alignment is not forced and the normal form does not
+/// characterize the language.
+std::optional<std::vector<UnaryRun>> ToUnaryRuns(const ChainRegex& chain);
+
+/// PTIME containment for RE(a, a+) — Theorem 4.4(a). Both inputs must
+/// have a unary-run normal form; returns nullopt otherwise.
+std::optional<bool> UnaryRunContainment(const ChainRegex& lhs,
+                                        const ChainRegex& rhs);
+
+/// PTIME intersection non-emptiness for RE(a, a+) — Theorem 4.5(a).
+/// Returns nullopt when some input lacks a normal form; otherwise true iff
+/// the intersection is non-empty (and fills `witness` when non-empty).
+std::optional<bool> UnaryRunIntersection(
+    const std::vector<ChainRegex>& chains,
+    CompressedWord* witness = nullptr);
+
+/// PTIME containment for RE(a, (+a)) — Theorem 4.4(b). All words of such
+/// an expression have the same length; the language is a product of
+/// per-position symbol sets. Returns nullopt when a factor has a modifier.
+std::optional<bool> FixedLengthContainment(const ChainRegex& lhs,
+                                           const ChainRegex& rhs);
+
+/// PTIME intersection for RE(a, (+a)) — Theorem 4.5(b).
+std::optional<bool> FixedLengthIntersection(
+    const std::vector<ChainRegex>& chains);
+
+/// Fast equivalence for RE(a, a*) / RE(a, a?) style chains via run normal
+/// forms (paper: equivalence is PTIME although containment is
+/// coNP-complete). Falls back to nullopt when a normal form does not
+/// exist; the caller should then use automata-based equivalence.
+std::optional<bool> FastChainEquivalence(const ChainRegex& lhs,
+                                         const ChainRegex& rhs);
+
+/// Which algorithm DecideContainment selected; reported by benchmarks.
+enum class ContainmentAlgorithm {
+  kUnaryRuns,     // PTIME, RE(a,a+)
+  kFixedLength,   // PTIME, RE(a,(+a))
+  kAutomata,      // generic (worst-case exponential)
+};
+
+struct ContainmentDecision {
+  bool contained = false;
+  ContainmentAlgorithm algorithm = ContainmentAlgorithm::kAutomata;
+};
+
+/// Containment with fragment dispatch: uses the PTIME procedures when the
+/// expressions fall in a tractable fragment, otherwise the generic
+/// automata-theoretic algorithm.
+ContainmentDecision DecideContainment(const RegexPtr& lhs,
+                                      const RegexPtr& rhs);
+
+}  // namespace rwdt::regex
+
+#endif  // RWDT_REGEX_CHAIN_ALGORITHMS_H_

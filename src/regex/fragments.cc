@@ -1,0 +1,175 @@
+#include "regex/fragments.h"
+
+#include <algorithm>
+
+namespace rwdt::regex {
+
+std::string FactorTypeName(FactorType type) {
+  switch (type) {
+    case FactorType::kA:
+      return "a";
+    case FactorType::kAOpt:
+      return "a?";
+    case FactorType::kAStar:
+      return "a*";
+    case FactorType::kAPlus:
+      return "a+";
+    case FactorType::kDisj:
+      return "(+a)";
+    case FactorType::kDisjOpt:
+      return "(+a)?";
+    case FactorType::kDisjStar:
+      return "(+a)*";
+    case FactorType::kDisjPlus:
+      return "(+a)+";
+  }
+  return "?";
+}
+
+FactorType TypeOf(const SimpleFactor& factor) {
+  const bool single = factor.IsSingleSymbol();
+  switch (factor.modifier) {
+    case FactorModifier::kOnce:
+      return single ? FactorType::kA : FactorType::kDisj;
+    case FactorModifier::kOptional:
+      return single ? FactorType::kAOpt : FactorType::kDisjOpt;
+    case FactorModifier::kStar:
+      return single ? FactorType::kAStar : FactorType::kDisjStar;
+    case FactorModifier::kPlus:
+      return single ? FactorType::kAPlus : FactorType::kDisjPlus;
+  }
+  return FactorType::kA;
+}
+
+std::set<FactorType> ChainRegex::Signature() const {
+  std::set<FactorType> out;
+  for (const auto& f : factors) out.insert(TypeOf(f));
+  return out;
+}
+
+RegexPtr ChainRegex::ToRegex() const {
+  std::vector<RegexPtr> parts;
+  for (const auto& f : factors) {
+    std::vector<RegexPtr> symbols;
+    symbols.reserve(f.symbols.size());
+    for (SymbolId s : f.symbols) symbols.push_back(Regex::Symbol(s));
+    RegexPtr base = Regex::Union(std::move(symbols));
+    switch (f.modifier) {
+      case FactorModifier::kOnce:
+        break;
+      case FactorModifier::kOptional:
+        base = Regex::Optional(base);
+        break;
+      case FactorModifier::kStar:
+        base = Regex::Star(base);
+        break;
+      case FactorModifier::kPlus:
+        base = Regex::Plus(base);
+        break;
+    }
+    parts.push_back(std::move(base));
+  }
+  return Regex::Concat(std::move(parts));
+}
+
+namespace {
+
+/// Parses a disjunction-of-symbols body: either one symbol or a union
+/// whose children are all symbols.
+std::optional<std::vector<SymbolId>> AsSymbolDisjunction(const Regex& e) {
+  if (e.op() == Op::kSymbol) return std::vector<SymbolId>{e.symbol()};
+  if (e.op() != Op::kUnion) return std::nullopt;
+  std::vector<SymbolId> out;
+  for (const auto& c : e.children()) {
+    if (c->op() != Op::kSymbol) return std::nullopt;
+    out.push_back(c->symbol());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::optional<SimpleFactor> AsSimpleFactor(const Regex& e) {
+  SimpleFactor factor;
+  const Regex* body = &e;
+  switch (e.op()) {
+    case Op::kOptional:
+      factor.modifier = FactorModifier::kOptional;
+      body = e.child().get();
+      break;
+    case Op::kStar:
+      factor.modifier = FactorModifier::kStar;
+      body = e.child().get();
+      break;
+    case Op::kPlus:
+      factor.modifier = FactorModifier::kPlus;
+      body = e.child().get();
+      break;
+    default:
+      break;
+  }
+  auto symbols = AsSymbolDisjunction(*body);
+  if (!symbols.has_value()) return std::nullopt;
+  factor.symbols = std::move(*symbols);
+  return factor;
+}
+
+}  // namespace
+
+std::optional<ChainRegex> ToChainRegex(const RegexPtr& e) {
+  ChainRegex chain;
+  if (e->op() == Op::kEpsilon) return chain;  // empty concatenation
+  if (e->op() == Op::kConcat) {
+    for (const auto& c : e->children()) {
+      auto factor = AsSimpleFactor(*c);
+      if (!factor.has_value()) return std::nullopt;
+      chain.factors.push_back(std::move(*factor));
+    }
+    return chain;
+  }
+  auto factor = AsSimpleFactor(*e);
+  if (!factor.has_value()) return std::nullopt;
+  chain.factors.push_back(std::move(*factor));
+  return chain;
+}
+
+bool IsKore(const RegexPtr& e, size_t k) {
+  return e->MaxSymbolOccurrences() <= k;
+}
+
+bool IsSore(const RegexPtr& e) { return IsKore(e, 1); }
+
+bool InFragment(const RegexPtr& e, const std::set<FactorType>& allowed) {
+  auto chain = ToChainRegex(e);
+  if (!chain.has_value()) return false;
+  for (const auto& f : chain->factors) {
+    FactorType t = TypeOf(f);
+    // A single-symbol factor also belongs to the corresponding
+    // disjunction type: "a" is a special case of "(+a)".
+    if (allowed.count(t) > 0) continue;
+    if (f.IsSingleSymbol()) {
+      FactorType widened = t;
+      switch (t) {
+        case FactorType::kA:
+          widened = FactorType::kDisj;
+          break;
+        case FactorType::kAOpt:
+          widened = FactorType::kDisjOpt;
+          break;
+        case FactorType::kAStar:
+          widened = FactorType::kDisjStar;
+          break;
+        case FactorType::kAPlus:
+          widened = FactorType::kDisjPlus;
+          break;
+        default:
+          break;
+      }
+      if (allowed.count(widened) > 0) continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace rwdt::regex

@@ -1,0 +1,78 @@
+#ifndef RWDT_REGEX_FRAGMENTS_H_
+#define RWDT_REGEX_FRAGMENTS_H_
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "regex/ast.h"
+
+namespace rwdt::regex {
+
+/// Modifier of a simple factor (Definition 4.3):
+///   (a1+...+ak)  (a1+...+ak)?  (a1+...+ak)*  (a1+...+ak)+
+enum class FactorModifier { kOnce, kOptional, kStar, kPlus };
+
+/// A simple factor: a disjunction of symbols with a modifier.
+struct SimpleFactor {
+  std::vector<SymbolId> symbols;  // sorted, duplicate-free
+  FactorModifier modifier = FactorModifier::kOnce;
+
+  bool IsSingleSymbol() const { return symbols.size() == 1; }
+};
+
+/// The eight factor types of the RE(f1,...,fk) fragment notation of
+/// Martens-Neven-Schwentick (paper Section 4.2.2): "a" stands for a single
+/// symbol, "(+a)" for a disjunction of symbols.
+enum class FactorType {
+  kA,         // a
+  kAOpt,      // a?
+  kAStar,     // a*
+  kAPlus,     // a+
+  kDisj,      // (+a)
+  kDisjOpt,   // (+a)?
+  kDisjStar,  // (+a)*
+  kDisjPlus,  // (+a)+
+};
+
+/// Human-readable name, e.g. "(+a)*".
+std::string FactorTypeName(FactorType type);
+
+FactorType TypeOf(const SimpleFactor& factor);
+
+/// A sequential (chain) regular expression: a concatenation f1...fn of
+/// simple factors (Definition 4.3). Bex et al. found >92% of DTD
+/// expressions have this form.
+struct ChainRegex {
+  std::vector<SimpleFactor> factors;
+
+  /// Set of factor types used; determines the smallest RE(...) fragment
+  /// the expression falls into.
+  std::set<FactorType> Signature() const;
+
+  RegexPtr ToRegex() const;
+};
+
+/// Decomposes `e` into a chain regex, or nullopt when `e` is not
+/// sequential. Recognition is syntactic (per Definition 4.3): the
+/// expression must literally be a concatenation of simple factors;
+/// equivalent-but-differently-written expressions are not recognized.
+/// A disjunction with repeated symbols (a+a) is still accepted as a factor
+/// (duplicates collapsed).
+std::optional<ChainRegex> ToChainRegex(const RegexPtr& e);
+
+/// True iff `e` is a k-occurrence regular expression: every symbol occurs
+/// at most `k` times (Section 4.2.3).
+bool IsKore(const RegexPtr& e, size_t k);
+
+/// Single-occurrence regular expression (1-ORE / SORE).
+bool IsSore(const RegexPtr& e);
+
+/// True iff every factor is within the fragment described by
+/// `allowed` factor types, and `e` is sequential at all.
+bool InFragment(const RegexPtr& e, const std::set<FactorType>& allowed);
+
+}  // namespace rwdt::regex
+
+#endif  // RWDT_REGEX_FRAGMENTS_H_

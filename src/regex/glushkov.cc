@@ -1,0 +1,149 @@
+#include "regex/glushkov.h"
+
+#include <algorithm>
+#include <set>
+
+namespace rwdt::regex {
+namespace {
+
+/// Per-subexpression Glushkov attributes over position indices.
+struct Attrs {
+  bool nullable = false;
+  std::vector<uint32_t> first;  // positions that can start a word
+  std::vector<uint32_t> last;   // positions that can end a word
+};
+
+void Append(std::vector<uint32_t>* to, const std::vector<uint32_t>& from) {
+  to->insert(to->end(), from.begin(), from.end());
+}
+
+/// Computes attributes and fills follow sets. `follow[p]` collects the
+/// positions that may come directly after position p.
+Attrs Walk(const Regex& e, std::vector<SymbolId>* pos_symbol,
+           std::vector<std::set<uint32_t>>* follow) {
+  switch (e.op()) {
+    case Op::kEmpty:
+      return {};  // non-nullable, empty first/last: the empty language
+    case Op::kEpsilon: {
+      Attrs a;
+      a.nullable = true;
+      return a;
+    }
+    case Op::kSymbol: {
+      const uint32_t pos = static_cast<uint32_t>(pos_symbol->size());
+      pos_symbol->push_back(e.symbol());
+      follow->emplace_back();
+      Attrs a;
+      a.first = {pos};
+      a.last = {pos};
+      return a;
+    }
+    case Op::kConcat: {
+      Attrs acc = Walk(*e.children()[0], pos_symbol, follow);
+      for (size_t i = 1; i < e.children().size(); ++i) {
+        Attrs rhs = Walk(*e.children()[i], pos_symbol, follow);
+        for (uint32_t p : acc.last) {
+          (*follow)[p].insert(rhs.first.begin(), rhs.first.end());
+        }
+        Attrs merged;
+        merged.nullable = acc.nullable && rhs.nullable;
+        merged.first = acc.first;
+        if (acc.nullable) Append(&merged.first, rhs.first);
+        merged.last = rhs.last;
+        if (rhs.nullable) Append(&merged.last, acc.last);
+        acc = std::move(merged);
+      }
+      return acc;
+    }
+    case Op::kUnion: {
+      Attrs acc;
+      for (const auto& c : e.children()) {
+        Attrs child = Walk(*c, pos_symbol, follow);
+        acc.nullable = acc.nullable || child.nullable;
+        Append(&acc.first, child.first);
+        Append(&acc.last, child.last);
+      }
+      return acc;
+    }
+    case Op::kStar:
+    case Op::kPlus: {
+      Attrs child = Walk(*e.child(), pos_symbol, follow);
+      for (uint32_t p : child.last) {
+        (*follow)[p].insert(child.first.begin(), child.first.end());
+      }
+      if (e.op() == Op::kStar) child.nullable = true;
+      return child;
+    }
+    case Op::kOptional: {
+      Attrs child = Walk(*e.child(), pos_symbol, follow);
+      child.nullable = true;
+      return child;
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+GlushkovResult BuildGlushkov(const RegexPtr& e) {
+  // pos_symbol[0] is a placeholder for the synthetic start state.
+  std::vector<SymbolId> pos_symbol = {kInvalidSymbol};
+  std::vector<std::set<uint32_t>> follow;
+  follow.emplace_back();  // follow[0] unused; positions start at 1
+
+  const Attrs attrs = Walk(*e, &pos_symbol, &follow);
+  const size_t n = pos_symbol.size() - 1;  // number of positions
+
+  GlushkovResult result;
+  result.pos_symbol = pos_symbol;
+  Nfa& nfa = result.nfa;
+  nfa.trans.resize(n + 1);
+  nfa.accept.assign(n + 1, false);
+  nfa.start = {0};
+
+  std::set<SymbolId> alphabet;
+  for (size_t i = 1; i <= n; ++i) alphabet.insert(pos_symbol[i]);
+  nfa.alphabet.assign(alphabet.begin(), alphabet.end());
+
+  // Start transitions: 0 -> p for p in first(e).
+  for (uint32_t p : attrs.first) {
+    nfa.trans[0].emplace_back(pos_symbol[p], p);
+  }
+  // Internal transitions: p -> q for q in follow(p).
+  for (size_t p = 1; p <= n; ++p) {
+    for (uint32_t q : follow[p]) {
+      nfa.trans[p].emplace_back(pos_symbol[q], q);
+    }
+  }
+  for (auto& row : nfa.trans) {
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+  }
+
+  nfa.accept[0] = attrs.nullable;
+  for (uint32_t p : attrs.last) nfa.accept[p] = true;
+  return result;
+}
+
+Nfa ToNfa(const RegexPtr& e) { return BuildGlushkov(e).nfa; }
+
+Dfa ToDfa(const RegexPtr& e) { return Determinize(ToNfa(e)); }
+
+Dfa ToMinimalDfa(const RegexPtr& e) { return Minimize(ToDfa(e)); }
+
+bool IsDeterministic(const RegexPtr& e) {
+  const GlushkovResult g = BuildGlushkov(e);
+  // Deterministic iff no state has two outgoing transitions with the same
+  // symbol to *different* positions.
+  for (const auto& row : g.nfa.trans) {
+    for (size_t i = 1; i < row.size(); ++i) {
+      if (row[i].first == row[i - 1].first &&
+          row[i].second != row[i - 1].second) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace rwdt::regex

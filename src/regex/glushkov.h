@@ -1,0 +1,44 @@
+#ifndef RWDT_REGEX_GLUSHKOV_H_
+#define RWDT_REGEX_GLUSHKOV_H_
+
+#include <vector>
+
+#include "regex/ast.h"
+#include "regex/automaton.h"
+
+namespace rwdt::regex {
+
+/// Result of the Glushkov (position automaton) construction.
+///
+/// Positions are the occurrences of symbols in the expression, numbered
+/// 1..n in left-to-right order; position 0 is the synthetic start state.
+/// The expression is *deterministic* (one-unambiguous, Section 4.2.1) iff
+/// this automaton is deterministic, which is exactly how
+/// IsDeterministic() decides it (Brüggemann-Klein & Wood).
+struct GlushkovResult {
+  Nfa nfa;                           // states: 0 = start, 1..n = positions
+  std::vector<SymbolId> pos_symbol;  // pos_symbol[i] = label of position i
+                                     // (pos_symbol[0] unused)
+};
+
+/// Builds the Glushkov automaton of `e` via first/last/follow sets.
+GlushkovResult BuildGlushkov(const RegexPtr& e);
+
+/// Convenience: Glushkov NFA of `e`.
+Nfa ToNfa(const RegexPtr& e);
+
+/// Convenience: determinized (partial, reachable-only) DFA of `e`.
+Dfa ToDfa(const RegexPtr& e);
+
+/// Convenience: canonical minimal partial DFA of L(e).
+Dfa ToMinimalDfa(const RegexPtr& e);
+
+/// True iff `e` is a deterministic (one-unambiguous) regular expression:
+/// while reading a word left to right it is always clear which symbol
+/// occurrence of `e` the next input symbol matches. Required of DTD
+/// content models by the XML standard (paper Section 4.2.1).
+bool IsDeterministic(const RegexPtr& e);
+
+}  // namespace rwdt::regex
+
+#endif  // RWDT_REGEX_GLUSHKOV_H_

@@ -1,0 +1,160 @@
+#include "regex/parser.h"
+
+#include <cctype>
+#include <string>
+
+namespace rwdt::regex {
+namespace {
+
+bool IsSymbolChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '#' || c == '$' || c == '@';
+}
+
+/// Recursive-descent parser over the grammar
+///   union   := concat ('|' concat)*
+///   concat  := postfix+
+///   postfix := atom ('*' | '+' | '?')*
+///   atom    := symbol | '(' union ')' | '<eps>' | '<empty>'
+class Parser {
+ public:
+  Parser(std::string_view input, Interner* dict)
+      : input_(input), dict_(dict) {}
+
+  Result<RegexPtr> Parse() {
+    auto e = ParseUnion();
+    if (!e.ok()) return e;
+    SkipSpace();
+    if (pos_ != input_.size()) {
+      return Status::ParseError("trailing characters at offset " +
+                                std::to_string(pos_));
+    }
+    return e;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    SkipSpace();
+    return pos_ < input_.size() ? input_[pos_] : '\0';
+  }
+
+  Result<RegexPtr> ParseUnion() {
+    auto first = ParseConcat();
+    if (!first.ok()) return first;
+    std::vector<RegexPtr> parts = {first.value()};
+    while (Peek() == '|') {
+      ++pos_;
+      auto next = ParseConcat();
+      if (!next.ok()) return next;
+      parts.push_back(next.value());
+    }
+    return Regex::Union(std::move(parts));
+  }
+
+  Result<RegexPtr> ParseConcat() {
+    std::vector<RegexPtr> parts;
+    for (;;) {
+      const char c = Peek();
+      if (c == '\0' || c == '|' || c == ')') break;
+      auto next = ParsePostfix();
+      if (!next.ok()) return next;
+      parts.push_back(next.value());
+    }
+    if (parts.empty()) {
+      return Status::ParseError("empty alternative at offset " +
+                                std::to_string(pos_));
+    }
+    return Regex::Concat(std::move(parts));
+  }
+
+  Result<RegexPtr> ParsePostfix() {
+    auto atom = ParseAtom();
+    if (!atom.ok()) return atom;
+    RegexPtr e = atom.value();
+    for (;;) {
+      // Postfix operators bind to the immediately preceding atom; no
+      // whitespace skipping here so "a *" is concat(a, error) rather than
+      // silently a*. SkipSpace would make 'a b*' ambiguous to read.
+      if (pos_ >= input_.size()) break;
+      const char c = input_[pos_];
+      if (c == '*') {
+        e = Regex::Star(e);
+        ++pos_;
+      } else if (c == '+') {
+        e = Regex::Plus(e);
+        ++pos_;
+      } else if (c == '?') {
+        e = Regex::Optional(e);
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return e;
+  }
+
+  Result<RegexPtr> ParseAtom() {
+    const char c = Peek();
+    if (c == '(') {
+      ++pos_;
+      auto inner = ParseUnion();
+      if (!inner.ok()) return inner;
+      if (Peek() != ')') {
+        return Status::ParseError("expected ')' at offset " +
+                                  std::to_string(pos_));
+      }
+      ++pos_;
+      return inner;
+    }
+    if (c == '<') {
+      if (input_.substr(pos_, 5) == "<eps>") {
+        pos_ += 5;
+        return Regex::Epsilon();
+      }
+      if (input_.substr(pos_, 7) == "<empty>") {
+        pos_ += 7;
+        return Regex::Empty();
+      }
+      return Status::ParseError("unknown <...> token at offset " +
+                                std::to_string(pos_));
+    }
+    if (c == '\'') {
+      ++pos_;
+      std::string name;
+      while (pos_ < input_.size() && input_[pos_] != '\'') {
+        name += input_[pos_++];
+      }
+      if (pos_ >= input_.size()) {
+        return Status::ParseError("unterminated quoted symbol");
+      }
+      ++pos_;
+      if (name.empty()) return Status::ParseError("empty quoted symbol");
+      return Regex::Symbol(dict_->Intern(name));
+    }
+    if (IsSymbolChar(c)) {
+      ++pos_;
+      return Regex::Symbol(dict_->Intern(std::string_view(&c, 1)));
+    }
+    return Status::ParseError(std::string("unexpected character '") + c +
+                              "' at offset " + std::to_string(pos_));
+  }
+
+  std::string_view input_;
+  Interner* dict_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<RegexPtr> ParseRegex(std::string_view input, Interner* dict) {
+  return Parser(input, dict).Parse();
+}
+
+}  // namespace rwdt::regex

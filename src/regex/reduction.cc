@@ -1,0 +1,152 @@
+#include "regex/reduction.h"
+
+#include <cstdlib>
+
+namespace rwdt::regex {
+
+bool DnfFormula::SatisfiedBy(uint64_t assignment) const {
+  for (const Clause& clause : clauses) {
+    bool sat = true;
+    for (int lit : clause) {
+      const size_t var = static_cast<size_t>(std::abs(lit)) - 1;
+      const bool value = (assignment >> var) & 1;
+      if ((lit > 0) != value) {
+        sat = false;
+        break;
+      }
+    }
+    if (sat) return true;
+  }
+  return false;
+}
+
+bool DnfFormula::IsValidBruteForce() const {
+  const uint64_t count = 1ull << num_vars;
+  for (uint64_t a = 0; a < count; ++a) {
+    if (!SatisfiedBy(a)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+enum class SlotKind { kBuffer, kGenerator, kPositive, kNegative, kFree };
+
+/// Appends one slot's factors to `parts`.
+void AppendSlot(SlotKind kind, SymbolId a, std::vector<RegexPtr>* parts) {
+  auto sym = [&] { return Regex::Symbol(a); };
+  switch (kind) {
+    case SlotKind::kBuffer:  // exactly "a"
+      parts->push_back(sym());
+      break;
+    case SlotKind::kGenerator:  // a?a?  -> {"", a, aa}
+      parts->push_back(Regex::Optional(sym()));
+      parts->push_back(Regex::Optional(sym()));
+      break;
+    case SlotKind::kPositive:  // a a?  -> {a, aa}: true or buffer
+      parts->push_back(sym());
+      parts->push_back(Regex::Optional(sym()));
+      break;
+    case SlotKind::kNegative:  // a?    -> {"", a}: false or buffer
+      parts->push_back(Regex::Optional(sym()));
+      break;
+    case SlotKind::kFree:  // a?a?
+      parts->push_back(Regex::Optional(sym()));
+      parts->push_back(Regex::Optional(sym()));
+      break;
+  }
+}
+
+/// Appends a block: slot_1 $ slot_2 $ ... $ slot_n. `optional_skeleton`
+/// makes the separators (and the trailing '#') optional, used for the
+/// buffer blocks of e2.
+void AppendBlock(const std::vector<SlotKind>& slots, SymbolId a,
+                 SymbolId dollar, SymbolId hash, bool optional_skeleton,
+                 std::vector<RegexPtr>* parts) {
+  for (size_t i = 0; i < slots.size(); ++i) {
+    if (i > 0) {
+      RegexPtr sep = Regex::Symbol(dollar);
+      parts->push_back(optional_skeleton ? Regex::Optional(sep) : sep);
+    }
+    AppendSlot(slots[i], a, parts);
+  }
+  RegexPtr close = Regex::Symbol(hash);
+  parts->push_back(optional_skeleton ? Regex::Optional(close) : close);
+}
+
+}  // namespace
+
+ContainmentInstance EncodeValidityAsContainment(const DnfFormula& formula,
+                                                Interner* dict) {
+  const SymbolId hash = dict->Intern("#");
+  const SymbolId dollar = dict->Intern("$");
+  const SymbolId a = dict->Intern("a");
+
+  const size_t n = formula.num_vars;
+  const size_t m = formula.clauses.size();
+
+  const std::vector<SlotKind> buffer_slots(n, SlotKind::kBuffer);
+  const std::vector<SlotKind> generator_slots(n, SlotKind::kGenerator);
+
+  // e1 = # (Buf #)^{m-1} (Gen #) (Buf #)^{m-1}
+  std::vector<RegexPtr> e1 = {Regex::Symbol(hash)};
+  for (size_t i = 0; i + 1 < m; ++i) {
+    AppendBlock(buffer_slots, a, dollar, hash, /*optional_skeleton=*/false,
+                &e1);
+  }
+  AppendBlock(generator_slots, a, dollar, hash, false, &e1);
+  for (size_t i = 0; i + 1 < m; ++i) {
+    AppendBlock(buffer_slots, a, dollar, hash, false, &e1);
+  }
+
+  // e2 = #? (OptBuf #?)^{m-1} # (Clause_1 #) ... (Clause_m #)
+  //      (OptBuf #?)^{m-1}
+  // Leading '#?' then optional buffer blocks, a mandatory '#' opening the
+  // clause region, m clause blocks with mandatory skeleton, then optional
+  // buffer blocks. Wait -- the leading '#' of the word must be consumable
+  // whether or not prefix buffers are present; using '#?' for it and for
+  // each optional block's closing '#' keeps the count flexible while the
+  // clause region contributes exactly m+1 mandatory '#'s... The clause
+  // region opener is mandatory.
+  std::vector<RegexPtr> e2;
+  // Prefix optional region: (#? OptBufContent)^{m-1}; each OptBuf block's
+  // *opening* '#' pairs with the previous block, so we emit: for each of
+  // the m-1 prefix slots, an optional '#' followed by optional buffer
+  // content. The mandatory '#' of the clause region then matches the '#'
+  // preceding the first clause-aligned block.
+  // Equivalent formulation used here:
+  //   e2 = (OptBufContent' )... : we emit m-1 groups of
+  //        [#? content?] then the mandatory clause region "# C_1 # ... C_m #"
+  //        then m-1 groups of [content? #?].
+  for (size_t i = 0; i + 1 < m; ++i) {
+    e2.push_back(Regex::Optional(Regex::Symbol(hash)));
+    // Optional buffer content: a? ($? a?)^{n-1}.
+    for (size_t v = 0; v < n; ++v) {
+      if (v > 0) e2.push_back(Regex::Optional(Regex::Symbol(dollar)));
+      e2.push_back(Regex::Optional(Regex::Symbol(a)));
+    }
+  }
+  e2.push_back(Regex::Symbol(hash));  // opens the clause region
+  for (size_t c = 0; c < m; ++c) {
+    std::vector<SlotKind> slots(n, SlotKind::kFree);
+    for (int lit : formula.clauses[c]) {
+      const size_t var = static_cast<size_t>(std::abs(lit)) - 1;
+      slots[var] = lit > 0 ? SlotKind::kPositive : SlotKind::kNegative;
+    }
+    AppendBlock(slots, a, dollar, hash, /*optional_skeleton=*/false, &e2);
+  }
+  for (size_t i = 0; i + 1 < m; ++i) {
+    for (size_t v = 0; v < n; ++v) {
+      if (v > 0) e2.push_back(Regex::Optional(Regex::Symbol(dollar)));
+      e2.push_back(Regex::Optional(Regex::Symbol(a)));
+    }
+    e2.push_back(Regex::Optional(Regex::Symbol(hash)));
+  }
+
+  ContainmentInstance out;
+  out.lhs = Regex::Concat(std::move(e1));
+  out.rhs = Regex::Concat(std::move(e2));
+  return out;
+}
+
+}  // namespace rwdt::regex

@@ -1,0 +1,58 @@
+#ifndef RWDT_REGEX_REDUCTION_H_
+#define RWDT_REGEX_REDUCTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/interner.h"
+#include "regex/ast.h"
+
+namespace rwdt::regex {
+
+/// A DNF formula: a disjunction of conjunctive clauses over variables
+/// 0..num_vars-1. Validity of DNF formulas (does every assignment satisfy
+/// some clause?) is coNP-complete; Appendix A of the paper reduces it to
+/// containment of chain regular expressions in RE(a, a?).
+struct DnfFormula {
+  /// literal: +v+1 for x_v, -(v+1) for ¬x_v.
+  using Clause = std::vector<int>;
+
+  size_t num_vars = 0;
+  std::vector<Clause> clauses;
+
+  bool SatisfiedBy(uint64_t assignment) const;
+
+  /// Brute-force validity check, 2^num_vars time. For cross-checking the
+  /// reduction on small instances.
+  bool IsValidBruteForce() const;
+};
+
+/// Output of the validity -> containment encoding.
+struct ContainmentInstance {
+  RegexPtr lhs;  // e1: generator with buffer blocks
+  RegexPtr rhs;  // e2: optional buffers + clause blocks
+};
+
+/// Encodes DNF validity as RE(a, a?)-containment, following the
+/// construction of Appendix A: the formula is valid iff
+/// L(e1) subseteq L(e2).
+///
+/// Encoding (over alphabet {#, $, a}): words are sequences of 2m-1 blocks
+/// delimited by mandatory '#' (with leading and trailing '#'), each block
+/// holding one slot per variable separated by '$'. Slot values: "aa" =
+/// true, "" = false, "a" = buffer/wildcard. e1 generates m-1 buffer
+/// blocks, one assignment block (slots a?a?), and m-1 buffer blocks. e2
+/// has m-1 fully-optional buffer blocks on each side of m mandatory
+/// clause blocks: a positive literal becomes slot "a a?", a negative one
+/// "a?", an unconstrained variable "a? a?". The mandatory '#'/'$' skeleton
+/// of the clause region forces block- and slot-alignment, so the
+/// assignment block always lines up with some clause block.
+///
+/// Requires num_vars >= 1 and clauses non-empty. Symbols are interned
+/// into `dict` as "#", "$", "a".
+ContainmentInstance EncodeValidityAsContainment(const DnfFormula& formula,
+                                                Interner* dict);
+
+}  // namespace rwdt::regex
+
+#endif  // RWDT_REGEX_REDUCTION_H_

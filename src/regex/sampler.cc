@@ -1,0 +1,93 @@
+#include "regex/sampler.h"
+
+#include <algorithm>
+
+#include "regex/automaton.h"
+
+namespace rwdt::regex {
+namespace {
+
+RegexPtr SampleRec(const RegexSamplerOptions& opt, Rng& rng, size_t depth) {
+  const double r = rng.NextDouble();
+  if (depth < opt.max_depth) {
+    if (r < opt.p_union) {
+      const size_t fanout = static_cast<size_t>(rng.NextInt(
+          2, static_cast<int64_t>(std::max<size_t>(2, opt.max_fanout))));
+      std::vector<RegexPtr> parts;
+      for (size_t i = 0; i < fanout; ++i) {
+        parts.push_back(SampleRec(opt, rng, depth + 1));
+      }
+      return Regex::Union(std::move(parts));
+    }
+    if (r < opt.p_union + opt.p_concat) {
+      const size_t fanout = static_cast<size_t>(rng.NextInt(
+          2, static_cast<int64_t>(std::max<size_t>(2, opt.max_fanout))));
+      std::vector<RegexPtr> parts;
+      for (size_t i = 0; i < fanout; ++i) {
+        parts.push_back(SampleRec(opt, rng, depth + 1));
+      }
+      return Regex::Concat(std::move(parts));
+    }
+    if (r < opt.p_union + opt.p_concat + opt.p_postfix) {
+      RegexPtr inner = SampleRec(opt, rng, depth + 1);
+      switch (rng.NextBelow(3)) {
+        case 0:
+          return Regex::Star(std::move(inner));
+        case 1:
+          return Regex::Plus(std::move(inner));
+        default:
+          return Regex::Optional(std::move(inner));
+      }
+    }
+  }
+  // Leaf: mostly symbols, occasionally epsilon.
+  if (rng.NextBool(0.05)) return Regex::Epsilon();
+  return Regex::Symbol(
+      static_cast<SymbolId>(rng.NextBelow(opt.alphabet_size)));
+}
+
+}  // namespace
+
+RegexPtr SampleRegex(const RegexSamplerOptions& options, Rng& rng) {
+  return SampleRec(options, rng, 0);
+}
+
+Word SampleWord(size_t alphabet_size, size_t max_len, Rng& rng) {
+  const size_t len = rng.NextBelow(max_len + 1);
+  Word w(len);
+  for (auto& s : w) s = static_cast<SymbolId>(rng.NextBelow(alphabet_size));
+  return w;
+}
+
+bool SampleAcceptedWord(const Nfa& nfa, size_t max_len, Rng& rng, Word* out) {
+  // Random walk with restarts.
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    Word w;
+    if (nfa.start.empty()) return false;
+    State q = nfa.start[rng.NextBelow(nfa.start.size())];
+    for (size_t step = 0; step <= max_len; ++step) {
+      if (nfa.accept[q] && rng.NextBool(0.3)) {
+        *out = w;
+        return true;
+      }
+      if (nfa.trans[q].empty()) {
+        if (nfa.accept[q]) {
+          *out = w;
+          return true;
+        }
+        break;
+      }
+      const auto& [sym, target] =
+          nfa.trans[q][rng.NextBelow(nfa.trans[q].size())];
+      w.push_back(sym);
+      q = target;
+    }
+    if (nfa.accept[q] && w.size() <= max_len) {
+      *out = w;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace rwdt::regex

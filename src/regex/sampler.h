@@ -1,0 +1,38 @@
+#ifndef RWDT_REGEX_SAMPLER_H_
+#define RWDT_REGEX_SAMPLER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "regex/ast.h"
+#include "regex/automaton.h"
+
+namespace rwdt::regex {
+
+/// Parameters for random regex generation (used by property tests and the
+/// DTD corpus generator).
+struct RegexSamplerOptions {
+  size_t alphabet_size = 4;     // symbols 0..alphabet_size-1
+  size_t max_depth = 4;         // recursion depth bound
+  double p_union = 0.25;        // probabilities of composite nodes;
+  double p_concat = 0.35;       // remainder makes a leaf
+  double p_postfix = 0.25;      // star/plus/optional, uniformly
+  size_t max_fanout = 3;        // children of union/concat
+};
+
+/// Samples a random regular expression; symbols are SymbolIds
+/// 0..alphabet_size-1 (callers intern names separately as needed).
+RegexPtr SampleRegex(const RegexSamplerOptions& options, Rng& rng);
+
+/// Samples a random word over symbols 0..alphabet_size-1 with length
+/// uniform in [0, max_len].
+Word SampleWord(size_t alphabet_size, size_t max_len, Rng& rng);
+
+/// Samples a word from L(nfa) by a bounded random walk; returns false when
+/// the walk fails to reach acceptance within `max_len` steps (e.g., empty
+/// language).
+bool SampleAcceptedWord(const Nfa& nfa, size_t max_len, Rng& rng, Word* out);
+
+}  // namespace rwdt::regex
+
+#endif  // RWDT_REGEX_SAMPLER_H_

@@ -1,0 +1,81 @@
+#include "regex/state_elimination.h"
+
+#include <map>
+#include <optional>
+#include <utility>
+
+namespace rwdt::regex {
+namespace {
+
+using Edge = std::map<std::pair<uint32_t, uint32_t>, RegexPtr>;
+
+void AddEdge(Edge* edges, uint32_t from, uint32_t to, RegexPtr e) {
+  auto it = edges->find({from, to});
+  if (it == edges->end()) {
+    edges->emplace(std::make_pair(from, to), std::move(e));
+  } else {
+    it->second = Regex::Union(it->second, std::move(e));
+  }
+}
+
+}  // namespace
+
+RegexPtr DfaToRegex(const Dfa& dfa) {
+  const size_t n = dfa.NumStates();
+  // Generalized NFA with fresh initial (n) and final (n+1) states.
+  const uint32_t init = static_cast<uint32_t>(n);
+  const uint32_t fin = static_cast<uint32_t>(n + 1);
+  Edge edges;
+  AddEdge(&edges, init, dfa.start, Regex::Epsilon());
+  for (uint32_t q = 0; q < n; ++q) {
+    if (dfa.accept[q]) AddEdge(&edges, q, fin, Regex::Epsilon());
+    for (size_t a = 0; a < dfa.alphabet.size(); ++a) {
+      const State t = dfa.trans[q][a];
+      if (t != kNoState) {
+        AddEdge(&edges, q, t, Regex::Symbol(dfa.alphabet[a]));
+      }
+    }
+  }
+
+  // Eliminate original states one by one.
+  for (uint32_t victim = 0; victim < n; ++victim) {
+    // Collect self-loop, incoming, outgoing.
+    RegexPtr loop;
+    std::map<uint32_t, RegexPtr> in, out;
+    for (auto it = edges.begin(); it != edges.end();) {
+      const auto [from, to] = it->first;
+      if (from == victim && to == victim) {
+        loop = it->second;
+        it = edges.erase(it);
+      } else if (to == victim) {
+        in[from] = it->second;
+        it = edges.erase(it);
+      } else if (from == victim) {
+        out[to] = it->second;
+        it = edges.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (in.empty() || out.empty()) continue;
+    for (const auto& [from, e_in] : in) {
+      for (const auto& [to, e_out] : out) {
+        RegexPtr path = e_in;
+        if (loop != nullptr) {
+          path = Regex::Concat(path, Regex::Star(loop));
+        }
+        path = Regex::Concat(path, e_out);
+        AddEdge(&edges, from, to, std::move(path));
+      }
+    }
+  }
+
+  auto it = edges.find({init, fin});
+  if (it == edges.end()) return Regex::Empty();
+  // The surviving edge may start/end with epsilons from the construction;
+  // Concat's flattening already dropped redundant nesting. Strip a
+  // leading/trailing epsilon child for cosmetics.
+  return it->second;
+}
+
+}  // namespace rwdt::regex

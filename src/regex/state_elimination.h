@@ -1,0 +1,17 @@
+#ifndef RWDT_REGEX_STATE_ELIMINATION_H_
+#define RWDT_REGEX_STATE_ELIMINATION_H_
+
+#include "regex/ast.h"
+#include "regex/automaton.h"
+
+namespace rwdt::regex {
+
+/// Converts a DFA (or any automaton encoded as a Dfa) into an equivalent
+/// regular expression by Kleene's state-elimination method. The result
+/// can be exponentially larger than the automaton; callers needing small
+/// output should Minimize first.
+RegexPtr DfaToRegex(const Dfa& dfa);
+
+}  // namespace rwdt::regex
+
+#endif  // RWDT_REGEX_STATE_ELIMINATION_H_

@@ -1,0 +1,283 @@
+#include "schema/bonxai.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "regex/glushkov.h"
+#include "regex/state_elimination.h"
+
+namespace rwdt::schema {
+namespace {
+
+/// Pattern match states as a bitmask: bit i set == steps 1..i matched.
+/// Bit 0 ("nothing matched yet") is always trackable; patterns are
+/// limited to 63 steps, far beyond practical schemas.
+uint64_t InitialStates() { return 1ull; }
+
+uint64_t Advance(const PathPattern& pattern, uint64_t states,
+                 SymbolId label) {
+  uint64_t next = 0;
+  const size_t k = pattern.steps.size();
+  for (size_t i = 0; i <= k; ++i) {
+    if (((states >> i) & 1) == 0) continue;
+    if (i < k) {
+      const PathStep& step = pattern.steps[i];
+      if (step.axis == PathStep::Axis::kDescendant) {
+        next |= 1ull << i;  // skip this label, stay waiting
+      }
+      if (step.label == label) next |= 1ull << (i + 1);
+    }
+    // A fully-matched state does not persist: the pattern selects the
+    // node at which the match completes, not its descendants...
+    // Except that descendants may restart partial matches, which the
+    // earlier bits already track.
+  }
+  return next;
+}
+
+bool Selected(const PathPattern& pattern, uint64_t states) {
+  return ((states >> pattern.steps.size()) & 1) != 0;
+}
+
+}  // namespace
+
+bool PathPattern::Matches(const std::vector<SymbolId>& path) const {
+  uint64_t states = InitialStates();
+  for (SymbolId label : path) states = Advance(*this, states, label);
+  return Selected(*this, states);
+}
+
+std::string PathPattern::ToString(const Interner& dict) const {
+  std::string out;
+  for (const auto& step : steps) {
+    out += step.axis == PathStep::Axis::kDescendant ? "//" : "/";
+    out += dict.Name(step.label);
+  }
+  return out;
+}
+
+Result<PathPattern> ParsePathPattern(std::string_view input,
+                                     Interner* dict) {
+  PathPattern pattern;
+  size_t pos = 0;
+  if (input.empty()) return Status::ParseError("empty pattern");
+  if (input[0] != '/') {
+    // Bare label shorthand: "a" == "//a".
+    PathStep step;
+    step.axis = PathStep::Axis::kDescendant;
+    step.label = dict->Intern(input);
+    pattern.steps.push_back(step);
+    return pattern;
+  }
+  while (pos < input.size()) {
+    PathStep step;
+    if (input.substr(pos, 2) == "//") {
+      step.axis = PathStep::Axis::kDescendant;
+      pos += 2;
+    } else if (input[pos] == '/') {
+      step.axis = PathStep::Axis::kChild;
+      pos += 1;
+    } else {
+      return Status::ParseError("expected '/' in pattern");
+    }
+    std::string name;
+    while (pos < input.size() && input[pos] != '/') name += input[pos++];
+    if (name.empty()) return Status::ParseError("empty step label");
+    step.label = dict->Intern(name);
+    pattern.steps.push_back(step);
+  }
+  if (pattern.steps.size() > 63) {
+    return Status::Unsupported("patterns limited to 63 steps");
+  }
+  return pattern;
+}
+
+bool ValidateBonxai(const BonxaiSchema& schema, const tree::Tree& t,
+                    tree::NodeId* offending) {
+  if (t.empty()) return false;
+  // Compile content models once.
+  std::vector<regex::Dfa> content(schema.rules.size());
+  for (size_t r = 0; r < schema.rules.size(); ++r) {
+    content[r] = regex::ToDfa(schema.rules[r].content);
+  }
+  // DFS with per-rule pattern states along the path.
+  struct Item {
+    tree::NodeId node;
+    std::vector<uint64_t> states;
+  };
+  std::vector<Item> stack;
+  {
+    Item root;
+    root.node = t.root();
+    for (const auto& rule : schema.rules) {
+      root.states.push_back(
+          Advance(rule.pattern, InitialStates(), t.node(t.root()).label));
+    }
+    stack.push_back(std::move(root));
+  }
+  while (!stack.empty()) {
+    Item item = std::move(stack.back());
+    stack.pop_back();
+    const auto word = t.ChildLabels(item.node);
+    bool selected_any = false;
+    for (size_t r = 0; r < schema.rules.size(); ++r) {
+      if (!Selected(schema.rules[r].pattern, item.states[r])) continue;
+      selected_any = true;
+      if (!content[r].Accepts(word)) {
+        if (offending != nullptr) *offending = item.node;
+        return false;
+      }
+    }
+    if (!selected_any) {
+      if (offending != nullptr) *offending = item.node;
+      return false;
+    }
+    for (tree::NodeId c : t.node(item.node).children) {
+      Item child;
+      child.node = c;
+      child.states.reserve(schema.rules.size());
+      for (size_t r = 0; r < schema.rules.size(); ++r) {
+        child.states.push_back(
+            Advance(schema.rules[r].pattern, item.states[r],
+                    t.node(c).label));
+      }
+      stack.push_back(std::move(child));
+    }
+  }
+  return true;
+}
+
+BonxaiSchema DtdToBonxai(const Dtd& dtd) {
+  BonxaiSchema schema;
+  for (const auto& [label, rule_content] : dtd.rules) {
+    BonxaiSchema::Rule rule;
+    PathStep step;
+    step.axis = PathStep::Axis::kDescendant;
+    step.label = label;
+    rule.pattern.steps.push_back(step);
+    rule.content = rule_content;
+    schema.rules.push_back(std::move(rule));
+  }
+  return schema;
+}
+
+Edtd BonxaiToSingleTypeEdtd(const BonxaiSchema& schema,
+                            const std::vector<SymbolId>& alphabet,
+                            Interner* dict) {
+  // A type is (label, per-rule pattern state). Types are discovered by
+  // BFS from the possible root types.
+  using Key = std::pair<SymbolId, std::vector<uint64_t>>;
+  std::map<Key, SymbolId> type_of;
+  std::deque<Key> queue;
+  Edtd edtd;
+
+  // Per-rule complete content DFAs over `alphabet` (label level).
+  std::vector<regex::Dfa> content(schema.rules.size());
+  std::vector<SymbolId> sorted_alphabet(alphabet);
+  std::sort(sorted_alphabet.begin(), sorted_alphabet.end());
+  for (size_t r = 0; r < schema.rules.size(); ++r) {
+    content[r] =
+        regex::Complete(regex::ToDfa(schema.rules[r].content),
+                        sorted_alphabet);
+  }
+
+  auto selecting = [&](const Key& key) {
+    std::vector<size_t> out;
+    for (size_t r = 0; r < schema.rules.size(); ++r) {
+      if (Selected(schema.rules[r].pattern, key.second[r])) out.push_back(r);
+    }
+    return out;
+  };
+
+  auto intern_type = [&](const Key& key) {
+    auto it = type_of.find(key);
+    if (it != type_of.end()) return it->second;
+    const SymbolId type = dict->Intern(
+        "bonxai-type-" + std::to_string(type_of.size()));
+    type_of.emplace(key, type);
+    edtd.mu[type] = key.first;
+    queue.push_back(key);
+    return type;
+  };
+
+  // Root types: one per alphabet label whose key selects >= 1 rule.
+  for (SymbolId l : sorted_alphabet) {
+    Key key;
+    key.first = l;
+    for (const auto& rule : schema.rules) {
+      key.second.push_back(Advance(rule.pattern, InitialStates(), l));
+    }
+    if (!selecting(key).empty()) {
+      edtd.start_types.insert(intern_type(key));
+    }
+  }
+
+  while (!queue.empty()) {
+    const Key key = queue.front();
+    queue.pop_front();
+    const SymbolId type = type_of.at(key);
+    const std::vector<size_t> rules = selecting(key);
+    // (Dead keys are never interned.)
+
+    // Product DFA of the selecting rules' content models over labels.
+    // States: tuple of per-rule DFA states; we fold into a single DFA by
+    // iterated product.
+    regex::Dfa product = content[rules[0]];
+    for (size_t i = 1; i < rules.size(); ++i) {
+      product = regex::Product(product, content[rules[i]], true);
+    }
+
+    // Relabel label transitions with child types; drop transitions to
+    // dead child keys (those reject the tree anyway).
+    regex::Dfa typed;
+    typed.start = product.start;
+    typed.accept = product.accept;
+    std::vector<SymbolId> child_types(sorted_alphabet.size(),
+                                      kInvalidSymbol);
+    for (size_t a = 0; a < sorted_alphabet.size(); ++a) {
+      Key child_key;
+      child_key.first = sorted_alphabet[a];
+      for (size_t r = 0; r < schema.rules.size(); ++r) {
+        child_key.second.push_back(Advance(schema.rules[r].pattern,
+                                           key.second[r],
+                                           sorted_alphabet[a]));
+      }
+      if (!selecting(child_key).empty()) {
+        child_types[a] = intern_type(child_key);
+      }
+    }
+    typed.alphabet.clear();
+    std::vector<size_t> kept;  // alphabet indices with live child types
+    for (size_t a = 0; a < sorted_alphabet.size(); ++a) {
+      if (child_types[a] != kInvalidSymbol) {
+        kept.push_back(a);
+        typed.alphabet.push_back(child_types[a]);
+      }
+    }
+    // typed.alphabet must be sorted; child type ids grow with discovery
+    // order, not label order, so sort with a permutation.
+    std::vector<size_t> perm(kept.size());
+    for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+    std::sort(perm.begin(), perm.end(), [&](size_t x, size_t y) {
+      return typed.alphabet[x] < typed.alphabet[y];
+    });
+    std::vector<SymbolId> sorted_types;
+    for (size_t i : perm) sorted_types.push_back(typed.alphabet[i]);
+    typed.alphabet = sorted_types;
+    typed.trans.assign(product.NumStates(),
+                       std::vector<regex::State>(kept.size(),
+                                                 regex::kNoState));
+    for (size_t q = 0; q < product.NumStates(); ++q) {
+      for (size_t i = 0; i < perm.size(); ++i) {
+        const size_t a = kept[perm[i]];
+        const size_t idx = product.SymbolIndex(sorted_alphabet[a]);
+        typed.trans[q][i] = product.trans[q][idx];
+      }
+    }
+    edtd.rules[type] = regex::DfaToRegex(regex::Minimize(typed));
+  }
+  return edtd;
+}
+
+}  // namespace rwdt::schema

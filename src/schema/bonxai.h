@@ -1,0 +1,71 @@
+#ifndef RWDT_SCHEMA_BONXAI_H_
+#define RWDT_SCHEMA_BONXAI_H_
+
+#include <string>
+#include <vector>
+
+#include "common/interner.h"
+#include "common/status.h"
+#include "regex/ast.h"
+#include "schema/edtd.h"
+#include "tree/tree.h"
+
+namespace rwdt::schema {
+
+/// One step of an ancestor path pattern: /a (child) or //a (descendant).
+struct PathStep {
+  enum class Axis { kChild, kDescendant };
+  Axis axis = Axis::kChild;
+  SymbolId label = kInvalidSymbol;
+};
+
+/// A BonXai left-hand side: an anchored ancestor pattern like //b//h or
+/// /a/b (paper Section 4.4, Figure 2b). A pattern starting with '//'
+/// allows any prefix; '/' anchors at the root. The pattern selects the
+/// nodes whose root-to-node label path matches.
+struct PathPattern {
+  std::vector<PathStep> steps;
+
+  bool Matches(const std::vector<SymbolId>& path) const;
+  std::string ToString(const Interner& dict) const;
+};
+
+/// Parses "//b//h", "/a/b", or the bare-label shorthand "a" (== "//a").
+Result<PathPattern> ParsePathPattern(std::string_view input, Interner* dict);
+
+/// A pattern-based schema: rules phi -> e. A tree satisfies the schema if
+/// every node is selected by at least one rule and, for every rule
+/// selecting a node, its children match the rule's content model.
+struct BonxaiSchema {
+  struct Rule {
+    PathPattern pattern;
+    regex::RegexPtr content;
+  };
+  std::vector<Rule> rules;
+};
+
+/// Validates a tree against a pattern-based schema.
+bool ValidateBonxai(const BonxaiSchema& schema, const tree::Tree& t,
+                    tree::NodeId* offending = nullptr);
+
+/// The trivial translation DTD -> BonXai: rule a -> e becomes //a -> e.
+BonxaiSchema DtdToBonxai(const Dtd& dtd);
+
+/// Translates a pattern-based schema into an equivalent single-type EDTD:
+/// types are the reachable "match states" of the rule patterns (so a
+/// node's type depends only on its ancestor path), and each type's
+/// content model is the intersection of the selecting rules' expressions
+/// (computed via product DFA + state elimination). Fresh type names
+/// "bonxai-type-N" are interned into `dict`.
+///
+/// Trees without a match for some node are rejected by the EDTD, matching
+/// ValidateBonxai. Requires `root_label_universe`: the labels the
+/// translation should consider (BonXai semantics quantifies over all
+/// labels; the translation is finite per alphabet).
+Edtd BonxaiToSingleTypeEdtd(const BonxaiSchema& schema,
+                            const std::vector<SymbolId>& alphabet,
+                            Interner* dict);
+
+}  // namespace rwdt::schema
+
+#endif  // RWDT_SCHEMA_BONXAI_H_

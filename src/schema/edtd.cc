@@ -1,0 +1,173 @@
+#include "schema/edtd.h"
+
+#include <algorithm>
+
+#include "regex/glushkov.h"
+
+namespace rwdt::schema {
+
+std::set<SymbolId> Edtd::Types() const {
+  std::set<SymbolId> out(start_types.begin(), start_types.end());
+  for (const auto& [type, content] : rules) {
+    out.insert(type);
+    content->CollectAlphabet(&out);
+  }
+  for (const auto& [type, label] : mu) {
+    (void)label;
+    out.insert(type);
+  }
+  return out;
+}
+
+bool IsSingleType(const Edtd& edtd) {
+  auto single = [&](const std::set<SymbolId>& types) {
+    std::map<SymbolId, SymbolId> label_to_type;
+    for (SymbolId t : types) {
+      auto it = edtd.mu.find(t);
+      const SymbolId label = it == edtd.mu.end() ? t : it->second;
+      auto [pos, inserted] = label_to_type.emplace(label, t);
+      if (!inserted && pos->second != t) return false;
+    }
+    return true;
+  };
+  if (!single(edtd.start_types)) return false;
+  for (const auto& [type, content] : edtd.rules) {
+    (void)type;
+    if (!single(content->Alphabet())) return false;
+  }
+  return true;
+}
+
+namespace {
+
+SymbolId LabelOf(const Edtd& edtd, SymbolId type) {
+  auto it = edtd.mu.find(type);
+  return it == edtd.mu.end() ? type : it->second;
+}
+
+}  // namespace
+
+bool ValidateEdtd(const Edtd& edtd, const tree::Tree& t) {
+  if (t.empty()) return false;
+  // Compile rules to NFAs over types once.
+  std::map<SymbolId, regex::Nfa> nfas;
+  for (const auto& [type, content] : edtd.rules) {
+    nfas.emplace(type, regex::ToNfa(content));
+  }
+  // Bottom-up feasible-type sets. Process nodes in reverse pre-order (all
+  // children come after their parent in pre-order, so reverse order is a
+  // valid bottom-up schedule).
+  const auto order = t.PreOrder();
+  const std::set<SymbolId> all_types = edtd.Types();
+  std::vector<std::set<SymbolId>> feasible(t.NumNodes());
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const tree::NodeId id = *it;
+    const SymbolId label = t.node(id).label;
+    for (SymbolId type : all_types) {
+      if (LabelOf(edtd, type) != label) continue;
+      // Children must admit a typing matching rho(type); types without a
+      // rule admit no children.
+      const auto& children = t.node(id).children;
+      auto rule = nfas.find(type);
+      if (rule == nfas.end()) {
+        if (children.empty()) feasible[id].insert(type);
+        continue;
+      }
+      // Run the NFA over the "set-labeled" child word: a transition on
+      // type t' is enabled at child c when t' is feasible for c.
+      const regex::Nfa& nfa = rule->second;
+      std::set<regex::State> current(nfa.start.begin(), nfa.start.end());
+      bool dead = false;
+      for (tree::NodeId c : children) {
+        std::set<regex::State> next;
+        for (regex::State q : current) {
+          for (const auto& [sym, target] : nfa.trans[q]) {
+            if (feasible[c].count(sym) > 0) next.insert(target);
+          }
+        }
+        current = std::move(next);
+        if (current.empty()) {
+          dead = true;
+          break;
+        }
+      }
+      if (dead) continue;
+      for (regex::State q : current) {
+        if (nfa.accept[q]) {
+          feasible[id].insert(type);
+          break;
+        }
+      }
+    }
+  }
+  for (SymbolId s : edtd.start_types) {
+    if (feasible[t.root()].count(s) > 0) return true;
+  }
+  return false;
+}
+
+bool ValidateSingleType(const Edtd& edtd, const tree::Tree& t,
+                        std::vector<SymbolId>* typing) {
+  if (t.empty()) return false;
+  std::map<SymbolId, regex::Dfa> dfas;
+  for (const auto& [type, content] : edtd.rules) {
+    dfas.emplace(type, regex::ToDfa(content));
+  }
+  // Map (type, child label) -> unique child type, per single-typedness.
+  std::vector<SymbolId> types(t.NumNodes(), kInvalidSymbol);
+
+  // Root type: unique start type whose label matches.
+  const SymbolId root_label = t.node(t.root()).label;
+  for (SymbolId s : edtd.start_types) {
+    if (LabelOf(edtd, s) == root_label) {
+      types[t.root()] = s;
+      break;
+    }
+  }
+  if (types[t.root()] == kInvalidSymbol) return false;
+
+  for (tree::NodeId id : t.PreOrder()) {
+    const SymbolId type = types[id];
+    const auto& children = t.node(id).children;
+    auto rule = dfas.find(type);
+    if (rule == dfas.end()) {
+      if (!children.empty()) return false;
+      continue;
+    }
+    // Unique type per label in this content model.
+    std::map<SymbolId, SymbolId> type_of_label;
+    for (SymbolId ct : edtd.rules.at(type)->Alphabet()) {
+      type_of_label[LabelOf(edtd, ct)] = ct;
+    }
+    regex::State state = rule->second.start;
+    for (tree::NodeId c : children) {
+      auto it = type_of_label.find(t.node(c).label);
+      if (it == type_of_label.end()) return false;
+      types[c] = it->second;
+      state = rule->second.Step(state, it->second);
+      if (state == regex::kNoState) return false;
+    }
+    if (!rule->second.accept[state]) return false;
+  }
+  if (typing != nullptr) *typing = types;
+  return true;
+}
+
+Edtd DtdAsEdtd(const Dtd& dtd) {
+  Edtd edtd;
+  edtd.rules = dtd.rules;
+  edtd.start_types.insert(dtd.start.begin(), dtd.start.end());
+  for (SymbolId label : dtd.Alphabet()) edtd.mu[label] = label;
+  return edtd;
+}
+
+bool IsStructurallyDtd(const Edtd& edtd) {
+  std::map<SymbolId, SymbolId> label_to_type;
+  for (SymbolId t : edtd.Types()) {
+    auto [pos, inserted] = label_to_type.emplace(LabelOf(edtd, t), t);
+    if (!inserted && pos->second != t) return false;
+  }
+  return true;
+}
+
+}  // namespace rwdt::schema

@@ -1,0 +1,56 @@
+#ifndef RWDT_SCHEMA_EDTD_H_
+#define RWDT_SCHEMA_EDTD_H_
+
+#include <map>
+#include <set>
+
+#include "common/interner.h"
+#include "regex/ast.h"
+#include "regex/automaton.h"
+#include "schema/dtd.h"
+#include "tree/tree.h"
+
+namespace rwdt::schema {
+
+/// An extended DTD D = (Sigma, Gamma, rho, S, mu) (Definition 4.10):
+/// a DTD over the type alphabet Gamma plus a type-to-label map mu.
+/// XML Schema corresponds structurally to *single-type* EDTDs
+/// (Definition 4.12).
+struct Edtd {
+  std::map<SymbolId, regex::RegexPtr> rules;  // rho: over types
+  std::set<SymbolId> start_types;             // S subseteq Gamma
+  std::map<SymbolId, SymbolId> mu;            // type -> label
+
+  std::set<SymbolId> Types() const;
+};
+
+/// True iff no regular expression rho(t) (nor S) mentions two distinct
+/// types with the same label — XML Schema's Element Declarations
+/// Consistent constraint (Definition 4.12).
+bool IsSingleType(const Edtd& edtd);
+
+/// Validates a tree against a general EDTD: computes, bottom-up, the set
+/// of feasible types per node (unranked tree automaton membership,
+/// polynomial time) and checks a start type is feasible at the root.
+bool ValidateEdtd(const Edtd& edtd, const tree::Tree& t);
+
+/// Validates against a single-type EDTD with the one-pass top-down typing
+/// that single-typedness enables (each node's type is determined by its
+/// label and its parent's type). Results agree with ValidateEdtd on
+/// single-type inputs; additionally returns the computed typing through
+/// `typing` when non-null (typing[node] = assigned type).
+bool ValidateSingleType(const Edtd& edtd, const tree::Tree& t,
+                        std::vector<SymbolId>* typing = nullptr);
+
+/// Converts a DTD into the trivial EDTD (types == labels, mu = identity).
+/// ANY rules are not representable and must be expanded by the caller.
+Edtd DtdAsEdtd(const Dtd& dtd);
+
+/// True iff the EDTD is structurally equivalent to a DTD: every label has
+/// at most one type. Bex et al. found 25 of 30 real XSDs have this
+/// property (Section 4.4).
+bool IsStructurallyDtd(const Edtd& edtd);
+
+}  // namespace rwdt::schema
+
+#endif  // RWDT_SCHEMA_EDTD_H_

@@ -1,0 +1,386 @@
+#include "schema/json_schema.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+namespace rwdt::schema {
+
+using tree::JsonPtr;
+using tree::JsonValue;
+
+namespace {
+
+Result<JsonSchemaPtr> ParseNode(const JsonPtr& json,
+                                JsonSchemaDoc* doc);
+
+Result<JsonSchemaPtr> ParseNodeList(const JsonPtr& json, JsonSchemaDoc* doc,
+                                    JsonSchema::Kind kind) {
+  if (json->kind() != JsonValue::Kind::kArray) {
+    return Status::ParseError("allOf/anyOf expects an array");
+  }
+  auto node = std::make_shared<JsonSchema>();
+  node->kind = kind;
+  for (const auto& item : json->items()) {
+    auto child = ParseNode(item, doc);
+    if (!child.ok()) return child;
+    node->children.push_back(std::move(child).value());
+  }
+  return JsonSchemaPtr(node);
+}
+
+Result<JsonSchemaPtr> ParseNode(const JsonPtr& json, JsonSchemaDoc* doc) {
+  if (json->kind() == JsonValue::Kind::kBool) {
+    // "true" accepts everything; "false" rejects everything.
+    auto node = std::make_shared<JsonSchema>();
+    if (json->bool_value()) {
+      node->kind = JsonSchema::Kind::kAny;
+    } else {
+      node->kind = JsonSchema::Kind::kNot;
+      auto any = std::make_shared<JsonSchema>();
+      any->kind = JsonSchema::Kind::kAny;
+      node->children.push_back(any);
+    }
+    return JsonSchemaPtr(node);
+  }
+  if (json->kind() != JsonValue::Kind::kObject) {
+    return Status::ParseError("schema must be an object or boolean");
+  }
+
+  // $defs can appear at any level; hoist into the document.
+  if (auto defs = json->Get("$defs"); defs != nullptr) {
+    if (defs->kind() != JsonValue::Kind::kObject) {
+      return Status::ParseError("$defs must be an object");
+    }
+    for (const auto& [name, def] : defs->members()) {
+      auto parsed = ParseNode(def, doc);
+      if (!parsed.ok()) return parsed;
+      doc->definitions[name] = std::move(parsed).value();
+    }
+  }
+
+  if (auto ref = json->Get("$ref"); ref != nullptr) {
+    auto node = std::make_shared<JsonSchema>();
+    node->kind = JsonSchema::Kind::kRef;
+    std::string name = ref->string_value();
+    // Accept both "#/$defs/name" and bare "name".
+    const size_t slash = name.rfind('/');
+    if (slash != std::string::npos) name = name.substr(slash + 1);
+    node->ref_name = name;
+    return JsonSchemaPtr(node);
+  }
+  if (auto n = json->Get("not"); n != nullptr) {
+    auto inner = ParseNode(n, doc);
+    if (!inner.ok()) return inner;
+    auto node = std::make_shared<JsonSchema>();
+    node->kind = JsonSchema::Kind::kNot;
+    node->children.push_back(std::move(inner).value());
+    return JsonSchemaPtr(node);
+  }
+  if (auto a = json->Get("allOf"); a != nullptr) {
+    return ParseNodeList(a, doc, JsonSchema::Kind::kAllOf);
+  }
+  if (auto a = json->Get("anyOf"); a != nullptr) {
+    return ParseNodeList(a, doc, JsonSchema::Kind::kAnyOf);
+  }
+  if (auto e = json->Get("enum"); e != nullptr) {
+    auto node = std::make_shared<JsonSchema>();
+    node->kind = JsonSchema::Kind::kEnum;
+    if (e->kind() != JsonValue::Kind::kArray) {
+      return Status::ParseError("enum expects an array");
+    }
+    for (const auto& item : e->items()) {
+      node->enum_values.push_back(item->ToString());
+    }
+    return JsonSchemaPtr(node);
+  }
+
+  auto type = json->Get("type");
+  const std::string type_name =
+      type != nullptr ? type->string_value() : "";
+
+  if (type_name == "object" || json->Get("properties") != nullptr) {
+    auto node = std::make_shared<JsonSchema>();
+    node->kind = JsonSchema::Kind::kObject;
+    std::set<std::string> required;
+    if (auto req = json->Get("required"); req != nullptr) {
+      for (const auto& item : req->items()) {
+        required.insert(item->string_value());
+      }
+    }
+    if (auto props = json->Get("properties"); props != nullptr) {
+      for (const auto& [name, sub] : props->members()) {
+        auto parsed = ParseNode(sub, doc);
+        if (!parsed.ok()) return parsed;
+        JsonSchema::Property prop;
+        prop.name = name;
+        prop.schema = std::move(parsed).value();
+        prop.required = required.count(name) > 0;
+        node->properties.push_back(std::move(prop));
+        required.erase(name);
+      }
+    }
+    // required names without a property schema: any value, must exist.
+    for (const auto& name : required) {
+      JsonSchema::Property prop;
+      prop.name = name;
+      auto any = std::make_shared<JsonSchema>();
+      any->kind = JsonSchema::Kind::kAny;
+      prop.schema = any;
+      prop.required = true;
+      node->properties.push_back(std::move(prop));
+    }
+    if (auto ap = json->Get("additionalProperties"); ap != nullptr) {
+      node->additional_properties =
+          !(ap->kind() == JsonValue::Kind::kBool && !ap->bool_value());
+    }
+    return JsonSchemaPtr(node);
+  }
+  if (type_name == "array" || json->Get("items") != nullptr) {
+    auto node = std::make_shared<JsonSchema>();
+    node->kind = JsonSchema::Kind::kArray;
+    if (auto items = json->Get("items"); items != nullptr) {
+      auto parsed = ParseNode(items, doc);
+      if (!parsed.ok()) return parsed;
+      node->items = std::move(parsed).value();
+    }
+    if (auto m = json->Get("minItems"); m != nullptr) {
+      node->min_items = static_cast<size_t>(m->number_value());
+    }
+    if (auto m = json->Get("maxItems"); m != nullptr) {
+      node->max_items = static_cast<size_t>(m->number_value());
+    }
+    return JsonSchemaPtr(node);
+  }
+  if (type_name == "number" || type_name == "integer" ||
+      json->Get("minimum") != nullptr || json->Get("maximum") != nullptr) {
+    auto node = std::make_shared<JsonSchema>();
+    node->kind = JsonSchema::Kind::kNumber;
+    if (auto m = json->Get("minimum"); m != nullptr) {
+      node->minimum = m->number_value();
+    }
+    if (auto m = json->Get("maximum"); m != nullptr) {
+      node->maximum = m->number_value();
+    }
+    return JsonSchemaPtr(node);
+  }
+  if (!type_name.empty()) {
+    auto node = std::make_shared<JsonSchema>();
+    node->kind = JsonSchema::Kind::kType;
+    node->type_name = type_name;
+    return JsonSchemaPtr(node);
+  }
+  auto node = std::make_shared<JsonSchema>();
+  node->kind = JsonSchema::Kind::kAny;
+  return JsonSchemaPtr(node);
+}
+
+bool TypeMatches(const std::string& name, const JsonPtr& v) {
+  switch (v->kind()) {
+    case JsonValue::Kind::kNull:
+      return name == "null";
+    case JsonValue::Kind::kBool:
+      return name == "boolean";
+    case JsonValue::Kind::kNumber:
+      return name == "number" || name == "integer";
+    case JsonValue::Kind::kString:
+      return name == "string";
+    case JsonValue::Kind::kArray:
+      return name == "array";
+    case JsonValue::Kind::kObject:
+      return name == "object";
+  }
+  return false;
+}
+
+bool ValidateNode(const JsonSchemaDoc& doc, const JsonSchema& schema,
+                  const JsonPtr& v, int depth) {
+  if (depth > 256) return false;  // runaway recursion guard
+  switch (schema.kind) {
+    case JsonSchema::Kind::kAny:
+      return true;
+    case JsonSchema::Kind::kType:
+      return TypeMatches(schema.type_name, v);
+    case JsonSchema::Kind::kEnum: {
+      const std::string s = v->ToString();
+      return std::find(schema.enum_values.begin(), schema.enum_values.end(),
+                       s) != schema.enum_values.end();
+    }
+    case JsonSchema::Kind::kNumber: {
+      if (v->kind() != JsonValue::Kind::kNumber) return false;
+      if (schema.minimum.has_value() && v->number_value() < *schema.minimum) {
+        return false;
+      }
+      if (schema.maximum.has_value() && v->number_value() > *schema.maximum) {
+        return false;
+      }
+      return true;
+    }
+    case JsonSchema::Kind::kObject: {
+      if (v->kind() != JsonValue::Kind::kObject) return false;
+      std::set<std::string> known;
+      for (const auto& prop : schema.properties) {
+        known.insert(prop.name);
+        const JsonPtr member = v->Get(prop.name);
+        if (member == nullptr) {
+          if (prop.required) return false;
+          continue;
+        }
+        if (!ValidateNode(doc, *prop.schema, member, depth + 1)) {
+          return false;
+        }
+      }
+      if (!schema.additional_properties) {
+        for (const auto& [name, member] : v->members()) {
+          (void)member;
+          if (known.count(name) == 0) return false;  // schema-full mode
+        }
+      }
+      return true;
+    }
+    case JsonSchema::Kind::kArray: {
+      if (v->kind() != JsonValue::Kind::kArray) return false;
+      if (schema.min_items.has_value() &&
+          v->items().size() < *schema.min_items) {
+        return false;
+      }
+      if (schema.max_items.has_value() &&
+          v->items().size() > *schema.max_items) {
+        return false;
+      }
+      if (schema.items != nullptr) {
+        for (const auto& item : v->items()) {
+          if (!ValidateNode(doc, *schema.items, item, depth + 1)) {
+            return false;
+          }
+        }
+      }
+      return true;
+    }
+    case JsonSchema::Kind::kNot:
+      return !ValidateNode(doc, *schema.children[0], v, depth + 1);
+    case JsonSchema::Kind::kAllOf:
+      for (const auto& c : schema.children) {
+        if (!ValidateNode(doc, *c, v, depth + 1)) return false;
+      }
+      return true;
+    case JsonSchema::Kind::kAnyOf:
+      for (const auto& c : schema.children) {
+        if (ValidateNode(doc, *c, v, depth + 1)) return true;
+      }
+      return false;
+    case JsonSchema::Kind::kRef: {
+      auto it = doc.definitions.find(schema.ref_name);
+      if (it == doc.definitions.end()) return false;
+      return ValidateNode(doc, *it->second, v, depth + 1);
+    }
+  }
+  return false;
+}
+
+/// Walks a schema node, visiting children and (optionally) references.
+void Walk(const JsonSchemaDoc& doc, const JsonSchema& schema,
+          const std::function<void(const JsonSchema&)>& visit) {
+  visit(schema);
+  for (const auto& c : schema.children) Walk(doc, *c, visit);
+  for (const auto& p : schema.properties) Walk(doc, *p.schema, visit);
+  if (schema.items != nullptr) Walk(doc, *schema.items, visit);
+}
+
+/// Names of definitions referenced (transitively one level) by a node.
+void CollectRefs(const JsonSchema& schema, std::set<std::string>* out) {
+  if (schema.kind == JsonSchema::Kind::kRef) out->insert(schema.ref_name);
+  for (const auto& c : schema.children) CollectRefs(*c, out);
+  for (const auto& p : schema.properties) CollectRefs(*p.schema, out);
+  if (schema.items != nullptr) CollectRefs(*schema.items, out);
+}
+
+size_t NodeDepth(const JsonSchemaDoc& doc, const JsonSchema& schema,
+                 int guard) {
+  if (guard > 128) return 128;
+  size_t best = 0;
+  for (const auto& c : schema.children) {
+    best = std::max(best, NodeDepth(doc, *c, guard + 1));
+  }
+  for (const auto& p : schema.properties) {
+    best = std::max(best, NodeDepth(doc, *p.schema, guard + 1));
+  }
+  if (schema.items != nullptr) {
+    best = std::max(best, NodeDepth(doc, *schema.items, guard + 1));
+  }
+  if (schema.kind == JsonSchema::Kind::kRef) {
+    auto it = doc.definitions.find(schema.ref_name);
+    if (it != doc.definitions.end()) {
+      best = std::max(best, NodeDepth(doc, *it->second, guard + 1));
+    }
+  }
+  // Only structural nesting (object/array) counts toward depth.
+  const bool structural = schema.kind == JsonSchema::Kind::kObject ||
+                          schema.kind == JsonSchema::Kind::kArray;
+  return best + (structural ? 1 : 0);
+}
+
+}  // namespace
+
+Result<JsonSchemaDoc> ParseJsonSchema(const JsonPtr& json) {
+  JsonSchemaDoc doc;
+  auto root = ParseNode(json, &doc);
+  if (!root.ok()) return root.status();
+  doc.root = std::move(root).value();
+  return doc;
+}
+
+bool ValidateJsonSchema(const JsonSchemaDoc& doc, const JsonPtr& value) {
+  return ValidateNode(doc, *doc.root, value, 0);
+}
+
+JsonSchemaStats AnalyzeJsonSchema(const JsonSchemaDoc& doc) {
+  JsonSchemaStats stats;
+  auto analyze_node = [&](const JsonSchema& s) {
+    stats.size++;
+    if (s.kind == JsonSchema::Kind::kNot) stats.uses_negation = true;
+    if (s.kind == JsonSchema::Kind::kObject && !s.additional_properties) {
+      stats.schema_full = true;
+    }
+  };
+  Walk(doc, *doc.root, analyze_node);
+  for (const auto& [name, def] : doc.definitions) {
+    (void)name;
+    Walk(doc, *def, analyze_node);
+  }
+
+  // Recursion: cycle in the definition reference graph (including the
+  // root's reachability is irrelevant; a cycle anywhere counts).
+  std::map<std::string, std::set<std::string>> refs;
+  for (const auto& [name, def] : doc.definitions) {
+    CollectRefs(*def, &refs[name]);
+  }
+  std::function<bool(const std::string&, std::set<std::string>&,
+                     std::set<std::string>&)>
+      has_cycle = [&](const std::string& name, std::set<std::string>& grey,
+                      std::set<std::string>& black) {
+        if (black.count(name)) return false;
+        if (!grey.insert(name).second) return true;
+        for (const auto& next : refs[name]) {
+          if (has_cycle(next, grey, black)) return true;
+        }
+        grey.erase(name);
+        black.insert(name);
+        return false;
+      };
+  std::set<std::string> black;
+  for (const auto& [name, _] : refs) {
+    (void)_;
+    std::set<std::string> grey;
+    if (has_cycle(name, grey, black)) {
+      stats.recursive = true;
+      break;
+    }
+  }
+  if (!stats.recursive) {
+    stats.max_depth = NodeDepth(doc, *doc.root, 0);
+  }
+  return stats;
+}
+
+}  // namespace rwdt::schema

@@ -1,0 +1,92 @@
+#ifndef RWDT_SCHEMA_JSON_SCHEMA_H_
+#define RWDT_SCHEMA_JSON_SCHEMA_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tree/json.h"
+
+namespace rwdt::schema {
+
+/// A JSON Schema assertion. Unlike DTD/XML Schema, JSON Schema follows a
+/// logic-based approach (paper Section 4.5): schemas are Boolean
+/// combinations of assertions over objects, arrays, and base values.
+class JsonSchema;
+using JsonSchemaPtr = std::shared_ptr<const JsonSchema>;
+
+class JsonSchema {
+ public:
+  enum class Kind {
+    kAny,      // accepts everything ("true" schema)
+    kType,     // type: null/boolean/number/string/object/array
+    kEnum,     // enumeration of scalar values (as serialized strings)
+    kObject,   // properties / required / additionalProperties
+    kArray,    // items / minItems / maxItems
+    kNumber,   // minimum / maximum
+    kNot,      // negation
+    kAllOf,    // conjunction
+    kAnyOf,    // disjunction
+    kRef,      // reference into the document's definitions
+  };
+
+  struct Property {
+    std::string name;
+    JsonSchemaPtr schema;
+    bool required = false;
+  };
+
+  Kind kind = Kind::kAny;
+  // kType:
+  std::string type_name;
+  // kEnum:
+  std::vector<std::string> enum_values;
+  // kObject:
+  std::vector<Property> properties;
+  /// false == "schema-full": properties not mentioned are forbidden.
+  /// true == "schema-mixed" (the JSON Schema default).
+  bool additional_properties = true;
+  // kArray:
+  JsonSchemaPtr items;
+  std::optional<size_t> min_items, max_items;
+  // kNumber:
+  std::optional<double> minimum, maximum;
+  // kNot / kAllOf / kAnyOf:
+  std::vector<JsonSchemaPtr> children;
+  // kRef:
+  std::string ref_name;
+};
+
+/// A schema document: a root schema plus named definitions ($defs), which
+/// enable recursion.
+struct JsonSchemaDoc {
+  JsonSchemaPtr root;
+  std::map<std::string, JsonSchemaPtr> definitions;
+};
+
+/// Parses a schema from its JSON representation. Supported keywords:
+/// type, enum, properties, required, additionalProperties, items,
+/// minItems, maxItems, minimum, maximum, not, allOf, anyOf, $ref, $defs.
+Result<JsonSchemaDoc> ParseJsonSchema(const tree::JsonPtr& json);
+
+/// Validates an instance against the schema document.
+bool ValidateJsonSchema(const JsonSchemaDoc& doc, const tree::JsonPtr& value);
+
+/// Structural statistics in the style of the Maiwald et al. and Baazizi
+/// et al. studies (Section 4.5).
+struct JsonSchemaStats {
+  size_t size = 0;            // number of schema nodes
+  bool recursive = false;     // $ref cycle among definitions
+  size_t max_depth = 0;       // nesting depth (non-recursive schemas)
+  bool uses_negation = false; // any "not"
+  bool schema_full = false;   // any additionalProperties: false
+};
+
+JsonSchemaStats AnalyzeJsonSchema(const JsonSchemaDoc& doc);
+
+}  // namespace rwdt::schema
+
+#endif  // RWDT_SCHEMA_JSON_SCHEMA_H_

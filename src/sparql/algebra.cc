@@ -1,0 +1,116 @@
+#include "sparql/algebra.h"
+
+namespace rwdt::sparql {
+
+void FilterExpr::CollectVars(std::set<SymbolId>* out) const {
+  if (operand.ActsAsVar()) out->insert(operand.id);
+  if (lhs.ActsAsVar()) out->insert(lhs.id);
+  if (rhs.ActsAsVar()) out->insert(rhs.id);
+  for (const auto& c : children) c->CollectVars(out);
+  if (pattern != nullptr) pattern->CollectVars(out);
+}
+
+bool FilterExpr::IsSafe() const {
+  switch (kind) {
+    case Kind::kUnaryTest:
+      return true;
+    case Kind::kComparison:
+      return cmp == CmpOp::kEq;
+    case Kind::kAnd:
+    case Kind::kOr: {
+      for (const auto& c : children) {
+        if (!c->IsSafe()) return false;
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+bool FilterExpr::IsSimple() const {
+  std::set<SymbolId> vars;
+  CollectVars(&vars);
+  if (kind == Kind::kExistsPattern || kind == Kind::kNotExistsPattern) {
+    return false;
+  }
+  return vars.size() <= 2;
+}
+
+void Pattern::CollectVars(std::set<SymbolId>* out) const {
+  auto add = [&](const Term& t) {
+    if (t.ActsAsVar()) out->insert(t.id);
+  };
+  switch (op) {
+    case Op::kTriple:
+      add(triple.s);
+      add(triple.p);
+      add(triple.o);
+      break;
+    case Op::kPath:
+      add(path.s);
+      add(path.o);
+      break;
+    case Op::kBind:
+      add(bind_var);
+      add(bind_source);
+      break;
+    case Op::kValues:
+      for (const Term& v : values_vars) add(v);
+      break;
+    case Op::kGraph:
+    case Op::kService:
+      add(graph_name);
+      break;
+    case Op::kSubquery:
+      if (subquery != nullptr) {
+        for (const auto& item : subquery->projection) add(item.var);
+        if (subquery->select_star && subquery->pattern != nullptr) {
+          subquery->pattern->CollectVars(out);
+        }
+      }
+      break;
+    default:
+      break;
+  }
+  if (op == Op::kFilter && filter != nullptr) filter->CollectVars(out);
+  for (const auto& c : children) c->CollectVars(out);
+}
+
+void Pattern::CollectTriples(std::vector<const TriplePattern*>* out) const {
+  if (op == Op::kTriple) out->push_back(&triple);
+  for (const auto& c : children) c->CollectTriples(out);
+  if (op == Op::kSubquery && subquery != nullptr &&
+      subquery->pattern != nullptr) {
+    subquery->pattern->CollectTriples(out);
+  }
+}
+
+void Pattern::CollectPathTriples(
+    std::vector<const PathTriple*>* out) const {
+  if (op == Op::kPath) out->push_back(&path);
+  for (const auto& c : children) c->CollectPathTriples(out);
+  if (op == Op::kSubquery && subquery != nullptr &&
+      subquery->pattern != nullptr) {
+    subquery->pattern->CollectPathTriples(out);
+  }
+}
+
+void Pattern::CollectFilters(std::vector<FilterPtr>* out) const {
+  if (op == Op::kFilter && filter != nullptr) out->push_back(filter);
+  for (const auto& c : children) c->CollectFilters(out);
+  if (op == Op::kSubquery && subquery != nullptr &&
+      subquery->pattern != nullptr) {
+    subquery->pattern->CollectFilters(out);
+  }
+}
+
+size_t Pattern::NumTriplePatterns() const {
+  std::vector<const TriplePattern*> triples;
+  CollectTriples(&triples);
+  std::vector<const PathTriple*> paths;
+  CollectPathTriples(&paths);
+  return triples.size() + paths.size();
+}
+
+}  // namespace rwdt::sparql

@@ -1,0 +1,342 @@
+#include "sparql/analysis.h"
+
+#include <functional>
+#include <map>
+
+namespace rwdt::sparql {
+
+std::string FeatureName(Feature f) {
+  switch (f) {
+    case Feature::kDistinct:
+      return "Distinct";
+    case Feature::kLimit:
+      return "Limit";
+    case Feature::kOffset:
+      return "Offset";
+    case Feature::kOrderBy:
+      return "Order By";
+    case Feature::kFilter:
+      return "Filter";
+    case Feature::kAnd:
+      return "And";
+    case Feature::kOptional:
+      return "Optional";
+    case Feature::kUnion:
+      return "Union";
+    case Feature::kGraph:
+      return "Graph";
+    case Feature::kValues:
+      return "Values";
+    case Feature::kNotExists:
+      return "Not Exists";
+    case Feature::kMinus:
+      return "Minus";
+    case Feature::kExists:
+      return "Exists";
+    case Feature::kGroupBy:
+      return "Group By";
+    case Feature::kCount:
+      return "Count";
+    case Feature::kHaving:
+      return "Having";
+    case Feature::kAvg:
+      return "Avg";
+    case Feature::kMin:
+      return "Min";
+    case Feature::kMax:
+      return "Max";
+    case Feature::kSum:
+      return "Sum";
+    case Feature::kService:
+      return "Service";
+    case Feature::kPropertyPaths:
+      return "property paths (RPQs)";
+    case Feature::kBind:
+      return "Bind";
+    case Feature::kSubquery:
+      return "Subquery";
+  }
+  return "?";
+}
+
+const std::vector<Feature>& AllFeatures() {
+  static const std::vector<Feature>* kAll = new std::vector<Feature>{
+      Feature::kDistinct,  Feature::kLimit,    Feature::kOffset,
+      Feature::kOrderBy,   Feature::kFilter,   Feature::kAnd,
+      Feature::kOptional,  Feature::kUnion,    Feature::kGraph,
+      Feature::kValues,    Feature::kNotExists, Feature::kMinus,
+      Feature::kExists,    Feature::kGroupBy,  Feature::kCount,
+      Feature::kHaving,    Feature::kAvg,      Feature::kMin,
+      Feature::kMax,       Feature::kSum,      Feature::kService,
+      Feature::kPropertyPaths,
+  };
+  return *kAll;
+}
+
+namespace {
+
+void WalkFilter(const FilterExpr& f, std::set<Feature>* out) {
+  if (f.kind == FilterExpr::Kind::kExistsPattern) {
+    out->insert(Feature::kExists);
+  }
+  if (f.kind == FilterExpr::Kind::kNotExistsPattern) {
+    out->insert(Feature::kNotExists);
+  }
+  for (const auto& c : f.children) WalkFilter(*c, out);
+}
+
+size_t TripleBearingChildren(const Pattern& p) {
+  size_t n = 0;
+  for (const auto& c : p.children) {
+    n += c->NumTriplePatterns() > 0 ? 1 : 0;
+  }
+  return n;
+}
+
+void WalkPattern(const Pattern& p, std::set<Feature>* out) {
+  switch (p.op) {
+    case Pattern::Op::kAnd:
+      // "And" in the paper's sense: a genuine conjunction of triple
+      // patterns, not a triple merely co-occurring with VALUES/BIND.
+      if (TripleBearingChildren(p) >= 2) out->insert(Feature::kAnd);
+      break;
+    case Pattern::Op::kFilter:
+      out->insert(Feature::kFilter);
+      if (p.filter != nullptr) WalkFilter(*p.filter, out);
+      break;
+    case Pattern::Op::kUnion:
+      out->insert(Feature::kUnion);
+      break;
+    case Pattern::Op::kOptional:
+      out->insert(Feature::kOptional);
+      break;
+    case Pattern::Op::kGraph:
+      out->insert(Feature::kGraph);
+      break;
+    case Pattern::Op::kValues:
+      // The parser's synthetic unit table (one empty row, no vars) is
+      // not a user-written VALUES.
+      if (!p.values_vars.empty()) out->insert(Feature::kValues);
+      break;
+    case Pattern::Op::kMinus:
+      out->insert(Feature::kMinus);
+      break;
+    case Pattern::Op::kService:
+      out->insert(Feature::kService);
+      break;
+    case Pattern::Op::kBind:
+      out->insert(Feature::kBind);
+      break;
+    case Pattern::Op::kPath:
+      out->insert(Feature::kPropertyPaths);
+      break;
+    case Pattern::Op::kSubquery:
+      out->insert(Feature::kSubquery);
+      if (p.subquery != nullptr) {
+        // Recurse into the subquery's modifiers and pattern below.
+      }
+      break;
+    case Pattern::Op::kTriple:
+      break;
+  }
+  for (const auto& c : p.children) WalkPattern(*c, out);
+}
+
+void WalkModifiers(const Query& q, std::set<Feature>* out) {
+  if (q.modifiers.distinct) out->insert(Feature::kDistinct);
+  if (q.modifiers.limit.has_value()) out->insert(Feature::kLimit);
+  if (q.modifiers.offset.has_value()) out->insert(Feature::kOffset);
+  if (!q.modifiers.order_by.empty()) out->insert(Feature::kOrderBy);
+  if (!q.modifiers.group_by.empty()) out->insert(Feature::kGroupBy);
+  if (q.modifiers.having != nullptr) out->insert(Feature::kHaving);
+  for (const auto& item : q.projection) {
+    if (!item.aggregate.has_value()) continue;
+    switch (*item.aggregate) {
+      case Aggregate::kCount:
+        out->insert(Feature::kCount);
+        break;
+      case Aggregate::kSum:
+        out->insert(Feature::kSum);
+        break;
+      case Aggregate::kAvg:
+        out->insert(Feature::kAvg);
+        break;
+      case Aggregate::kMin:
+        out->insert(Feature::kMin);
+        break;
+      case Aggregate::kMax:
+        out->insert(Feature::kMax);
+        break;
+    }
+  }
+}
+
+void WalkQuery(const Query& q, std::set<Feature>* out) {
+  WalkModifiers(q, out);
+  if (q.pattern != nullptr) WalkPattern(*q.pattern, out);
+}
+
+}  // namespace
+
+std::set<Feature> ExtractFeatures(const Query& q) {
+  std::set<Feature> out;
+  WalkQuery(q, &out);
+  // Subquery modifiers count too.
+  std::function<void(const Pattern&)> visit = [&](const Pattern& p) {
+    if (p.op == Pattern::Op::kSubquery && p.subquery != nullptr) {
+      WalkQuery(*p.subquery, &out);
+    }
+    for (const auto& c : p.children) visit(*c);
+  };
+  if (q.pattern != nullptr) visit(*q.pattern);
+  return out;
+}
+
+namespace {
+
+void WalkOperators(const Pattern& p, OperatorSet* out) {
+  switch (p.op) {
+    case Pattern::Op::kTriple:
+      break;
+    case Pattern::Op::kPath:
+      out->uses_path = true;
+      break;
+    case Pattern::Op::kAnd:
+      out->uses_and = true;
+      break;
+    case Pattern::Op::kFilter:
+      out->uses_filter = true;
+      break;
+    case Pattern::Op::kValues:
+      if (!p.values_vars.empty()) out->uses_other = true;
+      break;
+    default:
+      out->uses_other = true;
+      break;
+  }
+  for (const auto& c : p.children) WalkOperators(*c, out);
+}
+
+}  // namespace
+
+OperatorSet ExtractOperatorSet(const Query& q) {
+  OperatorSet out;
+  if (q.pattern != nullptr) WalkOperators(*q.pattern, &out);
+  return out;
+}
+
+namespace {
+
+bool OnlyAfo(const Pattern& p) {
+  switch (p.op) {
+    case Pattern::Op::kTriple:
+    case Pattern::Op::kPath:
+      return true;
+    case Pattern::Op::kValues:
+      if (!p.values_vars.empty()) return false;
+      return true;  // parser unit table
+    case Pattern::Op::kAnd:
+    case Pattern::Op::kFilter:
+    case Pattern::Op::kOptional:
+      for (const auto& c : p.children) {
+        if (!OnlyAfo(*c)) return false;
+      }
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Checks the well-designedness condition on every OPTIONAL node:
+/// vars(P2) ∩ vars(outside) ⊆ vars(P1).
+bool CheckOptionals(const Pattern& root) {
+  // Collect all optional nodes with their (P1, P2).
+  std::vector<const Pattern*> optionals;
+  std::function<void(const Pattern&)> collect = [&](const Pattern& p) {
+    if (p.op == Pattern::Op::kOptional) optionals.push_back(&p);
+    for (const auto& c : p.children) collect(*c);
+  };
+  collect(root);
+
+  for (const Pattern* opt : optionals) {
+    std::set<SymbolId> p1_vars, p2_vars;
+    opt->children[0]->CollectVars(&p1_vars);
+    opt->children[1]->CollectVars(&p2_vars);
+    // Vars occurring outside this OPTIONAL subtree: all vars of root
+    // minus vars occurring only inside the subtree. Compute vars of the
+    // tree with the subtree removed by walking and skipping `opt`.
+    std::set<SymbolId> outside;
+    std::function<void(const Pattern&)> walk = [&](const Pattern& p) {
+      if (&p == opt) return;
+      // Collect this node's own vars without recursing into children
+      // (children handled explicitly so we can skip `opt`).
+      Pattern shallow = p;
+      shallow.children.clear();
+      shallow.CollectVars(&outside);
+      for (const auto& c : p.children) walk(*c);
+    };
+    walk(root);
+    for (SymbolId v : p2_vars) {
+      if (p1_vars.count(v) > 0) continue;
+      if (outside.count(v) > 0) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool UsesOnlyAndFilterOptional(const Query& q) {
+  return q.pattern != nullptr && OnlyAfo(*q.pattern);
+}
+
+bool IsWellDesigned(const Query& q) {
+  if (!UsesOnlyAndFilterOptional(q)) return false;
+  return CheckOptionals(*q.pattern);
+}
+
+bool HasOnlySafeFilters(const Query& q) {
+  if (q.pattern == nullptr) return true;
+  std::vector<FilterPtr> filters;
+  q.pattern->CollectFilters(&filters);
+  for (const auto& f : filters) {
+    if (!f->IsSafe()) return false;
+  }
+  return true;
+}
+
+bool HasOnlySimpleFilters(const Query& q) {
+  if (q.pattern == nullptr) return true;
+  std::vector<FilterPtr> filters;
+  q.pattern->CollectFilters(&filters);
+  for (const auto& f : filters) {
+    if (!f->IsSimple()) return false;
+  }
+  return true;
+}
+
+bool IsGraphCqF(const Query& q) {
+  if (q.pattern == nullptr) return false;
+  if (!ExtractOperatorSet(q).IsCqF()) return false;
+  if (!HasOnlySimpleFilters(q)) return false;
+  std::vector<const TriplePattern*> triples;
+  q.pattern->CollectTriples(&triples);
+  // A variable predicate may not appear in any other triple position.
+  std::set<SymbolId> predicate_vars, other_position_vars;
+  for (const auto* t : triples) {
+    if (t->p.ActsAsVar()) predicate_vars.insert(t->p.id);
+    if (t->s.ActsAsVar()) other_position_vars.insert(t->s.id);
+    if (t->o.ActsAsVar()) other_position_vars.insert(t->o.id);
+  }
+  std::map<SymbolId, int> predicate_var_uses;
+  for (const auto* t : triples) {
+    if (t->p.ActsAsVar()) predicate_var_uses[t->p.id]++;
+  }
+  for (SymbolId v : predicate_vars) {
+    if (other_position_vars.count(v) > 0) return false;
+    if (predicate_var_uses[v] > 1) return false;
+  }
+  return true;
+}
+
+}  // namespace rwdt::sparql

@@ -1,0 +1,87 @@
+#ifndef RWDT_SPARQL_ANALYSIS_H_
+#define RWDT_SPARQL_ANALYSIS_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sparql/algebra.h"
+
+namespace rwdt::sparql {
+
+/// Per-query feature flags, the row dimensions of the paper's Table 3.
+enum class Feature {
+  kDistinct,
+  kLimit,
+  kOffset,
+  kOrderBy,
+  kFilter,
+  kAnd,
+  kOptional,
+  kUnion,
+  kGraph,
+  kValues,
+  kNotExists,
+  kMinus,
+  kExists,
+  kGroupBy,
+  kCount,
+  kHaving,
+  kAvg,
+  kMin,
+  kMax,
+  kSum,
+  kService,
+  kPropertyPaths,
+  kBind,
+  kSubquery,
+};
+
+std::string FeatureName(Feature f);
+
+/// All Table 3 features, in the paper's row order.
+const std::vector<Feature>& AllFeatures();
+
+/// Extracts the set of features a query uses.
+std::set<Feature> ExtractFeatures(const Query& q);
+
+/// Pattern-operator sets for Tables 4 and 5: which of And / Filter /
+/// property-path (2RPQ) / "other" operators the pattern uses.
+struct OperatorSet {
+  bool uses_and = false;
+  bool uses_filter = false;
+  bool uses_path = false;   // 2RPQ
+  bool uses_other = false;  // Union/Optional/Graph/Values/...: leaves
+                            // the CQ+F / C2RPQ+F fragments
+
+  /// CQ per Section 9.4: the pattern only uses And (or nothing).
+  bool IsCq() const { return !uses_filter && !uses_path && !uses_other; }
+  /// CQ+F: only And and Filter.
+  bool IsCqF() const { return !uses_path && !uses_other; }
+  /// C2RPQ+F: only And, Filter, and property paths.
+  bool IsC2RpqF() const { return !uses_other; }
+};
+
+OperatorSet ExtractOperatorSet(const Query& q);
+
+/// Well-designedness (Perez et al., Section 9.1): the query may use only
+/// And, Filter, and Optional, and for every OPTIONAL subpattern
+/// (P1 OPT P2), every variable of P2 that occurs elsewhere in the query
+/// outside the subpattern also occurs in P1. Returns false when the
+/// query uses other operators (callers should first check
+/// UsesOnlyAndFilterOptional).
+bool UsesOnlyAndFilterOptional(const Query& q);
+bool IsWellDesigned(const Query& q);
+
+/// CQ+F queries "suitable for graph analysis" (Section 9.5): every
+/// triple pattern's predicate is an IRI or a variable not shared with
+/// other triple positions, and all filters are simple (<= 2 variables).
+bool IsGraphCqF(const Query& q);
+
+/// Safe filters only (unary or ?x = ?y), keeping the query conjunctive.
+bool HasOnlySafeFilters(const Query& q);
+bool HasOnlySimpleFilters(const Query& q);
+
+}  // namespace rwdt::sparql
+
+#endif  // RWDT_SPARQL_ANALYSIS_H_

@@ -1,0 +1,64 @@
+#ifndef RWDT_SPARQL_EVAL_H_
+#define RWDT_SPARQL_EVAL_H_
+
+#include <map>
+#include <vector>
+
+#include "common/interner.h"
+#include "common/status.h"
+#include "graph/rdf.h"
+#include "sparql/algebra.h"
+
+namespace rwdt::sparql {
+
+/// A solution mapping mu: variables -> RDF terms (interned ids).
+using Binding = std::map<SymbolId, SymbolId>;
+
+/// Two mappings are compatible when they agree on shared variables
+/// (Perez-Arenas-Gutierrez semantics).
+bool Compatible(const Binding& a, const Binding& b);
+
+/// Evaluates SPARQL patterns and queries over a triple store under bag
+/// semantics. GRAPH and SERVICE evaluate their pattern against the same
+/// (default) store — the library simulates remote endpoints locally,
+/// binding the name variable (if any) to "urn:rwdt:default".
+class Evaluator {
+ public:
+  Evaluator(const graph::TripleStore& store, Interner* dict);
+
+  /// Multiset of solution mappings of a pattern.
+  std::vector<Binding> EvalPattern(const Pattern& pattern) const;
+
+  /// Full query evaluation: pattern + aggregation + solution modifiers +
+  /// projection. CONSTRUCT/DESCRIBE also return bindings (the mapped
+  /// template instantiation is left to callers).
+  std::vector<Binding> EvalQuery(const Query& query) const;
+
+  /// ASK-style evaluation.
+  bool Ask(const Query& query) const;
+
+  /// All (start, end) pairs connected by a property path; fixing
+  /// `s`/`o` (non-wildcard) restricts the search.
+  std::vector<std::pair<SymbolId, SymbolId>> EvalPathPairs(
+      const paths::Path& path, SymbolId s = kInvalidSymbol,
+      SymbolId o = kInvalidSymbol) const;
+
+ private:
+  std::vector<Binding> EvalTriple(const TriplePattern& t) const;
+  std::vector<Binding> EvalPath(const PathTriple& p) const;
+  std::vector<Binding> Join(const std::vector<Binding>& a,
+                            const std::vector<Binding>& b) const;
+  std::vector<Binding> LeftJoin(const std::vector<Binding>& a,
+                                const std::vector<Binding>& b) const;
+  std::vector<Binding> MinusOp(const std::vector<Binding>& a,
+                               const std::vector<Binding>& b) const;
+  bool EvalFilter(const FilterExpr& f, const Binding& mu) const;
+  std::vector<SymbolId> AllTerms() const;
+
+  const graph::TripleStore& store_;
+  Interner* dict_;
+};
+
+}  // namespace rwdt::sparql
+
+#endif  // RWDT_SPARQL_EVAL_H_

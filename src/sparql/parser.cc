@@ -1,0 +1,997 @@
+#include "sparql/parser.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace rwdt::sparql {
+namespace {
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == ':' || c == '.' || c == '-' || c == '#';
+}
+
+/// Characters that turn a predicate expression into a property path.
+bool IsPathOperatorChar(char c) {
+  return c == '/' || c == '|' || c == '^' || c == '*' || c == '+' ||
+         c == '?' || c == '!' || c == '(';
+}
+
+class SparqlParser {
+ public:
+  SparqlParser(std::string_view input, Interner* dict)
+      : input_(input), dict_(dict) {}
+
+  Result<Query> Parse() {
+    Query query;
+    if (!SkipHeaders()) return Error("bad PREFIX/BASE header");
+
+    if (LitWord("SELECT")) {
+      query.form = QueryForm::kSelect;
+      if (auto s = ParseSelectClause(&query); !s.ok()) return s;
+      LitWord("WHERE");
+      auto p = ParseGroupGraphPattern();
+      if (!p.ok()) return p.status();
+      query.pattern = std::move(p).value();
+    } else if (LitWord("ASK")) {
+      query.form = QueryForm::kAsk;
+      LitWord("WHERE");
+      auto p = ParseGroupGraphPattern();
+      if (!p.ok()) return p.status();
+      query.pattern = std::move(p).value();
+    } else if (LitWord("CONSTRUCT")) {
+      query.form = QueryForm::kConstruct;
+      if (auto s = ParseConstructTemplate(&query); !s.ok()) return s;
+      LitWord("WHERE");
+      auto p = ParseGroupGraphPattern();
+      if (!p.ok()) return p.status();
+      query.pattern = std::move(p).value();
+    } else if (LitWord("DESCRIBE")) {
+      query.form = QueryForm::kDescribe;
+      // DESCRIBE terms, optional WHERE pattern.
+      for (;;) {
+        SkipSpace();
+        if (pos_ >= input_.size() || Peek() == '{') break;
+        const size_t mark = pos_;
+        auto t = ParseTerm();
+        if (!t.ok()) {
+          pos_ = mark;
+          break;
+        }
+        query.describe_terms.push_back(t.value());
+        if (LitWord("WHERE") || Peek() == '{') break;
+      }
+      if (LitWord("WHERE") || Peek() == '{') {
+        auto p = ParseGroupGraphPattern();
+        if (!p.ok()) return p.status();
+        query.pattern = std::move(p).value();
+      }
+    } else {
+      return Error("expected SELECT/ASK/CONSTRUCT/DESCRIBE");
+    }
+
+    if (auto s = ParseSolutionModifiers(&query.modifiers); !s.ok()) {
+      return s;
+    }
+    SkipSpace();
+    if (pos_ != input_.size()) {
+      return Error("trailing characters");
+    }
+    return query;
+  }
+
+ private:
+  Status Error(const std::string& what) {
+    return Status::ParseError(what + " at offset " + std::to_string(pos_));
+  }
+
+  void SkipSpace() {
+    for (;;) {
+      while (pos_ < input_.size() &&
+             std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ < input_.size() && input_[pos_] == '#') {
+        // Line comment.
+        while (pos_ < input_.size() && input_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      return;
+    }
+  }
+
+  char Peek() {
+    SkipSpace();
+    return pos_ < input_.size() ? input_[pos_] : '\0';
+  }
+
+  bool Lit(char c) {
+    if (Peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  /// Case-insensitive keyword match (not followed by a name character).
+  bool LitWord(std::string_view word) {
+    SkipSpace();
+    if (pos_ + word.size() > input_.size()) return false;
+    for (size_t i = 0; i < word.size(); ++i) {
+      if (std::toupper(static_cast<unsigned char>(input_[pos_ + i])) !=
+          std::toupper(static_cast<unsigned char>(word[i]))) {
+        return false;
+      }
+    }
+    const size_t after = pos_ + word.size();
+    if (after < input_.size() && IsNameChar(input_[after]) &&
+        input_[after] != ':') {
+      return false;
+    }
+    pos_ = after;
+    return true;
+  }
+
+  bool SkipHeaders() {
+    for (;;) {
+      if (LitWord("PREFIX")) {
+        // prefix name ':' '<iri>'
+        SkipSpace();
+        while (pos_ < input_.size() && input_[pos_] != '<') ++pos_;
+        if (!Lit('<')) return false;
+        while (pos_ < input_.size() && input_[pos_] != '>') ++pos_;
+        if (pos_ >= input_.size()) return false;
+        ++pos_;
+        continue;
+      }
+      if (LitWord("BASE")) {
+        SkipSpace();
+        if (!Lit('<')) return false;
+        while (pos_ < input_.size() && input_[pos_] != '>') ++pos_;
+        if (pos_ >= input_.size()) return false;
+        ++pos_;
+        continue;
+      }
+      return true;
+    }
+  }
+
+  Status ParseSelectClause(Query* query) {
+    if (LitWord("DISTINCT")) query->modifiers.distinct = true;
+    if (LitWord("REDUCED")) query->modifiers.reduced = true;
+    if (Lit('*')) {
+      query->select_star = true;
+      return Status::Ok();
+    }
+    for (;;) {
+      SkipSpace();
+      const char c = Peek();
+      if (c == '?' || c == '$') {
+        auto v = ParseTerm();
+        if (!v.ok()) return v.status();
+        SelectItem item;
+        item.var = v.value();
+        query->projection.push_back(item);
+        continue;
+      }
+      if (c == '(') {
+        ++pos_;
+        auto item = ParseAggregateItem();
+        if (!item.ok()) return item.status();
+        if (!Lit(')')) return Error("expected ')' in select item");
+        query->projection.push_back(item.value());
+        continue;
+      }
+      break;
+    }
+    if (query->projection.empty()) {
+      return Error("SELECT needs projection or *");
+    }
+    return Status::Ok();
+  }
+
+  Result<SelectItem> ParseAggregateItem() {
+    SelectItem item;
+    static const std::pair<const char*, Aggregate> kAggs[] = {
+        {"COUNT", Aggregate::kCount}, {"SUM", Aggregate::kSum},
+        {"AVG", Aggregate::kAvg},     {"MIN", Aggregate::kMin},
+        {"MAX", Aggregate::kMax},
+    };
+    bool found = false;
+    for (const auto& [name, agg] : kAggs) {
+      if (LitWord(name)) {
+        item.aggregate = agg;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return Error("expected aggregate function");
+    if (!Lit('(')) return Error("expected '(' after aggregate");
+    LitWord("DISTINCT");
+    if (Lit('*')) {
+      item.aggregate_arg = Term{};  // COUNT(*)
+    } else {
+      auto v = ParseTerm();
+      if (!v.ok()) return v.status();
+      item.aggregate_arg = v.value();
+    }
+    if (!Lit(')')) return Error("expected ')' after aggregate arg");
+    if (!LitWord("AS")) return Error("expected AS");
+    auto out = ParseTerm();
+    if (!out.ok()) return out.status();
+    item.var = out.value();
+    return item;
+  }
+
+  Status ParseConstructTemplate(Query* query) {
+    if (!Lit('{')) return Error("expected '{' after CONSTRUCT");
+    while (Peek() != '}') {
+      auto s = ParseTerm();
+      if (!s.ok()) return s.status();
+      auto p = ParseTerm();
+      if (!p.ok()) return p.status();
+      auto o = ParseTerm();
+      if (!o.ok()) return o.status();
+      query->construct_template.push_back(
+          {s.value(), p.value(), o.value()});
+      Lit('.');
+      if (Peek() == '\0') return Error("unterminated CONSTRUCT template");
+    }
+    ++pos_;  // '}'
+    return Status::Ok();
+  }
+
+  // --- Terms ---------------------------------------------------------
+
+  Result<Term> ParseTerm() {
+    SkipSpace();
+    if (pos_ >= input_.size()) return Error("expected term");
+    const char c = input_[pos_];
+    Term term;
+    if (c == '?' || c == '$') {
+      ++pos_;
+      std::string name = "?";
+      while (pos_ < input_.size() &&
+             (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+              input_[pos_] == '_')) {
+        name += input_[pos_++];
+      }
+      if (name.size() == 1) return Error("empty variable name");
+      term.kind = Term::Kind::kVar;
+      term.id = dict_->Intern(name);
+      return term;
+    }
+    if (c == '<') {
+      const size_t end = input_.find('>', pos_);
+      if (end == std::string_view::npos) return Error("unterminated IRI");
+      term.kind = Term::Kind::kIri;
+      term.id = dict_->Intern(input_.substr(pos_ + 1, end - pos_ - 1));
+      pos_ = end + 1;
+      return term;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++pos_;
+      std::string text;
+      while (pos_ < input_.size() && input_[pos_] != quote) {
+        if (input_[pos_] == '\\' && pos_ + 1 < input_.size()) ++pos_;
+        text += input_[pos_++];
+      }
+      if (pos_ >= input_.size()) return Error("unterminated literal");
+      ++pos_;
+      // Language tag / datatype.
+      if (pos_ < input_.size() && input_[pos_] == '@') {
+        ++pos_;
+        text += "@";
+        while (pos_ < input_.size() &&
+               (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+                input_[pos_] == '-')) {
+          text += input_[pos_++];
+        }
+      } else if (input_.substr(pos_, 2) == "^^") {
+        pos_ += 2;
+        auto type = ParseTerm();
+        if (!type.ok()) return type;
+        text += "^^" + dict_->Name(type.value().id);
+      }
+      term.kind = Term::Kind::kLiteral;
+      term.id = dict_->Intern("\"" + text + "\"");
+      return term;
+    }
+    if (c == '_' && pos_ + 1 < input_.size() && input_[pos_ + 1] == ':') {
+      pos_ += 2;
+      std::string name = "_:";
+      while (pos_ < input_.size() &&
+             (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+              input_[pos_] == '_')) {
+        name += input_[pos_++];
+      }
+      term.kind = Term::Kind::kBlank;
+      term.id = dict_->Intern(name);
+      return term;
+    }
+    if (c == '[') {
+      ++pos_;
+      SkipSpace();
+      if (pos_ < input_.size() && input_[pos_] == ']') {
+        ++pos_;
+        term.kind = Term::Kind::kBlank;
+        term.id = dict_->Intern("_:anon" + std::to_string(blank_counter_++));
+        return term;
+      }
+      return Error("non-empty blank node property lists are unsupported");
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+        c == '+') {
+      std::string num;
+      num += input_[pos_++];
+      while (pos_ < input_.size() &&
+             (std::isdigit(static_cast<unsigned char>(input_[pos_])) ||
+              input_[pos_] == '.' || input_[pos_] == 'e' ||
+              input_[pos_] == 'E')) {
+        num += input_[pos_++];
+      }
+      term.kind = Term::Kind::kLiteral;
+      term.id = dict_->Intern("\"" + num + "\"");
+      return term;
+    }
+    if (LitWord("true") || LitWord("false")) {
+      term.kind = Term::Kind::kLiteral;
+      term.id = dict_->Intern(
+          std::string("\"") +
+          (input_[pos_ - 1] == 'e' && input_[pos_ - 2] == 'u' ? "true"
+                                                              : "false") +
+          "\"");
+      return term;
+    }
+    // Prefixed or bare name (IRI). The bare keyword 'a' is rdf:type.
+    if (IsNameChar(c)) {
+      std::string name;
+      while (pos_ < input_.size() && IsNameChar(input_[pos_])) {
+        name += input_[pos_++];
+      }
+      if (name == "a") name = "rdf:type";
+      term.kind = Term::Kind::kIri;
+      term.id = dict_->Intern(name);
+      return term;
+    }
+    return Error(std::string("unexpected character '") + c + "'");
+  }
+
+  // --- Patterns ------------------------------------------------------
+
+  Result<PatternPtr> ParseGroupGraphPattern() {
+    if (!Lit('{')) return Error("expected '{'");
+    std::vector<PatternPtr> conjuncts;
+    std::vector<FilterPtr> filters;
+
+    auto current = [&]() -> PatternPtr {
+      if (conjuncts.empty()) {
+        // Empty pattern: a unit VALUES with one empty row.
+        auto unit = std::make_shared<Pattern>();
+        unit->op = Pattern::Op::kValues;
+        unit->values_rows.push_back({});
+        return unit;
+      }
+      if (conjuncts.size() == 1) return conjuncts[0];
+      auto node = std::make_shared<Pattern>();
+      node->op = Pattern::Op::kAnd;
+      node->children = conjuncts;
+      return node;
+    };
+
+    while (Peek() != '}') {
+      if (Peek() == '\0') return Error("unterminated group pattern");
+
+      if (LitWord("FILTER")) {
+        auto f = ParseConstraint();
+        if (!f.ok()) return f.status();
+        filters.push_back(f.value());
+        Lit('.');
+        continue;
+      }
+      if (LitWord("OPTIONAL")) {
+        auto rhs = ParseGroupGraphPattern();
+        if (!rhs.ok()) return rhs;
+        auto node = std::make_shared<Pattern>();
+        node->op = Pattern::Op::kOptional;
+        node->children = {current(), rhs.value()};
+        conjuncts = {node};
+        Lit('.');
+        continue;
+      }
+      if (LitWord("MINUS")) {
+        auto rhs = ParseGroupGraphPattern();
+        if (!rhs.ok()) return rhs;
+        auto node = std::make_shared<Pattern>();
+        node->op = Pattern::Op::kMinus;
+        node->children = {current(), rhs.value()};
+        conjuncts = {node};
+        Lit('.');
+        continue;
+      }
+      if (LitWord("GRAPH")) {
+        auto name = ParseTerm();
+        if (!name.ok()) return name.status();
+        auto inner = ParseGroupGraphPattern();
+        if (!inner.ok()) return inner;
+        auto node = std::make_shared<Pattern>();
+        node->op = Pattern::Op::kGraph;
+        node->graph_name = name.value();
+        node->children = {inner.value()};
+        conjuncts.push_back(node);
+        Lit('.');
+        continue;
+      }
+      if (LitWord("SERVICE")) {
+        LitWord("SILENT");
+        auto name = ParseTerm();
+        if (!name.ok()) return name.status();
+        auto inner = ParseGroupGraphPattern();
+        if (!inner.ok()) return inner;
+        auto node = std::make_shared<Pattern>();
+        node->op = Pattern::Op::kService;
+        node->graph_name = name.value();
+        node->children = {inner.value()};
+        conjuncts.push_back(node);
+        Lit('.');
+        continue;
+      }
+      if (LitWord("BIND")) {
+        if (!Lit('(')) return Error("expected '(' after BIND");
+        auto src = ParseBindSource();
+        if (!src.ok()) return src.status();
+        if (!LitWord("AS")) return Error("expected AS in BIND");
+        auto var = ParseTerm();
+        if (!var.ok()) return var.status();
+        if (!Lit(')')) return Error("expected ')' after BIND");
+        auto node = std::make_shared<Pattern>();
+        node->op = Pattern::Op::kBind;
+        node->bind_source = src.value();
+        node->bind_var = var.value();
+        node->children = {current()};
+        conjuncts = {node};
+        Lit('.');
+        continue;
+      }
+      if (LitWord("VALUES")) {
+        auto v = ParseValues();
+        if (!v.ok()) return v;
+        conjuncts.push_back(v.value());
+        Lit('.');
+        continue;
+      }
+      if (Peek() == '{') {
+        // Subselect or group-or-union.
+        const size_t mark = pos_;
+        ++pos_;
+        if (LitWord("SELECT")) {
+          pos_ = mark;
+          auto sub = ParseSubSelect();
+          if (!sub.ok()) return sub;
+          conjuncts.push_back(sub.value());
+          Lit('.');
+          continue;
+        }
+        pos_ = mark;
+        auto first = ParseGroupGraphPattern();
+        if (!first.ok()) return first;
+        PatternPtr acc = first.value();
+        while (LitWord("UNION")) {
+          auto next = ParseGroupGraphPattern();
+          if (!next.ok()) return next;
+          auto node = std::make_shared<Pattern>();
+          node->op = Pattern::Op::kUnion;
+          node->children = {acc, next.value()};
+          acc = node;
+        }
+        conjuncts.push_back(acc);
+        Lit('.');
+        continue;
+      }
+      // Triples block entry.
+      auto triples = ParseTriplesSameSubject();
+      if (!triples.ok()) return triples.status();
+      for (auto& t : triples.value()) conjuncts.push_back(std::move(t));
+      if (!Lit('.')) {
+        // A triple block must be followed by '.' or '}' or a keyword.
+        SkipSpace();
+      }
+    }
+    ++pos_;  // '}'
+
+    PatternPtr result = current();
+    for (const auto& f : filters) {
+      auto node = std::make_shared<Pattern>();
+      node->op = Pattern::Op::kFilter;
+      node->children = {result};
+      node->filter = f;
+      result = node;
+    }
+    return result;
+  }
+
+  Result<PatternPtr> ParseSubSelect() {
+    if (!Lit('{')) return Error("expected '{'");
+    // Re-parse a full query from here until the matching '}'.
+    // Find the matching close brace.
+    size_t depth = 1;
+    size_t end = pos_;
+    while (end < input_.size() && depth > 0) {
+      if (input_[end] == '{') ++depth;
+      if (input_[end] == '}') --depth;
+      ++end;
+    }
+    if (depth != 0) return Error("unterminated subquery");
+    const std::string_view body = input_.substr(pos_, end - 1 - pos_);
+    SparqlParser sub(body, dict_);
+    auto q = sub.Parse();
+    if (!q.ok()) return q.status();
+    pos_ = end;
+    auto node = std::make_shared<Pattern>();
+    node->op = Pattern::Op::kSubquery;
+    node->subquery = std::make_shared<Query>(std::move(q).value());
+    return node;
+  }
+
+  Result<PatternPtr> ParseValues() {
+    auto node = std::make_shared<Pattern>();
+    node->op = Pattern::Op::kValues;
+    if (Lit('(')) {
+      while (Peek() != ')') {
+        auto v = ParseTerm();
+        if (!v.ok()) return v.status();
+        node->values_vars.push_back(v.value());
+      }
+      ++pos_;
+      if (!Lit('{')) return Error("expected '{' in VALUES");
+      while (Peek() != '}') {
+        if (!Lit('(')) return Error("expected '(' in VALUES row");
+        std::vector<Term> row;
+        while (Peek() != ')') {
+          if (LitWord("UNDEF")) {
+            row.push_back(Term{});
+            continue;
+          }
+          auto v = ParseTerm();
+          if (!v.ok()) return v.status();
+          row.push_back(v.value());
+        }
+        ++pos_;
+        node->values_rows.push_back(std::move(row));
+      }
+      ++pos_;
+    } else {
+      auto var = ParseTerm();
+      if (!var.ok()) return var.status();
+      node->values_vars.push_back(var.value());
+      if (!Lit('{')) return Error("expected '{' in VALUES");
+      while (Peek() != '}') {
+        if (LitWord("UNDEF")) {
+          node->values_rows.push_back({Term{}});
+          continue;
+        }
+        auto v = ParseTerm();
+        if (!v.ok()) return v.status();
+        node->values_rows.push_back({v.value()});
+      }
+      ++pos_;
+    }
+    return node;
+  }
+
+  Result<Term> ParseBindSource() {
+    // Either a term or a function call whose first term argument we keep.
+    SkipSpace();
+    const size_t mark = pos_;
+    auto t = ParseTerm();
+    if (t.ok()) {
+      SkipSpace();
+      if (pos_ < input_.size() && input_[pos_] == '(') {
+        // It was a function name; scan its arguments for a term.
+        pos_ = mark;
+        return ParseCallFirstArg();
+      }
+      return t;
+    }
+    pos_ = mark;
+    return ParseCallFirstArg();
+  }
+
+  Result<Term> ParseCallFirstArg() {
+    // name '(' args ')': return the first variable inside, or a none term.
+    while (pos_ < input_.size() && input_[pos_] != '(') ++pos_;
+    if (pos_ >= input_.size()) return Error("expected function call");
+    size_t depth = 0;
+    Term found;
+    do {
+      if (input_[pos_] == '(') ++depth;
+      if (input_[pos_] == ')') --depth;
+      if (input_[pos_] == '?' || input_[pos_] == '$') {
+        if (found.kind == Term::Kind::kNone) {
+          auto v = ParseTerm();
+          if (v.ok()) found = v.value();
+          continue;
+        }
+      }
+      ++pos_;
+    } while (pos_ < input_.size() && depth > 0);
+    return found;
+  }
+
+  /// Parses "subject predicateObjectList" with ';' and ',' sugar.
+  Result<std::vector<PatternPtr>> ParseTriplesSameSubject() {
+    auto subject = ParseTerm();
+    if (!subject.ok()) return subject.status();
+    std::vector<PatternPtr> out;
+    for (;;) {
+      // Verb: variable or property path (a bare IRI is a trivial path).
+      auto verb = ParseVerb();
+      if (!verb.ok()) return verb.status();
+      for (;;) {
+        auto object = ParseTerm();
+        if (!object.ok()) return object.status();
+        auto node = std::make_shared<Pattern>();
+        if (verb.value().first.kind != Term::Kind::kNone) {
+          node->op = Pattern::Op::kTriple;
+          node->triple = {subject.value(), verb.value().first,
+                          object.value()};
+        } else {
+          node->op = Pattern::Op::kPath;
+          node->path = {subject.value(), verb.value().second,
+                        object.value()};
+        }
+        out.push_back(std::move(node));
+        if (!Lit(',')) break;
+      }
+      if (!Lit(';')) break;
+      SkipSpace();
+      if (Peek() == '.' || Peek() == '}') break;  // dangling ';'
+    }
+    return out;
+  }
+
+  /// Returns (term, null) for plain predicates (IRI or variable), or
+  /// (none, path) for property paths.
+  Result<std::pair<Term, paths::PathPtr>> ParseVerb() {
+    SkipSpace();
+    const char c = Peek();
+    if (c == '?' || c == '$') {
+      auto v = ParseTerm();
+      if (!v.ok()) return v.status();
+      return std::make_pair(v.value(), paths::PathPtr());
+    }
+    // Scan ahead to the end of the verb token sequence to decide whether
+    // it is a path: collect until whitespace that precedes a term, being
+    // careful with parentheses.
+    const size_t start = pos_;
+    size_t end = pos_;
+    size_t depth = 0;
+    bool is_path = (c == '^' || c == '!' || c == '(');
+    while (end < input_.size()) {
+      const char ch = input_[end];
+      if (ch == '(') {
+        ++depth;
+        is_path = true;
+      } else if (ch == ')') {
+        if (depth == 0) break;
+        --depth;
+      } else if (ch == '<') {
+        const size_t close = input_.find('>', end);
+        if (close == std::string_view::npos) break;
+        end = close;
+      } else if (depth == 0 &&
+                 (std::isspace(static_cast<unsigned char>(ch)))) {
+        break;
+      } else if (IsPathOperatorChar(ch)) {
+        is_path = true;
+      } else if (!IsNameChar(ch) && ch != '^' && ch != '!') {
+        break;
+      }
+      ++end;
+    }
+    const std::string_view verb_text = input_.substr(start, end - start);
+    if (!is_path) {
+      auto t = ParseTerm();
+      if (!t.ok()) return t.status();
+      return std::make_pair(t.value(), paths::PathPtr());
+    }
+    auto path = paths::ParsePath(verb_text, dict_);
+    if (!path.ok()) return path.status();
+    pos_ = end;
+    // Trivial one-IRI paths degrade to plain triple patterns.
+    if (path.value()->op() == paths::PathOp::kIri) {
+      Term t;
+      t.kind = Term::Kind::kIri;
+      t.id = path.value()->iri();
+      return std::make_pair(t, paths::PathPtr());
+    }
+    return std::make_pair(Term{}, path.value());
+  }
+
+  // --- Filter constraints ---------------------------------------------
+
+  Result<FilterPtr> ParseConstraint() { return ParseOrExpr(); }
+
+  Result<FilterPtr> ParseOrExpr() {
+    auto first = ParseAndExpr();
+    if (!first.ok()) return first;
+    std::vector<FilterPtr> parts = {first.value()};
+    while (Lit('|')) {
+      if (!Lit('|')) return Error("expected '||'");
+      auto next = ParseAndExpr();
+      if (!next.ok()) return next;
+      parts.push_back(next.value());
+    }
+    if (parts.size() == 1) return parts[0];
+    auto node = std::make_shared<FilterExpr>();
+    node->kind = FilterExpr::Kind::kOr;
+    node->children = std::move(parts);
+    return FilterPtr(node);
+  }
+
+  Result<FilterPtr> ParseAndExpr() {
+    auto first = ParseUnaryExpr();
+    if (!first.ok()) return first;
+    std::vector<FilterPtr> parts = {first.value()};
+    while (Lit('&')) {
+      if (!Lit('&')) return Error("expected '&&'");
+      auto next = ParseUnaryExpr();
+      if (!next.ok()) return next;
+      parts.push_back(next.value());
+    }
+    if (parts.size() == 1) return parts[0];
+    auto node = std::make_shared<FilterExpr>();
+    node->kind = FilterExpr::Kind::kAnd;
+    node->children = std::move(parts);
+    return FilterPtr(node);
+  }
+
+  Result<FilterPtr> ParseUnaryExpr() {
+    SkipSpace();
+    if (Lit('!')) {
+      if (Peek() == '=') return Error("unexpected '!='");
+      auto inner = ParseUnaryExpr();
+      if (!inner.ok()) return inner;
+      auto node = std::make_shared<FilterExpr>();
+      node->kind = FilterExpr::Kind::kNot;
+      node->children = {inner.value()};
+      return FilterPtr(node);
+    }
+    if (LitWord("NOT")) {
+      if (!LitWord("EXISTS")) return Error("expected EXISTS after NOT");
+      auto p = ParseGroupGraphPattern();
+      if (!p.ok()) return p.status();
+      auto node = std::make_shared<FilterExpr>();
+      node->kind = FilterExpr::Kind::kNotExistsPattern;
+      node->pattern = p.value();
+      return FilterPtr(node);
+    }
+    if (LitWord("EXISTS")) {
+      auto p = ParseGroupGraphPattern();
+      if (!p.ok()) return p.status();
+      auto node = std::make_shared<FilterExpr>();
+      node->kind = FilterExpr::Kind::kExistsPattern;
+      node->pattern = p.value();
+      return FilterPtr(node);
+    }
+    if (Peek() == '(') {
+      ++pos_;
+      auto inner = ParseOrExpr();
+      if (!inner.ok()) return inner;
+      if (!Lit(')')) return Error("expected ')'");
+      return MaybeComparison(inner.value());
+    }
+    return ParsePrimaryConstraint();
+  }
+
+  /// A parenthesized expression may still be the lhs of a comparison in
+  /// real queries; treat "(expr) op term" as the inner expression (the
+  /// classifications only need variable sets).
+  Result<FilterPtr> MaybeComparison(FilterPtr inner) { return inner; }
+
+  Result<FilterPtr> ParsePrimaryConstraint() {
+    SkipSpace();
+    // Function call or term, optionally compared to another.
+    Term first_term;
+    std::string function;
+    if (Peek() == '?' || Peek() == '$' || Peek() == '"' || Peek() == '<' ||
+        std::isdigit(static_cast<unsigned char>(Peek()))) {
+      auto t = ParseTerm();
+      if (!t.ok()) return t.status();
+      first_term = t.value();
+    } else {
+      // Function name.
+      while (pos_ < input_.size() &&
+             (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+              input_[pos_] == '_')) {
+        function += input_[pos_++];
+      }
+      if (function.empty()) return Error("expected filter expression");
+      if (!Lit('(')) return Error("expected '(' after " + function);
+      // First term argument (if any), then skip to matching ')'.
+      size_t depth = 1;
+      while (pos_ < input_.size() && depth > 0) {
+        const char ch = input_[pos_];
+        if (ch == '(') {
+          ++depth;
+          ++pos_;
+        } else if (ch == ')') {
+          --depth;
+          ++pos_;
+        } else if ((ch == '?' || ch == '$') &&
+                   first_term.kind == Term::Kind::kNone) {
+          auto t = ParseTerm();
+          if (!t.ok()) return t.status();
+          first_term = t.value();
+        } else {
+          ++pos_;
+        }
+      }
+    }
+    // Comparison operator?
+    SkipSpace();
+    FilterExpr::CmpOp op;
+    bool has_cmp = true;
+    if (input_.substr(pos_, 2) == "!=") {
+      op = FilterExpr::CmpOp::kNe;
+      pos_ += 2;
+    } else if (input_.substr(pos_, 2) == "<=") {
+      op = FilterExpr::CmpOp::kLe;
+      pos_ += 2;
+    } else if (input_.substr(pos_, 2) == ">=") {
+      op = FilterExpr::CmpOp::kGe;
+      pos_ += 2;
+    } else if (Peek() == '=') {
+      op = FilterExpr::CmpOp::kEq;
+      ++pos_;
+    } else if (Peek() == '<') {
+      op = FilterExpr::CmpOp::kLt;
+      ++pos_;
+    } else if (Peek() == '>') {
+      op = FilterExpr::CmpOp::kGt;
+      ++pos_;
+    } else {
+      has_cmp = false;
+    }
+    auto node = std::make_shared<FilterExpr>();
+    if (!has_cmp) {
+      node->kind = FilterExpr::Kind::kUnaryTest;
+      node->operand = first_term;
+      node->function = function.empty() ? "test" : function;
+      return FilterPtr(node);
+    }
+    // Right-hand side: term or function-wrapped term.
+    Term rhs_term;
+    SkipSpace();
+    if (std::isalpha(static_cast<unsigned char>(Peek())) &&
+        input_.substr(pos_).find('(') != std::string_view::npos &&
+        Peek() != '?') {
+      const size_t mark = pos_;
+      auto t = ParseTerm();
+      SkipSpace();
+      if (t.ok() && pos_ < input_.size() && input_[pos_] == '(') {
+        pos_ = mark;
+        auto arg = ParseCallFirstArg();
+        if (!arg.ok()) return arg.status();
+        rhs_term = arg.value();
+      } else if (t.ok()) {
+        rhs_term = t.value();
+      } else {
+        return t.status();
+      }
+    } else {
+      auto t = ParseTerm();
+      if (!t.ok()) return t.status();
+      rhs_term = t.value();
+    }
+    if (!function.empty()) {
+      // fn(?x) = literal: model as a unary test on ?x when the rhs is a
+      // constant; otherwise a comparison between the two variables.
+      if (rhs_term.kind != Term::Kind::kVar) {
+        node->kind = FilterExpr::Kind::kUnaryTest;
+        node->operand = first_term;
+        node->function = function;
+        node->argument =
+            rhs_term.id == kInvalidSymbol ? "" : dict_->Name(rhs_term.id);
+        return FilterPtr(node);
+      }
+    }
+    node->kind = FilterExpr::Kind::kComparison;
+    node->cmp = op;
+    node->lhs = first_term;
+    node->rhs = rhs_term;
+    return FilterPtr(node);
+  }
+
+  // --- Solution modifiers ----------------------------------------------
+
+  Status ParseSolutionModifiers(SolutionModifiers* mods) {
+    for (;;) {
+      if (LitWord("GROUP")) {
+        if (!LitWord("BY")) return Error("expected BY after GROUP");
+        for (;;) {
+          SkipSpace();
+          if (Peek() != '?' && Peek() != '$') break;
+          auto v = ParseTerm();
+          if (!v.ok()) return v.status();
+          mods->group_by.push_back(v.value());
+        }
+        continue;
+      }
+      if (LitWord("HAVING")) {
+        auto f = ParseConstraint();
+        if (!f.ok()) return f.status();
+        mods->having = f.value();
+        continue;
+      }
+      if (LitWord("ORDER")) {
+        if (!LitWord("BY")) return Error("expected BY after ORDER");
+        for (;;) {
+          SkipSpace();
+          bool desc = false;
+          if (LitWord("DESC")) {
+            desc = true;
+            if (!Lit('(')) return Error("expected '(' after DESC");
+          } else if (LitWord("ASC")) {
+            if (!Lit('(')) return Error("expected '(' after ASC");
+          } else if (Peek() == '?' || Peek() == '$') {
+            auto v = ParseTerm();
+            if (!v.ok()) return v.status();
+            mods->order_by.push_back(v.value());
+            mods->order_desc.push_back(false);
+            continue;
+          } else {
+            break;
+          }
+          auto v = ParseTerm();
+          if (!v.ok()) return v.status();
+          if (!Lit(')')) return Error("expected ')'");
+          mods->order_by.push_back(v.value());
+          mods->order_desc.push_back(desc);
+        }
+        continue;
+      }
+      if (LitWord("LIMIT")) {
+        auto n = ParseNumber();
+        if (!n.ok()) return n.status();
+        mods->limit = n.value();
+        continue;
+      }
+      if (LitWord("OFFSET")) {
+        auto n = ParseNumber();
+        if (!n.ok()) return n.status();
+        mods->offset = n.value();
+        continue;
+      }
+      return Status::Ok();
+    }
+  }
+
+  Result<uint64_t> ParseNumber() {
+    SkipSpace();
+    uint64_t n = 0;
+    bool any = false;
+    while (pos_ < input_.size() &&
+           std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+      n = n * 10 + static_cast<uint64_t>(input_[pos_] - '0');
+      ++pos_;
+      any = true;
+    }
+    if (!any) return Error("expected number");
+    return n;
+  }
+
+  std::string_view input_;
+  Interner* dict_;
+  size_t pos_ = 0;
+  size_t blank_counter_ = 0;
+};
+
+}  // namespace
+
+Result<Query> ParseSparql(std::string_view input, Interner* dict) {
+  return SparqlParser(input, dict).Parse();
+}
+
+}  // namespace rwdt::sparql

@@ -1,0 +1,29 @@
+#ifndef RWDT_SPARQL_PARSER_H_
+#define RWDT_SPARQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/interner.h"
+#include "common/status.h"
+#include "sparql/algebra.h"
+
+namespace rwdt::sparql {
+
+/// Parses a SPARQL(-subset) query into the algebra of algebra.h.
+///
+/// Supported: PREFIX/BASE headers (prefixes are kept as written, not
+/// expanded), SELECT (DISTINCT/REDUCED, projections, aggregates as
+/// "(AGG(?x) AS ?y)"), ASK, CONSTRUCT, DESCRIBE; group graph patterns
+/// with triple blocks ('.', ';', ',' notation), property paths in
+/// predicate position, FILTER (comparisons, unary built-ins, && || !,
+/// (NOT) EXISTS), OPTIONAL, UNION, GRAPH, BIND, VALUES, MINUS, SERVICE,
+/// subqueries; solution modifiers GROUP BY / HAVING / ORDER BY / LIMIT /
+/// OFFSET.
+///
+/// Variables, IRIs, and literals are interned into `dict`; variables are
+/// interned with their '?' prefix so they never collide with IRIs.
+Result<Query> ParseSparql(std::string_view input, Interner* dict);
+
+}  // namespace rwdt::sparql
+
+#endif  // RWDT_SPARQL_PARSER_H_

@@ -1,0 +1,61 @@
+#include "tree/tree.h"
+
+#include <algorithm>
+
+namespace rwdt::tree {
+
+NodeId Tree::AddRoot(SymbolId label) {
+  Node node;
+  node.label = label;
+  nodes_.push_back(std::move(node));
+  return 0;
+}
+
+NodeId Tree::AddChild(NodeId parent, SymbolId label) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  Node node;
+  node.label = label;
+  node.parent = parent;
+  nodes_.push_back(std::move(node));
+  nodes_[parent].children.push_back(id);
+  return id;
+}
+
+size_t Tree::Depth() const {
+  if (nodes_.empty()) return 0;
+  // Iterative DFS carrying depth.
+  size_t best = 0;
+  std::vector<std::pair<NodeId, size_t>> stack = {{0, 1}};
+  while (!stack.empty()) {
+    const auto [id, depth] = stack.back();
+    stack.pop_back();
+    best = std::max(best, depth);
+    for (NodeId c : nodes_[id].children) stack.emplace_back(c, depth + 1);
+  }
+  return best;
+}
+
+std::vector<SymbolId> Tree::ChildLabels(NodeId id) const {
+  std::vector<SymbolId> out;
+  out.reserve(nodes_[id].children.size());
+  for (NodeId c : nodes_[id].children) out.push_back(nodes_[c].label);
+  return out;
+}
+
+std::vector<NodeId> Tree::PreOrder() const {
+  std::vector<NodeId> out;
+  if (nodes_.empty()) return out;
+  std::vector<NodeId> stack = {0};
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    out.push_back(id);
+    const auto& kids = nodes_[id].children;
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return out;
+}
+
+}  // namespace rwdt::tree

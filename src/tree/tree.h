@@ -1,0 +1,62 @@
+#ifndef RWDT_TREE_TREE_H_
+#define RWDT_TREE_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/interner.h"
+
+namespace rwdt::tree {
+
+using NodeId = uint32_t;
+inline constexpr NodeId kNoNode = 0xffffffffu;
+
+/// A labeled ordered tree T = (V, E, lab) as in paper Section 3: node 0 is
+/// the root; children are ordered. Labels are interned symbols (XML
+/// element names, JSON keys, ...).
+class Tree {
+ public:
+  struct Node {
+    SymbolId label = kInvalidSymbol;
+    NodeId parent = kNoNode;
+    std::vector<NodeId> children;
+    /// Concatenated character data directly under this node (XML text /
+    /// JSON scalar); not part of the formal model but kept for examples.
+    std::string text;
+  };
+
+  Tree() = default;
+
+  /// Creates the root. Must be called first, exactly once.
+  NodeId AddRoot(SymbolId label);
+
+  /// Appends a child under `parent`; returns the new node id.
+  NodeId AddChild(NodeId parent, SymbolId label);
+
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  Node& mutable_node(NodeId id) { return nodes_[id]; }
+
+  size_t NumNodes() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+  NodeId root() const { return 0; }
+
+  /// Longest root-to-leaf path, counted in nodes (a single node has
+  /// depth 1); 0 for the empty tree. DBLP has depth 7, Treebank 37
+  /// (paper Section 3.1).
+  size_t Depth() const;
+
+  /// Labels of the children of `id`, in order (the word checked against
+  /// DTD content models).
+  std::vector<SymbolId> ChildLabels(NodeId id) const;
+
+  /// Pre-order traversal ids.
+  std::vector<NodeId> PreOrder() const;
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+}  // namespace rwdt::tree
+
+#endif  // RWDT_TREE_TREE_H_

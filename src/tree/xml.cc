@@ -1,0 +1,406 @@
+#include "tree/xml.h"
+
+#include <cctype>
+#include <set>
+
+namespace rwdt::tree {
+
+std::string XmlErrorCategoryName(XmlErrorCategory category) {
+  switch (category) {
+    case XmlErrorCategory::kNone:
+      return "none";
+    case XmlErrorCategory::kTagMismatch:
+      return "tag-mismatch";
+    case XmlErrorCategory::kPrematureEnd:
+      return "premature-end";
+    case XmlErrorCategory::kBadEncoding:
+      return "bad-encoding";
+    case XmlErrorCategory::kBadAttribute:
+      return "bad-attribute";
+    case XmlErrorCategory::kBadEntity:
+      return "bad-entity";
+    case XmlErrorCategory::kBadComment:
+      return "bad-comment";
+    case XmlErrorCategory::kMultipleRoots:
+      return "multiple-roots";
+    case XmlErrorCategory::kStrayContent:
+      return "stray-content";
+    case XmlErrorCategory::kBadTagName:
+      return "bad-tag-name";
+    case XmlErrorCategory::kEmptyDocument:
+      return "empty-document";
+  }
+  return "unknown";
+}
+
+bool IsValidUtf8(std::string_view input) {
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    const unsigned char c = static_cast<unsigned char>(input[i]);
+    size_t extra = 0;
+    if (c < 0x80) {
+      extra = 0;
+    } else if ((c & 0xe0) == 0xc0) {
+      extra = 1;
+      if (c < 0xc2) return false;  // overlong
+    } else if ((c & 0xf0) == 0xe0) {
+      extra = 2;
+    } else if ((c & 0xf8) == 0xf0) {
+      extra = 3;
+      if (c > 0xf4) return false;  // beyond U+10FFFF
+    } else {
+      return false;
+    }
+    if (extra > 0 && i + extra >= n) return false;
+    for (size_t k = 1; k <= extra; ++k) {
+      if ((static_cast<unsigned char>(input[i + k]) & 0xc0) != 0x80) {
+        return false;
+      }
+    }
+    i += extra + 1;
+  }
+  return true;
+}
+
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == ':' || c == '-' || c == '.';
+}
+
+class XmlParser {
+ public:
+  XmlParser(std::string_view input, Interner* dict)
+      : input_(input), dict_(dict) {}
+
+  XmlParseResult Parse() {
+    if (!IsValidUtf8(input_)) {
+      return Fail(XmlErrorCategory::kBadEncoding, 0, "invalid UTF-8");
+    }
+    SkipMisc();
+    if (AtEnd()) {
+      return Fail(XmlErrorCategory::kEmptyDocument, pos_,
+                  "no root element");
+    }
+    if (failed_) return std::move(result_);
+    if (!ParseElement(kNoNode)) return std::move(result_);
+    SkipMisc();
+    if (failed_) return std::move(result_);
+    if (!AtEnd()) {
+      if (Peek() == '<') {
+        return Fail(XmlErrorCategory::kMultipleRoots, pos_,
+                    "content after root element");
+      }
+      return Fail(XmlErrorCategory::kStrayContent, pos_,
+                  "text after root element");
+    }
+    result_.well_formed = true;
+    return std::move(result_);
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return pos_ < input_.size() ? input_[pos_] : '\0'; }
+  char PeekAt(size_t off) const {
+    return pos_ + off < input_.size() ? input_[pos_ + off] : '\0';
+  }
+
+  XmlParseResult Fail(XmlErrorCategory category, size_t offset,
+                      std::string message) {
+    failed_ = true;
+    result_.well_formed = false;
+    result_.error = {category, offset, std::move(message)};
+    return std::move(result_);
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  /// Skips whitespace, prolog, comments, DOCTYPE between top-level items.
+  void SkipMisc() {
+    for (;;) {
+      SkipWhitespace();
+      if (Peek() == '<' && PeekAt(1) == '?') {
+        const size_t end = input_.find("?>", pos_);
+        if (end == std::string_view::npos) {
+          Fail(XmlErrorCategory::kPrematureEnd, pos_,
+               "unterminated processing instruction");
+          return;
+        }
+        pos_ = end + 2;
+        continue;
+      }
+      if (Peek() == '<' && PeekAt(1) == '!' && PeekAt(2) == '-') {
+        if (!SkipComment()) return;
+        continue;
+      }
+      if (Peek() == '<' && PeekAt(1) == '!') {  // DOCTYPE
+        const size_t end = input_.find('>', pos_);
+        if (end == std::string_view::npos) {
+          Fail(XmlErrorCategory::kPrematureEnd, pos_,
+               "unterminated DOCTYPE");
+          return;
+        }
+        pos_ = end + 1;
+        continue;
+      }
+      return;
+    }
+  }
+
+  bool SkipComment() {
+    // At "<!-".
+    if (PeekAt(3) != '-') {
+      Fail(XmlErrorCategory::kBadComment, pos_, "malformed comment open");
+      return false;
+    }
+    const size_t start = pos_;
+    pos_ += 4;
+    const size_t end = input_.find("--", pos_);
+    if (end == std::string_view::npos) {
+      Fail(XmlErrorCategory::kBadComment, start, "unterminated comment");
+      return false;
+    }
+    if (end + 2 >= input_.size() || input_[end + 2] != '>') {
+      Fail(XmlErrorCategory::kBadComment, end, "'--' inside comment");
+      return false;
+    }
+    pos_ = end + 3;
+    return true;
+  }
+
+  /// Parses a name; empty result means failure (error already set).
+  std::string ParseName(XmlErrorCategory category) {
+    if (AtEnd()) {
+      Fail(XmlErrorCategory::kPrematureEnd, pos_, "input ends in tag");
+      return "";
+    }
+    if (!IsNameStart(Peek())) {
+      Fail(category, pos_, "invalid name start character");
+      return "";
+    }
+    std::string name;
+    while (!AtEnd() && IsNameChar(Peek())) name += input_[pos_++];
+    return name;
+  }
+
+  bool ParseEntity(std::string* out) {
+    // At '&'.
+    const size_t start = pos_;
+    const size_t semi = input_.find(';', pos_);
+    if (semi == std::string_view::npos || semi - pos_ > 12) {
+      Fail(XmlErrorCategory::kBadEntity, start, "stray '&'");
+      return false;
+    }
+    const std::string_view name = input_.substr(pos_ + 1, semi - pos_ - 1);
+    if (name == "amp") {
+      *out += '&';
+    } else if (name == "lt") {
+      *out += '<';
+    } else if (name == "gt") {
+      *out += '>';
+    } else if (name == "quot") {
+      *out += '"';
+    } else if (name == "apos") {
+      *out += '\'';
+    } else if (!name.empty() && name[0] == '#') {
+      // Numeric character reference; keep as-is for simplicity.
+      *out += '?';
+    } else {
+      Fail(XmlErrorCategory::kBadEntity, start,
+           "unknown entity '" + std::string(name) + "'");
+      return false;
+    }
+    pos_ = semi + 1;
+    return true;
+  }
+
+  /// Parses one element at '<'. `parent` == kNoNode for the root.
+  bool ParseElement(NodeId parent) {
+    ++pos_;  // consume '<'
+    const size_t name_pos = pos_;
+    const std::string name = ParseName(XmlErrorCategory::kBadTagName);
+    if (failed_) return false;
+    (void)name_pos;
+
+    const SymbolId label = dict_->Intern(name);
+    const NodeId node = parent == kNoNode
+                            ? result_.tree.AddRoot(label)
+                            : result_.tree.AddChild(parent, label);
+
+    // Attributes.
+    std::set<std::string> attr_names;
+    for (;;) {
+      SkipWhitespace();
+      if (AtEnd()) {
+        Fail(XmlErrorCategory::kPrematureEnd, pos_, "input ends in tag");
+        return false;
+      }
+      const char c = Peek();
+      if (c == '>' || (c == '/' && PeekAt(1) == '>')) break;
+      if (c == '<') {
+        Fail(XmlErrorCategory::kStrayContent, pos_, "'<' inside tag");
+        return false;
+      }
+      const std::string attr = ParseName(XmlErrorCategory::kBadAttribute);
+      if (failed_) return false;
+      if (!attr_names.insert(attr).second) {
+        Fail(XmlErrorCategory::kBadAttribute, pos_,
+             "duplicate attribute '" + attr + "'");
+        return false;
+      }
+      SkipWhitespace();
+      if (Peek() != '=') {
+        Fail(XmlErrorCategory::kBadAttribute, pos_,
+             "expected '=' after attribute name");
+        return false;
+      }
+      ++pos_;
+      SkipWhitespace();
+      const char quote = Peek();
+      if (quote != '"' && quote != '\'') {
+        Fail(XmlErrorCategory::kBadAttribute, pos_,
+             "unquoted attribute value");
+        return false;
+      }
+      ++pos_;
+      std::string value;
+      while (!AtEnd() && Peek() != quote) {
+        if (Peek() == '<') {
+          Fail(XmlErrorCategory::kStrayContent, pos_,
+               "'<' in attribute value");
+          return false;
+        }
+        if (Peek() == '&') {
+          if (!ParseEntity(&value)) return false;
+          continue;
+        }
+        value += input_[pos_++];
+      }
+      if (AtEnd()) {
+        Fail(XmlErrorCategory::kPrematureEnd, pos_,
+             "unterminated attribute value");
+        return false;
+      }
+      ++pos_;  // closing quote
+      result_.attributes.push_back({node, attr, value});
+    }
+
+    if (Peek() == '/') {  // self-closing
+      pos_ += 2;
+      return true;
+    }
+    ++pos_;  // '>'
+
+    // Content.
+    for (;;) {
+      if (AtEnd()) {
+        Fail(XmlErrorCategory::kPrematureEnd, pos_,
+             "missing closing tag for <" + name + ">");
+        return false;
+      }
+      const char c = Peek();
+      if (c == '<') {
+        if (PeekAt(1) == '/') {
+          pos_ += 2;
+          const std::string close =
+              ParseName(XmlErrorCategory::kBadTagName);
+          if (failed_) return false;
+          SkipWhitespace();
+          if (Peek() != '>') {
+            Fail(XmlErrorCategory::kPrematureEnd, pos_,
+                 "unterminated closing tag");
+            return false;
+          }
+          ++pos_;
+          if (close != name) {
+            Fail(XmlErrorCategory::kTagMismatch, pos_,
+                 "</" + close + "> closes <" + name + ">");
+            return false;
+          }
+          return true;
+        }
+        if (PeekAt(1) == '!' && PeekAt(2) == '-') {
+          if (!SkipComment()) return false;
+          continue;
+        }
+        if (input_.substr(pos_, 9) == "<![CDATA[") {
+          const size_t end = input_.find("]]>", pos_);
+          if (end == std::string_view::npos) {
+            Fail(XmlErrorCategory::kPrematureEnd, pos_,
+                 "unterminated CDATA");
+            return false;
+          }
+          result_.tree.mutable_node(node).text +=
+              std::string(input_.substr(pos_ + 9, end - pos_ - 9));
+          pos_ = end + 3;
+          continue;
+        }
+        if (PeekAt(1) == '?') {
+          const size_t end = input_.find("?>", pos_);
+          if (end == std::string_view::npos) {
+            Fail(XmlErrorCategory::kPrematureEnd, pos_,
+                 "unterminated processing instruction");
+            return false;
+          }
+          pos_ = end + 2;
+          continue;
+        }
+        if (!ParseElement(node)) return false;
+        continue;
+      }
+      if (c == '&') {
+        std::string text;
+        if (!ParseEntity(&text)) return false;
+        result_.tree.mutable_node(node).text += text;
+        continue;
+      }
+      result_.tree.mutable_node(node).text += input_[pos_++];
+    }
+  }
+
+  std::string_view input_;
+  Interner* dict_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+  XmlParseResult result_;
+};
+
+void RenderNode(const Tree& tree, const Interner& dict, NodeId id,
+                std::string* out) {
+  const auto& node = tree.node(id);
+  const std::string& name = dict.Name(node.label);
+  *out += '<' + name;
+  if (node.children.empty() && node.text.empty()) {
+    *out += "/>";
+    return;
+  }
+  *out += '>';
+  *out += node.text;
+  for (NodeId c : node.children) RenderNode(tree, dict, c, out);
+  *out += "</" + name + '>';
+}
+
+}  // namespace
+
+XmlParseResult ParseXml(std::string_view input, Interner* dict) {
+  return XmlParser(input, dict).Parse();
+}
+
+std::string ToXml(const Tree& tree, const Interner& dict) {
+  std::string out;
+  if (!tree.empty()) RenderNode(tree, dict, tree.root(), &out);
+  return out;
+}
+
+}  // namespace rwdt::tree

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/interner.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/table.h"
+
+namespace rwdt {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Code::kParseError);
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Code::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(InternerTest, AssignsDenseIdsInOrder) {
+  Interner dict;
+  EXPECT_EQ(dict.Intern("a"), 0u);
+  EXPECT_EQ(dict.Intern("b"), 1u);
+  EXPECT_EQ(dict.Intern("a"), 0u);
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.Name(1), "b");
+  EXPECT_EQ(dict.Lookup("b"), 1u);
+  EXPECT_EQ(dict.Lookup("zzz"), kInvalidSymbol);
+}
+
+TEST(RngTest, DeterministicForFixedSeed) {
+  Rng a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveBounds) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    const int64_t v = rng.NextInt(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all values hit
+}
+
+TEST(RngTest, NextWeightedRespectsZeros) {
+  Rng rng(11);
+  const std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.NextWeighted(weights), 1u);
+  }
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng a(5);
+  Rng b = a.Fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(ZipfTest, SkewsTowardSmallIndices) {
+  Rng rng(3);
+  ZipfSampler zipf(100, 1.5);
+  size_t first_bucket = 0;
+  const size_t trials = 10000;
+  for (size_t i = 0; i < trials; ++i) {
+    if (zipf.Sample(rng) == 0) ++first_bucket;
+  }
+  // Index 0 has probability ~ 1/zeta(1.5, 100) ~= 0.4.
+  EXPECT_GT(first_bucket, trials / 4);
+}
+
+TEST(StatsTest, SummaryBasics) {
+  Summary s = Summarize({5, 1, 3});
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 5u);
+  EXPECT_EQ(s.median, 3u);
+}
+
+TEST(StatsTest, SummaryEmpty) {
+  Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+}
+
+TEST(StatsTest, PowerLawAlphaRecoversExponent) {
+  // Sample from a discrete power law with alpha=2.5 via inverse CDF on a
+  // Zipf sampler and check the MLE lands near 2.5.
+  Rng rng(42);
+  ZipfSampler zipf(100000, 2.5);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 20000; ++i) {
+    values.push_back(static_cast<uint64_t>(zipf.Sample(rng)) + 1);
+  }
+  const double alpha = PowerLawAlpha(values, 2);
+  EXPECT_GT(alpha, 2.0);
+  EXPECT_LT(alpha, 3.0);
+}
+
+TEST(StatsTest, ClampedHistogram) {
+  auto h = ClampedHistogram({0, 1, 1, 5, 99}, 3);
+  ASSERT_EQ(h.size(), 4u);
+  EXPECT_EQ(h[0], 1u);
+  EXPECT_EQ(h[1], 2u);
+  EXPECT_EQ(h[2], 0u);
+  EXPECT_EQ(h[3], 2u);  // 5 and 99 clamp into "3+"
+}
+
+TEST(TableTest, FormatsThousands) {
+  EXPECT_EQ(WithThousands(0), "0");
+  EXPECT_EQ(WithThousands(999), "999");
+  EXPECT_EQ(WithThousands(1000), "1,000");
+  EXPECT_EQ(WithThousands(28651075), "28,651,075");
+}
+
+TEST(TableTest, FormatsPercent) {
+  EXPECT_EQ(Percent(1, 4), "25.00%");
+  EXPECT_EQ(Percent(0, 4), "0.00%");
+  EXPECT_EQ(Percent(0, 4, /*blank_zero=*/true), "");
+  EXPECT_EQ(Percent(1, 0), "0.00%");
+}
+
+TEST(TableTest, RendersAlignedTable) {
+  AsciiTable t({"Name", "Count"});
+  t.AddRow({"alpha", "12"});
+  t.AddSeparator();
+  t.AddRow({"b", "1,234"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("| Name  | Count |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha |    12 |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 1,234 |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rwdt

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "common/interner.h"
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/rdf.h"
+#include "graph/treewidth.h"
+
+namespace rwdt::graph {
+namespace {
+
+TEST(TripleStoreTest, AddMatchDedup) {
+  Interner dict;
+  TripleStore store;
+  const SymbolId a = dict.Intern("a"), knows = dict.Intern("knows"),
+                 b = dict.Intern("b"), c = dict.Intern("c");
+  store.Add(a, knows, b);
+  store.Add(a, knows, b);  // duplicate
+  store.Add(a, knows, c);
+  store.Add(b, knows, c);
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_TRUE(store.Contains(a, knows, b));
+  EXPECT_FALSE(store.Contains(b, knows, a));
+  EXPECT_EQ(store.Objects(a, knows).size(), 2u);
+  EXPECT_EQ(store.Subjects(knows, c).size(), 2u);
+  EXPECT_EQ(store.Match(kInvalidSymbol, knows, kInvalidSymbol).size(), 3u);
+  EXPECT_EQ(store.Match(kInvalidSymbol, kInvalidSymbol, c).size(), 2u);
+}
+
+TEST(TripleStoreTest, TermSets) {
+  Interner dict;
+  TripleStore store;
+  store.Add(dict.Intern("s1"), dict.Intern("p"), dict.Intern("o1"));
+  store.Add(dict.Intern("s2"), dict.Intern("p"), dict.Intern("s1"));
+  EXPECT_EQ(store.SubjectSet().size(), 2u);
+  EXPECT_EQ(store.PredicateSet().size(), 1u);
+  EXPECT_EQ(store.ObjectSet().size(), 2u);
+}
+
+TEST(RdfStructureTest, GeneratedDatasetMatchesRealWorldShape) {
+  Interner dict;
+  Rng rng(7);
+  TripleStore store = MakeRdfDataset(2000, 5, 4, &dict, rng);
+  const RdfStructureStats stats = AnalyzeRdfStructure(store);
+  // Fernandez et al.: predicates barely overlap subjects/objects.
+  EXPECT_LT(stats.predicate_subject_overlap, 1e-3);
+  EXPECT_LT(stats.predicate_object_overlap, 1e-3);
+  // Few distinct predicate lists relative to subjects (~1% in the wild).
+  EXPECT_LT(stats.predicate_list_ratio, 0.05);
+  // Objects per (s,p) close to 1.
+  EXPECT_LT(stats.objects_per_sp, 1.3);
+  // Skewed in-degrees: max far above mean, power-law-ish alpha.
+  EXPECT_GT(stats.in_degree_max, 10 * stats.in_degree_mean);
+  EXPECT_GT(stats.in_degree_alpha, 1.2);
+}
+
+TEST(SimpleGraphTest, BasicOps) {
+  SimpleGraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 1);  // duplicate
+  g.AddEdge(2, 2);  // self-loop ignored
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_EQ(g.Components().size(), 2u);  // {0,1,2} and {3}
+}
+
+SimpleGraph Cycle(size_t n) {
+  SimpleGraph g(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    g.AddEdge(i, static_cast<uint32_t>((i + 1) % n));
+  }
+  return g;
+}
+
+SimpleGraph Clique(size_t n) {
+  SimpleGraph g(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) g.AddEdge(i, j);
+  }
+  return g;
+}
+
+SimpleGraph Grid(size_t w, size_t h) {
+  SimpleGraph g(w * h);
+  auto id = [&](size_t x, size_t y) {
+    return static_cast<uint32_t>(y * w + x);
+  };
+  for (size_t y = 0; y < h; ++y) {
+    for (size_t x = 0; x < w; ++x) {
+      if (x + 1 < w) g.AddEdge(id(x, y), id(x + 1, y));
+      if (y + 1 < h) g.AddEdge(id(x, y), id(x, y + 1));
+    }
+  }
+  return g;
+}
+
+TEST(TreewidthTest, ExactOnKnownGraphs) {
+  EXPECT_EQ(TreewidthExact(SimpleGraph(3)).value(), 0u);  // no edges
+  {
+    SimpleGraph path(4);
+    path.AddEdge(0, 1);
+    path.AddEdge(1, 2);
+    path.AddEdge(2, 3);
+    EXPECT_EQ(TreewidthExact(path).value(), 1u);
+  }
+  EXPECT_EQ(TreewidthExact(Cycle(5)).value(), 2u);
+  EXPECT_EQ(TreewidthExact(Clique(4)).value(), 3u);
+  EXPECT_EQ(TreewidthExact(Clique(6)).value(), 5u);
+  EXPECT_EQ(TreewidthExact(Grid(3, 3)).value(), 3u);
+  EXPECT_EQ(TreewidthExact(Grid(4, 4)).value(), 4u);
+}
+
+TEST(TreewidthTest, BoundsSandwichExact) {
+  Rng rng(11);
+  for (int round = 0; round < 15; ++round) {
+    SimpleGraph g = MakeRandomGraph(12, 18, rng);
+    const auto exact = TreewidthExact(g);
+    ASSERT_TRUE(exact.has_value());
+    EXPECT_LE(TreewidthLowerBoundDegeneracy(g), *exact);
+    EXPECT_LE(TreewidthLowerBoundMmdPlus(g), *exact);
+    EXPECT_GE(TreewidthUpperBoundMinFill(g), *exact);
+    EXPECT_GE(TreewidthUpperBoundMinDegree(g), *exact);
+    EXPECT_GE(TreewidthLowerBoundMmdPlus(g),
+              TreewidthLowerBoundDegeneracy(g) > 0
+                  ? TreewidthLowerBoundDegeneracy(g)
+                  : 0);
+  }
+}
+
+TEST(TreewidthTest, AtMostSpecialCases) {
+  EXPECT_TRUE(*TreewidthAtMost(SimpleGraph(3), 0));
+  {
+    SimpleGraph tree(5);
+    tree.AddEdge(0, 1);
+    tree.AddEdge(0, 2);
+    tree.AddEdge(2, 3);
+    tree.AddEdge(2, 4);
+    EXPECT_TRUE(IsForest(tree));
+    EXPECT_TRUE(*TreewidthAtMost(tree, 1));
+    EXPECT_FALSE(*TreewidthAtMost(tree, 0));
+  }
+  EXPECT_FALSE(IsForest(Cycle(4)));
+  EXPECT_FALSE(*TreewidthAtMost(Cycle(4), 1));
+  EXPECT_TRUE(*TreewidthAtMost(Cycle(4), 2));
+  EXPECT_FALSE(*TreewidthAtMost(Clique(4), 2));
+  EXPECT_TRUE(*TreewidthAtMost(Clique(4), 3));
+  EXPECT_FALSE(*TreewidthAtMost(Grid(3, 3), 2));
+  EXPECT_TRUE(*TreewidthAtMost(Grid(3, 3), 3));
+}
+
+TEST(TreewidthTest, AtMost2AgreesWithExactOnRandomGraphs) {
+  Rng rng(23);
+  for (int round = 0; round < 30; ++round) {
+    SimpleGraph g = MakeRandomGraph(10, 5 + rng.NextBelow(10), rng);
+    const auto exact = TreewidthExact(g);
+    ASSERT_TRUE(exact.has_value());
+    EXPECT_EQ(*TreewidthAtMost(g, 2), *exact <= 2);
+    EXPECT_EQ(*TreewidthAtMost(g, 3), *exact <= 3);
+  }
+}
+
+TEST(GeneratorsTest, StructuralClassesHaveExpectedTreewidthShape) {
+  Rng rng(5);
+  // Road grid: lower/upper bounds scale with the small grid dimension.
+  SimpleGraph road = MakeRoadNetwork(30, 10, 0.1, 0.05, rng);
+  const size_t road_ub = TreewidthUpperBoundMinDegree(road);
+  EXPECT_LE(road_ub, 30u);
+  EXPECT_GE(road_ub, 3u);
+
+  // Preferential attachment: treewidth bound large relative to size.
+  SimpleGraph web = MakePreferentialAttachment(300, 3, rng);
+  const size_t web_lb = TreewidthLowerBoundMmdPlus(web);
+  EXPECT_GE(web_lb, 4u);
+
+  // Genealogy: tiny bounds.
+  SimpleGraph royal = MakeGenealogy(500, 0.05, rng);
+  const size_t royal_ub = TreewidthUpperBoundMinFill(royal);
+  EXPECT_LE(royal_ub, 12u);
+}
+
+TEST(GeneratorsTest, ToSimpleGraphSharesTerms) {
+  Interner dict;
+  TripleStore store;
+  store.Add(dict.Intern("a"), dict.Intern("p"), dict.Intern("b"));
+  store.Add(dict.Intern("b"), dict.Intern("q"), dict.Intern("c"));
+  std::vector<SymbolId> terms;
+  SimpleGraph g = ToSimpleGraph(store, &terms);
+  EXPECT_EQ(g.NumVertices(), 3u);  // a, b, c (predicates are edges)
+  EXPECT_EQ(g.NumEdges(), 2u);
+}
+
+}  // namespace
+}  // namespace rwdt::graph

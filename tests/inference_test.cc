@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "common/interner.h"
+#include "common/rng.h"
+#include "inference/crx.h"
+#include "inference/kore.h"
+#include "inference/rwr.h"
+#include "inference/soa.h"
+#include "regex/automaton.h"
+#include "regex/fragments.h"
+#include "regex/glushkov.h"
+#include "regex/parser.h"
+#include "regex/sampler.h"
+
+namespace rwdt::inference {
+namespace {
+
+using regex::Word;
+
+class InferenceTest : public ::testing::Test {
+ protected:
+  Word W(const std::string& s) {
+    Word w;
+    for (char c : s) w.push_back(dict_.Intern(std::string(1, c)));
+    return w;
+  }
+
+  regex::RegexPtr Parse(const std::string& s) {
+    auto r = regex::ParseRegex(s, &dict_);
+    EXPECT_TRUE(r.ok()) << s;
+    return r.value();
+  }
+
+  /// Samples `count` words from L(e) (plus the shortest word).
+  std::vector<Word> SampleFrom(const std::string& expr, int count,
+                               uint64_t seed) {
+    std::vector<Word> sample;
+    const regex::Nfa nfa = regex::ToNfa(Parse(expr));
+    Rng rng(seed);
+    auto shortest = regex::ShortestAccepted(regex::Determinize(nfa));
+    if (shortest.has_value()) sample.push_back(*shortest);
+    for (int i = 0; i < count; ++i) {
+      Word w;
+      if (regex::SampleAcceptedWord(nfa, 12, rng, &w)) sample.push_back(w);
+    }
+    return sample;
+  }
+
+  Interner dict_;
+};
+
+TEST_F(InferenceTest, SoaBuildsGarciaVidalAutomaton) {
+  const Soa soa = BuildSoa({W("ab"), W("ba"), W("")});
+  EXPECT_TRUE(soa.accepts_epsilon);
+  EXPECT_TRUE(soa.Accepts(W("ab")));
+  EXPECT_TRUE(soa.Accepts(W("ba")));
+  EXPECT_TRUE(soa.Accepts(W("")));
+  // 2T-INF generalization: "aba" follows existing edges a->b, b->a.
+  EXPECT_TRUE(soa.Accepts(W("aba")));
+  EXPECT_FALSE(soa.Accepts(W("aa")));
+}
+
+TEST_F(InferenceTest, SoreCoversSampleAlways) {
+  const std::vector<std::vector<Word>> samples = {
+      {W("ab"), W("b")},
+      {W("abc"), W("acb"), W("abcabc")},
+      {W("a"), W("aa"), W("aaa")},
+      {W(""), W("ab")},
+      {W("abab"), W("ab")},
+  };
+  for (const auto& sample : samples) {
+    const auto result = InferSore(sample);
+    const regex::Nfa nfa = regex::ToNfa(result.expression);
+    for (const auto& w : sample) {
+      EXPECT_TRUE(nfa.Accepts(w));
+    }
+    EXPECT_TRUE(regex::IsSore(result.expression));
+  }
+}
+
+TEST_F(InferenceTest, SoreRecoversSimpleTargets) {
+  // Characteristic-ish samples for simple SOREs recover an equivalent
+  // expression with no repairs.
+  struct Case {
+    std::string target;
+    std::vector<std::string> words;
+  };
+  const std::vector<Case> cases = {
+      {"ab", {"ab"}},
+      {"a+", {"a", "aa"}},
+      {"a?b", {"ab", "b"}},
+      {"(a|b)c", {"ac", "bc"}},
+      {"a(b|c)*d", {"ad", "abd", "acd", "abcd", "acbd", "abbd"}},
+      {"(a|b)+", {"a", "b", "ab", "ba", "aa", "bb"}},
+  };
+  for (const auto& c : cases) {
+    std::vector<Word> sample;
+    for (const auto& s : c.words) sample.push_back(W(s));
+    const auto result = InferSore(sample);
+    EXPECT_EQ(result.repairs, 0u) << c.target;
+    EXPECT_TRUE(regex::AreEquivalent(regex::ToDfa(result.expression),
+                                     regex::ToDfa(Parse(c.target))))
+        << c.target << " inferred "
+        << result.expression->ToString(dict_);
+  }
+}
+
+TEST_F(InferenceTest, SoreOnEmptySample) {
+  const auto result = InferSore({});
+  EXPECT_TRUE(regex::IsEmptyLanguage(regex::ToDfa(result.expression)));
+}
+
+TEST_F(InferenceTest, ChainInferenceRecoversChainTargets) {
+  struct Case {
+    std::string target;
+    std::vector<std::string> words;
+  };
+  const std::vector<Case> cases = {
+      {"a+b+", {"ab", "aab", "abb"}},
+      {"a?b", {"ab", "b"}},
+      {"(a|b)c*", {"a", "b", "ac", "bcc"}},
+      {"ab?c", {"ac", "abc"}},
+  };
+  for (const auto& c : cases) {
+    std::vector<Word> sample;
+    for (const auto& s : c.words) sample.push_back(W(s));
+    auto chain = InferChain(sample);
+    ASSERT_TRUE(chain.has_value()) << c.target;
+    EXPECT_TRUE(regex::AreEquivalent(regex::ToDfa(chain->ToRegex()),
+                                     regex::ToDfa(Parse(c.target))))
+        << c.target << " inferred "
+        << chain->ToRegex()->ToString(dict_);
+  }
+}
+
+TEST_F(InferenceTest, ChainInferenceMergesInterleavedSymbols) {
+  // "aba" forces a and b into one factor: inferred (a|b)+.
+  auto chain = InferChain({W("aba")});
+  ASSERT_TRUE(chain.has_value());
+  ASSERT_EQ(chain->factors.size(), 1u);
+  EXPECT_EQ(chain->factors[0].symbols.size(), 2u);
+  EXPECT_EQ(chain->factors[0].modifier, regex::FactorModifier::kPlus);
+}
+
+TEST_F(InferenceTest, ChainInferenceCoversSample) {
+  Rng rng(99);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<Word> sample;
+    for (int i = 0; i < 6; ++i) {
+      sample.push_back(regex::SampleWord(3, 6, rng));
+    }
+    auto chain = InferChain(sample);
+    if (!chain.has_value()) continue;
+    const regex::Nfa nfa = regex::ToNfa(chain->ToRegex());
+    for (const auto& w : sample) {
+      EXPECT_TRUE(nfa.Accepts(w));
+    }
+  }
+}
+
+TEST_F(InferenceTest, KoreInferenceCoversAndBoundsOccurrences) {
+  // aba is not a SORE language; 2-ORE inference handles it.
+  const std::vector<Word> sample = {W("aba"), W("abba")};
+  const auto e = InferKore(sample, 2);
+  EXPECT_TRUE(regex::IsKore(e, 2));
+  const regex::Nfa nfa = regex::ToNfa(e);
+  for (const auto& w : sample) EXPECT_TRUE(nfa.Accepts(w));
+}
+
+TEST_F(InferenceTest, BestKorePicksSmallK) {
+  size_t k = 0;
+  // Sample from a SORE: k = 1 suffices.
+  InferBestKore({W("ab"), W("b")}, 3, &k);
+  EXPECT_EQ(k, 1u);
+}
+
+TEST_F(InferenceTest, SoreInferenceFromSampledSores) {
+  // Property: inferring from generated samples of SORE targets always
+  // covers the sample; with rich samples and no repairs, the inferred
+  // language is contained in or equal to moderate generalizations.
+  const std::vector<std::string> targets = {"a(b|c)d?", "(a|b)*",
+                                            "ab+c?", "a?(b|c)+"};
+  for (const auto& t : targets) {
+    auto sample = SampleFrom(t, 40, 1234);
+    ASSERT_FALSE(sample.empty()) << t;
+    const auto result = InferSore(sample);
+    const regex::Nfa nfa = regex::ToNfa(result.expression);
+    for (const auto& w : sample) EXPECT_TRUE(nfa.Accepts(w)) << t;
+  }
+}
+
+}  // namespace
+}  // namespace rwdt::inference

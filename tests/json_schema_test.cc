@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "schema/json_schema.h"
+#include "tree/json.h"
+
+namespace rwdt::schema {
+namespace {
+
+using tree::JsonPtr;
+using tree::ParseJson;
+
+JsonSchemaDoc Schema(const std::string& s) {
+  auto json = ParseJson(s);
+  EXPECT_TRUE(json.ok()) << s;
+  auto doc = ParseJsonSchema(json.value());
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  return doc.value();
+}
+
+JsonPtr V(const std::string& s) {
+  auto r = ParseJson(s);
+  EXPECT_TRUE(r.ok()) << s;
+  return r.value();
+}
+
+TEST(JsonSchemaTest, TypeAssertions) {
+  auto doc = Schema(R"({"type": "string"})");
+  EXPECT_TRUE(ValidateJsonSchema(doc, V("\"hi\"")));
+  EXPECT_FALSE(ValidateJsonSchema(doc, V("42")));
+}
+
+TEST(JsonSchemaTest, ObjectPropertiesAndRequired) {
+  auto doc = Schema(R"({
+    "type": "object",
+    "properties": {"name": {"type": "string"},
+                   "age": {"type": "number", "minimum": 0}},
+    "required": ["name"]})");
+  EXPECT_TRUE(ValidateJsonSchema(doc, V(R"({"name":"a","age":3})")));
+  EXPECT_TRUE(ValidateJsonSchema(doc, V(R"({"name":"a"})")));
+  EXPECT_FALSE(ValidateJsonSchema(doc, V(R"({"age":3})")));
+  EXPECT_FALSE(ValidateJsonSchema(doc, V(R"({"name":"a","age":-1})")));
+  // Schema-mixed by default: unknown properties allowed (Section 4.5).
+  EXPECT_TRUE(ValidateJsonSchema(doc, V(R"({"name":"a","zz":1})")));
+}
+
+TEST(JsonSchemaTest, SchemaFullMode) {
+  auto doc = Schema(R"({
+    "type": "object",
+    "properties": {"name": {"type": "string"}},
+    "additionalProperties": false})");
+  EXPECT_TRUE(ValidateJsonSchema(doc, V(R"({"name":"a"})")));
+  EXPECT_FALSE(ValidateJsonSchema(doc, V(R"({"name":"a","zz":1})")));
+  EXPECT_TRUE(AnalyzeJsonSchema(doc).schema_full);
+}
+
+TEST(JsonSchemaTest, ArraysAndBounds) {
+  auto doc = Schema(R"({
+    "type": "array", "items": {"type": "number"},
+    "minItems": 1, "maxItems": 3})");
+  EXPECT_TRUE(ValidateJsonSchema(doc, V("[1,2]")));
+  EXPECT_FALSE(ValidateJsonSchema(doc, V("[]")));
+  EXPECT_FALSE(ValidateJsonSchema(doc, V("[1,2,3,4]")));
+  EXPECT_FALSE(ValidateJsonSchema(doc, V("[1,\"x\"]")));
+}
+
+TEST(JsonSchemaTest, NegationAsForbiddenWorkaround) {
+  // Baazizi et al.: negation is often a workaround for a missing
+  // "forbidden" keyword (Section 4.5).
+  auto doc = Schema(R"({
+    "allOf": [
+      {"type": "object"},
+      {"not": {"properties": {"secret": {}}, "required": ["secret"]}}]})");
+  EXPECT_TRUE(ValidateJsonSchema(doc, V(R"({"a":1})")));
+  EXPECT_FALSE(ValidateJsonSchema(doc, V(R"({"secret":1})")));
+  EXPECT_TRUE(AnalyzeJsonSchema(doc).uses_negation);
+}
+
+TEST(JsonSchemaTest, AnyOfAndEnum) {
+  auto doc = Schema(R"({"anyOf": [{"enum": ["a", "b"]},
+                                  {"type": "number"}]})");
+  // Enum values are compared on serialized form.
+  EXPECT_TRUE(ValidateJsonSchema(doc, V("\"a\"")));
+  EXPECT_TRUE(ValidateJsonSchema(doc, V("7")));
+  EXPECT_FALSE(ValidateJsonSchema(doc, V("\"c\"")));
+}
+
+TEST(JsonSchemaTest, RecursiveSchemaViaRefs) {
+  auto doc = Schema(R"({
+    "$defs": {
+      "tree": {"type": "object",
+               "properties": {"value": {"type": "number"},
+                              "kids": {"type": "array",
+                                       "items": {"$ref": "#/$defs/tree"}}},
+               "required": ["value"]}},
+    "$ref": "#/$defs/tree"})");
+  EXPECT_TRUE(ValidateJsonSchema(
+      doc, V(R"({"value":1,"kids":[{"value":2},{"value":3,"kids":[]}]})")));
+  EXPECT_FALSE(ValidateJsonSchema(doc, V(R"({"kids":[]})")));
+  EXPECT_TRUE(AnalyzeJsonSchema(doc).recursive);
+}
+
+TEST(JsonSchemaTest, DepthOfNonRecursiveSchema) {
+  auto doc = Schema(R"({
+    "type": "object",
+    "properties": {"a": {"type": "object",
+                         "properties": {"b": {"type": "array",
+                                              "items": {"type":"number"}}}}}
+    })");
+  auto stats = AnalyzeJsonSchema(doc);
+  EXPECT_FALSE(stats.recursive);
+  EXPECT_EQ(stats.max_depth, 3u);  // object > object > array
+  EXPECT_FALSE(stats.uses_negation);
+  EXPECT_FALSE(stats.schema_full);
+}
+
+TEST(JsonSchemaTest, BooleanSchemas) {
+  EXPECT_TRUE(ValidateJsonSchema(Schema("true"), V("123")));
+  EXPECT_FALSE(ValidateJsonSchema(Schema("false"), V("123")));
+}
+
+}  // namespace
+}  // namespace rwdt::schema

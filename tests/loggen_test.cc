@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/interner.h"
+#include "loggen/corpus_gen.h"
+#include "loggen/sparql_gen.h"
+#include "schema/dtd.h"
+#include "sparql/parser.h"
+#include "tree/xml.h"
+#include "xpath/xpath.h"
+
+namespace rwdt::loggen {
+namespace {
+
+TEST(SparqlGenTest, DeterministicForFixedSeed) {
+  SourceProfile p = ExampleProfile(200);
+  auto a = GenerateLog(p, 42);
+  auto b = GenerateLog(p, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].text, b[i].text);
+  auto c = GenerateLog(p, 43);
+  size_t same = 0;
+  for (size_t i = 0; i < std::min(a.size(), c.size()); ++i) {
+    same += a[i].text == c[i].text;
+  }
+  EXPECT_LT(same, a.size() / 2);
+}
+
+TEST(SparqlGenTest, IntendedValidQueriesParse) {
+  SourceProfile p = ExampleProfile(600);
+  Interner dict;
+  size_t valid = 0, invalid_intent = 0, invalid_parse_ok = 0;
+  for (const auto& entry : GenerateLog(p, 7)) {
+    auto q = sparql::ParseSparql(entry.text, &dict);
+    if (entry.intended_valid) {
+      EXPECT_TRUE(q.ok()) << entry.text << "\n" << q.status().ToString();
+      ++valid;
+    } else {
+      ++invalid_intent;
+      if (q.ok()) ++invalid_parse_ok;
+    }
+  }
+  EXPECT_GT(valid, 500u);
+  EXPECT_GT(invalid_intent, 0u);
+  // Most corruptions actually break parsing.
+  EXPECT_LT(invalid_parse_ok * 2, invalid_intent + 1);
+}
+
+TEST(SparqlGenTest, DuplicateFactorRoughlyHolds) {
+  SourceProfile p = ExampleProfile(4000);
+  p.duplicate_factor = 4.0;
+  p.invalid_rate = 0;
+  std::set<std::string> unique;
+  size_t total = 0;
+  for (const auto& e : GenerateLog(p, 9)) {
+    unique.insert(e.text);
+    ++total;
+  }
+  const double observed =
+      static_cast<double>(total) / static_cast<double>(unique.size());
+  EXPECT_GT(observed, 2.5);
+  EXPECT_LT(observed, 6.0);
+}
+
+TEST(SparqlGenTest, Table2ProfilesScale) {
+  auto profiles = Table2Profiles(/*scale=*/20000);
+  ASSERT_EQ(profiles.size(), 17u);
+  // Relative sizes preserved: WikiRobot/OK is the largest.
+  uint64_t max_total = 0;
+  std::string max_name;
+  for (const auto& p : profiles) {
+    if (p.total_queries > max_total) {
+      max_total = p.total_queries;
+      max_name = p.name;
+    }
+  }
+  EXPECT_EQ(max_name, "WikiRobot/OK");
+  // Wikidata flags set.
+  for (const auto& p : profiles) {
+    if (p.name.substr(0, 4) == "Wiki") {
+      EXPECT_TRUE(p.wikidata_like);
+    }
+  }
+}
+
+TEST(DtdGenTest, CorpusMatchesKnobs) {
+  Interner dict;
+  DtdCorpusOptions options;
+  options.num_dtds = 60;
+  auto corpus = GenerateDtdCorpus(options, &dict, 11);
+  ASSERT_EQ(corpus.size(), 60u);
+  size_t recursive = 0;
+  for (const auto& dtd : corpus) {
+    EXPECT_FALSE(dtd.rules.empty());
+    EXPECT_FALSE(dtd.start.empty());
+    if (schema::IsRecursive(dtd)) ++recursive;
+  }
+  // ~55% recursive requested (Choi saw 35/60).
+  EXPECT_GT(recursive, 20u);
+  EXPECT_LT(recursive, 50u);
+}
+
+TEST(DtdGenTest, GeneratedTreesValidate) {
+  Interner dict;
+  DtdCorpusOptions options;
+  options.num_dtds = 10;
+  auto corpus = GenerateDtdCorpus(options, &dict, 5);
+  Rng rng(17);
+  size_t validated = 0;
+  for (const auto& dtd : corpus) {
+    schema::DtdValidator validator(dtd);
+    for (int i = 0; i < 3; ++i) {
+      tree::Tree t = GenerateValidTree(dtd, &dict, rng);
+      if (t.empty()) continue;
+      EXPECT_TRUE(validator.Validate(t).valid);
+      ++validated;
+    }
+  }
+  EXPECT_GT(validated, 10u);
+}
+
+TEST(XmlGenTest, CorruptionRateMatches) {
+  Interner dict;
+  XmlCorpusOptions options;
+  options.num_documents = 400;
+  options.p_corrupt = 0.15;
+  auto corpus = GenerateXmlCorpus(options, &dict, 3);
+  ASSERT_EQ(corpus.size(), 400u);
+  size_t intended_bad = 0, parsed_ok = 0, intended_bad_but_ok = 0;
+  Interner dict2;
+  for (const auto& doc : corpus) {
+    auto parse = tree::ParseXml(doc.text, &dict2);
+    if (!doc.intended_well_formed) {
+      ++intended_bad;
+      if (parse.well_formed) ++intended_bad_but_ok;
+    } else {
+      EXPECT_TRUE(parse.well_formed) << doc.text.substr(0, 120);
+    }
+    if (parse.well_formed) ++parsed_ok;
+  }
+  EXPECT_GT(intended_bad, 30u);
+  // Most injected corruptions are detected (a truncation can by chance
+  // stay well-formed).
+  EXPECT_LT(intended_bad_but_ok * 4, intended_bad);
+  EXPECT_GT(parsed_ok, 300u);
+}
+
+TEST(XPathGenTest, QueriesMostlyParse) {
+  XPathCorpusOptions options;
+  options.num_queries = 500;
+  auto corpus = GenerateXPathCorpus(options, 23);
+  ASSERT_EQ(corpus.size(), 500u);
+  Interner dict;
+  size_t ok = 0;
+  for (const auto& text : corpus) {
+    ok += xpath::ParseXPath(text, &dict).ok();
+  }
+  EXPECT_EQ(ok, 500u);
+}
+
+}  // namespace
+}  // namespace rwdt::loggen

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "common/interner.h"
+#include "regex/automaton.h"
+#include "regex/glushkov.h"
+#include "regex/parser.h"
+
+namespace rwdt::regex {
+namespace {
+
+class AutomatonTest : public ::testing::Test {
+ protected:
+  RegexPtr Parse(const std::string& s) {
+    auto r = ParseRegex(s, &dict_);
+    EXPECT_TRUE(r.ok()) << s;
+    return r.value();
+  }
+
+  Word W(const std::string& s) {
+    Word w;
+    for (char c : s) w.push_back(dict_.Intern(std::string(1, c)));
+    return w;
+  }
+
+  Interner dict_;
+};
+
+TEST_F(AutomatonTest, NfaMembership) {
+  Nfa nfa = ToNfa(Parse("(a|b)*a"));
+  EXPECT_TRUE(nfa.Accepts(W("a")));
+  EXPECT_TRUE(nfa.Accepts(W("bba")));
+  EXPECT_TRUE(nfa.Accepts(W("ababa")));
+  EXPECT_FALSE(nfa.Accepts(W("")));
+  EXPECT_FALSE(nfa.Accepts(W("ab")));
+}
+
+TEST_F(AutomatonTest, DfaMembershipMatchesNfa) {
+  RegexPtr e = Parse("a?(b|c)+a");
+  Nfa nfa = ToNfa(e);
+  Dfa dfa = Determinize(nfa);
+  for (const std::string s :
+       {"", "a", "ba", "ca", "abca", "bbbca", "aa", "abc", "acba"}) {
+    EXPECT_EQ(nfa.Accepts(W(s)), dfa.Accepts(W(s))) << s;
+  }
+}
+
+TEST_F(AutomatonTest, EpsilonLanguage) {
+  Dfa dfa = ToDfa(Parse("<eps>"));
+  EXPECT_TRUE(dfa.Accepts(W("")));
+  EXPECT_FALSE(dfa.Accepts(W("a")));
+}
+
+TEST_F(AutomatonTest, EmptyLanguage) {
+  Dfa dfa = ToDfa(Parse("<empty>"));
+  EXPECT_TRUE(IsEmptyLanguage(dfa));
+  Dfa dfa2 = ToDfa(Parse("a<empty>b"));
+  EXPECT_TRUE(IsEmptyLanguage(dfa2));
+}
+
+TEST_F(AutomatonTest, MinimizeCanonicalSize) {
+  // (a|b)*a(a|b) has a well-known 4-state minimal complete DFA; the
+  // partial minimal DFA (no dead state) also has 4 states since the
+  // language is total-prefix... it never blocks.
+  Dfa min = ToMinimalDfa(Parse("(a|b)*a(a|b)"));
+  EXPECT_EQ(min.NumStates(), 4u);
+  // Equivalent expressions minimize to identical sizes.
+  Dfa min2 = ToMinimalDfa(Parse("(a|b)*a"));
+  Dfa min3 = ToMinimalDfa(Parse("b*a(b*a)*"));
+  EXPECT_EQ(min2.NumStates(), min3.NumStates());
+  EXPECT_TRUE(AreEquivalent(min2, min3));
+}
+
+TEST_F(AutomatonTest, MinimizeRemovesDeadStates) {
+  // ab<empty>|a: language {a}; naive determinization has dead branches.
+  Dfa min = ToMinimalDfa(Parse("(ab<empty>)|a"));
+  EXPECT_EQ(min.NumStates(), 2u);
+  EXPECT_TRUE(min.Accepts(W("a")));
+  EXPECT_FALSE(min.Accepts(W("ab")));
+}
+
+TEST_F(AutomatonTest, ContainmentBasics) {
+  EXPECT_TRUE(IsContained(ToDfa(Parse("ab")), ToDfa(Parse("a(b|c)"))));
+  EXPECT_FALSE(IsContained(ToDfa(Parse("a(b|c)")), ToDfa(Parse("ab"))));
+  EXPECT_TRUE(IsContained(ToDfa(Parse("(ab)*")), ToDfa(Parse("(a|b)*"))));
+  EXPECT_FALSE(IsContained(ToDfa(Parse("(a|b)*")), ToDfa(Parse("(ab)*"))));
+}
+
+TEST_F(AutomatonTest, ContainmentProducesWitness) {
+  Word witness;
+  EXPECT_FALSE(
+      IsContained(ToDfa(Parse("a*")), ToDfa(Parse("a?")), &witness));
+  EXPECT_EQ(witness.size(), 2u);  // "aa" is the shortest counterexample
+}
+
+TEST_F(AutomatonTest, EquivalenceOfClassicPair) {
+  // From the paper: (a+b)*a is equivalent to the deterministic b*a(b*a)*.
+  EXPECT_TRUE(
+      AreEquivalent(ToDfa(Parse("(a|b)*a")), ToDfa(Parse("b*a(b*a)*"))));
+  EXPECT_FALSE(
+      AreEquivalent(ToDfa(Parse("(a|b)*a")), ToDfa(Parse("(a|b)*"))));
+}
+
+TEST_F(AutomatonTest, ShortestAcceptedWord) {
+  auto w = ShortestAccepted(ToDfa(Parse("aa(b|c)a*")));
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->size(), 3u);
+  EXPECT_FALSE(ShortestAccepted(ToDfa(Parse("<empty>"))).has_value());
+  auto eps = ShortestAccepted(ToDfa(Parse("a*")));
+  ASSERT_TRUE(eps.has_value());
+  EXPECT_TRUE(eps->empty());
+}
+
+TEST_F(AutomatonTest, ProductIntersection) {
+  Dfa p = Product(ToDfa(Parse("a*b")), ToDfa(Parse("(ab)+")), true);
+  EXPECT_TRUE(p.Accepts(W("ab")));
+  EXPECT_FALSE(p.Accepts(W("b")));     // only in lhs
+  EXPECT_FALSE(p.Accepts(W("abab")));  // only in rhs
+}
+
+TEST_F(AutomatonTest, ProductUnion) {
+  Dfa p = Product(ToDfa(Parse("a")), ToDfa(Parse("b")), false);
+  EXPECT_TRUE(p.Accepts(W("a")));
+  EXPECT_TRUE(p.Accepts(W("b")));
+  EXPECT_FALSE(p.Accepts(W("ab")));
+}
+
+TEST_F(AutomatonTest, IntersectionNonEmptyGeneric) {
+  std::vector<Nfa> nfas = {ToNfa(Parse("(a|b)*a")), ToNfa(Parse("a*b*a"))};
+  Word witness;
+  auto r = IntersectionNonEmpty(nfas, &witness);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(*r);
+  for (const auto& nfa : nfas) EXPECT_TRUE(nfa.Accepts(witness));
+}
+
+TEST_F(AutomatonTest, IntersectionEmptyGeneric) {
+  std::vector<Nfa> nfas = {ToNfa(Parse("aa")), ToNfa(Parse("aaa"))};
+  auto r = IntersectionNonEmpty(nfas);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_FALSE(*r);
+}
+
+TEST_F(AutomatonTest, EnumerateLanguageOrdered) {
+  auto words = EnumerateLanguage(ToDfa(Parse("a*")), 4, 10);
+  ASSERT_EQ(words.size(), 4u);
+  for (size_t i = 0; i < words.size(); ++i) EXPECT_EQ(words[i].size(), i);
+}
+
+TEST_F(AutomatonTest, MinimalDfaSizeCountsDeadState) {
+  // L(a) over {a}: partial minimal has 2 states; complete minimal has 3.
+  EXPECT_EQ(MinimalDfaSize(ToDfa(Parse("a"))), 3u);
+  // L(a*) over {a}: 1 state, complete.
+  EXPECT_EQ(MinimalDfaSize(ToDfa(Parse("a*"))), 1u);
+}
+
+TEST_F(AutomatonTest, DeterminizationBlowupFamily) {
+  // (a|b)* a (a|b)^{k}: minimal complete DFA has 2^{k+1} states.
+  for (int k = 1; k <= 4; ++k) {
+    std::string s = "(a|b)*a";
+    for (int i = 0; i < k; ++i) s += "(a|b)";
+    const size_t size = MinimalDfaSize(ToDfa(Parse(s)));
+    EXPECT_EQ(size, 1u << (k + 1)) << s;
+  }
+}
+
+}  // namespace
+}  // namespace rwdt::regex

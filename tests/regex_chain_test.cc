@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "common/interner.h"
+#include "regex/automaton.h"
+#include "regex/chain_algorithms.h"
+#include "regex/glushkov.h"
+#include "regex/parser.h"
+
+namespace rwdt::regex {
+namespace {
+
+class ChainAlgoTest : public ::testing::Test {
+ protected:
+  ChainRegex Chain(const std::string& s) {
+    auto r = ParseRegex(s, &dict_);
+    EXPECT_TRUE(r.ok()) << s;
+    auto chain = ToChainRegex(r.value());
+    EXPECT_TRUE(chain.has_value()) << s;
+    return *chain;
+  }
+
+  RegexPtr Parse(const std::string& s) {
+    auto r = ParseRegex(s, &dict_);
+    EXPECT_TRUE(r.ok()) << s;
+    return r.value();
+  }
+
+  CompressedWord CW(const std::string& s) {
+    Word w;
+    for (char c : s) w.push_back(dict_.Intern(std::string(1, c)));
+    return CompressedWord::FromWord(w);
+  }
+
+  Interner dict_;
+};
+
+TEST_F(ChainAlgoTest, CompressedWordBasics) {
+  CompressedWord w = CW("aaabba");
+  ASSERT_EQ(w.runs.size(), 3u);
+  EXPECT_EQ(w.runs[0].second, 3u);
+  EXPECT_EQ(w.runs[1].second, 2u);
+  EXPECT_EQ(w.Length(), 6u);
+}
+
+TEST_F(ChainAlgoTest, CompressedMembershipSmallCases) {
+  const ChainRegex c = Chain("a+ba*");
+  EXPECT_TRUE(ChainMatchesCompressed(c, CW("ab")));
+  EXPECT_TRUE(ChainMatchesCompressed(c, CW("aaaab")));
+  EXPECT_TRUE(ChainMatchesCompressed(c, CW("abaaa")));
+  EXPECT_FALSE(ChainMatchesCompressed(c, CW("b")));
+  EXPECT_FALSE(ChainMatchesCompressed(c, CW("ab" "b")));
+  EXPECT_FALSE(ChainMatchesCompressed(c, CW("")));
+}
+
+TEST_F(ChainAlgoTest, CompressedMembershipAgreesWithAutomata) {
+  // Exhaustive cross-check against the NFA on all words up to length 7.
+  const std::vector<std::string> exprs = {
+      "a*abb*", "(a|b)*a(a|b)?", "a?a?b", "a+b+a+", "(a|b)?ab*",
+      "aa?a?b*a", "b*", "ab", "a?b?a?b?"};
+  for (const auto& s : exprs) {
+    const ChainRegex chain = Chain(s);
+    const Nfa nfa = ToNfa(Parse(s));
+    const SymbolId a = dict_.Intern("a");
+    const SymbolId b = dict_.Intern("b");
+    for (uint32_t len = 0; len <= 7; ++len) {
+      for (uint32_t bits = 0; bits < (1u << len); ++bits) {
+        Word w;
+        for (uint32_t i = 0; i < len; ++i) {
+          w.push_back(((bits >> i) & 1) ? b : a);
+        }
+        EXPECT_EQ(ChainMatchesCompressed(chain, CompressedWord::FromWord(w)),
+                  nfa.Accepts(w))
+            << s << " on word of len " << len << " bits " << bits;
+      }
+    }
+  }
+}
+
+TEST_F(ChainAlgoTest, CompressedMembershipHugeWord) {
+  // a+b a* with a gigantic run count: must run in poly time in the
+  // *description*, not the word length.
+  const ChainRegex c = Chain("a+ba*");
+  const SymbolId a = dict_.Intern("a");
+  const SymbolId b = dict_.Intern("b");
+  CompressedWord w;
+  w.runs = {{a, 1ull << 60}, {b, 1}, {a, 1ull << 59}};
+  EXPECT_TRUE(ChainMatchesCompressed(c, w));
+  CompressedWord w2;
+  w2.runs = {{b, 1}, {a, 1ull << 60}};
+  EXPECT_FALSE(ChainMatchesCompressed(c, w2));
+  // Exact-count chain vs huge run.
+  const ChainRegex exact = Chain("aaa");
+  CompressedWord w3;
+  w3.runs = {{a, 1ull << 40}};
+  EXPECT_FALSE(ChainMatchesCompressed(exact, w3));
+}
+
+TEST_F(ChainAlgoTest, UnaryRunNormalForm) {
+  auto runs = ToUnaryRuns(Chain("aa+ba"));
+  ASSERT_TRUE(runs.has_value());
+  ASSERT_EQ(runs->size(), 3u);
+  EXPECT_EQ((*runs)[0].min_count, 2u);
+  EXPECT_TRUE((*runs)[0].unbounded);
+  EXPECT_EQ((*runs)[1].min_count, 1u);
+  EXPECT_FALSE((*runs)[1].unbounded);
+}
+
+TEST_F(ChainAlgoTest, UnaryRunRejectsVanishingRuns) {
+  EXPECT_FALSE(ToUnaryRuns(Chain("a*b")).has_value());  // pure-star run
+  EXPECT_FALSE(ToUnaryRuns(Chain("a?b")).has_value());  // optional factor
+  EXPECT_TRUE(ToUnaryRuns(Chain("aa*b")).has_value());  // merged, min 1
+}
+
+TEST_F(ChainAlgoTest, UnaryRunContainmentMatchesAutomata) {
+  const std::vector<std::string> exprs = {"ab+a", "a+b+a+", "aab+a",
+                                          "a+ba",  "ab",    "aa*b+a"};
+  for (const auto& s1 : exprs) {
+    for (const auto& s2 : exprs) {
+      auto fast = UnaryRunContainment(Chain(s1), Chain(s2));
+      ASSERT_TRUE(fast.has_value()) << s1 << " vs " << s2;
+      const bool slow = IsContained(ToDfa(Parse(s1)), ToDfa(Parse(s2)));
+      EXPECT_EQ(*fast, slow) << s1 << " subseteq " << s2;
+    }
+  }
+}
+
+TEST_F(ChainAlgoTest, UnaryRunIntersectionMatchesAutomata) {
+  const std::vector<std::vector<std::string>> instances = {
+      {"ab+a", "a+b+a+"},      {"aab", "a+b"},       {"ab", "ba"},
+      {"a+b+", "aab+", "a+bb"}, {"a+", "aa", "aaa"},  {"ab+a", "aba"},
+  };
+  for (const auto& inst : instances) {
+    std::vector<ChainRegex> chains;
+    std::vector<Nfa> nfas;
+    for (const auto& s : inst) {
+      chains.push_back(Chain(s));
+      nfas.push_back(ToNfa(Parse(s)));
+    }
+    CompressedWord witness;
+    auto fast = UnaryRunIntersection(chains, &witness);
+    ASSERT_TRUE(fast.has_value());
+    auto slow = IntersectionNonEmpty(nfas);
+    ASSERT_TRUE(slow.has_value());
+    EXPECT_EQ(*fast, *slow);
+    if (*fast) {
+      // The produced witness must be in every language.
+      for (const auto& c : chains) {
+        EXPECT_TRUE(ChainMatchesCompressed(c, witness));
+      }
+    }
+  }
+}
+
+TEST_F(ChainAlgoTest, FixedLengthContainment) {
+  auto r = FixedLengthContainment(Chain("a(b|c)d"), Chain("(a|b)(b|c|d)d"));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(*r);
+  r = FixedLengthContainment(Chain("(a|b)d"), Chain("ad"));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_FALSE(*r);
+  r = FixedLengthContainment(Chain("ab"), Chain("abc"));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_FALSE(*r);  // different lengths
+  EXPECT_FALSE(FixedLengthContainment(Chain("ab*"), Chain("ab")).has_value());
+}
+
+TEST_F(ChainAlgoTest, FixedLengthIntersection) {
+  auto r = FixedLengthIntersection({Chain("(a|b)c"), Chain("(b|d)c")});
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(*r);
+  r = FixedLengthIntersection({Chain("ac"), Chain("bc")});
+  ASSERT_TRUE(r.has_value());
+  EXPECT_FALSE(*r);
+  r = FixedLengthIntersection({Chain("a"), Chain("ab")});
+  ASSERT_TRUE(r.has_value());
+  EXPECT_FALSE(*r);
+}
+
+TEST_F(ChainAlgoTest, FastEquivalence) {
+  // aa* == a+ == a*a ; the paper notes equivalence for RE(a,a*) is PTIME.
+  auto r = FastChainEquivalence(Chain("aa*"), Chain("a+"));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(*r);
+  r = FastChainEquivalence(Chain("a*a"), Chain("aa*"));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(*r);
+  r = FastChainEquivalence(Chain("aa*b"), Chain("a+b+"));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_FALSE(*r);
+}
+
+TEST_F(ChainAlgoTest, DecideContainmentDispatch) {
+  // RE(a,a+): unary-run algorithm.
+  auto d = DecideContainment(Parse("ab+a"), Parse("a+b+a+"));
+  EXPECT_EQ(d.algorithm, ContainmentAlgorithm::kUnaryRuns);
+  EXPECT_TRUE(d.contained);
+  // RE(a,(+a)): fixed-length algorithm.
+  d = DecideContainment(Parse("a(b|c)"), Parse("(a|b)(b|c)"));
+  EXPECT_EQ(d.algorithm, ContainmentAlgorithm::kFixedLength);
+  EXPECT_TRUE(d.contained);
+  // General expressions: automata.
+  d = DecideContainment(Parse("(ab)*"), Parse("(a|b)*"));
+  EXPECT_EQ(d.algorithm, ContainmentAlgorithm::kAutomata);
+  EXPECT_TRUE(d.contained);
+  // Chain with optional factors: automata fallback, correct result.
+  d = DecideContainment(Parse("a?b"), Parse("a*b*"));
+  EXPECT_EQ(d.algorithm, ContainmentAlgorithm::kAutomata);
+  EXPECT_TRUE(d.contained);
+  d = DecideContainment(Parse("a*b*"), Parse("a?b"));
+  EXPECT_FALSE(d.contained);
+}
+
+}  // namespace
+}  // namespace rwdt::regex

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "common/interner.h"
+#include "regex/bkw.h"
+#include "regex/glushkov.h"
+#include "regex/parser.h"
+
+namespace rwdt::regex {
+namespace {
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  RegexPtr Parse(const std::string& s) {
+    auto r = ParseRegex(s, &dict_);
+    EXPECT_TRUE(r.ok()) << s;
+    return r.value();
+  }
+  Interner dict_;
+};
+
+// Section 4.2.1: (a+b)*a is not deterministic; b*a(b*a)* is deterministic
+// and equivalent.
+TEST_F(DeterminismTest, PaperExamples) {
+  EXPECT_FALSE(IsDeterministic(Parse("(a|b)*a")));
+  EXPECT_TRUE(IsDeterministic(Parse("b*a(b*a)*")));
+}
+
+TEST_F(DeterminismTest, SimpleDeterministicExpressions) {
+  EXPECT_TRUE(IsDeterministic(Parse("a")));
+  EXPECT_TRUE(IsDeterministic(Parse("a*")));
+  EXPECT_TRUE(IsDeterministic(Parse("(a|b)*")));
+  EXPECT_TRUE(IsDeterministic(Parse("ab?c*")));
+  EXPECT_TRUE(IsDeterministic(Parse("a(b|c)d")));
+  EXPECT_TRUE(IsDeterministic(Parse("(ab)*")));
+}
+
+TEST_F(DeterminismTest, NondeterministicExpressions) {
+  EXPECT_FALSE(IsDeterministic(Parse("a?a")));
+  EXPECT_FALSE(IsDeterministic(Parse("a*a")));
+  EXPECT_FALSE(IsDeterministic(Parse("(a|ab)")));
+  EXPECT_FALSE(IsDeterministic(Parse("(a|b)*a(a|b)")));
+  EXPECT_FALSE(IsDeterministic(Parse("(ab|ac)")));
+}
+
+TEST_F(DeterminismTest, SoresAreDeterministic) {
+  // A single-occurrence RE is always deterministic (each symbol occurs
+  // once, so no matching ambiguity is possible).
+  for (const std::string s :
+       {"abc", "a?b*c+", "(a|b)c*", "(a(b|c))?d", "a(b(c|d)*e)?f"}) {
+    EXPECT_TRUE(IsDeterministic(Parse(s))) << s;
+  }
+}
+
+// Brüggemann-Klein & Wood: (a+b)*a(a+b) has no equivalent deterministic
+// expression, while L((a+b)*a) is definable (b*a(b*a)*).
+TEST_F(DeterminismTest, BkwPaperExamples) {
+  EXPECT_FALSE(IsDreDefinable(Parse("(a|b)*a(a|b)")));
+  EXPECT_TRUE(IsDreDefinable(Parse("(a|b)*a")));
+}
+
+TEST_F(DeterminismTest, BkwSimpleLanguages) {
+  EXPECT_TRUE(IsDreDefinable(Parse("a")));
+  EXPECT_TRUE(IsDreDefinable(Parse("a*")));
+  EXPECT_TRUE(IsDreDefinable(Parse("(a|b)*")));
+  EXPECT_TRUE(IsDreDefinable(Parse("(ab)*")));
+  EXPECT_TRUE(IsDreDefinable(Parse("a?b?c?")));
+  EXPECT_TRUE(IsDreDefinable(Parse("<empty>")));
+  EXPECT_TRUE(IsDreDefinable(Parse("<eps>")));
+}
+
+TEST_F(DeterminismTest, BkwBlowupFamilyNotDefinable) {
+  // (a|b)*a(a|b)^k is not DRE-definable for k >= 1.
+  for (int k = 1; k <= 3; ++k) {
+    std::string s = "(a|b)*a";
+    for (int i = 0; i < k; ++i) s += "(a|b)";
+    EXPECT_FALSE(IsDreDefinable(Parse(s))) << s;
+  }
+}
+
+TEST_F(DeterminismTest, DeterministicExpressionImpliesDefinable) {
+  // Any deterministic expression's language is trivially DRE-definable.
+  for (const std::string s :
+       {"b*a(b*a)*", "a(b|c)d", "(ab)*", "a?b*c+", "(a(b|c))?d"}) {
+    RegexPtr e = Parse(s);
+    ASSERT_TRUE(IsDeterministic(e)) << s;
+    EXPECT_TRUE(IsDreDefinable(e)) << s;
+  }
+}
+
+TEST_F(DeterminismTest, NondeterministicSyntaxCanStillBeDefinable) {
+  // a*a is not a deterministic expression but L(a*a)=a+ = aa* is.
+  RegexPtr e = Parse("a*a");
+  EXPECT_FALSE(IsDeterministic(e));
+  EXPECT_TRUE(IsDreDefinable(e));
+}
+
+}  // namespace
+}  // namespace rwdt::regex

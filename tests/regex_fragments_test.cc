@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "common/interner.h"
+#include "regex/fragments.h"
+#include "regex/parser.h"
+
+namespace rwdt::regex {
+namespace {
+
+class FragmentsTest : public ::testing::Test {
+ protected:
+  RegexPtr Parse(const std::string& s) {
+    auto r = ParseRegex(s, &dict_);
+    EXPECT_TRUE(r.ok()) << s;
+    return r.value();
+  }
+  Interner dict_;
+};
+
+TEST_F(FragmentsTest, PaperExamplesAreSequential) {
+  // Section 4.2.2: a*abb* and (a+b)*a(a+b)? are sequential;
+  // (a*+b*) is not.
+  EXPECT_TRUE(ToChainRegex(Parse("a*abb*")).has_value());
+  EXPECT_TRUE(ToChainRegex(Parse("(a|b)*a(a|b)?")).has_value());
+  EXPECT_FALSE(ToChainRegex(Parse("a*|b*")).has_value());
+}
+
+TEST_F(FragmentsTest, NonChainShapes) {
+  EXPECT_FALSE(ToChainRegex(Parse("(ab)*")).has_value());
+  EXPECT_FALSE(ToChainRegex(Parse("(a|bc)")).has_value());
+  EXPECT_FALSE(ToChainRegex(Parse("(a?)?")).has_value());
+  EXPECT_FALSE(ToChainRegex(Parse("((a|b)c)*")).has_value());
+}
+
+TEST_F(FragmentsTest, FactorDecomposition) {
+  auto chain = ToChainRegex(Parse("(a|b)+c?d"));
+  ASSERT_TRUE(chain.has_value());
+  ASSERT_EQ(chain->factors.size(), 3u);
+  EXPECT_EQ(chain->factors[0].symbols.size(), 2u);
+  EXPECT_EQ(chain->factors[0].modifier, FactorModifier::kPlus);
+  EXPECT_EQ(chain->factors[1].modifier, FactorModifier::kOptional);
+  EXPECT_EQ(chain->factors[2].modifier, FactorModifier::kOnce);
+}
+
+TEST_F(FragmentsTest, EpsilonIsEmptyChain) {
+  auto chain = ToChainRegex(Parse("<eps>"));
+  ASSERT_TRUE(chain.has_value());
+  EXPECT_TRUE(chain->factors.empty());
+}
+
+TEST_F(FragmentsTest, SignatureReflectsFactorTypes) {
+  auto chain = ToChainRegex(Parse("ab*(c|d)+"));
+  ASSERT_TRUE(chain.has_value());
+  auto sig = chain->Signature();
+  EXPECT_TRUE(sig.count(FactorType::kA));
+  EXPECT_TRUE(sig.count(FactorType::kAStar));
+  EXPECT_TRUE(sig.count(FactorType::kDisjPlus));
+  EXPECT_EQ(sig.size(), 3u);
+}
+
+TEST_F(FragmentsTest, ChainRoundTripsToRegex) {
+  auto chain = ToChainRegex(Parse("a(b|c)*d?"));
+  ASSERT_TRUE(chain.has_value());
+  auto again = ToChainRegex(chain->ToRegex());
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->factors.size(), 3u);
+}
+
+TEST_F(FragmentsTest, KoreDetection) {
+  // RE(a, a*) example from the paper: ab*a*ab is a chain expression where
+  // 'a' occurs 3 times -> 3-ORE but not 2-ORE.
+  RegexPtr e = Parse("ab*a*ab");
+  EXPECT_TRUE(IsKore(e, 3));
+  EXPECT_FALSE(IsKore(e, 2));
+  EXPECT_FALSE(IsSore(e));
+  EXPECT_TRUE(IsSore(Parse("a?b*(c|d)+")));
+}
+
+TEST_F(FragmentsTest, InFragmentDispatch) {
+  const std::set<FactorType> re_a_astar = {FactorType::kA,
+                                           FactorType::kAStar};
+  EXPECT_TRUE(InFragment(Parse("ab*a*ab"), re_a_astar));
+  EXPECT_FALSE(InFragment(Parse("ab?"), re_a_astar));
+  EXPECT_FALSE(InFragment(Parse("(a|b)*a"), re_a_astar));
+
+  const std::set<FactorType> re_a_aplus = {FactorType::kA,
+                                           FactorType::kAPlus};
+  EXPECT_TRUE(InFragment(Parse("ab+a+ab"), re_a_aplus));
+  EXPECT_FALSE(InFragment(Parse("ab*"), re_a_aplus));
+}
+
+TEST_F(FragmentsTest, SingleSymbolWidensToDisjunction) {
+  // "a" is a special case of "(+a)": RE(a,(+a)*) admits plain symbols
+  // under the starred-disjunction type.
+  const std::set<FactorType> frag = {FactorType::kDisj, FactorType::kDisjStar};
+  EXPECT_TRUE(InFragment(Parse("a(b|c)*"), frag));
+  EXPECT_TRUE(InFragment(Parse("ab*"), frag));
+  EXPECT_FALSE(InFragment(Parse("ab?"), frag));
+}
+
+TEST_F(FragmentsTest, DuplicateSymbolsInDisjunctionCollapse) {
+  auto chain = ToChainRegex(Parse("(a|a|b)"));
+  ASSERT_TRUE(chain.has_value());
+  EXPECT_EQ(chain->factors[0].symbols.size(), 2u);
+}
+
+}  // namespace
+}  // namespace rwdt::regex

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "regex/automaton.h"
+#include "regex/bkw.h"
+#include "regex/chain_algorithms.h"
+#include "regex/fragments.h"
+#include "regex/glushkov.h"
+#include "regex/sampler.h"
+
+namespace rwdt::regex {
+namespace {
+
+/// Property sweep over random expressions, parameterized by seed so each
+/// instantiation explores an independent slice of the space.
+class RegexPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RegexPropertyTest, NfaDfaMinimalDfaAgreeOnMembership) {
+  Rng rng(GetParam());
+  RegexSamplerOptions opt;
+  for (int round = 0; round < 20; ++round) {
+    RegexPtr e = SampleRegex(opt, rng);
+    const Nfa nfa = ToNfa(e);
+    const Dfa dfa = Determinize(nfa);
+    const Dfa min = Minimize(dfa);
+    for (int w = 0; w < 25; ++w) {
+      const Word word = SampleWord(opt.alphabet_size, 8, rng);
+      const bool in_nfa = nfa.Accepts(word);
+      EXPECT_EQ(in_nfa, dfa.Accepts(word));
+      EXPECT_EQ(in_nfa, min.Accepts(word));
+    }
+  }
+}
+
+TEST_P(RegexPropertyTest, SampledWordsAreAccepted) {
+  Rng rng(GetParam() + 1000);
+  RegexSamplerOptions opt;
+  for (int round = 0; round < 25; ++round) {
+    RegexPtr e = SampleRegex(opt, rng);
+    const Nfa nfa = ToNfa(e);
+    Word w;
+    if (SampleAcceptedWord(nfa, 20, rng, &w)) {
+      EXPECT_TRUE(nfa.Accepts(w));
+      EXPECT_TRUE(ToDfa(e).Accepts(w));
+    }
+  }
+}
+
+TEST_P(RegexPropertyTest, MinimizationIsIdempotentAndEquivalent) {
+  Rng rng(GetParam() + 2000);
+  RegexSamplerOptions opt;
+  for (int round = 0; round < 15; ++round) {
+    RegexPtr e = SampleRegex(opt, rng);
+    const Dfa dfa = ToDfa(e);
+    const Dfa min1 = Minimize(dfa);
+    const Dfa min2 = Minimize(min1);
+    EXPECT_EQ(min1.NumStates(), min2.NumStates());
+    EXPECT_TRUE(AreEquivalent(dfa, min1));
+  }
+}
+
+TEST_P(RegexPropertyTest, ContainmentIsReflexiveAndConsistent) {
+  Rng rng(GetParam() + 3000);
+  RegexSamplerOptions opt;
+  opt.max_depth = 3;
+  for (int round = 0; round < 12; ++round) {
+    RegexPtr e1 = SampleRegex(opt, rng);
+    RegexPtr e2 = SampleRegex(opt, rng);
+    const Dfa d1 = ToDfa(e1);
+    const Dfa d2 = ToDfa(e2);
+    EXPECT_TRUE(IsContained(d1, d1));
+    const bool c12 = IsContained(d1, d2);
+    const bool c21 = IsContained(d2, d1);
+    EXPECT_EQ(c12 && c21, AreEquivalent(d1, d2));
+    // Union always contains both sides.
+    const Dfa u = Product(d1, d2, /*intersect=*/false);
+    EXPECT_TRUE(IsContained(d1, u));
+    EXPECT_TRUE(IsContained(d2, u));
+    // Intersection is contained in both sides.
+    const Dfa inter = Product(d1, d2, /*intersect=*/true);
+    EXPECT_TRUE(IsContained(inter, d1));
+    EXPECT_TRUE(IsContained(inter, d2));
+  }
+}
+
+TEST_P(RegexPropertyTest, DeterministicExpressionsHaveDefinableLanguages) {
+  Rng rng(GetParam() + 4000);
+  RegexSamplerOptions opt;
+  opt.max_depth = 3;
+  int checked = 0;
+  for (int round = 0; round < 60 && checked < 15; ++round) {
+    RegexPtr e = SampleRegex(opt, rng);
+    if (!IsDeterministic(e)) continue;
+    ++checked;
+    EXPECT_TRUE(IsDreDefinable(e)) << "one-unambiguous expression whose "
+                                      "language failed the BKW test";
+  }
+  EXPECT_GT(checked, 0);
+}
+
+/// Random chain expressions: specialized algorithms agree with automata.
+class ChainPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  static ChainRegex SampleChain(Rng& rng, size_t alphabet, size_t max_len,
+                                bool unary_only) {
+    ChainRegex chain;
+    const size_t len = rng.NextBelow(max_len + 1);
+    for (size_t i = 0; i < len; ++i) {
+      SimpleFactor f;
+      const size_t width =
+          unary_only ? 1 : 1 + rng.NextBelow(2);  // 1 or 2 symbols
+      std::set<SymbolId> syms;
+      while (syms.size() < width) {
+        syms.insert(static_cast<SymbolId>(rng.NextBelow(alphabet)));
+      }
+      f.symbols.assign(syms.begin(), syms.end());
+      switch (rng.NextBelow(4)) {
+        case 0:
+          f.modifier = FactorModifier::kOnce;
+          break;
+        case 1:
+          f.modifier = FactorModifier::kOptional;
+          break;
+        case 2:
+          f.modifier = FactorModifier::kStar;
+          break;
+        default:
+          f.modifier = FactorModifier::kPlus;
+          break;
+      }
+      chain.factors.push_back(std::move(f));
+    }
+    return chain;
+  }
+};
+
+TEST_P(ChainPropertyTest, CompressedMembershipAgreesWithNfa) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 40; ++round) {
+    const ChainRegex chain = SampleChain(rng, 3, 6, /*unary_only=*/false);
+    const Nfa nfa = ToNfa(chain.ToRegex());
+    for (int w = 0; w < 30; ++w) {
+      const Word word = SampleWord(3, 9, rng);
+      EXPECT_EQ(ChainMatchesCompressed(chain, CompressedWord::FromWord(word)),
+                nfa.Accepts(word));
+    }
+  }
+}
+
+TEST_P(ChainPropertyTest, UnaryRunContainmentAgreesWithAutomata) {
+  Rng rng(GetParam() + 77);
+  int decided = 0;
+  for (int round = 0; round < 60 && decided < 20; ++round) {
+    ChainRegex c1 = SampleChain(rng, 2, 5, /*unary_only=*/true);
+    ChainRegex c2 = SampleChain(rng, 2, 5, /*unary_only=*/true);
+    auto fast = UnaryRunContainment(c1, c2);
+    if (!fast.has_value()) continue;
+    ++decided;
+    const bool slow =
+        IsContained(ToDfa(c1.ToRegex()), ToDfa(c2.ToRegex()));
+    EXPECT_EQ(*fast, slow);
+  }
+  EXPECT_GT(decided, 0);
+}
+
+TEST_P(ChainPropertyTest, FastEquivalenceAgreesWithAutomata) {
+  Rng rng(GetParam() + 99);
+  int decided = 0;
+  for (int round = 0; round < 80 && decided < 20; ++round) {
+    ChainRegex c1 = SampleChain(rng, 2, 5, /*unary_only=*/true);
+    ChainRegex c2 = SampleChain(rng, 2, 5, /*unary_only=*/true);
+    auto fast = FastChainEquivalence(c1, c2);
+    if (!fast.has_value()) continue;
+    ++decided;
+    const bool slow =
+        AreEquivalent(ToDfa(c1.ToRegex()), ToDfa(c2.ToRegex()));
+    EXPECT_EQ(*fast, slow);
+  }
+  EXPECT_GT(decided, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegexPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+INSTANTIATE_TEST_SUITE_P(Seeds, ChainPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace rwdt::regex

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "common/interner.h"
+#include "regex/automaton.h"
+#include "regex/fragments.h"
+#include "regex/glushkov.h"
+#include "regex/reduction.h"
+
+namespace rwdt::regex {
+namespace {
+
+TEST(DnfTest, SatisfiedBy) {
+  // (x1 ∧ ¬x2) ∨ (x2)
+  DnfFormula f;
+  f.num_vars = 2;
+  f.clauses = {{1, -2}, {2}};
+  EXPECT_FALSE(f.SatisfiedBy(0b00));  // x1=0,x2=0: clause1 needs x1 -> no
+  EXPECT_TRUE(f.SatisfiedBy(0b01));   // x1=1
+  EXPECT_TRUE(f.SatisfiedBy(0b10));   // x2=1
+  EXPECT_TRUE(f.SatisfiedBy(0b11));
+  EXPECT_FALSE(f.IsValidBruteForce());
+}
+
+TEST(DnfTest, ValidFormula) {
+  // x1 ∨ ¬x1 is valid.
+  DnfFormula f;
+  f.num_vars = 1;
+  f.clauses = {{1}, {-1}};
+  EXPECT_TRUE(f.IsValidBruteForce());
+}
+
+TEST(ReductionTest, OutputsAreInReAAopt) {
+  DnfFormula f;
+  f.num_vars = 3;
+  f.clauses = {{1, -2}, {2, 3}};
+  Interner dict;
+  auto inst = EncodeValidityAsContainment(f, &dict);
+  const std::set<FactorType> re_a_aopt = {FactorType::kA, FactorType::kAOpt};
+  EXPECT_TRUE(InFragment(inst.lhs, re_a_aopt));
+  EXPECT_TRUE(InFragment(inst.rhs, re_a_aopt));
+}
+
+TEST(ReductionTest, ValidFormulaGivesContainment) {
+  DnfFormula f;
+  f.num_vars = 2;
+  f.clauses = {{1}, {-1}};  // x1 ∨ ¬x1: valid
+  Interner dict;
+  auto inst = EncodeValidityAsContainment(f, &dict);
+  EXPECT_TRUE(IsContained(ToDfa(inst.lhs), ToDfa(inst.rhs)));
+}
+
+TEST(ReductionTest, InvalidFormulaBreaksContainment) {
+  DnfFormula f;
+  f.num_vars = 2;
+  f.clauses = {{1}, {-1, 2}};  // fails at x1=0, x2=0
+  Interner dict;
+  auto inst = EncodeValidityAsContainment(f, &dict);
+  Word witness;
+  EXPECT_FALSE(IsContained(ToDfa(inst.lhs), ToDfa(inst.rhs), &witness));
+  // The counterexample is a word of e1 not matched by e2.
+  EXPECT_TRUE(ToNfa(inst.lhs).Accepts(witness));
+  EXPECT_FALSE(ToNfa(inst.rhs).Accepts(witness));
+}
+
+TEST(ReductionTest, SingleClauseFormulas) {
+  {
+    DnfFormula f;
+    f.num_vars = 1;
+    f.clauses = {{1}};  // just x1: not valid
+    Interner dict;
+    auto inst = EncodeValidityAsContainment(f, &dict);
+    EXPECT_FALSE(IsContained(ToDfa(inst.lhs), ToDfa(inst.rhs)));
+  }
+  {
+    DnfFormula f;
+    f.num_vars = 1;
+    f.clauses = {{}};  // empty clause: satisfied by everything -> valid
+    Interner dict;
+    auto inst = EncodeValidityAsContainment(f, &dict);
+    EXPECT_TRUE(IsContained(ToDfa(inst.lhs), ToDfa(inst.rhs)));
+  }
+}
+
+// Exhaustive cross-check: every DNF over 2 variables with clauses drawn
+// from a fixed pool, reduction result vs brute-force validity.
+TEST(ReductionTest, ExhaustiveCrossCheckTwoVars) {
+  const std::vector<DnfFormula::Clause> pool = {
+      {1}, {-1}, {2}, {-2}, {1, 2}, {1, -2}, {-1, 2}, {-1, -2}};
+  // All subsets of size 1..3 of the pool (limited for test time).
+  for (size_t i = 0; i < pool.size(); ++i) {
+    for (size_t j = i; j < pool.size(); ++j) {
+      DnfFormula f;
+      f.num_vars = 2;
+      f.clauses = {pool[i]};
+      if (j != i) f.clauses.push_back(pool[j]);
+      Interner dict;
+      auto inst = EncodeValidityAsContainment(f, &dict);
+      const bool contained = IsContained(ToDfa(inst.lhs), ToDfa(inst.rhs));
+      EXPECT_EQ(contained, f.IsValidBruteForce())
+          << "clauses " << i << "," << j;
+    }
+  }
+}
+
+TEST(ReductionTest, ThreeVariableThreeClauseInstance) {
+  // Valid: (x1 ∧ x2) ∨ (¬x1) ∨ (x1 ∧ ¬x2).
+  DnfFormula valid;
+  valid.num_vars = 3;
+  valid.clauses = {{1, 2}, {-1}, {1, -2}};
+  ASSERT_TRUE(valid.IsValidBruteForce());
+  Interner dict;
+  auto inst = EncodeValidityAsContainment(valid, &dict);
+  EXPECT_TRUE(IsContained(ToDfa(inst.lhs), ToDfa(inst.rhs)));
+
+  // Not valid: flip a literal.
+  DnfFormula invalid;
+  invalid.num_vars = 3;
+  invalid.clauses = {{1, 2}, {-1, 3}, {1, -2}};
+  ASSERT_FALSE(invalid.IsValidBruteForce());
+  Interner dict2;
+  auto inst2 = EncodeValidityAsContainment(invalid, &dict2);
+  EXPECT_FALSE(IsContained(ToDfa(inst2.lhs), ToDfa(inst2.rhs)));
+}
+
+}  // namespace
+}  // namespace rwdt::regex

@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "common/interner.h"
+#include "common/rng.h"
+#include "regex/automaton.h"
+#include "regex/glushkov.h"
+#include "regex/parser.h"
+#include "regex/sampler.h"
+#include "regex/state_elimination.h"
+
+namespace rwdt::regex {
+namespace {
+
+TEST(StateEliminationTest, RoundTripsFixedExpressions) {
+  Interner dict;
+  for (const std::string s :
+       {"a", "ab", "a|b", "a*", "(ab|c)*a?", "b*a(b*a)*", "(a|b)*a(a|b)",
+        "<eps>", "a+b+c+"}) {
+    auto e = ParseRegex(s, &dict);
+    ASSERT_TRUE(e.ok()) << s;
+    const Dfa dfa = ToMinimalDfa(e.value());
+    const RegexPtr back = DfaToRegex(dfa);
+    EXPECT_TRUE(AreEquivalent(dfa, ToDfa(back)))
+        << s << " -> " << back->ToString(dict);
+  }
+}
+
+TEST(StateEliminationTest, EmptyLanguage) {
+  Interner dict;
+  auto e = ParseRegex("a<empty>", &dict);
+  ASSERT_TRUE(e.ok());
+  const RegexPtr back = DfaToRegex(ToMinimalDfa(e.value()));
+  EXPECT_TRUE(IsEmptyLanguage(ToDfa(back)));
+}
+
+class StateElimPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StateElimPropertyTest, RandomRoundTrips) {
+  Rng rng(GetParam());
+  RegexSamplerOptions opt;
+  opt.max_depth = 3;
+  for (int round = 0; round < 15; ++round) {
+    const RegexPtr e = SampleRegex(opt, rng);
+    const Dfa dfa = ToMinimalDfa(e);
+    const RegexPtr back = DfaToRegex(dfa);
+    EXPECT_TRUE(AreEquivalent(dfa, ToDfa(back)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StateElimPropertyTest,
+                         ::testing::Values(101, 202, 303, 404));
+
+}  // namespace
+}  // namespace rwdt::regex

@@ -1,0 +1,138 @@
+// Property tests over generated SPARQL corpora: the parser accepts the
+// generator's output, algebraic laws of the evaluator hold, and path
+// evaluation agrees with the walk-semantics matcher.
+
+#include <gtest/gtest.h>
+
+#include "common/interner.h"
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "loggen/sparql_gen.h"
+#include "paths/semantics.h"
+#include "sparql/eval.h"
+#include "sparql/parser.h"
+
+namespace rwdt::sparql {
+namespace {
+
+class SparqlPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    Rng rng(GetParam());
+    store_ = graph::MakeRdfDataset(120, 3, 3, &dict_, rng);
+    // Add predicates the generator uses (p0..p59) over a few entities so
+    // generated queries can match something.
+    for (int i = 0; i < 200; ++i) {
+      store_.Add(dict_.Intern("ent:" + std::to_string(rng.NextBelow(40))),
+                 dict_.Intern("p" + std::to_string(rng.NextBelow(8))),
+                 dict_.Intern("ent:" + std::to_string(rng.NextBelow(40))));
+    }
+  }
+
+  Interner dict_;
+  graph::TripleStore store_;
+};
+
+TEST_P(SparqlPropertyTest, GeneratedQueriesEvaluateWithoutCrashing) {
+  loggen::SourceProfile profile = loggen::ExampleProfile(120);
+  profile.invalid_rate = 0;
+  // Bound sizes so evaluation over the dense test store stays small.
+  profile.triple_count_weights = {5, 40, 25, 15, 10, 3, 2, 0, 0, 0, 0, 0};
+  Evaluator eval(store_, &dict_);
+  size_t evaluated = 0;
+  for (const auto& entry : loggen::GenerateLog(profile, GetParam())) {
+    auto q = ParseSparql(entry.text, &dict_);
+    ASSERT_TRUE(q.ok()) << entry.text;
+    const auto rows = eval.EvalQuery(q.value());
+    // Projection invariant: bindings only contain projected variables.
+    if (q.value().form == QueryForm::kSelect &&
+        !q.value().select_star && !q.value().projection.empty()) {
+      std::set<SymbolId> allowed;
+      for (const auto& item : q.value().projection) {
+        allowed.insert(item.var.id);
+      }
+      for (const auto& mu : rows) {
+        for (const auto& [var, value] : mu) {
+          (void)value;
+          EXPECT_TRUE(allowed.count(var)) << entry.text;
+        }
+      }
+    }
+    // LIMIT invariant.
+    if (q.value().modifiers.limit.has_value()) {
+      EXPECT_LE(rows.size(), *q.value().modifiers.limit) << entry.text;
+    }
+    ++evaluated;
+  }
+  EXPECT_GT(evaluated, 100u);
+}
+
+TEST_P(SparqlPropertyTest, JoinIsCommutativeUpToMultiset) {
+  // { A . B } and { B . A } produce the same multiset of solutions.
+  Evaluator eval(store_, &dict_);
+  const std::vector<std::pair<std::string, std::string>> pairs = {
+      {"?x p0 ?y", "?y p1 ?z"},
+      {"?x p0 ?y", "?x p2 ?z"},
+      {"?x pred:links_to ?y", "?y p0 ?z"},
+  };
+  for (const auto& [a, b] : pairs) {
+    auto q1 = ParseSparql("SELECT * WHERE { " + a + " . " + b + " }",
+                          &dict_);
+    auto q2 = ParseSparql("SELECT * WHERE { " + b + " . " + a + " }",
+                          &dict_);
+    ASSERT_TRUE(q1.ok() && q2.ok());
+    auto r1 = eval.EvalQuery(q1.value());
+    auto r2 = eval.EvalQuery(q2.value());
+    std::sort(r1.begin(), r1.end());
+    std::sort(r2.begin(), r2.end());
+    EXPECT_EQ(r1, r2) << a << " / " << b;
+  }
+}
+
+TEST_P(SparqlPropertyTest, UnionCountsAddUp) {
+  Evaluator eval(store_, &dict_);
+  auto qa = ParseSparql("SELECT * WHERE { ?x p0 ?y }", &dict_);
+  auto qb = ParseSparql("SELECT * WHERE { ?x p1 ?y }", &dict_);
+  auto qu = ParseSparql(
+      "SELECT * WHERE { { ?x p0 ?y } UNION { ?x p1 ?y } }", &dict_);
+  ASSERT_TRUE(qa.ok() && qb.ok() && qu.ok());
+  EXPECT_EQ(eval.EvalQuery(qu.value()).size(),
+            eval.EvalQuery(qa.value()).size() +
+                eval.EvalQuery(qb.value()).size());
+}
+
+TEST_P(SparqlPropertyTest, OptionalNeverLosesLeftSolutions) {
+  Evaluator eval(store_, &dict_);
+  auto plain = ParseSparql("SELECT ?x WHERE { ?x p0 ?y }", &dict_);
+  auto opt = ParseSparql(
+      "SELECT ?x WHERE { ?x p0 ?y OPTIONAL { ?y p1 ?z } }", &dict_);
+  ASSERT_TRUE(plain.ok() && opt.ok());
+  // Every left solution appears at least once after the left join.
+  EXPECT_GE(eval.EvalQuery(opt.value()).size(),
+            eval.EvalQuery(plain.value()).size());
+}
+
+TEST_P(SparqlPropertyTest, PathPatternAgreesWithWalkSemantics) {
+  Evaluator eval(store_, &dict_);
+  Rng rng(GetParam() + 5);
+  for (const std::string text : {"p0/p1", "p0+", "p0*", "(p0|p1)/p2*"}) {
+    auto path = paths::ParsePath(text, &dict_);
+    ASSERT_TRUE(path.ok());
+    const auto pairs = eval.EvalPathPairs(*path.value());
+    // Spot-check a sample of the produced pairs against MatchPath.
+    size_t checked = 0;
+    for (const auto& [s, o] : pairs) {
+      if (rng.NextBool(0.8) || checked > 10) continue;
+      ++checked;
+      const auto match = paths::MatchPath(store_, *path.value(), s, o,
+                                          paths::PathSemantics::kWalk);
+      EXPECT_TRUE(match.matched) << text;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparqlPropertyTest,
+                         ::testing::Values(1, 7, 13));
+
+}  // namespace
+}  // namespace rwdt::sparql

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "common/interner.h"
+#include "tree/json.h"
+#include "tree/tree.h"
+#include "tree/xml.h"
+
+namespace rwdt::tree {
+namespace {
+
+TEST(TreeTest, BuildAndTraverse) {
+  Interner dict;
+  Tree t;
+  const NodeId root = t.AddRoot(dict.Intern("persons"));
+  const NodeId p1 = t.AddChild(root, dict.Intern("person"));
+  const NodeId p2 = t.AddChild(root, dict.Intern("person"));
+  t.AddChild(p1, dict.Intern("name"));
+  t.AddChild(p1, dict.Intern("birthplace"));
+  t.AddChild(p2, dict.Intern("name"));
+
+  EXPECT_EQ(t.NumNodes(), 6u);
+  EXPECT_EQ(t.Depth(), 3u);
+  const auto labels = t.ChildLabels(root);
+  ASSERT_EQ(labels.size(), 2u);
+  EXPECT_EQ(dict.Name(labels[0]), "person");
+  const auto order = t.PreOrder();
+  EXPECT_EQ(order.size(), 6u);
+  EXPECT_EQ(order[0], root);
+  EXPECT_EQ(order[1], p1);  // pre-order visits p1's subtree before p2
+  EXPECT_EQ(order[4], p2);
+}
+
+TEST(TreeTest, EmptyAndSingleNode) {
+  Tree t;
+  EXPECT_EQ(t.Depth(), 0u);
+  Interner dict;
+  t.AddRoot(dict.Intern("a"));
+  EXPECT_EQ(t.Depth(), 1u);
+}
+
+class XmlTest : public ::testing::Test {
+ protected:
+  XmlParseResult Parse(const std::string& s) {
+    return ParseXml(s, &dict_);
+  }
+  Interner dict_;
+};
+
+TEST_F(XmlTest, ParsesPaperFigure1Document) {
+  const std::string doc = R"(<?xml version="1.0"?>
+<persons>
+  <person pers_id="1">
+    <name>Aretha</name>
+    <birthplace>
+      <city>Memphis</city>
+      <state>Tennessee</state>
+      <country>US</country>
+    </birthplace>
+  </person>
+</persons>)";
+  auto r = Parse(doc);
+  ASSERT_TRUE(r.well_formed) << r.error.message;
+  EXPECT_EQ(dict_.Name(r.tree.node(r.tree.root()).label), "persons");
+  EXPECT_EQ(r.tree.Depth(), 4u);
+  ASSERT_EQ(r.attributes.size(), 1u);
+  EXPECT_EQ(r.attributes[0].name, "pers_id");
+  EXPECT_EQ(r.attributes[0].value, "1");
+}
+
+TEST_F(XmlTest, SelfClosingAndComments) {
+  auto r = Parse("<a><!-- hi --><b/><c x='1'/></a>");
+  ASSERT_TRUE(r.well_formed);
+  EXPECT_EQ(r.tree.NumNodes(), 3u);
+}
+
+TEST_F(XmlTest, CdataAndEntities) {
+  auto r = Parse("<a>x &amp; y<![CDATA[<raw>]]></a>");
+  ASSERT_TRUE(r.well_formed);
+  EXPECT_EQ(r.tree.node(0).text, "x & y<raw>");
+}
+
+TEST_F(XmlTest, DetectsTagMismatch) {
+  auto r = Parse("<a><b></a></b>");
+  EXPECT_FALSE(r.well_formed);
+  EXPECT_EQ(r.error.category, XmlErrorCategory::kTagMismatch);
+}
+
+TEST_F(XmlTest, DetectsPrematureEnd) {
+  for (const std::string doc : {"<a><b></b>", "<a", "<a x='1", "<a>text"}) {
+    auto r = Parse(doc);
+    EXPECT_FALSE(r.well_formed) << doc;
+    EXPECT_EQ(r.error.category, XmlErrorCategory::kPrematureEnd) << doc;
+  }
+}
+
+TEST_F(XmlTest, DetectsBadEncoding) {
+  std::string doc = "<a>\xc3(</a>";  // invalid UTF-8 continuation
+  auto r = Parse(doc);
+  EXPECT_FALSE(r.well_formed);
+  EXPECT_EQ(r.error.category, XmlErrorCategory::kBadEncoding);
+}
+
+TEST_F(XmlTest, DetectsBadAttribute) {
+  auto r = Parse("<a x=1></a>");
+  EXPECT_FALSE(r.well_formed);
+  EXPECT_EQ(r.error.category, XmlErrorCategory::kBadAttribute);
+  r = Parse("<a x='1' x='2'></a>");
+  EXPECT_EQ(r.error.category, XmlErrorCategory::kBadAttribute);
+}
+
+TEST_F(XmlTest, DetectsMultipleRootsAndStrayContent) {
+  auto r = Parse("<a></a><b></b>");
+  EXPECT_EQ(r.error.category, XmlErrorCategory::kMultipleRoots);
+  r = Parse("<a></a>junk");
+  EXPECT_EQ(r.error.category, XmlErrorCategory::kStrayContent);
+}
+
+TEST_F(XmlTest, DetectsBadEntityAndComment) {
+  auto r = Parse("<a>&unknown;</a>");
+  EXPECT_EQ(r.error.category, XmlErrorCategory::kBadEntity);
+  r = Parse("<a>x & y</a>");
+  EXPECT_EQ(r.error.category, XmlErrorCategory::kBadEntity);
+  r = Parse("<a><!-- x -- y --></a>");
+  EXPECT_EQ(r.error.category, XmlErrorCategory::kBadComment);
+}
+
+TEST_F(XmlTest, DetectsEmptyDocument) {
+  auto r = Parse("   ");
+  EXPECT_EQ(r.error.category, XmlErrorCategory::kEmptyDocument);
+}
+
+TEST_F(XmlTest, RoundTripsThroughToXml) {
+  auto r = Parse("<a><b><c/></b><b/></a>");
+  ASSERT_TRUE(r.well_formed);
+  const std::string rendered = ToXml(r.tree, dict_);
+  auto r2 = Parse(rendered);
+  ASSERT_TRUE(r2.well_formed);
+  EXPECT_EQ(r2.tree.NumNodes(), r.tree.NumNodes());
+  EXPECT_EQ(r2.tree.Depth(), r.tree.Depth());
+}
+
+TEST(Utf8Test, Validation) {
+  EXPECT_TRUE(IsValidUtf8("hello"));
+  EXPECT_TRUE(IsValidUtf8("h\xc3\xa9llo"));          // é
+  EXPECT_TRUE(IsValidUtf8("\xe2\x82\xac"));          // €
+  EXPECT_TRUE(IsValidUtf8("\xf0\x9f\x98\x80"));      // emoji
+  EXPECT_FALSE(IsValidUtf8("\xc3("));                // bad continuation
+  EXPECT_FALSE(IsValidUtf8("\xff"));                 // invalid byte
+  EXPECT_FALSE(IsValidUtf8("\xe2\x82"));             // truncated
+  EXPECT_FALSE(IsValidUtf8("\xc0\xaf"));             // overlong
+}
+
+class JsonTest : public ::testing::Test {
+ protected:
+  JsonPtr Parse(const std::string& s) {
+    auto r = ParseJson(s);
+    EXPECT_TRUE(r.ok()) << s << ": " << r.status().ToString();
+    return r.ok() ? r.value() : nullptr;
+  }
+};
+
+TEST_F(JsonTest, ParsesScalars) {
+  EXPECT_EQ(Parse("null")->kind(), JsonValue::Kind::kNull);
+  EXPECT_TRUE(Parse("true")->bool_value());
+  EXPECT_DOUBLE_EQ(Parse("-2.5e2")->number_value(), -250.0);
+  EXPECT_EQ(Parse("\"a\\nb\"")->string_value(), "a\nb");
+  EXPECT_EQ(Parse("\"\\u00e9\"")->string_value(), "\xc3\xa9");
+}
+
+TEST_F(JsonTest, ParsesPaperFigure1Document) {
+  const std::string doc = R"({"persons": [
+    {"pers_id": 1, "name": "Aretha",
+     "birthplace": {"city": "Memphis", "state": "Tennessee",
+                    "country": "US"}}]})";
+  auto v = Parse(doc);
+  ASSERT_NE(v, nullptr);
+  auto persons = v->Get("persons");
+  ASSERT_NE(persons, nullptr);
+  ASSERT_EQ(persons->items().size(), 1u);
+  EXPECT_EQ(persons->items()[0]->Get("name")->string_value(), "Aretha");
+}
+
+TEST_F(JsonTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\" 1}").ok());
+  EXPECT_FALSE(ParseJson("tru").ok());
+  EXPECT_FALSE(ParseJson("1 2").ok());
+}
+
+TEST_F(JsonTest, RoundTripsToString) {
+  const std::string doc = R"({"a":[1,2,{"b":true}],"c":"x"})";
+  auto v = Parse(doc);
+  EXPECT_EQ(v->ToString(), doc);
+}
+
+TEST_F(JsonTest, JsonToTreeMapsKeysToLabels) {
+  Interner dict;
+  auto v = Parse(R"({"persons": [{"name": "A"}, {"name": "B"}]})");
+  Tree t = JsonToTree(v, &dict, "root", "person");
+  // root -> persons -> person x2 -> name.
+  EXPECT_EQ(t.NumNodes(), 6u);
+  EXPECT_EQ(t.Depth(), 4u);
+  EXPECT_EQ(dict.Name(t.node(1).label), "persons");
+  const auto kids = t.ChildLabels(1);
+  ASSERT_EQ(kids.size(), 2u);
+  EXPECT_EQ(dict.Name(kids[0]), "person");
+}
+
+}  // namespace
+}  // namespace rwdt::tree
