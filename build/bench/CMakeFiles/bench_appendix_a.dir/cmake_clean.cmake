@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendix_a.dir/bench_appendix_a.cc.o"
+  "CMakeFiles/bench_appendix_a.dir/bench_appendix_a.cc.o.d"
+  "bench_appendix_a"
+  "bench_appendix_a.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

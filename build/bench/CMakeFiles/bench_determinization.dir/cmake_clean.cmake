@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_determinization.dir/bench_determinization.cc.o"
+  "CMakeFiles/bench_determinization.dir/bench_determinization.cc.o.d"
+  "bench_determinization"
+  "bench_determinization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_determinization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dtd_study.dir/bench_dtd_study.cc.o"
+  "CMakeFiles/bench_dtd_study.dir/bench_dtd_study.cc.o.d"
+  "bench_dtd_study"
+  "bench_dtd_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dtd_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

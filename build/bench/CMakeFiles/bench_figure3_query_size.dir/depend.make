@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_figure3_query_size.
+# This may be replaced when dependencies are built.

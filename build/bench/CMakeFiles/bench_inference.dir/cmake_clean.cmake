@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_inference.dir/bench_inference.cc.o"
+  "CMakeFiles/bench_inference.dir/bench_inference.cc.o.d"
+  "bench_inference"
+  "bench_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

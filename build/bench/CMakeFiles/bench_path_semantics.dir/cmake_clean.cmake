@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_path_semantics.dir/bench_path_semantics.cc.o"
+  "CMakeFiles/bench_path_semantics.dir/bench_path_semantics.cc.o.d"
+  "bench_path_semantics"
+  "bench_path_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_path_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rdf_structure.dir/bench_rdf_structure.cc.o"
+  "CMakeFiles/bench_rdf_structure.dir/bench_rdf_structure.cc.o.d"
+  "bench_rdf_structure"
+  "bench_rdf_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rdf_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

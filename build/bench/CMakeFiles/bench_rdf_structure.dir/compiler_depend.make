@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_rdf_structure.
+# This may be replaced when dependencies are built.

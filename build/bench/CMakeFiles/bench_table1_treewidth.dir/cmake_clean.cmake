@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_treewidth.dir/bench_table1_treewidth.cc.o"
+  "CMakeFiles/bench_table1_treewidth.dir/bench_table1_treewidth.cc.o.d"
+  "bench_table1_treewidth"
+  "bench_table1_treewidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_treewidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_corpus.dir/bench_table2_corpus.cc.o"
+  "CMakeFiles/bench_table2_corpus.dir/bench_table2_corpus.cc.o.d"
+  "bench_table2_corpus"
+  "bench_table2_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_cq_fragments.dir/bench_table4_cq_fragments.cc.o"
+  "CMakeFiles/bench_table4_cq_fragments.dir/bench_table4_cq_fragments.cc.o.d"
+  "bench_table4_cq_fragments"
+  "bench_table4_cq_fragments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_cq_fragments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_c2rpq_fragments.dir/bench_table5_c2rpq_fragments.cc.o"
+  "CMakeFiles/bench_table5_c2rpq_fragments.dir/bench_table5_c2rpq_fragments.cc.o.d"
+  "bench_table5_c2rpq_fragments"
+  "bench_table5_c2rpq_fragments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_c2rpq_fragments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_htw.dir/bench_table6_htw.cc.o"
+  "CMakeFiles/bench_table6_htw.dir/bench_table6_htw.cc.o.d"
+  "bench_table6_htw"
+  "bench_table6_htw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_htw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

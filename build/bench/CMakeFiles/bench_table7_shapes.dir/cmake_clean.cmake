@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_shapes.dir/bench_table7_shapes.cc.o"
+  "CMakeFiles/bench_table7_shapes.dir/bench_table7_shapes.cc.o.d"
+  "bench_table7_shapes"
+  "bench_table7_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

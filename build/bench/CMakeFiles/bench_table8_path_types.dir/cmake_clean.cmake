@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_path_types.dir/bench_table8_path_types.cc.o"
+  "CMakeFiles/bench_table8_path_types.dir/bench_table8_path_types.cc.o.d"
+  "bench_table8_path_types"
+  "bench_table8_path_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_path_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

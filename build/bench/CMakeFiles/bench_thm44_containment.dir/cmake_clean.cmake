@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm44_containment.dir/bench_thm44_containment.cc.o"
+  "CMakeFiles/bench_thm44_containment.dir/bench_thm44_containment.cc.o.d"
+  "bench_thm44_containment"
+  "bench_thm44_containment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm44_containment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm45_intersection.dir/bench_thm45_intersection.cc.o"
+  "CMakeFiles/bench_thm45_intersection.dir/bench_thm45_intersection.cc.o.d"
+  "bench_thm45_intersection"
+  "bench_thm45_intersection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm45_intersection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm46_kore.dir/bench_thm46_kore.cc.o"
+  "CMakeFiles/bench_thm46_kore.dir/bench_thm46_kore.cc.o.d"
+  "bench_thm46_kore"
+  "bench_thm46_kore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm46_kore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

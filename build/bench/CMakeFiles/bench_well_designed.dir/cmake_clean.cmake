@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_well_designed.dir/bench_well_designed.cc.o"
+  "CMakeFiles/bench_well_designed.dir/bench_well_designed.cc.o.d"
+  "bench_well_designed"
+  "bench_well_designed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_well_designed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

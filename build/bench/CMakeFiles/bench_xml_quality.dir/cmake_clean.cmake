@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_xml_quality.dir/bench_xml_quality.cc.o"
+  "CMakeFiles/bench_xml_quality.dir/bench_xml_quality.cc.o.d"
+  "bench_xml_quality"
+  "bench_xml_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_xml_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

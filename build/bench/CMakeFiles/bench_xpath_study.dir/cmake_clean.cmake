@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_xpath_study.dir/bench_xpath_study.cc.o"
+  "CMakeFiles/bench_xpath_study.dir/bench_xpath_study.cc.o.d"
+  "bench_xpath_study"
+  "bench_xpath_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_xpath_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_explorer.dir/graph_explorer.cpp.o"
+  "CMakeFiles/graph_explorer.dir/graph_explorer.cpp.o.d"
+  "graph_explorer"
+  "graph_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

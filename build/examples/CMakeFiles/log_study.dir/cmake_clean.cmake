@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_study.dir/log_study.cpp.o"
+  "CMakeFiles/log_study.dir/log_study.cpp.o.d"
+  "log_study"
+  "log_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_inference.dir/schema_inference.cpp.o"
+  "CMakeFiles/schema_inference.dir/schema_inference.cpp.o.d"
+  "schema_inference"
+  "schema_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/interner.cc" "src/CMakeFiles/rwdt.dir/common/interner.cc.o" "gcc" "src/CMakeFiles/rwdt.dir/common/interner.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/rwdt.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/rwdt.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/rwdt.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/rwdt.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/rwdt.dir/common/status.cc.o" "gcc" "src/CMakeFiles/rwdt.dir/common/status.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/rwdt.dir/common/table.cc.o" "gcc" "src/CMakeFiles/rwdt.dir/common/table.cc.o.d"
+  "/root/repo/src/core/log_study.cc" "src/CMakeFiles/rwdt.dir/core/log_study.cc.o" "gcc" "src/CMakeFiles/rwdt.dir/core/log_study.cc.o.d"
+  "/root/repo/src/core/studies.cc" "src/CMakeFiles/rwdt.dir/core/studies.cc.o" "gcc" "src/CMakeFiles/rwdt.dir/core/studies.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/CMakeFiles/rwdt.dir/graph/generators.cc.o" "gcc" "src/CMakeFiles/rwdt.dir/graph/generators.cc.o.d"
+  "/root/repo/src/graph/rdf.cc" "src/CMakeFiles/rwdt.dir/graph/rdf.cc.o" "gcc" "src/CMakeFiles/rwdt.dir/graph/rdf.cc.o.d"
+  "/root/repo/src/graph/treewidth.cc" "src/CMakeFiles/rwdt.dir/graph/treewidth.cc.o" "gcc" "src/CMakeFiles/rwdt.dir/graph/treewidth.cc.o.d"
+  "/root/repo/src/hypergraph/hypergraph.cc" "src/CMakeFiles/rwdt.dir/hypergraph/hypergraph.cc.o" "gcc" "src/CMakeFiles/rwdt.dir/hypergraph/hypergraph.cc.o.d"
+  "/root/repo/src/inference/crx.cc" "src/CMakeFiles/rwdt.dir/inference/crx.cc.o" "gcc" "src/CMakeFiles/rwdt.dir/inference/crx.cc.o.d"
+  "/root/repo/src/inference/kore.cc" "src/CMakeFiles/rwdt.dir/inference/kore.cc.o" "gcc" "src/CMakeFiles/rwdt.dir/inference/kore.cc.o.d"
+  "/root/repo/src/inference/rwr.cc" "src/CMakeFiles/rwdt.dir/inference/rwr.cc.o" "gcc" "src/CMakeFiles/rwdt.dir/inference/rwr.cc.o.d"
+  "/root/repo/src/inference/soa.cc" "src/CMakeFiles/rwdt.dir/inference/soa.cc.o" "gcc" "src/CMakeFiles/rwdt.dir/inference/soa.cc.o.d"
+  "/root/repo/src/loggen/corpus_gen.cc" "src/CMakeFiles/rwdt.dir/loggen/corpus_gen.cc.o" "gcc" "src/CMakeFiles/rwdt.dir/loggen/corpus_gen.cc.o.d"
+  "/root/repo/src/loggen/sparql_gen.cc" "src/CMakeFiles/rwdt.dir/loggen/sparql_gen.cc.o" "gcc" "src/CMakeFiles/rwdt.dir/loggen/sparql_gen.cc.o.d"
+  "/root/repo/src/paths/analysis.cc" "src/CMakeFiles/rwdt.dir/paths/analysis.cc.o" "gcc" "src/CMakeFiles/rwdt.dir/paths/analysis.cc.o.d"
+  "/root/repo/src/paths/path.cc" "src/CMakeFiles/rwdt.dir/paths/path.cc.o" "gcc" "src/CMakeFiles/rwdt.dir/paths/path.cc.o.d"
+  "/root/repo/src/paths/semantics.cc" "src/CMakeFiles/rwdt.dir/paths/semantics.cc.o" "gcc" "src/CMakeFiles/rwdt.dir/paths/semantics.cc.o.d"
+  "/root/repo/src/regex/ast.cc" "src/CMakeFiles/rwdt.dir/regex/ast.cc.o" "gcc" "src/CMakeFiles/rwdt.dir/regex/ast.cc.o.d"
+  "/root/repo/src/regex/automaton.cc" "src/CMakeFiles/rwdt.dir/regex/automaton.cc.o" "gcc" "src/CMakeFiles/rwdt.dir/regex/automaton.cc.o.d"
+  "/root/repo/src/regex/bkw.cc" "src/CMakeFiles/rwdt.dir/regex/bkw.cc.o" "gcc" "src/CMakeFiles/rwdt.dir/regex/bkw.cc.o.d"
+  "/root/repo/src/regex/chain_algorithms.cc" "src/CMakeFiles/rwdt.dir/regex/chain_algorithms.cc.o" "gcc" "src/CMakeFiles/rwdt.dir/regex/chain_algorithms.cc.o.d"
+  "/root/repo/src/regex/fragments.cc" "src/CMakeFiles/rwdt.dir/regex/fragments.cc.o" "gcc" "src/CMakeFiles/rwdt.dir/regex/fragments.cc.o.d"
+  "/root/repo/src/regex/glushkov.cc" "src/CMakeFiles/rwdt.dir/regex/glushkov.cc.o" "gcc" "src/CMakeFiles/rwdt.dir/regex/glushkov.cc.o.d"
+  "/root/repo/src/regex/parser.cc" "src/CMakeFiles/rwdt.dir/regex/parser.cc.o" "gcc" "src/CMakeFiles/rwdt.dir/regex/parser.cc.o.d"
+  "/root/repo/src/regex/reduction.cc" "src/CMakeFiles/rwdt.dir/regex/reduction.cc.o" "gcc" "src/CMakeFiles/rwdt.dir/regex/reduction.cc.o.d"
+  "/root/repo/src/regex/sampler.cc" "src/CMakeFiles/rwdt.dir/regex/sampler.cc.o" "gcc" "src/CMakeFiles/rwdt.dir/regex/sampler.cc.o.d"
+  "/root/repo/src/regex/state_elimination.cc" "src/CMakeFiles/rwdt.dir/regex/state_elimination.cc.o" "gcc" "src/CMakeFiles/rwdt.dir/regex/state_elimination.cc.o.d"
+  "/root/repo/src/schema/bonxai.cc" "src/CMakeFiles/rwdt.dir/schema/bonxai.cc.o" "gcc" "src/CMakeFiles/rwdt.dir/schema/bonxai.cc.o.d"
+  "/root/repo/src/schema/dtd.cc" "src/CMakeFiles/rwdt.dir/schema/dtd.cc.o" "gcc" "src/CMakeFiles/rwdt.dir/schema/dtd.cc.o.d"
+  "/root/repo/src/schema/edtd.cc" "src/CMakeFiles/rwdt.dir/schema/edtd.cc.o" "gcc" "src/CMakeFiles/rwdt.dir/schema/edtd.cc.o.d"
+  "/root/repo/src/schema/json_schema.cc" "src/CMakeFiles/rwdt.dir/schema/json_schema.cc.o" "gcc" "src/CMakeFiles/rwdt.dir/schema/json_schema.cc.o.d"
+  "/root/repo/src/sparql/algebra.cc" "src/CMakeFiles/rwdt.dir/sparql/algebra.cc.o" "gcc" "src/CMakeFiles/rwdt.dir/sparql/algebra.cc.o.d"
+  "/root/repo/src/sparql/analysis.cc" "src/CMakeFiles/rwdt.dir/sparql/analysis.cc.o" "gcc" "src/CMakeFiles/rwdt.dir/sparql/analysis.cc.o.d"
+  "/root/repo/src/sparql/eval.cc" "src/CMakeFiles/rwdt.dir/sparql/eval.cc.o" "gcc" "src/CMakeFiles/rwdt.dir/sparql/eval.cc.o.d"
+  "/root/repo/src/sparql/parser.cc" "src/CMakeFiles/rwdt.dir/sparql/parser.cc.o" "gcc" "src/CMakeFiles/rwdt.dir/sparql/parser.cc.o.d"
+  "/root/repo/src/tree/json.cc" "src/CMakeFiles/rwdt.dir/tree/json.cc.o" "gcc" "src/CMakeFiles/rwdt.dir/tree/json.cc.o.d"
+  "/root/repo/src/tree/tree.cc" "src/CMakeFiles/rwdt.dir/tree/tree.cc.o" "gcc" "src/CMakeFiles/rwdt.dir/tree/tree.cc.o.d"
+  "/root/repo/src/tree/xml.cc" "src/CMakeFiles/rwdt.dir/tree/xml.cc.o" "gcc" "src/CMakeFiles/rwdt.dir/tree/xml.cc.o.d"
+  "/root/repo/src/xpath/xpath.cc" "src/CMakeFiles/rwdt.dir/xpath/xpath.cc.o" "gcc" "src/CMakeFiles/rwdt.dir/xpath/xpath.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

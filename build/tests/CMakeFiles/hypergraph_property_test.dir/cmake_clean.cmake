@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypergraph_property_test.dir/hypergraph_property_test.cc.o"
+  "CMakeFiles/hypergraph_property_test.dir/hypergraph_property_test.cc.o.d"
+  "hypergraph_property_test"
+  "hypergraph_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypergraph_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

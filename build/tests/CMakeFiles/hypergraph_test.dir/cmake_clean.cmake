@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypergraph_test.dir/hypergraph_test.cc.o"
+  "CMakeFiles/hypergraph_test.dir/hypergraph_test.cc.o.d"
+  "hypergraph_test"
+  "hypergraph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypergraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inference_test.dir/inference_test.cc.o"
+  "CMakeFiles/inference_test.dir/inference_test.cc.o.d"
+  "inference_test"
+  "inference_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/json_schema_test.dir/json_schema_test.cc.o"
+  "CMakeFiles/json_schema_test.dir/json_schema_test.cc.o.d"
+  "json_schema_test"
+  "json_schema_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/json_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loggen_test.dir/loggen_test.cc.o"
+  "CMakeFiles/loggen_test.dir/loggen_test.cc.o.d"
+  "loggen_test"
+  "loggen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loggen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paths_test.dir/paths_test.cc.o"
+  "CMakeFiles/paths_test.dir/paths_test.cc.o.d"
+  "paths_test"
+  "paths_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paths_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regex_ast_test.dir/regex_ast_test.cc.o"
+  "CMakeFiles/regex_ast_test.dir/regex_ast_test.cc.o.d"
+  "regex_ast_test"
+  "regex_ast_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regex_ast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

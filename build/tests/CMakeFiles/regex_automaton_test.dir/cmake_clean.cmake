@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regex_automaton_test.dir/regex_automaton_test.cc.o"
+  "CMakeFiles/regex_automaton_test.dir/regex_automaton_test.cc.o.d"
+  "regex_automaton_test"
+  "regex_automaton_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regex_automaton_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

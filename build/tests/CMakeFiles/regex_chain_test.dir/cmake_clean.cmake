@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regex_chain_test.dir/regex_chain_test.cc.o"
+  "CMakeFiles/regex_chain_test.dir/regex_chain_test.cc.o.d"
+  "regex_chain_test"
+  "regex_chain_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regex_chain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regex_determinism_test.dir/regex_determinism_test.cc.o"
+  "CMakeFiles/regex_determinism_test.dir/regex_determinism_test.cc.o.d"
+  "regex_determinism_test"
+  "regex_determinism_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regex_determinism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

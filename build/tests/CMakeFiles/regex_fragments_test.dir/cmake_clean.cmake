@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regex_fragments_test.dir/regex_fragments_test.cc.o"
+  "CMakeFiles/regex_fragments_test.dir/regex_fragments_test.cc.o.d"
+  "regex_fragments_test"
+  "regex_fragments_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regex_fragments_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regex_property_test.dir/regex_property_test.cc.o"
+  "CMakeFiles/regex_property_test.dir/regex_property_test.cc.o.d"
+  "regex_property_test"
+  "regex_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regex_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regex_reduction_test.dir/regex_reduction_test.cc.o"
+  "CMakeFiles/regex_reduction_test.dir/regex_reduction_test.cc.o.d"
+  "regex_reduction_test"
+  "regex_reduction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regex_reduction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regex_state_elim_test.dir/regex_state_elim_test.cc.o"
+  "CMakeFiles/regex_state_elim_test.dir/regex_state_elim_test.cc.o.d"
+  "regex_state_elim_test"
+  "regex_state_elim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regex_state_elim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparql_test.dir/sparql_test.cc.o"
+  "CMakeFiles/sparql_test.dir/sparql_test.cc.o.d"
+  "sparql_test"
+  "sparql_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
