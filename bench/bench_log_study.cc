@@ -1,0 +1,121 @@
+// Engine throughput bench: streams the same generated DBpedia-like log
+// through rwdt::engine at several thread counts, checks that the
+// aggregates are identical, and writes the timings to
+// BENCH_log_study.json so the perf trajectory is tracked across PRs.
+//
+//   $ ./build/bench/bench_log_study [num_queries]
+//
+// Environment: RWDT_BENCH_THREADS="1,2,4" overrides the sweep;
+// RWDT_BENCH_JSON overrides the output path.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "engine/engine.h"
+
+namespace {
+
+std::vector<unsigned> ThreadSweep() {
+  std::vector<unsigned> sweep;
+  const char* env = std::getenv("RWDT_BENCH_THREADS");
+  std::string spec = env != nullptr ? env : "1,2,4";
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    sweep.push_back(
+        static_cast<unsigned>(std::strtoul(spec.c_str() + pos, nullptr, 10)));
+    pos = spec.find(',', pos);
+    if (pos == std::string::npos) break;
+    ++pos;
+  }
+  return sweep;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rwdt;
+  using Clock = std::chrono::steady_clock;
+
+  const uint64_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20000;
+  loggen::SourceProfile profile = loggen::ExampleProfile(n);
+  profile.name = "bench-log-study";
+  const uint64_t seed = 2022;
+
+  // Generate once so the sweep times only the analysis pipeline.
+  const auto entries = loggen::GenerateLog(profile, seed);
+  std::printf("log: %zu entries; sweeping threads...\n\n", entries.size());
+
+  struct Run {
+    unsigned threads;
+    double wall_ms;
+    engine::MetricsSnapshot snap;
+  };
+  std::vector<Run> runs;
+  core::SourceStudy reference;
+  double base_ms = 0;
+
+  {
+    // Untimed warmup so the first sweep element doesn't pay the
+    // allocator / page-cache cost for everyone.
+    engine::Engine warm(engine::EngineOptions{});
+    warm.AnalyzeEntries(profile.name, profile.wikidata_like, entries);
+  }
+
+  AsciiTable table({"Threads", "Wall", "Queries/s", "Speedup", "Hit rate"});
+  for (unsigned threads : ThreadSweep()) {
+    engine::EngineOptions opts;
+    opts.threads = threads;
+    engine::Engine eng(opts);
+    const auto t0 = Clock::now();
+    const core::SourceStudy study =
+        eng.AnalyzeEntries(profile.name, profile.wikidata_like, entries);
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    if (runs.empty()) {
+      reference = study;
+      base_ms = ms;
+    } else if (!(study == reference)) {
+      std::fprintf(stderr,
+                   "FATAL: aggregates at threads=%u differ from threads=%u\n",
+                   threads, runs.front().threads);
+      return 1;
+    }
+    Run run{threads, ms, eng.Snapshot()};
+    table.AddRow({std::to_string(threads), Fixed(ms, 1) + " ms",
+                  WithThousands(static_cast<uint64_t>(
+                      run.snap.QueriesPerSec())),
+                  Fixed(base_ms / ms, 2) + "x",
+                  Fixed(100.0 * run.snap.CacheHitRate(), 1) + "%"});
+    runs.push_back(std::move(run));
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("aggregates identical across the sweep (valid=%llu unique=%llu)\n\n",
+              static_cast<unsigned long long>(reference.valid),
+              static_cast<unsigned long long>(reference.unique));
+  std::printf("%s\n", runs.back().snap.ToText().c_str());
+
+  const char* json_env = std::getenv("RWDT_BENCH_JSON");
+  const std::string path =
+      json_env != nullptr ? json_env : "BENCH_log_study.json";
+  FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\"bench\":\"log_study\",\"entries\":%zu,\"runs\":[",
+               entries.size());
+  for (size_t i = 0; i < runs.size(); ++i) {
+    std::fprintf(out, "%s{\"threads\":%u,\"wall_ms\":%.3f,\"metrics\":%s}",
+                 i == 0 ? "" : ",", runs[i].threads, runs[i].wall_ms,
+                 runs[i].snap.ToJson().c_str());
+  }
+  std::fprintf(out, "]}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

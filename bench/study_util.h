@@ -7,20 +7,25 @@
 #include <vector>
 
 #include "core/log_study.h"
+#include "engine/engine.h"
 #include "loggen/sparql_gen.h"
 
 namespace rwdt::bench {
 
 /// Shared driver for the Table 2-8 / Figure 3 benchmarks: runs the full
-/// log-study pipeline over the seventeen Table 2 source profiles.
+/// log-study pipeline over the seventeen Table 2 source profiles on the
+/// streaming engine.
 ///
 /// `scale` divides the paper's query counts; the default keeps each
-/// bench binary in the seconds range on one core. Override with the
-/// RWDT_SCALE environment variable (smaller value = bigger corpus).
+/// bench binary in the seconds range. Override with the RWDT_SCALE
+/// environment variable (smaller value = bigger corpus) and the worker
+/// count with RWDT_THREADS (default: one per hardware thread; results
+/// are bit-identical for any value).
 struct StudyCorpus {
   std::vector<core::SourceStudy> sources;
   core::SourceStudy dbpedia_britm;  // merged non-Wikidata sources
   core::SourceStudy wikidata;       // merged Wikidata sources
+  engine::MetricsSnapshot metrics;  // pipeline counters for the whole run
 };
 
 inline uint64_t ScaleFromEnv(uint64_t fallback) {
@@ -30,15 +35,25 @@ inline uint64_t ScaleFromEnv(uint64_t fallback) {
   return v == 0 ? fallback : v;
 }
 
+inline unsigned ThreadsFromEnv() {
+  const char* env = std::getenv("RWDT_THREADS");
+  if (env == nullptr) return 0;  // engine default: hardware threads
+  return static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+}
+
 inline StudyCorpus RunFullStudy(uint64_t scale, uint64_t seed = 2022) {
   StudyCorpus corpus;
   corpus.dbpedia_britm.name = "DBpedia-BritM";
   corpus.wikidata.name = "Wikidata";
+  engine::EngineOptions opts;
+  opts.threads = ThreadsFromEnv();
+  engine::Engine eng(opts);  // one engine: the cache warms across sources
   for (const auto& profile : loggen::Table2Profiles(scale)) {
-    std::fprintf(stderr, "  analyzing %-16s (%llu queries)...\n",
+    std::fprintf(stderr, "  analyzing %-16s (%llu queries, %u threads)...\n",
                  profile.name.c_str(),
-                 static_cast<unsigned long long>(profile.total_queries));
-    core::SourceStudy study = core::AnalyzeLog(profile, seed);
+                 static_cast<unsigned long long>(profile.total_queries),
+                 eng.threads());
+    core::SourceStudy study = eng.AnalyzeLog(profile, seed);
     if (profile.wikidata_like) {
       core::MergeSource(study, &corpus.wikidata);
     } else {
@@ -46,7 +61,21 @@ inline StudyCorpus RunFullStudy(uint64_t scale, uint64_t seed = 2022) {
     }
     corpus.sources.push_back(std::move(study));
   }
+  corpus.metrics = eng.Snapshot();
+  std::fprintf(stderr, "%s\n", corpus.metrics.ToText().c_str());
   return corpus;
+}
+
+/// Appends this run's metrics to a machine-readable JSON file (one JSON
+/// object per line) so perf is comparable across PRs.
+inline void AppendBenchJson(const std::string& bench_name,
+                            const engine::MetricsSnapshot& snap,
+                            const char* path = "BENCH_study_metrics.jsonl") {
+  FILE* out = std::fopen(path, "a");
+  if (out == nullptr) return;
+  std::fprintf(out, "{\"bench\":\"%s\",\"metrics\":%s}\n", bench_name.c_str(),
+               snap.ToJson().c_str());
+  std::fclose(out);
 }
 
 }  // namespace rwdt::bench

@@ -1,218 +1,19 @@
 #include "core/log_study.h"
 
-#include <algorithm>
-
-#include "sparql/parser.h"
+#include "engine/engine.h"
 
 namespace rwdt::core {
-namespace {
-
-/// Per-unique-query analysis record; added to aggregates with a weight.
-struct QueryAnalysis {
-  bool is_describe = false;
-  size_t triples = 0;
-  std::set<sparql::Feature> features;
-  sparql::OperatorSet ops;
-  bool afo_only = false, well_designed = false;
-  bool safe_filters = false, simple_filters = false;
-  bool cq_fca = false, cq_htw1 = false, cq_htw2 = false, cq_htw3 = false;
-  bool cqf_fca = false, cqf_htw1 = false, cqf_htw2 = false,
-       cqf_htw3 = false;
-  bool graph_cqf = false;
-  hypergraph::GraphShape shape_with =
-      hypergraph::GraphShape::kOther;
-  hypergraph::GraphShape shape_without =
-      hypergraph::GraphShape::kOther;
-  std::vector<paths::Table8Type> path_types;
-  uint64_t ste = 0, ctract = 0, ttract = 0;
-};
-
-QueryAnalysis Analyze(const sparql::Query& q,
-                      const LogStudyOptions& options) {
-  QueryAnalysis a;
-  a.is_describe = q.form == sparql::QueryForm::kDescribe;
-  a.triples =
-      q.pattern != nullptr ? q.pattern->NumTriplePatterns() : 0;
-  a.features = sparql::ExtractFeatures(q);
-  a.ops = sparql::ExtractOperatorSet(q);
-  a.afo_only = sparql::UsesOnlyAndFilterOptional(q);
-  a.well_designed = a.afo_only && sparql::IsWellDesigned(q);
-  a.safe_filters = sparql::HasOnlySafeFilters(q);
-  a.simple_filters = sparql::HasOnlySimpleFilters(q);
-
-  if (a.ops.IsCqF() && q.pattern != nullptr &&
-      a.triples <= options.max_triples_for_htw) {
-    // Free variables: the projected ones (all for SELECT *).
-    auto analyze_hg = [&](bool include_filters, bool* fca, bool* h1,
-                          bool* h2, bool* h3) {
-      std::vector<SymbolId> vertex_vars;
-      hypergraph::Hypergraph h = hypergraph::BuildCanonicalHypergraph(
-          q, include_filters, &vertex_vars);
-      std::vector<uint32_t> free_vertices;
-      if (q.select_star) {
-        for (uint32_t v = 0; v < vertex_vars.size(); ++v) {
-          free_vertices.push_back(v);
-        }
-      } else {
-        std::set<SymbolId> projected;
-        for (const auto& item : q.projection) {
-          if (item.var.ActsAsVar()) projected.insert(item.var.id);
-        }
-        for (uint32_t v = 0; v < vertex_vars.size(); ++v) {
-          if (projected.count(vertex_vars[v]) > 0) {
-            free_vertices.push_back(v);
-          }
-        }
-      }
-      const bool acyclic = hypergraph::IsAcyclic(h);
-      *fca = acyclic &&
-             hypergraph::IsFreeConnexAcyclic(h, free_vertices);
-      *h1 = acyclic;
-      *h2 = acyclic ||
-            hypergraph::HypertreeWidthAtMost(h, 2).value_or(false);
-      *h3 = *h2 ||
-            hypergraph::HypertreeWidthAtMost(h, 3).value_or(false);
-    };
-    if (a.ops.IsCq()) {
-      analyze_hg(false, &a.cq_fca, &a.cq_htw1, &a.cq_htw2, &a.cq_htw3);
-    }
-    analyze_hg(true, &a.cqf_fca, &a.cqf_htw1, &a.cqf_htw2, &a.cqf_htw3);
-
-    a.graph_cqf = sparql::IsGraphCqF(q);
-    if (a.graph_cqf) {
-      a.shape_with = hypergraph::ClassifyShape(
-          hypergraph::BuildCanonicalGraph(q, /*include_constants=*/true));
-      a.shape_without = hypergraph::ClassifyShape(
-          hypergraph::BuildCanonicalGraph(q, /*include_constants=*/false));
-    }
-  }
-
-  if (q.pattern != nullptr) {
-    std::vector<const sparql::PathTriple*> path_triples;
-    q.pattern->CollectPathTriples(&path_triples);
-    for (const auto* pt : path_triples) {
-      a.path_types.push_back(paths::ClassifyTable8(*pt->path));
-      if (paths::IsSimpleTransitiveExpression(*pt->path)) a.ste++;
-      if (paths::CertifiedInCtract(*pt->path)) a.ctract++;
-      if (paths::CertifiedInTtract(*pt->path)) a.ttract++;
-    }
-  }
-  return a;
-}
-
-void AddToAggregates(const QueryAnalysis& a, uint64_t weight,
-                     LogAggregates* agg) {
-  agg->queries += weight;
-  if (a.is_describe) {
-    agg->describe += weight;
-    return;  // the paper excludes Describe from the feature tables
-  }
-  agg->select_ask_construct += weight;
-  agg->triple_histogram[std::min<size_t>(a.triples, 11)] += weight;
-  for (sparql::Feature f : a.features) agg->feature_counts[f] += weight;
-
-  const sparql::OperatorSet& ops = a.ops;
-  if (!ops.uses_other) {
-    const int combo = (ops.uses_and ? 1 : 0) + (ops.uses_filter ? 2 : 0) +
-                      (ops.uses_path ? 4 : 0);
-    switch (combo) {
-      case 0:
-        agg->ops_none += weight;
-        break;
-      case 1:
-        agg->ops_and += weight;
-        break;
-      case 2:
-        agg->ops_filter += weight;
-        break;
-      case 3:
-        agg->ops_and_filter += weight;
-        break;
-      case 4:
-        agg->ops_rpq += weight;
-        break;
-      case 5:
-        agg->ops_and_rpq += weight;
-        break;
-      case 6:
-        agg->ops_filter_rpq += weight;
-        break;
-      case 7:
-        agg->ops_and_filter_rpq += weight;
-        break;
-    }
-  }
-  if (ops.IsCq()) agg->cq += weight;
-  if (ops.IsCqF()) agg->cq_f += weight;
-  if (ops.IsC2RpqF()) agg->c2rpq_f += weight;
-
-  if (a.afo_only) agg->afo_only += weight;
-  if (a.well_designed) agg->well_designed += weight;
-  if (a.safe_filters) agg->safe_filters_only += weight;
-  if (a.simple_filters) agg->simple_filters_only += weight;
-
-  if (ops.IsCq()) {
-    if (a.cq_fca) agg->cq_fca += weight;
-    if (a.cq_htw1) agg->cq_htw1 += weight;
-    if (a.cq_htw2) agg->cq_htw2 += weight;
-    if (a.cq_htw3) agg->cq_htw3 += weight;
-  }
-  if (ops.IsCqF()) {
-    if (a.cqf_fca) agg->cqf_fca += weight;
-    if (a.cqf_htw1) agg->cqf_htw1 += weight;
-    if (a.cqf_htw2) agg->cqf_htw2 += weight;
-    if (a.cqf_htw3) agg->cqf_htw3 += weight;
-  }
-  if (a.graph_cqf) {
-    agg->graph_cqf += weight;
-    agg->shapes_with_constants[a.shape_with] += weight;
-    agg->shapes_without_constants[a.shape_without] += weight;
-  }
-  for (paths::Table8Type t : a.path_types) {
-    agg->path_types[t] += weight;
-    agg->property_paths += weight;
-  }
-  agg->path_ste += a.ste * weight;
-  agg->path_ctract += a.ctract * weight;
-  agg->path_ttract += a.ttract * weight;
-}
-
-}  // namespace
 
 SourceStudy AnalyzeLog(const loggen::SourceProfile& profile, uint64_t seed,
                        const LogStudyOptions& options) {
-  SourceStudy study;
-  study.name = profile.name;
-  study.wikidata_like = profile.wikidata_like;
-
-  const auto entries = loggen::GenerateLog(profile, seed);
-  study.total = entries.size();
-
-  // Deduplicate valid query texts; keep multiplicities.
-  std::map<std::string, uint64_t> multiplicity;
-  Interner dict;
-  std::map<std::string, sparql::Query> parsed;
-  for (const auto& entry : entries) {
-    auto it = multiplicity.find(entry.text);
-    if (it != multiplicity.end()) {
-      it->second++;
-      study.valid++;
-      continue;
-    }
-    auto query = sparql::ParseSparql(entry.text, &dict);
-    if (!query.ok()) continue;
-    study.valid++;
-    multiplicity[entry.text] = 1;
-    parsed.emplace(entry.text, std::move(query).value());
-  }
-  study.unique = multiplicity.size();
-
-  for (const auto& [text, count] : multiplicity) {
-    const QueryAnalysis analysis = Analyze(parsed.at(text), options);
-    AddToAggregates(analysis, count, &study.valid_agg);
-    AddToAggregates(analysis, 1, &study.unique_agg);
-  }
-  return study;
+  // The historical single-threaded path is the engine's threads=1 case:
+  // one shard, entries processed in log order, no worker threads.
+  engine::EngineOptions eopts;
+  eopts.threads = 1;
+  eopts.collect_stage_timings = false;
+  eopts.study = options;
+  engine::Engine eng(eopts);
+  return eng.AnalyzeLog(profile, seed);
 }
 
 void Merge(const LogAggregates& from, LogAggregates* into) {

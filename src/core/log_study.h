@@ -56,6 +56,10 @@ struct LogAggregates {
   uint64_t property_paths = 0;  // total path occurrences
   std::map<paths::Table8Type, uint64_t> path_types;
   uint64_t path_ste = 0, path_ctract = 0, path_ttract = 0;
+
+  /// Field-wise (bit-identical) equality; the engine's determinism
+  /// guarantee is stated in terms of this comparison.
+  bool operator==(const LogAggregates&) const = default;
 };
 
 /// Results for one log source.
@@ -67,6 +71,8 @@ struct SourceStudy {
   uint64_t unique = 0;   // distinct query strings among the valid ones
   LogAggregates valid_agg;
   LogAggregates unique_agg;
+
+  bool operator==(const SourceStudy&) const = default;
 };
 
 /// Options controlling per-query analysis cost.
@@ -78,6 +84,10 @@ struct LogStudyOptions {
 
 /// Runs the full per-query analysis pipeline (the paper's "~120
 /// analytical tests") over a generated log.
+///
+/// This is the single-threaded convenience entry point: it delegates to
+/// `engine::Engine` with `threads = 1`. Use the engine directly for
+/// parallel sharding, cross-log memoization, and metrics.
 SourceStudy AnalyzeLog(const loggen::SourceProfile& profile, uint64_t seed,
                        const LogStudyOptions& options = {});
 

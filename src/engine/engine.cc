@@ -1,0 +1,197 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <thread>
+#include <utility>
+
+#include "common/interner.h"
+#include "core/query_analysis.h"
+#include "sparql/parser.h"
+
+namespace rwdt::engine {
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+unsigned ResolveThreads(unsigned requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+/// Per-shard accumulator. Shards never share mutable state, so workers
+/// run lock-free except for cache-shard mutexes.
+struct Engine::ShardResult {
+  uint64_t valid = 0;
+  uint64_t unique = 0;
+  core::LogAggregates valid_agg;
+  core::LogAggregates unique_agg;
+};
+
+Engine::Engine(const EngineOptions& options)
+    : options_(options),
+      threads_(ResolveThreads(options.threads)),
+      num_shards_(options.num_shards > 0 ? options.num_shards : threads_),
+      cache_(options.cache_capacity,
+             options.cache_shards > 0 ? options.cache_shards
+                                      : std::max<size_t>(threads_, 8)) {
+  if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_);
+}
+
+Engine::~Engine() = default;
+
+core::SourceStudy Engine::AnalyzeLog(const loggen::SourceProfile& profile,
+                                     uint64_t seed) {
+  const uint64_t t0 = NowNs();
+  const auto entries = loggen::GenerateLog(profile, seed);
+  metrics_.Record(Stage::kGenerate, NowNs() - t0);
+  return AnalyzeEntries(profile.name, profile.wikidata_like, entries);
+}
+
+core::SourceStudy Engine::AnalyzeEntries(
+    const std::string& name, bool wikidata_like,
+    const std::vector<loggen::LogEntry>& entries) {
+  const uint64_t t_start = NowNs();
+
+  // Route entries to shards by text hash: every duplicate of a query
+  // lands in the same shard, making per-shard dedup globally exact.
+  std::vector<std::vector<const loggen::LogEntry*>> shards(num_shards_);
+  if (num_shards_ == 1) {
+    shards[0].reserve(entries.size());
+    for (const auto& e : entries) shards[0].push_back(&e);
+  } else {
+    for (const auto& e : entries) {
+      const size_t h = std::hash<std::string_view>{}(e.text);
+      shards[h % num_shards_].push_back(&e);
+    }
+  }
+
+  std::vector<ShardResult> results(num_shards_);
+  if (pool_ == nullptr) {
+    for (size_t s = 0; s < num_shards_; ++s) {
+      ProcessShard(shards[s], &results[s]);
+    }
+  } else {
+    for (size_t s = 0; s < num_shards_; ++s) {
+      pool_->Submit([this, &shards, &results, s] {
+        ProcessShard(shards[s], &results[s]);
+      });
+    }
+    pool_->Wait();
+  }
+
+  // Reduce in shard order. All aggregate fields are unsigned sums, so
+  // the result is independent of the shard partition itself.
+  core::SourceStudy study;
+  study.name = name;
+  study.wikidata_like = wikidata_like;
+  study.total = entries.size();
+  for (const ShardResult& r : results) {
+    study.valid += r.valid;
+    study.unique += r.unique;
+    core::Merge(r.valid_agg, &study.valid_agg);
+    core::Merge(r.unique_agg, &study.unique_agg);
+  }
+
+  metrics_.AddEntries(entries.size());
+  metrics_.AddWallNs(NowNs() - t_start);
+  return study;
+}
+
+void Engine::ProcessShard(
+    const std::vector<const loggen::LogEntry*>& entries,
+    ShardResult* result) {
+  const bool timed = options_.collect_stage_timings;
+
+  // Exact first-occurrence tracking for this log: the interner assigns
+  // dense ids to query texts in stream order; `parse_ok[id]` remembers
+  // validity so repeated entries never hit the parser. The bounded LRU
+  // cache is only an accelerator — evictions cause recomputation, never
+  // wrong counts.
+  Interner seen;
+  std::vector<uint8_t> parse_ok;
+
+  auto compute = [&](const std::string& text)
+      -> std::shared_ptr<const CachedQuery> {
+    auto fresh = std::make_shared<CachedQuery>();
+    // A fresh symbol interner per parse makes the analysis a pure
+    // function of the text — cache entries are shareable across shards,
+    // threads, and logs.
+    Interner dict;
+    const uint64_t t0 = timed ? NowNs() : 0;
+    auto parsed = sparql::ParseSparql(text, &dict);
+    const uint64_t t1 = timed ? NowNs() : 0;
+    if (timed) metrics_.Record(Stage::kParse, t1 - t0);
+    if (parsed.ok()) {
+      core::StageTimings st;
+      fresh->parse_ok = true;
+      fresh->analysis = core::AnalyzeQuery(parsed.value(), options_.study,
+                                           timed ? &st : nullptr);
+      if (timed) {
+        metrics_.Record(Stage::kFeatures, st.feature_ns);
+        metrics_.Record(Stage::kHypergraph, st.hypergraph_ns);
+        metrics_.Record(Stage::kPaths, st.path_ns);
+      }
+      metrics_.AddAnalyzed(1);
+    } else {
+      metrics_.AddParseFailures(1);
+    }
+    cache_.Put(text, fresh);
+    return fresh;
+  };
+
+  auto aggregate = [&](const core::QueryAnalysis& a, core::LogAggregates* agg) {
+    const uint64_t t0 = timed ? NowNs() : 0;
+    core::AddToAggregates(a, 1, agg);
+    if (timed) metrics_.Record(Stage::kAggregate, NowNs() - t0);
+  };
+
+  for (const loggen::LogEntry* entry : entries) {
+    const SymbolId prior = static_cast<SymbolId>(seen.size());
+    const SymbolId id = seen.Intern(entry->text);
+    const bool first_occurrence = id == prior;
+
+    if (!first_occurrence) {
+      if (parse_ok[id] == 0) continue;  // known-invalid duplicate
+      result->valid++;
+      auto cached = cache_.Get(entry->text);
+      if (cached == nullptr) cached = compute(entry->text);  // evicted
+      aggregate(cached->analysis, &result->valid_agg);
+      continue;
+    }
+
+    // First sight in this log; the shared cache may still be warm from
+    // an earlier log analyzed by this engine.
+    auto cached = cache_.Get(entry->text);
+    if (cached == nullptr) cached = compute(entry->text);
+    parse_ok.push_back(cached->parse_ok ? 1 : 0);
+    if (!cached->parse_ok) continue;
+    result->valid++;
+    result->unique++;
+    aggregate(cached->analysis, &result->valid_agg);
+    aggregate(cached->analysis, &result->unique_agg);
+  }
+}
+
+MetricsSnapshot Engine::Snapshot() const {
+  MetricsSnapshot snap = metrics_.Snapshot();
+  snap.threads = threads_;
+  snap.cache_hits = cache_.hits();
+  snap.cache_misses = cache_.misses();
+  snap.cache_evictions = cache_.evictions();
+  snap.cache_size = cache_.size();
+  return snap;
+}
+
+void Engine::ResetMetrics() { metrics_.Reset(); }
+
+}  // namespace rwdt::engine

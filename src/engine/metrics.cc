@@ -1,0 +1,204 @@
+#include "engine/metrics.h"
+
+#include <bit>
+#include <cstdio>
+
+#include "common/table.h"
+
+namespace rwdt::engine {
+namespace {
+
+/// Geometric midpoint of bucket b (values in [2^(b-1), 2^b)).
+uint64_t BucketMid(size_t b) {
+  if (b == 0) return 0;
+  const double lo = static_cast<double>(uint64_t{1} << (b - 1));
+  return static_cast<uint64_t>(lo * 1.41421356237);
+}
+
+uint64_t BucketHi(size_t b) {
+  return b >= 63 ? ~uint64_t{0} : (uint64_t{1} << b) - 1;
+}
+
+/// Value at quantile q in [0,1] of a bucketed histogram with n samples.
+uint64_t Quantile(const std::array<uint64_t, 64>& buckets, uint64_t n,
+                  double q) {
+  if (n == 0) return 0;
+  const uint64_t rank = static_cast<uint64_t>(q * (n - 1));
+  uint64_t seen = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (seen > rank) return BucketMid(b);
+  }
+  return BucketMid(buckets.size() - 1);
+}
+
+std::string NsHuman(double ns) {
+  char buf[32];
+  if (ns < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.0f ns", ns);
+  } else if (ns < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", ns / 1e3);
+  } else if (ns < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", ns / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f s", ns / 1e9);
+  }
+  return buf;
+}
+
+void AppendJsonField(std::string* out, const char* key, double v,
+                     bool trailing_comma = true) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%.6g", key, v);
+  *out += buf;
+  if (trailing_comma) *out += ',';
+}
+
+}  // namespace
+
+const char* StageName(Stage s) {
+  switch (s) {
+    case Stage::kGenerate:
+      return "generate";
+    case Stage::kParse:
+      return "parse";
+    case Stage::kFeatures:
+      return "features";
+    case Stage::kHypergraph:
+      return "hypergraph";
+    case Stage::kPaths:
+      return "paths";
+    case Stage::kAggregate:
+      return "aggregate";
+  }
+  return "?";
+}
+
+Metrics::Metrics() { Reset(); }
+
+void Metrics::Record(Stage stage, uint64_t ns) {
+  const size_t s = static_cast<size_t>(stage);
+  const size_t b = std::bit_width(ns);  // 0 -> bucket 0, else floor(log2)+1
+  histogram_[s][b < kBuckets ? b : kBuckets - 1].fetch_add(1, kRelaxed);
+  stage_total_ns_[s].fetch_add(ns, kRelaxed);
+}
+
+MetricsSnapshot Metrics::Snapshot() const {
+  MetricsSnapshot snap;
+  snap.entries_processed = entries_.load(kRelaxed);
+  snap.queries_analyzed = analyzed_.load(kRelaxed);
+  snap.parse_failures = parse_failures_.load(kRelaxed);
+  snap.cache_hits = hits_.load(kRelaxed);
+  snap.cache_misses = misses_.load(kRelaxed);
+  snap.wall_ns = wall_ns_.load(kRelaxed);
+  for (size_t s = 0; s < kNumStages; ++s) {
+    std::array<uint64_t, kBuckets> buckets{};
+    uint64_t count = 0;
+    size_t highest = 0;
+    for (size_t b = 0; b < kBuckets; ++b) {
+      buckets[b] = histogram_[s][b].load(kRelaxed);
+      count += buckets[b];
+      if (buckets[b] > 0) highest = b;
+    }
+    StageStats& st = snap.stages[s];
+    st.count = count;
+    st.total_ns = stage_total_ns_[s].load(kRelaxed);
+    st.mean_ns = count == 0 ? 0.0 : static_cast<double>(st.total_ns) / count;
+    st.p50_ns = Quantile(buckets, count, 0.50);
+    st.p90_ns = Quantile(buckets, count, 0.90);
+    st.p99_ns = Quantile(buckets, count, 0.99);
+    st.max_ns = count == 0 ? 0 : BucketHi(highest);
+  }
+  return snap;
+}
+
+void Metrics::Reset() {
+  entries_.store(0, kRelaxed);
+  analyzed_.store(0, kRelaxed);
+  parse_failures_.store(0, kRelaxed);
+  hits_.store(0, kRelaxed);
+  misses_.store(0, kRelaxed);
+  wall_ns_.store(0, kRelaxed);
+  for (auto& stage : histogram_) {
+    for (auto& bucket : stage) bucket.store(0, kRelaxed);
+  }
+  for (auto& total : stage_total_ns_) total.store(0, kRelaxed);
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "engine metrics: %s entries, %s analyzed, %s parse errors, "
+                "%u thread(s)\n",
+                WithThousands(entries_processed).c_str(),
+                WithThousands(queries_analyzed).c_str(),
+                WithThousands(parse_failures).c_str(), threads);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "  throughput: %.0f queries/sec over %s wall\n",
+                QueriesPerSec(), NsHuman(static_cast<double>(wall_ns)).c_str());
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "  cache: %.1f%% hit rate (%s hits / %s misses), "
+                "%s resident, %s evicted\n",
+                100.0 * CacheHitRate(), WithThousands(cache_hits).c_str(),
+                WithThousands(cache_misses).c_str(),
+                WithThousands(cache_size).c_str(),
+                WithThousands(cache_evictions).c_str());
+  out += line;
+
+  AsciiTable table({"Stage", "Count", "Total", "Mean", "p50", "p90", "p99"});
+  for (size_t s = 0; s < kNumStages; ++s) {
+    const StageStats& st = stages[s];
+    if (st.count == 0) continue;
+    table.AddRow({StageName(static_cast<Stage>(s)), WithThousands(st.count),
+                  NsHuman(static_cast<double>(st.total_ns)),
+                  NsHuman(st.mean_ns),
+                  NsHuman(static_cast<double>(st.p50_ns)),
+                  NsHuman(static_cast<double>(st.p90_ns)),
+                  NsHuman(static_cast<double>(st.p99_ns))});
+  }
+  out += table.Render();
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{";
+  AppendJsonField(&out, "entries_processed",
+                  static_cast<double>(entries_processed));
+  AppendJsonField(&out, "queries_analyzed",
+                  static_cast<double>(queries_analyzed));
+  AppendJsonField(&out, "parse_failures", static_cast<double>(parse_failures));
+  AppendJsonField(&out, "cache_hits", static_cast<double>(cache_hits));
+  AppendJsonField(&out, "cache_misses", static_cast<double>(cache_misses));
+  AppendJsonField(&out, "cache_evictions",
+                  static_cast<double>(cache_evictions));
+  AppendJsonField(&out, "cache_size", static_cast<double>(cache_size));
+  AppendJsonField(&out, "cache_hit_rate", CacheHitRate());
+  AppendJsonField(&out, "queries_per_sec", QueriesPerSec());
+  AppendJsonField(&out, "wall_ms", wall_ns / 1e6);
+  AppendJsonField(&out, "threads", static_cast<double>(threads));
+  out += "\"stages\":{";
+  bool first = true;
+  for (size_t s = 0; s < kNumStages; ++s) {
+    const StageStats& st = stages[s];
+    if (st.count == 0) continue;
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += StageName(static_cast<Stage>(s));
+    out += "\":{";
+    AppendJsonField(&out, "count", static_cast<double>(st.count));
+    AppendJsonField(&out, "total_ms", st.total_ns / 1e6);
+    AppendJsonField(&out, "mean_us", st.mean_ns / 1e3);
+    AppendJsonField(&out, "p50_us", st.p50_ns / 1e3);
+    AppendJsonField(&out, "p90_us", st.p90_ns / 1e3);
+    AppendJsonField(&out, "p99_us", st.p99_ns / 1e3, false);
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace rwdt::engine

@@ -1,0 +1,109 @@
+#ifndef RWDT_ENGINE_METRICS_H_
+#define RWDT_ENGINE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace rwdt::engine {
+
+/// Pipeline stages the engine instruments. `kGenerate` is the synthetic
+/// log generator; the rest are the per-query analysis stages of the
+/// paper's study pipeline.
+enum class Stage : size_t {
+  kGenerate = 0,   // loggen::GenerateLog (one sample per log)
+  kParse,          // SPARQL text -> algebra
+  kFeatures,       // Table 3/4/5 feature + operator-set extraction
+  kHypergraph,     // Table 6/7 acyclicity, htw <= k, shape classes
+  kPaths,          // Table 8 property-path classification
+  kAggregate,      // folding one analysis into LogAggregates
+};
+inline constexpr size_t kNumStages = 6;
+
+const char* StageName(Stage s);
+
+/// Summary of one stage's latency histogram. Percentiles are
+/// reconstructed from power-of-two buckets (geometric bucket midpoint),
+/// so they are exact to within a factor of sqrt(2).
+struct StageStats {
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+  double mean_ns = 0;
+  uint64_t p50_ns = 0;
+  uint64_t p90_ns = 0;
+  uint64_t p99_ns = 0;
+  uint64_t max_ns = 0;  // upper edge of the highest non-empty bucket
+};
+
+/// A point-in-time copy of all engine counters, safe to read, print, and
+/// serialize with no further synchronization.
+struct MetricsSnapshot {
+  uint64_t entries_processed = 0;  // log entries streamed through
+  uint64_t queries_analyzed = 0;   // full parse+analyze executions
+  uint64_t parse_failures = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t cache_size = 0;
+  uint64_t wall_ns = 0;  // cumulative wall time inside AnalyzeEntries
+  unsigned threads = 1;
+
+  double CacheHitRate() const {
+    const uint64_t lookups = cache_hits + cache_misses;
+    return lookups == 0 ? 0.0 : static_cast<double>(cache_hits) / lookups;
+  }
+  double QueriesPerSec() const {
+    return wall_ns == 0 ? 0.0 : entries_processed * 1e9 / wall_ns;
+  }
+
+  std::array<StageStats, kNumStages> stages{};
+
+  /// Human-readable multi-line report (ASCII table).
+  std::string ToText() const;
+  /// Machine-readable single JSON object.
+  std::string ToJson() const;
+};
+
+/// Thread-safe metric registry: lock-free relaxed atomics throughout, so
+/// workers on the hot path pay one uncontended cache-line RMW per event.
+/// Latencies go into per-stage power-of-two bucket histograms.
+class Metrics {
+ public:
+  Metrics();
+
+  void AddEntries(uint64_t n) { entries_.fetch_add(n, kRelaxed); }
+  void AddAnalyzed(uint64_t n) { analyzed_.fetch_add(n, kRelaxed); }
+  void AddParseFailures(uint64_t n) { parse_failures_.fetch_add(n, kRelaxed); }
+  void AddHits(uint64_t n) { hits_.fetch_add(n, kRelaxed); }
+  void AddMisses(uint64_t n) { misses_.fetch_add(n, kRelaxed); }
+  void AddWallNs(uint64_t ns) { wall_ns_.fetch_add(ns, kRelaxed); }
+
+  /// Records one latency sample for a stage.
+  void Record(Stage stage, uint64_t ns);
+
+  /// Copies counters into a snapshot (cache fields are left zero; the
+  /// engine overlays its cache's counters).
+  MetricsSnapshot Snapshot() const;
+
+  void Reset();
+
+ private:
+  static constexpr std::memory_order kRelaxed = std::memory_order_relaxed;
+  static constexpr size_t kBuckets = 64;  // bucket b: ns in [2^(b-1), 2^b)
+
+  std::atomic<uint64_t> entries_;
+  std::atomic<uint64_t> analyzed_;
+  std::atomic<uint64_t> parse_failures_;
+  std::atomic<uint64_t> hits_;
+  std::atomic<uint64_t> misses_;
+  std::atomic<uint64_t> wall_ns_;
+  std::array<std::array<std::atomic<uint64_t>, kBuckets>, kNumStages>
+      histogram_;
+  std::array<std::atomic<uint64_t>, kNumStages> stage_total_ns_;
+};
+
+}  // namespace rwdt::engine
+
+#endif  // RWDT_ENGINE_METRICS_H_

@@ -1,0 +1,82 @@
+#ifndef RWDT_ENGINE_QUERY_CACHE_H_
+#define RWDT_ENGINE_QUERY_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/query_analysis.h"
+
+namespace rwdt::engine {
+
+/// Memoized outcome of parsing + analyzing one query text. Negative
+/// results (parse failures) are cached too, so repeated malformed log
+/// entries skip the parser as well.
+struct CachedQuery {
+  bool parse_ok = false;
+  core::QueryAnalysis analysis;  // meaningful only when parse_ok
+};
+
+/// A sharded LRU cache from query text to its analysis.
+///
+/// `AnalyzeQuery` is a pure function of the text (each parse uses a fresh
+/// symbol interner), so entries can be shared freely across worker
+/// threads and across logs. Sharding by key hash keeps lock contention
+/// negligible: with the engine's default of one cache shard per worker,
+/// two threads collide only when duplicate texts straddle work shards.
+///
+/// Values are `shared_ptr<const CachedQuery>` so an entry evicted while
+/// another thread still holds it stays alive until released.
+class ShardedQueryCache {
+ public:
+  /// `capacity` is the total entry budget, split evenly across
+  /// `shards` (both clamped to at least 1).
+  ShardedQueryCache(size_t capacity, size_t shards);
+
+  /// Returns the cached analysis for `text` and marks it most recently
+  /// used, or nullptr on a miss.
+  std::shared_ptr<const CachedQuery> Get(std::string_view text);
+
+  /// Inserts (or refreshes) an entry, evicting the least recently used
+  /// entry of the same shard when over budget.
+  void Put(std::string_view text, std::shared_ptr<const CachedQuery> value);
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  size_t size() const;
+  size_t capacity() const { return shards_.size() * per_shard_capacity_; }
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const CachedQuery> value;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<std::string_view, std::list<Entry>::iterator> index;
+  };
+
+  Shard& ShardFor(std::string_view text);
+
+  size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace rwdt::engine
+
+#endif  // RWDT_ENGINE_QUERY_CACHE_H_

@@ -1,0 +1,258 @@
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/log_study.h"
+#include "engine/engine.h"
+#include "engine/metrics.h"
+#include "engine/query_cache.h"
+#include "engine/thread_pool.h"
+
+namespace rwdt::engine {
+namespace {
+
+core::SourceStudy RunWith(unsigned threads, size_t shards, uint64_t seed,
+                          size_t cache_capacity = 1 << 16) {
+  EngineOptions opts;
+  opts.threads = threads;
+  opts.num_shards = shards;
+  opts.cache_capacity = cache_capacity;
+  Engine engine(opts);
+  return engine.AnalyzeLog(loggen::ExampleProfile(1500), seed);
+}
+
+TEST(EngineTest, DeterministicAcrossThreadCounts) {
+  // The headline guarantee: aggregates are bit-identical for a fixed
+  // seed regardless of thread count (shards default to one per thread).
+  const core::SourceStudy t1 = RunWith(1, 0, 42);
+  const core::SourceStudy t2 = RunWith(2, 0, 42);
+  const core::SourceStudy t8 = RunWith(8, 0, 42);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(t1, t8);
+  EXPECT_GT(t1.valid_agg.queries, 0u);
+}
+
+TEST(EngineTest, DeterministicAcrossShardCounts) {
+  const core::SourceStudy s1 = RunWith(2, 1, 7);
+  const core::SourceStudy s7 = RunWith(2, 7, 7);
+  const core::SourceStudy s64 = RunWith(2, 64, 7);
+  EXPECT_EQ(s1, s7);
+  EXPECT_EQ(s1, s64);
+}
+
+TEST(EngineTest, MatchesLegacySingleThreadedPath) {
+  loggen::SourceProfile p = loggen::ExampleProfile(1200);
+  const core::SourceStudy legacy = core::AnalyzeLog(p, 13);
+  EngineOptions opts;
+  opts.threads = 4;
+  Engine engine(opts);
+  EXPECT_EQ(legacy, engine.AnalyzeLog(p, 13));
+}
+
+TEST(EngineTest, TinyCacheStillExact) {
+  // Evictions force recomputation but must never change the counts.
+  const core::SourceStudy big = RunWith(2, 0, 99, /*cache_capacity=*/1 << 16);
+  const core::SourceStudy tiny = RunWith(2, 0, 99, /*cache_capacity=*/8);
+  EXPECT_EQ(big, tiny);
+}
+
+TEST(EngineTest, CacheHitsOnDuplicates) {
+  loggen::SourceProfile p = loggen::ExampleProfile(2000);
+  p.duplicate_factor = 4.0;  // Valid/Unique ~ 4, as in the busiest logs
+  EngineOptions opts;
+  opts.threads = 2;
+  Engine engine(opts);
+  const core::SourceStudy study = engine.AnalyzeLog(p, 5);
+  const MetricsSnapshot snap = engine.Snapshot();
+  EXPECT_GT(study.valid, study.unique);
+  EXPECT_GT(snap.cache_hits, 0u);
+  EXPECT_GT(snap.CacheHitRate(), 0.0);
+  // Every unique text is analyzed exactly once (no evictions here).
+  EXPECT_EQ(snap.queries_analyzed + snap.parse_failures, snap.cache_misses);
+  EXPECT_EQ(snap.entries_processed, study.total);
+}
+
+TEST(EngineTest, CacheWarmsAcrossLogs) {
+  loggen::SourceProfile p = loggen::ExampleProfile(1000);
+  EngineOptions opts;
+  opts.threads = 1;
+  Engine engine(opts);
+  const core::SourceStudy first = engine.AnalyzeLog(p, 21);
+  const uint64_t analyzed_after_first = engine.Snapshot().queries_analyzed;
+  const core::SourceStudy second = engine.AnalyzeLog(p, 21);
+  EXPECT_EQ(first, second);
+  // The second pass is served entirely from the warm cache.
+  EXPECT_EQ(engine.Snapshot().queries_analyzed, analyzed_after_first);
+}
+
+core::LogAggregates RandomAggregates(Rng* rng) {
+  core::LogAggregates a;
+  a.queries = rng->NextBelow(1000);
+  for (auto& h : a.triple_histogram) h = rng->NextBelow(100);
+  a.feature_counts[sparql::Feature::kFilter] = rng->NextBelow(50);
+  if (rng->NextBool(0.5)) {
+    a.feature_counts[sparql::Feature::kUnion] = rng->NextBelow(50);
+  }
+  a.select_ask_construct = rng->NextBelow(900);
+  a.describe = rng->NextBelow(100);
+  a.ops_none = rng->NextBelow(10);
+  a.ops_and = rng->NextBelow(10);
+  a.ops_filter = rng->NextBelow(10);
+  a.ops_and_filter = rng->NextBelow(10);
+  a.ops_rpq = rng->NextBelow(10);
+  a.ops_and_rpq = rng->NextBelow(10);
+  a.ops_filter_rpq = rng->NextBelow(10);
+  a.ops_and_filter_rpq = rng->NextBelow(10);
+  a.cq = rng->NextBelow(500);
+  a.cq_f = rng->NextBelow(500);
+  a.c2rpq_f = rng->NextBelow(500);
+  a.afo_only = rng->NextBelow(500);
+  a.well_designed = rng->NextBelow(500);
+  a.safe_filters_only = rng->NextBelow(500);
+  a.simple_filters_only = rng->NextBelow(500);
+  a.cq_fca = rng->NextBelow(100);
+  a.cq_htw1 = rng->NextBelow(100);
+  a.cq_htw2 = rng->NextBelow(100);
+  a.cq_htw3 = rng->NextBelow(100);
+  a.cqf_fca = rng->NextBelow(100);
+  a.cqf_htw1 = rng->NextBelow(100);
+  a.cqf_htw2 = rng->NextBelow(100);
+  a.cqf_htw3 = rng->NextBelow(100);
+  a.graph_cqf = rng->NextBelow(100);
+  a.shapes_with_constants[hypergraph::GraphShape::kStar] =
+      rng->NextBelow(40);
+  if (rng->NextBool(0.5)) {
+    a.shapes_without_constants[hypergraph::GraphShape::kChain] =
+        rng->NextBelow(40);
+  }
+  a.property_paths = rng->NextBelow(100);
+  a.path_types[paths::Table8Type::kAStar] = rng->NextBelow(60);
+  a.path_ste = rng->NextBelow(60);
+  a.path_ctract = rng->NextBelow(60);
+  a.path_ttract = rng->NextBelow(60);
+  return a;
+}
+
+TEST(EngineTest, MergeIsCommutative) {
+  Rng rng(2022);
+  for (int trial = 0; trial < 20; ++trial) {
+    const core::LogAggregates a = RandomAggregates(&rng);
+    const core::LogAggregates b = RandomAggregates(&rng);
+    core::LogAggregates ab = a;
+    core::Merge(b, &ab);
+    core::LogAggregates ba = b;
+    core::Merge(a, &ba);
+    EXPECT_EQ(ab, ba);
+  }
+}
+
+TEST(EngineTest, MergeIsAssociative) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const core::LogAggregates a = RandomAggregates(&rng);
+    const core::LogAggregates b = RandomAggregates(&rng);
+    const core::LogAggregates c = RandomAggregates(&rng);
+    // (a + b) + c
+    core::LogAggregates left = a;
+    core::Merge(b, &left);
+    core::Merge(c, &left);
+    // a + (b + c)
+    core::LogAggregates bc = b;
+    core::Merge(c, &bc);
+    core::LogAggregates right = a;
+    core::Merge(bc, &right);
+    EXPECT_EQ(left, right);
+  }
+}
+
+TEST(EngineTest, MergeIdentity) {
+  Rng rng(11);
+  const core::LogAggregates a = RandomAggregates(&rng);
+  core::LogAggregates sum = a;
+  core::Merge(core::LogAggregates{}, &sum);
+  EXPECT_EQ(sum, a);
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+  // Wait() is re-usable: a second batch works too.
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 150);
+}
+
+TEST(QueryCacheTest, LruEvictsOldest) {
+  ShardedQueryCache cache(/*capacity=*/2, /*shards=*/1);
+  auto entry = [] {
+    auto e = std::make_shared<CachedQuery>();
+    e->parse_ok = true;
+    return e;
+  };
+  cache.Put("a", entry());
+  cache.Put("b", entry());
+  EXPECT_NE(cache.Get("a"), nullptr);  // refresh "a": now b is LRU
+  cache.Put("c", entry());             // evicts "b"
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  EXPECT_NE(cache.Get("a"), nullptr);
+  EXPECT_NE(cache.Get("c"), nullptr);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(QueryCacheTest, SharedPtrSurvivesEviction) {
+  ShardedQueryCache cache(/*capacity=*/1, /*shards=*/1);
+  auto first = std::make_shared<CachedQuery>();
+  first->parse_ok = true;
+  cache.Put("x", first);
+  auto held = cache.Get("x");
+  cache.Put("y", std::make_shared<CachedQuery>());  // evicts "x"
+  ASSERT_NE(held, nullptr);
+  EXPECT_TRUE(held->parse_ok);  // still alive and intact
+}
+
+TEST(MetricsTest, SnapshotSummarizesHistogram) {
+  Metrics metrics;
+  for (int i = 0; i < 1000; ++i) {
+    metrics.Record(Stage::kParse, 1000);  // 1 us
+  }
+  metrics.Record(Stage::kParse, 1 << 20);  // one ~1 ms outlier
+  const MetricsSnapshot snap = metrics.Snapshot();
+  const StageStats& parse =
+      snap.stages[static_cast<size_t>(Stage::kParse)];
+  EXPECT_EQ(parse.count, 1001u);
+  EXPECT_LE(parse.p50_ns, parse.p90_ns);
+  EXPECT_LE(parse.p90_ns, parse.p99_ns);
+  EXPECT_GE(parse.max_ns, uint64_t{1} << 19);
+  // p50 lands in the bucket containing 1 us, within a factor of sqrt(2).
+  EXPECT_GT(parse.p50_ns, 500u);
+  EXPECT_LT(parse.p50_ns, 2000u);
+}
+
+TEST(MetricsTest, JsonContainsHeadlineFields) {
+  EngineOptions opts;
+  opts.threads = 2;
+  Engine engine(opts);
+  engine.AnalyzeLog(loggen::ExampleProfile(300), 3);
+  const std::string json = engine.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"queries_per_sec\""), std::string::npos);
+  EXPECT_NE(json.find("\"cache_hit_rate\""), std::string::npos);
+  EXPECT_NE(json.find("\"stages\""), std::string::npos);
+  EXPECT_NE(json.find("\"parse\""), std::string::npos);
+  EXPECT_NE(json.find("\"hypergraph\""), std::string::npos);
+  const std::string text = engine.Snapshot().ToText();
+  EXPECT_NE(text.find("cache"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rwdt::engine
