@@ -1,0 +1,116 @@
+// Ingest throughput bench (the ISSUE's acceptance scenario): write a
+// large generated log with 20% fault injection to disk as raw text, then
+// stream it back through rwdt::ingest in bounded-memory chunks. Reports
+// line throughput, the Total-vs-Valid split, and the per-class error
+// counts, and writes BENCH_ingest.json for the cross-PR perf trail.
+//
+//   $ ./build/bench/bench_ingest [num_lines] [threads]
+//
+// Defaults to 1,000,000 lines. RWDT_BENCH_JSON overrides the output
+// path; the temporary log file is removed on exit.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "rwdt.h"
+
+int main(int argc, char** argv) {
+  using namespace rwdt;
+  using Clock = std::chrono::steady_clock;
+
+  const uint64_t n =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1000000;
+  const unsigned threads =
+      argc > 2 ? static_cast<unsigned>(std::strtoul(argv[2], nullptr, 10))
+               : 4;
+
+  loggen::SourceProfile profile = loggen::ExampleProfile(n);
+  profile.name = "bench-ingest";
+  auto entries = loggen::GenerateLog(profile, 2022);
+
+  loggen::CorruptionOptions copts;  // default rate = 0.2
+  const auto summary = loggen::CorruptLog(&entries, 7, copts);
+
+  const std::string log_path = "BENCH_ingest.log.tmp";
+  uint64_t log_bytes = 0;
+  {
+    std::ofstream out(log_path, std::ios::binary);
+    if (!out.is_open()) {
+      std::fprintf(stderr, "cannot write %s\n", log_path.c_str());
+      return 1;
+    }
+    loggen::WriteLogText(entries, out);
+    out.flush();
+    log_bytes = static_cast<uint64_t>(out.tellp());
+  }
+  std::printf("log: %zu lines (%.1f MiB), %llu corrupted (%.1f%%)\n\n",
+              entries.size(), log_bytes / (1024.0 * 1024.0),
+              static_cast<unsigned long long>(summary.corrupted),
+              100.0 * static_cast<double>(summary.corrupted) /
+                  static_cast<double>(entries.size()));
+  entries.clear();
+  entries.shrink_to_fit();  // the stream is the only copy from here on
+
+  ingest::IngestOptions opts;
+  opts.source_name = profile.name;
+  opts.wikidata_like = profile.wikidata_like;
+  opts.engine.threads = threads;
+
+  const auto t0 = Clock::now();
+  auto r = ingest::IngestFile(log_path, opts);
+  const double ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  std::remove(log_path.c_str());
+  if (!r.ok()) {
+    std::fprintf(stderr, "FATAL: ingest failed: %s\n",
+                 r.error_message().c_str());
+    return 1;
+  }
+  const ingest::IngestReport& report = r.value();
+
+  const double lines_per_sec = report.lines_read / (ms / 1000.0);
+  const double mib_per_sec =
+      report.bytes_read / (1024.0 * 1024.0) / (ms / 1000.0);
+  std::printf("ingest: %.1f ms, %s lines/s, %.1f MiB/s (threads=%u)\n\n",
+              ms,
+              WithThousands(static_cast<uint64_t>(lines_per_sec)).c_str(),
+              mib_per_sec, threads);
+
+  AsciiTable table({"Row", "Queries", "Rel"});
+  table.AddRow({"Total", WithThousands(report.study.total), "100.0%"});
+  table.AddRow({"Valid", WithThousands(report.study.valid),
+                Percent(report.study.valid, report.study.total)});
+  table.AddRow({"Unique", WithThousands(report.study.unique),
+                Percent(report.study.unique, report.study.total)});
+  for (size_t c = 0; c < kNumErrorClasses; ++c) {
+    if (report.study.errors[c] == 0) continue;
+    table.AddRow({std::string("  ") + ErrorClassName(ErrorClass(c)),
+                  WithThousands(report.study.errors[c]),
+                  Percent(report.study.errors[c], report.study.total)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("%s\n", report.metrics.ToText().c_str());
+
+  const char* json_env = std::getenv("RWDT_BENCH_JSON");
+  const std::string path =
+      json_env != nullptr ? json_env : "BENCH_ingest.json";
+  FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\"bench\":\"ingest\",\"lines\":%llu,\"bytes\":%llu,"
+               "\"corrupted\":%llu,\"threads\":%u,\"wall_ms\":%.3f,"
+               "\"lines_per_sec\":%.0f,\"metrics\":%s}\n",
+               static_cast<unsigned long long>(report.lines_read),
+               static_cast<unsigned long long>(report.bytes_read),
+               static_cast<unsigned long long>(summary.corrupted), threads,
+               ms, lines_per_sec, report.metrics.ToJson().c_str());
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

@@ -7,14 +7,7 @@
 
 #include <cstdio>
 
-#include "common/interner.h"
-#include "common/rng.h"
-#include "graph/generators.h"
-#include "graph/rdf.h"
-#include "graph/treewidth.h"
-#include "paths/analysis.h"
-#include "paths/path.h"
-#include "paths/semantics.h"
+#include "rwdt.h"
 
 int main() {
   using namespace rwdt;

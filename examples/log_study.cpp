@@ -12,10 +12,9 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 
-#include "common/table.h"
-#include "core/log_study.h"
-#include "engine/engine.h"
+#include "rwdt.h"
 
 int main(int argc, char** argv) {
   using namespace rwdt;
@@ -118,5 +117,47 @@ int main(int argc, char** argv) {
           .c_str());
 
   std::printf("%s", snap.ToText().c_str());
+
+  // Real logs are never clean: corrupt a copy of the log, serialize it to
+  // text, and stream it back through the fault-tolerant ingest layer. The
+  // Total-vs-Valid row and the per-class reject counts show how much of
+  // the log survived and why the rest was dropped.
+  auto corrupted = entries;
+  loggen::CorruptionOptions copts;
+  copts.rate = 0.2;
+  const auto summary = loggen::CorruptLog(&corrupted, 99, copts);
+  std::stringstream log_text;
+  loggen::WriteLogText(corrupted, log_text);
+
+  ingest::IngestOptions iopts;
+  iopts.source_name = profile.name;
+  iopts.wikidata_like = profile.wikidata_like;
+  iopts.engine.threads = threads;
+  auto ingested = ingest::IngestStream(log_text, iopts);
+  if (!ingested.ok()) {
+    std::fprintf(stderr, "FATAL: ingest failed: %s\n",
+                 ingested.error_message().c_str());
+    return 1;
+  }
+  const ingest::IngestReport& report = ingested.value();
+
+  std::printf(
+      "\nsame log with %llu of %llu queries corrupted, re-read from text:\n",
+      static_cast<unsigned long long>(summary.corrupted),
+      static_cast<unsigned long long>(entries.size()));
+  AsciiTable errors({"Row", "Queries", "Rel"});
+  errors.AddRow({"Total", WithThousands(report.study.total), "100.0%"});
+  errors.AddRow({"Valid", WithThousands(report.study.valid),
+                 Percent(report.study.valid, report.study.total)});
+  errors.AddRow({"Unique", WithThousands(report.study.unique),
+                 Percent(report.study.unique, report.study.total)});
+  for (size_t c = 0; c < kNumErrorClasses; ++c) {
+    const uint64_t count = report.study.errors[c];
+    if (count == 0) continue;
+    errors.AddRow({std::string("  ") + ErrorClassName(ErrorClass(c)),
+                   WithThousands(count),
+                   Percent(count, report.study.total)});
+  }
+  std::printf("%s", errors.Render().c_str());
   return 0;
 }

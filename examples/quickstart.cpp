@@ -5,13 +5,7 @@
 
 #include <cstdio>
 
-#include "common/interner.h"
-#include "graph/rdf.h"
-#include "hypergraph/hypergraph.h"
-#include "paths/analysis.h"
-#include "sparql/analysis.h"
-#include "sparql/eval.h"
-#include "sparql/parser.h"
+#include "rwdt.h"
 
 int main() {
   using namespace rwdt;

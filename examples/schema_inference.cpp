@@ -8,12 +8,7 @@
 #include <cstdio>
 #include <map>
 
-#include "common/interner.h"
-#include "inference/rwr.h"
-#include "regex/fragments.h"
-#include "regex/glushkov.h"
-#include "schema/dtd.h"
-#include "tree/xml.h"
+#include "rwdt.h"
 
 int main() {
   using namespace rwdt;
@@ -43,18 +38,16 @@ int main() {
   SymbolId root_label = kInvalidSymbol;
   for (const auto& text : documents) {
     auto parsed = tree::ParseXml(text, &dict);
-    if (!parsed.well_formed) {
-      std::printf("document rejected (%s): %s\n",
-                  tree::XmlErrorCategoryName(parsed.error.category).c_str(),
-                  parsed.error.message.c_str());
+    if (!parsed.ok()) {
+      std::printf("document rejected: %s\n", parsed.error_message().c_str());
       continue;
     }
-    root_label = parsed.tree.node(parsed.tree.root()).label;
-    for (tree::NodeId id : parsed.tree.PreOrder()) {
-      samples[parsed.tree.node(id).label].push_back(
-          parsed.tree.ChildLabels(id));
+    tree::XmlDocument doc = std::move(parsed).value();
+    root_label = doc.tree.node(doc.tree.root()).label;
+    for (tree::NodeId id : doc.tree.PreOrder()) {
+      samples[doc.tree.node(id).label].push_back(doc.tree.ChildLabels(id));
     }
-    trees.push_back(std::move(parsed.tree));
+    trees.push_back(std::move(doc.tree));
   }
   std::printf("parsed %zu documents\n\n", trees.size());
 

@@ -21,6 +21,10 @@ const char* CodeName(Code code) {
       return "ResourceExhausted";
     case Code::kInternal:
       return "Internal";
+    case Code::kLexError:
+      return "LexError";
+    case Code::kEncodingError:
+      return "EncodingError";
   }
   return "Unknown";
 }
@@ -35,6 +39,37 @@ std::string Status::ToString() const {
     out += message_;
   }
   return out;
+}
+
+const char* ErrorClassName(ErrorClass c) {
+  switch (c) {
+    case ErrorClass::kLexError:
+      return "lex_error";
+    case ErrorClass::kParseError:
+      return "parse_error";
+    case ErrorClass::kUnsupportedFeature:
+      return "unsupported_feature";
+    case ErrorClass::kResourceExhausted:
+      return "resource_exhausted";
+    case ErrorClass::kEncodingError:
+      return "encoding_error";
+  }
+  return "?";
+}
+
+ErrorClass ClassifyStatus(const Status& status) {
+  switch (status.code()) {
+    case Code::kLexError:
+      return ErrorClass::kLexError;
+    case Code::kUnsupported:
+      return ErrorClass::kUnsupportedFeature;
+    case Code::kResourceExhausted:
+      return ErrorClass::kResourceExhausted;
+    case Code::kEncodingError:
+      return ErrorClass::kEncodingError;
+    default:
+      return ErrorClass::kParseError;
+  }
 }
 
 }  // namespace rwdt

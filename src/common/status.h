@@ -1,6 +1,7 @@
 #ifndef RWDT_COMMON_STATUS_H_
 #define RWDT_COMMON_STATUS_H_
 
+#include <cstddef>
 #include <string>
 #include <utility>
 #include <variant>
@@ -18,6 +19,8 @@ enum class Code {
   kUnsupported,
   kResourceExhausted,
   kInternal,
+  kLexError,       // malformed token before any grammar rule applies
+  kEncodingError,  // byte-level breakage (invalid UTF-8 etc.)
 };
 
 /// A lightweight success/error value. Cheap to copy on the OK path.
@@ -49,10 +52,20 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
   }
+  static Status LexError(std::string msg) {
+    return Status(Code::kLexError, std::move(msg));
+  }
+  static Status EncodingError(std::string msg) {
+    return Status(Code::kEncodingError, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
+  explicit operator bool() const { return ok(); }
   Code code() const { return code_; }
   const std::string& message() const { return message_; }
+  /// Alias for `message()`, mirroring `Result<T>::error_message()` so
+  /// generic code can report either uniformly.
+  const std::string& error_message() const { return message_; }
 
   std::string ToString() const;
 
@@ -72,6 +85,7 @@ class Result {
   Result(Status status) : data_(std::move(status)) {}  // NOLINT
 
   bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
 
   const T& value() const& { return std::get<T>(data_); }
   T& value() & { return std::get<T>(data_); }
@@ -83,6 +97,11 @@ class Result {
     return std::get<Status>(data_);
   }
 
+  /// The error message, or "" when this holds a value.
+  std::string error_message() const {
+    return ok() ? std::string() : std::get<Status>(data_).message();
+  }
+
   const T& value_or(const T& fallback) const {
     return ok() ? std::get<T>(data_) : fallback;
   }
@@ -90,6 +109,64 @@ class Result {
  private:
   std::variant<T, Status> data_;
 };
+
+// --- Error taxonomy ---------------------------------------------------------
+
+/// The ingest pipeline's failure taxonomy: every rejected raw query is
+/// assigned exactly one class, counted per-class in `engine::Metrics`
+/// (the paper's query-log tables are defined over the *Valid* subset
+/// precisely because real logs carry all of these).
+enum class ErrorClass : size_t {
+  kLexError = 0,        // bad token / character before grammar kicks in
+  kParseError,          // grammatically malformed
+  kUnsupportedFeature,  // recognized but outside the supported fragment
+  kResourceExhausted,   // over byte / AST-node / step budgets
+  kEncodingError,       // invalid UTF-8 or other byte-level breakage
+};
+inline constexpr size_t kNumErrorClasses = 5;
+
+/// Stable snake_case name, e.g. "parse_error" (used as a JSON key).
+const char* ErrorClassName(ErrorClass c);
+
+/// Maps a non-OK Status onto the taxonomy. Codes without a dedicated
+/// class (kInvalidArgument, kInternal, ...) classify as kParseError.
+ErrorClass ClassifyStatus(const Status& status);
+
+// --- Control-flow macros ----------------------------------------------------
+
+namespace internal {
+inline const Status& AsStatus(const Status& s) { return s; }
+template <typename T>
+Status AsStatus(const Result<T>& r) {
+  return r.status();
+}
+}  // namespace internal
+
+/// Evaluates an expression yielding a `Status` or `Result<T>`; on error,
+/// returns the error status from the enclosing function (which may itself
+/// return either `Status` or any `Result<U>`).
+#define RWDT_RETURN_IF_ERROR(expr)                                       \
+  do {                                                                   \
+    if (auto _rwdt_status = ::rwdt::internal::AsStatus((expr));          \
+        !_rwdt_status.ok()) {                                            \
+      return _rwdt_status;                                               \
+    }                                                                    \
+  } while (0)
+
+#define RWDT_MACRO_CONCAT_INNER_(x, y) x##y
+#define RWDT_MACRO_CONCAT_(x, y) RWDT_MACRO_CONCAT_INNER_(x, y)
+
+/// `RWDT_ASSIGN_OR_RETURN(auto v, ParseThing(...));` — unwraps a
+/// `Result<T>` into `v`, or returns the error status from the enclosing
+/// function. `lhs` may be a declaration or an existing lvalue.
+#define RWDT_ASSIGN_OR_RETURN(lhs, rexpr) \
+  RWDT_ASSIGN_OR_RETURN_IMPL_(            \
+      RWDT_MACRO_CONCAT_(_rwdt_result_, __COUNTER__), lhs, rexpr)
+
+#define RWDT_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
 
 }  // namespace rwdt
 

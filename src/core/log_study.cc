@@ -69,6 +69,9 @@ void MergeSource(const SourceStudy& from, SourceStudy* into) {
   into->total += from.total;
   into->valid += from.valid;
   into->unique += from.unique;
+  for (size_t c = 0; c < kNumErrorClasses; ++c) {
+    into->errors[c] += from.errors[c];
+  }
   Merge(from.valid_agg, &into->valid_agg);
   Merge(from.unique_agg, &into->unique_agg);
 }

@@ -1,12 +1,14 @@
 #ifndef RWDT_CORE_LOG_STUDY_H_
 #define RWDT_CORE_LOG_STUDY_H_
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "common/interner.h"
+#include "common/status.h"
 #include "hypergraph/hypergraph.h"
 #include "loggen/sparql_gen.h"
 #include "paths/analysis.h"
@@ -66,9 +68,13 @@ struct LogAggregates {
 struct SourceStudy {
   std::string name;
   bool wikidata_like = false;
-  uint64_t total = 0;    // all log entries
+  uint64_t total = 0;    // all log entries, including ingest rejects
   uint64_t valid = 0;    // parsed successfully
   uint64_t unique = 0;   // distinct query strings among the valid ones
+  /// Per-entry reject counts by taxonomy class (duplicates of an invalid
+  /// query each count; ingest-level rejects included). Invariant:
+  /// total == valid + sum(errors).
+  std::array<uint64_t, kNumErrorClasses> errors{};
   LogAggregates valid_agg;
   LogAggregates unique_agg;
 

@@ -54,10 +54,10 @@ XmlQualityResult RunXmlQualityStudy(
   Interner dict;
   for (const auto& doc : corpus) {
     auto parse = tree::ParseXml(doc.text, &dict);
-    if (parse.well_formed) {
+    if (parse.ok()) {
       result.well_formed++;
     } else {
-      result.error_histogram[parse.error.category]++;
+      result.error_histogram[tree::ClassifyXmlError(parse.status())]++;
     }
   }
   return result;

@@ -1,6 +1,7 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <functional>
 #include <thread>
@@ -28,13 +29,48 @@ unsigned ResolveThreads(unsigned requested) {
 
 }  // namespace
 
-/// Per-shard accumulator. Shards never share mutable state, so workers
-/// run lock-free except for cache-shard mutexes.
-struct Engine::ShardResult {
+Status EngineOptions::Validate() const {
+  constexpr unsigned kMaxThreads = 4096;
+  constexpr size_t kMaxShards = size_t{1} << 20;
+  if (threads > kMaxThreads) {
+    return Status::InvalidArgument("threads must be <= 4096");
+  }
+  if (num_shards > kMaxShards) {
+    return Status::InvalidArgument("num_shards must be <= 2^20");
+  }
+  if (cache_shards > kMaxShards) {
+    return Status::InvalidArgument("cache_shards must be <= 2^20");
+  }
+  if (cache_capacity > 0 && cache_shards > cache_capacity) {
+    return Status::InvalidArgument(
+        "cache_shards exceeds cache_capacity (shards would be empty)");
+  }
+  RWDT_RETURN_IF_ERROR(parse_limits.Validate());
+  return Status::Ok();
+}
+
+/// Per-shard accumulator and dedup state. Shards never share mutable
+/// state, so workers run lock-free except for cache-shard mutexes. The
+/// state persists across EngineStream::Feed calls: the interner assigns
+/// dense ids to query texts in stream order and `verdict[id]` remembers
+/// the outcome (0 = valid, else 1 + ErrorClass), so chunk boundaries are
+/// invisible to dedup and to error attribution.
+struct Engine::ShardState {
+  Interner seen;
+  std::vector<uint8_t> verdict;
   uint64_t valid = 0;
   uint64_t unique = 0;
+  std::array<uint64_t, kNumErrorClasses> errors{};
   core::LogAggregates valid_agg;
   core::LogAggregates unique_agg;
+};
+
+/// Stream state: the per-shard states plus the study skeleton that
+/// accumulates totals and ingest-level rejects.
+struct EngineStream::Impl {
+  Engine* engine = nullptr;
+  core::SourceStudy study;
+  std::vector<Engine::ShardState> shards;
 };
 
 Engine::Engine(const EngineOptions& options)
@@ -60,65 +96,94 @@ core::SourceStudy Engine::AnalyzeLog(const loggen::SourceProfile& profile,
 core::SourceStudy Engine::AnalyzeEntries(
     const std::string& name, bool wikidata_like,
     const std::vector<loggen::LogEntry>& entries) {
+  EngineStream stream = OpenStream(name, wikidata_like);
+  stream.Feed(entries);
+  return stream.Finish();
+}
+
+EngineStream Engine::OpenStream(std::string name, bool wikidata_like) {
+  auto impl = std::make_unique<EngineStream::Impl>();
+  impl->engine = this;
+  impl->study.name = std::move(name);
+  impl->study.wikidata_like = wikidata_like;
+  impl->shards = std::vector<ShardState>(num_shards_);
+  return EngineStream(std::move(impl));
+}
+
+EngineStream::EngineStream(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+EngineStream::EngineStream(EngineStream&&) noexcept = default;
+EngineStream& EngineStream::operator=(EngineStream&&) noexcept = default;
+EngineStream::~EngineStream() = default;
+
+void EngineStream::Feed(const std::vector<loggen::LogEntry>& chunk) {
+  Impl& im = *impl_;
+  Engine& eng = *im.engine;
   const uint64_t t_start = NowNs();
 
   // Route entries to shards by text hash: every duplicate of a query
   // lands in the same shard, making per-shard dedup globally exact.
-  std::vector<std::vector<const loggen::LogEntry*>> shards(num_shards_);
-  if (num_shards_ == 1) {
-    shards[0].reserve(entries.size());
-    for (const auto& e : entries) shards[0].push_back(&e);
+  const size_t num_shards = eng.num_shards_;
+  std::vector<std::vector<const loggen::LogEntry*>> parts(num_shards);
+  if (num_shards == 1) {
+    parts[0].reserve(chunk.size());
+    for (const auto& e : chunk) parts[0].push_back(&e);
   } else {
-    for (const auto& e : entries) {
+    for (const auto& e : chunk) {
       const size_t h = std::hash<std::string_view>{}(e.text);
-      shards[h % num_shards_].push_back(&e);
+      parts[h % num_shards].push_back(&e);
     }
   }
 
-  std::vector<ShardResult> results(num_shards_);
-  if (pool_ == nullptr) {
-    for (size_t s = 0; s < num_shards_; ++s) {
-      ProcessShard(shards[s], &results[s]);
+  if (eng.pool_ == nullptr) {
+    for (size_t s = 0; s < num_shards; ++s) {
+      eng.ProcessShard(parts[s], &im.shards[s]);
     }
   } else {
-    for (size_t s = 0; s < num_shards_; ++s) {
-      pool_->Submit([this, &shards, &results, s] {
-        ProcessShard(shards[s], &results[s]);
+    for (size_t s = 0; s < num_shards; ++s) {
+      eng.pool_->Submit([&eng, &parts, &im, s] {
+        eng.ProcessShard(parts[s], &im.shards[s]);
       });
     }
-    pool_->Wait();
+    eng.pool_->Wait();
   }
+
+  im.study.total += chunk.size();
+  eng.metrics_.AddEntries(chunk.size());
+  eng.metrics_.AddWallNs(NowNs() - t_start);
+}
+
+void EngineStream::Reject(ErrorClass c, uint64_t n) {
+  Impl& im = *impl_;
+  im.study.total += n;
+  im.study.errors[static_cast<size_t>(c)] += n;
+  im.engine->metrics_.AddEntries(n);
+  im.engine->metrics_.AddError(c, n);
+}
+
+core::SourceStudy EngineStream::Finish() {
+  Impl& im = *impl_;
 
   // Reduce in shard order. All aggregate fields are unsigned sums, so
   // the result is independent of the shard partition itself.
-  core::SourceStudy study;
-  study.name = name;
-  study.wikidata_like = wikidata_like;
-  study.total = entries.size();
-  for (const ShardResult& r : results) {
-    study.valid += r.valid;
-    study.unique += r.unique;
-    core::Merge(r.valid_agg, &study.valid_agg);
-    core::Merge(r.unique_agg, &study.unique_agg);
+  core::SourceStudy study = std::move(im.study);
+  for (const Engine::ShardState& s : im.shards) {
+    study.valid += s.valid;
+    study.unique += s.unique;
+    for (size_t c = 0; c < kNumErrorClasses; ++c) {
+      study.errors[c] += s.errors[c];
+    }
+    core::Merge(s.valid_agg, &study.valid_agg);
+    core::Merge(s.unique_agg, &study.unique_agg);
   }
-
-  metrics_.AddEntries(entries.size());
-  metrics_.AddWallNs(NowNs() - t_start);
+  im.shards.clear();
   return study;
 }
 
 void Engine::ProcessShard(
     const std::vector<const loggen::LogEntry*>& entries,
-    ShardResult* result) {
+    ShardState* state) {
   const bool timed = options_.collect_stage_timings;
-
-  // Exact first-occurrence tracking for this log: the interner assigns
-  // dense ids to query texts in stream order; `parse_ok[id]` remembers
-  // validity so repeated entries never hit the parser. The bounded LRU
-  // cache is only an accelerator — evictions cause recomputation, never
-  // wrong counts.
-  Interner seen;
-  std::vector<uint8_t> parse_ok;
 
   auto compute = [&](const std::string& text)
       -> std::shared_ptr<const CachedQuery> {
@@ -128,7 +193,7 @@ void Engine::ProcessShard(
     // threads, and logs.
     Interner dict;
     const uint64_t t0 = timed ? NowNs() : 0;
-    auto parsed = sparql::ParseSparql(text, &dict);
+    auto parsed = sparql::ParseSparql(text, &dict, options_.parse_limits);
     const uint64_t t1 = timed ? NowNs() : 0;
     if (timed) metrics_.Record(Stage::kParse, t1 - t0);
     if (parsed.ok()) {
@@ -143,6 +208,7 @@ void Engine::ProcessShard(
       }
       metrics_.AddAnalyzed(1);
     } else {
+      fresh->error = ClassifyStatus(parsed.status());
       metrics_.AddParseFailures(1);
     }
     cache_.Put(text, fresh);
@@ -155,17 +221,32 @@ void Engine::ProcessShard(
     if (timed) metrics_.Record(Stage::kAggregate, NowNs() - t0);
   };
 
+  // Every rejected entry is attributed to exactly one taxonomy class,
+  // duplicates included, so total == valid + sum(errors) holds per shard.
+  auto reject = [&](ErrorClass c) {
+    state->errors[static_cast<size_t>(c)]++;
+    metrics_.AddError(c);
+  };
+
+  // Exact first-occurrence tracking: `verdict[id]` remembers the outcome
+  // of each distinct text, so repeated entries never hit the parser. The
+  // bounded LRU cache is only an accelerator — evictions cause
+  // recomputation, never wrong counts.
   for (const loggen::LogEntry* entry : entries) {
-    const SymbolId prior = static_cast<SymbolId>(seen.size());
-    const SymbolId id = seen.Intern(entry->text);
+    const SymbolId prior = static_cast<SymbolId>(state->seen.size());
+    const SymbolId id = state->seen.Intern(entry->text);
     const bool first_occurrence = id == prior;
 
     if (!first_occurrence) {
-      if (parse_ok[id] == 0) continue;  // known-invalid duplicate
-      result->valid++;
+      const uint8_t v = state->verdict[id];
+      if (v != 0) {  // known-invalid duplicate
+        reject(static_cast<ErrorClass>(v - 1));
+        continue;
+      }
+      state->valid++;
       auto cached = cache_.Get(entry->text);
       if (cached == nullptr) cached = compute(entry->text);  // evicted
-      aggregate(cached->analysis, &result->valid_agg);
+      aggregate(cached->analysis, &state->valid_agg);
       continue;
     }
 
@@ -173,12 +254,17 @@ void Engine::ProcessShard(
     // an earlier log analyzed by this engine.
     auto cached = cache_.Get(entry->text);
     if (cached == nullptr) cached = compute(entry->text);
-    parse_ok.push_back(cached->parse_ok ? 1 : 0);
-    if (!cached->parse_ok) continue;
-    result->valid++;
-    result->unique++;
-    aggregate(cached->analysis, &result->valid_agg);
-    aggregate(cached->analysis, &result->unique_agg);
+    if (!cached->parse_ok) {
+      state->verdict.push_back(
+          static_cast<uint8_t>(1 + static_cast<size_t>(cached->error)));
+      reject(cached->error);
+      continue;
+    }
+    state->verdict.push_back(0);
+    state->valid++;
+    state->unique++;
+    aggregate(cached->analysis, &state->valid_agg);
+    aggregate(cached->analysis, &state->unique_agg);
   }
 }
 

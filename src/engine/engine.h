@@ -6,11 +6,13 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "core/log_study.h"
 #include "engine/metrics.h"
 #include "engine/query_cache.h"
 #include "engine/thread_pool.h"
 #include "loggen/sparql_gen.h"
+#include "sparql/parser.h"
 
 namespace rwdt::engine {
 
@@ -36,6 +38,54 @@ struct EngineOptions {
 
   /// Per-query analysis knobs, forwarded to core::AnalyzeQuery.
   core::LogStudyOptions study;
+
+  /// Per-query resource guards, forwarded to sparql::ParseSparql.
+  /// Violations are classified as `ErrorClass::kResourceExhausted`.
+  sparql::ParseLimits parse_limits;
+
+  /// Rejects nonsensical configurations (zero parse limits, degenerate
+  /// shard/thread counts) before any work is scheduled. The ingest layer
+  /// calls this up front so misconfiguration fails fast, not mid-stream.
+  Status Validate() const;
+};
+
+class Engine;
+
+/// An incremental feed into the engine: per-shard dedup state persists
+/// across `Feed` calls, so a log streamed in bounded-memory chunks
+/// yields exactly the same SourceStudy as a single materialized vector.
+///
+/// Obtained from `Engine::OpenStream`. Feed/Reject/Finish must be called
+/// from one thread (the engine parallelizes internally); Finish
+/// invalidates the stream. Only one stream per engine may be open at a
+/// time, and AnalyzeLog/AnalyzeEntries must not run while one is open.
+class EngineStream {
+ public:
+  EngineStream(EngineStream&&) noexcept;
+  EngineStream& operator=(EngineStream&&) noexcept;
+  ~EngineStream();
+
+  EngineStream(const EngineStream&) = delete;
+  EngineStream& operator=(const EngineStream&) = delete;
+
+  /// Routes one chunk of entries through the shard pipeline. Chunk
+  /// boundaries never affect results.
+  void Feed(const std::vector<loggen::LogEntry>& chunk);
+
+  /// Counts `n` entries rejected before parsing (oversized lines,
+  /// invalid UTF-8, ...). Rejects appear in `total` and in the per-class
+  /// error counters, never in valid/unique.
+  void Reject(ErrorClass c, uint64_t n = 1);
+
+  /// Reduces shard state into the final study. Invariant on the result:
+  /// total == valid + sum(errors).
+  core::SourceStudy Finish();
+
+ private:
+  friend class Engine;
+  struct Impl;
+  explicit EngineStream(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
 };
 
 /// A parallel, cache-aware streaming log-analysis engine.
@@ -73,9 +123,14 @@ class Engine {
                                uint64_t seed);
 
   /// Streams an already-materialized log through the pipeline.
+  /// Implemented as OpenStream + one Feed + Finish.
   core::SourceStudy AnalyzeEntries(const std::string& name,
                                    bool wikidata_like,
                                    const std::vector<loggen::LogEntry>& entries);
+
+  /// Opens an incremental stream for a log too large to materialize.
+  /// See EngineStream for the contract.
+  EngineStream OpenStream(std::string name, bool wikidata_like);
 
   /// Cumulative counters since construction (or the last ResetMetrics),
   /// including cache statistics.
@@ -87,9 +142,10 @@ class Engine {
   const EngineOptions& options() const { return options_; }
 
  private:
-  struct ShardResult;
+  friend class EngineStream;
+  struct ShardState;
   void ProcessShard(const std::vector<const loggen::LogEntry*>& entries,
-                    ShardResult* result);
+                    ShardState* state);
 
   EngineOptions options_;
   unsigned threads_;

@@ -88,6 +88,9 @@ MetricsSnapshot Metrics::Snapshot() const {
   snap.entries_processed = entries_.load(kRelaxed);
   snap.queries_analyzed = analyzed_.load(kRelaxed);
   snap.parse_failures = parse_failures_.load(kRelaxed);
+  for (size_t c = 0; c < kNumErrorClasses; ++c) {
+    snap.errors[c] = errors_[c].load(kRelaxed);
+  }
   snap.cache_hits = hits_.load(kRelaxed);
   snap.cache_misses = misses_.load(kRelaxed);
   snap.wall_ns = wall_ns_.load(kRelaxed);
@@ -116,6 +119,7 @@ void Metrics::Reset() {
   entries_.store(0, kRelaxed);
   analyzed_.store(0, kRelaxed);
   parse_failures_.store(0, kRelaxed);
+  for (auto& e : errors_) e.store(0, kRelaxed);
   hits_.store(0, kRelaxed);
   misses_.store(0, kRelaxed);
   wall_ns_.store(0, kRelaxed);
@@ -147,6 +151,23 @@ std::string MetricsSnapshot::ToText() const {
                 WithThousands(cache_size).c_str(),
                 WithThousands(cache_evictions).c_str());
   out += line;
+  if (TotalErrors() > 0) {
+    // Total vs Valid, the paper's Table 2 shape: every rejected entry is
+    // attributed to exactly one taxonomy class.
+    std::snprintf(line, sizeof(line),
+                  "  rejected: %s of %s entries (%s valid) by class:\n",
+                  WithThousands(TotalErrors()).c_str(),
+                  WithThousands(entries_processed).c_str(),
+                  WithThousands(entries_processed - TotalErrors()).c_str());
+    out += line;
+    for (size_t c = 0; c < kNumErrorClasses; ++c) {
+      if (errors[c] == 0) continue;
+      std::snprintf(line, sizeof(line), "    %-20s %s\n",
+                    ErrorClassName(static_cast<ErrorClass>(c)),
+                    WithThousands(errors[c]).c_str());
+      out += line;
+    }
+  }
 
   AsciiTable table({"Stage", "Count", "Total", "Mean", "p50", "p90", "p99"});
   for (size_t s = 0; s < kNumStages; ++s) {
@@ -179,6 +200,17 @@ std::string MetricsSnapshot::ToJson() const {
   AppendJsonField(&out, "queries_per_sec", QueriesPerSec());
   AppendJsonField(&out, "wall_ms", wall_ns / 1e6);
   AppendJsonField(&out, "threads", static_cast<double>(threads));
+  AppendJsonField(&out, "entries_valid",
+                  static_cast<double>(entries_processed - TotalErrors()));
+  AppendJsonField(&out, "entries_rejected",
+                  static_cast<double>(TotalErrors()));
+  out += "\"errors\":{";
+  for (size_t c = 0; c < kNumErrorClasses; ++c) {
+    AppendJsonField(&out, ErrorClassName(static_cast<ErrorClass>(c)),
+                    static_cast<double>(errors[c]),
+                    /*trailing_comma=*/c + 1 < kNumErrorClasses);
+  }
+  out += "},";
   out += "\"stages\":{";
   bool first = true;
   for (size_t s = 0; s < kNumStages; ++s) {

@@ -7,6 +7,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/status.h"
+
 namespace rwdt::engine {
 
 /// Pipeline stages the engine instruments. `kGenerate` is the synthetic
@@ -42,7 +44,11 @@ struct StageStats {
 struct MetricsSnapshot {
   uint64_t entries_processed = 0;  // log entries streamed through
   uint64_t queries_analyzed = 0;   // full parse+analyze executions
-  uint64_t parse_failures = 0;
+  uint64_t parse_failures = 0;     // distinct failing texts computed
+  /// Rejected entries per taxonomy class (duplicates and ingest-level
+  /// rejects included) — the Total-vs-Valid gap of the paper's Table 2,
+  /// broken down by cause.
+  std::array<uint64_t, kNumErrorClasses> errors{};
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t cache_evictions = 0;
@@ -53,6 +59,12 @@ struct MetricsSnapshot {
   double CacheHitRate() const {
     const uint64_t lookups = cache_hits + cache_misses;
     return lookups == 0 ? 0.0 : static_cast<double>(cache_hits) / lookups;
+  }
+  /// Total rejected entries across all error classes.
+  uint64_t TotalErrors() const {
+    uint64_t sum = 0;
+    for (const uint64_t e : errors) sum += e;
+    return sum;
   }
   double QueriesPerSec() const {
     return wall_ns == 0 ? 0.0 : entries_processed * 1e9 / wall_ns;
@@ -76,6 +88,10 @@ class Metrics {
   void AddEntries(uint64_t n) { entries_.fetch_add(n, kRelaxed); }
   void AddAnalyzed(uint64_t n) { analyzed_.fetch_add(n, kRelaxed); }
   void AddParseFailures(uint64_t n) { parse_failures_.fetch_add(n, kRelaxed); }
+  /// Counts one rejected entry under its taxonomy class.
+  void AddError(ErrorClass c, uint64_t n = 1) {
+    errors_[static_cast<size_t>(c)].fetch_add(n, kRelaxed);
+  }
   void AddHits(uint64_t n) { hits_.fetch_add(n, kRelaxed); }
   void AddMisses(uint64_t n) { misses_.fetch_add(n, kRelaxed); }
   void AddWallNs(uint64_t ns) { wall_ns_.fetch_add(ns, kRelaxed); }
@@ -96,6 +112,7 @@ class Metrics {
   std::atomic<uint64_t> entries_;
   std::atomic<uint64_t> analyzed_;
   std::atomic<uint64_t> parse_failures_;
+  std::array<std::atomic<uint64_t>, kNumErrorClasses> errors_;
   std::atomic<uint64_t> hits_;
   std::atomic<uint64_t> misses_;
   std::atomic<uint64_t> wall_ns_;

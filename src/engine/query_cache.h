@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "core/query_analysis.h"
 
 namespace rwdt::engine {
@@ -21,6 +22,8 @@ namespace rwdt::engine {
 /// entries skip the parser as well.
 struct CachedQuery {
   bool parse_ok = false;
+  /// Taxonomy class of the failure; meaningful only when !parse_ok.
+  ErrorClass error = ErrorClass::kParseError;
   core::QueryAnalysis analysis;  // meaningful only when parse_ok
 };
 

@@ -1,0 +1,142 @@
+#include "ingest/ingest.h"
+
+#include <fstream>
+#include <istream>
+#include <streambuf>
+#include <utility>
+#include <vector>
+
+#include "loggen/sparql_gen.h"
+#include "tree/xml.h"
+
+namespace rwdt::ingest {
+namespace {
+
+/// Reads one physical line from `buf` into *line, appending at most
+/// `max` bytes; the rest of an over-long line is consumed and dropped,
+/// so memory stays bounded no matter what the log contains. Returns
+/// false at end of input with nothing read. A trailing '\r' (CRLF logs)
+/// is stripped. `*bytes` counts every byte consumed, terminator
+/// included.
+bool ReadLine(std::streambuf* buf, size_t max, std::string* line,
+              bool* overflow, uint64_t* bytes) {
+  using Traits = std::streambuf::traits_type;
+  line->clear();
+  *overflow = false;
+  int ch = buf->sbumpc();
+  if (Traits::eq_int_type(ch, Traits::eof())) return false;
+  while (!Traits::eq_int_type(ch, Traits::eof()) && ch != '\n') {
+    ++*bytes;
+    if (line->size() < max) {
+      line->push_back(static_cast<char>(ch));
+    } else {
+      *overflow = true;
+    }
+    ch = buf->sbumpc();
+  }
+  if (ch == '\n') ++*bytes;
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+  return true;
+}
+
+bool IsBlank(std::string_view s) {
+  for (const char c : s) {
+    if (c != ' ' && c != '\t') return false;
+  }
+  return true;
+}
+
+Result<IngestReport> Run(std::istream& in, engine::Engine* engine,
+                         const IngestOptions& options) {
+  RWDT_RETURN_IF_ERROR(options.Validate());
+
+  IngestReport report;
+  engine::EngineStream stream =
+      engine->OpenStream(options.source_name, options.wikidata_like);
+
+  std::vector<loggen::LogEntry> chunk;
+  chunk.reserve(options.chunk_entries);
+  auto flush = [&] {
+    if (chunk.empty()) return;
+    stream.Feed(chunk);
+    chunk.clear();
+  };
+
+  std::streambuf* buf = in.rdbuf();
+  std::string line;
+  bool overflow = false;
+  while (ReadLine(buf, options.max_line_bytes, &line, &overflow,
+                  &report.bytes_read)) {
+    report.lines_read++;
+    if (options.skip_blank_lines && IsBlank(line)) {
+      report.blank_lines++;
+      continue;
+    }
+    // Oversize first: a truncated line's tab or encoding is meaningless.
+    if (overflow) {
+      stream.Reject(ErrorClass::kResourceExhausted);
+      continue;
+    }
+
+    std::string_view query = line;
+    if (options.format == LogFormat::kTsv) {
+      const size_t tab = line.find('\t');
+      if (tab == std::string::npos) {
+        // Structurally broken record; no source column to attribute.
+        stream.Reject(ErrorClass::kParseError);
+        continue;
+      }
+      report.per_source[line.substr(0, tab)]++;
+      query = std::string_view(line).substr(tab + 1);
+    }
+
+    if (options.validate_utf8 && !tree::IsValidUtf8(query)) {
+      stream.Reject(ErrorClass::kEncodingError);
+      continue;
+    }
+
+    chunk.push_back(loggen::LogEntry{std::string(query), true});
+    if (chunk.size() >= options.chunk_entries) flush();
+  }
+  flush();
+
+  report.study = stream.Finish();
+  report.metrics = engine->Snapshot();
+  return report;
+}
+
+}  // namespace
+
+Status IngestOptions::Validate() const {
+  if (chunk_entries == 0) {
+    return Status::InvalidArgument("chunk_entries must be > 0");
+  }
+  if (max_line_bytes == 0) {
+    return Status::InvalidArgument("max_line_bytes must be > 0");
+  }
+  RWDT_RETURN_IF_ERROR(engine.Validate());
+  return Status::Ok();
+}
+
+Result<IngestReport> IngestStream(std::istream& in,
+                                  const IngestOptions& options) {
+  RWDT_RETURN_IF_ERROR(options.Validate());
+  engine::Engine engine(options.engine);
+  return Run(in, &engine, options);
+}
+
+Result<IngestReport> IngestStream(std::istream& in, engine::Engine* engine,
+                                  const IngestOptions& options) {
+  return Run(in, engine, options);
+}
+
+Result<IngestReport> IngestFile(const std::string& path,
+                                const IngestOptions& options) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file.is_open()) {
+    return Status::NotFound("cannot open log file: " + path);
+  }
+  return IngestStream(file, options);
+}
+
+}  // namespace rwdt::ingest

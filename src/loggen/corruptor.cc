@@ -1,0 +1,146 @@
+#include "loggen/corruptor.h"
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/interner.h"
+#include "common/rng.h"
+#include "sparql/parser.h"
+
+namespace rwdt::loggen {
+namespace {
+
+enum Mutation : size_t {
+  kTruncate = 0,
+  kDeleteToken,
+  kSwapTokens,
+  kUnbalance,
+  kUtf8Splice,
+};
+
+std::vector<std::string> SplitTokens(std::string_view text) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && text[i] == ' ') ++i;
+    const size_t start = i;
+    while (i < text.size() && text[i] != ' ') ++i;
+    if (i > start) tokens.emplace_back(text.substr(start, i - start));
+  }
+  return tokens;
+}
+
+std::string JoinTokens(const std::vector<std::string>& tokens) {
+  std::string out;
+  for (const std::string& t : tokens) {
+    if (!out.empty()) out += ' ';
+    out += t;
+  }
+  return out;
+}
+
+void Truncate(std::string* text, Rng& rng) {
+  if (text->size() < 2) {
+    *text += '\xff';  // too short to cut; damage it outright
+    return;
+  }
+  text->resize(1 + rng.NextBelow(text->size() - 1));
+}
+
+void DeleteToken(std::string* text, Rng& rng) {
+  auto tokens = SplitTokens(*text);
+  if (tokens.size() < 2) {
+    Truncate(text, rng);
+    return;
+  }
+  tokens.erase(tokens.begin() +
+               static_cast<ptrdiff_t>(rng.NextBelow(tokens.size())));
+  *text = JoinTokens(tokens);
+}
+
+void SwapTokens(std::string* text, Rng& rng) {
+  auto tokens = SplitTokens(*text);
+  if (tokens.size() < 2) {
+    Truncate(text, rng);
+    return;
+  }
+  const size_t i = rng.NextBelow(tokens.size() - 1);
+  std::swap(tokens[i], tokens[i + 1]);
+  *text = JoinTokens(tokens);
+}
+
+void Unbalance(std::string* text, Rng& rng) {
+  std::vector<size_t> brackets;
+  for (size_t i = 0; i < text->size(); ++i) {
+    const char c = (*text)[i];
+    if (c == '{' || c == '}' || c == '(' || c == ')') brackets.push_back(i);
+  }
+  if (brackets.empty()) {
+    Truncate(text, rng);
+    return;
+  }
+  text->erase(brackets[rng.NextBelow(brackets.size())], 1);
+}
+
+void Utf8Splice(std::string* text, Rng& rng) {
+  // 0xFF never occurs in well-formed UTF-8; 0xC3 followed by 0x28 is a
+  // broken two-byte sequence. Either poisons the line for ingest.
+  static constexpr std::string_view kSplices[] = {"\xff", "\xc3\x28",
+                                                  "\xed\xa0\x80"};
+  const std::string_view splice = kSplices[rng.NextBelow(3)];
+  const size_t pos = rng.NextBelow(text->size() + 1);
+  text->insert(pos, splice.data(), splice.size());
+}
+
+bool StillParses(const std::string& text) {
+  Interner dict;
+  return sparql::ParseSparql(text, &dict).ok();
+}
+
+}  // namespace
+
+CorruptionSummary CorruptLog(std::vector<LogEntry>* log, uint64_t seed,
+                             const CorruptionOptions& options) {
+  CorruptionSummary summary;
+  Rng rng(seed);
+  const std::vector<double> weights = {
+      options.truncate_weight, options.delete_token_weight,
+      options.swap_tokens_weight, options.unbalance_weight,
+      options.utf8_splice_weight};
+
+  for (size_t i = 0; i < log->size(); ++i) {
+    if (!rng.NextBool(options.rate)) continue;
+    LogEntry& entry = (*log)[i];
+    switch (static_cast<Mutation>(rng.NextWeighted(weights))) {
+      case kTruncate:
+        Truncate(&entry.text, rng);
+        break;
+      case kDeleteToken:
+        DeleteToken(&entry.text, rng);
+        break;
+      case kSwapTokens:
+        SwapTokens(&entry.text, rng);
+        break;
+      case kUnbalance:
+        Unbalance(&entry.text, rng);
+        break;
+      case kUtf8Splice:
+        Utf8Splice(&entry.text, rng);
+        break;
+    }
+    if (options.ensure_invalid && StillParses(entry.text)) {
+      // A mutation can survive parsing (e.g. swapping two variables).
+      // Trailing garbage cannot: appending " )" to a complete query is
+      // always rejected, so corrupted never leaks into Valid.
+      entry.text += " )";
+      summary.forced_invalid++;
+    }
+    entry.intended_valid = false;
+    summary.corrupted++;
+    summary.corrupted_indices.push_back(i);
+  }
+  return summary;
+}
+
+}  // namespace rwdt::loggen

@@ -1,0 +1,56 @@
+#ifndef RWDT_LOGGEN_CORRUPTOR_H_
+#define RWDT_LOGGEN_CORRUPTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "loggen/sparql_gen.h"
+
+namespace rwdt::loggen {
+
+/// Deterministic fault injection for generated logs — the kinds of
+/// damage real query logs carry (truncated requests, copy/paste
+/// mangling, encoding breakage). Each entry is independently corrupted
+/// with probability `rate`; a corrupted entry picks one mutation by the
+/// relative weights below.
+///
+/// Every mutation maps onto the ingest error taxonomy:
+///   truncation / token damage / unbalanced brackets -> parse or lex
+///   errors; utf8 splices -> kEncodingError (rejected before parsing).
+struct CorruptionOptions {
+  /// Probability in [0,1] that an entry is corrupted at all.
+  double rate = 0.2;
+
+  /// Relative weights of the mutation kinds (need not sum to 1).
+  double truncate_weight = 3.0;       // cut the tail off mid-token
+  double delete_token_weight = 2.0;   // drop one whitespace token
+  double swap_tokens_weight = 2.0;    // exchange two adjacent tokens
+  double unbalance_weight = 2.0;      // delete one '{' '}' '(' ')'
+  double utf8_splice_weight = 1.0;    // inject an invalid UTF-8 byte run
+
+  /// When set (the default), a mutated query that still parses gets a
+  /// " )" appended — guaranteed trailing-garbage parse failure — so
+  /// "corrupted" reliably implies "invalid" and corruption can never
+  /// leak entries into the Valid subset. Turn off to study silent
+  /// corruption instead.
+  bool ensure_invalid = true;
+};
+
+/// Outcome of one corruption pass.
+struct CorruptionSummary {
+  uint64_t corrupted = 0;             // entries mutated
+  uint64_t forced_invalid = 0;        // still parsed; " )" appended
+  std::vector<size_t> corrupted_indices;  // ascending entry positions
+};
+
+/// Corrupts `log` in place, deterministically in `seed` (independent of
+/// the seed that generated the log). Corrupted entries get
+/// `intended_valid = false`. Returns which entries were touched so tests
+/// can compare the surviving subset against an uncorrupted run.
+CorruptionSummary CorruptLog(std::vector<LogEntry>* log, uint64_t seed,
+                             const CorruptionOptions& options = {});
+
+}  // namespace rwdt::loggen
+
+#endif  // RWDT_LOGGEN_CORRUPTOR_H_

@@ -1,0 +1,32 @@
+#include "loggen/log_text.h"
+
+#include <ostream>
+#include <string>
+
+namespace rwdt::loggen {
+namespace {
+
+std::string Sanitize(std::string_view text, bool strip_tabs) {
+  std::string out(text);
+  for (char& c : out) {
+    if (c == '\n' || c == '\r' || (strip_tabs && c == '\t')) c = ' ';
+  }
+  return out;
+}
+
+}  // namespace
+
+void WriteLogText(const std::vector<LogEntry>& log, std::ostream& out) {
+  for (const LogEntry& e : log) {
+    out << Sanitize(e.text, /*strip_tabs=*/false) << '\n';
+  }
+}
+
+void WriteLogTsv(const std::vector<LogEntry>& log, std::string_view source,
+                 std::ostream& out) {
+  for (const LogEntry& e : log) {
+    out << source << '\t' << Sanitize(e.text, /*strip_tabs=*/true) << '\n';
+  }
+}
+
+}  // namespace rwdt::loggen

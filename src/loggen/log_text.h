@@ -1,0 +1,25 @@
+#ifndef RWDT_LOGGEN_LOG_TEXT_H_
+#define RWDT_LOGGEN_LOG_TEXT_H_
+
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+#include "loggen/sparql_gen.h"
+
+namespace rwdt::loggen {
+
+/// Serializes a log in the raw-text format ingest reads: one query per
+/// line. Embedded newlines in query text are replaced with spaces so the
+/// line framing survives round-trips (generated queries never contain
+/// newlines; corrupted ones may).
+void WriteLogText(const std::vector<LogEntry>& log, std::ostream& out);
+
+/// Serializes in the TSV format: "source<TAB>query" per line. Tabs in
+/// the query text are replaced with spaces for the same reason.
+void WriteLogTsv(const std::vector<LogEntry>& log, std::string_view source,
+                 std::ostream& out);
+
+}  // namespace rwdt::loggen
+
+#endif  // RWDT_LOGGEN_LOG_TEXT_H_

@@ -173,8 +173,7 @@ class PathParser {
       : input_(input), dict_(dict) {}
 
   Result<PathPtr> Parse() {
-    auto e = ParseAlt();
-    if (!e.ok()) return e;
+    RWDT_ASSIGN_OR_RETURN(PathPtr e, ParseAlt());
     SkipSpace();
     if (pos_ != input_.size()) {
       return Status::ParseError("trailing path characters at offset " +
@@ -196,35 +195,29 @@ class PathParser {
   }
 
   Result<PathPtr> ParseAlt() {
-    auto first = ParseSeq();
-    if (!first.ok()) return first;
-    std::vector<PathPtr> parts = {first.value()};
+    RWDT_ASSIGN_OR_RETURN(PathPtr first, ParseSeq());
+    std::vector<PathPtr> parts = {std::move(first)};
     while (Peek() == '|') {
       ++pos_;
-      auto next = ParseSeq();
-      if (!next.ok()) return next;
-      parts.push_back(next.value());
+      RWDT_ASSIGN_OR_RETURN(PathPtr next, ParseSeq());
+      parts.push_back(std::move(next));
     }
     return Path::Alt(std::move(parts));
   }
 
   Result<PathPtr> ParseSeq() {
-    auto first = ParsePostfix();
-    if (!first.ok()) return first;
-    std::vector<PathPtr> parts = {first.value()};
+    RWDT_ASSIGN_OR_RETURN(PathPtr first, ParsePostfix());
+    std::vector<PathPtr> parts = {std::move(first)};
     while (Peek() == '/') {
       ++pos_;
-      auto next = ParsePostfix();
-      if (!next.ok()) return next;
-      parts.push_back(next.value());
+      RWDT_ASSIGN_OR_RETURN(PathPtr next, ParsePostfix());
+      parts.push_back(std::move(next));
     }
     return Path::Seq(std::move(parts));
   }
 
   Result<PathPtr> ParsePostfix() {
-    auto atom = ParseAtom();
-    if (!atom.ok()) return atom;
-    PathPtr e = atom.value();
+    RWDT_ASSIGN_OR_RETURN(PathPtr e, ParseAtom());
     for (;;) {
       const char c = pos_ < input_.size() ? input_[pos_] : '\0';
       if (c == '*') {
@@ -247,17 +240,15 @@ class PathParser {
     const char c = Peek();
     if (c == '(') {
       ++pos_;
-      auto inner = ParseAlt();
-      if (!inner.ok()) return inner;
+      RWDT_ASSIGN_OR_RETURN(PathPtr inner, ParseAlt());
       if (Peek() != ')') return Status::ParseError("expected ')'");
       ++pos_;
       return inner;
     }
     if (c == '^') {
       ++pos_;
-      auto inner = ParsePostfix();
-      if (!inner.ok()) return inner;
-      return Path::Inverse(inner.value());
+      RWDT_ASSIGN_OR_RETURN(PathPtr inner, ParsePostfix());
+      return Path::Inverse(std::move(inner));
     }
     if (c == '!') {
       ++pos_;
@@ -274,33 +265,28 @@ class PathParser {
         ++pos_;
         inverted = true;
       }
-      auto iri = ParseIriName();
-      if (!iri.ok()) return iri.status();
-      forbidden.emplace_back(iri.value(), inverted);
+      RWDT_ASSIGN_OR_RETURN(const SymbolId iri, ParseIriName());
+      forbidden.emplace_back(iri, inverted);
       return Status::Ok();
     };
     if (Peek() == '(') {
       ++pos_;
-      Status s = one();
-      if (!s.ok()) return s;
+      RWDT_RETURN_IF_ERROR(one());
       while (Peek() == '|') {
         ++pos_;
-        s = one();
-        if (!s.ok()) return s;
+        RWDT_RETURN_IF_ERROR(one());
       }
       if (Peek() != ')') return Status::ParseError("expected ')' in !()");
       ++pos_;
     } else {
-      Status s = one();
-      if (!s.ok()) return s;
+      RWDT_RETURN_IF_ERROR(one());
     }
     return Path::Negated(std::move(forbidden));
   }
 
   Result<PathPtr> ParseIriAtom() {
-    auto iri = ParseIriName();
-    if (!iri.ok()) return iri.status();
-    return Path::Iri(iri.value());
+    RWDT_ASSIGN_OR_RETURN(const SymbolId iri, ParseIriName());
+    return Path::Iri(iri);
   }
 
   Result<SymbolId> ParseIriName() {

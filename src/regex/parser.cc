@@ -22,8 +22,7 @@ class Parser {
       : input_(input), dict_(dict) {}
 
   Result<RegexPtr> Parse() {
-    auto e = ParseUnion();
-    if (!e.ok()) return e;
+    RWDT_ASSIGN_OR_RETURN(RegexPtr e, ParseUnion());
     SkipSpace();
     if (pos_ != input_.size()) {
       return Status::ParseError("trailing characters at offset " +
@@ -46,14 +45,12 @@ class Parser {
   }
 
   Result<RegexPtr> ParseUnion() {
-    auto first = ParseConcat();
-    if (!first.ok()) return first;
-    std::vector<RegexPtr> parts = {first.value()};
+    RWDT_ASSIGN_OR_RETURN(RegexPtr first, ParseConcat());
+    std::vector<RegexPtr> parts = {std::move(first)};
     while (Peek() == '|') {
       ++pos_;
-      auto next = ParseConcat();
-      if (!next.ok()) return next;
-      parts.push_back(next.value());
+      RWDT_ASSIGN_OR_RETURN(RegexPtr next, ParseConcat());
+      parts.push_back(std::move(next));
     }
     return Regex::Union(std::move(parts));
   }
@@ -63,9 +60,8 @@ class Parser {
     for (;;) {
       const char c = Peek();
       if (c == '\0' || c == '|' || c == ')') break;
-      auto next = ParsePostfix();
-      if (!next.ok()) return next;
-      parts.push_back(next.value());
+      RWDT_ASSIGN_OR_RETURN(RegexPtr next, ParsePostfix());
+      parts.push_back(std::move(next));
     }
     if (parts.empty()) {
       return Status::ParseError("empty alternative at offset " +
@@ -75,9 +71,7 @@ class Parser {
   }
 
   Result<RegexPtr> ParsePostfix() {
-    auto atom = ParseAtom();
-    if (!atom.ok()) return atom;
-    RegexPtr e = atom.value();
+    RWDT_ASSIGN_OR_RETURN(RegexPtr e, ParseAtom());
     for (;;) {
       // Postfix operators bind to the immediately preceding atom; no
       // whitespace skipping here so "a *" is concat(a, error) rather than
@@ -104,8 +98,7 @@ class Parser {
     const char c = Peek();
     if (c == '(') {
       ++pos_;
-      auto inner = ParseUnion();
-      if (!inner.ok()) return inner;
+      RWDT_ASSIGN_OR_RETURN(RegexPtr inner, ParseUnion());
       if (Peek() != ')') {
         return Status::ParseError("expected ')' at offset " +
                                   std::to_string(pos_));

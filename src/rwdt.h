@@ -1,0 +1,71 @@
+// Umbrella header for the rwdt library.
+//
+// This is the supported public surface: applications (and the bundled
+// examples) include only this header. The individual headers below stay
+// includable for fine-grained builds, but anything not reachable from
+// here is an internal detail and may change without notice.
+//
+// The API follows three repo-wide conventions:
+//   * Fallible operations return Status or Result<T> (common/status.h);
+//     errors map onto the five-class taxonomy in ErrorClass.
+//   * Every parser entry point is Parse*(std::string_view, Interner*)
+//     -> Result<T>; the interner owns all symbol names.
+//   * Streaming analysis goes through engine::Engine::OpenStream or the
+//     ingest::IngestStream / IngestFile wrappers, which keep memory
+//     bounded regardless of log size.
+#ifndef RWDT_RWDT_H_
+#define RWDT_RWDT_H_
+
+// Foundations: status/error taxonomy, interning, RNG, stats, tables.
+#include "common/interner.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/table.h"
+
+// Parsers and per-formalism analyses.
+#include "paths/analysis.h"
+#include "paths/path.h"
+#include "paths/semantics.h"
+#include "regex/automaton.h"
+#include "regex/fragments.h"
+#include "regex/glushkov.h"
+#include "regex/parser.h"
+#include "schema/bonxai.h"
+#include "schema/dtd.h"
+#include "schema/edtd.h"
+#include "schema/json_schema.h"
+#include "sparql/algebra.h"
+#include "sparql/analysis.h"
+#include "sparql/eval.h"
+#include "sparql/parser.h"
+#include "tree/json.h"
+#include "tree/tree.h"
+#include "tree/xml.h"
+#include "xpath/xpath.h"
+
+// Graph data, hypergraphs, and schema-inference algorithms.
+#include "graph/generators.h"
+#include "graph/rdf.h"
+#include "graph/treewidth.h"
+#include "hypergraph/hypergraph.h"
+#include "inference/crx.h"
+#include "inference/kore.h"
+#include "inference/rwr.h"
+#include "inference/soa.h"
+
+// Log generation, corruption, and serialization.
+#include "loggen/corpus_gen.h"
+#include "loggen/corruptor.h"
+#include "loggen/log_text.h"
+#include "loggen/sparql_gen.h"
+
+// Streaming engine, studies, and raw-text ingest.
+#include "core/log_study.h"
+#include "core/query_analysis.h"
+#include "core/studies.h"
+#include "engine/engine.h"
+#include "engine/metrics.h"
+#include "ingest/ingest.h"
+
+#endif  // RWDT_RWDT_H_

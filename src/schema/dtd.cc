@@ -199,8 +199,7 @@ class ContentParser {
       : input_(input), dict_(dict) {}
 
   Result<regex::RegexPtr> Parse() {
-    auto e = ParseUnion();
-    if (!e.ok()) return e;
+    RWDT_ASSIGN_OR_RETURN(regex::RegexPtr e, ParseUnion());
     SkipSpace();
     if (pos_ != input_.size()) {
       return Status::ParseError("trailing content-model characters");
@@ -221,35 +220,29 @@ class ContentParser {
   }
 
   Result<regex::RegexPtr> ParseUnion() {
-    auto first = ParseConcat();
-    if (!first.ok()) return first;
-    std::vector<regex::RegexPtr> parts = {first.value()};
+    RWDT_ASSIGN_OR_RETURN(regex::RegexPtr first, ParseConcat());
+    std::vector<regex::RegexPtr> parts = {std::move(first)};
     while (Peek() == '|') {
       ++pos_;
-      auto next = ParseConcat();
-      if (!next.ok()) return next;
-      parts.push_back(next.value());
+      RWDT_ASSIGN_OR_RETURN(regex::RegexPtr next, ParseConcat());
+      parts.push_back(std::move(next));
     }
     return regex::Regex::Union(std::move(parts));
   }
 
   Result<regex::RegexPtr> ParseConcat() {
-    auto first = ParsePostfix();
-    if (!first.ok()) return first;
-    std::vector<regex::RegexPtr> parts = {first.value()};
+    RWDT_ASSIGN_OR_RETURN(regex::RegexPtr first, ParsePostfix());
+    std::vector<regex::RegexPtr> parts = {std::move(first)};
     while (Peek() == ',') {
       ++pos_;
-      auto next = ParsePostfix();
-      if (!next.ok()) return next;
-      parts.push_back(next.value());
+      RWDT_ASSIGN_OR_RETURN(regex::RegexPtr next, ParsePostfix());
+      parts.push_back(std::move(next));
     }
     return regex::Regex::Concat(std::move(parts));
   }
 
   Result<regex::RegexPtr> ParsePostfix() {
-    auto atom = ParseAtom();
-    if (!atom.ok()) return atom;
-    regex::RegexPtr e = atom.value();
+    RWDT_ASSIGN_OR_RETURN(regex::RegexPtr e, ParseAtom());
     for (;;) {
       const char c = pos_ < input_.size() ? input_[pos_] : '\0';
       if (c == '*') {
@@ -272,8 +265,7 @@ class ContentParser {
     const char c = Peek();
     if (c == '(') {
       ++pos_;
-      auto inner = ParseUnion();
-      if (!inner.ok()) return inner;
+      RWDT_ASSIGN_OR_RETURN(regex::RegexPtr inner, ParseUnion());
       if (Peek() != ')') return Status::ParseError("expected ')'");
       ++pos_;
       return inner;
@@ -347,11 +339,10 @@ Result<Dtd> ParseDtd(std::string_view input, Interner* dict) {
     } else if (content == "ANY") {
       dtd.any.insert(label);
     } else {
-      auto parsed = ContentParser(content, dict).Parse();
-      if (!parsed.ok()) return parsed.status();
       // Mixed content (#PCDATA|a|b)* parses to (eps|a|b)* ; keep as-is
       // (the epsilon branch is harmless).
-      dtd.rules[label] = parsed.value();
+      RWDT_ASSIGN_OR_RETURN(dtd.rules[label],
+                            ContentParser(content, dict).Parse());
     }
     if (first) {
       dtd.start.insert(label);

@@ -22,9 +22,8 @@ Result<JsonSchemaPtr> ParseNodeList(const JsonPtr& json, JsonSchemaDoc* doc,
   auto node = std::make_shared<JsonSchema>();
   node->kind = kind;
   for (const auto& item : json->items()) {
-    auto child = ParseNode(item, doc);
-    if (!child.ok()) return child;
-    node->children.push_back(std::move(child).value());
+    RWDT_ASSIGN_OR_RETURN(JsonSchemaPtr child, ParseNode(item, doc));
+    node->children.push_back(std::move(child));
   }
   return JsonSchemaPtr(node);
 }
@@ -53,9 +52,7 @@ Result<JsonSchemaPtr> ParseNode(const JsonPtr& json, JsonSchemaDoc* doc) {
       return Status::ParseError("$defs must be an object");
     }
     for (const auto& [name, def] : defs->members()) {
-      auto parsed = ParseNode(def, doc);
-      if (!parsed.ok()) return parsed;
-      doc->definitions[name] = std::move(parsed).value();
+      RWDT_ASSIGN_OR_RETURN(doc->definitions[name], ParseNode(def, doc));
     }
   }
 
@@ -70,11 +67,10 @@ Result<JsonSchemaPtr> ParseNode(const JsonPtr& json, JsonSchemaDoc* doc) {
     return JsonSchemaPtr(node);
   }
   if (auto n = json->Get("not"); n != nullptr) {
-    auto inner = ParseNode(n, doc);
-    if (!inner.ok()) return inner;
+    RWDT_ASSIGN_OR_RETURN(JsonSchemaPtr inner, ParseNode(n, doc));
     auto node = std::make_shared<JsonSchema>();
     node->kind = JsonSchema::Kind::kNot;
-    node->children.push_back(std::move(inner).value());
+    node->children.push_back(std::move(inner));
     return JsonSchemaPtr(node);
   }
   if (auto a = json->Get("allOf"); a != nullptr) {
@@ -110,11 +106,10 @@ Result<JsonSchemaPtr> ParseNode(const JsonPtr& json, JsonSchemaDoc* doc) {
     }
     if (auto props = json->Get("properties"); props != nullptr) {
       for (const auto& [name, sub] : props->members()) {
-        auto parsed = ParseNode(sub, doc);
-        if (!parsed.ok()) return parsed;
+        RWDT_ASSIGN_OR_RETURN(JsonSchemaPtr parsed, ParseNode(sub, doc));
         JsonSchema::Property prop;
         prop.name = name;
-        prop.schema = std::move(parsed).value();
+        prop.schema = std::move(parsed);
         prop.required = required.count(name) > 0;
         node->properties.push_back(std::move(prop));
         required.erase(name);
@@ -140,9 +135,7 @@ Result<JsonSchemaPtr> ParseNode(const JsonPtr& json, JsonSchemaDoc* doc) {
     auto node = std::make_shared<JsonSchema>();
     node->kind = JsonSchema::Kind::kArray;
     if (auto items = json->Get("items"); items != nullptr) {
-      auto parsed = ParseNode(items, doc);
-      if (!parsed.ok()) return parsed;
-      node->items = std::move(parsed).value();
+      RWDT_ASSIGN_OR_RETURN(node->items, ParseNode(items, doc));
     }
     if (auto m = json->Get("minItems"); m != nullptr) {
       node->min_items = static_cast<size_t>(m->number_value());
@@ -324,10 +317,14 @@ size_t NodeDepth(const JsonSchemaDoc& doc, const JsonSchema& schema,
 
 Result<JsonSchemaDoc> ParseJsonSchema(const JsonPtr& json) {
   JsonSchemaDoc doc;
-  auto root = ParseNode(json, &doc);
-  if (!root.ok()) return root.status();
-  doc.root = std::move(root).value();
+  RWDT_ASSIGN_OR_RETURN(doc.root, ParseNode(json, &doc));
   return doc;
+}
+
+Result<JsonSchemaDoc> ParseJsonSchema(std::string_view input,
+                                      Interner* dict) {
+  RWDT_ASSIGN_OR_RETURN(tree::JsonPtr json, tree::ParseJson(input, dict));
+  return ParseJsonSchema(json);
 }
 
 bool ValidateJsonSchema(const JsonSchemaDoc& doc, const JsonPtr& value) {

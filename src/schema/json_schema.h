@@ -72,6 +72,11 @@ struct JsonSchemaDoc {
 /// minItems, maxItems, minimum, maximum, not, allOf, anyOf, $ref, $defs.
 Result<JsonSchemaDoc> ParseJsonSchema(const tree::JsonPtr& json);
 
+/// Text entry point with the library-wide parser shape: parses the JSON
+/// first (keys interned into `dict`), then the schema.
+Result<JsonSchemaDoc> ParseJsonSchema(std::string_view input,
+                                      Interner* dict);
+
 /// Validates an instance against the schema document.
 bool ValidateJsonSchema(const JsonSchemaDoc& doc, const tree::JsonPtr& value);
 

@@ -19,33 +19,36 @@ bool IsPathOperatorChar(char c) {
 
 class SparqlParser {
  public:
-  SparqlParser(std::string_view input, Interner* dict)
-      : input_(input), dict_(dict) {}
+  /// `steps` is the shared step budget, decremented across subquery
+  /// parsers so nesting cannot multiply the budget.
+  SparqlParser(std::string_view input, Interner* dict,
+               const ParseLimits& limits, size_t* steps)
+      : input_(input), dict_(dict), limits_(limits), steps_(steps) {}
 
   Result<Query> Parse() {
+    if (input_.size() > limits_.max_query_bytes) {
+      return Status::ResourceExhausted(
+          "query of " + std::to_string(input_.size()) +
+          " bytes exceeds max_query_bytes=" +
+          std::to_string(limits_.max_query_bytes));
+    }
     Query query;
     if (!SkipHeaders()) return Error("bad PREFIX/BASE header");
 
     if (LitWord("SELECT")) {
       query.form = QueryForm::kSelect;
-      if (auto s = ParseSelectClause(&query); !s.ok()) return s;
+      RWDT_RETURN_IF_ERROR(ParseSelectClause(&query));
       LitWord("WHERE");
-      auto p = ParseGroupGraphPattern();
-      if (!p.ok()) return p.status();
-      query.pattern = std::move(p).value();
+      RWDT_ASSIGN_OR_RETURN(query.pattern, ParseGroupGraphPattern());
     } else if (LitWord("ASK")) {
       query.form = QueryForm::kAsk;
       LitWord("WHERE");
-      auto p = ParseGroupGraphPattern();
-      if (!p.ok()) return p.status();
-      query.pattern = std::move(p).value();
+      RWDT_ASSIGN_OR_RETURN(query.pattern, ParseGroupGraphPattern());
     } else if (LitWord("CONSTRUCT")) {
       query.form = QueryForm::kConstruct;
-      if (auto s = ParseConstructTemplate(&query); !s.ok()) return s;
+      RWDT_RETURN_IF_ERROR(ParseConstructTemplate(&query));
       LitWord("WHERE");
-      auto p = ParseGroupGraphPattern();
-      if (!p.ok()) return p.status();
-      query.pattern = std::move(p).value();
+      RWDT_ASSIGN_OR_RETURN(query.pattern, ParseGroupGraphPattern());
     } else if (LitWord("DESCRIBE")) {
       query.form = QueryForm::kDescribe;
       // DESCRIBE terms, optional WHERE pattern.
@@ -55,6 +58,9 @@ class SparqlParser {
         const size_t mark = pos_;
         auto t = ParseTerm();
         if (!t.ok()) {
+          if (t.status().code() == Code::kResourceExhausted) {
+            return t.status();
+          }
           pos_ = mark;
           break;
         }
@@ -62,17 +68,13 @@ class SparqlParser {
         if (LitWord("WHERE") || Peek() == '{') break;
       }
       if (LitWord("WHERE") || Peek() == '{') {
-        auto p = ParseGroupGraphPattern();
-        if (!p.ok()) return p.status();
-        query.pattern = std::move(p).value();
+        RWDT_ASSIGN_OR_RETURN(query.pattern, ParseGroupGraphPattern());
       }
     } else {
       return Error("expected SELECT/ASK/CONSTRUCT/DESCRIBE");
     }
 
-    if (auto s = ParseSolutionModifiers(&query.modifiers); !s.ok()) {
-      return s;
-    }
+    RWDT_RETURN_IF_ERROR(ParseSolutionModifiers(&query.modifiers));
     SkipSpace();
     if (pos_ != input_.size()) {
       return Error("trailing characters");
@@ -83,6 +85,23 @@ class SparqlParser {
  private:
   Status Error(const std::string& what) {
     return Status::ParseError(what + " at offset " + std::to_string(pos_));
+  }
+
+  /// Token-level breakage (bad characters, unterminated tokens) — a
+  /// distinct taxonomy class from grammar-level parse errors.
+  Status LexErr(const std::string& what) {
+    return Status::LexError(what + " at offset " + std::to_string(pos_));
+  }
+
+  /// Consumes one unit of the shared step budget (~one token/AST node).
+  Status ConsumeStep() {
+    if (*steps_ == 0) {
+      return Status::ResourceExhausted(
+          "query exceeds max_parser_steps=" +
+          std::to_string(limits_.max_parser_steps));
+    }
+    --*steps_;
+    return Status::Ok();
   }
 
   void SkipSpace() {
@@ -167,19 +186,16 @@ class SparqlParser {
       SkipSpace();
       const char c = Peek();
       if (c == '?' || c == '$') {
-        auto v = ParseTerm();
-        if (!v.ok()) return v.status();
         SelectItem item;
-        item.var = v.value();
+        RWDT_ASSIGN_OR_RETURN(item.var, ParseTerm());
         query->projection.push_back(item);
         continue;
       }
       if (c == '(') {
         ++pos_;
-        auto item = ParseAggregateItem();
-        if (!item.ok()) return item.status();
+        RWDT_ASSIGN_OR_RETURN(SelectItem item, ParseAggregateItem());
         if (!Lit(')')) return Error("expected ')' in select item");
-        query->projection.push_back(item.value());
+        query->projection.push_back(item);
         continue;
       }
       break;
@@ -211,29 +227,21 @@ class SparqlParser {
     if (Lit('*')) {
       item.aggregate_arg = Term{};  // COUNT(*)
     } else {
-      auto v = ParseTerm();
-      if (!v.ok()) return v.status();
-      item.aggregate_arg = v.value();
+      RWDT_ASSIGN_OR_RETURN(item.aggregate_arg, ParseTerm());
     }
     if (!Lit(')')) return Error("expected ')' after aggregate arg");
     if (!LitWord("AS")) return Error("expected AS");
-    auto out = ParseTerm();
-    if (!out.ok()) return out.status();
-    item.var = out.value();
+    RWDT_ASSIGN_OR_RETURN(item.var, ParseTerm());
     return item;
   }
 
   Status ParseConstructTemplate(Query* query) {
     if (!Lit('{')) return Error("expected '{' after CONSTRUCT");
     while (Peek() != '}') {
-      auto s = ParseTerm();
-      if (!s.ok()) return s.status();
-      auto p = ParseTerm();
-      if (!p.ok()) return p.status();
-      auto o = ParseTerm();
-      if (!o.ok()) return o.status();
-      query->construct_template.push_back(
-          {s.value(), p.value(), o.value()});
+      RWDT_ASSIGN_OR_RETURN(Term s, ParseTerm());
+      RWDT_ASSIGN_OR_RETURN(Term p, ParseTerm());
+      RWDT_ASSIGN_OR_RETURN(Term o, ParseTerm());
+      query->construct_template.push_back({s, p, o});
       Lit('.');
       if (Peek() == '\0') return Error("unterminated CONSTRUCT template");
     }
@@ -244,6 +252,7 @@ class SparqlParser {
   // --- Terms ---------------------------------------------------------
 
   Result<Term> ParseTerm() {
+    RWDT_RETURN_IF_ERROR(ConsumeStep());
     SkipSpace();
     if (pos_ >= input_.size()) return Error("expected term");
     const char c = input_[pos_];
@@ -256,14 +265,14 @@ class SparqlParser {
               input_[pos_] == '_')) {
         name += input_[pos_++];
       }
-      if (name.size() == 1) return Error("empty variable name");
+      if (name.size() == 1) return LexErr("empty variable name");
       term.kind = Term::Kind::kVar;
       term.id = dict_->Intern(name);
       return term;
     }
     if (c == '<') {
       const size_t end = input_.find('>', pos_);
-      if (end == std::string_view::npos) return Error("unterminated IRI");
+      if (end == std::string_view::npos) return LexErr("unterminated IRI");
       term.kind = Term::Kind::kIri;
       term.id = dict_->Intern(input_.substr(pos_ + 1, end - pos_ - 1));
       pos_ = end + 1;
@@ -277,7 +286,7 @@ class SparqlParser {
         if (input_[pos_] == '\\' && pos_ + 1 < input_.size()) ++pos_;
         text += input_[pos_++];
       }
-      if (pos_ >= input_.size()) return Error("unterminated literal");
+      if (pos_ >= input_.size()) return LexErr("unterminated literal");
       ++pos_;
       // Language tag / datatype.
       if (pos_ < input_.size() && input_[pos_] == '@') {
@@ -290,9 +299,8 @@ class SparqlParser {
         }
       } else if (input_.substr(pos_, 2) == "^^") {
         pos_ += 2;
-        auto type = ParseTerm();
-        if (!type.ok()) return type;
-        text += "^^" + dict_->Name(type.value().id);
+        RWDT_ASSIGN_OR_RETURN(const Term type, ParseTerm());
+        text += "^^" + dict_->Name(type.id);
       }
       term.kind = Term::Kind::kLiteral;
       term.id = dict_->Intern("\"" + text + "\"");
@@ -319,7 +327,9 @@ class SparqlParser {
         term.id = dict_->Intern("_:anon" + std::to_string(blank_counter_++));
         return term;
       }
-      return Error("non-empty blank node property lists are unsupported");
+      return Status::Unsupported(
+          "non-empty blank node property lists are unsupported at offset " +
+          std::to_string(pos_));
     }
     if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
         c == '+') {
@@ -355,7 +365,7 @@ class SparqlParser {
       term.id = dict_->Intern(name);
       return term;
     }
-    return Error(std::string("unexpected character '") + c + "'");
+    return LexErr(std::string("unexpected character '") + c + "'");
   }
 
   // --- Patterns ------------------------------------------------------
@@ -382,82 +392,73 @@ class SparqlParser {
 
     while (Peek() != '}') {
       if (Peek() == '\0') return Error("unterminated group pattern");
+      RWDT_RETURN_IF_ERROR(ConsumeStep());
 
       if (LitWord("FILTER")) {
-        auto f = ParseConstraint();
-        if (!f.ok()) return f.status();
-        filters.push_back(f.value());
+        RWDT_ASSIGN_OR_RETURN(FilterPtr f, ParseConstraint());
+        filters.push_back(std::move(f));
         Lit('.');
         continue;
       }
       if (LitWord("OPTIONAL")) {
-        auto rhs = ParseGroupGraphPattern();
-        if (!rhs.ok()) return rhs;
+        RWDT_ASSIGN_OR_RETURN(PatternPtr rhs, ParseGroupGraphPattern());
         auto node = std::make_shared<Pattern>();
         node->op = Pattern::Op::kOptional;
-        node->children = {current(), rhs.value()};
+        node->children = {current(), std::move(rhs)};
         conjuncts = {node};
         Lit('.');
         continue;
       }
       if (LitWord("MINUS")) {
-        auto rhs = ParseGroupGraphPattern();
-        if (!rhs.ok()) return rhs;
+        RWDT_ASSIGN_OR_RETURN(PatternPtr rhs, ParseGroupGraphPattern());
         auto node = std::make_shared<Pattern>();
         node->op = Pattern::Op::kMinus;
-        node->children = {current(), rhs.value()};
+        node->children = {current(), std::move(rhs)};
         conjuncts = {node};
         Lit('.');
         continue;
       }
       if (LitWord("GRAPH")) {
-        auto name = ParseTerm();
-        if (!name.ok()) return name.status();
-        auto inner = ParseGroupGraphPattern();
-        if (!inner.ok()) return inner;
+        RWDT_ASSIGN_OR_RETURN(Term name, ParseTerm());
+        RWDT_ASSIGN_OR_RETURN(PatternPtr inner, ParseGroupGraphPattern());
         auto node = std::make_shared<Pattern>();
         node->op = Pattern::Op::kGraph;
-        node->graph_name = name.value();
-        node->children = {inner.value()};
+        node->graph_name = name;
+        node->children = {std::move(inner)};
         conjuncts.push_back(node);
         Lit('.');
         continue;
       }
       if (LitWord("SERVICE")) {
         LitWord("SILENT");
-        auto name = ParseTerm();
-        if (!name.ok()) return name.status();
-        auto inner = ParseGroupGraphPattern();
-        if (!inner.ok()) return inner;
+        RWDT_ASSIGN_OR_RETURN(Term name, ParseTerm());
+        RWDT_ASSIGN_OR_RETURN(PatternPtr inner, ParseGroupGraphPattern());
         auto node = std::make_shared<Pattern>();
         node->op = Pattern::Op::kService;
-        node->graph_name = name.value();
-        node->children = {inner.value()};
+        node->graph_name = name;
+        node->children = {std::move(inner)};
         conjuncts.push_back(node);
         Lit('.');
         continue;
       }
       if (LitWord("BIND")) {
         if (!Lit('(')) return Error("expected '(' after BIND");
-        auto src = ParseBindSource();
-        if (!src.ok()) return src.status();
+        RWDT_ASSIGN_OR_RETURN(Term src, ParseBindSource());
         if (!LitWord("AS")) return Error("expected AS in BIND");
-        auto var = ParseTerm();
-        if (!var.ok()) return var.status();
+        RWDT_ASSIGN_OR_RETURN(Term var, ParseTerm());
         if (!Lit(')')) return Error("expected ')' after BIND");
         auto node = std::make_shared<Pattern>();
         node->op = Pattern::Op::kBind;
-        node->bind_source = src.value();
-        node->bind_var = var.value();
+        node->bind_source = src;
+        node->bind_var = var;
         node->children = {current()};
         conjuncts = {node};
         Lit('.');
         continue;
       }
       if (LitWord("VALUES")) {
-        auto v = ParseValues();
-        if (!v.ok()) return v;
-        conjuncts.push_back(v.value());
+        RWDT_ASSIGN_OR_RETURN(PatternPtr v, ParseValues());
+        conjuncts.push_back(std::move(v));
         Lit('.');
         continue;
       }
@@ -467,22 +468,18 @@ class SparqlParser {
         ++pos_;
         if (LitWord("SELECT")) {
           pos_ = mark;
-          auto sub = ParseSubSelect();
-          if (!sub.ok()) return sub;
-          conjuncts.push_back(sub.value());
+          RWDT_ASSIGN_OR_RETURN(PatternPtr sub, ParseSubSelect());
+          conjuncts.push_back(std::move(sub));
           Lit('.');
           continue;
         }
         pos_ = mark;
-        auto first = ParseGroupGraphPattern();
-        if (!first.ok()) return first;
-        PatternPtr acc = first.value();
+        RWDT_ASSIGN_OR_RETURN(PatternPtr acc, ParseGroupGraphPattern());
         while (LitWord("UNION")) {
-          auto next = ParseGroupGraphPattern();
-          if (!next.ok()) return next;
+          RWDT_ASSIGN_OR_RETURN(PatternPtr next, ParseGroupGraphPattern());
           auto node = std::make_shared<Pattern>();
           node->op = Pattern::Op::kUnion;
-          node->children = {acc, next.value()};
+          node->children = {acc, std::move(next)};
           acc = node;
         }
         conjuncts.push_back(acc);
@@ -490,9 +487,8 @@ class SparqlParser {
         continue;
       }
       // Triples block entry.
-      auto triples = ParseTriplesSameSubject();
-      if (!triples.ok()) return triples.status();
-      for (auto& t : triples.value()) conjuncts.push_back(std::move(t));
+      RWDT_ASSIGN_OR_RETURN(auto triples, ParseTriplesSameSubject());
+      for (auto& t : triples) conjuncts.push_back(std::move(t));
       if (!Lit('.')) {
         // A triple block must be followed by '.' or '}' or a keyword.
         SkipSpace();
@@ -524,13 +520,14 @@ class SparqlParser {
     }
     if (depth != 0) return Error("unterminated subquery");
     const std::string_view body = input_.substr(pos_, end - 1 - pos_);
-    SparqlParser sub(body, dict_);
-    auto q = sub.Parse();
-    if (!q.ok()) return q.status();
+    // The subparser draws from the same step budget, so nesting cannot
+    // multiply the resource guard.
+    SparqlParser sub(body, dict_, limits_, steps_);
+    RWDT_ASSIGN_OR_RETURN(Query q, sub.Parse());
     pos_ = end;
     auto node = std::make_shared<Pattern>();
     node->op = Pattern::Op::kSubquery;
-    node->subquery = std::make_shared<Query>(std::move(q).value());
+    node->subquery = std::make_shared<Query>(std::move(q));
     return node;
   }
 
@@ -539,9 +536,8 @@ class SparqlParser {
     node->op = Pattern::Op::kValues;
     if (Lit('(')) {
       while (Peek() != ')') {
-        auto v = ParseTerm();
-        if (!v.ok()) return v.status();
-        node->values_vars.push_back(v.value());
+        RWDT_ASSIGN_OR_RETURN(Term v, ParseTerm());
+        node->values_vars.push_back(v);
       }
       ++pos_;
       if (!Lit('{')) return Error("expected '{' in VALUES");
@@ -553,27 +549,24 @@ class SparqlParser {
             row.push_back(Term{});
             continue;
           }
-          auto v = ParseTerm();
-          if (!v.ok()) return v.status();
-          row.push_back(v.value());
+          RWDT_ASSIGN_OR_RETURN(Term v, ParseTerm());
+          row.push_back(v);
         }
         ++pos_;
         node->values_rows.push_back(std::move(row));
       }
       ++pos_;
     } else {
-      auto var = ParseTerm();
-      if (!var.ok()) return var.status();
-      node->values_vars.push_back(var.value());
+      RWDT_ASSIGN_OR_RETURN(Term var, ParseTerm());
+      node->values_vars.push_back(var);
       if (!Lit('{')) return Error("expected '{' in VALUES");
       while (Peek() != '}') {
         if (LitWord("UNDEF")) {
           node->values_rows.push_back({Term{}});
           continue;
         }
-        auto v = ParseTerm();
-        if (!v.ok()) return v.status();
-        node->values_rows.push_back({v.value()});
+        RWDT_ASSIGN_OR_RETURN(Term v, ParseTerm());
+        node->values_rows.push_back({v});
       }
       ++pos_;
     }
@@ -621,25 +614,20 @@ class SparqlParser {
 
   /// Parses "subject predicateObjectList" with ';' and ',' sugar.
   Result<std::vector<PatternPtr>> ParseTriplesSameSubject() {
-    auto subject = ParseTerm();
-    if (!subject.ok()) return subject.status();
+    RWDT_ASSIGN_OR_RETURN(Term subject, ParseTerm());
     std::vector<PatternPtr> out;
     for (;;) {
       // Verb: variable or property path (a bare IRI is a trivial path).
-      auto verb = ParseVerb();
-      if (!verb.ok()) return verb.status();
+      RWDT_ASSIGN_OR_RETURN(auto verb, ParseVerb());
       for (;;) {
-        auto object = ParseTerm();
-        if (!object.ok()) return object.status();
+        RWDT_ASSIGN_OR_RETURN(Term object, ParseTerm());
         auto node = std::make_shared<Pattern>();
-        if (verb.value().first.kind != Term::Kind::kNone) {
+        if (verb.first.kind != Term::Kind::kNone) {
           node->op = Pattern::Op::kTriple;
-          node->triple = {subject.value(), verb.value().first,
-                          object.value()};
+          node->triple = {subject, verb.first, object};
         } else {
           node->op = Pattern::Op::kPath;
-          node->path = {subject.value(), verb.value().second,
-                        object.value()};
+          node->path = {subject, verb.second, object};
         }
         out.push_back(std::move(node));
         if (!Lit(',')) break;
@@ -657,9 +645,8 @@ class SparqlParser {
     SkipSpace();
     const char c = Peek();
     if (c == '?' || c == '$') {
-      auto v = ParseTerm();
-      if (!v.ok()) return v.status();
-      return std::make_pair(v.value(), paths::PathPtr());
+      RWDT_ASSIGN_OR_RETURN(Term v, ParseTerm());
+      return std::make_pair(v, paths::PathPtr());
     }
     // Scan ahead to the end of the verb token sequence to decide whether
     // it is a path: collect until whitespace that precedes a term, being
@@ -692,21 +679,20 @@ class SparqlParser {
     }
     const std::string_view verb_text = input_.substr(start, end - start);
     if (!is_path) {
-      auto t = ParseTerm();
-      if (!t.ok()) return t.status();
-      return std::make_pair(t.value(), paths::PathPtr());
-    }
-    auto path = paths::ParsePath(verb_text, dict_);
-    if (!path.ok()) return path.status();
-    pos_ = end;
-    // Trivial one-IRI paths degrade to plain triple patterns.
-    if (path.value()->op() == paths::PathOp::kIri) {
-      Term t;
-      t.kind = Term::Kind::kIri;
-      t.id = path.value()->iri();
+      RWDT_ASSIGN_OR_RETURN(Term t, ParseTerm());
       return std::make_pair(t, paths::PathPtr());
     }
-    return std::make_pair(Term{}, path.value());
+    RWDT_ASSIGN_OR_RETURN(paths::PathPtr path,
+                          paths::ParsePath(verb_text, dict_));
+    pos_ = end;
+    // Trivial one-IRI paths degrade to plain triple patterns.
+    if (path->op() == paths::PathOp::kIri) {
+      Term t;
+      t.kind = Term::Kind::kIri;
+      t.id = path->iri();
+      return std::make_pair(t, paths::PathPtr());
+    }
+    return std::make_pair(Term{}, path);
   }
 
   // --- Filter constraints ---------------------------------------------
@@ -714,14 +700,12 @@ class SparqlParser {
   Result<FilterPtr> ParseConstraint() { return ParseOrExpr(); }
 
   Result<FilterPtr> ParseOrExpr() {
-    auto first = ParseAndExpr();
-    if (!first.ok()) return first;
-    std::vector<FilterPtr> parts = {first.value()};
+    RWDT_ASSIGN_OR_RETURN(FilterPtr first, ParseAndExpr());
+    std::vector<FilterPtr> parts = {std::move(first)};
     while (Lit('|')) {
       if (!Lit('|')) return Error("expected '||'");
-      auto next = ParseAndExpr();
-      if (!next.ok()) return next;
-      parts.push_back(next.value());
+      RWDT_ASSIGN_OR_RETURN(FilterPtr next, ParseAndExpr());
+      parts.push_back(std::move(next));
     }
     if (parts.size() == 1) return parts[0];
     auto node = std::make_shared<FilterExpr>();
@@ -731,14 +715,12 @@ class SparqlParser {
   }
 
   Result<FilterPtr> ParseAndExpr() {
-    auto first = ParseUnaryExpr();
-    if (!first.ok()) return first;
-    std::vector<FilterPtr> parts = {first.value()};
+    RWDT_ASSIGN_OR_RETURN(FilterPtr first, ParseUnaryExpr());
+    std::vector<FilterPtr> parts = {std::move(first)};
     while (Lit('&')) {
       if (!Lit('&')) return Error("expected '&&'");
-      auto next = ParseUnaryExpr();
-      if (!next.ok()) return next;
-      parts.push_back(next.value());
+      RWDT_ASSIGN_OR_RETURN(FilterPtr next, ParseUnaryExpr());
+      parts.push_back(std::move(next));
     }
     if (parts.size() == 1) return parts[0];
     auto node = std::make_shared<FilterExpr>();
@@ -748,39 +730,36 @@ class SparqlParser {
   }
 
   Result<FilterPtr> ParseUnaryExpr() {
+    RWDT_RETURN_IF_ERROR(ConsumeStep());
     SkipSpace();
     if (Lit('!')) {
       if (Peek() == '=') return Error("unexpected '!='");
-      auto inner = ParseUnaryExpr();
-      if (!inner.ok()) return inner;
+      RWDT_ASSIGN_OR_RETURN(FilterPtr inner, ParseUnaryExpr());
       auto node = std::make_shared<FilterExpr>();
       node->kind = FilterExpr::Kind::kNot;
-      node->children = {inner.value()};
+      node->children = {std::move(inner)};
       return FilterPtr(node);
     }
     if (LitWord("NOT")) {
       if (!LitWord("EXISTS")) return Error("expected EXISTS after NOT");
-      auto p = ParseGroupGraphPattern();
-      if (!p.ok()) return p.status();
+      RWDT_ASSIGN_OR_RETURN(PatternPtr p, ParseGroupGraphPattern());
       auto node = std::make_shared<FilterExpr>();
       node->kind = FilterExpr::Kind::kNotExistsPattern;
-      node->pattern = p.value();
+      node->pattern = std::move(p);
       return FilterPtr(node);
     }
     if (LitWord("EXISTS")) {
-      auto p = ParseGroupGraphPattern();
-      if (!p.ok()) return p.status();
+      RWDT_ASSIGN_OR_RETURN(PatternPtr p, ParseGroupGraphPattern());
       auto node = std::make_shared<FilterExpr>();
       node->kind = FilterExpr::Kind::kExistsPattern;
-      node->pattern = p.value();
+      node->pattern = std::move(p);
       return FilterPtr(node);
     }
     if (Peek() == '(') {
       ++pos_;
-      auto inner = ParseOrExpr();
-      if (!inner.ok()) return inner;
+      RWDT_ASSIGN_OR_RETURN(FilterPtr inner, ParseOrExpr());
       if (!Lit(')')) return Error("expected ')'");
-      return MaybeComparison(inner.value());
+      return MaybeComparison(std::move(inner));
     }
     return ParsePrimaryConstraint();
   }
@@ -797,9 +776,7 @@ class SparqlParser {
     std::string function;
     if (Peek() == '?' || Peek() == '$' || Peek() == '"' || Peek() == '<' ||
         std::isdigit(static_cast<unsigned char>(Peek()))) {
-      auto t = ParseTerm();
-      if (!t.ok()) return t.status();
-      first_term = t.value();
+      RWDT_ASSIGN_OR_RETURN(first_term, ParseTerm());
     } else {
       // Function name.
       while (pos_ < input_.size() &&
@@ -821,9 +798,7 @@ class SparqlParser {
           ++pos_;
         } else if ((ch == '?' || ch == '$') &&
                    first_term.kind == Term::Kind::kNone) {
-          auto t = ParseTerm();
-          if (!t.ok()) return t.status();
-          first_term = t.value();
+          RWDT_ASSIGN_OR_RETURN(first_term, ParseTerm());
         } else {
           ++pos_;
         }
@@ -872,18 +847,14 @@ class SparqlParser {
       SkipSpace();
       if (t.ok() && pos_ < input_.size() && input_[pos_] == '(') {
         pos_ = mark;
-        auto arg = ParseCallFirstArg();
-        if (!arg.ok()) return arg.status();
-        rhs_term = arg.value();
+        RWDT_ASSIGN_OR_RETURN(rhs_term, ParseCallFirstArg());
       } else if (t.ok()) {
         rhs_term = t.value();
       } else {
         return t.status();
       }
     } else {
-      auto t = ParseTerm();
-      if (!t.ok()) return t.status();
-      rhs_term = t.value();
+      RWDT_ASSIGN_OR_RETURN(rhs_term, ParseTerm());
     }
     if (!function.empty()) {
       // fn(?x) = literal: model as a unary test on ?x when the rhs is a
@@ -913,16 +884,13 @@ class SparqlParser {
         for (;;) {
           SkipSpace();
           if (Peek() != '?' && Peek() != '$') break;
-          auto v = ParseTerm();
-          if (!v.ok()) return v.status();
-          mods->group_by.push_back(v.value());
+          RWDT_ASSIGN_OR_RETURN(Term v, ParseTerm());
+          mods->group_by.push_back(v);
         }
         continue;
       }
       if (LitWord("HAVING")) {
-        auto f = ParseConstraint();
-        if (!f.ok()) return f.status();
-        mods->having = f.value();
+        RWDT_ASSIGN_OR_RETURN(mods->having, ParseConstraint());
         continue;
       }
       if (LitWord("ORDER")) {
@@ -936,32 +904,26 @@ class SparqlParser {
           } else if (LitWord("ASC")) {
             if (!Lit('(')) return Error("expected '(' after ASC");
           } else if (Peek() == '?' || Peek() == '$') {
-            auto v = ParseTerm();
-            if (!v.ok()) return v.status();
-            mods->order_by.push_back(v.value());
+            RWDT_ASSIGN_OR_RETURN(Term v, ParseTerm());
+            mods->order_by.push_back(v);
             mods->order_desc.push_back(false);
             continue;
           } else {
             break;
           }
-          auto v = ParseTerm();
-          if (!v.ok()) return v.status();
+          RWDT_ASSIGN_OR_RETURN(Term v, ParseTerm());
           if (!Lit(')')) return Error("expected ')'");
-          mods->order_by.push_back(v.value());
+          mods->order_by.push_back(v);
           mods->order_desc.push_back(desc);
         }
         continue;
       }
       if (LitWord("LIMIT")) {
-        auto n = ParseNumber();
-        if (!n.ok()) return n.status();
-        mods->limit = n.value();
+        RWDT_ASSIGN_OR_RETURN(mods->limit, ParseNumber());
         continue;
       }
       if (LitWord("OFFSET")) {
-        auto n = ParseNumber();
-        if (!n.ok()) return n.status();
-        mods->offset = n.value();
+        RWDT_ASSIGN_OR_RETURN(mods->offset, ParseNumber());
         continue;
       }
       return Status::Ok();
@@ -984,14 +946,33 @@ class SparqlParser {
 
   std::string_view input_;
   Interner* dict_;
+  ParseLimits limits_;
+  size_t* steps_;  // shared budget, owned by the root ParseSparql call
   size_t pos_ = 0;
   size_t blank_counter_ = 0;
 };
 
 }  // namespace
 
+Status ParseLimits::Validate() const {
+  if (max_query_bytes == 0) {
+    return Status::InvalidArgument("ParseLimits: max_query_bytes must be > 0");
+  }
+  if (max_parser_steps == 0) {
+    return Status::InvalidArgument(
+        "ParseLimits: max_parser_steps must be > 0");
+  }
+  return Status::Ok();
+}
+
 Result<Query> ParseSparql(std::string_view input, Interner* dict) {
-  return SparqlParser(input, dict).Parse();
+  return ParseSparql(input, dict, ParseLimits{});
+}
+
+Result<Query> ParseSparql(std::string_view input, Interner* dict,
+                          const ParseLimits& limits) {
+  size_t steps = limits.max_parser_steps;
+  return SparqlParser(input, dict, limits, &steps).Parse();
 }
 
 }  // namespace rwdt::sparql

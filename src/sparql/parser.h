@@ -9,6 +9,22 @@
 
 namespace rwdt::sparql {
 
+/// Per-query resource guards. Real logs contain adversarially large
+/// queries; the parser refuses to run away and instead returns
+/// `Code::kResourceExhausted`, which the ingest pipeline counts under
+/// its error taxonomy.
+struct ParseLimits {
+  /// Queries longer than this many bytes are rejected up front.
+  size_t max_query_bytes = 1 << 20;  // 1 MiB
+  /// Budget on parser steps (~= AST nodes + tokens). Each term, pattern
+  /// node, filter node, and path expression consumes one step, including
+  /// inside subqueries; 0 is invalid (use Validate()).
+  size_t max_parser_steps = 1 << 20;
+
+  /// Rejects nonsensical limits (a zero budget would fail every query).
+  Status Validate() const;
+};
+
 /// Parses a SPARQL(-subset) query into the algebra of algebra.h.
 ///
 /// Supported: PREFIX/BASE headers (prefixes are kept as written, not
@@ -22,7 +38,14 @@ namespace rwdt::sparql {
 ///
 /// Variables, IRIs, and literals are interned into `dict`; variables are
 /// interned with their '?' prefix so they never collide with IRIs.
+///
+/// Errors carry a `Code` that maps onto the ingest taxonomy: kLexError
+/// for malformed tokens, kParseError for grammar violations,
+/// kUnsupported for recognized-but-unsupported syntax, and
+/// kResourceExhausted when `limits` are exceeded.
 Result<Query> ParseSparql(std::string_view input, Interner* dict);
+Result<Query> ParseSparql(std::string_view input, Interner* dict,
+                          const ParseLimits& limits);
 
 }  // namespace rwdt::sparql
 

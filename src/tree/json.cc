@@ -97,11 +97,11 @@ namespace {
 
 class JsonParser {
  public:
-  explicit JsonParser(std::string_view input) : input_(input) {}
+  JsonParser(std::string_view input, Interner* dict)
+      : input_(input), dict_(dict) {}
 
   Result<JsonPtr> Parse() {
-    auto v = ParseValue();
-    if (!v.ok()) return v;
+    RWDT_ASSIGN_OR_RETURN(JsonPtr v, ParseValue());
     SkipWhitespace();
     if (pos_ != input_.size()) {
       return Status::ParseError("trailing characters at offset " +
@@ -134,9 +134,8 @@ class JsonParser {
       case '[':
         return ParseArray();
       case '"': {
-        auto s = ParseString();
-        if (!s.ok()) return s.status();
-        return JsonValue::String(std::move(s).value());
+        RWDT_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return JsonValue::String(std::move(s));
       }
       case 't':
         if (input_.substr(pos_, 4) == "true") {
@@ -254,9 +253,8 @@ class JsonParser {
       return JsonValue::Array(std::move(items));
     }
     for (;;) {
-      auto v = ParseValue();
-      if (!v.ok()) return v;
-      items.push_back(std::move(v).value());
+      RWDT_ASSIGN_OR_RETURN(JsonPtr v, ParseValue());
+      items.push_back(std::move(v));
       const char c = Peek();
       if (c == ',') {
         ++pos_;
@@ -279,13 +277,12 @@ class JsonParser {
     }
     for (;;) {
       if (Peek() != '"') return Err("expected member key");
-      auto key = ParseString();
-      if (!key.ok()) return key.status();
+      RWDT_ASSIGN_OR_RETURN(std::string key, ParseString());
+      dict_->Intern(key);
       if (Peek() != ':') return Err("expected ':'");
       ++pos_;
-      auto v = ParseValue();
-      if (!v.ok()) return v;
-      members.emplace_back(std::move(key).value(), std::move(v).value());
+      RWDT_ASSIGN_OR_RETURN(JsonPtr v, ParseValue());
+      members.emplace_back(std::move(key), std::move(v));
       const char c = Peek();
       if (c == ',') {
         ++pos_;
@@ -300,6 +297,7 @@ class JsonParser {
   }
 
   std::string_view input_;
+  Interner* dict_;
   size_t pos_ = 0;
 };
 
@@ -326,8 +324,8 @@ void AttachJson(const JsonPtr& value, Interner* dict,
 
 }  // namespace
 
-Result<JsonPtr> ParseJson(std::string_view input) {
-  return JsonParser(input).Parse();
+Result<JsonPtr> ParseJson(std::string_view input, Interner* dict) {
+  return JsonParser(input, dict).Parse();
 }
 
 Tree JsonToTree(const JsonPtr& value, Interner* dict,

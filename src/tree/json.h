@@ -55,8 +55,11 @@ class JsonValue {
 };
 
 /// Parses a JSON document (full RFC-ish grammar: strings with escapes,
-/// numbers, literals, arrays, objects).
-Result<JsonPtr> ParseJson(std::string_view input);
+/// numbers, literals, arrays, objects). Object keys are interned into
+/// `dict`, so key symbols are shared with JsonToTree and the schema
+/// layer. Follows the library-wide parser shape
+/// `Parse*(std::string_view, Interner*) -> Result<T>`.
+Result<JsonPtr> ParseJson(std::string_view input, Interner* dict);
 
 /// Maps a JSON document onto a labeled ordered tree (paper Figure 1):
 /// object members become nodes labeled by their key; array elements

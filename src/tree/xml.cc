@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <set>
+#include <utility>
 
 namespace rwdt::tree {
 
@@ -63,7 +64,32 @@ bool IsValidUtf8(std::string_view input) {
   return true;
 }
 
+XmlErrorCategory ClassifyXmlError(const Status& status) {
+  if (status.ok()) return XmlErrorCategory::kNone;
+  const std::string& msg = status.message();
+  for (int c = 1; c <= static_cast<int>(XmlErrorCategory::kEmptyDocument);
+       ++c) {
+    const auto category = static_cast<XmlErrorCategory>(c);
+    const std::string prefix = XmlErrorCategoryName(category) + ":";
+    if (msg.compare(0, prefix.size(), prefix) == 0) return category;
+  }
+  return XmlErrorCategory::kNone;
+}
+
 namespace {
+
+/// Builds the Status contract documented on ParseXml: encoding failures
+/// map onto the ingest taxonomy's kEncodingError, everything else is a
+/// parse error, and the category rides in the message prefix.
+Status XmlError(XmlErrorCategory category, size_t offset,
+                const std::string& detail) {
+  std::string msg = XmlErrorCategoryName(category) + ": " + detail +
+                    " at offset " + std::to_string(offset);
+  if (category == XmlErrorCategory::kBadEncoding) {
+    return Status::EncodingError(std::move(msg));
+  }
+  return Status::ParseError(std::move(msg));
+}
 
 bool IsNameStart(char c) {
   return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
@@ -79,29 +105,26 @@ class XmlParser {
   XmlParser(std::string_view input, Interner* dict)
       : input_(input), dict_(dict) {}
 
-  XmlParseResult Parse() {
+  Result<XmlDocument> Parse() {
     if (!IsValidUtf8(input_)) {
-      return Fail(XmlErrorCategory::kBadEncoding, 0, "invalid UTF-8");
+      return XmlError(XmlErrorCategory::kBadEncoding, 0, "invalid UTF-8");
     }
-    SkipMisc();
+    RWDT_RETURN_IF_ERROR(SkipMisc());
     if (AtEnd()) {
-      return Fail(XmlErrorCategory::kEmptyDocument, pos_,
-                  "no root element");
+      return XmlError(XmlErrorCategory::kEmptyDocument, pos_,
+                      "no root element");
     }
-    if (failed_) return std::move(result_);
-    if (!ParseElement(kNoNode)) return std::move(result_);
-    SkipMisc();
-    if (failed_) return std::move(result_);
+    RWDT_RETURN_IF_ERROR(ParseElement(kNoNode));
+    RWDT_RETURN_IF_ERROR(SkipMisc());
     if (!AtEnd()) {
       if (Peek() == '<') {
-        return Fail(XmlErrorCategory::kMultipleRoots, pos_,
-                    "content after root element");
+        return XmlError(XmlErrorCategory::kMultipleRoots, pos_,
+                        "content after root element");
       }
-      return Fail(XmlErrorCategory::kStrayContent, pos_,
-                  "text after root element");
+      return XmlError(XmlErrorCategory::kStrayContent, pos_,
+                      "text after root element");
     }
-    result_.well_formed = true;
-    return std::move(result_);
+    return std::move(doc_);
   }
 
  private:
@@ -109,14 +132,6 @@ class XmlParser {
   char Peek() const { return pos_ < input_.size() ? input_[pos_] : '\0'; }
   char PeekAt(size_t off) const {
     return pos_ + off < input_.size() ? input_[pos_ + off] : '\0';
-  }
-
-  XmlParseResult Fail(XmlErrorCategory category, size_t offset,
-                      std::string message) {
-    failed_ = true;
-    result_.well_formed = false;
-    result_.error = {category, offset, std::move(message)};
-    return std::move(result_);
   }
 
   void SkipWhitespace() {
@@ -127,80 +142,75 @@ class XmlParser {
   }
 
   /// Skips whitespace, prolog, comments, DOCTYPE between top-level items.
-  void SkipMisc() {
+  Status SkipMisc() {
     for (;;) {
       SkipWhitespace();
       if (Peek() == '<' && PeekAt(1) == '?') {
         const size_t end = input_.find("?>", pos_);
         if (end == std::string_view::npos) {
-          Fail(XmlErrorCategory::kPrematureEnd, pos_,
-               "unterminated processing instruction");
-          return;
+          return XmlError(XmlErrorCategory::kPrematureEnd, pos_,
+                          "unterminated processing instruction");
         }
         pos_ = end + 2;
         continue;
       }
       if (Peek() == '<' && PeekAt(1) == '!' && PeekAt(2) == '-') {
-        if (!SkipComment()) return;
+        RWDT_RETURN_IF_ERROR(SkipComment());
         continue;
       }
       if (Peek() == '<' && PeekAt(1) == '!') {  // DOCTYPE
         const size_t end = input_.find('>', pos_);
         if (end == std::string_view::npos) {
-          Fail(XmlErrorCategory::kPrematureEnd, pos_,
-               "unterminated DOCTYPE");
-          return;
+          return XmlError(XmlErrorCategory::kPrematureEnd, pos_,
+                          "unterminated DOCTYPE");
         }
         pos_ = end + 1;
         continue;
       }
-      return;
+      return Status::Ok();
     }
   }
 
-  bool SkipComment() {
+  Status SkipComment() {
     // At "<!-".
     if (PeekAt(3) != '-') {
-      Fail(XmlErrorCategory::kBadComment, pos_, "malformed comment open");
-      return false;
+      return XmlError(XmlErrorCategory::kBadComment, pos_,
+                      "malformed comment open");
     }
     const size_t start = pos_;
     pos_ += 4;
     const size_t end = input_.find("--", pos_);
     if (end == std::string_view::npos) {
-      Fail(XmlErrorCategory::kBadComment, start, "unterminated comment");
-      return false;
+      return XmlError(XmlErrorCategory::kBadComment, start,
+                      "unterminated comment");
     }
     if (end + 2 >= input_.size() || input_[end + 2] != '>') {
-      Fail(XmlErrorCategory::kBadComment, end, "'--' inside comment");
-      return false;
+      return XmlError(XmlErrorCategory::kBadComment, end,
+                      "'--' inside comment");
     }
     pos_ = end + 3;
-    return true;
+    return Status::Ok();
   }
 
-  /// Parses a name; empty result means failure (error already set).
-  std::string ParseName(XmlErrorCategory category) {
+  Result<std::string> ParseName(XmlErrorCategory category) {
     if (AtEnd()) {
-      Fail(XmlErrorCategory::kPrematureEnd, pos_, "input ends in tag");
-      return "";
+      return XmlError(XmlErrorCategory::kPrematureEnd, pos_,
+                      "input ends in tag");
     }
     if (!IsNameStart(Peek())) {
-      Fail(category, pos_, "invalid name start character");
-      return "";
+      return XmlError(category, pos_, "invalid name start character");
     }
     std::string name;
     while (!AtEnd() && IsNameChar(Peek())) name += input_[pos_++];
     return name;
   }
 
-  bool ParseEntity(std::string* out) {
+  Status ParseEntity(std::string* out) {
     // At '&'.
     const size_t start = pos_;
     const size_t semi = input_.find(';', pos_);
     if (semi == std::string_view::npos || semi - pos_ > 12) {
-      Fail(XmlErrorCategory::kBadEntity, start, "stray '&'");
-      return false;
+      return XmlError(XmlErrorCategory::kBadEntity, start, "stray '&'");
     }
     const std::string_view name = input_.substr(pos_ + 1, semi - pos_ - 1);
     if (name == "amp") {
@@ -217,131 +227,118 @@ class XmlParser {
       // Numeric character reference; keep as-is for simplicity.
       *out += '?';
     } else {
-      Fail(XmlErrorCategory::kBadEntity, start,
-           "unknown entity '" + std::string(name) + "'");
-      return false;
+      return XmlError(XmlErrorCategory::kBadEntity, start,
+                      "unknown entity '" + std::string(name) + "'");
     }
     pos_ = semi + 1;
-    return true;
+    return Status::Ok();
   }
 
   /// Parses one element at '<'. `parent` == kNoNode for the root.
-  bool ParseElement(NodeId parent) {
+  Status ParseElement(NodeId parent) {
     ++pos_;  // consume '<'
-    const size_t name_pos = pos_;
-    const std::string name = ParseName(XmlErrorCategory::kBadTagName);
-    if (failed_) return false;
-    (void)name_pos;
+    RWDT_ASSIGN_OR_RETURN(const std::string name,
+                          ParseName(XmlErrorCategory::kBadTagName));
 
     const SymbolId label = dict_->Intern(name);
     const NodeId node = parent == kNoNode
-                            ? result_.tree.AddRoot(label)
-                            : result_.tree.AddChild(parent, label);
+                            ? doc_.tree.AddRoot(label)
+                            : doc_.tree.AddChild(parent, label);
 
     // Attributes.
     std::set<std::string> attr_names;
     for (;;) {
       SkipWhitespace();
       if (AtEnd()) {
-        Fail(XmlErrorCategory::kPrematureEnd, pos_, "input ends in tag");
-        return false;
+        return XmlError(XmlErrorCategory::kPrematureEnd, pos_,
+                        "input ends in tag");
       }
       const char c = Peek();
       if (c == '>' || (c == '/' && PeekAt(1) == '>')) break;
       if (c == '<') {
-        Fail(XmlErrorCategory::kStrayContent, pos_, "'<' inside tag");
-        return false;
+        return XmlError(XmlErrorCategory::kStrayContent, pos_,
+                        "'<' inside tag");
       }
-      const std::string attr = ParseName(XmlErrorCategory::kBadAttribute);
-      if (failed_) return false;
+      RWDT_ASSIGN_OR_RETURN(const std::string attr,
+                            ParseName(XmlErrorCategory::kBadAttribute));
       if (!attr_names.insert(attr).second) {
-        Fail(XmlErrorCategory::kBadAttribute, pos_,
-             "duplicate attribute '" + attr + "'");
-        return false;
+        return XmlError(XmlErrorCategory::kBadAttribute, pos_,
+                        "duplicate attribute '" + attr + "'");
       }
       SkipWhitespace();
       if (Peek() != '=') {
-        Fail(XmlErrorCategory::kBadAttribute, pos_,
-             "expected '=' after attribute name");
-        return false;
+        return XmlError(XmlErrorCategory::kBadAttribute, pos_,
+                        "expected '=' after attribute name");
       }
       ++pos_;
       SkipWhitespace();
       const char quote = Peek();
       if (quote != '"' && quote != '\'') {
-        Fail(XmlErrorCategory::kBadAttribute, pos_,
-             "unquoted attribute value");
-        return false;
+        return XmlError(XmlErrorCategory::kBadAttribute, pos_,
+                        "unquoted attribute value");
       }
       ++pos_;
       std::string value;
       while (!AtEnd() && Peek() != quote) {
         if (Peek() == '<') {
-          Fail(XmlErrorCategory::kStrayContent, pos_,
-               "'<' in attribute value");
-          return false;
+          return XmlError(XmlErrorCategory::kStrayContent, pos_,
+                          "'<' in attribute value");
         }
         if (Peek() == '&') {
-          if (!ParseEntity(&value)) return false;
+          RWDT_RETURN_IF_ERROR(ParseEntity(&value));
           continue;
         }
         value += input_[pos_++];
       }
       if (AtEnd()) {
-        Fail(XmlErrorCategory::kPrematureEnd, pos_,
-             "unterminated attribute value");
-        return false;
+        return XmlError(XmlErrorCategory::kPrematureEnd, pos_,
+                        "unterminated attribute value");
       }
       ++pos_;  // closing quote
-      result_.attributes.push_back({node, attr, value});
+      doc_.attributes.push_back({node, attr, value});
     }
 
     if (Peek() == '/') {  // self-closing
       pos_ += 2;
-      return true;
+      return Status::Ok();
     }
     ++pos_;  // '>'
 
     // Content.
     for (;;) {
       if (AtEnd()) {
-        Fail(XmlErrorCategory::kPrematureEnd, pos_,
-             "missing closing tag for <" + name + ">");
-        return false;
+        return XmlError(XmlErrorCategory::kPrematureEnd, pos_,
+                        "missing closing tag for <" + name + ">");
       }
       const char c = Peek();
       if (c == '<') {
         if (PeekAt(1) == '/') {
           pos_ += 2;
-          const std::string close =
-              ParseName(XmlErrorCategory::kBadTagName);
-          if (failed_) return false;
+          RWDT_ASSIGN_OR_RETURN(const std::string close,
+                                ParseName(XmlErrorCategory::kBadTagName));
           SkipWhitespace();
           if (Peek() != '>') {
-            Fail(XmlErrorCategory::kPrematureEnd, pos_,
-                 "unterminated closing tag");
-            return false;
+            return XmlError(XmlErrorCategory::kPrematureEnd, pos_,
+                            "unterminated closing tag");
           }
           ++pos_;
           if (close != name) {
-            Fail(XmlErrorCategory::kTagMismatch, pos_,
-                 "</" + close + "> closes <" + name + ">");
-            return false;
+            return XmlError(XmlErrorCategory::kTagMismatch, pos_,
+                            "</" + close + "> closes <" + name + ">");
           }
-          return true;
+          return Status::Ok();
         }
         if (PeekAt(1) == '!' && PeekAt(2) == '-') {
-          if (!SkipComment()) return false;
+          RWDT_RETURN_IF_ERROR(SkipComment());
           continue;
         }
         if (input_.substr(pos_, 9) == "<![CDATA[") {
           const size_t end = input_.find("]]>", pos_);
           if (end == std::string_view::npos) {
-            Fail(XmlErrorCategory::kPrematureEnd, pos_,
-                 "unterminated CDATA");
-            return false;
+            return XmlError(XmlErrorCategory::kPrematureEnd, pos_,
+                            "unterminated CDATA");
           }
-          result_.tree.mutable_node(node).text +=
+          doc_.tree.mutable_node(node).text +=
               std::string(input_.substr(pos_ + 9, end - pos_ - 9));
           pos_ = end + 3;
           continue;
@@ -349,31 +346,29 @@ class XmlParser {
         if (PeekAt(1) == '?') {
           const size_t end = input_.find("?>", pos_);
           if (end == std::string_view::npos) {
-            Fail(XmlErrorCategory::kPrematureEnd, pos_,
-                 "unterminated processing instruction");
-            return false;
+            return XmlError(XmlErrorCategory::kPrematureEnd, pos_,
+                            "unterminated processing instruction");
           }
           pos_ = end + 2;
           continue;
         }
-        if (!ParseElement(node)) return false;
+        RWDT_RETURN_IF_ERROR(ParseElement(node));
         continue;
       }
       if (c == '&') {
         std::string text;
-        if (!ParseEntity(&text)) return false;
-        result_.tree.mutable_node(node).text += text;
+        RWDT_RETURN_IF_ERROR(ParseEntity(&text));
+        doc_.tree.mutable_node(node).text += text;
         continue;
       }
-      result_.tree.mutable_node(node).text += input_[pos_++];
+      doc_.tree.mutable_node(node).text += input_[pos_++];
     }
   }
 
   std::string_view input_;
   Interner* dict_;
   size_t pos_ = 0;
-  bool failed_ = false;
-  XmlParseResult result_;
+  XmlDocument doc_;
 };
 
 void RenderNode(const Tree& tree, const Interner& dict, NodeId id,
@@ -393,7 +388,7 @@ void RenderNode(const Tree& tree, const Interner& dict, NodeId id,
 
 }  // namespace
 
-XmlParseResult ParseXml(std::string_view input, Interner* dict) {
+Result<XmlDocument> ParseXml(std::string_view input, Interner* dict) {
   return XmlParser(input, dict).Parse();
 }
 

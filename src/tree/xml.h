@@ -32,12 +32,6 @@ enum class XmlErrorCategory {
 /// Name of a category, e.g. "tag-mismatch".
 std::string XmlErrorCategoryName(XmlErrorCategory category);
 
-struct XmlError {
-  XmlErrorCategory category = XmlErrorCategory::kNone;
-  size_t offset = 0;
-  std::string message;
-};
-
 /// An attribute attached to an element node.
 struct XmlAttribute {
   NodeId node = kNoNode;
@@ -45,19 +39,25 @@ struct XmlAttribute {
   std::string value;
 };
 
-/// Parse result: a well-formed document yields a tree; otherwise `error`
-/// identifies the first well-formedness violation and its category.
-struct XmlParseResult {
-  bool well_formed = false;
+/// A well-formed document: the element tree plus its attributes.
+struct XmlDocument {
   Tree tree;
   std::vector<XmlAttribute> attributes;
-  XmlError error;
 };
 
 /// Parses an XML(-subset) document: prolog, comments, CDATA, entities,
 /// attributes, nested elements, self-closing tags. DOCTYPE declarations
 /// are accepted and skipped. Element names are interned into `dict`.
-XmlParseResult ParseXml(std::string_view input, Interner* dict);
+///
+/// On failure the Status carries `Code::kEncodingError` for invalid
+/// UTF-8 and `Code::kParseError` otherwise; its message is
+/// "<category>: <detail> at offset N" with the category name from
+/// XmlErrorCategoryName, recoverable via ClassifyXmlError.
+Result<XmlDocument> ParseXml(std::string_view input, Interner* dict);
+
+/// Recovers the well-formedness category from a ParseXml error Status
+/// (kNone for an OK status or a status from elsewhere).
+XmlErrorCategory ClassifyXmlError(const Status& status);
 
 /// Serializes a tree back to XML text (used by generators and tests).
 std::string ToXml(const Tree& tree, const Interner& dict);

@@ -129,14 +129,12 @@ class Parser {
 
   Result<Query> Parse() {
     Query q;
-    auto first = ParsePath();
-    if (!first.ok()) return first.status();
-    q.branches.push_back(std::move(first).value());
+    RWDT_ASSIGN_OR_RETURN(Path first, ParsePath());
+    q.branches.push_back(std::move(first));
     while (Peek() == '|') {
       ++pos_;
-      auto next = ParsePath();
-      if (!next.ok()) return next.status();
-      q.branches.push_back(std::move(next).value());
+      RWDT_ASSIGN_OR_RETURN(Path next, ParsePath());
+      q.branches.push_back(std::move(next));
     }
     SkipSpace();
     if (pos_ != input_.size()) {
@@ -176,9 +174,8 @@ class Parser {
       path.absolute = true;
     }
     for (;;) {
-      auto step = ParseStep(pending);
-      if (!step.ok()) return step.status();
-      path.steps.push_back(std::move(step).value());
+      RWDT_ASSIGN_OR_RETURN(Step step, ParseStep(pending));
+      path.steps.push_back(std::move(step));
       if (Lit("//")) {
         pending = Axis::kDescendantOrSelf;
       } else if (Lit("/")) {
@@ -242,23 +239,20 @@ class Parser {
   Result<Step> FinishStep(Step step) {
     while (Peek() == '[') {
       ++pos_;
-      auto pred = ParseOr();
-      if (!pred.ok()) return pred.status();
+      RWDT_ASSIGN_OR_RETURN(Predicate pred, ParseOr());
       if (Peek() != ']') return Status::ParseError("expected ']'");
       ++pos_;
-      step.predicates.push_back(std::move(pred).value());
+      step.predicates.push_back(std::move(pred));
     }
     return step;
   }
 
   Result<Predicate> ParseOr() {
-    auto first = ParseAnd();
-    if (!first.ok()) return first;
-    std::vector<Predicate> parts = {std::move(first).value()};
+    RWDT_ASSIGN_OR_RETURN(Predicate first, ParseAnd());
+    std::vector<Predicate> parts = {std::move(first)};
     while (LitWord("or")) {
-      auto next = ParseAnd();
-      if (!next.ok()) return next;
-      parts.push_back(std::move(next).value());
+      RWDT_ASSIGN_OR_RETURN(Predicate next, ParseAnd());
+      parts.push_back(std::move(next));
     }
     if (parts.size() == 1) return parts[0];
     Predicate p;
@@ -268,13 +262,11 @@ class Parser {
   }
 
   Result<Predicate> ParseAnd() {
-    auto first = ParseUnary();
-    if (!first.ok()) return first;
-    std::vector<Predicate> parts = {std::move(first).value()};
+    RWDT_ASSIGN_OR_RETURN(Predicate first, ParseUnary());
+    std::vector<Predicate> parts = {std::move(first)};
     while (LitWord("and")) {
-      auto next = ParseUnary();
-      if (!next.ok()) return next;
-      parts.push_back(std::move(next).value());
+      RWDT_ASSIGN_OR_RETURN(Predicate next, ParseUnary());
+      parts.push_back(std::move(next));
     }
     if (parts.size() == 1) return parts[0];
     Predicate p;
@@ -287,28 +279,25 @@ class Parser {
     if (LitWord("not")) {
       if (Peek() != '(') return Status::ParseError("expected '(' after not");
       ++pos_;
-      auto inner = ParseOr();
-      if (!inner.ok()) return inner;
+      RWDT_ASSIGN_OR_RETURN(Predicate inner, ParseOr());
       if (Peek() != ')') return Status::ParseError("expected ')'");
       ++pos_;
       Predicate p;
       p.kind = Predicate::Kind::kNot;
-      p.children.push_back(std::move(inner).value());
+      p.children.push_back(std::move(inner));
       return p;
     }
     if (Peek() == '(') {
       ++pos_;
-      auto inner = ParseOr();
-      if (!inner.ok()) return inner;
+      RWDT_ASSIGN_OR_RETURN(Predicate inner, ParseOr());
       if (Peek() != ')') return Status::ParseError("expected ')'");
       ++pos_;
       return inner;
     }
-    auto path = ParsePath();
-    if (!path.ok()) return path.status();
+    RWDT_ASSIGN_OR_RETURN(Path path, ParsePath());
     Predicate p;
     p.kind = Predicate::Kind::kPath;
-    p.path = std::move(path).value();
+    p.path = std::move(path);
     return p;
   }
 

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "common/interner.h"
 #include "common/rng.h"
@@ -36,6 +38,70 @@ TEST(ResultTest, HoldsError) {
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), Code::kNotFound);
   EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, ConvertsToBoolAndExposesMessage) {
+  Result<int> good = 1;
+  Result<int> bad = Status::ParseError("bad token");
+  EXPECT_TRUE(static_cast<bool>(good));
+  EXPECT_FALSE(static_cast<bool>(bad));
+  EXPECT_EQ(good.error_message(), "");
+  EXPECT_EQ(bad.error_message(), "bad token");
+}
+
+TEST(StatusMacroTest, ReturnIfErrorForwardsBothShapes) {
+  auto from_status = [](Status s) -> Status {
+    RWDT_RETURN_IF_ERROR(s);
+    return Status::Ok();
+  };
+  auto from_result = [](Result<int> r) -> Status {
+    RWDT_RETURN_IF_ERROR(r);
+    return Status::Ok();
+  };
+  EXPECT_TRUE(from_status(Status::Ok()).ok());
+  EXPECT_EQ(from_status(Status::LexError("x")).code(), Code::kLexError);
+  EXPECT_TRUE(from_result(3).ok());
+  EXPECT_EQ(from_result(Status::NotFound("x")).code(), Code::kNotFound);
+}
+
+TEST(StatusMacroTest, AssignOrReturnDeclaresAndAssigns) {
+  auto chain = [](Result<int> a, Result<int> b) -> Result<int> {
+    RWDT_ASSIGN_OR_RETURN(const int x, std::move(a));
+    std::vector<int> ys(1);
+    RWDT_ASSIGN_OR_RETURN(ys[0], std::move(b));  // lvalue, not a decl
+    return x + ys[0];
+  };
+  Result<int> ok = chain(2, 3);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 5);
+  Result<int> err = chain(2, Status::ResourceExhausted("budget"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), Code::kResourceExhausted);
+}
+
+TEST(ErrorClassTest, ClassifiesEveryCode) {
+  EXPECT_EQ(ClassifyStatus(Status::LexError("x")), ErrorClass::kLexError);
+  EXPECT_EQ(ClassifyStatus(Status::ParseError("x")),
+            ErrorClass::kParseError);
+  EXPECT_EQ(ClassifyStatus(Status::Unsupported("x")),
+            ErrorClass::kUnsupportedFeature);
+  EXPECT_EQ(ClassifyStatus(Status::ResourceExhausted("x")),
+            ErrorClass::kResourceExhausted);
+  EXPECT_EQ(ClassifyStatus(Status::EncodingError("x")),
+            ErrorClass::kEncodingError);
+  // Non-parse codes fold into the parse-error bucket.
+  EXPECT_EQ(ClassifyStatus(Status::Internal("x")), ErrorClass::kParseError);
+}
+
+TEST(ErrorClassTest, NamesAreStableSnakeCase) {
+  EXPECT_STREQ(ErrorClassName(ErrorClass::kLexError), "lex_error");
+  EXPECT_STREQ(ErrorClassName(ErrorClass::kParseError), "parse_error");
+  EXPECT_STREQ(ErrorClassName(ErrorClass::kUnsupportedFeature),
+               "unsupported_feature");
+  EXPECT_STREQ(ErrorClassName(ErrorClass::kResourceExhausted),
+               "resource_exhausted");
+  EXPECT_STREQ(ErrorClassName(ErrorClass::kEncodingError),
+               "encoding_error");
 }
 
 TEST(InternerTest, AssignsDenseIdsInOrder) {

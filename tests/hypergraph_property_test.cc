@@ -44,7 +44,9 @@ TEST_P(HgPropertyTest, WidthIsMonotone) {
     for (size_t k = 1; k <= 4; ++k) {
       auto at_most = HypertreeWidthAtMost(h, k);
       ASSERT_TRUE(at_most.has_value());
-      if (previous) EXPECT_TRUE(*at_most) << "monotonicity broke at " << k;
+      if (previous) {
+        EXPECT_TRUE(*at_most) << "monotonicity broke at " << k;
+      }
       previous = *at_most;
     }
     // Every hypergraph with m edges has ghw <= m.

@@ -1,0 +1,258 @@
+#include "ingest/ingest.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "loggen/corruptor.h"
+#include "loggen/log_text.h"
+#include "loggen/sparql_gen.h"
+#include "sparql/parser.h"
+
+namespace rwdt::ingest {
+namespace {
+
+uint64_t ErrorCount(const core::SourceStudy& study, ErrorClass c) {
+  return study.errors[static_cast<size_t>(c)];
+}
+
+uint64_t TotalErrors(const core::SourceStudy& study) {
+  uint64_t n = 0;
+  for (const uint64_t e : study.errors) n += e;
+  return n;
+}
+
+// Golden mapping: each kind of broken line lands in exactly the taxonomy
+// class the design doc promises.
+TEST(IngestTest, ClassifiesBrokenLinesIntoTaxonomy) {
+  std::stringstream in;
+  in << "SELECT ?x WHERE { ?x a ?y }\n"            // valid
+     << "SELECT ?x WHERE { ?x \"unterminated }\n"  // lex: bad literal
+     << "SELECT ?x WHERE {\n"                      // parse: open group
+     << "SELECT ?x WHERE { [ a ?y ] }\n"           // unsupported: bnode list
+     << "SELECT ?x WHERE { ?x a \xff\xfe }\n"      // encoding: bad UTF-8
+     << "SELECT ?x WHERE { ?x a ?y }\n";           // duplicate of line 1
+
+  auto r = IngestStream(in);
+  ASSERT_TRUE(r.ok()) << r.error_message();
+  const IngestReport& report = r.value();
+
+  EXPECT_EQ(report.lines_read, 6u);
+  EXPECT_EQ(report.study.total, 6u);
+  EXPECT_EQ(report.study.valid, 2u);
+  EXPECT_EQ(report.study.unique, 1u);
+  EXPECT_EQ(ErrorCount(report.study, ErrorClass::kLexError), 1u);
+  EXPECT_EQ(ErrorCount(report.study, ErrorClass::kParseError), 1u);
+  EXPECT_EQ(ErrorCount(report.study, ErrorClass::kUnsupportedFeature), 1u);
+  EXPECT_EQ(ErrorCount(report.study, ErrorClass::kEncodingError), 1u);
+  EXPECT_EQ(report.study.total, report.study.valid + TotalErrors(report.study));
+}
+
+TEST(IngestTest, OversizeLineRejectedAsResourceExhausted) {
+  IngestOptions opts;
+  opts.max_line_bytes = 32;
+  std::stringstream in;
+  in << "SELECT ?x WHERE { ?x a ?y }\n"
+     << std::string(1000, 'x') << "\n"
+     << "SELECT ?x WHERE { ?x a ?y }\n";
+
+  auto r = IngestStream(in, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().study.total, 3u);
+  EXPECT_EQ(r.value().study.valid, 2u);
+  EXPECT_EQ(ErrorCount(r.value().study, ErrorClass::kResourceExhausted), 1u);
+  // The whole stream was consumed even though the long line wasn't kept.
+  EXPECT_EQ(r.value().bytes_read, 28u + 1001u + 28u);
+}
+
+TEST(IngestTest, ParserStepBudgetRejectsAsResourceExhausted) {
+  IngestOptions opts;
+  opts.engine.parse_limits.max_parser_steps = 4;
+  std::stringstream in;
+  in << "ASK { ?x a ?y }\n"  // fits in four steps? no — also rejected
+     << "SELECT ?a ?b ?c WHERE { ?a ?b ?c . ?c ?b ?a . ?b ?a ?c }\n";
+
+  auto r = IngestStream(in, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().study.total, 2u);
+  // Everything over budget lands in resource_exhausted, nothing aborts.
+  EXPECT_EQ(r.value().study.valid +
+                ErrorCount(r.value().study, ErrorClass::kResourceExhausted),
+            2u);
+  EXPECT_GE(ErrorCount(r.value().study, ErrorClass::kResourceExhausted), 1u);
+}
+
+TEST(IngestTest, TsvFormatSplitsSourceColumn) {
+  IngestOptions opts;
+  opts.format = LogFormat::kTsv;
+  std::stringstream in;
+  in << "alpha\tSELECT ?x WHERE { ?x a ?y }\n"
+     << "alpha\tSELECT ?y WHERE { ?y a ?x }\n"
+     << "beta\tASK { ?s ?p ?o }\n"
+     << "no tab on this line\n";
+
+  auto r = IngestStream(in, opts);
+  ASSERT_TRUE(r.ok());
+  const IngestReport& report = r.value();
+  EXPECT_EQ(report.study.total, 4u);
+  EXPECT_EQ(report.study.valid, 3u);
+  EXPECT_EQ(ErrorCount(report.study, ErrorClass::kParseError), 1u);
+  ASSERT_EQ(report.per_source.size(), 2u);
+  EXPECT_EQ(report.per_source.at("alpha"), 2u);
+  EXPECT_EQ(report.per_source.at("beta"), 1u);
+}
+
+TEST(IngestTest, BlankLinesSkippedWithoutCounting) {
+  std::stringstream in;
+  in << "\n"
+     << "   \t \n"
+     << "ASK { ?s ?p ?o }\n"
+     << "\n";
+  auto r = IngestStream(in);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().lines_read, 4u);
+  EXPECT_EQ(r.value().blank_lines, 3u);
+  EXPECT_EQ(r.value().study.total, 1u);
+  EXPECT_EQ(r.value().study.valid, 1u);
+}
+
+TEST(IngestTest, MetricsJsonCarriesErrorCounts) {
+  std::stringstream in;
+  in << "ASK { ?s ?p ?o }\n"
+     << "\xff not utf8\n";
+  auto r = IngestStream(in);
+  ASSERT_TRUE(r.ok());
+  const std::string json = r.value().metrics.ToJson();
+  EXPECT_NE(json.find("\"errors\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"encoding_error\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"entries_valid\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"entries_rejected\":1"), std::string::npos) << json;
+}
+
+TEST(IngestTest, RejectsNonsensicalOptions) {
+  IngestOptions zero_chunk;
+  zero_chunk.chunk_entries = 0;
+  EXPECT_FALSE(zero_chunk.Validate().ok());
+
+  IngestOptions zero_line;
+  zero_line.max_line_bytes = 0;
+  EXPECT_FALSE(zero_line.Validate().ok());
+
+  IngestOptions bad_engine;
+  bad_engine.engine.parse_limits.max_parser_steps = 0;
+  EXPECT_FALSE(bad_engine.Validate().ok());
+
+  std::stringstream in;
+  in << "ASK { ?s ?p ?o }\n";
+  EXPECT_FALSE(IngestStream(in, zero_chunk).ok());
+}
+
+TEST(IngestTest, MissingFileIsNotFound) {
+  auto r = IngestFile("/nonexistent/query.log");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Code::kNotFound);
+}
+
+TEST(CorruptorTest, DeterministicInSeed) {
+  loggen::SourceProfile profile = loggen::ExampleProfile(200);
+  const auto pristine = loggen::GenerateLog(profile, 5);
+
+  auto a = pristine, b = pristine, c = pristine;
+  const auto sa = loggen::CorruptLog(&a, 17);
+  const auto sb = loggen::CorruptLog(&b, 17);
+  const auto sc = loggen::CorruptLog(&c, 18);
+  EXPECT_EQ(sa.corrupted_indices, sb.corrupted_indices);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].text, b[i].text);
+  // A different seed picks a different victim set (overwhelmingly likely
+  // for 200 entries at the default 20% rate).
+  EXPECT_NE(sa.corrupted_indices, sc.corrupted_indices);
+}
+
+TEST(CorruptorTest, EnsureInvalidMeansCorruptedNeverParses) {
+  loggen::SourceProfile profile = loggen::ExampleProfile(200);
+  auto log = loggen::GenerateLog(profile, 5);
+  loggen::CorruptionOptions opts;
+  opts.rate = 1.0;
+  const auto summary = loggen::CorruptLog(&log, 23, opts);
+  EXPECT_EQ(summary.corrupted, log.size());
+  Interner dict;
+  for (const auto& entry : log) {
+    EXPECT_FALSE(sparql::ParseSparql(entry.text, &dict).ok())
+        << "still parses: " << entry.text;
+  }
+}
+
+// The tentpole property: corruption at ANY rate never changes what the
+// engine reports for the surviving queries. The Valid-subset aggregates
+// of a corrupted ingest run are bit-identical to analyzing only the
+// uncorrupted entries directly — for every thread count and chunk size.
+TEST(IngestTest, CorruptionNeverPerturbsValidSubsetAggregates) {
+  loggen::SourceProfile profile = loggen::ExampleProfile(300);
+  const auto pristine = loggen::GenerateLog(profile, 11);
+
+  for (const double rate : {0.0, 0.2, 0.5, 1.0}) {
+    auto corrupted = pristine;
+    loggen::CorruptionOptions copts;
+    copts.rate = rate;
+    const auto summary = loggen::CorruptLog(&corrupted, 29, copts);
+
+    // Reference: the surviving (untouched) entries through the engine.
+    std::vector<loggen::LogEntry> surviving;
+    size_t next_corrupt = 0;
+    for (size_t i = 0; i < pristine.size(); ++i) {
+      if (next_corrupt < summary.corrupted_indices.size() &&
+          summary.corrupted_indices[next_corrupt] == i) {
+        ++next_corrupt;
+        continue;
+      }
+      surviving.push_back(pristine[i]);
+    }
+    engine::Engine reference{engine::EngineOptions{}};
+    const core::SourceStudy expected =
+        reference.AnalyzeEntries("ref", false, surviving);
+
+    const std::string text = [&corrupted] {
+      std::stringstream out;
+      loggen::WriteLogText(corrupted, out);
+      return out.str();
+    }();
+
+    core::SourceStudy first;
+    bool have_first = false;
+    for (const unsigned threads : {1u, 2u, 8u}) {
+      for (const size_t chunk : {size_t{1}, size_t{64}, size_t{4096}}) {
+        IngestOptions opts;
+        opts.source_name = "ref";
+        opts.engine.threads = threads;
+        opts.chunk_entries = chunk;
+        std::stringstream in(text);
+        auto r = IngestStream(in, opts);
+        ASSERT_TRUE(r.ok()) << r.error_message();
+        const core::SourceStudy& got = r.value().study;
+
+        EXPECT_EQ(got.total, pristine.size());
+        EXPECT_EQ(got.valid, expected.valid) << "rate " << rate;
+        EXPECT_EQ(got.unique, expected.unique) << "rate " << rate;
+        EXPECT_TRUE(got.valid_agg == expected.valid_agg) << "rate " << rate;
+        EXPECT_TRUE(got.unique_agg == expected.unique_agg)
+            << "rate " << rate;
+        if (!have_first) {
+          first = got;
+          have_first = true;
+        } else {
+          // Full study (including per-class error counts) is identical
+          // across every thread count and chunk size.
+          EXPECT_TRUE(got == first)
+              << "rate " << rate << " threads " << threads << " chunk "
+              << chunk;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rwdt::ingest

@@ -10,15 +10,15 @@ using tree::JsonPtr;
 using tree::ParseJson;
 
 JsonSchemaDoc Schema(const std::string& s) {
-  auto json = ParseJson(s);
-  EXPECT_TRUE(json.ok()) << s;
-  auto doc = ParseJsonSchema(json.value());
+  Interner dict;
+  auto doc = ParseJsonSchema(s, &dict);
   EXPECT_TRUE(doc.ok()) << doc.status().ToString();
   return doc.value();
 }
 
 JsonPtr V(const std::string& s) {
-  auto r = ParseJson(s);
+  Interner dict;
+  auto r = ParseJson(s, &dict);
   EXPECT_TRUE(r.ok()) << s;
   return r.value();
 }

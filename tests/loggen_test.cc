@@ -133,11 +133,11 @@ TEST(XmlGenTest, CorruptionRateMatches) {
     auto parse = tree::ParseXml(doc.text, &dict2);
     if (!doc.intended_well_formed) {
       ++intended_bad;
-      if (parse.well_formed) ++intended_bad_but_ok;
+      if (parse.ok()) ++intended_bad_but_ok;
     } else {
-      EXPECT_TRUE(parse.well_formed) << doc.text.substr(0, 120);
+      EXPECT_TRUE(parse.ok()) << doc.text.substr(0, 120);
     }
-    if (parse.well_formed) ++parsed_ok;
+    if (parse.ok()) ++parsed_ok;
   }
   EXPECT_GT(intended_bad, 30u);
   // Most injected corruptions are detected (a truncation can by chance

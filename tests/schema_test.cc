@@ -32,8 +32,8 @@ class DtdTest : public ::testing::Test {
 
   tree::Tree ParseTree(const std::string& xml) {
     auto r = tree::ParseXml(xml, &dict_);
-    EXPECT_TRUE(r.well_formed) << r.error.message;
-    return r.tree;
+    EXPECT_TRUE(r.ok()) << r.error_message();
+    return r.value().tree;
   }
 
   Interner dict_;
@@ -168,8 +168,8 @@ class EdtdTest : public ::testing::Test {
 
   tree::Tree ParseTree(const std::string& xml) {
     auto r = tree::ParseXml(xml, &dict_);
-    EXPECT_TRUE(r.well_formed) << r.error.message;
-    return r.tree;
+    EXPECT_TRUE(r.ok()) << r.error_message();
+    return r.value().tree;
   }
 
   Interner dict_;
@@ -264,8 +264,8 @@ class BonxaiTest : public ::testing::Test {
   }
   tree::Tree ParseTree(const std::string& xml) {
     auto r = tree::ParseXml(xml, &dict_);
-    EXPECT_TRUE(r.well_formed) << r.error.message;
-    return r.tree;
+    EXPECT_TRUE(r.ok()) << r.error_message();
+    return r.value().tree;
   }
   std::vector<SymbolId> Path(const std::vector<std::string>& labels) {
     std::vector<SymbolId> out;

@@ -40,8 +40,12 @@ TEST(TreeTest, EmptyAndSingleNode) {
 
 class XmlTest : public ::testing::Test {
  protected:
-  XmlParseResult Parse(const std::string& s) {
+  Result<XmlDocument> Parse(const std::string& s) {
     return ParseXml(s, &dict_);
+  }
+  /// Category of a failed parse (kNone if it succeeded).
+  XmlErrorCategory Category(const std::string& s) {
+    return ClassifyXmlError(Parse(s).status());
   }
   Interner dict_;
 };
@@ -59,84 +63,85 @@ TEST_F(XmlTest, ParsesPaperFigure1Document) {
   </person>
 </persons>)";
   auto r = Parse(doc);
-  ASSERT_TRUE(r.well_formed) << r.error.message;
-  EXPECT_EQ(dict_.Name(r.tree.node(r.tree.root()).label), "persons");
-  EXPECT_EQ(r.tree.Depth(), 4u);
-  ASSERT_EQ(r.attributes.size(), 1u);
-  EXPECT_EQ(r.attributes[0].name, "pers_id");
-  EXPECT_EQ(r.attributes[0].value, "1");
+  ASSERT_TRUE(r.ok()) << r.error_message();
+  const XmlDocument& d = r.value();
+  EXPECT_EQ(dict_.Name(d.tree.node(d.tree.root()).label), "persons");
+  EXPECT_EQ(d.tree.Depth(), 4u);
+  ASSERT_EQ(d.attributes.size(), 1u);
+  EXPECT_EQ(d.attributes[0].name, "pers_id");
+  EXPECT_EQ(d.attributes[0].value, "1");
 }
 
 TEST_F(XmlTest, SelfClosingAndComments) {
   auto r = Parse("<a><!-- hi --><b/><c x='1'/></a>");
-  ASSERT_TRUE(r.well_formed);
-  EXPECT_EQ(r.tree.NumNodes(), 3u);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().tree.NumNodes(), 3u);
 }
 
 TEST_F(XmlTest, CdataAndEntities) {
   auto r = Parse("<a>x &amp; y<![CDATA[<raw>]]></a>");
-  ASSERT_TRUE(r.well_formed);
-  EXPECT_EQ(r.tree.node(0).text, "x & y<raw>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().tree.node(0).text, "x & y<raw>");
 }
 
 TEST_F(XmlTest, DetectsTagMismatch) {
   auto r = Parse("<a><b></a></b>");
-  EXPECT_FALSE(r.well_formed);
-  EXPECT_EQ(r.error.category, XmlErrorCategory::kTagMismatch);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(ClassifyXmlError(r.status()), XmlErrorCategory::kTagMismatch);
 }
 
 TEST_F(XmlTest, DetectsPrematureEnd) {
   for (const std::string doc : {"<a><b></b>", "<a", "<a x='1", "<a>text"}) {
-    auto r = Parse(doc);
-    EXPECT_FALSE(r.well_formed) << doc;
-    EXPECT_EQ(r.error.category, XmlErrorCategory::kPrematureEnd) << doc;
+    EXPECT_EQ(Category(doc), XmlErrorCategory::kPrematureEnd) << doc;
   }
 }
 
 TEST_F(XmlTest, DetectsBadEncoding) {
   std::string doc = "<a>\xc3(</a>";  // invalid UTF-8 continuation
   auto r = Parse(doc);
-  EXPECT_FALSE(r.well_formed);
-  EXPECT_EQ(r.error.category, XmlErrorCategory::kBadEncoding);
+  ASSERT_FALSE(r.ok());
+  // Encoding failures carry the taxonomy code, not a generic parse error.
+  EXPECT_EQ(r.status().code(), Code::kEncodingError);
+  EXPECT_EQ(ClassifyXmlError(r.status()), XmlErrorCategory::kBadEncoding);
 }
 
 TEST_F(XmlTest, DetectsBadAttribute) {
-  auto r = Parse("<a x=1></a>");
-  EXPECT_FALSE(r.well_formed);
-  EXPECT_EQ(r.error.category, XmlErrorCategory::kBadAttribute);
-  r = Parse("<a x='1' x='2'></a>");
-  EXPECT_EQ(r.error.category, XmlErrorCategory::kBadAttribute);
+  EXPECT_EQ(Category("<a x=1></a>"), XmlErrorCategory::kBadAttribute);
+  EXPECT_EQ(Category("<a x='1' x='2'></a>"),
+            XmlErrorCategory::kBadAttribute);
 }
 
 TEST_F(XmlTest, DetectsMultipleRootsAndStrayContent) {
-  auto r = Parse("<a></a><b></b>");
-  EXPECT_EQ(r.error.category, XmlErrorCategory::kMultipleRoots);
-  r = Parse("<a></a>junk");
-  EXPECT_EQ(r.error.category, XmlErrorCategory::kStrayContent);
+  EXPECT_EQ(Category("<a></a><b></b>"), XmlErrorCategory::kMultipleRoots);
+  EXPECT_EQ(Category("<a></a>junk"), XmlErrorCategory::kStrayContent);
 }
 
 TEST_F(XmlTest, DetectsBadEntityAndComment) {
-  auto r = Parse("<a>&unknown;</a>");
-  EXPECT_EQ(r.error.category, XmlErrorCategory::kBadEntity);
-  r = Parse("<a>x & y</a>");
-  EXPECT_EQ(r.error.category, XmlErrorCategory::kBadEntity);
-  r = Parse("<a><!-- x -- y --></a>");
-  EXPECT_EQ(r.error.category, XmlErrorCategory::kBadComment);
+  EXPECT_EQ(Category("<a>&unknown;</a>"), XmlErrorCategory::kBadEntity);
+  EXPECT_EQ(Category("<a>x & y</a>"), XmlErrorCategory::kBadEntity);
+  EXPECT_EQ(Category("<a><!-- x -- y --></a>"),
+            XmlErrorCategory::kBadComment);
 }
 
 TEST_F(XmlTest, DetectsEmptyDocument) {
-  auto r = Parse("   ");
-  EXPECT_EQ(r.error.category, XmlErrorCategory::kEmptyDocument);
+  EXPECT_EQ(Category("   "), XmlErrorCategory::kEmptyDocument);
+}
+
+TEST_F(XmlTest, ErrorMessagesCarryCategoryAndOffset) {
+  auto r = Parse("<a><b></a></b>");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error_message().find("tag-mismatch:"), std::string::npos);
+  EXPECT_NE(r.error_message().find("at offset"), std::string::npos);
 }
 
 TEST_F(XmlTest, RoundTripsThroughToXml) {
   auto r = Parse("<a><b><c/></b><b/></a>");
-  ASSERT_TRUE(r.well_formed);
-  const std::string rendered = ToXml(r.tree, dict_);
+  ASSERT_TRUE(r.ok());
+  const std::string rendered = ToXml(r.value().tree, dict_);
   auto r2 = Parse(rendered);
-  ASSERT_TRUE(r2.well_formed);
-  EXPECT_EQ(r2.tree.NumNodes(), r.tree.NumNodes());
-  EXPECT_EQ(r2.tree.Depth(), r.tree.Depth());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value().tree.NumNodes(), r.value().tree.NumNodes());
+  EXPECT_EQ(r2.value().tree.Depth(), r.value().tree.Depth());
 }
 
 TEST(Utf8Test, Validation) {
@@ -153,10 +158,11 @@ TEST(Utf8Test, Validation) {
 class JsonTest : public ::testing::Test {
  protected:
   JsonPtr Parse(const std::string& s) {
-    auto r = ParseJson(s);
+    auto r = ParseJson(s, &dict_);
     EXPECT_TRUE(r.ok()) << s << ": " << r.status().ToString();
     return r.ok() ? r.value() : nullptr;
   }
+  Interner dict_;
 };
 
 TEST_F(JsonTest, ParsesScalars) {
@@ -181,11 +187,11 @@ TEST_F(JsonTest, ParsesPaperFigure1Document) {
 }
 
 TEST_F(JsonTest, RejectsGarbage) {
-  EXPECT_FALSE(ParseJson("{").ok());
-  EXPECT_FALSE(ParseJson("[1,]").ok());
-  EXPECT_FALSE(ParseJson("{\"a\" 1}").ok());
-  EXPECT_FALSE(ParseJson("tru").ok());
-  EXPECT_FALSE(ParseJson("1 2").ok());
+  EXPECT_FALSE(ParseJson("{", &dict_).ok());
+  EXPECT_FALSE(ParseJson("[1,]", &dict_).ok());
+  EXPECT_FALSE(ParseJson("{\"a\" 1}", &dict_).ok());
+  EXPECT_FALSE(ParseJson("tru", &dict_).ok());
+  EXPECT_FALSE(ParseJson("1 2", &dict_).ok());
 }
 
 TEST_F(JsonTest, RoundTripsToString) {

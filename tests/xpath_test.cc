@@ -17,9 +17,9 @@ class XPathTest : public ::testing::Test {
         "</shelf><shelf id='2'><box><book><title/></book></box></shelf>"
         "</library>",
         &dict_);
-    ASSERT_TRUE(r.well_formed);
-    tree_ = r.tree;
-    for (const auto& a : r.attributes) {
+    ASSERT_TRUE(r.ok()) << r.error_message();
+    tree_ = r.value().tree;
+    for (const auto& a : r.value().attributes) {
       attrs_.emplace_back(a.node, a.name);
     }
   }
