@@ -56,5 +56,6 @@ int main() {
       "%s (%s).\nPaper reference: 51.2%% (52.6%%) and 66.1%% (75.9%%).\n",
       Percent(le1_v, all_v).c_str(), Percent(le1_u, all_u).c_str(),
       Percent(le2_v, all_v).c_str(), Percent(le2_u, all_u).c_str());
+  bench::AppendBenchJson("figure3_query_size", corpus.metrics);
   return 0;
 }

@@ -7,15 +7,21 @@
 //   $ ./build/bench/bench_ingest [num_lines] [threads]
 //
 // Defaults to 1,000,000 lines. RWDT_BENCH_JSON overrides the output
-// path; the temporary log file is removed on exit.
+// path; the temporary log file is removed on exit. Observability:
+// RWDT_TRACE=<file> records a Chrome/Perfetto trace, RWDT_PROGRESS=<ms>
+// enables live progress logging at that interval, and RWDT_REPORT
+// overrides where the final JSON run report is written (default
+// BENCH_ingest_report.json).
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <utility>
 
 #include "rwdt.h"
+#include "study_util.h"
 
 int main(int argc, char** argv) {
   using namespace rwdt;
@@ -54,10 +60,20 @@ int main(int argc, char** argv) {
   entries.clear();
   entries.shrink_to_fit();  // the stream is the only copy from here on
 
+  auto trace = bench::MaybeStartBenchTrace();
+
   ingest::IngestOptions opts;
   opts.source_name = profile.name;
   opts.wikidata_like = profile.wikidata_like;
   opts.engine.threads = threads;
+  const char* progress_env = std::getenv("RWDT_PROGRESS");
+  if (progress_env != nullptr) {
+    opts.progress.interval_ms =
+        static_cast<uint32_t>(std::strtoul(progress_env, nullptr, 10));
+  }
+  const char* report_env = std::getenv("RWDT_REPORT");
+  opts.progress.report_path =
+      report_env != nullptr ? report_env : "BENCH_ingest_report.json";
 
   const auto t0 = Clock::now();
   auto r = ingest::IngestFile(log_path, opts);
@@ -65,8 +81,7 @@ int main(int argc, char** argv) {
       std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
   std::remove(log_path.c_str());
   if (!r.ok()) {
-    std::fprintf(stderr, "FATAL: ingest failed: %s\n",
-                 r.error_message().c_str());
+    RWDT_LOG(ERROR) << "ingest failed: " << r.error_message();
     return 1;
   }
   const ingest::IngestReport& report = r.value();
@@ -103,14 +118,12 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(out,
-               "{\"bench\":\"ingest\",\"lines\":%llu,\"bytes\":%llu,"
-               "\"corrupted\":%llu,\"threads\":%u,\"wall_ms\":%.3f,"
-               "\"lines_per_sec\":%.0f,\"metrics\":%s}\n",
-               static_cast<unsigned long long>(report.lines_read),
-               static_cast<unsigned long long>(report.bytes_read),
+               "{\"bench\":\"ingest\",\"corrupted\":%llu,\"threads\":%u,"
+               "\"wall_ms\":%.3f,\"lines_per_sec\":%.0f,\"report\":%s}\n",
                static_cast<unsigned long long>(summary.corrupted), threads,
-               ms, lines_per_sec, report.metrics.ToJson().c_str());
+               ms, lines_per_sec, report.ToJson().c_str());
   std::fclose(out);
   std::printf("wrote %s\n", path.c_str());
+  bench::FinishBenchTrace(std::move(trace));
   return 0;
 }

@@ -6,17 +6,21 @@
 //   $ ./build/bench/bench_log_study [num_queries]
 //
 // Environment: RWDT_BENCH_THREADS="1,2,4" overrides the sweep;
-// RWDT_BENCH_JSON overrides the output path.
+// RWDT_BENCH_JSON overrides the output path; RWDT_TRACE=<file> records
+// a Chrome/Perfetto trace of the whole sweep; RWDT_PROGRESS=<ms>
+// enables live one-line progress reporting at that interval.
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/table.h"
 #include "engine/engine.h"
+#include "study_util.h"
 
 namespace {
 
@@ -46,6 +50,13 @@ int main(int argc, char** argv) {
   profile.name = "bench-log-study";
   const uint64_t seed = 2022;
 
+  auto trace = bench::MaybeStartBenchTrace();
+  const char* progress_env = std::getenv("RWDT_PROGRESS");
+  const uint32_t progress_ms =
+      progress_env != nullptr
+          ? static_cast<uint32_t>(std::strtoul(progress_env, nullptr, 10))
+          : 0;
+
   // Generate once so the sweep times only the analysis pipeline.
   const auto entries = loggen::GenerateLog(profile, seed);
   std::printf("log: %zu entries; sweeping threads...\n\n", entries.size());
@@ -70,6 +81,7 @@ int main(int argc, char** argv) {
   for (unsigned threads : ThreadSweep()) {
     engine::EngineOptions opts;
     opts.threads = threads;
+    opts.progress.interval_ms = progress_ms;
     engine::Engine eng(opts);
     const auto t0 = Clock::now();
     const core::SourceStudy study =
@@ -80,9 +92,8 @@ int main(int argc, char** argv) {
       reference = study;
       base_ms = ms;
     } else if (!(study == reference)) {
-      std::fprintf(stderr,
-                   "FATAL: aggregates at threads=%u differ from threads=%u\n",
-                   threads, runs.front().threads);
+      RWDT_LOG(ERROR) << "aggregates at threads=" << threads
+                      << " differ from threads=" << runs.front().threads;
       return 1;
     }
     Run run{threads, ms, eng.Snapshot()};
@@ -117,5 +128,6 @@ int main(int argc, char** argv) {
   std::fprintf(out, "]}\n");
   std::fclose(out);
   std::printf("wrote %s\n", path.c_str());
+  bench::FinishBenchTrace(std::move(trace));
   return 0;
 }

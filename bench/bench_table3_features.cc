@@ -38,5 +38,6 @@ int main() {
       " 8.39%%, Filter 17.80%%. The group contrast (paths and\nService"
       " prominent only in Wikidata, Filter/Optional/Union much heavier"
       " in\nDBpedia-BritM) is the shape to compare.\n");
+  bench::AppendBenchJson("table3_features", corpus.metrics);
   return 0;
 }

@@ -36,5 +36,6 @@ int main() {
       "subtotal 50.51%% (66.89%%). The\nshape to hold: conjunctive "
       "queries are roughly half of the DBpedia-BritM\nlogs, dominated by "
       "the operator-free class.\n");
+  bench::AppendBenchJson("table4_cq_fragments", corpus.metrics);
   return 0;
 }

@@ -42,5 +42,6 @@ int main() {
       "subtotal 34.67%%\n(21.13%%). The shape to hold: CQ-like fragments "
       "are much smaller in Wikidata\nthan in DBpedia-BritM (Table 4), and "
       "adding 2RPQs roughly doubles coverage.\n");
+  bench::AppendBenchJson("table5_c2rpq_fragments", corpus.metrics);
   return 0;
 }

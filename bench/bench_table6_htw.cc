@@ -47,5 +47,6 @@ int main() {
       "96.63%% (95.56%%),\nhtw<=2 100%%. Shape to hold: almost everything "
       "is acyclic and even\nfree-connex; width 2 already covers the "
       "whole corpus.\n");
+  bench::AppendBenchJson("table6_htw", corpus.metrics);
   return 0;
 }

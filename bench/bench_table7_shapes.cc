@@ -55,5 +55,6 @@ int main() {
       "tw<=2 100%%. Without\nconstants, 'no edge' alone jumps to 86.75%% "
       "(84.07%%). Shape to hold: chains\nand stars dominate, constants "
       "carry most of the structure.\n");
+  bench::AppendBenchJson("table7_shapes", corpus.metrics);
   return 0;
 }

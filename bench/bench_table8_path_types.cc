@@ -63,5 +63,6 @@ int main() {
       "98.4%% of robotic paths\nare simple transitive expressions. Shape "
       "to hold: a* dominates transitive\ntypes, plain words dominate "
       "non-transitive ones, STEs cover ~98-99%%.\n");
+  bench::AppendBenchJson("table8_path_types", corpus.metrics);
   return 0;
 }

@@ -57,5 +57,6 @@ int main() {
       "ms\n",
       query_text.c_str(), wd ? "yes" : "no", rows.size(),
       std::chrono::duration<double, std::milli>(stop - start).count());
+  bench::AppendBenchJson("well_designed", corpus.metrics);
   return 0;
 }

@@ -3,12 +3,16 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "core/log_study.h"
 #include "engine/engine.h"
 #include "loggen/sparql_gen.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 
 namespace rwdt::bench {
 
@@ -49,10 +53,9 @@ inline StudyCorpus RunFullStudy(uint64_t scale, uint64_t seed = 2022) {
   opts.threads = ThreadsFromEnv();
   engine::Engine eng(opts);  // one engine: the cache warms across sources
   for (const auto& profile : loggen::Table2Profiles(scale)) {
-    std::fprintf(stderr, "  analyzing %-16s (%llu queries, %u threads)...\n",
-                 profile.name.c_str(),
-                 static_cast<unsigned long long>(profile.total_queries),
-                 eng.threads());
+    RWDT_LOG(INFO) << "analyzing " << profile.name << " ("
+                   << profile.total_queries << " queries, " << eng.threads()
+                   << " threads)";
     core::SourceStudy study = eng.AnalyzeLog(profile, seed);
     if (profile.wikidata_like) {
       core::MergeSource(study, &corpus.wikidata);
@@ -66,16 +69,47 @@ inline StudyCorpus RunFullStudy(uint64_t scale, uint64_t seed = 2022) {
   return corpus;
 }
 
-/// Appends this run's metrics to a machine-readable JSON file (one JSON
-/// object per line) so perf is comparable across PRs.
+/// The one place table benches write their MetricsSnapshot: appends this
+/// run's metrics as a JSON-lines record next to the BENCH_*.json outputs
+/// so perf is comparable across PRs. The bench name is escaped — no
+/// bench hand-rolls this JSON itself.
 inline void AppendBenchJson(const std::string& bench_name,
                             const engine::MetricsSnapshot& snap,
                             const char* path = "BENCH_study_metrics.jsonl") {
   FILE* out = std::fopen(path, "a");
-  if (out == nullptr) return;
-  std::fprintf(out, "{\"bench\":\"%s\",\"metrics\":%s}\n", bench_name.c_str(),
-               snap.ToJson().c_str());
+  if (out == nullptr) {
+    RWDT_LOG(ERROR) << "cannot append bench metrics to " << path;
+    return;
+  }
+  std::fprintf(out, "{\"bench\":\"%s\",\"metrics\":%s}\n",
+               JsonEscape(bench_name).c_str(), snap.ToJson().c_str());
   std::fclose(out);
+  RWDT_LOG(INFO) << "bench " << bench_name << ": metrics appended to "
+                 << path;
+}
+
+/// Shared tracing hook for bench binaries: when the RWDT_TRACE
+/// environment variable names a file, returns an installed collector
+/// whose Chrome trace JSON is written there by `FinishBenchTrace`.
+inline std::unique_ptr<obs::TraceCollector> MaybeStartBenchTrace() {
+  const char* path = std::getenv("RWDT_TRACE");
+  if (path == nullptr || path[0] == '\0') return nullptr;
+  return std::make_unique<obs::TraceCollector>();
+}
+
+inline void FinishBenchTrace(std::unique_ptr<obs::TraceCollector> trace) {
+  if (trace == nullptr) return;
+  const char* path = std::getenv("RWDT_TRACE");
+  if (path == nullptr) return;
+  const Status st = trace->WriteChromeJson(path);
+  if (!st.ok()) {
+    RWDT_LOG(ERROR) << "trace export failed: " << st.message();
+    return;
+  }
+  RWDT_LOG(INFO) << "trace: " << trace->events_recorded() << " spans from "
+                 << trace->threads_seen() << " threads ("
+                 << trace->events_dropped() << " dropped) written to "
+                 << path << " — open in Perfetto / chrome://tracing";
 }
 
 }  // namespace rwdt::bench

@@ -8,10 +8,16 @@
 // The engine guarantees bit-identical aggregates for any thread count,
 // which this example verifies by running threads=1 and threads=N over
 // the same log and comparing the studies.
+//
+// Watch a run live: RWDT_PROGRESS=<ms> logs a one-line engine snapshot
+// (entries/sec, cache hit rate, rejects) at that interval during the
+// ingest phase, and RWDT_TRACE=<file> writes a Chrome/Perfetto trace of
+// the per-worker pipeline stages.
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <sstream>
 
 #include "rwdt.h"
@@ -22,6 +28,20 @@ int main(int argc, char** argv) {
   const uint64_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 5000;
   const unsigned threads =
       argc > 2 ? static_cast<unsigned>(std::strtoul(argv[2], nullptr, 10)) : 4;
+
+  // Optional observability, keyed off the environment so the default run
+  // stays byte-identical: a trace collector records per-worker stage
+  // spans, a progress interval makes the ingest below report live.
+  const char* trace_path = std::getenv("RWDT_TRACE");
+  std::unique_ptr<obs::TraceCollector> trace;
+  if (trace_path != nullptr && trace_path[0] != '\0') {
+    trace = std::make_unique<obs::TraceCollector>();
+  }
+  const char* progress_env = std::getenv("RWDT_PROGRESS");
+  const uint32_t progress_ms =
+      progress_env != nullptr
+          ? static_cast<uint32_t>(std::strtoul(progress_env, nullptr, 10))
+          : 0;
 
   loggen::SourceProfile profile = loggen::ExampleProfile(n);
   profile.name = "mini-study";
@@ -48,8 +68,8 @@ int main(int argc, char** argv) {
   const double ms1 = run(1, &single, nullptr);
   const double msN = run(threads, &study, &snap);
   if (!(single == study)) {
-    std::fprintf(stderr, "FATAL: threads=%u study differs from threads=1\n",
-                 threads);
+    RWDT_LOG(ERROR) << "threads=" << threads
+                    << " study differs from threads=1";
     return 1;
   }
   std::printf(
@@ -133,10 +153,10 @@ int main(int argc, char** argv) {
   iopts.source_name = profile.name;
   iopts.wikidata_like = profile.wikidata_like;
   iopts.engine.threads = threads;
+  iopts.progress.interval_ms = progress_ms;  // live one-line snapshots
   auto ingested = ingest::IngestStream(log_text, iopts);
   if (!ingested.ok()) {
-    std::fprintf(stderr, "FATAL: ingest failed: %s\n",
-                 ingested.error_message().c_str());
+    RWDT_LOG(ERROR) << "ingest failed: " << ingested.error_message();
     return 1;
   }
   const ingest::IngestReport& report = ingested.value();
@@ -159,5 +179,16 @@ int main(int argc, char** argv) {
                    Percent(count, report.study.total)});
   }
   std::printf("%s", errors.Render().c_str());
+
+  if (trace != nullptr) {
+    const Status st = trace->WriteChromeJson(trace_path);
+    if (!st.ok()) {
+      RWDT_LOG(ERROR) << "trace export failed: " << st.message();
+    } else {
+      RWDT_LOG(INFO) << "trace: " << trace->events_recorded()
+                     << " spans written to " << trace_path
+                     << " — open in Perfetto / chrome://tracing";
+    }
+  }
   return 0;
 }

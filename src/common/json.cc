@@ -1,0 +1,123 @@
+#include "common/json.h"
+
+#include <cstdio>
+
+namespace rwdt {
+namespace {
+
+/// Length of the valid UTF-8 sequence starting at s[i], or 0 if the
+/// bytes there are not well-formed (overlong forms, surrogates, and
+/// out-of-range code points rejected, mirroring tree::IsValidUtf8).
+size_t Utf8SequenceLength(std::string_view s, size_t i) {
+  const unsigned char b0 = static_cast<unsigned char>(s[i]);
+  if (b0 < 0x80) return 1;
+  size_t len;
+  unsigned min_cp;
+  unsigned cp;
+  if ((b0 & 0xE0) == 0xC0) {
+    len = 2;
+    min_cp = 0x80;
+    cp = b0 & 0x1F;
+  } else if ((b0 & 0xF0) == 0xE0) {
+    len = 3;
+    min_cp = 0x800;
+    cp = b0 & 0x0F;
+  } else if ((b0 & 0xF8) == 0xF0) {
+    len = 4;
+    min_cp = 0x10000;
+    cp = b0 & 0x07;
+  } else {
+    return 0;
+  }
+  if (i + len > s.size()) return 0;
+  for (size_t k = 1; k < len; ++k) {
+    const unsigned char b = static_cast<unsigned char>(s[i + k]);
+    if ((b & 0xC0) != 0x80) return 0;
+    cp = (cp << 6) | (b & 0x3F);
+  }
+  if (cp < min_cp || cp > 0x10FFFF) return 0;
+  if (cp >= 0xD800 && cp <= 0xDFFF) return 0;  // surrogate
+  return len;
+}
+
+}  // namespace
+
+void AppendJsonEscaped(std::string_view s, std::string* out) {
+  for (size_t i = 0; i < s.size();) {
+    const unsigned char c = static_cast<unsigned char>(s[i]);
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        ++i;
+        continue;
+      case '\\':
+        *out += "\\\\";
+        ++i;
+        continue;
+      case '\b':
+        *out += "\\b";
+        ++i;
+        continue;
+      case '\f':
+        *out += "\\f";
+        ++i;
+        continue;
+      case '\n':
+        *out += "\\n";
+        ++i;
+        continue;
+      case '\r':
+        *out += "\\r";
+        ++i;
+        continue;
+      case '\t':
+        *out += "\\t";
+        ++i;
+        continue;
+      default:
+        break;
+    }
+    if (c < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      *out += buf;
+      ++i;
+      continue;
+    }
+    if (c < 0x80) {
+      out->push_back(static_cast<char>(c));
+      ++i;
+      continue;
+    }
+    const size_t len = Utf8SequenceLength(s, i);
+    if (len == 0) {
+      // Invalid byte: substitute U+FFFD so the emitted JSON stays valid
+      // UTF-8 even when the input (e.g. a corrupt log's source column)
+      // is not.
+      *out += "\xEF\xBF\xBD";
+      ++i;
+    } else {
+      out->append(s.substr(i, len));
+      i += len;
+    }
+  }
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  AppendJsonEscaped(s, &out);
+  return out;
+}
+
+void AppendJsonStringField(std::string_view key, std::string_view value,
+                           std::string* out, bool trailing_comma) {
+  out->push_back('"');
+  AppendJsonEscaped(key, out);
+  *out += "\":\"";
+  AppendJsonEscaped(value, out);
+  out->push_back('"');
+  if (trailing_comma) out->push_back(',');
+}
+
+}  // namespace rwdt

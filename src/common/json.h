@@ -1,0 +1,27 @@
+#ifndef RWDT_COMMON_JSON_H_
+#define RWDT_COMMON_JSON_H_
+
+#include <string>
+#include <string_view>
+
+namespace rwdt {
+
+/// Appends `s` to `*out` as the body of a JSON string literal (without
+/// the surrounding quotes): `"`, `\`, and all control characters are
+/// escaped, and bytes that are not valid UTF-8 are replaced by U+FFFD so
+/// the output is always a valid JSON string. Every hand-rolled JSON
+/// emitter in the repo (metrics, ingest report, trace export, bench
+/// writers) must route user-influenced text through this.
+void AppendJsonEscaped(std::string_view s, std::string* out);
+
+/// Returns the escaped body, e.g. JsonEscape("a\"b\n") == "a\\\"b\\n".
+std::string JsonEscape(std::string_view s);
+
+/// Appends `"key":"value"` (both escaped) plus an optional trailing
+/// comma — the common shape of the string fields in our JSON emitters.
+void AppendJsonStringField(std::string_view key, std::string_view value,
+                           std::string* out, bool trailing_comma = true);
+
+}  // namespace rwdt
+
+#endif  // RWDT_COMMON_JSON_H_

@@ -9,6 +9,7 @@
 
 #include "common/interner.h"
 #include "core/query_analysis.h"
+#include "obs/trace.h"
 #include "sparql/parser.h"
 
 namespace rwdt::engine {
@@ -46,6 +47,7 @@ Status EngineOptions::Validate() const {
         "cache_shards exceeds cache_capacity (shards would be empty)");
   }
   RWDT_RETURN_IF_ERROR(parse_limits.Validate());
+  RWDT_RETURN_IF_ERROR(progress.Validate());
   return Status::Ok();
 }
 
@@ -71,6 +73,8 @@ struct EngineStream::Impl {
   Engine* engine = nullptr;
   core::SourceStudy study;
   std::vector<Engine::ShardState> shards;
+  /// Live reporting for the stream's lifetime (null unless enabled).
+  std::unique_ptr<obs::ProgressReporter> reporter;
 };
 
 Engine::Engine(const EngineOptions& options)
@@ -107,6 +111,12 @@ EngineStream Engine::OpenStream(std::string name, bool wikidata_like) {
   impl->study.name = std::move(name);
   impl->study.wikidata_like = wikidata_like;
   impl->shards = std::vector<ShardState>(num_shards_);
+  if (options_.progress.enabled()) {
+    obs::ProgressOptions popts = options_.progress;
+    if (popts.label == "run") popts.label = impl->study.name;
+    impl->reporter = std::make_unique<obs::ProgressReporter>(
+        [this] { return Snapshot(); }, std::move(popts));
+  }
   return EngineStream(std::move(impl));
 }
 
@@ -119,6 +129,7 @@ EngineStream::~EngineStream() = default;
 void EngineStream::Feed(const std::vector<loggen::LogEntry>& chunk) {
   Impl& im = *impl_;
   Engine& eng = *im.engine;
+  obs::Span feed_span("feed");
   const uint64_t t_start = NowNs();
 
   // Route entries to shards by text hash: every duplicate of a query
@@ -166,17 +177,27 @@ core::SourceStudy EngineStream::Finish() {
 
   // Reduce in shard order. All aggregate fields are unsigned sums, so
   // the result is independent of the shard partition itself.
-  core::SourceStudy study = std::move(im.study);
-  for (const Engine::ShardState& s : im.shards) {
-    study.valid += s.valid;
-    study.unique += s.unique;
-    for (size_t c = 0; c < kNumErrorClasses; ++c) {
-      study.errors[c] += s.errors[c];
+  core::SourceStudy study;
+  {
+    obs::Span finish_span("finish");
+    study = std::move(im.study);
+    for (const Engine::ShardState& s : im.shards) {
+      study.valid += s.valid;
+      study.unique += s.unique;
+      for (size_t c = 0; c < kNumErrorClasses; ++c) {
+        study.errors[c] += s.errors[c];
+      }
+      core::Merge(s.valid_agg, &study.valid_agg);
+      core::Merge(s.unique_agg, &study.unique_agg);
     }
-    core::Merge(s.valid_agg, &study.valid_agg);
-    core::Merge(s.unique_agg, &study.unique_agg);
+    im.shards.clear();
   }
-  im.shards.clear();
+  // Stop after the reduce so the final report's counters are the run's
+  // complete totals.
+  if (im.reporter != nullptr) {
+    im.reporter->Stop();
+    im.reporter.reset();
+  }
   return study;
 }
 
@@ -184,6 +205,7 @@ void Engine::ProcessShard(
     const std::vector<const loggen::LogEntry*>& entries,
     ShardState* state) {
   const bool timed = options_.collect_stage_timings;
+  obs::Span shard_span("shard");
 
   auto compute = [&](const std::string& text)
       -> std::shared_ptr<const CachedQuery> {
@@ -195,7 +217,10 @@ void Engine::ProcessShard(
     const uint64_t t0 = timed ? NowNs() : 0;
     auto parsed = sparql::ParseSparql(text, &dict, options_.parse_limits);
     const uint64_t t1 = timed ? NowNs() : 0;
-    if (timed) metrics_.Record(Stage::kParse, t1 - t0);
+    if (timed) {
+      metrics_.Record(Stage::kParse, t1 - t0);
+      obs::EmitSpan("parse", t0, t1 - t0);
+    }
     if (parsed.ok()) {
       core::StageTimings st;
       fresh->parse_ok = true;
@@ -205,6 +230,13 @@ void Engine::ProcessShard(
         metrics_.Record(Stage::kFeatures, st.feature_ns);
         metrics_.Record(Stage::kHypergraph, st.hypergraph_ns);
         metrics_.Record(Stage::kPaths, st.path_ns);
+        // AnalyzeQuery runs its stages back-to-back starting right after
+        // the parse, so their spans chain from t1 using the durations it
+        // reported (start offsets are exact up to its internal overhead).
+        obs::EmitSpan("features", t1, st.feature_ns);
+        obs::EmitSpan("hypergraph", t1 + st.feature_ns, st.hypergraph_ns);
+        obs::EmitSpan("paths", t1 + st.feature_ns + st.hypergraph_ns,
+                      st.path_ns);
       }
       metrics_.AddAnalyzed(1);
     } else {
@@ -218,7 +250,11 @@ void Engine::ProcessShard(
   auto aggregate = [&](const core::QueryAnalysis& a, core::LogAggregates* agg) {
     const uint64_t t0 = timed ? NowNs() : 0;
     core::AddToAggregates(a, 1, agg);
-    if (timed) metrics_.Record(Stage::kAggregate, NowNs() - t0);
+    if (timed) {
+      const uint64_t dur = NowNs() - t0;
+      metrics_.Record(Stage::kAggregate, dur);
+      obs::EmitSpan("aggregate", t0, dur);
+    }
   };
 
   // Every rejected entry is attributed to exactly one taxonomy class,

@@ -12,6 +12,7 @@
 #include "engine/query_cache.h"
 #include "engine/thread_pool.h"
 #include "loggen/sparql_gen.h"
+#include "obs/progress.h"
 #include "sparql/parser.h"
 
 namespace rwdt::engine {
@@ -33,8 +34,17 @@ struct EngineOptions {
   size_t cache_shards = 0;
 
   /// Record per-stage latency histograms (two steady_clock reads per
-  /// stage per analyzed query; disable for maximum throughput).
+  /// stage per analyzed query; disable for maximum throughput). Per-stage
+  /// trace spans (obs::TraceCollector) also piggyback on these readings,
+  /// so tracing a run requires this to stay on.
   bool collect_stage_timings = true;
+
+  /// Live run reporting: while a stream is open (AnalyzeLog,
+  /// AnalyzeEntries, OpenStream..Finish), a background thread snapshots
+  /// Metrics every `progress.interval_ms` and logs a one-line summary;
+  /// on Finish a JSON run report goes to `progress.report_path` if set.
+  /// Disabled by default (interval 0, empty path).
+  obs::ProgressOptions progress;
 
   /// Per-query analysis knobs, forwarded to core::AnalyzeQuery.
   core::LogStudyOptions study;

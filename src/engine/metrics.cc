@@ -3,6 +3,7 @@
 #include <bit>
 #include <cstdio>
 
+#include "common/json.h"
 #include "common/table.h"
 
 namespace rwdt::engine {
@@ -13,10 +14,6 @@ uint64_t BucketMid(size_t b) {
   if (b == 0) return 0;
   const double lo = static_cast<double>(uint64_t{1} << (b - 1));
   return static_cast<uint64_t>(lo * 1.41421356237);
-}
-
-uint64_t BucketHi(size_t b) {
-  return b >= 63 ? ~uint64_t{0} : (uint64_t{1} << b) - 1;
 }
 
 /// Value at quantile q in [0,1] of a bucketed histogram with n samples.
@@ -81,6 +78,12 @@ void Metrics::Record(Stage stage, uint64_t ns) {
   const size_t b = std::bit_width(ns);  // 0 -> bucket 0, else floor(log2)+1
   histogram_[s][b < kBuckets ? b : kBuckets - 1].fetch_add(1, kRelaxed);
   stage_total_ns_[s].fetch_add(ns, kRelaxed);
+  // CAS-max: the snapshot's max_ns is the exact observed maximum, not
+  // the upper edge of a histogram bucket.
+  uint64_t cur = stage_max_ns_[s].load(kRelaxed);
+  while (ns > cur &&
+         !stage_max_ns_[s].compare_exchange_weak(cur, ns, kRelaxed)) {
+  }
 }
 
 MetricsSnapshot Metrics::Snapshot() const {
@@ -97,11 +100,9 @@ MetricsSnapshot Metrics::Snapshot() const {
   for (size_t s = 0; s < kNumStages; ++s) {
     std::array<uint64_t, kBuckets> buckets{};
     uint64_t count = 0;
-    size_t highest = 0;
     for (size_t b = 0; b < kBuckets; ++b) {
       buckets[b] = histogram_[s][b].load(kRelaxed);
       count += buckets[b];
-      if (buckets[b] > 0) highest = b;
     }
     StageStats& st = snap.stages[s];
     st.count = count;
@@ -110,7 +111,7 @@ MetricsSnapshot Metrics::Snapshot() const {
     st.p50_ns = Quantile(buckets, count, 0.50);
     st.p90_ns = Quantile(buckets, count, 0.90);
     st.p99_ns = Quantile(buckets, count, 0.99);
-    st.max_ns = count == 0 ? 0 : BucketHi(highest);
+    st.max_ns = stage_max_ns_[s].load(kRelaxed);
   }
   return snap;
 }
@@ -127,6 +128,7 @@ void Metrics::Reset() {
     for (auto& bucket : stage) bucket.store(0, kRelaxed);
   }
   for (auto& total : stage_total_ns_) total.store(0, kRelaxed);
+  for (auto& mx : stage_max_ns_) mx.store(0, kRelaxed);
 }
 
 std::string MetricsSnapshot::ToText() const {
@@ -169,7 +171,8 @@ std::string MetricsSnapshot::ToText() const {
     }
   }
 
-  AsciiTable table({"Stage", "Count", "Total", "Mean", "p50", "p90", "p99"});
+  AsciiTable table(
+      {"Stage", "Count", "Total", "Mean", "p50", "p90", "p99", "Max"});
   for (size_t s = 0; s < kNumStages; ++s) {
     const StageStats& st = stages[s];
     if (st.count == 0) continue;
@@ -178,7 +181,8 @@ std::string MetricsSnapshot::ToText() const {
                   NsHuman(st.mean_ns),
                   NsHuman(static_cast<double>(st.p50_ns)),
                   NsHuman(static_cast<double>(st.p90_ns)),
-                  NsHuman(static_cast<double>(st.p99_ns))});
+                  NsHuman(static_cast<double>(st.p99_ns)),
+                  NsHuman(static_cast<double>(st.max_ns))});
   }
   out += table.Render();
   return out;
@@ -206,7 +210,9 @@ std::string MetricsSnapshot::ToJson() const {
                   static_cast<double>(TotalErrors()));
   out += "\"errors\":{";
   for (size_t c = 0; c < kNumErrorClasses; ++c) {
-    AppendJsonField(&out, ErrorClassName(static_cast<ErrorClass>(c)),
+    AppendJsonField(&out,
+                    JsonEscape(ErrorClassName(static_cast<ErrorClass>(c)))
+                        .c_str(),
                     static_cast<double>(errors[c]),
                     /*trailing_comma=*/c + 1 < kNumErrorClasses);
   }
@@ -219,14 +225,15 @@ std::string MetricsSnapshot::ToJson() const {
     if (!first) out += ',';
     first = false;
     out += '"';
-    out += StageName(static_cast<Stage>(s));
+    AppendJsonEscaped(StageName(static_cast<Stage>(s)), &out);
     out += "\":{";
     AppendJsonField(&out, "count", static_cast<double>(st.count));
     AppendJsonField(&out, "total_ms", st.total_ns / 1e6);
     AppendJsonField(&out, "mean_us", st.mean_ns / 1e3);
     AppendJsonField(&out, "p50_us", st.p50_ns / 1e3);
     AppendJsonField(&out, "p90_us", st.p90_ns / 1e3);
-    AppendJsonField(&out, "p99_us", st.p99_ns / 1e3, false);
+    AppendJsonField(&out, "p99_us", st.p99_ns / 1e3);
+    AppendJsonField(&out, "max_us", st.max_ns / 1e3, false);
     out += '}';
   }
   out += "}}";

@@ -36,7 +36,9 @@ struct StageStats {
   uint64_t p50_ns = 0;
   uint64_t p90_ns = 0;
   uint64_t p99_ns = 0;
-  uint64_t max_ns = 0;  // upper edge of the highest non-empty bucket
+  /// Exact observed maximum (tracked by an atomic CAS-max per sample,
+  /// not reconstructed from the histogram buckets).
+  uint64_t max_ns = 0;
 };
 
 /// A point-in-time copy of all engine counters, safe to read, print, and
@@ -119,6 +121,7 @@ class Metrics {
   std::array<std::array<std::atomic<uint64_t>, kBuckets>, kNumStages>
       histogram_;
   std::array<std::atomic<uint64_t>, kNumStages> stage_total_ns_;
+  std::array<std::atomic<uint64_t>, kNumStages> stage_max_ns_;
 };
 
 }  // namespace rwdt::engine

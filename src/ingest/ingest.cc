@@ -2,11 +2,16 @@
 
 #include <fstream>
 #include <istream>
+#include <memory>
 #include <streambuf>
 #include <utility>
 #include <vector>
 
+#include "common/json.h"
 #include "loggen/sparql_gen.h"
+#include "obs/log.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "tree/xml.h"
 
 namespace rwdt::ingest {
@@ -50,9 +55,21 @@ Result<IngestReport> Run(std::istream& in, engine::Engine* engine,
                          const IngestOptions& options) {
   RWDT_RETURN_IF_ERROR(options.Validate());
 
+  obs::Span ingest_span("ingest");
   IngestReport report;
   engine::EngineStream stream =
       engine->OpenStream(options.source_name, options.wikidata_like);
+
+  // Live reporting for this ingest: snapshots the engine (which may be
+  // caller-owned and warm) on a background thread. The final report is
+  // rendered in Stop(), after the last Feed.
+  std::unique_ptr<obs::ProgressReporter> reporter;
+  if (options.progress.enabled()) {
+    obs::ProgressOptions popts = options.progress;
+    if (popts.label == "run") popts.label = "ingest:" + options.source_name;
+    reporter = std::make_unique<obs::ProgressReporter>(
+        [engine] { return engine->Snapshot(); }, std::move(popts));
+  }
 
   std::vector<loggen::LogEntry> chunk;
   chunk.reserve(options.chunk_entries);
@@ -60,6 +77,18 @@ Result<IngestReport> Run(std::istream& in, engine::Engine* engine,
     if (chunk.empty()) return;
     stream.Feed(chunk);
     chunk.clear();
+  };
+
+  // Every reader-level reject is a structured log event carrying the
+  // error class, physical line number, and the ingest stage that
+  // tripped. DEBUG level: per-line events are only composed when the
+  // logger is opened up that far, so a 20%-corrupt million-line log
+  // costs nothing by default.
+  auto reject = [&](ErrorClass c, const char* stage) {
+    stream.Reject(c);
+    RWDT_LOG(DEBUG) << "ingest reject: class=" << ErrorClassName(c)
+                    << " line=" << report.lines_read << " stage=" << stage
+                    << " source=" << options.source_name;
   };
 
   std::streambuf* buf = in.rdbuf();
@@ -74,7 +103,7 @@ Result<IngestReport> Run(std::istream& in, engine::Engine* engine,
     }
     // Oversize first: a truncated line's tab or encoding is meaningless.
     if (overflow) {
-      stream.Reject(ErrorClass::kResourceExhausted);
+      reject(ErrorClass::kResourceExhausted, "read");
       continue;
     }
 
@@ -83,7 +112,7 @@ Result<IngestReport> Run(std::istream& in, engine::Engine* engine,
       const size_t tab = line.find('\t');
       if (tab == std::string::npos) {
         // Structurally broken record; no source column to attribute.
-        stream.Reject(ErrorClass::kParseError);
+        reject(ErrorClass::kParseError, "split");
         continue;
       }
       report.per_source[line.substr(0, tab)]++;
@@ -91,7 +120,7 @@ Result<IngestReport> Run(std::istream& in, engine::Engine* engine,
     }
 
     if (options.validate_utf8 && !tree::IsValidUtf8(query)) {
-      stream.Reject(ErrorClass::kEncodingError);
+      reject(ErrorClass::kEncodingError, "utf8");
       continue;
     }
 
@@ -101,7 +130,13 @@ Result<IngestReport> Run(std::istream& in, engine::Engine* engine,
   flush();
 
   report.study = stream.Finish();
+  if (reporter != nullptr) reporter->Stop();
   report.metrics = engine->Snapshot();
+  RWDT_LOG(INFO) << "ingest " << options.source_name << ": "
+                 << report.lines_read << " lines, " << report.study.valid
+                 << " valid, " << report.study.unique << " unique, "
+                 << (report.study.total - report.study.valid)
+                 << " rejected, " << report.blank_lines << " blank";
   return report;
 }
 
@@ -115,7 +150,50 @@ Status IngestOptions::Validate() const {
     return Status::InvalidArgument("max_line_bytes must be > 0");
   }
   RWDT_RETURN_IF_ERROR(engine.Validate());
+  RWDT_RETURN_IF_ERROR(progress.Validate());
   return Status::Ok();
+}
+
+std::string IngestReport::ToJson() const {
+  std::string out = "{\"study\":{";
+  AppendJsonStringField("name", study.name, &out);
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "\"wikidata_like\":%s,\"total\":%llu,\"valid\":%llu,"
+                "\"unique\":%llu,\"errors\":{",
+                study.wikidata_like ? "true" : "false",
+                static_cast<unsigned long long>(study.total),
+                static_cast<unsigned long long>(study.valid),
+                static_cast<unsigned long long>(study.unique));
+  out += buf;
+  for (size_t c = 0; c < kNumErrorClasses; ++c) {
+    std::snprintf(buf, sizeof(buf), "%s\"%s\":%llu", c == 0 ? "" : ",",
+                  JsonEscape(ErrorClassName(static_cast<ErrorClass>(c)))
+                      .c_str(),
+                  static_cast<unsigned long long>(study.errors[c]));
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "}},\"lines_read\":%llu,\"blank_lines\":%llu,"
+                "\"bytes_read\":%llu,\"per_source\":{",
+                static_cast<unsigned long long>(lines_read),
+                static_cast<unsigned long long>(blank_lines),
+                static_cast<unsigned long long>(bytes_read));
+  out += buf;
+  bool first = true;
+  for (const auto& [source, count] : per_source) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    AppendJsonEscaped(source, &out);  // raw log bytes: must be escaped
+    std::snprintf(buf, sizeof(buf), "\":%llu",
+                  static_cast<unsigned long long>(count));
+    out += buf;
+  }
+  out += "},\"metrics\":";
+  out += metrics.ToJson();
+  out += '}';
+  return out;
 }
 
 Result<IngestReport> IngestStream(std::istream& in,

@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "core/log_study.h"
 #include "engine/engine.h"
+#include "obs/progress.h"
 
 namespace rwdt::ingest {
 
@@ -45,6 +46,13 @@ struct IngestOptions {
   /// Engine configuration: threads, shards, cache, parse limits.
   engine::EngineOptions engine;
 
+  /// Live run reporting for this ingest (independent of
+  /// `engine.progress`, which covers engine-level streams): a background
+  /// thread logs entries/sec, cache hit rate, and reject counts every
+  /// `interval_ms`, and `report_path` receives the final JSON run
+  /// report. Disabled by default.
+  obs::ProgressOptions progress;
+
   /// Name recorded on the resulting SourceStudy.
   std::string source_name = "ingest";
   bool wikidata_like = false;
@@ -68,6 +76,12 @@ struct IngestReport {
   uint64_t bytes_read = 0;     // payload bytes consumed
   /// kTsv only: entry count per source column value.
   std::map<std::string, uint64_t> per_source;
+
+  /// Single JSON object: study counts (total/valid/unique + per-class
+  /// errors), reader counters, per-source counts (keys escaped — source
+  /// columns of corrupt logs may contain anything), and the full metrics
+  /// snapshot.
+  std::string ToJson() const;
 };
 
 /// Streams a raw query log through the engine in bounded-memory chunks.

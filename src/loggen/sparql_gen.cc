@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <functional>
 
+#include "obs/log.h"
+#include "obs/trace.h"
+
 namespace rwdt::loggen {
 namespace {
 
@@ -358,6 +361,10 @@ std::string Corrupt(std::string text, Rng& rng) {
 
 std::vector<LogEntry> GenerateLog(const SourceProfile& profile,
                                   uint64_t seed) {
+  obs::Span span("generate");
+  RWDT_LOG(DEBUG) << "loggen: generating " << profile.total_queries
+                  << " queries for profile " << profile.name << " (seed "
+                  << seed << ")";
   Rng rng(seed ^ std::hash<std::string>{}(profile.name));
   std::vector<LogEntry> out;
   out.reserve(profile.total_queries);

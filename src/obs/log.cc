@@ -1,0 +1,149 @@
+#include "obs/log.h"
+
+#include <cctype>
+#include <chrono>
+#include <cstring>
+#include <ctime>
+#include <utility>
+
+#include "common/json.h"
+
+namespace rwdt::obs {
+namespace {
+
+int64_t WallMicrosNow() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+uint64_t ThisThreadId() {
+  static std::atomic<uint64_t> next{1};
+  thread_local uint64_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void StderrSink::Write(const LogRecord& record) {
+  const std::time_t secs =
+      static_cast<std::time_t>(record.unix_micros / 1000000);
+  const long micros = static_cast<long>(record.unix_micros % 1000000);
+  std::tm tm_utc{};
+  gmtime_r(&secs, &tm_utc);
+  char when[40];
+  std::strftime(when, sizeof(when), "%Y-%m-%d %H:%M:%S", &tm_utc);
+  std::fprintf(stderr, "%c %s.%06ld %llu %s:%d] %s\n",
+               LogLevelName(record.level)[0], when, micros,
+               static_cast<unsigned long long>(record.tid), record.file,
+               record.line, record.message.c_str());
+}
+
+Result<std::unique_ptr<JsonLinesSink>> JsonLinesSink::Open(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open log sink file: " + path);
+  }
+  return std::make_unique<JsonLinesSink>(f, /*owned=*/true);
+}
+
+JsonLinesSink::JsonLinesSink(std::FILE* stream, bool owned)
+    : stream_(stream), owned_(owned) {}
+
+JsonLinesSink::~JsonLinesSink() {
+  if (owned_ && stream_ != nullptr) std::fclose(stream_);
+}
+
+void JsonLinesSink::Write(const LogRecord& record) {
+  std::string line = "{";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"ts_us\":%lld,",
+                static_cast<long long>(record.unix_micros));
+  line += buf;
+  line += "\"level\":\"";
+  for (const char* p = LogLevelName(record.level); *p != '\0'; ++p) {
+    line += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
+  }
+  line += "\",";
+  AppendJsonStringField("file", record.file, &line);
+  std::snprintf(buf, sizeof(buf), "\"line\":%d,\"tid\":%llu,", record.line,
+                static_cast<unsigned long long>(record.tid));
+  line += buf;
+  AppendJsonStringField("msg", record.message, &line,
+                        /*trailing_comma=*/false);
+  line += "}\n";
+  std::fwrite(line.data(), 1, line.size(), stream_);
+  std::fflush(stream_);
+}
+
+Logger::Logger() : min_level_(static_cast<int>(LogLevel::kInfo)) {
+  sinks_.push_back(std::make_shared<StderrSink>());
+}
+
+Logger& Logger::Global() {
+  static Logger* logger = new Logger();  // leaked: outlives static dtors
+  return *logger;
+}
+
+void Logger::SetSinks(std::vector<std::shared_ptr<LogSink>> sinks) {
+  std::lock_guard<std::mutex> lock(sinks_mu_);
+  sinks_ = std::move(sinks);
+}
+
+void Logger::AddSink(std::shared_ptr<LogSink> sink) {
+  std::lock_guard<std::mutex> lock(sinks_mu_);
+  sinks_.push_back(std::move(sink));
+}
+
+void Logger::ResetToDefault() {
+  set_min_level(LogLevel::kInfo);
+  std::lock_guard<std::mutex> lock(sinks_mu_);
+  sinks_.clear();
+  sinks_.push_back(std::make_shared<StderrSink>());
+}
+
+void Logger::Log(LogRecord record) {
+  if (record.unix_micros == 0) record.unix_micros = WallMicrosNow();
+  if (record.tid == 0) record.tid = ThisThreadId();
+  std::lock_guard<std::mutex> lock(sinks_mu_);
+  for (const auto& sink : sinks_) sink->Write(record);
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level), file_(Basename(file)), line_(line) {}
+
+LogMessage::~LogMessage() {
+  LogRecord record;
+  record.level = level_;
+  record.file = file_;
+  record.line = line_;
+  record.message = stream_.str();
+  Logger::Global().Log(std::move(record));
+}
+
+}  // namespace internal
+}  // namespace rwdt::obs

@@ -1,0 +1,157 @@
+#ifndef RWDT_OBS_LOG_H_
+#define RWDT_OBS_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rwdt::obs {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,  // min-level sentinel: disables all logging
+};
+
+/// Stable upper-case name, e.g. "INFO".
+const char* LogLevelName(LogLevel level);
+
+/// One log event, as handed to every sink.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  const char* file = "";    // basename of the emitting source file
+  int line = 0;
+  int64_t unix_micros = 0;  // wall-clock timestamp
+  uint64_t tid = 0;         // dense per-process thread id
+  std::string message;
+};
+
+/// A log destination. Write is called under the logger's sink mutex, so
+/// implementations need no further synchronization among themselves.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void Write(const LogRecord& record) = 0;
+};
+
+/// Human-readable text to stderr:
+/// `I 2026-08-07 12:34:56.789012 3 ingest.cc:87] message`.
+class StderrSink : public LogSink {
+ public:
+  void Write(const LogRecord& record) override;
+};
+
+/// Machine-readable JSON-lines, one object per record:
+/// `{"ts_us":...,"level":"info","file":"ingest.cc","line":87,"tid":3,
+///   "msg":"..."}` — message and file escaped via common JsonEscape.
+class JsonLinesSink : public LogSink {
+ public:
+  /// Opens `path` for appending.
+  static Result<std::unique_ptr<JsonLinesSink>> Open(const std::string& path);
+
+  /// Takes over `stream` (closed on destruction when `owned`).
+  explicit JsonLinesSink(std::FILE* stream, bool owned = false);
+  ~JsonLinesSink() override;
+
+  void Write(const LogRecord& record) override;
+
+ private:
+  std::FILE* stream_;
+  bool owned_;
+};
+
+/// Process-wide leveled logger with pluggable sinks. The level gate is
+/// one relaxed atomic load (taken before the message is even composed),
+/// so disabled levels cost a branch. Defaults to kInfo → StderrSink.
+class Logger {
+ public:
+  static Logger& Global();
+
+  LogLevel min_level() const {
+    return static_cast<LogLevel>(min_level_.load(std::memory_order_relaxed));
+  }
+  void set_min_level(LogLevel level) {
+    min_level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+
+  /// Replaces all sinks (empty = drop everything).
+  void SetSinks(std::vector<std::shared_ptr<LogSink>> sinks);
+  void AddSink(std::shared_ptr<LogSink> sink);
+  /// Restores the default configuration (kInfo, single StderrSink).
+  void ResetToDefault();
+
+  /// Dispatches to every sink. Fills in timestamp/tid if zero.
+  void Log(LogRecord record);
+
+ private:
+  Logger();
+
+  std::atomic<int> min_level_;
+  std::mutex sinks_mu_;
+  std::vector<std::shared_ptr<LogSink>> sinks_;
+};
+
+inline bool LogLevelEnabled(LogLevel level) {
+  return static_cast<int>(level) >=
+         static_cast<int>(Logger::Global().min_level());
+}
+
+/// Dense id of the calling thread (1, 2, ... in first-log order).
+uint64_t ThisThreadId();
+
+namespace internal {
+
+/// Temporary that accumulates one `RWDT_LOG` statement's stream inserts
+/// and dispatches the record from its destructor (end of statement).
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Lowers the stream expression to void so the ternary in RWDT_LOG
+/// type-checks (glog's classic trick).
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+// Severity spellings for the RWDT_LOG token paste.
+inline constexpr LogLevel kDEBUG = LogLevel::kDebug;
+inline constexpr LogLevel kINFO = LogLevel::kInfo;
+inline constexpr LogLevel kWARN = LogLevel::kWarn;
+inline constexpr LogLevel kERROR = LogLevel::kError;
+
+}  // namespace internal
+}  // namespace rwdt::obs
+
+/// Leveled structured logging:
+///
+///   RWDT_LOG(INFO) << "ingested " << n << " lines";
+///
+/// Severity is one of DEBUG, INFO, WARN, ERROR. The stream operands are
+/// evaluated only when the level passes the global gate.
+#define RWDT_LOG(severity)                                                 \
+  !::rwdt::obs::LogLevelEnabled(::rwdt::obs::internal::k##severity)        \
+      ? (void)0                                                            \
+      : ::rwdt::obs::internal::Voidify() &                                 \
+            ::rwdt::obs::internal::LogMessage(                             \
+                ::rwdt::obs::internal::k##severity, __FILE__, __LINE__)    \
+                .stream()
+
+#endif  // RWDT_OBS_LOG_H_

@@ -1,0 +1,20 @@
+// Umbrella header for rwdt::obs — the observability subsystem:
+//
+//   * trace.h    — RAII spans over per-thread lock-free ring buffers,
+//                  exported as Chrome trace-event JSON (Perfetto).
+//   * log.h      — RWDT_LOG leveled structured logging with pluggable
+//                  sinks (stderr text, JSON-lines file).
+//   * progress.h — background-thread live run reporting over
+//                  engine::Metrics, plus the final JSON run report.
+//
+// Everything here is zero-cost when idle: spans gate on one relaxed
+// atomic load, log statements on one relaxed load before the message is
+// composed, and progress reporting only exists while explicitly enabled.
+#ifndef RWDT_OBS_OBS_H_
+#define RWDT_OBS_OBS_H_
+
+#include "obs/log.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
+
+#endif  // RWDT_OBS_OBS_H_

@@ -1,0 +1,110 @@
+#include "obs/progress.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "common/json.h"
+#include "common/table.h"
+#include "obs/log.h"
+#include "obs/trace.h"
+
+namespace rwdt::obs {
+
+Status ProgressOptions::Validate() const {
+  constexpr uint32_t kMaxIntervalMs = 3600 * 1000;
+  if (interval_ms > kMaxIntervalMs) {
+    return Status::InvalidArgument("progress interval_ms must be <= 1 hour");
+  }
+  return Status::Ok();
+}
+
+ProgressReporter::ProgressReporter(SnapshotFn snapshot,
+                                   ProgressOptions options)
+    : snapshot_(std::move(snapshot)),
+      options_(std::move(options)),
+      start_ns_(TraceNowNs()) {
+  if (options_.interval_ms > 0) {
+    thread_ = std::thread([this] { Loop(); });
+  }
+}
+
+ProgressReporter::~ProgressReporter() { Stop(); }
+
+void ProgressReporter::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    wake_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),
+                   [this] { return stop_requested_; });
+    if (stop_requested_) return;
+    lock.unlock();
+    const engine::MetricsSnapshot snap = snapshot_();
+    ticks_.fetch_add(1, std::memory_order_relaxed);
+    if (options_.log_progress) EmitProgressLine(snap);
+    lock.lock();
+  }
+}
+
+void ProgressReporter::EmitProgressLine(const engine::MetricsSnapshot& snap) {
+  const uint64_t entries = snap.entries_processed;
+  const uint64_t delta = entries - last_entries_;
+  last_entries_ = entries;
+  const double per_sec =
+      options_.interval_ms == 0
+          ? 0.0
+          : delta * 1000.0 / static_cast<double>(options_.interval_ms);
+  RWDT_LOG(INFO) << options_.label << ": " << entries << " entries (+"
+                 << static_cast<uint64_t>(per_sec) << "/s), "
+                 << snap.queries_analyzed << " analyzed, cache hit "
+                 << static_cast<int>(100.0 * snap.CacheHitRate() + 0.5)
+                 << "%, " << snap.TotalErrors() << " rejects";
+}
+
+void ProgressReporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    stop_requested_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+
+  const engine::MetricsSnapshot snap = snapshot_();
+  const double elapsed_ms = (TraceNowNs() - start_ns_) / 1e6;
+  std::string report = "{";
+  AppendJsonStringField("label", options_.label, &report);
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"elapsed_ms\":%.3f,\"ticks\":%llu,",
+                elapsed_ms,
+                static_cast<unsigned long long>(
+                    ticks_.load(std::memory_order_relaxed)));
+  report += buf;
+  report += "\"metrics\":";
+  report += snap.ToJson();
+  report += "}";
+  report_json_ = std::move(report);
+
+  if (options_.log_progress) {
+    RWDT_LOG(INFO) << options_.label << ": done — " << snap.entries_processed
+                   << " entries in " << Fixed(elapsed_ms, 1) << " ms ("
+                   << static_cast<uint64_t>(snap.QueriesPerSec())
+                   << " entries/s inside the engine)";
+  }
+
+  if (!options_.report_path.empty()) {
+    FILE* f = std::fopen(options_.report_path.c_str(), "w");
+    if (f == nullptr) {
+      RWDT_LOG(ERROR) << "cannot write run report: " << options_.report_path;
+      return;
+    }
+    std::fwrite(report_json_.data(), 1, report_json_.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    RWDT_LOG(INFO) << options_.label
+                   << ": run report written to " << options_.report_path;
+  }
+}
+
+}  // namespace rwdt::obs

@@ -1,0 +1,89 @@
+#ifndef RWDT_OBS_PROGRESS_H_
+#define RWDT_OBS_PROGRESS_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "engine/metrics.h"
+
+namespace rwdt::obs {
+
+/// Live run reporting. Carried inside EngineOptions / IngestOptions so
+/// a long run can be watched without touching the calling code.
+struct ProgressOptions {
+  /// Snapshot-and-report period in milliseconds. 0 disables the
+  /// background thread (a final report can still be written).
+  uint32_t interval_ms = 0;
+
+  /// Emit a one-line RWDT_LOG(INFO) per tick: entries/sec since the
+  /// previous tick, cache hit rate, error count.
+  bool log_progress = true;
+
+  /// Non-empty: on Stop, write a JSON run report here — elapsed wall
+  /// time, tick count, and the final MetricsSnapshot (its counters are
+  /// exactly the engine's totals at stop time).
+  std::string report_path;
+
+  /// Prefix for progress lines and the report's "label" field.
+  std::string label = "run";
+
+  /// True when either periodic reporting or a final report is wanted.
+  bool enabled() const { return interval_ms > 0 || !report_path.empty(); }
+
+  Status Validate() const;
+};
+
+/// Snapshots engine metrics on a background thread every `interval_ms`,
+/// logging one progress line per tick, and renders a final JSON run
+/// report on Stop. The snapshot callback must be safe to call from
+/// another thread for the reporter's whole lifetime
+/// (engine::Engine::Snapshot is).
+class ProgressReporter {
+ public:
+  using SnapshotFn = std::function<engine::MetricsSnapshot()>;
+
+  ProgressReporter(SnapshotFn snapshot, ProgressOptions options);
+  ~ProgressReporter();  // implies Stop()
+
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+  /// Joins the background thread, takes the final snapshot, renders the
+  /// run report, and writes it to `options.report_path` if set.
+  /// Idempotent.
+  void Stop();
+
+  /// Periodic progress lines emitted so far (final snapshot excluded).
+  uint64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
+
+  /// The final run report; empty until Stop() has run.
+  const std::string& report_json() const { return report_json_; }
+
+ private:
+  void Loop();
+  void EmitProgressLine(const engine::MetricsSnapshot& snap);
+
+  SnapshotFn snapshot_;
+  ProgressOptions options_;
+  uint64_t start_ns_;
+
+  std::mutex mu_;
+  std::condition_variable wake_;
+  bool stop_requested_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+
+  std::atomic<uint64_t> ticks_{0};
+  uint64_t last_entries_ = 0;  // background thread only
+  std::string report_json_;
+};
+
+}  // namespace rwdt::obs
+
+#endif  // RWDT_OBS_PROGRESS_H_

@@ -1,0 +1,215 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+
+#include "common/json.h"
+
+namespace rwdt::obs {
+namespace internal {
+
+std::atomic<bool> g_trace_active{false};
+
+namespace {
+
+/// The active collector and its generation. The generation bumps on
+/// every install *and* uninstall so that a thread's cached ring pointer
+/// (valid only for the collector that handed it out) is never reused
+/// against a different collector.
+std::mutex g_install_mu;
+TraceCollector* g_collector = nullptr;             // guarded by g_install_mu
+std::atomic<uint64_t> g_generation{0};
+
+struct ThreadRingCache {
+  TraceRing* ring = nullptr;
+  uint64_t generation = 0;
+};
+thread_local ThreadRingCache t_ring_cache;
+
+}  // namespace
+
+void EmitSpanSlow(const char* name, uint64_t ts_ns, uint64_t dur_ns) {
+  const uint64_t gen = g_generation.load(std::memory_order_acquire);
+  if (t_ring_cache.ring == nullptr || t_ring_cache.generation != gen) {
+    std::lock_guard<std::mutex> lock(g_install_mu);
+    if (g_collector == nullptr) return;  // uninstalled since the fast check
+    t_ring_cache.ring = g_collector->RegisterCurrentThread();
+    t_ring_cache.generation = g_generation.load(std::memory_order_relaxed);
+  }
+  t_ring_cache.ring->Append(name, ts_ns, dur_ns);
+}
+
+}  // namespace internal
+
+uint64_t TraceNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+TraceRing::TraceRing(size_t capacity, uint32_t tid) : tid_(tid) {
+  const size_t cap = std::bit_ceil(std::max<size_t>(capacity, 2));
+  slots_ = std::make_unique<Slot[]>(cap);
+  mask_ = cap - 1;
+}
+
+std::vector<TraceEvent> TraceRing::Snapshot() const {
+  const size_t cap = capacity();
+  const uint64_t h1 = head_.load(std::memory_order_acquire);
+  const uint64_t lo = h1 > cap ? h1 - cap : 0;
+  std::vector<TraceEvent> out;
+  out.reserve(static_cast<size_t>(h1 - lo));
+  for (uint64_t i = lo; i < h1; ++i) {
+    const Slot& s = slots_[i & mask_];
+    TraceEvent ev;
+    ev.name = s.name.load(std::memory_order_relaxed);
+    ev.ts_ns = s.ts_ns.load(std::memory_order_relaxed);
+    ev.dur_ns = s.dur_ns.load(std::memory_order_relaxed);
+    ev.tid = tid_;
+    out.push_back(ev);
+  }
+  // A writer that wrapped past `lo` while we were reading may have been
+  // rewriting the slots we copied first. Any logical index at or below
+  // h2 - cap (the slot the writer may currently be filling reuses index
+  // h2 - cap) is suspect; drop it. Before wraparound nothing is dropped.
+  const uint64_t h2 = head_.load(std::memory_order_acquire);
+  if (h2 >= cap) {
+    const uint64_t stable_lo = h2 - cap + 1;
+    if (stable_lo > lo) {
+      const uint64_t drop =
+          std::min<uint64_t>(stable_lo - lo, out.size());
+      out.erase(out.begin(), out.begin() + static_cast<size_t>(drop));
+    }
+  }
+  return out;
+}
+
+TraceCollector::TraceCollector(const TraceOptions& options)
+    : options_(options) {
+  std::lock_guard<std::mutex> lock(internal::g_install_mu);
+  if (internal::g_collector != nullptr) return;  // someone else is tracing
+  internal::g_collector = this;
+  internal::g_generation.fetch_add(1, std::memory_order_release);
+  epoch_ns_ = TraceNowNs();
+  installed_ = true;
+  internal::g_trace_active.store(true, std::memory_order_release);
+}
+
+TraceCollector::~TraceCollector() {
+  if (!installed_) return;
+  internal::g_trace_active.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(internal::g_install_mu);
+  internal::g_collector = nullptr;
+  internal::g_generation.fetch_add(1, std::memory_order_release);
+}
+
+TraceRing* TraceCollector::RegisterCurrentThread() {
+  // Caller holds g_install_mu; rings_mu_ still taken so the exporter
+  // can iterate rings_ without the install lock.
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  const uint32_t tid = static_cast<uint32_t>(rings_.size());
+  rings_.push_back(
+      std::make_unique<TraceRing>(options_.events_per_thread, tid));
+  return rings_.back().get();
+}
+
+std::vector<TraceEvent> TraceCollector::Drain() const {
+  std::vector<TraceEvent> all;
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  for (const auto& ring : rings_) {
+    std::vector<TraceEvent> events = ring->Snapshot();
+    all.insert(all.end(), events.begin(), events.end());
+  }
+  return all;
+}
+
+uint64_t TraceCollector::events_recorded() const {
+  uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  for (const auto& ring : rings_) total += ring->appended();
+  return total;
+}
+
+uint64_t TraceCollector::events_dropped() const {
+  uint64_t dropped = 0;
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  for (const auto& ring : rings_) {
+    const uint64_t appended = ring->appended();
+    if (appended > ring->capacity()) dropped += appended - ring->capacity();
+  }
+  return dropped;
+}
+
+size_t TraceCollector::threads_seen() const {
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  return rings_.size();
+}
+
+std::string TraceCollector::ToChromeJson() const {
+  std::vector<TraceEvent> events = Drain();
+  // Sort by (tid, start): Perfetto does not require ordering, but it
+  // makes the per-thread timeline directly readable in the raw JSON and
+  // gives the tests a crisp monotonicity contract.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     return a.ts_ns < b.ts_ns;
+                   });
+
+  std::string out = "{\"traceEvents\":[";
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+                "\"args\":{\"name\":\"%s\"}}",
+                JsonEscape(options_.process_name).c_str());
+  out += buf;
+  for (size_t t = 0; t < threads_seen(); ++t) {
+    std::snprintf(buf, sizeof(buf),
+                  ",{\"ph\":\"M\",\"pid\":1,\"tid\":%zu,"
+                  "\"name\":\"thread_name\",\"args\":{\"name\":"
+                  "\"thread-%zu\"}}",
+                  t, t);
+    out += buf;
+  }
+  for (const TraceEvent& ev : events) {
+    // Rebase onto the install epoch; a span whose start predates the
+    // epoch (installed mid-measurement) clamps to 0.
+    const uint64_t rel =
+        ev.ts_ns > epoch_ns_ ? ev.ts_ns - epoch_ns_ : 0;
+    std::snprintf(buf, sizeof(buf),
+                  ",{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"name\":\"%s\","
+                  "\"cat\":\"rwdt\",\"ts\":%.3f,\"dur\":%.3f}",
+                  ev.tid,
+                  JsonEscape(ev.name != nullptr ? ev.name : "?").c_str(),
+                  rel / 1e3, ev.dur_ns / 1e3);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+                "\"events_recorded\":%llu,\"events_dropped\":%llu,"
+                "\"threads\":%zu}}",
+                static_cast<unsigned long long>(events_recorded()),
+                static_cast<unsigned long long>(events_dropped()),
+                threads_seen());
+  out += buf;
+  return out;
+}
+
+Status TraceCollector::WriteChromeJson(const std::string& path) const {
+  const std::string json = ToChromeJson();
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::NotFound("cannot write trace file: " + path);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != json.size() || !close_ok) {
+    return Status::Internal("short write to trace file: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace rwdt::obs

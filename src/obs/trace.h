@@ -1,0 +1,197 @@
+#ifndef RWDT_OBS_TRACE_H_
+#define RWDT_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rwdt::obs {
+
+/// One completed span, as drained from a thread's ring buffer.
+/// Timestamps are steady-clock nanoseconds (the same clock the engine's
+/// metrics use); the exporter rebases them onto the collector's install
+/// time.
+struct TraceEvent {
+  const char* name = nullptr;  // static string supplied at emit time
+  uint32_t tid = 0;            // dense trace-thread id (registration order)
+  uint64_t ts_ns = 0;          // span start
+  uint64_t dur_ns = 0;         // span duration
+};
+
+/// Fixed-capacity single-writer ring buffer of trace events.
+///
+/// The hot path (`Append`) is lock-free and allocation-free: three
+/// relaxed stores into a pre-allocated slot plus one release store of
+/// the head index. When the ring is full the oldest event is
+/// overwritten, so tracing a week-long run costs bounded memory and
+/// always retains the most recent window. `Snapshot` may run
+/// concurrently with the writer: every slot field is an atomic, and the
+/// drain re-reads the head afterwards to discard any slot that a
+/// wrapping writer may have been rewriting mid-read (after wraparound
+/// this conservatively drops the single oldest retained event).
+///
+/// One ring has exactly one writer thread; the `TraceCollector` owns one
+/// ring per traced thread.
+class TraceRing {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2).
+  explicit TraceRing(size_t capacity, uint32_t tid = 0);
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  /// Writer-only. `name` must outlive the ring (use string literals or
+  /// otherwise static storage).
+  void Append(const char* name, uint64_t ts_ns, uint64_t dur_ns) {
+    const uint64_t h = head_.load(std::memory_order_relaxed);
+    Slot& s = slots_[h & mask_];
+    s.name.store(name, std::memory_order_relaxed);
+    s.ts_ns.store(ts_ns, std::memory_order_relaxed);
+    s.dur_ns.store(dur_ns, std::memory_order_relaxed);
+    head_.store(h + 1, std::memory_order_release);
+  }
+
+  /// Copies out the currently-stable events, oldest first. Safe to call
+  /// from any thread while the writer keeps appending.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Total events ever appended (monotone; not reduced by overwrites).
+  uint64_t appended() const { return head_.load(std::memory_order_acquire); }
+
+  size_t capacity() const { return mask_ + 1; }
+  uint32_t tid() const { return tid_; }
+
+ private:
+  struct Slot {
+    std::atomic<const char*> name{nullptr};
+    std::atomic<uint64_t> ts_ns{0};
+    std::atomic<uint64_t> dur_ns{0};
+  };
+
+  std::unique_ptr<Slot[]> slots_;
+  size_t mask_;
+  uint32_t tid_;
+  std::atomic<uint64_t> head_{0};
+};
+
+namespace internal {
+extern std::atomic<bool> g_trace_active;
+void EmitSpanSlow(const char* name, uint64_t ts_ns, uint64_t dur_ns);
+}  // namespace internal
+
+struct TraceOptions {
+  /// Ring capacity per traced thread (events). 8192 events ≈ 192 KiB
+  /// per thread; with overwrite-oldest semantics this is the retained
+  /// window, not a limit on run length.
+  size_t events_per_thread = 8192;
+
+  /// "process_name" metadata in the exported trace.
+  std::string process_name = "rwdt";
+};
+
+/// Installs itself as the process-wide tracer on construction (if none
+/// is active) and collects spans from every thread that emits them.
+///
+/// Usage:
+///
+///   rwdt::obs::TraceCollector trace;         // tracing on
+///   ... run the engine / ingest ...
+///   trace.WriteChromeJson("trace.json");     // open in Perfetto
+///                                            // (chrome://tracing)
+///
+/// Lifetime contract: destroy the collector only after all traced work
+/// has quiesced (engine runs returned, pools drained). At most one
+/// collector is active at a time; a second one constructed while another
+/// is active stays inert (`installed()` == false) and records nothing.
+class TraceCollector {
+ public:
+  explicit TraceCollector(const TraceOptions& options = {});
+  ~TraceCollector();
+
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  /// Whether this collector won the install race and is recording.
+  bool installed() const { return installed_; }
+
+  /// Drains every thread's ring and renders Chrome trace-event JSON
+  /// (the "JSON Array Format" with a traceEvents wrapper object), one
+  /// complete-event ("ph":"X") per span, sorted by start time within
+  /// each thread. Loadable by Perfetto / chrome://tracing.
+  std::string ToChromeJson() const;
+
+  /// ToChromeJson written to `path` (overwrites).
+  Status WriteChromeJson(const std::string& path) const;
+
+  /// Total spans appended across all threads (including overwritten).
+  uint64_t events_recorded() const;
+  /// Spans lost to ring overwrites (recorded minus currently retained).
+  uint64_t events_dropped() const;
+  /// Number of threads that have registered a ring.
+  size_t threads_seen() const;
+
+  /// Steady-clock ns of installation — the exported trace's time zero.
+  uint64_t epoch_ns() const { return epoch_ns_; }
+
+ private:
+  friend void internal::EmitSpanSlow(const char* name, uint64_t ts_ns,
+                                     uint64_t dur_ns);
+
+  TraceRing* RegisterCurrentThread();
+  std::vector<TraceEvent> Drain() const;  // all rings, merged
+
+  TraceOptions options_;
+  bool installed_ = false;
+  uint64_t epoch_ns_ = 0;
+  mutable std::mutex rings_mu_;
+  std::vector<std::unique_ptr<TraceRing>> rings_;
+};
+
+/// True while a TraceCollector is installed. One relaxed atomic load —
+/// this is the whole cost of instrumentation when tracing is off.
+inline bool TracingActive() {
+  return internal::g_trace_active.load(std::memory_order_relaxed);
+}
+
+/// Steady-clock nanoseconds (the clock all span timestamps use).
+uint64_t TraceNowNs();
+
+/// Records one pre-measured span (e.g. a stage duration the caller
+/// already clocked for its metrics histogram). No-op when tracing is
+/// off. `name` must have static storage duration.
+inline void EmitSpan(const char* name, uint64_t ts_ns, uint64_t dur_ns) {
+  if (TracingActive()) internal::EmitSpanSlow(name, ts_ns, dur_ns);
+}
+
+/// RAII span: clocks construction-to-destruction and emits one trace
+/// event. When tracing is off both ends are a single branch.
+///
+///   { rwdt::obs::Span span("parse"); ... }   // one "parse" slice
+class Span {
+ public:
+  explicit Span(const char* name)
+      : name_(TracingActive() ? name : nullptr),
+        start_ns_(name_ != nullptr ? TraceNowNs() : 0) {}
+  ~Span() {
+    if (name_ != nullptr) {
+      internal::EmitSpanSlow(name_, start_ns_, TraceNowNs() - start_ns_);
+    }
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  uint64_t start_ns_;
+};
+
+}  // namespace rwdt::obs
+
+#endif  // RWDT_OBS_TRACE_H_

@@ -13,15 +13,24 @@
 //   * Streaming analysis goes through engine::Engine::OpenStream or the
 //     ingest::IngestStream / IngestFile wrappers, which keep memory
 //     bounded regardless of log size.
+//   * Observability is opt-in and zero-cost when idle: install an
+//     obs::TraceCollector for a Perfetto-loadable per-worker timeline,
+//     use RWDT_LOG for leveled structured logging, and set
+//     EngineOptions/IngestOptions::progress for live run reporting.
 #ifndef RWDT_RWDT_H_
 #define RWDT_RWDT_H_
 
-// Foundations: status/error taxonomy, interning, RNG, stats, tables.
+// Foundations: status/error taxonomy, interning, RNG, stats, tables,
+// JSON string escaping.
 #include "common/interner.h"
+#include "common/json.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/status.h"
 #include "common/table.h"
+
+// Observability: tracing, structured logging, live run reporting.
+#include "obs/obs.h"
 
 // Parsers and per-formalism analyses.
 #include "paths/analysis.h"

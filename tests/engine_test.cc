@@ -239,6 +239,19 @@ TEST(MetricsTest, SnapshotSummarizesHistogram) {
   EXPECT_LT(parse.p50_ns, 2000u);
 }
 
+TEST(MetricsTest, MaxIsExactNotBucketEdge) {
+  // max_ns must be the exact observed maximum (CAS-max), not the upper
+  // edge of the power-of-two histogram bucket (which would be 4096 for
+  // a 3000 ns sample).
+  Metrics metrics;
+  metrics.Record(Stage::kParse, 1000);
+  metrics.Record(Stage::kParse, 3000);
+  metrics.Record(Stage::kParse, 2000);
+  const MetricsSnapshot snap = metrics.Snapshot();
+  EXPECT_EQ(snap.stages[static_cast<size_t>(Stage::kParse)].max_ns, 3000u);
+  EXPECT_NE(snap.ToJson().find("\"max_us\""), std::string::npos);
+}
+
 TEST(MetricsTest, JsonContainsHeadlineFields) {
   EngineOptions opts;
   opts.threads = 2;

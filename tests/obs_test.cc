@@ -1,0 +1,401 @@
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/interner.h"
+#include "common/json.h"
+#include "engine/engine.h"
+#include "engine/metrics.h"
+#include "engine/thread_pool.h"
+#include "ingest/ingest.h"
+#include "loggen/sparql_gen.h"
+#include "obs/log.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
+#include "tree/json.h"
+
+namespace rwdt::obs {
+namespace {
+
+// ---------------------------------------------------------------------
+// common::JsonEscape
+
+TEST(JsonEscapeTest, PlainTextUnchanged) {
+  EXPECT_EQ(JsonEscape("plain ascii 123"), "plain ascii 123");
+}
+
+TEST(JsonEscapeTest, QuotesAndBackslashes) {
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+}
+
+TEST(JsonEscapeTest, ControlCharacters) {
+  EXPECT_EQ(JsonEscape("\n"), "\\n");
+  EXPECT_EQ(JsonEscape("\t"), "\\t");
+  EXPECT_EQ(JsonEscape(std::string_view("\x01", 1)), "\\u0001");
+  EXPECT_EQ(JsonEscape(std::string_view("\x1f", 1)), "\\u001f");
+}
+
+TEST(JsonEscapeTest, InvalidUtf8BecomesReplacementChar) {
+  // A lone 0xFF is not valid UTF-8; the escaper must not pass it
+  // through, or the emitted JSON would be unreadable by strict parsers.
+  EXPECT_EQ(JsonEscape(std::string_view("\xff", 1)), "\xEF\xBF\xBD");
+  // Truncated two-byte sequence at end of input.
+  EXPECT_EQ(JsonEscape(std::string_view("\xc3", 1)), "\xEF\xBF\xBD");
+}
+
+TEST(JsonEscapeTest, ValidMultibytePreserved) {
+  const std::string euro = "\xE2\x82\xAC";  // U+20AC
+  EXPECT_EQ(JsonEscape(euro), euro);
+  const std::string accented = "h\xC3\xA9llo";  // "héllo"
+  EXPECT_EQ(JsonEscape(accented), accented);
+}
+
+TEST(JsonEscapeTest, EscapedOutputParsesAsJson) {
+  // Round-trip the nastiest input through the repo's own JSON parser.
+  const std::string nasty = std::string("k\"ey\n\xff\x01\\end", 11);
+  std::string doc = "{\"";
+  AppendJsonEscaped(nasty, &doc);
+  doc += "\":1}";
+  Interner dict;
+  const auto parsed = tree::ParseJson(doc, &dict);
+  ASSERT_TRUE(parsed.ok()) << parsed.error_message();
+  ASSERT_EQ(parsed.value()->members().size(), 1u);
+}
+
+TEST(JsonEscapeTest, AppendJsonStringField) {
+  std::string out;
+  AppendJsonStringField("key", "va\"l", &out);
+  AppendJsonStringField("last", "x", &out, /*trailing_comma=*/false);
+  EXPECT_EQ(out, "\"key\":\"va\\\"l\",\"last\":\"x\"");
+}
+
+// ---------------------------------------------------------------------
+// TraceRing
+
+TEST(TraceRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(TraceRing(5).capacity(), 8u);
+  EXPECT_EQ(TraceRing(8).capacity(), 8u);
+  EXPECT_EQ(TraceRing(1).capacity(), 2u);
+}
+
+TEST(TraceRingTest, ExactBeforeWraparound) {
+  TraceRing ring(8);
+  for (uint64_t i = 0; i < 5; ++i) ring.Append("e", /*ts_ns=*/i, 1);
+  EXPECT_EQ(ring.appended(), 5u);
+  const std::vector<TraceEvent> events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 5u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].ts_ns, i);  // oldest first, none dropped
+  }
+}
+
+TEST(TraceRingTest, WraparoundKeepsNewestWindow) {
+  // 20 appends into capacity 8: the ring retains the newest window.
+  // Post-wraparound the drain conservatively drops the single oldest
+  // retained slot (a concurrent writer could be rewriting it), so
+  // exactly capacity-1 events survive: logical indices 13..19.
+  TraceRing ring(8);
+  for (uint64_t i = 0; i < 20; ++i) ring.Append("e", /*ts_ns=*/i, 1);
+  EXPECT_EQ(ring.appended(), 20u);
+  const std::vector<TraceEvent> events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 7u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].ts_ns, 13 + i);
+  }
+}
+
+// ---------------------------------------------------------------------
+// TraceCollector
+
+TEST(TraceCollectorTest, InstallUninstallTogglesTracingActive) {
+  EXPECT_FALSE(TracingActive());
+  {
+    TraceCollector trace;
+    EXPECT_TRUE(trace.installed());
+    EXPECT_TRUE(TracingActive());
+  }
+  EXPECT_FALSE(TracingActive());
+}
+
+TEST(TraceCollectorTest, SecondCollectorStaysInert) {
+  TraceCollector first;
+  TraceCollector second;
+  EXPECT_TRUE(first.installed());
+  EXPECT_FALSE(second.installed());
+  { Span span("only-first"); }
+  EXPECT_EQ(first.events_recorded(), 1u);
+  EXPECT_EQ(second.events_recorded(), 0u);
+}
+
+TEST(TraceCollectorTest, SpansAreNoOpsWhenNoCollector) {
+  { Span span("ignored"); }
+  EmitSpan("ignored", 0, 1);  // must not crash or leak
+  EXPECT_FALSE(TracingActive());
+}
+
+TEST(TraceCollectorTest, NewCollectorDoesNotSeeOldSpans) {
+  // The generation counter must invalidate thread-local ring caches
+  // across collector lifetimes: spans emitted under collector A (on this
+  // same thread) may not leak into collector B's export.
+  {
+    TraceCollector a;
+    ASSERT_TRUE(a.installed());
+    { Span span("old-span"); }
+    EXPECT_EQ(a.events_recorded(), 1u);
+  }
+  TraceCollector b;
+  ASSERT_TRUE(b.installed());
+  { Span span("new-span"); }
+  EXPECT_EQ(b.events_recorded(), 1u);
+  const std::string json = b.ToChromeJson();
+  EXPECT_NE(json.find("\"new-span\""), std::string::npos);
+  EXPECT_EQ(json.find("\"old-span\""), std::string::npos);
+}
+
+TEST(TraceCollectorTest, ConcurrentWritersUnderThreadPool) {
+  TraceCollector trace;
+  ASSERT_TRUE(trace.installed());
+  constexpr int kTasks = 200;
+  {
+    engine::ThreadPool pool(4);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.Submit([] {
+        Span span("task");
+        // A touch of work so spans have nonzero duration.
+        volatile int sink = 0;
+        for (int j = 0; j < 100; ++j) sink += j;
+      });
+    }
+    pool.Wait();
+  }
+  EXPECT_EQ(trace.events_recorded(), static_cast<uint64_t>(kTasks));
+  EXPECT_GE(trace.threads_seen(), 1u);
+  EXPECT_LE(trace.threads_seen(), 4u);
+  EXPECT_EQ(trace.events_dropped(), 0u);  // default ring >> kTasks
+
+  // The export must parse (with the repo's own JSON parser) and must be
+  // monotonically consistent: within each thread, complete events are
+  // sorted by start time and durations are non-negative.
+  Interner dict;
+  const auto parsed = tree::ParseJson(trace.ToChromeJson(), &dict);
+  ASSERT_TRUE(parsed.ok()) << parsed.error_message();
+  const tree::JsonPtr events = parsed.value()->Get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind(), tree::JsonValue::Kind::kArray);
+  std::map<double, double> last_ts;
+  int slices = 0;
+  for (const tree::JsonPtr& ev : events->items()) {
+    const tree::JsonPtr ph = ev->Get("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->string_value() != "X") continue;  // skip "M" metadata
+    ++slices;
+    ASSERT_NE(ev->Get("name"), nullptr);
+    const double tid = ev->Get("tid")->number_value();
+    const double ts = ev->Get("ts")->number_value();
+    const double dur = ev->Get("dur")->number_value();
+    EXPECT_GE(ts, 0.0);
+    EXPECT_GE(dur, 0.0);
+    const auto it = last_ts.find(tid);
+    if (it != last_ts.end()) EXPECT_GE(ts, it->second);
+    last_ts[tid] = ts;
+  }
+  EXPECT_EQ(slices, kTasks);
+}
+
+TEST(TraceCollectorTest, EngineRunProducesStageSpans) {
+  TraceCollector trace;
+  engine::EngineOptions opts;
+  opts.threads = 2;
+  engine::Engine eng(opts);
+  eng.AnalyzeLog(loggen::ExampleProfile(300), 5);
+  EXPECT_GT(trace.events_recorded(), 0u);
+  const std::string json = trace.ToChromeJson();
+  for (const char* stage :
+       {"\"parse\"", "\"features\"", "\"hypergraph\"", "\"paths\"",
+        "\"aggregate\"", "\"generate\""}) {
+    EXPECT_NE(json.find(stage), std::string::npos) << stage;
+  }
+  Interner dict;
+  EXPECT_TRUE(tree::ParseJson(json, &dict).ok());
+}
+
+// ---------------------------------------------------------------------
+// Logging
+
+class CaptureSink : public LogSink {
+ public:
+  void Write(const LogRecord& record) override { records.push_back(record); }
+  std::vector<LogRecord> records;
+};
+
+TEST(LogTest, LevelGateSkipsDisabledStatements) {
+  auto sink = std::make_shared<CaptureSink>();
+  Logger::Global().SetSinks({sink});
+  Logger::Global().set_min_level(LogLevel::kWarn);
+  int evals = 0;
+  auto expensive = [&evals]() {
+    ++evals;
+    return 42;
+  };
+  RWDT_LOG(INFO) << "suppressed " << expensive();
+  EXPECT_EQ(evals, 0);  // operands of a disabled statement never run
+  EXPECT_TRUE(sink->records.empty());
+
+  RWDT_LOG(ERROR) << "kept " << expensive();
+  EXPECT_EQ(evals, 1);
+  ASSERT_EQ(sink->records.size(), 1u);
+  const LogRecord& rec = sink->records[0];
+  EXPECT_EQ(rec.level, LogLevel::kError);
+  EXPECT_EQ(rec.message, "kept 42");
+  EXPECT_NE(std::string(rec.file).find("obs_test.cc"), std::string::npos);
+  EXPECT_GT(rec.line, 0);
+  EXPECT_GT(rec.unix_micros, 0);
+  Logger::Global().ResetToDefault();
+}
+
+TEST(LogTest, JsonLinesSinkEmitsParseableRecords) {
+  const std::string path = "obs_test_log.jsonl";
+  {
+    auto opened = JsonLinesSink::Open(path);
+    ASSERT_TRUE(opened.ok()) << opened.error_message();
+    Logger::Global().SetSinks({std::move(opened).value()});
+    Logger::Global().set_min_level(LogLevel::kDebug);
+    RWDT_LOG(INFO) << "hello \"quoted\"\nsecond line";
+    RWDT_LOG(DEBUG) << "debug record";
+    Logger::Global().ResetToDefault();
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  in.close();
+  std::remove(path.c_str());
+  ASSERT_EQ(lines.size(), 2u);
+
+  Interner dict;
+  const auto first = tree::ParseJson(lines[0], &dict);
+  ASSERT_TRUE(first.ok()) << first.error_message();
+  EXPECT_EQ(first.value()->Get("level")->string_value(), "info");
+  EXPECT_EQ(first.value()->Get("msg")->string_value(),
+            "hello \"quoted\"\nsecond line");
+  EXPECT_GT(first.value()->Get("ts_us")->number_value(), 0.0);
+  const auto second = tree::ParseJson(lines[1], &dict);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value()->Get("level")->string_value(), "debug");
+}
+
+// ---------------------------------------------------------------------
+// ProgressReporter
+
+TEST(ProgressTest, TicksAndRunReportMatchFinalSnapshot) {
+  engine::Metrics metrics;
+  metrics.AddEntries(123);
+  metrics.AddAnalyzed(45);
+  metrics.AddHits(10);
+  metrics.AddMisses(5);
+
+  const std::string path = "obs_test_report.json";
+  ProgressOptions popts;
+  popts.interval_ms = 10;
+  popts.log_progress = false;  // keep test output quiet
+  popts.report_path = path;
+  popts.label = "obs-test";
+  ASSERT_TRUE(popts.Validate().ok());
+  ASSERT_TRUE(popts.enabled());
+
+  ProgressReporter reporter([&metrics] { return metrics.Snapshot(); },
+                            popts);
+  // Let a few ticks elapse, then bump a counter the report must see.
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  metrics.AddEntries(1);
+  reporter.Stop();
+  EXPECT_GE(reporter.ticks(), 1u);
+
+  // The run report's counters are exactly the final snapshot's.
+  Interner dict;
+  const auto parsed = tree::ParseJson(reporter.report_json(), &dict);
+  ASSERT_TRUE(parsed.ok()) << parsed.error_message();
+  const tree::JsonPtr root = parsed.value();
+  EXPECT_EQ(root->Get("label")->string_value(), "obs-test");
+  EXPECT_GE(root->Get("elapsed_ms")->number_value(), 0.0);
+  EXPECT_EQ(root->Get("ticks")->number_value(),
+            static_cast<double>(reporter.ticks()));
+  const tree::JsonPtr m = root->Get("metrics");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->Get("entries_processed")->number_value(), 124.0);
+  EXPECT_EQ(m->Get("queries_analyzed")->number_value(), 45.0);
+  EXPECT_EQ(m->Get("cache_hits")->number_value(), 10.0);
+  EXPECT_EQ(m->Get("cache_misses")->number_value(), 5.0);
+
+  // The report file holds the same JSON document.
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::stringstream file_contents;
+  file_contents << in.rdbuf();
+  in.close();
+  std::remove(path.c_str());
+  EXPECT_EQ(file_contents.str(), reporter.report_json() + "\n");
+}
+
+TEST(ProgressTest, DisabledByDefault) {
+  ProgressOptions popts;
+  EXPECT_FALSE(popts.enabled());
+  EXPECT_TRUE(popts.Validate().ok());
+  popts.interval_ms = 3600 * 1000 + 1;
+  EXPECT_FALSE(popts.Validate().ok());
+}
+
+TEST(ProgressTest, StopIsIdempotentWithoutThread) {
+  engine::Metrics metrics;
+  ProgressOptions popts;  // interval 0: no background thread
+  ProgressReporter reporter([&metrics] { return metrics.Snapshot(); },
+                            popts);
+  reporter.Stop();
+  reporter.Stop();
+  EXPECT_EQ(reporter.ticks(), 0u);
+  EXPECT_FALSE(reporter.report_json().empty());  // still rendered
+}
+
+// ---------------------------------------------------------------------
+// IngestReport::ToJson
+
+TEST(ObsIntegrationTest, IngestReportToJsonParses) {
+  // TSV input whose source column needs escaping, plus a corrupt line.
+  std::stringstream in(
+      "s\"rc\tSELECT ?x WHERE { ?s ?p ?x }\n"
+      "s\"rc\tnot a query at all ((\n");
+  ingest::IngestOptions opts;
+  opts.format = ingest::LogFormat::kTsv;
+  opts.engine.threads = 1;
+  const auto r = ingest::IngestStream(in, opts);
+  ASSERT_TRUE(r.ok()) << r.error_message();
+  const ingest::IngestReport& report = r.value();
+  EXPECT_EQ(report.lines_read, 2u);
+  ASSERT_EQ(report.per_source.count("s\"rc"), 1u);
+
+  Interner dict;
+  const auto parsed = tree::ParseJson(report.ToJson(), &dict);
+  ASSERT_TRUE(parsed.ok()) << parsed.error_message();
+  const tree::JsonPtr root = parsed.value();
+  const tree::JsonPtr study = root->Get("study");
+  ASSERT_NE(study, nullptr);
+  EXPECT_EQ(study->Get("total")->number_value(),
+            static_cast<double>(report.study.total));
+  EXPECT_EQ(root->Get("lines_read")->number_value(), 2.0);
+  const tree::JsonPtr per_source = root->Get("per_source");
+  ASSERT_NE(per_source, nullptr);
+  EXPECT_NE(per_source->Get("s\"rc"), nullptr);  // key escaped, then
+                                                 // un-escaped by parser
+  ASSERT_NE(root->Get("metrics"), nullptr);
+}
+
+}  // namespace
+}  // namespace rwdt::obs
