@@ -5,16 +5,25 @@
 //
 //   $ ./build/bench/bench_log_study [num_queries]
 //
-// Environment: RWDT_BENCH_THREADS="1,2,4" overrides the sweep;
-// RWDT_BENCH_JSON overrides the output path; RWDT_TRACE=<file> records
-// a Chrome/Perfetto trace of the whole sweep; RWDT_PROGRESS=<ms>
-// enables live one-line progress reporting at that interval.
+// Environment: RWDT_BENCH_ENTRIES=<n> sets the workload size when no
+// argument is given (default 200000 — large enough that thread scaling
+// is measurable above fixed costs); RWDT_BENCH_THREADS="1,2,4"
+// overrides the sweep; RWDT_BENCH_JSON overrides the output path;
+// RWDT_TRACE=<file> records a Chrome/Perfetto trace of the whole sweep;
+// RWDT_PROGRESS=<ms> enables live one-line progress reporting at that
+// interval.
+//
+// The JSON output carries `speedup_vs_1t` per run (wall of the
+// 1-thread run divided by this run's wall) and the machine's
+// `hw_threads`, so CI can gate on parallel-scaling regressions and skip
+// the gate on single-core runners where speedup is physically capped.
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -45,7 +54,12 @@ int main(int argc, char** argv) {
   using namespace rwdt;
   using Clock = std::chrono::steady_clock;
 
-  const uint64_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20000;
+  const char* entries_env = std::getenv("RWDT_BENCH_ENTRIES");
+  const uint64_t default_n =
+      entries_env != nullptr ? std::strtoull(entries_env, nullptr, 10)
+                             : 200000;
+  const uint64_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                              : default_n;
   loggen::SourceProfile profile = loggen::ExampleProfile(n);
   profile.name = "bench-log-study";
   const uint64_t seed = 2022;
@@ -118,12 +132,23 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return 1;
   }
-  std::fprintf(out, "{\"bench\":\"log_study\",\"entries\":%zu,\"runs\":[",
-               entries.size());
+  // speedup_vs_1t is normalized against the sweep's 1-thread run (the
+  // first run if the sweep has no 1-thread element).
+  double one_thread_ms = runs.front().wall_ms;
+  for (const Run& r : runs) {
+    if (r.threads == 1) one_thread_ms = r.wall_ms;
+  }
+  std::fprintf(out,
+               "{\"bench\":\"log_study\",\"entries\":%zu,\"hw_threads\":%u,"
+               "\"runs\":[",
+               entries.size(), std::thread::hardware_concurrency());
   for (size_t i = 0; i < runs.size(); ++i) {
-    std::fprintf(out, "%s{\"threads\":%u,\"wall_ms\":%.3f,\"metrics\":%s}",
-                 i == 0 ? "" : ",", runs[i].threads, runs[i].wall_ms,
-                 runs[i].snap.ToJson().c_str());
+    std::fprintf(
+        out,
+        "%s{\"threads\":%u,\"wall_ms\":%.3f,\"speedup_vs_1t\":%.3f,"
+        "\"metrics\":%s}",
+        i == 0 ? "" : ",", runs[i].threads, runs[i].wall_ms,
+        one_thread_ms / runs[i].wall_ms, runs[i].snap.ToJson().c_str());
   }
   std::fprintf(out, "]}\n");
   std::fclose(out);

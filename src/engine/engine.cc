@@ -7,7 +7,8 @@
 #include <thread>
 #include <utility>
 
-#include "common/interner.h"
+#include "common/flat_interner.h"
+#include "common/hash.h"
 #include "core/query_analysis.h"
 #include "obs/trace.h"
 #include "sparql/parser.h"
@@ -57,8 +58,20 @@ Status EngineOptions::Validate() const {
 /// dense ids to query texts in stream order and `verdict[id]` remembers
 /// the outcome (0 = valid, else 1 + ErrorClass), so chunk boundaries are
 /// invisible to dedup and to error attribution.
-struct Engine::ShardState {
-  Interner seen;
+///
+/// Layout constraint: alignas(64) — shard states live contiguously in
+/// the `shards` vector and are mutated concurrently by different
+/// workers, so a state must never straddle a cache line shared with its
+/// neighbor (false sharing on `valid`/`unique` would serialize the
+/// whole sweep).
+struct alignas(64) Engine::ShardState {
+  /// Dedup dictionary: text -> dense first-seen id, looked up with the
+  /// hash precomputed during routing.
+  FlatInterner seen;
+  /// Per-parse symbol dictionary, Clear()ed before every parse so the
+  /// analysis stays a pure function of the query text while the arena
+  /// and slot table are reused allocation-free across queries.
+  FlatInterner dict;
   std::vector<uint8_t> verdict;
   uint64_t valid = 0;
   uint64_t unique = 0;
@@ -73,6 +86,9 @@ struct EngineStream::Impl {
   Engine* engine = nullptr;
   core::SourceStudy study;
   std::vector<Engine::ShardState> shards;
+  /// Shard routing buffers, cleared and refilled per Feed call instead
+  /// of reallocated per chunk (steady-state feeds allocate nothing).
+  std::vector<std::vector<RoutedEntry>> parts;
   /// Live reporting for the stream's lifetime (null unless enabled).
   std::unique_ptr<obs::ProgressReporter> reporter;
 };
@@ -111,6 +127,7 @@ EngineStream Engine::OpenStream(std::string name, bool wikidata_like) {
   impl->study.name = std::move(name);
   impl->study.wikidata_like = wikidata_like;
   impl->shards = std::vector<ShardState>(num_shards_);
+  impl->parts.resize(num_shards_);
   if (options_.progress.enabled()) {
     obs::ProgressOptions popts = options_.progress;
     if (popts.label == "run") popts.label = impl->study.name;
@@ -132,17 +149,21 @@ void EngineStream::Feed(const std::vector<loggen::LogEntry>& chunk) {
   obs::Span feed_span("feed");
   const uint64_t t_start = NowNs();
 
-  // Route entries to shards by text hash: every duplicate of a query
-  // lands in the same shard, making per-shard dedup globally exact.
+  // Hash-once routing: each entry's text is hashed exactly once, here,
+  // and the hash travels with the entry through shard routing, per-shard
+  // dedup, and the query cache. Every duplicate of a query lands in the
+  // same shard, making per-shard dedup globally exact. The partition
+  // buffers live in Impl and are recycled across Feed calls.
   const size_t num_shards = eng.num_shards_;
-  std::vector<std::vector<const loggen::LogEntry*>> parts(num_shards);
+  auto& parts = im.parts;
+  for (auto& part : parts) part.clear();
   if (num_shards == 1) {
     parts[0].reserve(chunk.size());
-    for (const auto& e : chunk) parts[0].push_back(&e);
+    for (const auto& e : chunk) parts[0].push_back({&e, Hash64(e.text)});
   } else {
     for (const auto& e : chunk) {
-      const size_t h = std::hash<std::string_view>{}(e.text);
-      parts[h % num_shards].push_back(&e);
+      const uint64_t h = Hash64(e.text);
+      parts[h % num_shards].push_back({&e, h});
     }
   }
 
@@ -152,8 +173,8 @@ void EngineStream::Feed(const std::vector<loggen::LogEntry>& chunk) {
     }
   } else {
     for (size_t s = 0; s < num_shards; ++s) {
-      eng.pool_->Submit([&eng, &parts, &im, s] {
-        eng.ProcessShard(parts[s], &im.shards[s]);
+      eng.pool_->Submit([&eng, &im, s] {
+        eng.ProcessShard(im.parts[s], &im.shards[s]);
       });
     }
     eng.pool_->Wait();
@@ -201,24 +222,31 @@ core::SourceStudy EngineStream::Finish() {
   return study;
 }
 
-void Engine::ProcessShard(
-    const std::vector<const loggen::LogEntry*>& entries,
-    ShardState* state) {
+void Engine::ProcessShard(const std::vector<RoutedEntry>& entries,
+                          ShardState* state) {
   const bool timed = options_.collect_stage_timings;
   obs::Span shard_span("shard");
+  // Worker-private metric slab (stack-resident, cache-hot): the per-query
+  // path below touches no shared counter; everything folds into the
+  // shared Metrics in one Merge when this task ends, i.e. before the
+  // enclosing Feed returns.
+  LocalMetrics local;
 
-  auto compute = [&](const std::string& text)
+  auto compute = [&](std::string_view text, uint64_t hash)
       -> std::shared_ptr<const CachedQuery> {
     auto fresh = std::make_shared<CachedQuery>();
-    // A fresh symbol interner per parse makes the analysis a pure
-    // function of the text — cache entries are shareable across shards,
-    // threads, and logs.
-    Interner dict;
+    // Clear()ing the reusable per-shard dictionary restarts ids at 0, so
+    // each parse is still a pure function of the text — cache entries
+    // stay shareable across shards, threads, and logs — but the arena
+    // and slot table are recycled instead of rebuilding an
+    // unordered_map (and its per-node allocations) for every parse.
+    state->dict.Clear();
     const uint64_t t0 = timed ? NowNs() : 0;
-    auto parsed = sparql::ParseSparql(text, &dict, options_.parse_limits);
+    auto parsed =
+        sparql::ParseSparql(text, &state->dict, options_.parse_limits);
     const uint64_t t1 = timed ? NowNs() : 0;
     if (timed) {
-      metrics_.Record(Stage::kParse, t1 - t0);
+      local.Record(Stage::kParse, t1 - t0);
       obs::EmitSpan("parse", t0, t1 - t0);
     }
     if (parsed.ok()) {
@@ -227,9 +255,9 @@ void Engine::ProcessShard(
       fresh->analysis = core::AnalyzeQuery(parsed.value(), options_.study,
                                            timed ? &st : nullptr);
       if (timed) {
-        metrics_.Record(Stage::kFeatures, st.feature_ns);
-        metrics_.Record(Stage::kHypergraph, st.hypergraph_ns);
-        metrics_.Record(Stage::kPaths, st.path_ns);
+        local.Record(Stage::kFeatures, st.feature_ns);
+        local.Record(Stage::kHypergraph, st.hypergraph_ns);
+        local.Record(Stage::kPaths, st.path_ns);
         // AnalyzeQuery runs its stages back-to-back starting right after
         // the parse, so their spans chain from t1 using the durations it
         // reported (start offsets are exact up to its internal overhead).
@@ -238,12 +266,14 @@ void Engine::ProcessShard(
         obs::EmitSpan("paths", t1 + st.feature_ns + st.hypergraph_ns,
                       st.path_ns);
       }
-      metrics_.AddAnalyzed(1);
+      local.analyzed++;
     } else {
       fresh->error = ClassifyStatus(parsed.status());
-      metrics_.AddParseFailures(1);
+      local.parse_failures++;
     }
-    cache_.Put(text, fresh);
+    // The routing hash doubles as the cache key hash, so the miss path
+    // costs zero extra hash computations (Get and Put share it).
+    cache_.PutWithHash(hash, text, fresh);
     return fresh;
   };
 
@@ -252,7 +282,7 @@ void Engine::ProcessShard(
     core::AddToAggregates(a, 1, agg);
     if (timed) {
       const uint64_t dur = NowNs() - t0;
-      metrics_.Record(Stage::kAggregate, dur);
+      local.Record(Stage::kAggregate, dur);
       obs::EmitSpan("aggregate", t0, dur);
     }
   };
@@ -261,16 +291,17 @@ void Engine::ProcessShard(
   // duplicates included, so total == valid + sum(errors) holds per shard.
   auto reject = [&](ErrorClass c) {
     state->errors[static_cast<size_t>(c)]++;
-    metrics_.AddError(c);
+    local.AddError(c);
   };
 
   // Exact first-occurrence tracking: `verdict[id]` remembers the outcome
   // of each distinct text, so repeated entries never hit the parser. The
   // bounded LRU cache is only an accelerator — evictions cause
   // recomputation, never wrong counts.
-  for (const loggen::LogEntry* entry : entries) {
+  for (const RoutedEntry& routed : entries) {
+    const std::string& text = routed.entry->text;
     const SymbolId prior = static_cast<SymbolId>(state->seen.size());
-    const SymbolId id = state->seen.Intern(entry->text);
+    const SymbolId id = state->seen.InternWithHash(routed.hash, text);
     const bool first_occurrence = id == prior;
 
     if (!first_occurrence) {
@@ -280,16 +311,16 @@ void Engine::ProcessShard(
         continue;
       }
       state->valid++;
-      auto cached = cache_.Get(entry->text);
-      if (cached == nullptr) cached = compute(entry->text);  // evicted
+      auto cached = cache_.GetWithHash(routed.hash, text);
+      if (cached == nullptr) cached = compute(text, routed.hash);  // evicted
       aggregate(cached->analysis, &state->valid_agg);
       continue;
     }
 
     // First sight in this log; the shared cache may still be warm from
     // an earlier log analyzed by this engine.
-    auto cached = cache_.Get(entry->text);
-    if (cached == nullptr) cached = compute(entry->text);
+    auto cached = cache_.GetWithHash(routed.hash, text);
+    if (cached == nullptr) cached = compute(text, routed.hash);
     if (!cached->parse_ok) {
       state->verdict.push_back(
           static_cast<uint8_t>(1 + static_cast<size_t>(cached->error)));
@@ -302,6 +333,8 @@ void Engine::ProcessShard(
     aggregate(cached->analysis, &state->valid_agg);
     aggregate(cached->analysis, &state->unique_agg);
   }
+
+  metrics_.Merge(local);
 }
 
 MetricsSnapshot Engine::Snapshot() const {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/flat_interner.h"
 #include "common/status.h"
 #include "core/log_study.h"
 #include "engine/metrics.h"
@@ -60,6 +61,15 @@ struct EngineOptions {
 };
 
 class Engine;
+
+/// One log entry routed to a shard, carrying the `common::Hash64` of its
+/// text. The hash is computed exactly once (in EngineStream::Feed) and
+/// reused for shard routing, per-shard dedup, and query-cache lookups —
+/// the hash-once pipeline.
+struct RoutedEntry {
+  const loggen::LogEntry* entry;
+  uint64_t hash;
+};
 
 /// An incremental feed into the engine: per-shard dedup state persists
 /// across `Feed` calls, so a log streamed in bounded-memory chunks
@@ -154,7 +164,7 @@ class Engine {
  private:
   friend class EngineStream;
   struct ShardState;
-  void ProcessShard(const std::vector<const loggen::LogEntry*>& entries,
+  void ProcessShard(const std::vector<RoutedEntry>& entries,
                     ShardState* state);
 
   EngineOptions options_;

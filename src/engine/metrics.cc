@@ -73,6 +73,41 @@ const char* StageName(Stage s) {
 
 Metrics::Metrics() { Reset(); }
 
+void LocalMetrics::Record(Stage stage, uint64_t ns) {
+  const size_t s = static_cast<size_t>(stage);
+  const size_t b = std::bit_width(ns);  // 0 -> bucket 0, else floor(log2)+1
+  histogram[s][b < kLatencyBuckets ? b : kLatencyBuckets - 1]++;
+  stage_total_ns[s] += ns;
+  if (ns > stage_max_ns[s]) stage_max_ns[s] = ns;
+}
+
+void Metrics::Merge(const LocalMetrics& local) {
+  if (local.analyzed != 0) analyzed_.fetch_add(local.analyzed, kRelaxed);
+  if (local.parse_failures != 0) {
+    parse_failures_.fetch_add(local.parse_failures, kRelaxed);
+  }
+  for (size_t c = 0; c < kNumErrorClasses; ++c) {
+    if (local.errors[c] != 0) errors_[c].fetch_add(local.errors[c], kRelaxed);
+  }
+  for (size_t s = 0; s < kNumStages; ++s) {
+    if (local.stage_total_ns[s] != 0) {
+      stage_total_ns_[s].fetch_add(local.stage_total_ns[s], kRelaxed);
+    }
+    const uint64_t local_max = local.stage_max_ns[s];
+    if (local_max != 0) {
+      uint64_t cur = stage_max_ns_[s].load(kRelaxed);
+      while (local_max > cur && !stage_max_ns_[s].compare_exchange_weak(
+                                    cur, local_max, kRelaxed)) {
+      }
+    }
+    for (size_t b = 0; b < kBuckets; ++b) {
+      if (local.histogram[s][b] != 0) {
+        histogram_[s][b].fetch_add(local.histogram[s][b], kRelaxed);
+      }
+    }
+  }
+}
+
 void Metrics::Record(Stage stage, uint64_t ns) {
   const size_t s = static_cast<size_t>(stage);
   const size_t b = std::bit_width(ns);  // 0 -> bucket 0, else floor(log2)+1

@@ -1,61 +1,94 @@
 #include "engine/query_cache.h"
 
 #include <algorithm>
-#include <functional>
 #include <utility>
+
+#include "common/hash.h"
 
 namespace rwdt::engine {
 
 ShardedQueryCache::ShardedQueryCache(size_t capacity, size_t shards) {
   const size_t n = std::max<size_t>(1, shards);
-  per_shard_capacity_ = std::max<size_t>(1, (std::max<size_t>(1, capacity) + n - 1) / n);
+  per_shard_capacity_ =
+      std::max<size_t>(1, (std::max<size_t>(1, capacity) + n - 1) / n);
   shards_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     shards_.push_back(std::make_unique<Shard>());
   }
 }
 
-ShardedQueryCache::Shard& ShardedQueryCache::ShardFor(std::string_view text) {
-  // hash>>16: the low bits also pick the engine's work shard, so mixing
-  // avoids systematically mapping each worker onto one cache shard.
-  const size_t h = std::hash<std::string_view>{}(text);
-  return *shards_[(h >> 16 | h << 16) % shards_.size()];
-}
-
-std::shared_ptr<const CachedQuery> ShardedQueryCache::Get(
-    std::string_view text) {
-  Shard& shard = ShardFor(text);
+std::shared_ptr<const CachedQuery> ShardedQueryCache::GetWithHash(
+    uint64_t hash, std::string_view text) {
+  Shard& shard = ShardFor(hash);
   std::unique_lock<std::mutex> lock(shard.mu);
-  auto it = shard.index.find(text);
+  auto it = shard.index.find(Key{hash, text});
   if (it == shard.index.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    shard.misses++;
     return nullptr;
   }
   // Move to MRU position; list splice keeps nodes (and the string_view
   // keys pointing into them) stable.
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  shard.hits++;
   return it->second->value;
 }
 
-void ShardedQueryCache::Put(std::string_view text,
-                            std::shared_ptr<const CachedQuery> value) {
-  Shard& shard = ShardFor(text);
+void ShardedQueryCache::PutWithHash(uint64_t hash, std::string_view text,
+                                    std::shared_ptr<const CachedQuery> value) {
+  Shard& shard = ShardFor(hash);
   std::unique_lock<std::mutex> lock(shard.mu);
-  auto it = shard.index.find(text);
+  auto it = shard.index.find(Key{hash, text});
   if (it != shard.index.end()) {
     it->second->value = std::move(value);
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
-  shard.lru.push_front(Entry{std::string(text), std::move(value)});
-  shard.index.emplace(std::string_view(shard.lru.front().key),
+  shard.lru.push_front(Entry{std::string(text), hash, std::move(value)});
+  shard.index.emplace(Key{hash, std::string_view(shard.lru.front().key)},
                       shard.lru.begin());
   if (shard.lru.size() > per_shard_capacity_) {
-    shard.index.erase(std::string_view(shard.lru.back().key));
+    const Entry& victim = shard.lru.back();
+    shard.index.erase(Key{victim.hash, std::string_view(victim.key)});
     shard.lru.pop_back();
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    shard.evictions++;
   }
+}
+
+std::shared_ptr<const CachedQuery> ShardedQueryCache::Get(
+    std::string_view text) {
+  return GetWithHash(Hash64(text), text);
+}
+
+void ShardedQueryCache::Put(std::string_view text,
+                            std::shared_ptr<const CachedQuery> value) {
+  PutWithHash(Hash64(text), text, std::move(value));
+}
+
+uint64_t ShardedQueryCache::hits() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::unique_lock<std::mutex> lock(shard->mu);
+    total += shard->hits;
+  }
+  return total;
+}
+
+uint64_t ShardedQueryCache::misses() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::unique_lock<std::mutex> lock(shard->mu);
+    total += shard->misses;
+  }
+  return total;
+}
+
+uint64_t ShardedQueryCache::evictions() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::unique_lock<std::mutex> lock(shard->mu);
+    total += shard->evictions;
+  }
+  return total;
 }
 
 size_t ShardedQueryCache::size() const {

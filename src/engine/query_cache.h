@@ -1,7 +1,6 @@
 #ifndef RWDT_ENGINE_QUERY_CACHE_H_
 #define RWDT_ENGINE_QUERY_CACHE_H_
 
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <list>
@@ -35,6 +34,19 @@ struct CachedQuery {
 /// negligible: with the engine's default of one cache shard per worker,
 /// two threads collide only when duplicate texts straddle work shards.
 ///
+/// Hash-once contract: the engine computes `common::Hash64(text)` exactly
+/// once per entry (during shard routing) and passes it to
+/// `GetWithHash`/`PutWithHash`; the cache never re-hashes the text — the
+/// internal index is keyed by the precomputed (hash, text) pair, with
+/// text equality resolving 64-bit collisions exactly. A miss followed by
+/// a Put therefore costs zero additional hash computations.
+///
+/// Hit/miss/eviction counters are plain per-shard integers mutated under
+/// the shard mutex the operation already holds, not shared atomics — a
+/// shared counter cache line bouncing between workers on every lookup is
+/// exactly the contention this cache exists to avoid. Accessors sum over
+/// shards.
+///
 /// Values are `shared_ptr<const CachedQuery>` so an entry evicted while
 /// another thread still holds it stays alive until released.
 class ShardedQueryCache {
@@ -44,18 +56,24 @@ class ShardedQueryCache {
   ShardedQueryCache(size_t capacity, size_t shards);
 
   /// Returns the cached analysis for `text` and marks it most recently
-  /// used, or nullptr on a miss.
-  std::shared_ptr<const CachedQuery> Get(std::string_view text);
+  /// used, or nullptr on a miss. `hash` must be `common::Hash64(text)`
+  /// with the default seed.
+  std::shared_ptr<const CachedQuery> GetWithHash(uint64_t hash,
+                                                 std::string_view text);
 
   /// Inserts (or refreshes) an entry, evicting the least recently used
   /// entry of the same shard when over budget.
+  void PutWithHash(uint64_t hash, std::string_view text,
+                   std::shared_ptr<const CachedQuery> value);
+
+  /// Convenience wrappers that compute Hash64(text) themselves; prefer
+  /// the WithHash forms anywhere the hash already exists.
+  std::shared_ptr<const CachedQuery> Get(std::string_view text);
   void Put(std::string_view text, std::shared_ptr<const CachedQuery> value);
 
-  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
-  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
-  uint64_t evictions() const {
-    return evictions_.load(std::memory_order_relaxed);
-  }
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t evictions() const;
   size_t size() const;
   size_t capacity() const { return shards_.size() * per_shard_capacity_; }
   size_t num_shards() const { return shards_.size(); }
@@ -63,21 +81,41 @@ class ShardedQueryCache {
  private:
   struct Entry {
     std::string key;
+    uint64_t hash;
     std::shared_ptr<const CachedQuery> value;
+  };
+  /// Index key: the precomputed hash plus a view into Entry::key (list
+  /// nodes are stable, so the view survives splices and inserts).
+  struct Key {
+    uint64_t hash;
+    std::string_view text;
+    bool operator==(const Key& o) const {
+      return hash == o.hash && text == o.text;
+    }
+  };
+  /// The map never hashes the text again: the 64-bit Hash64 value IS the
+  /// bucket hash.
+  struct KeyHasher {
+    size_t operator()(const Key& k) const { return static_cast<size_t>(k.hash); }
   };
   struct Shard {
     std::mutex mu;
     std::list<Entry> lru;  // front = most recently used
-    std::unordered_map<std::string_view, std::list<Entry>::iterator> index;
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHasher> index;
+    // Guarded by mu (updated while the op already holds it).
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
   };
 
-  Shard& ShardFor(std::string_view text);
+  Shard& ShardFor(uint64_t hash) {
+    // The low bits pick the engine's work shard, so use the high half to
+    // avoid systematically mapping each worker onto one cache shard.
+    return *shards_[(hash >> 32) % shards_.size()];
+  }
 
   size_t per_shard_capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
-  std::atomic<uint64_t> evictions_{0};
 };
 
 }  // namespace rwdt::engine

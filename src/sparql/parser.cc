@@ -17,11 +17,17 @@ bool IsPathOperatorChar(char c) {
          c == '?' || c == '!' || c == '(';
 }
 
+/// Templated over the dictionary type: the engine's hot path parses into
+/// a reusable arena-backed FlatInterner (allocation-free steady state),
+/// everything else keeps Interner. Both instantiations are emitted via
+/// the ParseSparql overloads at the bottom of this file and produce
+/// identical ASTs (the two dictionaries share the SymbolId contract).
+template <class Dict>
 class SparqlParser {
  public:
   /// `steps` is the shared step budget, decremented across subquery
   /// parsers so nesting cannot multiply the budget.
-  SparqlParser(std::string_view input, Interner* dict,
+  SparqlParser(std::string_view input, Dict* dict,
                const ParseLimits& limits, size_t* steps)
       : input_(input), dict_(dict), limits_(limits), steps_(steps) {}
 
@@ -300,7 +306,8 @@ class SparqlParser {
       } else if (input_.substr(pos_, 2) == "^^") {
         pos_ += 2;
         RWDT_ASSIGN_OR_RETURN(const Term type, ParseTerm());
-        text += "^^" + dict_->Name(type.id);
+        text += "^^";
+        text += dict_->Name(type.id);
       }
       term.kind = Term::Kind::kLiteral;
       term.id = dict_->Intern("\"" + text + "\"");
@@ -863,8 +870,9 @@ class SparqlParser {
         node->kind = FilterExpr::Kind::kUnaryTest;
         node->operand = first_term;
         node->function = function;
-        node->argument =
-            rhs_term.id == kInvalidSymbol ? "" : dict_->Name(rhs_term.id);
+        node->argument = rhs_term.id == kInvalidSymbol
+                             ? std::string()
+                             : std::string(dict_->Name(rhs_term.id));
         return FilterPtr(node);
       }
     }
@@ -945,7 +953,7 @@ class SparqlParser {
   }
 
   std::string_view input_;
-  Interner* dict_;
+  Dict* dict_;
   ParseLimits limits_;
   size_t* steps_;  // shared budget, owned by the root ParseSparql call
   size_t pos_ = 0;
@@ -969,10 +977,20 @@ Result<Query> ParseSparql(std::string_view input, Interner* dict) {
   return ParseSparql(input, dict, ParseLimits{});
 }
 
+Result<Query> ParseSparql(std::string_view input, FlatInterner* dict) {
+  return ParseSparql(input, dict, ParseLimits{});
+}
+
 Result<Query> ParseSparql(std::string_view input, Interner* dict,
                           const ParseLimits& limits) {
   size_t steps = limits.max_parser_steps;
-  return SparqlParser(input, dict, limits, &steps).Parse();
+  return SparqlParser<Interner>(input, dict, limits, &steps).Parse();
+}
+
+Result<Query> ParseSparql(std::string_view input, FlatInterner* dict,
+                          const ParseLimits& limits) {
+  size_t steps = limits.max_parser_steps;
+  return SparqlParser<FlatInterner>(input, dict, limits, &steps).Parse();
 }
 
 }  // namespace rwdt::sparql

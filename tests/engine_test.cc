@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <vector>
@@ -41,6 +42,79 @@ TEST(EngineTest, DeterministicAcrossShardCounts) {
   const core::SourceStudy s64 = RunWith(2, 64, 7);
   EXPECT_EQ(s1, s7);
   EXPECT_EQ(s1, s64);
+}
+
+TEST(EngineTest, DeterministicAcrossThreadsShardsAndChunking) {
+  // The full grid the hash-once pipeline must keep bit-identical:
+  // {1,2,4} threads x {1,4,16} shards x chunked/unchunked feeds all
+  // reduce to the same SourceStudy.
+  const auto entries = loggen::GenerateLog(loggen::ExampleProfile(1200), 31);
+  core::SourceStudy reference;
+  bool have_reference = false;
+  for (unsigned threads : {1u, 2u, 4u}) {
+    for (size_t shards : {size_t{1}, size_t{4}, size_t{16}}) {
+      for (bool chunked : {false, true}) {
+        EngineOptions opts;
+        opts.threads = threads;
+        opts.num_shards = shards;
+        Engine engine(opts);
+        core::SourceStudy study;
+        if (!chunked) {
+          study = engine.AnalyzeEntries("grid", false, entries);
+        } else {
+          EngineStream stream = engine.OpenStream("grid", false);
+          constexpr size_t kChunk = 97;  // deliberately ragged boundary
+          for (size_t i = 0; i < entries.size(); i += kChunk) {
+            std::vector<loggen::LogEntry> chunk(
+                entries.begin() + i,
+                entries.begin() +
+                    std::min(entries.size(), i + kChunk));
+            stream.Feed(chunk);
+          }
+          study = stream.Finish();
+        }
+        if (!have_reference) {
+          reference = study;
+          have_reference = true;
+          EXPECT_GT(reference.valid_agg.queries, 0u);
+        } else {
+          ASSERT_EQ(study, reference)
+              << "threads=" << threads << " shards=" << shards
+              << " chunked=" << chunked;
+        }
+      }
+    }
+  }
+}
+
+TEST(EngineTest, ScalingSmokeSameStudyAndCacheConservation) {
+  // Scaling smoke for the contention-free hot path: the same 50k-entry
+  // log at 1 and 4 threads must produce an identical SourceStudy, and
+  // the cache must stay in the loop — every first occurrence and every
+  // valid duplicate performs exactly one lookup, so
+  // hits + misses == valid + distinct failing texts. A hash-once
+  // rewiring that silently bypassed the cache would break this.
+  const auto entries = loggen::GenerateLog(loggen::ExampleProfile(50000), 46);
+  core::SourceStudy studies[2];
+  MetricsSnapshot snaps[2];
+  const unsigned thread_counts[2] = {1, 4};
+  for (int i = 0; i < 2; ++i) {
+    EngineOptions opts;
+    opts.threads = thread_counts[i];
+    Engine engine(opts);
+    studies[i] = engine.AnalyzeEntries("smoke", false, entries);
+    snaps[i] = engine.Snapshot();
+  }
+  EXPECT_EQ(studies[0], studies[1]);
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(snaps[i].cache_hits + snaps[i].cache_misses,
+              studies[i].valid + snaps[i].parse_failures)
+        << "threads=" << thread_counts[i];
+    EXPECT_GT(snaps[i].cache_hits, 0u);
+  }
+  // Lookup volume itself is thread-count invariant.
+  EXPECT_EQ(snaps[0].cache_hits + snaps[0].cache_misses,
+            snaps[1].cache_hits + snaps[1].cache_misses);
 }
 
 TEST(EngineTest, MatchesLegacySingleThreadedPath) {
