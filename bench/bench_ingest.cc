@@ -118,8 +118,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(out,
-               "{\"bench\":\"ingest\",\"corrupted\":%llu,\"threads\":%u,"
+               "{\"bench\":\"ingest\",\"build\":%s,\"corrupted\":%llu,"
+               "\"threads\":%u,"
                "\"wall_ms\":%.3f,\"lines_per_sec\":%.0f,\"report\":%s}\n",
+               rwdt::common::BuildInfo::Get().ToJson().c_str(),
                static_cast<unsigned long long>(summary.corrupted), threads,
                ms, lines_per_sec, report.ToJson().c_str());
   std::fclose(out);

@@ -27,8 +27,10 @@
 #include <utility>
 #include <vector>
 
+#include "common/build_info.h"
 #include "common/table.h"
 #include "engine/engine.h"
+#include "obs/admin_server.h"
 #include "study_util.h"
 
 namespace {
@@ -92,10 +94,15 @@ int main(int argc, char** argv) {
   }
 
   AsciiTable table({"Threads", "Wall", "Queries/s", "Speedup", "Hit rate"});
+  // RWDT_ADMIN_PORT exposes the currently-sweeping engine's admin
+  // endpoints. kAdminPortAuto is not meaningful here (the port would
+  // change per engine); a fixed port is rebound by each sweep element.
+  const uint32_t admin_port = obs::AdminPortFromEnv();
   for (unsigned threads : ThreadSweep()) {
     engine::EngineOptions opts;
     opts.threads = threads;
     opts.progress.interval_ms = progress_ms;
+    opts.admin_port = admin_port;
     engine::Engine eng(opts);
     const auto t0 = Clock::now();
     const core::SourceStudy study =
@@ -139,9 +146,11 @@ int main(int argc, char** argv) {
     if (r.threads == 1) one_thread_ms = r.wall_ms;
   }
   std::fprintf(out,
-               "{\"bench\":\"log_study\",\"entries\":%zu,\"hw_threads\":%u,"
+               "{\"bench\":\"log_study\",\"build\":%s,"
+               "\"entries\":%zu,\"hw_threads\":%u,"
                "\"runs\":[",
-               entries.size(), std::thread::hardware_concurrency());
+               common::BuildInfo::Get().ToJson().c_str(), entries.size(),
+               std::thread::hardware_concurrency());
   for (size_t i = 0; i < runs.size(); ++i) {
     std::fprintf(
         out,

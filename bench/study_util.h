@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/build_info.h"
 #include "common/json.h"
 #include "core/log_study.h"
 #include "engine/engine.h"
@@ -81,8 +82,12 @@ inline void AppendBenchJson(const std::string& bench_name,
     RWDT_LOG(ERROR) << "cannot append bench metrics to " << path;
     return;
   }
-  std::fprintf(out, "{\"bench\":\"%s\",\"metrics\":%s}\n",
-               JsonEscape(bench_name).c_str(), snap.ToJson().c_str());
+  // The build field lets a perf dashboard pin every record to the exact
+  // commit and compiler that produced it.
+  std::fprintf(out, "{\"bench\":\"%s\",\"build\":%s,\"metrics\":%s}\n",
+               JsonEscape(bench_name).c_str(),
+               common::BuildInfo::Get().ToJson().c_str(),
+               snap.ToJson().c_str());
   std::fclose(out);
   RWDT_LOG(INFO) << "bench " << bench_name << ": metrics appended to "
                  << path;

@@ -6,11 +6,16 @@
 //   $ ./build/examples/graph_explorer
 
 #include <cstdio>
+#include <cstring>
 
 #include "rwdt.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rwdt;
+  if (argc > 1 && std::strcmp(argv[1], "--version") == 0) {
+    std::printf("%s\n", common::BuildInfo::Get().ToString().c_str());
+    return 0;
+  }
   Interner dict;
   Rng rng(11);
 

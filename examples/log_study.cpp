@@ -12,11 +12,16 @@
 // Watch a run live: RWDT_PROGRESS=<ms> logs a one-line engine snapshot
 // (entries/sec, cache hit rate, rejects) at that interval during the
 // ingest phase, and RWDT_TRACE=<file> writes a Chrome/Perfetto trace of
-// the per-worker pipeline stages.
+// the per-worker pipeline stages. RWDT_ADMIN_PORT=<port> serves the
+// admin endpoints (/metrics, /healthz, /readyz, /statusz, /tracez) for
+// the ingest engine; RWDT_ADMIN_LINGER_MS=<ms> keeps them up after the
+// run until GET /quitquitquit (or the deadline) releases the process —
+// how CI scrapes a finished run.
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <sstream>
 
@@ -25,6 +30,10 @@
 int main(int argc, char** argv) {
   using namespace rwdt;
   using Clock = std::chrono::steady_clock;
+  if (argc > 1 && std::strcmp(argv[1], "--version") == 0) {
+    std::printf("%s\n", common::BuildInfo::Get().ToString().c_str());
+    return 0;
+  }
   const uint64_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 5000;
   const unsigned threads =
       argc > 2 ? static_cast<unsigned>(std::strtoul(argv[2], nullptr, 10)) : 4;
@@ -152,9 +161,17 @@ int main(int argc, char** argv) {
   ingest::IngestOptions iopts;
   iopts.source_name = profile.name;
   iopts.wikidata_like = profile.wikidata_like;
-  iopts.engine.threads = threads;
   iopts.progress.interval_ms = progress_ms;  // live one-line snapshots
-  auto ingested = ingest::IngestStream(log_text, iopts);
+
+  // The ingest runs on an engine we own (rather than an IngestStream
+  // internal one) so its admin endpoints — enabled via RWDT_ADMIN_PORT,
+  // off and free by default — expose this phase live and stay
+  // scrapeable after it finishes.
+  engine::EngineOptions eng_opts;
+  eng_opts.threads = threads;
+  eng_opts.admin_port = obs::AdminPortFromEnv();
+  engine::Engine ingest_engine(eng_opts);
+  auto ingested = ingest::IngestStream(log_text, &ingest_engine, iopts);
   if (!ingested.ok()) {
     RWDT_LOG(ERROR) << "ingest failed: " << ingested.error_message();
     return 1;
@@ -189,6 +206,21 @@ int main(int argc, char** argv) {
                      << " spans written to " << trace_path
                      << " — open in Perfetto / chrome://tracing";
     }
+  }
+
+  // Linger: keep the admin endpoints up after the workload so an
+  // external scraper (CI, a human with curl) can read the finished
+  // run's /metrics, /statusz, and /tracez. GET /quitquitquit releases
+  // the process early; the deadline bounds it.
+  const char* linger_env = std::getenv("RWDT_ADMIN_LINGER_MS");
+  const uint32_t linger_ms =
+      linger_env != nullptr
+          ? static_cast<uint32_t>(std::strtoul(linger_env, nullptr, 10))
+          : 0;
+  if (linger_ms > 0 && ingest_engine.admin_server() != nullptr) {
+    RWDT_LOG(INFO) << "lingering up to " << linger_ms
+                   << " ms for admin scrapes (GET /quitquitquit to release)";
+    ingest_engine.admin_server()->WaitForQuit(linger_ms);
   }
   return 0;
 }

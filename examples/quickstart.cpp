@@ -4,11 +4,16 @@
 //   $ ./build/examples/quickstart
 
 #include <cstdio>
+#include <cstring>
 
 #include "rwdt.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rwdt;
+  if (argc > 1 && std::strcmp(argv[1], "--version") == 0) {
+    std::printf("%s\n", common::BuildInfo::Get().ToString().c_str());
+    return 0;
+  }
   Interner dict;
 
   // The paper's Wikidata example: "Locations of archaeological sites".

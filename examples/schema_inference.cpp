@@ -6,12 +6,17 @@
 //   $ ./build/examples/schema_inference
 
 #include <cstdio>
+#include <cstring>
 #include <map>
 
 #include "rwdt.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rwdt;
+  if (argc > 1 && std::strcmp(argv[1], "--version") == 0) {
+    std::printf("%s\n", common::BuildInfo::Get().ToString().c_str());
+    return 0;
+  }
   Interner dict;
 
   const std::vector<std::string> documents = {

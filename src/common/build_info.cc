@@ -1,0 +1,41 @@
+#include "common/build_info.h"
+
+#include "common/json.h"
+#include "rwdt_build_info_gen.h"
+
+namespace rwdt::common {
+
+const BuildInfo& BuildInfo::Get() {
+  static const BuildInfo info{
+      RWDT_BUILD_GIT_DESCRIBE, RWDT_BUILD_GIT_COMMIT, RWDT_BUILD_COMPILER,
+      RWDT_BUILD_TYPE,         RWDT_BUILD_CXX_STANDARD,
+  };
+  return info;
+}
+
+std::string BuildInfo::ToString() const {
+  std::string out = "rwdt ";
+  out += git_describe;
+  out += " (";
+  out += build_type;
+  out += ", ";
+  out += compiler;
+  out += ", C++";
+  out += cxx_standard;
+  out += ")";
+  return out;
+}
+
+std::string BuildInfo::ToJson() const {
+  std::string out = "{";
+  AppendJsonStringField("git_describe", git_describe, &out);
+  AppendJsonStringField("git_commit", git_commit, &out);
+  AppendJsonStringField("compiler", compiler, &out);
+  AppendJsonStringField("build_type", build_type, &out);
+  AppendJsonStringField("cxx_standard", cxx_standard, &out,
+                        /*trailing_comma=*/false);
+  out += "}";
+  return out;
+}
+
+}  // namespace rwdt::common

@@ -1,0 +1,32 @@
+#ifndef RWDT_COMMON_BUILD_INFO_H_
+#define RWDT_COMMON_BUILD_INFO_H_
+
+#include <string>
+
+namespace rwdt::common {
+
+/// Build provenance, injected at CMake configure time (git describe and
+/// commit via `execute_process`, compiler and build type from the CMake
+/// cache) through the generated header `rwdt_build_info_gen.h`. Shown by
+/// `--version` in every example binary, in the admin server's /statusz,
+/// and in the header of every bench JSON so perf numbers are always
+/// attributable to an exact build.
+struct BuildInfo {
+  const char* git_describe;  // `git describe --always --dirty --tags`
+  const char* git_commit;    // full HEAD sha, "unknown" outside a checkout
+  const char* compiler;      // e.g. "GNU 13.2.0"
+  const char* build_type;    // e.g. "RelWithDebInfo"
+  const char* cxx_standard;  // e.g. "20"
+
+  static const BuildInfo& Get();
+
+  /// One line for --version: `rwdt <describe> (<type>, <compiler>, C++<std>)`.
+  std::string ToString() const;
+
+  /// JSON object with snake_case keys matching the field names.
+  std::string ToJson() const;
+};
+
+}  // namespace rwdt::common
+
+#endif  // RWDT_COMMON_BUILD_INFO_H_

@@ -7,9 +7,13 @@
 #include <thread>
 #include <utility>
 
+#include "common/build_info.h"
 #include "common/flat_interner.h"
 #include "common/hash.h"
+#include "common/json.h"
 #include "core/query_analysis.h"
+#include "obs/engine_bridge.h"
+#include "obs/log.h"
 #include "obs/trace.h"
 #include "sparql/parser.h"
 
@@ -29,6 +33,11 @@ unsigned ResolveThreads(unsigned requested) {
   return hw == 0 ? 1 : hw;
 }
 
+/// Process-wide engine ordinal for the registry's `engine="<n>"` label,
+/// so several live engines expose disjoint series instead of clobbering
+/// each other's families.
+std::atomic<uint64_t> g_engine_ordinal{0};
+
 }  // namespace
 
 Status EngineOptions::Validate() const {
@@ -47,9 +56,32 @@ Status EngineOptions::Validate() const {
     return Status::InvalidArgument(
         "cache_shards exceeds cache_capacity (shards would be empty)");
   }
+  if (admin_port > kAdminPortAuto) {
+    return Status::InvalidArgument(
+        "admin_port must be 0 (off), a TCP port, or kAdminPortAuto");
+  }
+  if (admin_port != 0 && admin_bind.empty()) {
+    return Status::InvalidArgument("admin_bind must be set when admin is on");
+  }
   RWDT_RETURN_IF_ERROR(parse_limits.Validate());
   RWDT_RETURN_IF_ERROR(progress.Validate());
   return Status::Ok();
+}
+
+std::string EngineOptions::ToJson() const {
+  std::string out = "{";
+  out += "\"threads\":" + std::to_string(threads);
+  out += ",\"num_shards\":" + std::to_string(num_shards);
+  out += ",\"cache_capacity\":" + std::to_string(cache_capacity);
+  out += ",\"cache_shards\":" + std::to_string(cache_shards);
+  out += ",\"collect_stage_timings\":";
+  out += collect_stage_timings ? "true" : "false";
+  out += ",\"admin_port\":" + std::to_string(admin_port);
+  out += ",";
+  AppendJsonStringField("admin_bind", admin_bind, &out,
+                        /*trailing_comma=*/false);
+  out += "}";
+  return out;
 }
 
 /// Per-shard accumulator and dedup state. Shards never share mutable
@@ -101,9 +133,111 @@ Engine::Engine(const EngineOptions& options)
              options.cache_shards > 0 ? options.cache_shards
                                       : std::max<size_t>(threads_, 8)) {
   if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_);
+  start_ns_ = NowNs();
+  ready_ = std::make_shared<std::atomic<bool>>(false);
+  const uint64_t ordinal =
+      g_engine_ordinal.fetch_add(1, std::memory_order_relaxed);
+  registry_collector_ = obs::RegisterEngineMetrics(
+      &obs::MetricRegistry::Global(), this,
+      {{"engine", std::to_string(ordinal)}});
+  StartAdminServer();
+  ready_->store(true, std::memory_order_release);
 }
 
-Engine::~Engine() = default;
+Engine::~Engine() {
+  if (ready_ != nullptr) ready_->store(false, std::memory_order_release);
+  // Order matters: the admin server's handlers and the registry bridge
+  // both read engine state, so they must be torn down before the engine
+  // members they touch. Stop the server (drains in-flight /metrics
+  // scrapes), then unhook the global-registry collector.
+  admin_.reset();
+  registry_collector_.Reset();
+}
+
+void Engine::StartAdminServer() {
+  if (options_.admin_port == 0) return;
+  obs::AdminServer::Options sopts;
+  sopts.bind_address = options_.admin_bind;
+  sopts.port = options_.admin_port == EngineOptions::kAdminPortAuto
+                   ? 0
+                   : static_cast<uint16_t>(options_.admin_port);
+  auto server = std::make_unique<obs::AdminServer>(sopts);
+
+  server->Handle("/metrics", "OpenMetrics exposition of every registry family",
+                 [](const obs::HttpRequest&) {
+                   obs::HttpResponse resp;
+                   resp.content_type =
+                       "application/openmetrics-text; version=1.0.0; "
+                       "charset=utf-8";
+                   resp.body = obs::MetricRegistry::Global().RenderOpenMetrics();
+                   return resp;
+                 });
+  server->Handle("/healthz", "liveness: 200 while the process runs",
+                 [](const obs::HttpRequest&) {
+                   obs::HttpResponse resp;
+                   resp.body = "ok\n";
+                   return resp;
+                 });
+  // The ready flag is shared (not `this->ready_`) so a handler draining
+  // during destruction never dereferences a dead engine.
+  server->Handle("/readyz", "readiness: 200 once the engine accepts work",
+                 [ready = ready_](const obs::HttpRequest&) {
+                   obs::HttpResponse resp;
+                   if (ready->load(std::memory_order_acquire)) {
+                     resp.body = "ready\n";
+                   } else {
+                     resp.status = 503;
+                     resp.body = "not ready\n";
+                   }
+                   return resp;
+                 });
+  server->Handle(
+      "/statusz", "JSON: build info, uptime, options, metrics snapshot",
+      [this](const obs::HttpRequest&) {
+        obs::HttpResponse resp;
+        resp.content_type = "application/json; charset=utf-8";
+        std::string body = "{\"build\":";
+        body += common::BuildInfo::Get().ToJson();
+        body += ",\"uptime_seconds\":";
+        body += std::to_string(
+            static_cast<double>(NowNs() - start_ns_) / 1e9);
+        body += ",\"options\":" + options_.ToJson();
+        body += ",\"metrics\":" + Snapshot().ToJson();
+        body += "}";
+        resp.body = std::move(body);
+        return resp;
+      });
+  server->Handle("/tracez",
+                 "drains the active TraceCollector as Chrome trace JSON",
+                 [](const obs::HttpRequest&) {
+                   obs::HttpResponse resp;
+                   std::string json;
+                   if (obs::DrainActiveTraceJson(&json)) {
+                     resp.content_type = "application/json; charset=utf-8";
+                     resp.body = std::move(json);
+                   } else {
+                     resp.status = 503;
+                     resp.body =
+                         "no active trace collector (set RWDT_TRACE or "
+                         "install one)\n";
+                   }
+                   return resp;
+                 });
+
+  Status started = server->Start();
+  if (!started.ok()) {
+    // Never fatal: an engine must not die because a port was taken.
+    RWDT_LOG(ERROR) << "admin server disabled: " << started.ToString();
+    return;
+  }
+  RWDT_LOG(INFO) << "admin server listening on " << options_.admin_bind << ":"
+                  << server->port();
+  admin_ = std::move(server);
+}
+
+size_t Engine::queue_depth() const {
+  return pool_ != nullptr ? pool_->QueueDepth() : 0;
+}
 
 core::SourceStudy Engine::AnalyzeLog(const loggen::SourceProfile& profile,
                                      uint64_t seed) {

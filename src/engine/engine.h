@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include <atomic>
+
 #include "common/flat_interner.h"
 #include "common/status.h"
 #include "core/log_study.h"
@@ -13,7 +15,9 @@
 #include "engine/query_cache.h"
 #include "engine/thread_pool.h"
 #include "loggen/sparql_gen.h"
+#include "obs/admin_server.h"
 #include "obs/progress.h"
+#include "obs/registry.h"
 #include "sparql/parser.h"
 
 namespace rwdt::engine {
@@ -40,6 +44,22 @@ struct EngineOptions {
   /// so tracing a run requires this to stay on.
   bool collect_stage_timings = true;
 
+  /// Embedded admin server (GET /metrics, /healthz, /readyz, /statusz,
+  /// /tracez). 0 (the default) = no server: no thread, no socket, and —
+  /// because the registry bridge is pull-only — zero added work on the
+  /// analysis hot path. 1-65535 = that TCP port; kAdminPortAuto = let
+  /// the kernel pick a free port (tests; read it back via
+  /// `admin_server()->port()`). Examples and benches populate this from
+  /// the RWDT_ADMIN_PORT environment variable.
+  uint32_t admin_port = 0;
+
+  /// Admin bind address. Defaults to loopback: the admin endpoints
+  /// expose engine internals and must be tunneled, not exposed.
+  std::string admin_bind = "127.0.0.1";
+
+  /// Sentinel for `admin_port`: bind an ephemeral kernel-assigned port.
+  static constexpr uint32_t kAdminPortAuto = 65536;
+
   /// Live run reporting: while a stream is open (AnalyzeLog,
   /// AnalyzeEntries, OpenStream..Finish), a background thread snapshots
   /// Metrics every `progress.interval_ms` and logs a one-line summary;
@@ -58,6 +78,10 @@ struct EngineOptions {
   /// shard/thread counts) before any work is scheduled. The ingest layer
   /// calls this up front so misconfiguration fails fast, not mid-stream.
   Status Validate() const;
+
+  /// JSON object of the serving-relevant knobs — the "options" block of
+  /// the admin server's /statusz.
+  std::string ToJson() const;
 };
 
 class Engine;
@@ -161,11 +185,20 @@ class Engine {
   size_t num_shards() const { return num_shards_; }
   const EngineOptions& options() const { return options_; }
 
+  /// Shard tasks queued or running on the pool (0 when single-threaded).
+  size_t queue_depth() const;
+
+  /// The embedded admin server, or null when `admin_port == 0` or the
+  /// bind failed (failure is logged, never fatal — an engine must not
+  /// die because a port was taken).
+  obs::AdminServer* admin_server() const { return admin_.get(); }
+
  private:
   friend class EngineStream;
   struct ShardState;
   void ProcessShard(const std::vector<RoutedEntry>& entries,
                     ShardState* state);
+  void StartAdminServer();
 
   EngineOptions options_;
   unsigned threads_;
@@ -173,6 +206,13 @@ class Engine {
   ShardedQueryCache cache_;
   std::unique_ptr<ThreadPool> pool_;  // null when threads_ == 1
   Metrics metrics_;
+
+  uint64_t start_ns_ = 0;  // construction time, for /statusz uptime
+  /// /readyz: true once the constructor completes (the engine accepts
+  /// Feed), false again the moment destruction begins.
+  std::shared_ptr<std::atomic<bool>> ready_;
+  obs::ScopedCollector registry_collector_;  // global-registry bridge
+  std::unique_ptr<obs::AdminServer> admin_;
 };
 
 }  // namespace rwdt::engine

@@ -147,6 +147,7 @@ MetricsSnapshot Metrics::Snapshot() const {
     st.p90_ns = Quantile(buckets, count, 0.90);
     st.p99_ns = Quantile(buckets, count, 0.99);
     st.max_ns = stage_max_ns_[s].load(kRelaxed);
+    st.buckets = buckets;
   }
   return snap;
 }

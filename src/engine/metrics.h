@@ -70,6 +70,10 @@ struct StageStats {
   /// Exact observed maximum (tracked by an atomic CAS-max per sample,
   /// not reconstructed from the histogram buckets).
   uint64_t max_ns = 0;
+  /// Raw (non-cumulative) bucket counts: bucket b holds samples with
+  /// ns in [2^(b-1), 2^b). Carried so the OpenMetrics bridge can expose
+  /// real histogram series; ToText/ToJson ignore it (formats unchanged).
+  std::array<uint64_t, kLatencyBuckets> buckets{};
 };
 
 /// A point-in-time copy of all engine counters, safe to read, print, and

@@ -35,6 +35,11 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
 }
 
+size_t ThreadPool::QueueDepth() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return queue_.size() + in_flight_;
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;

@@ -37,10 +37,15 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// Tasks submitted but not yet finished (queued + running) — the
+  /// admin server's `rwdt_engine_queue_depth` gauge. Point-in-time by
+  /// nature; taken under the queue mutex, off the worker hot path.
+  size_t QueueDepth() const;
+
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_ready_;
   std::condition_variable all_done_;
   std::deque<std::function<void()>> queue_;

@@ -1,0 +1,126 @@
+#ifndef RWDT_OBS_ADMIN_SERVER_H_
+#define RWDT_OBS_ADMIN_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rwdt::obs {
+
+/// One parsed HTTP/1.1 request (the subset the admin server speaks:
+/// method + target, headers ignored, no body).
+struct HttpRequest {
+  std::string method;  // "GET"
+  std::string path;    // "/metrics" (query string split off)
+  std::string query;   // "verbose=1" (without the '?'), may be empty
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// A small, dependency-free blocking HTTP/1.1 server for in-process
+/// admin endpoints (/metrics, /healthz, ...). One accept thread feeds a
+/// bounded connection queue drained by a fixed handler pool; every
+/// response closes the connection (Connection: close), so there is no
+/// keep-alive state to manage. Binds 127.0.0.1 by default — admin
+/// endpoints expose internals and must not face the open network.
+///
+/// Lifecycle: construct, register routes with Handle(), Start(), and
+/// eventually Stop() (or destroy). Stop is graceful: the listener closes
+/// first, then queued and in-flight requests finish before the handler
+/// threads join. Handlers therefore must stay callable until Stop
+/// returns — owners stop the server before tearing down anything a
+/// handler touches.
+class AdminServer {
+ public:
+  struct Options {
+    std::string bind_address = "127.0.0.1";
+    /// 0 = kernel-assigned ephemeral port (tests); read back via port().
+    uint16_t port = 0;
+    unsigned handler_threads = 2;
+    /// Accepted connections waiting for a handler; beyond this the
+    /// accept thread closes new connections immediately (load shedding).
+    size_t max_pending = 64;
+    /// Per-connection socket read/write timeout. Bounds how long a
+    /// silent client can pin a handler thread (and therefore how long
+    /// Stop() can block).
+    uint32_t io_timeout_ms = 5000;
+  };
+
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  explicit AdminServer(Options options);
+  ~AdminServer();  // implies Stop()
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Registers an exact-path route (before Start). `help` is shown on
+  /// the generated "/" index page.
+  void Handle(std::string path, std::string help, Handler handler);
+
+  /// Binds, listens (SO_REUSEADDR), and spawns the accept thread and
+  /// handler pool. Fails with kUnavailable if the address is taken.
+  Status Start();
+
+  /// Graceful shutdown: stops accepting, drains queued + in-flight
+  /// requests, joins all threads. Idempotent; called by the destructor.
+  void Stop();
+
+  /// The bound port (resolves Options::port == 0), 0 before Start.
+  uint16_t port() const { return port_; }
+  bool running() const;
+
+  uint64_t requests_served() const;
+
+  /// Blocks until GET /quitquitquit is served (a built-in route), Stop()
+  /// runs, or `timeout_ms` elapses. Lets a CLI keep its admin endpoints
+  /// alive after the workload finishes ("linger") with a remote,
+  /// deterministic way to release it. Returns true if quit/stop arrived.
+  bool WaitForQuit(uint32_t timeout_ms);
+
+ private:
+  void AcceptLoop();
+  void HandlerLoop();
+  void ServeConnection(int fd);
+  HttpResponse Dispatch(const HttpRequest& request);
+  std::string IndexBody() const;
+
+  Options options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+
+  std::map<std::string, std::pair<std::string, Handler>> routes_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::condition_variable quit_cv_;
+  std::deque<int> pending_;  // accepted fds awaiting a handler
+  bool started_ = false;
+  bool stopping_ = false;
+  bool quit_requested_ = false;
+  uint64_t requests_served_ = 0;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> handler_threads_;
+};
+
+/// Parses the RWDT_ADMIN_PORT environment variable: unset, empty, or
+/// "0" yield `fallback` (admin off). Values above 65535 are clamped to
+/// 0 with a warning.
+uint32_t AdminPortFromEnv(uint32_t fallback = 0);
+
+}  // namespace rwdt::obs
+
+#endif  // RWDT_OBS_ADMIN_SERVER_H_

@@ -73,7 +73,11 @@ JsonLinesSink::JsonLinesSink(std::FILE* stream, bool owned)
     : stream_(stream), owned_(owned) {}
 
 JsonLinesSink::~JsonLinesSink() {
-  if (owned_ && stream_ != nullptr) std::fclose(stream_);
+  if (stream_ == nullptr) return;
+  // Flush even when the stream is borrowed: a sink dropped at process
+  // exit must never owe the file buffered records.
+  std::fflush(stream_);
+  if (owned_) std::fclose(stream_);
 }
 
 void JsonLinesSink::Write(const LogRecord& record) {
@@ -95,7 +99,10 @@ void JsonLinesSink::Write(const LogRecord& record) {
                         /*trailing_comma=*/false);
   line += "}\n";
   std::fwrite(line.data(), 1, line.size(), stream_);
-  std::fflush(stream_);
+  // Errors flush immediately (a crashing process must not lose them);
+  // routine records ride the stdio buffer and land in the destructor's
+  // flush, keeping hot logging off the syscall path.
+  if (record.level >= LogLevel::kError) std::fflush(stream_);
 }
 
 Logger::Logger() : min_level_(static_cast<int>(LogLevel::kInfo)) {

@@ -6,15 +6,28 @@
 //                  sinks (stderr text, JSON-lines file).
 //   * progress.h — background-thread live run reporting over
 //                  engine::Metrics, plus the final JSON run report.
+//   * registry.h — process-wide MetricRegistry of named counters,
+//                  gauges, and histograms (relaxed-atomic hot path).
+//   * openmetrics.h — OpenMetrics/Prometheus text exposition of
+//                  registry family snapshots.
+//   * engine_bridge.h — pull-model adapter from engine::MetricsSnapshot
+//                  into registry families (rwdt_engine_*).
+//   * admin_server.h — embedded blocking HTTP/1.1 admin server serving
+//                  /metrics, /healthz, /readyz, /statusz, /tracez.
 //
 // Everything here is zero-cost when idle: spans gate on one relaxed
 // atomic load, log statements on one relaxed load before the message is
-// composed, and progress reporting only exists while explicitly enabled.
+// composed, progress reporting only exists while explicitly enabled,
+// and the registry is pull-only — nothing runs until a scrape.
 #ifndef RWDT_OBS_OBS_H_
 #define RWDT_OBS_OBS_H_
 
+#include "obs/admin_server.h"
+#include "obs/engine_bridge.h"
 #include "obs/log.h"
+#include "obs/openmetrics.h"
 #include "obs/progress.h"
+#include "obs/registry.h"
 #include "obs/trace.h"
 
 #endif  // RWDT_OBS_OBS_H_

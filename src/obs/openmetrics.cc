@@ -1,0 +1,159 @@
+#include "obs/openmetrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "obs/log.h"
+
+namespace rwdt::obs {
+
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string FormatOpenMetricsValue(double v) {
+  char buf[64];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else if (std::isinf(v)) {
+    return v > 0 ? "+Inf" : "-Inf";
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+  }
+  return buf;
+}
+
+namespace {
+
+/// Escapes HELP text: backslash and newline (quotes are legal there).
+std::string EscapeHelp(std::string_view help) {
+  std::string out;
+  out.reserve(help.size());
+  for (const char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void AppendLabels(const Labels& labels, std::string* out) {
+  if (labels.empty()) return;
+  *out += '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) *out += ',';
+    first = false;
+    *out += key;
+    *out += "=\"";
+    *out += EscapeLabelValue(value);
+    *out += '"';
+  }
+  *out += '}';
+}
+
+}  // namespace
+
+void AppendHistogramSamples(const std::vector<double>& bounds,
+                            const std::function<uint64_t(size_t)>& bucket_count,
+                            double sum, const Labels& labels,
+                            std::vector<Sample>* out) {
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    cumulative += bucket_count(i);
+    Labels with_le = labels;
+    with_le.emplace_back("le", FormatOpenMetricsValue(bounds[i]));
+    out->push_back(
+        {"_bucket", std::move(with_le), static_cast<double>(cumulative)});
+  }
+  cumulative += bucket_count(bounds.size());
+  Labels inf = labels;
+  inf.emplace_back("le", "+Inf");
+  out->push_back({"_bucket", std::move(inf), static_cast<double>(cumulative)});
+  out->push_back({"_sum", labels, sum});
+  out->push_back({"_count", labels, static_cast<double>(cumulative)});
+}
+
+std::vector<FamilySnapshot> MergeFamilies(
+    std::vector<FamilySnapshot> families) {
+  std::map<std::string, FamilySnapshot> merged;
+  for (FamilySnapshot& family : families) {
+    auto it = merged.find(family.name);
+    if (it == merged.end()) {
+      merged.emplace(family.name, std::move(family));
+      continue;
+    }
+    if (it->second.type != family.type) {
+      RWDT_LOG(ERROR) << "metric family '" << family.name
+                      << "' collected twice with conflicting types ("
+                      << MetricTypeName(it->second.type) << " vs "
+                      << MetricTypeName(family.type) << "); dropping the "
+                      << MetricTypeName(family.type) << " samples";
+      continue;
+    }
+    for (Sample& sample : family.samples) {
+      it->second.samples.push_back(std::move(sample));
+    }
+    if (it->second.help.empty()) it->second.help = std::move(family.help);
+  }
+  std::vector<FamilySnapshot> out;
+  out.reserve(merged.size());
+  for (auto& [name, family] : merged) {
+    (void)name;
+    out.push_back(std::move(family));
+  }
+  return out;  // std::map iteration order == sorted by name
+}
+
+std::string WriteOpenMetrics(const std::vector<FamilySnapshot>& families) {
+  std::string out;
+  for (const FamilySnapshot& family : families) {
+    if (!family.help.empty()) {
+      out += "# HELP ";
+      out += family.name;
+      out += ' ';
+      out += EscapeHelp(family.help);
+      out += '\n';
+    }
+    out += "# TYPE ";
+    out += family.name;
+    out += ' ';
+    out += MetricTypeName(family.type);
+    out += '\n';
+    for (const Sample& sample : family.samples) {
+      out += family.name;
+      out += sample.suffix;
+      AppendLabels(sample.labels, &out);
+      out += ' ';
+      out += FormatOpenMetricsValue(sample.value);
+      out += '\n';
+    }
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+}  // namespace rwdt::obs

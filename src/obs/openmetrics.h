@@ -1,0 +1,59 @@
+#ifndef RWDT_OBS_OPENMETRICS_H_
+#define RWDT_OBS_OPENMETRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/registry.h"
+
+namespace rwdt::obs {
+
+/// Renders families as OpenMetrics / Prometheus text exposition:
+///
+///   # HELP rwdt_engine_entries Log entries streamed through the engine.
+///   # TYPE rwdt_engine_entries counter
+///   rwdt_engine_entries_total{engine="1"} 200000
+///   ...
+///   # EOF
+///
+/// Counter samples carry the `_total` suffix (the family is declared
+/// under its base name, per the OpenMetrics spec); histogram children
+/// expand into cumulative `_bucket{le="..."}` samples plus `_sum` and
+/// `_count`. Label values are escaped (`\\`, `\"`, `\n`) and the output
+/// ends with the mandatory `# EOF` marker. Families must already be
+/// merged/sorted — `MetricRegistry::Collect` returns them that way.
+std::string WriteOpenMetrics(const std::vector<FamilySnapshot>& families);
+
+/// Merges families with the same name (samples concatenated in order;
+/// the first occurrence's type and help win — a type clash is logged and
+/// the later family dropped) and sorts the result by name. `Collect`
+/// applies this; collector callbacks can therefore emit families
+/// without caring what the direct instruments already declared.
+std::vector<FamilySnapshot> MergeFamilies(std::vector<FamilySnapshot> families);
+
+/// Expands one histogram child into exposition samples: cumulative
+/// `_bucket` samples with `le` labels (finite bounds then `+Inf`),
+/// `_sum`, and `_count`. `bucket_count(i)` must return the
+/// NON-cumulative count of bucket `i`, with `i == bounds.size()` the
+/// overflow (+Inf) bucket; `labels` are copied onto every sample with
+/// `le` appended last.
+void AppendHistogramSamples(const std::vector<double>& bounds,
+                            const std::function<uint64_t(size_t)>& bucket_count,
+                            double sum, const Labels& labels,
+                            std::vector<Sample>* out);
+
+/// Escapes a label value for exposition (backslash, quote, newline).
+std::string EscapeLabelValue(std::string_view value);
+
+/// Formats a sample value: integers exactly (no exponent, no trailing
+/// `.0`), everything else via shortest-ish %g — deterministic, so golden
+/// tests can compare whole documents.
+std::string FormatOpenMetricsValue(double v);
+
+}  // namespace rwdt::obs
+
+#endif  // RWDT_OBS_OPENMETRICS_H_

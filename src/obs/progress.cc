@@ -7,6 +7,7 @@
 
 #include "common/json.h"
 #include "common/table.h"
+#include "obs/engine_bridge.h"
 #include "obs/log.h"
 #include "obs/trace.h"
 
@@ -47,18 +48,17 @@ void ProgressReporter::Loop() {
 }
 
 void ProgressReporter::EmitProgressLine(const engine::MetricsSnapshot& snap) {
-  const uint64_t entries = snap.entries_processed;
-  const uint64_t delta = entries - last_entries_;
-  last_entries_ = entries;
-  const double per_sec =
-      options_.interval_ms == 0
-          ? 0.0
-          : delta * 1000.0 / static_cast<double>(options_.interval_ms);
-  RWDT_LOG(INFO) << options_.label << ": " << entries << " entries (+"
-                 << static_cast<uint64_t>(per_sec) << "/s), "
-                 << snap.queries_analyzed << " analyzed, cache hit "
-                 << static_cast<int>(100.0 * snap.CacheHitRate() + 0.5)
-                 << "%, " << snap.TotalErrors() << " rejects";
+  // Same derivation the registry bridge uses for its gauges, so the
+  // tick log and a concurrent /metrics scrape can never disagree on
+  // what "entries/sec" or "cache hit rate" means.
+  const EngineTick tick = ComputeEngineTick(
+      snap, last_entries_, options_.interval_ms / 1000.0);
+  last_entries_ = tick.entries;
+  RWDT_LOG(INFO) << options_.label << ": " << tick.entries << " entries (+"
+                 << static_cast<uint64_t>(tick.entries_per_sec) << "/s), "
+                 << tick.analyzed << " analyzed, cache hit "
+                 << static_cast<int>(100.0 * tick.cache_hit_rate + 0.5)
+                 << "%, " << tick.rejects << " rejects";
 }
 
 void ProgressReporter::Stop() {

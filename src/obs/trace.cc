@@ -43,6 +43,13 @@ void EmitSpanSlow(const char* name, uint64_t ts_ns, uint64_t dur_ns) {
 
 }  // namespace internal
 
+bool DrainActiveTraceJson(std::string* out) {
+  std::lock_guard<std::mutex> lock(internal::g_install_mu);
+  if (internal::g_collector == nullptr) return false;
+  *out = internal::g_collector->ToChromeJson();
+  return true;
+}
+
 uint64_t TraceNowNs() {
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(

@@ -159,6 +159,13 @@ inline bool TracingActive() {
   return internal::g_trace_active.load(std::memory_order_relaxed);
 }
 
+/// If a TraceCollector is installed, renders its Chrome trace JSON into
+/// `*out` and returns true; false when no collector is active. The
+/// install lock is held for the duration, so the collector cannot be
+/// destroyed mid-serialization — this is what lets the admin server's
+/// /tracez pull a trace from a live run at any moment.
+bool DrainActiveTraceJson(std::string* out);
+
 /// Steady-clock nanoseconds (the clock all span timestamps use).
 uint64_t TraceNowNs();
 

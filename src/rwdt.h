@@ -22,6 +22,7 @@
 
 // Foundations: status/error taxonomy, interning, RNG, stats, tables,
 // JSON string escaping.
+#include "common/build_info.h"
 #include "common/interner.h"
 #include "common/json.h"
 #include "common/rng.h"

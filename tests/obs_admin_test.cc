@@ -1,0 +1,236 @@
+// Loopback tests for the embedded admin HTTP server: every built-in
+// route, error handling, and graceful shutdown with a request in
+// flight.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/interner.h"
+#include "engine/engine.h"
+#include "obs/admin_server.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "tree/json.h"
+
+namespace rwdt::obs {
+namespace {
+
+struct HttpResult {
+  int status = 0;
+  std::string body;
+  std::string raw;
+};
+
+/// Minimal blocking HTTP/1.1 GET over a raw loopback socket — the tests
+/// deliberately avoid any client library so they exercise exactly the
+/// bytes a curl or Prometheus scrape would send.
+HttpResult HttpGet(uint16_t port, const std::string& path,
+                   const std::string& method = "GET") {
+  HttpResult result;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return result;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return result;
+  }
+  const std::string request =
+      method + " " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  char buf[4096];
+  for (;;) {  // Connection: close — read until EOF
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    result.raw.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  if (result.raw.compare(0, 9, "HTTP/1.1 ") == 0) {
+    result.status = std::atoi(result.raw.c_str() + 9);
+  }
+  const size_t split = result.raw.find("\r\n\r\n");
+  if (split != std::string::npos) result.body = result.raw.substr(split + 4);
+  return result;
+}
+
+TEST(AdminServerTest, RoutesAndErrors) {
+  AdminServer::Options opts;  // port 0 = ephemeral
+  AdminServer server(opts);
+  server.Handle("/hello", "greeting", [](const HttpRequest& req) {
+    HttpResponse resp;
+    resp.body = "hi " + req.query;
+    return resp;
+  });
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_NE(server.port(), 0);
+
+  EXPECT_EQ(HttpGet(server.port(), "/hello?who=tests").body, "hi who=tests");
+  EXPECT_EQ(HttpGet(server.port(), "/nope").status, 404);
+  EXPECT_EQ(HttpGet(server.port(), "/hello", "POST").status, 405);
+  // The index page lists registered routes with their help strings.
+  const HttpResult index = HttpGet(server.port(), "/");
+  EXPECT_EQ(index.status, 200);
+  EXPECT_NE(index.body.find("/hello"), std::string::npos);
+  EXPECT_NE(index.body.find("greeting"), std::string::npos);
+  // Stop() joins the handler pool, so the served count is final here;
+  // asserting before Stop() races the post-response counter increment.
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  EXPECT_GE(server.requests_served(), 4u);
+}
+
+TEST(AdminServerTest, GracefulStopDrainsInFlightRequest) {
+  std::atomic<bool> entered{false};
+  AdminServer::Options opts;
+  AdminServer server(opts);
+  server.Handle("/slow", "sleeps", [&](const HttpRequest&) {
+    entered.store(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    HttpResponse resp;
+    resp.body = "slow done";
+    return resp;
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  HttpResult result;
+  std::thread client(
+      [&] { result = HttpGet(server.port(), "/slow"); });
+  while (!entered.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  server.Stop();  // must wait for the in-flight handler, not kill it
+  client.join();
+  EXPECT_EQ(result.status, 200);
+  EXPECT_EQ(result.body, "slow done");
+}
+
+TEST(AdminServerTest, QuitQuitQuitReleasesWaiter) {
+  AdminServer server(AdminServer::Options{});
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_FALSE(server.WaitForQuit(/*timeout_ms=*/10));  // times out quietly
+  std::thread quitter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    HttpGet(server.port(), "/quitquitquit");
+  });
+  EXPECT_TRUE(server.WaitForQuit(/*timeout_ms=*/5000));
+  quitter.join();
+}
+
+TEST(AdminServerTest, PortFromEnv) {
+  ::unsetenv("RWDT_ADMIN_PORT");
+  EXPECT_EQ(AdminPortFromEnv(), 0u);
+  EXPECT_EQ(AdminPortFromEnv(1234), 1234u);
+  ::setenv("RWDT_ADMIN_PORT", "9464", 1);
+  EXPECT_EQ(AdminPortFromEnv(), 9464u);
+  ::setenv("RWDT_ADMIN_PORT", "0", 1);
+  EXPECT_EQ(AdminPortFromEnv(7), 7u);
+  ::setenv("RWDT_ADMIN_PORT", "123456", 1);  // out of range -> off
+  EXPECT_EQ(AdminPortFromEnv(), 0u);
+  ::unsetenv("RWDT_ADMIN_PORT");
+}
+
+/// End-to-end: an engine with admin_port=kAdminPortAuto serves all five
+/// routes, and /metrics agrees with the engine's final MetricsSnapshot.
+TEST(AdminServerTest, EngineEndToEnd) {
+  TraceCollector trace;  // makes /tracez live
+
+  engine::EngineOptions opts;
+  opts.threads = 2;
+  opts.admin_port = engine::EngineOptions::kAdminPortAuto;
+  engine::Engine eng(opts);
+  ASSERT_NE(eng.admin_server(), nullptr);
+  const uint16_t port = eng.admin_server()->port();
+  ASSERT_NE(port, 0);
+
+  loggen::SourceProfile profile = loggen::ExampleProfile(3000);
+  profile.name = "admin-e2e";
+  eng.AnalyzeLog(profile, 7);
+  const engine::MetricsSnapshot snap = eng.Snapshot();
+
+  EXPECT_EQ(HttpGet(port, "/healthz").body, "ok\n");
+  EXPECT_EQ(HttpGet(port, "/readyz").status, 200);
+
+  const HttpResult metrics = HttpGet(port, "/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.raw.find("application/openmetrics-text"),
+            std::string::npos);
+  // The engine's series must agree with the snapshot totals. The
+  // engine label is a process-wide ordinal, so match on suffix.
+  auto expect_value = [&](const std::string& prefix, uint64_t value) {
+    const size_t at = metrics.body.find(prefix);
+    ASSERT_NE(at, std::string::npos) << prefix << "\nin:\n" << metrics.body;
+    const size_t space = metrics.body.find(' ', at);
+    ASSERT_NE(space, std::string::npos);
+    EXPECT_EQ(std::strtoull(metrics.body.c_str() + space + 1, nullptr, 10),
+              value)
+        << prefix;
+  };
+  expect_value("rwdt_engine_entries_total", snap.entries_processed);
+  expect_value("rwdt_engine_queries_analyzed_total", snap.queries_analyzed);
+  expect_value("rwdt_engine_cache_hits_total", snap.cache_hits);
+  EXPECT_NE(metrics.body.find("rwdt_engine_stage_latency_ns_bucket"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.rfind("# EOF\n"), std::string::npos);
+
+  // /statusz and /tracez must both be valid JSON.
+  Interner dict;
+  const HttpResult statusz = HttpGet(port, "/statusz");
+  EXPECT_EQ(statusz.status, 200);
+  EXPECT_TRUE(tree::ParseJson(statusz.body, &dict).ok()) << statusz.body;
+  EXPECT_NE(statusz.body.find("\"build\""), std::string::npos);
+  EXPECT_NE(statusz.body.find("\"uptime_seconds\""), std::string::npos);
+  EXPECT_NE(statusz.body.find("\"admin_port\":65536"), std::string::npos);
+
+  const HttpResult tracez = HttpGet(port, "/tracez");
+  EXPECT_EQ(tracez.status, 200);
+  EXPECT_TRUE(tree::ParseJson(tracez.body, &dict).ok());
+}
+
+TEST(AdminServerTest, TracezWithoutCollectorIs503) {
+  engine::EngineOptions opts;
+  opts.threads = 1;
+  opts.admin_port = engine::EngineOptions::kAdminPortAuto;
+  engine::Engine eng(opts);
+  ASSERT_NE(eng.admin_server(), nullptr);
+  EXPECT_EQ(HttpGet(eng.admin_server()->port(), "/tracez").status, 503);
+}
+
+TEST(AdminServerTest, AdminOffByDefaultAndBindFailureIsNonFatal) {
+  engine::Engine off;  // admin_port defaults to 0
+  EXPECT_EQ(off.admin_server(), nullptr);
+
+  // Two engines on the same fixed port: the second bind fails, which
+  // must disable its admin server, not kill the engine.
+  engine::EngineOptions opts;
+  opts.threads = 1;
+  opts.admin_port = engine::EngineOptions::kAdminPortAuto;
+  engine::Engine first(opts);
+  ASSERT_NE(first.admin_server(), nullptr);
+  engine::EngineOptions clash = opts;
+  clash.admin_port = first.admin_server()->port();
+  engine::Engine second(clash);
+  EXPECT_EQ(second.admin_server(), nullptr);
+  // Both engines still work.
+  loggen::SourceProfile profile = loggen::ExampleProfile(200);
+  profile.name = "clash";
+  EXPECT_GT(second.AnalyzeLog(profile, 3).total, 0u);
+}
+
+}  // namespace
+}  // namespace rwdt::obs

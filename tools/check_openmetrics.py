@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""Validates an OpenMetrics text exposition (as served by /metrics).
+
+Usage:
+    check_openmetrics.py [file]        # default: stdin
+    curl -s :9464/metrics | check_openmetrics.py
+
+Checks (a practical subset of the OpenMetrics 1.0 spec — enough to
+catch every way our writer could regress):
+
+  * document ends with exactly one '# EOF' line, nothing after it
+  * every sample belongs to a family declared by a '# TYPE' line
+  * '# HELP'/'# TYPE' appear at most once per family, HELP before TYPE
+  * counter samples use the '_total' suffix; gauges use the bare name
+  * histogram samples are only _bucket/_sum/_count; every series has a
+    '+Inf' bucket whose value equals its _count; buckets are cumulative
+    (non-decreasing in 'le' order)
+  * no duplicate series (same name + label set)
+  * label syntax: key="value" with keys matching [a-zA-Z_][a-zA-Z0-9_]*
+
+Exits 0 when valid, 1 with a line-numbered report when not.
+"""
+
+import re
+import sys
+
+METRIC_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)(?: \S+)?$"
+)
+
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def parse_value(raw):
+    if raw == "+Inf":
+        return float("inf")
+    if raw == "-Inf":
+        return float("-inf")
+    return float(raw)
+
+
+def main():
+    if len(sys.argv) > 1:
+        with open(sys.argv[1], "r", encoding="utf-8") as f:
+            text = f.read()
+    else:
+        text = sys.stdin.read()
+
+    errors = []
+    types = {}      # family name -> type
+    helps = set()
+    seen_series = set()
+    # histogram series key (family, labels-without-le) -> {le: value}
+    buckets = {}
+    counts = {}
+    eof_at = None
+
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    for i, line in enumerate(lines, start=1):
+        if eof_at is not None:
+            errors.append(f"line {i}: content after # EOF")
+            break
+        if line == "# EOF":
+            eof_at = i
+            continue
+        if line.startswith("# HELP "):
+            name = line.split(" ", 3)[2]
+            if name in helps:
+                errors.append(f"line {i}: duplicate HELP for {name}")
+            if name in types:
+                errors.append(f"line {i}: HELP for {name} after its TYPE")
+            helps.add(name)
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                errors.append(f"line {i}: malformed TYPE line")
+                continue
+            name, mtype = parts[2], parts[3]
+            if name in types:
+                errors.append(f"line {i}: duplicate TYPE for {name}")
+            if mtype not in ("counter", "gauge", "histogram", "summary",
+                            "unknown", "info", "stateset"):
+                errors.append(f"line {i}: unknown metric type '{mtype}'")
+            types[name] = mtype
+            continue
+        if line.startswith("#"):
+            continue  # comment
+
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            errors.append(f"line {i}: unparsable sample: {line!r}")
+            continue
+        sample_name, label_blob, raw_value = m.groups()
+        try:
+            value = parse_value(raw_value)
+        except ValueError:
+            errors.append(f"line {i}: bad value {raw_value!r}")
+            continue
+
+        labels = {}
+        if label_blob:
+            body = label_blob[1:-1]
+            consumed = 0
+            for lm in LABEL_RE.finditer(body):
+                if lm.group(1) in labels:
+                    errors.append(
+                        f"line {i}: duplicate label {lm.group(1)!r}")
+                labels[lm.group(1)] = lm.group(2)
+                consumed += lm.end() - lm.start() + 1  # +1 for a comma
+            if consumed < len(body):
+                errors.append(f"line {i}: malformed label set {label_blob!r}")
+
+        # Resolve the family this sample belongs to.
+        family, suffix = None, ""
+        for declared in types:
+            if sample_name == declared:
+                family = declared
+            for sfx in HISTOGRAM_SUFFIXES + ("_total", "_created"):
+                if sample_name == declared + sfx:
+                    cand = declared
+                    if family is None or len(cand) > len(family):
+                        family, suffix = cand, sfx
+        if family is None:
+            errors.append(
+                f"line {i}: sample {sample_name!r} has no # TYPE declaration")
+            continue
+
+        series_key = (sample_name, tuple(sorted(labels.items())))
+        if series_key in seen_series:
+            errors.append(f"line {i}: duplicate series {series_key}")
+        seen_series.add(series_key)
+
+        mtype = types[family]
+        if mtype == "counter":
+            if suffix not in ("_total", "_created"):
+                errors.append(
+                    f"line {i}: counter {family} sample must use _total")
+            elif value < 0:
+                errors.append(f"line {i}: negative counter {sample_name}")
+        elif mtype == "gauge":
+            if suffix != "":
+                errors.append(
+                    f"line {i}: gauge {family} must use the bare name")
+        elif mtype == "histogram":
+            if suffix not in HISTOGRAM_SUFFIXES:
+                errors.append(
+                    f"line {i}: histogram {family} sample {sample_name!r} "
+                    "must be _bucket/_sum/_count")
+                continue
+            base = dict(labels)
+            le = base.pop("le", None)
+            hkey = (family, tuple(sorted(base.items())))
+            if suffix == "_bucket":
+                if le is None:
+                    errors.append(f"line {i}: _bucket without le label")
+                    continue
+                buckets.setdefault(hkey, []).append((i, le, value))
+            elif suffix == "_count":
+                counts[hkey] = (i, value)
+
+    if eof_at is None:
+        errors.append("missing # EOF terminator")
+
+    for hkey, entries in buckets.items():
+        prev = None
+        inf_value = None
+        for (i, le, value) in entries:  # exposition order
+            if prev is not None and value < prev:
+                errors.append(
+                    f"line {i}: histogram {hkey[0]} buckets not cumulative")
+            prev = value
+            if le == "+Inf":
+                inf_value = value
+        if inf_value is None:
+            errors.append(f"histogram {hkey[0]}{dict(hkey[1])}: no +Inf bucket")
+        elif hkey in counts and counts[hkey][1] != inf_value:
+            errors.append(
+                f"histogram {hkey[0]}{dict(hkey[1])}: +Inf bucket "
+                f"({inf_value}) != _count ({counts[hkey][1]})")
+        elif hkey not in counts:
+            errors.append(f"histogram {hkey[0]}{dict(hkey[1])}: missing _count")
+
+    if errors:
+        for e in errors:
+            print(e, file=sys.stderr)
+        print(f"INVALID: {len(errors)} error(s)", file=sys.stderr)
+        return 1
+    nfam = len(types)
+    print(f"OK: {nfam} families, {len(seen_series)} series")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
