@@ -120,4 +120,138 @@ void AppendJsonStringField(std::string_view key, std::string_view value,
   if (trailing_comma) out->push_back(',');
 }
 
+void JsonWriter::BeforeValue() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!has_element_.empty()) {
+    if (has_element_.back()) out_->push_back(',');
+    has_element_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_->push_back('{');
+  scopes_.push_back(true);
+  has_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  out_->push_back('}');
+  if (!scopes_.empty()) {
+    scopes_.pop_back();
+    has_element_.pop_back();
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_->push_back('[');
+  scopes_.push_back(false);
+  has_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  out_->push_back(']');
+  if (!scopes_.empty()) {
+    scopes_.pop_back();
+    has_element_.pop_back();
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  if (!has_element_.empty()) {
+    if (has_element_.back()) out_->push_back(',');
+    has_element_.back() = true;
+  }
+  out_->push_back('"');
+  AppendJsonEscaped(key, out_);
+  *out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_->push_back('"');
+  AppendJsonEscaped(value, out_);
+  out_->push_back('"');
+  return *this;
+}
+
+JsonWriter& JsonWriter::UInt(uint64_t value) {
+  BeforeValue();
+  *out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  *out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value) {
+  BeforeValue();
+  if (value != value || value == __builtin_inf() ||
+      value == -__builtin_inf()) {
+    *out_ += "null";
+    return *this;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  *out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  *out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  *out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Raw(std::string_view json) {
+  BeforeValue();
+  out_->append(json);
+  return *this;
+}
+
+JsonWriter& JsonWriter::StringField(std::string_view key,
+                                    std::string_view value) {
+  return Key(key).String(value);
+}
+
+JsonWriter& JsonWriter::UIntField(std::string_view key, uint64_t value) {
+  return Key(key).UInt(value);
+}
+
+JsonWriter& JsonWriter::IntField(std::string_view key, int64_t value) {
+  return Key(key).Int(value);
+}
+
+JsonWriter& JsonWriter::DoubleField(std::string_view key, double value) {
+  return Key(key).Double(value);
+}
+
+JsonWriter& JsonWriter::BoolField(std::string_view key, bool value) {
+  return Key(key).Bool(value);
+}
+
+JsonWriter& JsonWriter::RawField(std::string_view key,
+                                 std::string_view json) {
+  return Key(key).Raw(json);
+}
+
 }  // namespace rwdt

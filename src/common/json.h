@@ -1,8 +1,10 @@
 #ifndef RWDT_COMMON_JSON_H_
 #define RWDT_COMMON_JSON_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace rwdt {
 
@@ -21,6 +23,71 @@ std::string JsonEscape(std::string_view s);
 /// comma — the common shape of the string fields in our JSON emitters.
 void AppendJsonStringField(std::string_view key, std::string_view value,
                            std::string* out, bool trailing_comma = true);
+
+/// A streaming JSON writer appending to a caller-owned string. It owns
+/// all comma and brace bookkeeping — the historical source of bugs in
+/// the hand-rolled emitters — so call sites read as the document shape:
+///
+///   JsonWriter w(&out);
+///   w.BeginObject();
+///   w.StringField("name", study.name);
+///   w.Key("errors").BeginObject();
+///   for (...) w.UIntField(ErrorClassName(c), count);
+///   w.EndObject();
+///   w.Key("per_source").BeginArray();
+///   for (...) w.String(source);
+///   w.EndArray();
+///   w.EndObject();
+///
+/// All string keys and values are escaped via AppendJsonEscaped, so the
+/// output is always a valid JSON document provided Begin/End calls
+/// balance (unbalanced scopes are a programming error; the writer keeps
+/// emitting rather than crashing, matching the registry's
+/// dummy-on-misuse discipline).
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string* out) : out_(out) {}
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits the member key (escaped); the next value call supplies the
+  /// member value. Only meaningful directly inside an object scope.
+  JsonWriter& Key(std::string_view key);
+
+  // Values: as array elements, after Key() as member values, or bare at
+  // the top level.
+  JsonWriter& String(std::string_view value);
+  JsonWriter& UInt(uint64_t value);
+  JsonWriter& Int(int64_t value);
+  /// %.10g; NaN/Inf (not representable in JSON) are emitted as null.
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+  /// Splices pre-rendered JSON (e.g. another component's ToJson())
+  /// verbatim as one value.
+  JsonWriter& Raw(std::string_view json);
+
+  // Key + value in one call — the dominant shape in our emitters.
+  JsonWriter& StringField(std::string_view key, std::string_view value);
+  JsonWriter& UIntField(std::string_view key, uint64_t value);
+  JsonWriter& IntField(std::string_view key, int64_t value);
+  JsonWriter& DoubleField(std::string_view key, double value);
+  JsonWriter& BoolField(std::string_view key, bool value);
+  JsonWriter& RawField(std::string_view key, std::string_view json);
+
+ private:
+  void BeforeValue();
+
+  std::string* out_;
+  /// One frame per open scope: true = object, false = array.
+  std::vector<bool> scopes_;
+  /// Whether the current scope already holds an element (comma needed).
+  std::vector<bool> has_element_;
+  bool after_key_ = false;
+};
 
 }  // namespace rwdt
 

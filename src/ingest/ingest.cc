@@ -205,44 +205,32 @@ Status IngestOptions::Validate() const {
 }
 
 std::string IngestReport::ToJson() const {
-  std::string out = "{\"study\":{";
-  AppendJsonStringField("name", study.name, &out);
-  char buf[160];
-  std::snprintf(buf, sizeof(buf),
-                "\"wikidata_like\":%s,\"total\":%llu,\"valid\":%llu,"
-                "\"unique\":%llu,\"errors\":{",
-                study.wikidata_like ? "true" : "false",
-                static_cast<unsigned long long>(study.total),
-                static_cast<unsigned long long>(study.valid),
-                static_cast<unsigned long long>(study.unique));
-  out += buf;
+  std::string out;
+  JsonWriter w(&out);
+  w.BeginObject();
+  w.Key("study").BeginObject();
+  w.StringField("name", study.name);
+  w.BoolField("wikidata_like", study.wikidata_like);
+  w.UIntField("total", study.total);
+  w.UIntField("valid", study.valid);
+  w.UIntField("unique", study.unique);
+  w.Key("errors").BeginObject();
   for (size_t c = 0; c < kNumErrorClasses; ++c) {
-    std::snprintf(buf, sizeof(buf), "%s\"%s\":%llu", c == 0 ? "" : ",",
-                  JsonEscape(ErrorClassName(static_cast<ErrorClass>(c)))
-                      .c_str(),
-                  static_cast<unsigned long long>(study.errors[c]));
-    out += buf;
+    w.UIntField(ErrorClassName(static_cast<ErrorClass>(c)), study.errors[c]);
   }
-  std::snprintf(buf, sizeof(buf),
-                "}},\"lines_read\":%llu,\"blank_lines\":%llu,"
-                "\"bytes_read\":%llu,\"per_source\":{",
-                static_cast<unsigned long long>(lines_read),
-                static_cast<unsigned long long>(blank_lines),
-                static_cast<unsigned long long>(bytes_read));
-  out += buf;
-  bool first = true;
+  w.EndObject();  // errors
+  w.EndObject();  // study
+  w.UIntField("lines_read", lines_read);
+  w.UIntField("blank_lines", blank_lines);
+  w.UIntField("bytes_read", bytes_read);
+  w.Key("per_source").BeginObject();
   for (const auto& [source, count] : per_source) {
-    if (!first) out += ',';
-    first = false;
-    out += '"';
-    AppendJsonEscaped(source, &out);  // raw log bytes: must be escaped
-    std::snprintf(buf, sizeof(buf), "\":%llu",
-                  static_cast<unsigned long long>(count));
-    out += buf;
+    // Raw log bytes: the key must be escaped (JsonWriter always does).
+    w.UIntField(source, count);
   }
-  out += "},\"metrics\":";
-  out += metrics.ToJson();
-  out += '}';
+  w.EndObject();  // per_source
+  w.RawField("metrics", metrics.ToJson());
+  w.EndObject();
   return out;
 }
 

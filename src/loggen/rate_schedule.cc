@@ -1,0 +1,126 @@
+#include "loggen/rate_schedule.h"
+
+#include <cmath>
+#include <string>
+
+#include "common/rng.h"
+
+namespace rwdt::loggen {
+
+const char* RateProfileName(RateProfile p) {
+  switch (p) {
+    case RateProfile::kConstant:
+      return "constant";
+    case RateProfile::kDiurnal:
+      return "diurnal";
+    case RateProfile::kBurst:
+      return "burst";
+  }
+  return "unknown";
+}
+
+Result<RateProfile> ParseRateProfile(std::string_view name) {
+  if (name == "constant") return RateProfile::kConstant;
+  if (name == "diurnal") return RateProfile::kDiurnal;
+  if (name == "burst") return RateProfile::kBurst;
+  return Status::InvalidArgument("unknown rate profile: " + std::string(name) +
+                                 " (want constant|diurnal|burst)");
+}
+
+Status RateScheduleOptions::Validate() const {
+  if (!(base_qps > 0)) {
+    return Status::InvalidArgument("base_qps must be > 0");
+  }
+  if (profile == RateProfile::kConstant) return Status::Ok();
+  if (!(period_s > 0)) {
+    return Status::InvalidArgument("period_s must be > 0");
+  }
+  if (profile == RateProfile::kDiurnal &&
+      (amplitude < 0 || amplitude > 1)) {
+    return Status::InvalidArgument("amplitude must be in [0, 1]");
+  }
+  if (profile == RateProfile::kBurst) {
+    if (!(burst_qps > 0)) {
+      return Status::InvalidArgument("burst_qps must be > 0");
+    }
+    if (!(burst_duty > 0) || !(burst_duty < 1)) {
+      return Status::InvalidArgument("burst_duty must be in (0, 1)");
+    }
+  }
+  return Status::Ok();
+}
+
+RateSchedule::RateSchedule(const RateScheduleOptions& options)
+    : options_(options) {}
+
+double RateSchedule::RateAt(double t_s) const {
+  if (t_s < 0) t_s = 0;
+  switch (options_.profile) {
+    case RateProfile::kConstant:
+      return options_.base_qps;
+    case RateProfile::kDiurnal: {
+      constexpr double kTwoPi = 6.283185307179586;
+      return options_.base_qps *
+             (1.0 + options_.amplitude *
+                        std::sin(kTwoPi * t_s / options_.period_s));
+    }
+    case RateProfile::kBurst: {
+      const double phase = std::fmod(t_s, options_.period_s);
+      return phase < options_.burst_duty * options_.period_s
+                 ? options_.burst_qps
+                 : options_.base_qps;
+    }
+  }
+  return options_.base_qps;
+}
+
+double RateSchedule::MeanRate() const {
+  switch (options_.profile) {
+    case RateProfile::kConstant:
+    case RateProfile::kDiurnal:
+      // The sine integrates to zero over a full period.
+      return options_.base_qps;
+    case RateProfile::kBurst:
+      return options_.burst_duty * options_.burst_qps +
+             (1.0 - options_.burst_duty) * options_.base_qps;
+  }
+  return options_.base_qps;
+}
+
+double RateSchedule::PeakRate() const {
+  switch (options_.profile) {
+    case RateProfile::kConstant:
+      return options_.base_qps;
+    case RateProfile::kDiurnal:
+      return options_.base_qps * (1.0 + options_.amplitude);
+    case RateProfile::kBurst:
+      return options_.burst_qps > options_.base_qps ? options_.burst_qps
+                                                    : options_.base_qps;
+  }
+  return options_.base_qps;
+}
+
+std::vector<double> GenerateArrivals(const RateSchedule& schedule,
+                                     double horizon_s, uint64_t seed) {
+  std::vector<double> arrivals;
+  if (!(horizon_s > 0)) return arrivals;
+  const double peak = schedule.PeakRate();
+  if (!(peak > 0)) return arrivals;
+  arrivals.reserve(static_cast<size_t>(schedule.MeanRate() * horizon_s * 1.1) +
+                   16);
+  Rng rng(seed);
+  double t = 0;
+  for (;;) {
+    // Homogeneous arrivals at the peak rate, thinned down to the
+    // instantaneous rate (Lewis-Shedler). 1 - NextDouble() keeps the
+    // log argument in (0, 1].
+    t += -std::log(1.0 - rng.NextDouble()) / peak;
+    if (t >= horizon_s) break;
+    if (rng.NextDouble() * peak <= schedule.RateAt(t)) {
+      arrivals.push_back(t);
+    }
+  }
+  return arrivals;
+}
+
+}  // namespace rwdt::loggen

@@ -1,0 +1,80 @@
+#ifndef RWDT_LOGGEN_RATE_SCHEDULE_H_
+#define RWDT_LOGGEN_RATE_SCHEDULE_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rwdt::loggen {
+
+/// Traffic-rate shapes for open-loop load generation. Real query logs
+/// are not constant-rate: the paper's sources show strong diurnal
+/// cycles (human traffic) and square bursts (robotic batch jobs), so
+/// the load generator models all three.
+enum class RateProfile {
+  kConstant,  // rate(t) = base_qps
+  kDiurnal,   // rate(t) = base_qps * (1 + amplitude * sin(2*pi*t/period))
+  kBurst,     // rate(t) = burst_qps for the first burst_duty of each
+              // period, base_qps for the rest (square wave)
+};
+
+const char* RateProfileName(RateProfile p);
+
+/// Parses "constant" / "diurnal" / "burst" (CLI flag values).
+Result<RateProfile> ParseRateProfile(std::string_view name);
+
+struct RateScheduleOptions {
+  RateProfile profile = RateProfile::kConstant;
+  /// Baseline rate in queries per second.
+  double base_qps = 100.0;
+  /// Cycle length for kDiurnal / kBurst.
+  double period_s = 60.0;
+  /// kDiurnal swing as a fraction of base_qps, in [0, 1].
+  double amplitude = 0.5;
+  /// kBurst high-phase rate (>= base_qps for a meaningful burst).
+  double burst_qps = 400.0;
+  /// Fraction of each period spent at burst_qps, in (0, 1).
+  double burst_duty = 0.2;
+
+  /// Rejects non-positive rates/periods and out-of-range fractions.
+  Status Validate() const;
+};
+
+/// A deterministic rate schedule: instantaneous target rate as a pure
+/// function of elapsed time. Shared by tools/loadgen and any future
+/// replay harness so traffic shapes are reproducible bit-for-bit.
+class RateSchedule {
+ public:
+  explicit RateSchedule(const RateScheduleOptions& options);
+
+  /// Target rate (queries/sec) at `t_s` seconds from the start. Periodic
+  /// profiles wrap; t_s < 0 is clamped to 0.
+  double RateAt(double t_s) const;
+
+  /// Closed-form mean rate over one full period (== base_qps for
+  /// kConstant and kDiurnal; duty-weighted for kBurst).
+  double MeanRate() const;
+
+  /// The maximum of RateAt over a period — the thinning envelope used
+  /// by GenerateArrivals.
+  double PeakRate() const;
+
+  const RateScheduleOptions& options() const { return options_; }
+
+ private:
+  RateScheduleOptions options_;
+};
+
+/// Open-loop arrival timestamps (seconds, strictly increasing) over
+/// [0, horizon_s): an inhomogeneous Poisson process with intensity
+/// `schedule.RateAt`, sampled by thinning against the peak rate.
+/// Deterministic in `seed` — identical inputs give the identical
+/// sequence on every platform, so a load run can be replayed exactly.
+std::vector<double> GenerateArrivals(const RateSchedule& schedule,
+                                     double horizon_s, uint64_t seed);
+
+}  // namespace rwdt::loggen
+
+#endif  // RWDT_LOGGEN_RATE_SCHEDULE_H_

@@ -1,311 +1,72 @@
 #include "obs/admin_server.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <chrono>
 #include <cstdlib>
-#include <cstring>
-#include <string_view>
 #include <utility>
 
 #include "obs/log.h"
 
 namespace rwdt::obs {
-namespace {
 
-const char* ReasonPhrase(int status) {
-  switch (status) {
-    case 200:
-      return "OK";
-    case 400:
-      return "Bad Request";
-    case 404:
-      return "Not Found";
-    case 405:
-      return "Method Not Allowed";
-    case 503:
-      return "Service Unavailable";
-    default:
-      return "Unknown";
-  }
-}
-
-void SetSocketTimeout(int fd, uint32_t ms) {
-  timeval tv{};
-  tv.tv_sec = ms / 1000;
-  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
-  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-}
-
-/// Reads from `fd` until the end of the request head (CRLFCRLF), a cap,
-/// a timeout, or EOF. Returns false on anything but a complete head.
-bool ReadRequestHead(int fd, std::string* head) {
-  constexpr size_t kMaxHeadBytes = 16 * 1024;
-  char buf[1024];
-  while (head->size() < kMaxHeadBytes) {
-    if (head->find("\r\n\r\n") != std::string::npos) return true;
-    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) return false;  // EOF, timeout, or error
-    head->append(buf, static_cast<size_t>(n));
-  }
-  return head->find("\r\n\r\n") != std::string::npos;
-}
-
-bool SendAll(int fd, std::string_view data) {
-  size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n =
-        send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
-    if (n <= 0) return false;
-    sent += static_cast<size_t>(n);
-  }
-  return true;
-}
-
-}  // namespace
-
-AdminServer::AdminServer(Options options) : options_(std::move(options)) {
-  if (options_.handler_threads == 0) options_.handler_threads = 1;
-  if (options_.max_pending == 0) options_.max_pending = 1;
-}
+AdminServer::AdminServer(Options options) : options_(std::move(options)) {}
 
 AdminServer::~AdminServer() { Stop(); }
 
 void AdminServer::Handle(std::string path, std::string help, Handler handler) {
-  std::lock_guard<std::mutex> lock(mu_);
   routes_[std::move(path)] = {std::move(help), std::move(handler)};
 }
 
 Status AdminServer::Start() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (started_) return Status::InvalidArgument("admin server already started");
+  if (http_ != nullptr) {
+    return Status::InvalidArgument("admin server already started");
   }
+  serve::HttpServer::Options hopts;
+  hopts.bind_address = options_.bind_address;
+  hopts.port = options_.port;
+  hopts.handler_threads = options_.handler_threads;
+  hopts.max_pending = options_.max_pending;
+  hopts.io_timeout_ms = options_.io_timeout_ms;
+  // Admin scrapes are one-shot ("read until EOF" clients like the CI
+  // curl loop); keep the historical Connection: close contract.
+  hopts.keep_alive = false;
 
-  const int fd = socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::Internal(std::string("socket(): ") + std::strerror(errno));
+  auto http = std::make_unique<serve::HttpServer>(hopts);
+  for (const auto& [path, route] : routes_) {
+    http->Handle("GET", path, route.second);
   }
-  const int one = 1;
-  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  const Handler index = [this](const HttpRequest&) {
+    return HttpResponse{200, "text/plain; charset=utf-8", IndexBody(), {}};
+  };
+  http->Handle("GET", "/", index);
+  http->Handle("GET", "/index", index);
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
-    close(fd);
-    return Status::InvalidArgument("bad admin bind address: " +
-                                   options_.bind_address);
-  }
-  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const int err = errno;
-    close(fd);
-    return Status(Code::kResourceExhausted,
-                  "cannot bind admin server to " + options_.bind_address + ":" +
-                      std::to_string(options_.port) + ": " +
-                      std::strerror(err));
-  }
-  if (listen(fd, 16) != 0) {
-    const int err = errno;
-    close(fd);
-    return Status::Internal(std::string("listen(): ") + std::strerror(err));
-  }
-  socklen_t len = sizeof(addr);
-  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
-    port_ = ntohs(addr.sin_port);
-  }
-
-  std::lock_guard<std::mutex> lock(mu_);
-  listen_fd_ = fd;
-  started_ = true;
-  stopping_ = false;
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
-  handler_threads_.reserve(options_.handler_threads);
-  for (unsigned i = 0; i < options_.handler_threads; ++i) {
-    handler_threads_.emplace_back([this] { HandlerLoop(); });
-  }
-  RWDT_LOG(INFO) << "admin server listening on http://"
-                 << options_.bind_address << ":" << port_
-                 << " (" << routes_.size() << " routes)";
+  RWDT_RETURN_IF_ERROR(http->Start());
+  http_ = std::move(http);
   return Status::Ok();
 }
 
 void AdminServer::Stop() {
-  std::thread accept_thread;
-  std::vector<std::thread> handler_threads;
-  int listen_fd = -1;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!started_ || stopping_) return;
-    stopping_ = true;
-    listen_fd = listen_fd_;
-    listen_fd_ = -1;
-    accept_thread = std::move(accept_thread_);
-    handler_threads = std::move(handler_threads_);
-    handler_threads_.clear();
-  }
-  // Unblock accept(); handlers keep draining `pending_` until empty.
-  if (listen_fd >= 0) {
-    shutdown(listen_fd, SHUT_RDWR);
-    close(listen_fd);
-  }
-  queue_cv_.notify_all();
-  quit_cv_.notify_all();
-  if (accept_thread.joinable()) accept_thread.join();
-  if (handler_threads.empty()) return;
-  for (std::thread& t : handler_threads) {
-    if (t.joinable()) t.join();
-  }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    started_ = false;
-  }
-  RWDT_LOG(INFO) << "admin server on port " << port_ << " stopped after "
-                 << requests_served_ << " requests";
+  if (http_ != nullptr) http_->Stop();
+}
+
+uint16_t AdminServer::port() const {
+  return http_ == nullptr ? 0 : http_->port();
 }
 
 bool AdminServer::running() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return started_ && !stopping_;
+  return http_ != nullptr && http_->running();
 }
 
 uint64_t AdminServer::requests_served() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return requests_served_;
+  return http_ == nullptr ? 0 : http_->requests_served();
 }
 
 bool AdminServer::WaitForQuit(uint32_t timeout_ms) {
-  std::unique_lock<std::mutex> lock(mu_);
-  quit_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                    [this] { return quit_requested_ || stopping_; });
-  return quit_requested_ || stopping_;
-}
-
-void AdminServer::AcceptLoop() {
-  for (;;) {
-    int listen_fd;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (stopping_) return;
-      listen_fd = listen_fd_;
-    }
-    if (listen_fd < 0) return;
-    const int fd = accept(listen_fd, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      // Closed by Stop(), or a transient accept failure while stopping.
-      std::lock_guard<std::mutex> lock(mu_);
-      if (stopping_) return;
-      RWDT_LOG(WARN) << "admin accept(): " << std::strerror(errno);
-      continue;
-    }
-    SetSocketTimeout(fd, options_.io_timeout_ms);
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (!stopping_ && pending_.size() < options_.max_pending) {
-        pending_.push_back(fd);
-        queue_cv_.notify_one();
-        continue;
-      }
-    }
-    close(fd);  // shedding: queue full or shutting down
-  }
-}
-
-void AdminServer::HandlerLoop() {
-  for (;;) {
-    int fd;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
-      // Graceful stop: drain every accepted connection before exiting.
-      if (pending_.empty()) return;
-      fd = pending_.front();
-      pending_.pop_front();
-    }
-    ServeConnection(fd);
-  }
-}
-
-void AdminServer::ServeConnection(int fd) {
-  std::string head;
-  HttpResponse response;
-  HttpRequest request;
-  if (!ReadRequestHead(fd, &head)) {
-    close(fd);
-    return;
-  }
-  const size_t line_end = head.find("\r\n");
-  const std::string request_line = head.substr(0, line_end);
-  const size_t sp1 = request_line.find(' ');
-  const size_t sp2 =
-      sp1 == std::string::npos ? std::string::npos
-                               : request_line.find(' ', sp1 + 1);
-  if (sp2 == std::string::npos) {
-    response = {400, "text/plain; charset=utf-8", "malformed request line\n"};
-  } else {
-    request.method = request_line.substr(0, sp1);
-    std::string target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
-    const size_t qmark = target.find('?');
-    if (qmark != std::string::npos) {
-      request.query = target.substr(qmark + 1);
-      target.resize(qmark);
-    }
-    request.path = std::move(target);
-    response = Dispatch(request);
-  }
-
-  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
-                    ReasonPhrase(response.status) + "\r\n";
-  out += "Content-Type: " + response.content_type + "\r\n";
-  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
-  out += "Connection: close\r\n\r\n";
-  out += response.body;
-  SendAll(fd, out);
-  close(fd);
-
-  std::lock_guard<std::mutex> lock(mu_);
-  requests_served_++;
-}
-
-HttpResponse AdminServer::Dispatch(const HttpRequest& request) {
-  if (request.method != "GET") {
-    return {405, "text/plain; charset=utf-8",
-            "only GET is supported on admin endpoints\n"};
-  }
-  if (request.path == "/quitquitquit") {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      quit_requested_ = true;
-    }
-    quit_cv_.notify_all();
-    return {200, "text/plain; charset=utf-8", "bye\n"};
-  }
-  if (request.path == "/" || request.path == "/index") {
-    return {200, "text/plain; charset=utf-8", IndexBody()};
-  }
-  Handler handler;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = routes_.find(request.path);
-    if (it != routes_.end()) handler = it->second.second;
-  }
-  if (handler == nullptr) {
-    return {404, "text/plain; charset=utf-8",
-            "no route " + request.path + " — see / for the index\n"};
-  }
-  return handler(request);
+  if (http_ == nullptr) return false;
+  return http_->WaitForQuit(timeout_ms);
 }
 
 std::string AdminServer::IndexBody() const {
   std::string out = "rwdt admin server — routes:\n";
-  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [path, route] : routes_) {
     out += "  " + path + "  —  " + route.first + "\n";
   }

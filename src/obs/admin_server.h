@@ -1,47 +1,33 @@
 #ifndef RWDT_OBS_ADMIN_SERVER_H_
 #define RWDT_OBS_ADMIN_SERVER_H_
 
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <map>
-#include <mutex>
+#include <memory>
 #include <string>
-#include <thread>
-#include <vector>
+#include <utility>
 
 #include "common/status.h"
+#include "serve/http_server.h"
 
 namespace rwdt::obs {
 
-/// One parsed HTTP/1.1 request (the subset the admin server speaks:
-/// method + target, headers ignored, no body).
-struct HttpRequest {
-  std::string method;  // "GET"
-  std::string path;    // "/metrics" (query string split off)
-  std::string query;   // "verbose=1" (without the '?'), may be empty
-};
+/// The admin endpoints reuse the single hand-rolled HTTP stack in the
+/// tree (serve::HttpServer); these aliases keep the historical
+/// obs::HttpRequest / obs::HttpResponse spelling working for handlers.
+using HttpRequest = serve::HttpRequest;
+using HttpResponse = serve::HttpResponse;
 
-struct HttpResponse {
-  int status = 200;
-  std::string content_type = "text/plain; charset=utf-8";
-  std::string body;
-};
-
-/// A small, dependency-free blocking HTTP/1.1 server for in-process
-/// admin endpoints (/metrics, /healthz, ...). One accept thread feeds a
-/// bounded connection queue drained by a fixed handler pool; every
-/// response closes the connection (Connection: close), so there is no
-/// keep-alive state to manage. Binds 127.0.0.1 by default — admin
-/// endpoints expose internals and must not face the open network.
+/// In-process admin endpoints (/metrics, /healthz, ...) on top of
+/// serve::HttpServer. GET-only, one response per connection
+/// (Connection: close), bound to loopback by default — admin endpoints
+/// expose internals and must not face the open network.
 ///
 /// Lifecycle: construct, register routes with Handle(), Start(), and
-/// eventually Stop() (or destroy). Stop is graceful: the listener closes
-/// first, then queued and in-flight requests finish before the handler
-/// threads join. Handlers therefore must stay callable until Stop
-/// returns — owners stop the server before tearing down anything a
-/// handler touches.
+/// eventually Stop() (or destroy). Stop is graceful: queued and
+/// in-flight requests finish before the handler threads join, so
+/// handlers must stay callable until Stop returns — owners stop the
+/// server before tearing down anything a handler touches.
 class AdminServer {
  public:
   struct Options {
@@ -49,8 +35,8 @@ class AdminServer {
     /// 0 = kernel-assigned ephemeral port (tests); read back via port().
     uint16_t port = 0;
     unsigned handler_threads = 2;
-    /// Accepted connections waiting for a handler; beyond this the
-    /// accept thread closes new connections immediately (load shedding).
+    /// Accepted connections waiting for a handler; beyond this new
+    /// connections are shed with a 503 (load shedding).
     size_t max_pending = 64;
     /// Per-connection socket read/write timeout. Bounds how long a
     /// silent client can pin a handler thread (and therefore how long
@@ -58,7 +44,7 @@ class AdminServer {
     uint32_t io_timeout_ms = 5000;
   };
 
-  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+  using Handler = serve::HttpServer::Handler;
 
   explicit AdminServer(Options options);
   ~AdminServer();  // implies Stop()
@@ -66,12 +52,13 @@ class AdminServer {
   AdminServer(const AdminServer&) = delete;
   AdminServer& operator=(const AdminServer&) = delete;
 
-  /// Registers an exact-path route (before Start). `help` is shown on
-  /// the generated "/" index page.
+  /// Registers an exact-path GET route (before Start). `help` is shown
+  /// on the generated "/" index page.
   void Handle(std::string path, std::string help, Handler handler);
 
   /// Binds, listens (SO_REUSEADDR), and spawns the accept thread and
-  /// handler pool. Fails with kUnavailable if the address is taken.
+  /// handler pool. Fails with kResourceExhausted if the address is
+  /// taken.
   Status Start();
 
   /// Graceful shutdown: stops accepting, drains queued + in-flight
@@ -79,7 +66,7 @@ class AdminServer {
   void Stop();
 
   /// The bound port (resolves Options::port == 0), 0 before Start.
-  uint16_t port() const { return port_; }
+  uint16_t port() const;
   bool running() const;
 
   uint64_t requests_served() const;
@@ -91,29 +78,11 @@ class AdminServer {
   bool WaitForQuit(uint32_t timeout_ms);
 
  private:
-  void AcceptLoop();
-  void HandlerLoop();
-  void ServeConnection(int fd);
-  HttpResponse Dispatch(const HttpRequest& request);
   std::string IndexBody() const;
 
   Options options_;
-  int listen_fd_ = -1;
-  uint16_t port_ = 0;
-
   std::map<std::string, std::pair<std::string, Handler>> routes_;
-
-  mutable std::mutex mu_;
-  std::condition_variable queue_cv_;
-  std::condition_variable quit_cv_;
-  std::deque<int> pending_;  // accepted fds awaiting a handler
-  bool started_ = false;
-  bool stopping_ = false;
-  bool quit_requested_ = false;
-  uint64_t requests_served_ = 0;
-
-  std::thread accept_thread_;
-  std::vector<std::thread> handler_threads_;
+  std::unique_ptr<serve::HttpServer> http_;
 };
 
 /// Parses the RWDT_ADMIN_PORT environment variable: unset, empty, or

@@ -64,10 +64,11 @@
 #include "inference/rwr.h"
 #include "inference/soa.h"
 
-// Log generation, corruption, and serialization.
+// Log generation, corruption, serialization, and traffic shaping.
 #include "loggen/corpus_gen.h"
 #include "loggen/corruptor.h"
 #include "loggen/log_text.h"
+#include "loggen/rate_schedule.h"
 #include "loggen/sparql_gen.h"
 
 // Streaming engine, studies, and raw-text ingest.
@@ -77,5 +78,11 @@
 #include "engine/engine.h"
 #include "engine/metrics.h"
 #include "ingest/ingest.h"
+
+// HTTP serving: the hand-rolled HTTP/1.1 stack and the classification
+// service (batching, backpressure, per-tenant quotas, graceful drain).
+#include "serve/http_server.h"
+#include "serve/serve.h"
+#include "serve/verdict.h"
 
 #endif  // RWDT_RWDT_H_

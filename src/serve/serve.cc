@@ -1,0 +1,502 @@
+#include "serve/serve.h"
+
+#include <chrono>
+#include <cstdint>
+#include <sstream>
+#include <utility>
+
+#include "common/json.h"
+#include "ingest/ingest.h"
+
+namespace rwdt::serve {
+namespace {
+
+constexpr const char* kJsonType = "application/json; charset=utf-8";
+constexpr const char* kOpenMetricsType =
+    "application/openmetrics-text; version=1.0.0; charset=utf-8";
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// {"error": <message>, "error_class": <taxonomy class>} — every
+/// non-200 from the classification routes carries a machine-readable
+/// body, so clients never have to parse free text.
+std::string ErrorBody(const Status& status) {
+  std::string out;
+  JsonWriter w(&out);
+  w.BeginObject()
+      .BoolField("valid", false)
+      .StringField("error_class", ErrorClassName(ClassifyStatus(status)))
+      .StringField("error", status.message())
+      .EndObject();
+  return out;
+}
+
+std::string ReasonBody(const char* reason) {
+  std::string out;
+  JsonWriter w(&out);
+  w.BeginObject().StringField("error", reason).EndObject();
+  return out;
+}
+
+std::string TenantOf(const HttpRequest& request) {
+  const std::string_view header = request.Header("x-tenant");
+  return header.empty() ? "anonymous" : std::string(header);
+}
+
+}  // namespace
+
+/// One queued unit of work. The submitting handler thread parks on
+/// `cv`; the worker that pops it fills `response` and flips `done`.
+struct ClassifyServer::Job {
+  enum class Kind { kClassify, kIngest };
+  Kind kind = Kind::kClassify;
+  std::string body;
+  QueryLang lang = QueryLang::kSparql;          // kClassify
+  ingest::LogFormat format = ingest::LogFormat::kPlain;  // kIngest
+  std::string source_name;                      // kIngest
+  bool full_report = false;                     // kIngest: /v1/log
+  std::chrono::steady_clock::time_point enqueued;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  HttpResponse response;
+};
+
+/// A batch worker and its private engine. The engine runs
+/// single-threaded and keeps its memoization cache warm across
+/// requests — duplicate queries across a tenant's traffic are cache
+/// hits, exactly like duplicate lines within one log.
+struct ClassifyServer::Worker {
+  std::unique_ptr<engine::Engine> engine;
+  std::thread thread;
+};
+
+Status ServeOptions::Validate() const {
+  if (queue_capacity == 0) {
+    return Status::InvalidArgument("queue_capacity must be > 0");
+  }
+  if (workers == 0) return Status::InvalidArgument("workers must be > 0");
+  if (max_batch == 0) return Status::InvalidArgument("max_batch must be > 0");
+  if (quota_qps > 0 && !(quota_burst >= 1)) {
+    return Status::InvalidArgument("quota_burst must be >= 1 when quotas on");
+  }
+  if (http.handler_threads == 0) {
+    return Status::InvalidArgument("http.handler_threads must be > 0");
+  }
+  engine::EngineOptions e = engine;
+  e.threads = 1;
+  return e.Validate();
+}
+
+ClassifyServer::ClassifyServer(ServeOptions options)
+    : options_(std::move(options)) {}
+
+ClassifyServer::~ClassifyServer() { Stop(); }
+
+Status ClassifyServer::Start() {
+  RWDT_RETURN_IF_ERROR(options_.Validate());
+  if (started_) return Status::Internal("ClassifyServer started twice");
+
+  auto& registry = obs::MetricRegistry::Global();
+  queue_depth_ = registry.GetGauge("rwdt_serve_queue_depth",
+                                   "Jobs waiting in the request queue");
+  queue_wait_s_ = registry.GetHistogram(
+      "rwdt_serve_queue_wait_seconds",
+      "Time a job spends queued before a worker pops it",
+      obs::Histogram::ExponentialBounds(1e-4, 4.0, 10));
+  batch_size_ = registry.GetHistogram(
+      "rwdt_serve_batch_size", "Jobs popped per worker wakeup",
+      {1, 2, 4, 8, 16, 32, 64, 128});
+  process_s_ = registry.GetHistogram(
+      "rwdt_serve_process_seconds",
+      "Worker time per job (classify or ingest), excluding queueing",
+      obs::Histogram::ExponentialBounds(1e-5, 4.0, 12));
+
+  // Per-worker engines: single-threaded, no embedded admin server (the
+  // serving front end owns /metrics), no per-run progress reporting.
+  engine::EngineOptions eopts = options_.engine;
+  eopts.threads = 1;
+  eopts.num_shards = 1;
+  eopts.admin_port = 0;
+  eopts.progress = {};
+  for (unsigned i = 0; i < options_.workers; ++i) {
+    auto worker = std::make_unique<Worker>();
+    worker->engine = std::make_unique<engine::Engine>(eopts);
+    workers_.push_back(std::move(worker));
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    draining_ = false;
+    stop_workers_ = false;
+  }
+  for (auto& worker : workers_) {
+    worker->thread = std::thread([this, w = worker.get()] { WorkerLoop(w); });
+  }
+
+  http_ = std::make_unique<HttpServer>(options_.http);
+  http_->Handle("POST", "/v1/classify", [this](const HttpRequest& r) {
+    return HandleClassify(r);
+  });
+  http_->Handle("POST", "/v1/classify_batch", [this](const HttpRequest& r) {
+    return HandleIngest(r, /*full_report=*/false);
+  });
+  http_->Handle("POST", "/v1/log", [this](const HttpRequest& r) {
+    return HandleIngest(r, /*full_report=*/true);
+  });
+  http_->Handle("GET", "/healthz", [this](const HttpRequest&) {
+    HttpResponse resp;
+    resp.body = "ok\n";
+    CountRequest("/healthz", resp.status);
+    return resp;
+  });
+  http_->Handle("GET", "/readyz", [this](const HttpRequest&) {
+    HttpResponse resp;
+    if (draining()) {
+      resp.status = 503;
+      resp.body = "draining\n";
+    } else {
+      resp.body = "ready\n";
+    }
+    CountRequest("/readyz", resp.status);
+    return resp;
+  });
+  http_->Handle("GET", "/metrics", [this](const HttpRequest&) {
+    HttpResponse resp;
+    resp.content_type = kOpenMetricsType;
+    resp.body = obs::MetricRegistry::Global().RenderOpenMetrics();
+    CountRequest("/metrics", resp.status);
+    return resp;
+  });
+  http_->Handle("GET", "/statusz", [this](const HttpRequest& r) {
+    return HandleStatusz(r);
+  });
+
+  const Status status = http_->Start();
+  if (!status.ok()) {
+    Stop();
+    return status;
+  }
+
+  // The HTTP front end's own counters, bridged at scrape time.
+  http_collector_ = obs::ScopedCollector(
+      &registry,
+      registry.AddCollector([this](std::vector<obs::FamilySnapshot>* out) {
+        if (http_ == nullptr) return;
+        obs::FamilySnapshot fam;
+        fam.name = "rwdt_serve_connections";
+        fam.help = "HTTP front-end connections by outcome";
+        fam.type = obs::MetricType::kCounter;
+        fam.samples.push_back(
+            {"_total",
+             {{"outcome", "accepted"}},
+             static_cast<double>(http_->connections_accepted())});
+        fam.samples.push_back(
+            {"_total",
+             {{"outcome", "shed"}},
+             static_cast<double>(http_->connections_shed())});
+        out->push_back(std::move(fam));
+      }));
+
+  started_ = true;
+  stopped_ = false;
+  return Status::Ok();
+}
+
+void ClassifyServer::BeginDrain() {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  draining_ = true;
+}
+
+void ClassifyServer::Stop() {
+  BeginDrain();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    stop_workers_ = true;
+  }
+  queue_cv_.notify_all();
+  // Workers drain everything already queued before exiting, so every
+  // handler thread parked on a job is released with a real response.
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+  http_collector_.Reset();
+  if (http_ != nullptr) http_->Stop();
+  started_ = false;
+}
+
+uint16_t ClassifyServer::port() const {
+  return http_ != nullptr ? http_->port() : 0;
+}
+
+bool ClassifyServer::running() const {
+  return http_ != nullptr && http_->running();
+}
+
+bool ClassifyServer::draining() const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return draining_;
+}
+
+bool ClassifyServer::WaitForQuit(uint32_t timeout_ms) {
+  return http_ != nullptr ? http_->WaitForQuit(timeout_ms) : true;
+}
+
+void ClassifyServer::RequestQuit() {
+  if (http_ != nullptr) http_->RequestQuit();
+}
+
+HttpResponse ClassifyServer::HandleClassify(const HttpRequest& request) {
+  const std::string tenant = TenantOf(request);
+  const Result<QueryLang> lang =
+      ParseQueryLang(QueryParam(request.query, "lang"));
+  if (!lang.ok()) {
+    HttpResponse resp;
+    resp.status = 400;
+    resp.content_type = kJsonType;
+    resp.body = ErrorBody(lang.status());
+    CountRequest("/v1/classify", resp.status);
+    return resp;
+  }
+  if (request.body.empty()) {
+    HttpResponse resp;
+    resp.status = 400;
+    resp.content_type = kJsonType;
+    resp.body = ReasonBody("empty body: expected one query text");
+    CountRequest("/v1/classify", resp.status);
+    return resp;
+  }
+  auto job = std::make_shared<Job>();
+  job->kind = Job::Kind::kClassify;
+  job->body = request.body;  // request outlives the wait, but keep it simple
+  job->lang = lang.value();
+  return Submit(std::move(job), tenant, "/v1/classify");
+}
+
+HttpResponse ClassifyServer::HandleIngest(const HttpRequest& request,
+                                          bool full_report) {
+  const char* route = full_report ? "/v1/log" : "/v1/classify_batch";
+  const std::string tenant = TenantOf(request);
+  const std::string format = QueryParam(request.query, "format", "plain");
+  auto job = std::make_shared<Job>();
+  if (format == "plain") {
+    job->format = ingest::LogFormat::kPlain;
+  } else if (format == "tsv") {
+    job->format = ingest::LogFormat::kTsv;
+  } else {
+    HttpResponse resp;
+    resp.status = 400;
+    resp.content_type = kJsonType;
+    resp.body = ReasonBody("unknown format (want plain|tsv)");
+    CountRequest(route, resp.status);
+    return resp;
+  }
+  job->kind = Job::Kind::kIngest;
+  job->body = request.body;
+  job->source_name = QueryParam(request.query, "source", "http");
+  job->full_report = full_report;
+  return Submit(std::move(job), tenant, route);
+}
+
+HttpResponse ClassifyServer::HandleStatusz(const HttpRequest&) {
+  size_t depth = 0;
+  bool drain = false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    depth = queue_.size();
+    drain = draining_;
+  }
+  std::string out;
+  JsonWriter w(&out);
+  w.BeginObject();
+  w.StringField("service", "rwdt_serve");
+  w.BoolField("draining", drain);
+  w.UIntField("queue_depth", depth);
+  w.UIntField("queue_capacity", options_.queue_capacity);
+  w.UIntField("workers", options_.workers);
+  w.UIntField("max_batch", options_.max_batch);
+  w.BoolField("quotas_enabled", options_.quota_qps > 0);
+  if (http_ != nullptr) {
+    w.Key("http").BeginObject();
+    w.UIntField("requests_served", http_->requests_served());
+    w.UIntField("connections_accepted", http_->connections_accepted());
+    w.UIntField("connections_shed", http_->connections_shed());
+    w.EndObject();
+  }
+  {
+    std::lock_guard<std::mutex> lock(tenants_mu_);
+    w.Key("tenants").BeginObject();
+    for (const auto& [name, bucket] : tenants_) {
+      w.DoubleField(name, bucket.tokens);
+    }
+    w.EndObject();
+  }
+  w.EndObject();
+  HttpResponse resp;
+  resp.content_type = kJsonType;
+  resp.body = std::move(out);
+  CountRequest("/statusz", resp.status);
+  return resp;
+}
+
+bool ClassifyServer::AdmitTenant(const std::string& tenant) {
+  if (!(options_.quota_qps > 0)) return true;
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  auto [it, inserted] = tenants_.try_emplace(tenant);
+  TenantBucket& bucket = it->second;
+  if (inserted) {
+    bucket.tokens = options_.quota_burst;
+    bucket.last_refill = now;
+  } else {
+    const double dt =
+        std::chrono::duration<double>(now - bucket.last_refill).count();
+    bucket.tokens += dt * options_.quota_qps;
+    if (bucket.tokens > options_.quota_burst) {
+      bucket.tokens = options_.quota_burst;
+    }
+    bucket.last_refill = now;
+  }
+  if (bucket.tokens < 1.0) return false;
+  bucket.tokens -= 1.0;
+  return true;
+}
+
+HttpResponse ClassifyServer::ShedResponse(int status, const char* reason,
+                                          const std::string& tenant,
+                                          const char* route) {
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    auto key = std::make_pair(std::string(reason), tenant);
+    auto it = shed_counters_.find(key);
+    if (it == shed_counters_.end()) {
+      obs::Counter* counter = obs::MetricRegistry::Global().GetCounter(
+          "rwdt_serve_shed", "Requests shed, by reason and tenant",
+          {{"reason", reason}, {"tenant", tenant}});
+      it = shed_counters_.emplace(std::move(key), counter).first;
+    }
+    it->second->Increment();
+  }
+  HttpResponse resp;
+  resp.status = status;
+  resp.content_type = kJsonType;
+  resp.body = ReasonBody(reason);
+  resp.extra_headers.push_back(
+      {"Retry-After", std::to_string(options_.retry_after_s)});
+  CountRequest(route, status);
+  return resp;
+}
+
+void ClassifyServer::CountRequest(const char* route, int status) {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  auto key = std::make_pair(std::string(route), status);
+  auto it = request_counters_.find(key);
+  if (it == request_counters_.end()) {
+    obs::Counter* counter = obs::MetricRegistry::Global().GetCounter(
+        "rwdt_serve_requests", "Requests handled, by route and status code",
+        {{"route", route}, {"code", std::to_string(status)}});
+    it = request_counters_.emplace(std::move(key), counter).first;
+  }
+  it->second->Increment();
+}
+
+HttpResponse ClassifyServer::Submit(std::shared_ptr<Job> job,
+                                    const std::string& tenant,
+                                    const char* route) {
+  if (!AdmitTenant(tenant)) {
+    return ShedResponse(429, "quota_exhausted", tenant, route);
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (draining_) return ShedResponse(503, "draining", tenant, route);
+    if (queue_.size() >= options_.queue_capacity) {
+      return ShedResponse(429, "queue_full", tenant, route);
+    }
+    job->enqueued = std::chrono::steady_clock::now();
+    queue_.push_back(job);
+    queue_depth_->Set(static_cast<double>(queue_.size()));
+  }
+  queue_cv_.notify_one();
+
+  std::unique_lock<std::mutex> lock(job->mu);
+  job->cv.wait(lock, [&] { return job->done; });
+  CountRequest(route, job->response.status);
+  return std::move(job->response);
+}
+
+void ClassifyServer::WorkerLoop(Worker* worker) {
+  for (;;) {
+    std::vector<std::shared_ptr<Job>> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock,
+                     [&] { return stop_workers_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop requested and fully drained
+      while (!queue_.empty() && batch.size() < options_.max_batch) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      queue_depth_->Set(static_cast<double>(queue_.size()));
+    }
+    batch_size_->Observe(static_cast<double>(batch.size()));
+    for (auto& job : batch) {
+      queue_wait_s_->Observe(SecondsSince(job->enqueued));
+      if (options_.debug_worker_delay_ms > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(options_.debug_worker_delay_ms));
+      }
+      const auto start = std::chrono::steady_clock::now();
+      ProcessJob(worker, job.get());
+      process_s_->Observe(SecondsSince(start));
+      {
+        std::lock_guard<std::mutex> job_lock(job->mu);
+        job->done = true;
+      }
+      job->cv.notify_one();
+    }
+  }
+}
+
+void ClassifyServer::ProcessJob(Worker* worker, Job* job) {
+  switch (job->kind) {
+    case Job::Kind::kClassify: {
+      Result<std::string> verdict =
+          ClassifyToJson(job->body, job->lang, options_.engine.study,
+                         options_.engine.parse_limits);
+      job->response.content_type = kJsonType;
+      if (verdict.ok()) {
+        job->response.body = std::move(verdict).value();
+      } else {
+        job->response.status = 422;  // well-formed HTTP, unparseable query
+        job->response.body = ErrorBody(verdict.status());
+      }
+      return;
+    }
+    case Job::Kind::kIngest: {
+      ingest::IngestOptions iopts;
+      iopts.format = job->format;
+      iopts.source_name = job->source_name;
+      std::istringstream in(std::move(job->body));
+      const Result<ingest::IngestReport> report =
+          ingest::IngestStream(in, worker->engine.get(), iopts);
+      job->response.content_type = kJsonType;
+      if (report.ok()) {
+        job->response.body = job->full_report
+                                 ? report.value().ToJson()
+                                 : StudyToJson(report.value().study);
+      } else {
+        job->response.status = 400;
+        job->response.body = ErrorBody(report.status());
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace rwdt::serve

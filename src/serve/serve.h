@@ -1,0 +1,184 @@
+#ifndef RWDT_SERVE_SERVE_H_
+#define RWDT_SERVE_SERVE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/engine.h"
+#include "obs/registry.h"
+#include "serve/http_server.h"
+#include "serve/verdict.h"
+
+namespace rwdt::serve {
+
+struct ServeOptions {
+  /// Front-end HTTP options (bind address, port, handler pool, body
+  /// caps). handler_threads bounds concurrent in-flight requests; each
+  /// one parks on its queued job until a worker completes it.
+  HttpServer::Options http;
+
+  /// Bounded request queue between the HTTP handler pool and the batch
+  /// workers. A full queue sheds with 429 + Retry-After — backpressure
+  /// is explicit, never a silent drop or an unbounded buffer.
+  size_t queue_capacity = 256;
+
+  /// Batch workers draining the queue. Each owns a private
+  /// single-threaded engine::Engine (warm memoization cache across
+  /// requests; EngineStream's one-stream-per-engine rule holds because
+  /// a worker processes jobs serially).
+  unsigned workers = 2;
+
+  /// Micro-batch: a worker pops up to this many queued jobs per wakeup,
+  /// amortizing queue synchronization under load while keeping
+  /// time-to-first-verdict low when idle.
+  size_t max_batch = 32;
+
+  /// Value of the Retry-After header on 429/503 shed responses.
+  uint32_t retry_after_s = 1;
+
+  /// Per-tenant token bucket, keyed by the X-Tenant request header
+  /// (missing header -> "anonymous"). quota_qps is the sustained refill
+  /// rate, quota_burst the bucket capacity. quota_qps <= 0 disables
+  /// quota enforcement entirely.
+  double quota_qps = 0;
+  double quota_burst = 20;
+
+  /// Per-worker engine configuration. `threads` is forced to 1 and the
+  /// embedded admin server is forced off — the serving process exposes
+  /// one /metrics on its own front end instead of one per worker.
+  engine::EngineOptions engine;
+
+  /// Test-only: artificial delay per processed job, to make overload
+  /// (429) and drain tests deterministic. Keep 0 in production.
+  uint32_t debug_worker_delay_ms = 0;
+
+  /// Rejects nonsensical configurations before any thread is spawned.
+  Status Validate() const;
+};
+
+/// The network-facing classification service: the paper's per-query
+/// classifier battery and the streaming log-study engine behind an
+/// HTTP/1.1 API.
+///
+/// Routes:
+///   POST /v1/classify?lang=sparql|path|xpath   body: one query text
+///        -> 200 JSON verdict, 422 JSON error when it does not parse.
+///   POST /v1/classify_batch?format=plain|tsv   body: raw query log
+///        -> 200 SourceStudy JSON (valid/unique aggregates + error
+///           taxonomy), byte-identical to a direct EngineStream run.
+///   POST /v1/log?format=plain|tsv              body: raw query log
+///        -> 200 full IngestReport JSON (study + reader counters +
+///           per-source counts + engine metrics).
+///   GET  /healthz   liveness: 200 while the process serves at all.
+///   GET  /readyz    readiness: 200 while accepting new work; 503 once
+///                   draining (load balancers stop routing here first).
+///   GET  /metrics   obs::MetricRegistry::Global() as OpenMetrics text.
+///   GET  /statusz   JSON snapshot: queue depth, worker count, shed
+///                   counts, per-tenant bucket levels.
+///   GET  /quitquitquit   requests shutdown (releases WaitForQuit).
+///
+/// Request flow: handler threads validate + check the tenant quota,
+/// enqueue a job into the bounded queue (full -> 429 + Retry-After),
+/// and block until a batch worker completes it. Every request gets a
+/// response — shedding is a fast 429/503, never a dropped connection.
+///
+/// Shutdown is a drain, not an abort: BeginDrain() flips /readyz to 503
+/// and makes new submissions fail with 503, while everything already
+/// queued still runs to completion; Stop() then waits for the queue to
+/// empty, joins the workers, and tears down the HTTP front end. SIGTERM
+/// handling in tools/rwdt_serve and GET /quitquitquit both route here.
+class ClassifyServer {
+ public:
+  explicit ClassifyServer(ServeOptions options);
+  ~ClassifyServer();  // implies Stop()
+
+  ClassifyServer(const ClassifyServer&) = delete;
+  ClassifyServer& operator=(const ClassifyServer&) = delete;
+
+  /// Validates options, spawns the worker pool, starts the HTTP server.
+  Status Start();
+
+  /// Stops accepting new work (submissions 503, /readyz 503) while
+  /// queued and in-flight jobs keep running. Idempotent.
+  void BeginDrain();
+
+  /// Graceful shutdown: BeginDrain, wait for the queue to empty and all
+  /// in-flight jobs to complete, join workers, stop the HTTP server.
+  /// Idempotent; called by the destructor.
+  void Stop();
+
+  uint16_t port() const;
+  bool running() const;
+  bool draining() const;
+
+  /// Blocks until GET /quitquitquit, RequestQuit, or Stop. Returns true
+  /// if quit/stop arrived within `timeout_ms`.
+  bool WaitForQuit(uint32_t timeout_ms);
+  void RequestQuit();
+
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  struct Job;
+  struct Worker;
+  struct TenantBucket {
+    double tokens = 0;
+    std::chrono::steady_clock::time_point last_refill;
+  };
+
+  HttpResponse HandleClassify(const HttpRequest& request);
+  HttpResponse HandleIngest(const HttpRequest& request, bool full_report);
+  HttpResponse HandleStatusz(const HttpRequest& request);
+
+  /// Quota check + bounded enqueue + wait for completion. `route` is
+  /// the metrics label.
+  HttpResponse Submit(std::shared_ptr<Job> job, const std::string& tenant,
+                      const char* route);
+  /// Token-bucket admission for `tenant`; true = admit.
+  bool AdmitTenant(const std::string& tenant);
+
+  void WorkerLoop(Worker* worker);
+  void ProcessJob(Worker* worker, Job* job);
+
+  HttpResponse ShedResponse(int status, const char* reason,
+                            const std::string& tenant, const char* route);
+  void CountRequest(const char* route, int status);
+
+  ServeOptions options_;
+  std::unique_ptr<HttpServer> http_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<Job>> queue_;
+  bool draining_ = false;
+  bool stop_workers_ = false;
+  bool started_ = false;
+  bool stopped_ = false;
+
+  std::mutex tenants_mu_;
+  std::map<std::string, TenantBucket> tenants_;
+
+  // Cached instruments (registration is mutexed; lookups here are not).
+  std::mutex metrics_mu_;
+  std::map<std::pair<std::string, int>, obs::Counter*> request_counters_;
+  std::map<std::pair<std::string, std::string>, obs::Counter*>
+      shed_counters_;
+  obs::Gauge* queue_depth_ = nullptr;
+  obs::Histogram* queue_wait_s_ = nullptr;
+  obs::Histogram* batch_size_ = nullptr;
+  obs::Histogram* process_s_ = nullptr;
+  obs::ScopedCollector http_collector_;
+};
+
+}  // namespace rwdt::serve
+
+#endif  // RWDT_SERVE_SERVE_H_

@@ -1,0 +1,369 @@
+// Loopback integration tests for serve::ClassifyServer: golden verdicts
+// for all three query languages, batch/direct bit-identical aggregates,
+// overload shedding with 429 + Retry-After, per-tenant quotas, and
+// graceful drain. All traffic goes over real sockets.
+
+#include "serve/serve.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ingest/ingest.h"
+#include "loggen/sparql_gen.h"
+#include "serve/verdict.h"
+
+namespace rwdt::serve {
+namespace {
+
+struct HttpResult {
+  int status = 0;
+  std::string head;
+  std::string body;
+};
+
+/// One-shot request (Connection: close), response read to EOF. Keeps
+/// the client trivially correct; keep-alive is covered by
+/// serve_http_test.
+HttpResult Fetch(uint16_t port, const std::string& method,
+                 const std::string& target, const std::string& body = "",
+                 const std::string& extra_headers = "") {
+  HttpResult result;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return result;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return result;
+  }
+  std::string request = method + " " + target + " HTTP/1.1\r\nHost: t\r\n" +
+                        extra_headers + "Connection: close\r\n" +
+                        "Content-Length: " + std::to_string(body.size()) +
+                        "\r\n\r\n" + body;
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent,
+                             request.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string raw;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    raw.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t split = raw.find("\r\n\r\n");
+  if (split == std::string::npos) return result;
+  result.head = raw.substr(0, split);
+  result.body = raw.substr(split + 4);
+  if (result.head.compare(0, 9, "HTTP/1.1 ") == 0) {
+    result.status = std::atoi(result.head.c_str() + 9);
+  }
+  return result;
+}
+
+ServeOptions BaseOptions() {
+  ServeOptions opts;
+  opts.http.port = 0;
+  opts.http.handler_threads = 4;
+  opts.workers = 2;
+  return opts;
+}
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST(ClassifyServerTest, SparqlGoldenVerdict) {
+  ClassifyServer server(BaseOptions());
+  ASSERT_TRUE(server.Start().ok());
+  const HttpResult r =
+      Fetch(server.port(), "POST", "/v1/classify",
+            "SELECT ?s WHERE { ?s <p> <o> . FILTER(?s > 3) }");
+  ASSERT_EQ(r.status, 200) << r.body;
+  EXPECT_TRUE(Contains(r.body, "\"lang\":\"sparql\"")) << r.body;
+  EXPECT_TRUE(Contains(r.body, "\"valid\":true")) << r.body;
+  EXPECT_TRUE(Contains(r.body, "\"form\":\"select\"")) << r.body;
+  EXPECT_TRUE(Contains(r.body, "\"fragment\":\"cq_f\"")) << r.body;
+  EXPECT_TRUE(Contains(r.body, "\"well_designed\":true")) << r.body;
+  EXPECT_TRUE(Contains(r.body, "\"free_connex_acyclic\":true")) << r.body;
+  EXPECT_TRUE(Contains(r.body, "\"htw_le\":1")) << r.body;
+}
+
+TEST(ClassifyServerTest, PathAndXPathVerdicts) {
+  ClassifyServer server(BaseOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  const HttpResult path =
+      Fetch(server.port(), "POST", "/v1/classify?lang=path", "a/(b|c)*");
+  ASSERT_EQ(path.status, 200) << path.body;
+  EXPECT_TRUE(Contains(path.body, "\"lang\":\"path\"")) << path.body;
+  EXPECT_TRUE(Contains(path.body, "\"canonical_type\"")) << path.body;
+  EXPECT_TRUE(Contains(path.body, "\"ctract\":true")) << path.body;
+
+  const HttpResult xp = Fetch(server.port(), "POST",
+                              "/v1/classify?lang=xpath", "/a/b[c]//d");
+  ASSERT_EQ(xp.status, 200) << xp.body;
+  EXPECT_TRUE(Contains(xp.body, "\"lang\":\"xpath\"")) << xp.body;
+  EXPECT_TRUE(Contains(xp.body, "\"positive\":true")) << xp.body;
+  EXPECT_TRUE(Contains(xp.body, "\"downward\":true")) << xp.body;
+}
+
+TEST(ClassifyServerTest, UnparseableQueryIs422WithTaxonomyClass) {
+  ClassifyServer server(BaseOptions());
+  ASSERT_TRUE(server.Start().ok());
+  const HttpResult r =
+      Fetch(server.port(), "POST", "/v1/classify", "SELECT bogus (((");
+  EXPECT_EQ(r.status, 422);
+  EXPECT_TRUE(Contains(r.body, "\"valid\":false")) << r.body;
+  EXPECT_TRUE(Contains(r.body, "\"error_class\"")) << r.body;
+}
+
+TEST(ClassifyServerTest, BadLangAndEmptyBodyAre400) {
+  ClassifyServer server(BaseOptions());
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_EQ(Fetch(server.port(), "POST", "/v1/classify?lang=sql", "x").status,
+            400);
+  EXPECT_EQ(Fetch(server.port(), "POST", "/v1/classify", "").status, 400);
+  EXPECT_EQ(
+      Fetch(server.port(), "POST", "/v1/classify_batch?format=csv", "x")
+          .status,
+      400);
+}
+
+TEST(ClassifyServerTest, OversizedBodyIs413) {
+  ServeOptions opts = BaseOptions();
+  opts.http.max_body_bytes = 128;
+  ClassifyServer server(opts);
+  ASSERT_TRUE(server.Start().ok());
+  const HttpResult r = Fetch(server.port(), "POST", "/v1/classify",
+                             std::string(4096, 'q'));
+  EXPECT_EQ(r.status, 413);
+}
+
+// The acceptance criterion of this subsystem: aggregates computed
+// through the HTTP batch route are byte-identical to a direct
+// EngineStream run over the same log. String equality on the rendered
+// SourceStudy JSON implies bit-identical aggregates underneath.
+TEST(ClassifyServerTest, BatchAggregatesMatchDirectEngineRunExactly) {
+  std::string log_text;
+  for (const auto& entry :
+       loggen::GenerateLog(loggen::ExampleProfile(300), /*seed=*/7)) {
+    log_text += entry.text;
+    log_text += '\n';
+  }
+  // Guarantee the error-taxonomy path is exercised regardless of the
+  // generator's invalid ratio.
+  log_text += "SELECT bogus (((\n";
+  log_text += "}} not sparql at all\n";
+
+  ClassifyServer server(BaseOptions());
+  ASSERT_TRUE(server.Start().ok());
+  const HttpResult via_http =
+      Fetch(server.port(), "POST", "/v1/classify_batch?format=plain",
+            log_text);
+  ASSERT_EQ(via_http.status, 200) << via_http.body;
+
+  // Direct run, mirroring the serve worker's engine configuration.
+  engine::EngineOptions eopts;
+  eopts.threads = 1;
+  eopts.num_shards = 1;
+  engine::Engine engine(eopts);
+  ingest::IngestOptions iopts;
+  iopts.format = ingest::LogFormat::kPlain;
+  iopts.source_name = "http";
+  std::istringstream in(log_text);
+  const Result<ingest::IngestReport> direct =
+      ingest::IngestStream(in, &engine, iopts);
+  ASSERT_TRUE(direct.ok()) << direct.status().message();
+
+  EXPECT_EQ(via_http.body, StudyToJson(direct.value().study));
+  // And the batch actually exercised the error taxonomy + dedup paths.
+  EXPECT_GT(direct.value().study.valid, 0u);
+  EXPECT_LT(direct.value().study.valid, direct.value().study.total);
+}
+
+TEST(ClassifyServerTest, LogRouteReportsPerSourceForTsv) {
+  ClassifyServer server(BaseOptions());
+  ASSERT_TRUE(server.Start().ok());
+  const std::string tsv =
+      "alpha\tSELECT ?s WHERE { ?s <p> <o> }\n"
+      "alpha\tASK { ?a <b> ?c }\n"
+      "beta\tSELECT ?x WHERE { ?x <y> <z> }\n";
+  const HttpResult r =
+      Fetch(server.port(), "POST", "/v1/log?format=tsv&source=mixed", tsv);
+  ASSERT_EQ(r.status, 200) << r.body;
+  EXPECT_TRUE(Contains(r.body, "\"per_source\"")) << r.body;
+  EXPECT_TRUE(Contains(r.body, "\"alpha\":2")) << r.body;
+  EXPECT_TRUE(Contains(r.body, "\"beta\":1")) << r.body;
+  EXPECT_TRUE(Contains(r.body, "\"name\":\"mixed\"")) << r.body;
+}
+
+// Induced overload: one slow worker, a queue of 1, and a burst of
+// concurrent requests. Some must be shed with 429 + Retry-After; every
+// request gets an HTTP response; the process stays healthy throughout.
+TEST(ClassifyServerTest, OverloadSheds429AndStaysHealthy) {
+  ServeOptions opts = BaseOptions();
+  opts.workers = 1;
+  opts.max_batch = 1;
+  opts.queue_capacity = 1;
+  opts.debug_worker_delay_ms = 150;
+  opts.http.handler_threads = 8;
+  ClassifyServer server(opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kBurst = 6;
+  std::vector<HttpResult> results(kBurst);
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kBurst; ++i) {
+    clients.emplace_back([&, i] {
+      results[i] = Fetch(server.port(), "POST", "/v1/classify",
+                         "SELECT ?s WHERE { ?s <p> <o> }");
+    });
+  }
+  // The data plane may be saturated; the control plane must not be.
+  const HttpResult health = Fetch(server.port(), "GET", "/healthz");
+  EXPECT_EQ(health.status, 200);
+  for (auto& t : clients) t.join();
+
+  int ok = 0, shed = 0;
+  for (const HttpResult& r : results) {
+    ASSERT_TRUE(r.status == 200 || r.status == 429)
+        << "unexpected status " << r.status << ": " << r.body;
+    if (r.status == 200) ok++;
+    if (r.status == 429) {
+      shed++;
+      EXPECT_TRUE(Contains(r.head, "Retry-After:")) << r.head;
+      EXPECT_TRUE(Contains(r.body, "queue_full")) << r.body;
+    }
+  }
+  EXPECT_GT(ok, 0);
+  EXPECT_GT(shed, 0);
+  EXPECT_EQ(ok + shed, kBurst);  // nothing dropped silently
+}
+
+TEST(ClassifyServerTest, PerTenantQuotaExhaustsIndependently) {
+  ServeOptions opts = BaseOptions();
+  opts.quota_qps = 0.001;  // effectively no refill within the test
+  opts.quota_burst = 2;
+  ClassifyServer server(opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::string query = "SELECT ?s WHERE { ?s <p> <o> }";
+  // Tenant A: burst of 2 admitted, third shed.
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(Fetch(server.port(), "POST", "/v1/classify", query,
+                    "X-Tenant: alice\r\n")
+                  .status,
+              200);
+  }
+  const HttpResult shed = Fetch(server.port(), "POST", "/v1/classify", query,
+                                "X-Tenant: alice\r\n");
+  EXPECT_EQ(shed.status, 429);
+  EXPECT_TRUE(Contains(shed.body, "quota_exhausted")) << shed.body;
+  EXPECT_TRUE(Contains(shed.head, "Retry-After:")) << shed.head;
+
+  // Tenant B is unaffected by A's exhaustion.
+  EXPECT_EQ(Fetch(server.port(), "POST", "/v1/classify", query,
+                  "X-Tenant: bob\r\n")
+                .status,
+            200);
+}
+
+// Drain protocol: accepted work finishes, new work is refused with 503,
+// /readyz flips so load balancers eject the task before the listener
+// goes away.
+TEST(ClassifyServerTest, GracefulDrainFinishesAcceptedWork) {
+  ServeOptions opts = BaseOptions();
+  opts.workers = 1;
+  opts.max_batch = 1;
+  opts.debug_worker_delay_ms = 100;
+  ClassifyServer server(opts);
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_EQ(Fetch(server.port(), "GET", "/readyz").status, 200);
+
+  constexpr int kInFlight = 3;
+  std::vector<HttpResult> results(kInFlight);
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kInFlight; ++i) {
+    clients.emplace_back([&, i] {
+      results[i] = Fetch(server.port(), "POST", "/v1/classify",
+                         "SELECT ?s WHERE { ?s <p> <o> }");
+    });
+  }
+  // Let the burst get accepted into the queue, then start draining.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server.BeginDrain();
+  EXPECT_TRUE(server.draining());
+  EXPECT_EQ(Fetch(server.port(), "GET", "/readyz").status, 503);
+
+  const HttpResult refused = Fetch(server.port(), "POST", "/v1/classify",
+                                   "SELECT ?s WHERE { ?s <p> <o> }");
+  EXPECT_EQ(refused.status, 503);
+  EXPECT_TRUE(Contains(refused.body, "draining")) << refused.body;
+
+  server.Stop();  // waits for the queue to empty and workers to finish
+  for (auto& t : clients) t.join();
+  for (const HttpResult& r : results) {
+    EXPECT_EQ(r.status, 200) << r.body;  // accepted work was completed
+  }
+}
+
+TEST(ClassifyServerTest, MetricsAndStatuszExposeServingState) {
+  ClassifyServer server(BaseOptions());
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_EQ(Fetch(server.port(), "POST", "/v1/classify",
+                  "SELECT ?s WHERE { ?s <p> <o> }")
+                .status,
+            200);
+
+  const HttpResult metrics = Fetch(server.port(), "GET", "/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_TRUE(Contains(metrics.head, "application/openmetrics-text"))
+      << metrics.head;
+  EXPECT_TRUE(Contains(metrics.body, "rwdt_serve_requests_total"))
+      << "missing request counters";
+  EXPECT_TRUE(Contains(metrics.body, "rwdt_serve_queue_depth"));
+  EXPECT_TRUE(Contains(metrics.body, "rwdt_serve_queue_wait_seconds_bucket"));
+  EXPECT_TRUE(Contains(metrics.body, "rwdt_serve_batch_size_count"));
+  EXPECT_TRUE(Contains(metrics.body, "rwdt_serve_connections_total"));
+
+  const HttpResult statusz = Fetch(server.port(), "GET", "/statusz");
+  EXPECT_EQ(statusz.status, 200);
+  EXPECT_TRUE(Contains(statusz.body, "\"queue_capacity\":256"))
+      << statusz.body;
+  EXPECT_TRUE(Contains(statusz.body, "\"draining\":false")) << statusz.body;
+}
+
+TEST(ClassifyServerTest, ValidateRejectsNonsense) {
+  ServeOptions opts = BaseOptions();
+  opts.queue_capacity = 0;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = BaseOptions();
+  opts.workers = 0;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = BaseOptions();
+  opts.quota_qps = 5;
+  opts.quota_burst = 0;
+  EXPECT_FALSE(opts.Validate().ok());
+}
+
+}  // namespace
+}  // namespace rwdt::serve

@@ -1,0 +1,362 @@
+// loadgen: open-loop HTTP traffic generator for rwdt_serve.
+//
+//   rwdt_serve --port=8080 &
+//   loadgen --target=127.0.0.1:8080 --profile=burst --qps=50
+//           --burst-qps=800 --duration=20 --out=BENCH_serve.json
+//
+// Open-loop means arrival times are fixed up front (an inhomogeneous
+// Poisson process from loggen::GenerateArrivals, deterministic in
+// --seed) and never slowed down by server latency — exactly the regime
+// where queueing and shedding behavior shows. Senders fire each request
+// at its scheduled instant on keep-alive connections; late wakeups are
+// recorded but the schedule is never stretched.
+//
+// The run report (--out) carries achieved vs offered QPS, per-status
+// counts, latency percentiles, and the shed rate, keyed by the build.
+
+#include <netdb.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/build_info.h"
+#include "common/json.h"
+#include "loggen/rate_schedule.h"
+#include "loggen/sparql_gen.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Config {
+  std::string host = "127.0.0.1";
+  std::string port = "8080";
+  std::string path = "/v1/classify";
+  std::string tenant;
+  rwdt::loggen::RateScheduleOptions rate;
+  double duration_s = 10;
+  uint64_t seed = 1;
+  unsigned connections = 8;
+  std::string out = "BENCH_serve.json";
+};
+
+struct SenderStats {
+  std::map<int, uint64_t> status_counts;  // HTTP status -> count
+  uint64_t transport_errors = 0;
+  std::vector<double> latencies_ms;       // completed requests only
+};
+
+int Connect(const Config& config) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* result = nullptr;
+  if (getaddrinfo(config.host.c_str(), config.port.c_str(), &hints,
+                  &result) != 0) {
+    return -1;
+  }
+  int fd = -1;
+  for (addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+    fd = socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    close(fd);
+    fd = -1;
+  }
+  freeaddrinfo(result);
+  return fd;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = send(fd, data.data() + sent, data.size() - sent, 0);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Reads one keep-alive HTTP response; returns the status code, or -1
+/// on a transport error. `buf` carries bytes across responses.
+int ReadResponse(int fd, std::string* buf) {
+  char chunk[4096];
+  size_t head_end;
+  while ((head_end = buf->find("\r\n\r\n")) == std::string::npos) {
+    const ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return -1;
+    buf->append(chunk, static_cast<size_t>(n));
+  }
+  const size_t frame_head = head_end + 4;
+  int status = -1;
+  if (buf->size() >= 12 && buf->compare(0, 5, "HTTP/") == 0) {
+    status = std::atoi(buf->c_str() + 9);
+  }
+  size_t body_len = 0;
+  // Case-insensitive scan is unnecessary: our server emits exactly
+  // "Content-Length".
+  const size_t cl = buf->find("Content-Length:");
+  if (cl != std::string::npos && cl < head_end) {
+    body_len = static_cast<size_t>(std::atoll(buf->c_str() + cl + 15));
+  }
+  while (buf->size() < frame_head + body_len) {
+    const ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return -1;
+    buf->append(chunk, static_cast<size_t>(n));
+  }
+  buf->erase(0, frame_head + body_len);
+  return status;
+}
+
+std::string BuildRequest(const Config& config, const std::string& query) {
+  std::string req;
+  req.reserve(query.size() + 256);
+  req += "POST " + config.path + "?lang=sparql HTTP/1.1\r\n";
+  req += "Host: " + config.host + "\r\n";
+  if (!config.tenant.empty()) req += "X-Tenant: " + config.tenant + "\r\n";
+  req += "Content-Type: text/plain\r\n";
+  req += "Content-Length: " + std::to_string(query.size()) + "\r\n\r\n";
+  req += query;
+  return req;
+}
+
+/// One sender thread: fires its stripe of the arrival schedule at the
+/// scheduled instants over a keep-alive connection.
+void Sender(const Config& config, const std::vector<double>& arrivals,
+            size_t stripe, size_t stripes,
+            const std::vector<std::string>& queries, Clock::time_point start,
+            SenderStats* stats) {
+  int fd = -1;
+  std::string buf;
+  for (size_t i = stripe; i < arrivals.size(); i += stripes) {
+    const auto due =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(arrivals[i]));
+    std::this_thread::sleep_until(due);
+    if (fd < 0) {
+      fd = Connect(config);
+      buf.clear();
+      if (fd < 0) {
+        stats->transport_errors++;
+        continue;
+      }
+    }
+    const auto sent_at = Clock::now();
+    const std::string request =
+        BuildRequest(config, queries[i % queries.size()]);
+    int status = -1;
+    if (SendAll(fd, request)) status = ReadResponse(fd, &buf);
+    if (status < 0) {
+      stats->transport_errors++;
+      close(fd);
+      fd = -1;
+      continue;
+    }
+    stats->status_counts[status]++;
+    stats->latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(Clock::now() - sent_at)
+            .count());
+  }
+  if (fd >= 0) close(fd);
+}
+
+double Percentile(std::vector<double>* sorted, double p) {
+  if (sorted->empty()) return 0;
+  const size_t idx = static_cast<size_t>(p * (sorted->size() - 1) + 0.5);
+  return (*sorted)[std::min(idx, sorted->size() - 1)];
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [flags]\n"
+      "  --target=HOST:PORT   server (default 127.0.0.1:8080)\n"
+      "  --path=PATH          route to hit (default /v1/classify)\n"
+      "  --tenant=NAME        X-Tenant header value (default: none)\n"
+      "  --profile=P          constant|diurnal|burst (default constant)\n"
+      "  --qps=X              base rate (default 100)\n"
+      "  --burst-qps=X        burst profile high rate (default 400)\n"
+      "  --period=X           diurnal/burst period seconds (default 60)\n"
+      "  --amplitude=X        diurnal swing in [0,1] (default 0.5)\n"
+      "  --duty=X             burst duty cycle in (0,1) (default 0.2)\n"
+      "  --duration=X         run length seconds (default 10)\n"
+      "  --seed=N             arrival-schedule seed (default 1)\n"
+      "  --connections=N      sender threads (default 8)\n"
+      "  --out=FILE           JSON report (default BENCH_serve.json)\n"
+      "  --version            print build provenance and exit\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (std::strcmp(argv[i], "--version") == 0) {
+      std::printf("%s\n", rwdt::common::BuildInfo::Get().ToString().c_str());
+      return 0;
+    } else if (ParseFlag(argv[i], "--target", &v)) {
+      const size_t colon = v.rfind(':');
+      if (colon == std::string::npos) return Usage(argv[0]);
+      config.host = v.substr(0, colon);
+      config.port = v.substr(colon + 1);
+    } else if (ParseFlag(argv[i], "--path", &v)) {
+      config.path = v;
+    } else if (ParseFlag(argv[i], "--tenant", &v)) {
+      config.tenant = v;
+    } else if (ParseFlag(argv[i], "--profile", &v)) {
+      const auto profile = rwdt::loggen::ParseRateProfile(v);
+      if (!profile.ok()) return Usage(argv[0]);
+      config.rate.profile = profile.value();
+    } else if (ParseFlag(argv[i], "--qps", &v)) {
+      config.rate.base_qps = std::atof(v.c_str());
+    } else if (ParseFlag(argv[i], "--burst-qps", &v)) {
+      config.rate.burst_qps = std::atof(v.c_str());
+    } else if (ParseFlag(argv[i], "--period", &v)) {
+      config.rate.period_s = std::atof(v.c_str());
+    } else if (ParseFlag(argv[i], "--amplitude", &v)) {
+      config.rate.amplitude = std::atof(v.c_str());
+    } else if (ParseFlag(argv[i], "--duty", &v)) {
+      config.rate.burst_duty = std::atof(v.c_str());
+    } else if (ParseFlag(argv[i], "--duration", &v)) {
+      config.duration_s = std::atof(v.c_str());
+    } else if (ParseFlag(argv[i], "--seed", &v)) {
+      config.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--connections", &v)) {
+      config.connections = static_cast<unsigned>(std::atoi(v.c_str()));
+    } else if (ParseFlag(argv[i], "--out", &v)) {
+      config.out = v;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (config.connections == 0 || config.duration_s <= 0) {
+    return Usage(argv[0]);
+  }
+  const rwdt::Status valid = config.rate.Validate();
+  if (!valid.ok()) {
+    std::fprintf(stderr, "loadgen: %s\n", valid.message().c_str());
+    return 2;
+  }
+
+  // Deterministic workload: the arrival schedule and the query texts
+  // both derive from --seed alone.
+  const rwdt::loggen::RateSchedule schedule(config.rate);
+  const std::vector<double> arrivals =
+      rwdt::loggen::GenerateArrivals(schedule, config.duration_s, config.seed);
+  std::vector<std::string> queries;
+  for (const auto& entry : rwdt::loggen::GenerateLog(
+           rwdt::loggen::ExampleProfile(512), config.seed)) {
+    if (entry.intended_valid) queries.push_back(entry.text);
+  }
+  if (queries.empty()) queries.push_back("SELECT ?s WHERE { ?s ?p ?o }");
+
+  std::fprintf(stderr,
+               "loadgen: %zu arrivals over %.1fs (offered %.1f qps, profile "
+               "%s) -> %s:%s%s\n",
+               arrivals.size(), config.duration_s,
+               arrivals.size() / config.duration_s,
+               rwdt::loggen::RateProfileName(config.rate.profile),
+               config.host.c_str(), config.port.c_str(), config.path.c_str());
+
+  std::vector<SenderStats> stats(config.connections);
+  std::vector<std::thread> senders;
+  const auto start = Clock::now();
+  for (unsigned t = 0; t < config.connections; ++t) {
+    senders.emplace_back(Sender, std::cref(config), std::cref(arrivals), t,
+                         config.connections, std::cref(queries), start,
+                         &stats[t]);
+  }
+  for (auto& thread : senders) thread.join();
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  // Merge per-sender stats.
+  std::map<int, uint64_t> status_counts;
+  uint64_t transport_errors = 0;
+  std::vector<double> latencies;
+  for (const SenderStats& s : stats) {
+    transport_errors += s.transport_errors;
+    for (const auto& [code, n] : s.status_counts) status_counts[code] += n;
+    latencies.insert(latencies.end(), s.latencies_ms.begin(),
+                     s.latencies_ms.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  uint64_t completed = 0, ok200 = 0, shed = 0;
+  for (const auto& [code, n] : status_counts) {
+    completed += n;
+    if (code == 200) ok200 += n;
+    if (code == 429 || code == 503) shed += n;
+  }
+
+  std::string json;
+  rwdt::JsonWriter w(&json);
+  w.BeginObject();
+  w.RawField("build", rwdt::common::BuildInfo::Get().ToJson());
+  w.Key("config").BeginObject();
+  w.StringField("target", config.host + ":" + config.port);
+  w.StringField("path", config.path);
+  w.StringField("profile",
+                rwdt::loggen::RateProfileName(config.rate.profile));
+  w.DoubleField("base_qps", config.rate.base_qps);
+  w.DoubleField("duration_s", config.duration_s);
+  w.UIntField("seed", config.seed);
+  w.UIntField("connections", config.connections);
+  w.EndObject();
+  w.UIntField("offered", arrivals.size());
+  w.DoubleField("offered_qps", arrivals.size() / config.duration_s);
+  w.UIntField("completed", completed);
+  w.DoubleField("achieved_qps", completed / wall_s);
+  w.UIntField("ok_200", ok200);
+  w.UIntField("shed_429_503", shed);
+  w.DoubleField("shed_rate", completed > 0
+                                 ? static_cast<double>(shed) / completed
+                                 : 0.0);
+  w.UIntField("transport_errors", transport_errors);
+  w.Key("status_counts").BeginObject();
+  for (const auto& [code, n] : status_counts) {
+    w.UIntField(std::to_string(code), n);
+  }
+  w.EndObject();
+  w.Key("latency_ms").BeginObject();
+  w.DoubleField("p50", Percentile(&latencies, 0.50));
+  w.DoubleField("p90", Percentile(&latencies, 0.90));
+  w.DoubleField("p99", Percentile(&latencies, 0.99));
+  w.DoubleField("max", latencies.empty() ? 0 : latencies.back());
+  w.EndObject();
+  w.EndObject();
+
+  std::ofstream out(config.out);
+  out << json << "\n";
+  out.close();
+  std::fprintf(stderr,
+               "loadgen: completed %llu/%zu (200s %llu, shed %llu, errors "
+               "%llu), p50 %.2fms p99 %.2fms -> %s\n",
+               static_cast<unsigned long long>(completed), arrivals.size(),
+               static_cast<unsigned long long>(ok200),
+               static_cast<unsigned long long>(shed),
+               static_cast<unsigned long long>(transport_errors),
+               Percentile(&latencies, 0.50), Percentile(&latencies, 0.99),
+               config.out.c_str());
+  return ok200 > 0 ? 0 : 1;
+}

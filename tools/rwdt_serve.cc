@@ -1,0 +1,121 @@
+// rwdt_serve: the classification service as a standalone process.
+//
+//   rwdt_serve --port=8080 --workers=4
+//   curl -d 'SELECT ?s WHERE { ?s <p> <o> }' 'localhost:8080/v1/classify'
+//
+// Shutdown is always a graceful drain: SIGTERM, SIGINT, and
+// GET /quitquitquit all stop admission (429/503 with Retry-After, and
+// /readyz flips to 503 so load balancers eject the task), finish every
+// request already accepted, then exit 0.
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/build_info.h"
+#include "serve/serve.h"
+
+namespace {
+
+rwdt::serve::ClassifyServer* g_server = nullptr;
+
+void HandleSignal(int /*sig*/) {
+  // Async-signal-safe: just release WaitForQuit; the main thread drains.
+  if (g_server != nullptr) g_server->RequestQuit();
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [flags]\n"
+      "  --port=N             listen port (default 8080; 0 = ephemeral)\n"
+      "  --bind=ADDR          bind address (default 127.0.0.1)\n"
+      "  --workers=N          batch workers (default 2)\n"
+      "  --handler-threads=N  concurrent HTTP requests (default 8)\n"
+      "  --queue=N            request queue capacity (default 256)\n"
+      "  --max-batch=N        jobs per worker wakeup (default 32)\n"
+      "  --max-body-mb=N      request body cap in MiB (default 64)\n"
+      "  --quota-qps=X        per-tenant sustained QPS (default 0 = off)\n"
+      "  --quota-burst=X      per-tenant burst size (default 20)\n"
+      "  --version            print build provenance and exit\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rwdt::serve::ServeOptions options;
+  options.http.port = 8080;
+  options.http.handler_threads = 8;
+  options.http.max_body_bytes = 64u << 20;
+  options.workers = 2;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (std::strcmp(argv[i], "--version") == 0) {
+      std::printf("%s\n", rwdt::common::BuildInfo::Get().ToString().c_str());
+      return 0;
+    } else if (ParseFlag(argv[i], "--port", &v)) {
+      options.http.port = static_cast<uint16_t>(std::atoi(v.c_str()));
+    } else if (ParseFlag(argv[i], "--bind", &v)) {
+      options.http.bind_address = v;
+    } else if (ParseFlag(argv[i], "--workers", &v)) {
+      options.workers = static_cast<unsigned>(std::atoi(v.c_str()));
+    } else if (ParseFlag(argv[i], "--handler-threads", &v)) {
+      options.http.handler_threads =
+          static_cast<unsigned>(std::atoi(v.c_str()));
+    } else if (ParseFlag(argv[i], "--queue", &v)) {
+      options.queue_capacity = static_cast<size_t>(std::atoll(v.c_str()));
+    } else if (ParseFlag(argv[i], "--max-batch", &v)) {
+      options.max_batch = static_cast<size_t>(std::atoll(v.c_str()));
+    } else if (ParseFlag(argv[i], "--max-body-mb", &v)) {
+      options.http.max_body_bytes =
+          static_cast<size_t>(std::atoll(v.c_str())) << 20;
+    } else if (ParseFlag(argv[i], "--quota-qps", &v)) {
+      options.quota_qps = std::atof(v.c_str());
+    } else if (ParseFlag(argv[i], "--quota-burst", &v)) {
+      options.quota_burst = std::atof(v.c_str());
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  rwdt::serve::ClassifyServer server(std::move(options));
+  const rwdt::Status status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "rwdt_serve: start failed: %s\n",
+                 status.message().c_str());
+    return 1;
+  }
+
+  g_server = &server;
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+
+  std::fprintf(stderr,
+               "rwdt_serve: listening on %s:%u (%u workers, queue %zu)\n",
+               server.options().http.bind_address.c_str(),
+               static_cast<unsigned>(server.port()),
+               server.options().workers, server.options().queue_capacity);
+  std::fflush(stderr);
+
+  // Park until SIGTERM/SIGINT or GET /quitquitquit, then drain.
+  while (!server.WaitForQuit(1000)) {
+  }
+  std::fprintf(stderr, "rwdt_serve: draining\n");
+  server.Stop();
+  g_server = nullptr;
+  std::fprintf(stderr, "rwdt_serve: drained, exiting\n");
+  return 0;
+}
