@@ -50,8 +50,10 @@ int main() {
   const bool wd = sparql::IsWellDesigned(q.value());
   sparql::Evaluator eval(store, &dict);
   const auto start = std::chrono::steady_clock::now();
-  const auto rows = eval.EvalQuery(q.value());
+  const auto rows_or = eval.EvalQuery(q.value());
   const auto stop = std::chrono::steady_clock::now();
+  if (!rows_or.ok()) return 1;
+  const auto& rows = rows_or.value();
   std::printf(
       "\nevaluation check: %s -> well-designed=%s, %zu solutions in %.1f "
       "ms\n",

@@ -1,5 +1,6 @@
 // Quickstart: parse a SPARQL query, run the paper's per-query analyses,
-// and evaluate it over a tiny RDF graph.
+// and execute it over a tiny RDF graph with an explained,
+// classifier-dispatched plan.
 //
 //   $ ./build/examples/quickstart
 
@@ -82,8 +83,27 @@ int main(int argc, char** argv) {
   add("site:troy", "wdt:P625", "\"39.95N 26.23E\"");
   add("site:troy", "rdfs:label", "\"Troy\"@en");
 
-  sparql::Evaluator eval(store, &dict);
-  const auto rows = eval.EvalQuery(query);
+  // The executor plans on the same classification verdict the studies
+  // (and /v1/classify) compute, and explains which certified fragment
+  // picked the plan.
+  exec::Executor executor(store, &dict);
+  auto plan = executor.MakePlan(query);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "planning failed: %s\n",
+                 plan.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nplan (%s): %s\n", exec::StrategyName(plan.value().strategy),
+              plan.value().reason.c_str());
+  std::printf("%s\n", plan.value().ToJson().c_str());
+
+  const auto result = executor.Execute(plan.value());
+  if (!result.ok()) {
+    std::fprintf(stderr, "evaluation failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  const auto& rows = result.value();
   std::printf("\n%zu solutions:\n", rows.size());
   for (const auto& mu : rows) {
     for (const auto& [var, value] : mu) {

@@ -11,7 +11,7 @@
 #include "common/flat_interner.h"
 #include "common/hash.h"
 #include "common/json.h"
-#include "core/query_analysis.h"
+#include "core/verdict.h"
 #include "obs/engine_bridge.h"
 #include "obs/log.h"
 #include "obs/trace.h"
@@ -386,8 +386,8 @@ void Engine::ProcessShard(const std::vector<RoutedEntry>& entries,
     if (parsed.ok()) {
       core::StageTimings st;
       fresh->parse_ok = true;
-      fresh->analysis = core::AnalyzeQuery(parsed.value(), options_.study,
-                                           timed ? &st : nullptr);
+      fresh->verdict = core::Classify(parsed.value(), options_.study,
+                                      timed ? &st : nullptr);
       if (timed) {
         local.Record(Stage::kFeatures, st.feature_ns);
         local.Record(Stage::kHypergraph, st.hypergraph_ns);
@@ -447,7 +447,7 @@ void Engine::ProcessShard(const std::vector<RoutedEntry>& entries,
       state->valid++;
       auto cached = cache_.GetWithHash(routed.hash, text);
       if (cached == nullptr) cached = compute(text, routed.hash);  // evicted
-      aggregate(cached->analysis, &state->valid_agg);
+      aggregate(cached->verdict.analysis, &state->valid_agg);
       continue;
     }
 
@@ -464,8 +464,8 @@ void Engine::ProcessShard(const std::vector<RoutedEntry>& entries,
     state->verdict.push_back(0);
     state->valid++;
     state->unique++;
-    aggregate(cached->analysis, &state->valid_agg);
-    aggregate(cached->analysis, &state->unique_agg);
+    aggregate(cached->verdict.analysis, &state->valid_agg);
+    aggregate(cached->verdict.analysis, &state->unique_agg);
   }
 
   metrics_.Merge(local);

@@ -12,18 +12,18 @@
 #include <vector>
 
 #include "common/status.h"
-#include "core/query_analysis.h"
+#include "core/verdict.h"
 
 namespace rwdt::engine {
 
-/// Memoized outcome of parsing + analyzing one query text. Negative
+/// Memoized outcome of parsing + classifying one query text. Negative
 /// results (parse failures) are cached too, so repeated malformed log
 /// entries skip the parser as well.
 struct CachedQuery {
   bool parse_ok = false;
   /// Taxonomy class of the failure; meaningful only when !parse_ok.
   ErrorClass error = ErrorClass::kParseError;
-  core::QueryAnalysis analysis;  // meaningful only when parse_ok
+  core::QueryVerdict verdict;  // meaningful only when parse_ok
 };
 
 /// A sharded LRU cache from query text to its analysis.

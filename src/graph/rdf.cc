@@ -70,6 +70,95 @@ std::vector<Triple> TripleStore::Match(SymbolId s, SymbolId p,
   return out;
 }
 
+size_t TripleStore::CountMatch(SymbolId s, SymbolId p, SymbolId o) const {
+  EnsureSorted();
+  const bool sb = s != kInvalidSymbol;
+  const bool pb = p != kInvalidSymbol;
+  const bool ob = o != kInvalidSymbol;
+  if (sb && pb && ob) return Contains(s, p, o) ? 1 : 0;
+  if (!sb && !pb && !ob) return spo_.size();
+
+  if (sb && pb) {
+    auto [lo, hi] = std::equal_range(
+        spo_.begin(), spo_.end(), Triple{s, p, 0},
+        [](const Triple& a, const Triple& b) {
+          if (a.s != b.s) return a.s < b.s;
+          return a.p < b.p;
+        });
+    return static_cast<size_t>(hi - lo);
+  }
+  if (pb && ob) {
+    auto [lo, hi] = std::equal_range(
+        pos_.begin(), pos_.end(), Triple{0, p, o},
+        [](const Triple& a, const Triple& b) {
+          if (a.p != b.p) return a.p < b.p;
+          return a.o < b.o;
+        });
+    return static_cast<size_t>(hi - lo);
+  }
+  if (sb && ob) {
+    // (s, ?, o): scan the subject's SPO range.
+    auto [lo, hi] = std::equal_range(
+        spo_.begin(), spo_.end(), Triple{s, 0, 0},
+        [](const Triple& a, const Triple& b) { return a.s < b.s; });
+    size_t n = 0;
+    for (auto it = lo; it != hi; ++it) n += it->o == o ? 1 : 0;
+    return n;
+  }
+  if (sb) {
+    auto [lo, hi] = std::equal_range(
+        spo_.begin(), spo_.end(), Triple{s, 0, 0},
+        [](const Triple& a, const Triple& b) { return a.s < b.s; });
+    return static_cast<size_t>(hi - lo);
+  }
+  if (pb) {
+    auto [lo, hi] = std::equal_range(
+        pos_.begin(), pos_.end(), Triple{0, p, 0},
+        [](const Triple& a, const Triple& b) { return a.p < b.p; });
+    return static_cast<size_t>(hi - lo);
+  }
+  auto [lo, hi] = std::equal_range(
+      osp_.begin(), osp_.end(), Triple{0, 0, o},
+      [](const Triple& a, const Triple& b) { return a.o < b.o; });
+  return static_cast<size_t>(hi - lo);
+}
+
+TripleStore::TripleRange TripleStore::RangeSP(SymbolId s, SymbolId p) const {
+  EnsureSorted();
+  auto [lo, hi] = std::equal_range(spo_.begin(), spo_.end(), Triple{s, p, 0},
+                                   [](const Triple& a, const Triple& b) {
+                                     if (a.s != b.s) return a.s < b.s;
+                                     return a.p < b.p;
+                                   });
+  return {spo_.data() + (lo - spo_.begin()), spo_.data() + (hi - spo_.begin())};
+}
+
+TripleStore::TripleRange TripleStore::RangePO(SymbolId p, SymbolId o) const {
+  EnsureSorted();
+  auto [lo, hi] = std::equal_range(pos_.begin(), pos_.end(), Triple{0, p, o},
+                                   [](const Triple& a, const Triple& b) {
+                                     if (a.p != b.p) return a.p < b.p;
+                                     return a.o < b.o;
+                                   });
+  return {pos_.data() + (lo - pos_.begin()), pos_.data() + (hi - pos_.begin())};
+}
+
+TripleStore::TripleRange TripleStore::RangeS(SymbolId s) const {
+  EnsureSorted();
+  auto [lo, hi] = std::equal_range(
+      spo_.begin(), spo_.end(), Triple{s, 0, 0},
+      [](const Triple& a, const Triple& b) { return a.s < b.s; });
+  return {spo_.data() + (lo - spo_.begin()), spo_.data() + (hi - spo_.begin())};
+}
+
+TripleStore::TripleRange TripleStore::RangeO(SymbolId o) const {
+  EnsureSorted();
+  auto [lo, hi] = std::equal_range(
+      osp_.begin(), osp_.end(), Triple{0, 0, o},
+      [](const Triple& a, const Triple& b) { return a.o < b.o; });
+  return {osp_.data() + (lo - osp_.begin()), osp_.data() + (hi - osp_.begin())};
+}
+
 std::vector<SymbolId> TripleStore::Objects(SymbolId s, SymbolId p) const {
   std::vector<SymbolId> out;
   for (const Triple& t : Match(s, p, kInvalidSymbol)) out.push_back(t.o);

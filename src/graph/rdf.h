@@ -42,10 +42,31 @@ class TripleStore {
   /// All triples matching a pattern; kInvalidSymbol is a wildcard.
   std::vector<Triple> Match(SymbolId s, SymbolId p, SymbolId o) const;
 
+  /// |Match(s, p, o)| without materializing the matches. Prefix-bound
+  /// patterns (s / s,p / p / p,o / o / o,s / all / none) are answered by
+  /// binary search on the right index; the one non-prefix shape (s,o)
+  /// scans the subject's range. The planner's cardinality estimates
+  /// lean on this.
+  size_t CountMatch(SymbolId s, SymbolId p, SymbolId o) const;
+
   /// Objects o with (s, p, o); the hot path of query evaluation.
   std::vector<SymbolId> Objects(SymbolId s, SymbolId p) const;
   /// Subjects s with (s, p, o).
   std::vector<SymbolId> Subjects(SymbolId p, SymbolId o) const;
+
+  /// Non-materializing range lookups: a contiguous [first, last) view
+  /// into the matching index, valid until the next Add. The zero-copy
+  /// counterparts of Objects / Subjects / Match for tight loops
+  /// (exec::EvalPathNfa steps through these per product-BFS node).
+  using TripleRange = std::pair<const Triple*, const Triple*>;
+  /// (s, p, *) in SPO order.
+  TripleRange RangeSP(SymbolId s, SymbolId p) const;
+  /// (*, p, o) in POS order.
+  TripleRange RangePO(SymbolId p, SymbolId o) const;
+  /// (s, *, *) in SPO order.
+  TripleRange RangeS(SymbolId s) const;
+  /// (*, *, o) in OSP order.
+  TripleRange RangeO(SymbolId o) const;
 
   bool Contains(SymbolId s, SymbolId p, SymbolId o) const;
 

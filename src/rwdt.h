@@ -75,9 +75,16 @@
 #include "core/log_study.h"
 #include "core/query_analysis.h"
 #include "core/studies.h"
+#include "core/verdict.h"
 #include "engine/engine.h"
 #include "engine/metrics.h"
 #include "ingest/ingest.h"
+
+// Classifier-dispatched query executor: Volcano operators, the verdict-
+// dispatching planner, and the NFA-product property-path evaluator.
+#include "exec/operators.h"
+#include "exec/path_automaton.h"
+#include "exec/planner.h"
 
 // HTTP serving: the hand-rolled HTTP/1.1 stack and the classification
 // service (batching, backpressure, per-tenant quotas, graceful drain).

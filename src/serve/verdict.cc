@@ -4,7 +4,7 @@
 #include <utility>
 
 #include "common/interner.h"
-#include "core/query_analysis.h"
+#include "core/verdict.h"
 #include "hypergraph/hypergraph.h"
 #include "paths/analysis.h"
 #include "paths/path.h"
@@ -14,39 +14,18 @@
 namespace rwdt::serve {
 namespace {
 
-const char* FormName(sparql::QueryForm form) {
-  switch (form) {
-    case sparql::QueryForm::kSelect:
-      return "select";
-    case sparql::QueryForm::kAsk:
-      return "ask";
-    case sparql::QueryForm::kConstruct:
-      return "construct";
-    case sparql::QueryForm::kDescribe:
-      return "describe";
-  }
-  return "unknown";
-}
-
-/// "cq" ⊂ "cq_f" ⊂ "c2rpq_f" per Tables 4/5; everything else (Union,
-/// Optional, Graph, ...) is "other".
-const char* FragmentName(const sparql::OperatorSet& ops) {
-  if (ops.IsCq()) return "cq";
-  if (ops.IsCqF()) return "cq_f";
-  if (ops.IsC2RpqF()) return "c2rpq_f";
-  return "other";
-}
-
-void AppendSparqlVerdict(const sparql::Query& query,
-                         const core::QueryAnalysis& a, JsonWriter* w) {
-  w->StringField("form", FormName(query.form));
+/// Renders the shared core::QueryVerdict — the same object the
+/// executor's planner dispatches on — as the /v1/classify JSON body.
+void AppendSparqlVerdict(const core::QueryVerdict& v, JsonWriter* w) {
+  const core::QueryAnalysis& a = v.analysis;
+  w->StringField("form", v.FormName());
   w->UIntField("triples", a.triples);
   w->Key("features").BeginArray();
   for (const sparql::Feature f : a.features) {
     w->String(sparql::FeatureName(f));
   }
   w->EndArray();
-  w->StringField("fragment", FragmentName(a.ops));
+  w->StringField("fragment", v.FragmentName());
   w->BoolField("afo_only", a.afo_only);
   w->BoolField("well_designed", a.well_designed);
   w->BoolField("safe_filters", a.safe_filters);
@@ -55,9 +34,7 @@ void AppendSparqlVerdict(const sparql::Query& query,
   // Structure verdicts are defined on the CQ+F fragment (Table 6); for
   // other fragments they read false / 0, matching the aggregate tables.
   w->BoolField("free_connex_acyclic", a.cqf_fca);
-  const uint64_t htw_le =
-      a.cqf_htw1 ? 1 : (a.cqf_htw2 ? 2 : (a.cqf_htw3 ? 3 : 0));
-  w->UIntField("htw_le", htw_le);  // 0 = not certified <= 3 (or not CQ+F)
+  w->UIntField("htw_le", v.HtwLe());  // 0 = not certified <= 3 (or not CQ+F)
 
   w->BoolField("graph_cqf", a.graph_cqf);
   if (a.graph_cqf) {
@@ -178,9 +155,7 @@ Result<std::string> ClassifyToJson(std::string_view text, QueryLang lang,
     case QueryLang::kSparql: {
       RWDT_ASSIGN_OR_RETURN(const sparql::Query query,
                             sparql::ParseSparql(text, &dict, limits));
-      const core::QueryAnalysis analysis =
-          core::AnalyzeQuery(query, study_options);
-      AppendSparqlVerdict(query, analysis, &w);
+      AppendSparqlVerdict(core::Classify(query, study_options), &w);
       break;
     }
     case QueryLang::kPath: {

@@ -18,8 +18,19 @@ bool Compatible(const Binding& a, const Binding& b) {
   return true;
 }
 
-Evaluator::Evaluator(const graph::TripleStore& store, Interner* dict)
-    : store_(store), dict_(dict) {}
+Evaluator::Evaluator(const graph::TripleStore& store, Interner* dict,
+                     const EvalLimits& limits)
+    : store_(store), dict_(dict), limits_(limits) {}
+
+Status Evaluator::Charge(uint64_t n) const {
+  steps_ += n;
+  if (steps_ > limits_.max_steps) {
+    return Status::ResourceExhausted(
+        "evaluation exceeded " + std::to_string(limits_.max_steps) +
+        " steps");
+  }
+  return Status::Ok();
+}
 
 namespace {
 
@@ -58,12 +69,15 @@ std::vector<SymbolId> Evaluator::AllTerms() const {
   return {terms.begin(), terms.end()};
 }
 
-std::vector<Binding> Evaluator::EvalTriple(const TriplePattern& t) const {
+Result<std::vector<Binding>> Evaluator::EvalTriple(
+    const TriplePattern& t) const {
   const SymbolId s = t.s.ActsAsVar() ? kInvalidSymbol : t.s.id;
   const SymbolId p = t.p.ActsAsVar() ? kInvalidSymbol : t.p.id;
   const SymbolId o = t.o.ActsAsVar() ? kInvalidSymbol : t.o.id;
   std::vector<Binding> out;
-  for (const auto& triple : store_.Match(s, p, o)) {
+  const auto matches = store_.Match(s, p, o);
+  RWDT_RETURN_IF_ERROR(Charge(matches.size()));
+  for (const auto& triple : matches) {
     Binding mu;
     bool consistent = true;
     auto bind = [&](const Term& term, SymbolId value) {
@@ -199,11 +213,13 @@ std::vector<std::pair<SymbolId, SymbolId>> Evaluator::EvalPathPairs(
   return {};
 }
 
-std::vector<Binding> Evaluator::EvalPath(const PathTriple& p) const {
+Result<std::vector<Binding>> Evaluator::EvalPath(const PathTriple& p) const {
   const SymbolId s = p.s.ActsAsVar() ? kInvalidSymbol : p.s.id;
   const SymbolId o = p.o.ActsAsVar() ? kInvalidSymbol : p.o.id;
   std::vector<Binding> out;
-  for (const auto& [x, y] : EvalPathPairs(*p.path, s, o)) {
+  const auto pairs = EvalPathPairs(*p.path, s, o);
+  RWDT_RETURN_IF_ERROR(Charge(pairs.size()));
+  for (const auto& [x, y] : pairs) {
     Binding mu;
     bool consistent = true;
     if (p.s.ActsAsVar()) mu[p.s.id] = x;
@@ -216,10 +232,11 @@ std::vector<Binding> Evaluator::EvalPath(const PathTriple& p) const {
   return out;
 }
 
-std::vector<Binding> Evaluator::Join(const std::vector<Binding>& a,
-                                     const std::vector<Binding>& b) const {
+Result<std::vector<Binding>> Evaluator::Join(
+    const std::vector<Binding>& a, const std::vector<Binding>& b) const {
   std::vector<Binding> out;
   for (const auto& mu1 : a) {
+    RWDT_RETURN_IF_ERROR(Charge(b.size()));
     for (const auto& mu2 : b) {
       if (Compatible(mu1, mu2)) out.push_back(Merge(mu1, mu2));
     }
@@ -227,10 +244,11 @@ std::vector<Binding> Evaluator::Join(const std::vector<Binding>& a,
   return out;
 }
 
-std::vector<Binding> Evaluator::LeftJoin(
+Result<std::vector<Binding>> Evaluator::LeftJoin(
     const std::vector<Binding>& a, const std::vector<Binding>& b) const {
   std::vector<Binding> out;
   for (const auto& mu1 : a) {
+    RWDT_RETURN_IF_ERROR(Charge(b.size()));
     bool any = false;
     for (const auto& mu2 : b) {
       if (Compatible(mu1, mu2)) {
@@ -243,10 +261,11 @@ std::vector<Binding> Evaluator::LeftJoin(
   return out;
 }
 
-std::vector<Binding> Evaluator::MinusOp(
+Result<std::vector<Binding>> Evaluator::MinusOp(
     const std::vector<Binding>& a, const std::vector<Binding>& b) const {
   std::vector<Binding> out;
   for (const auto& mu1 : a) {
+    RWDT_RETURN_IF_ERROR(Charge(b.size()));
     bool excluded = false;
     for (const auto& mu2 : b) {
       if (!Compatible(mu1, mu2)) continue;
@@ -265,7 +284,8 @@ std::vector<Binding> Evaluator::MinusOp(
   return out;
 }
 
-bool Evaluator::EvalFilter(const FilterExpr& f, const Binding& mu) const {
+Result<bool> Evaluator::EvalFilter(const FilterExpr& f,
+                                   const Binding& mu) const {
   switch (f.kind) {
     case FilterExpr::Kind::kUnaryTest: {
       if (!f.operand.ActsAsVar()) return true;
@@ -338,19 +358,24 @@ bool Evaluator::EvalFilter(const FilterExpr& f, const Binding& mu) const {
     }
     case FilterExpr::Kind::kAnd:
       for (const auto& c : f.children) {
-        if (!EvalFilter(*c, mu)) return false;
+        RWDT_ASSIGN_OR_RETURN(const bool pass, EvalFilter(*c, mu));
+        if (!pass) return false;
       }
       return true;
     case FilterExpr::Kind::kOr:
       for (const auto& c : f.children) {
-        if (EvalFilter(*c, mu)) return true;
+        RWDT_ASSIGN_OR_RETURN(const bool pass, EvalFilter(*c, mu));
+        if (pass) return true;
       }
       return false;
-    case FilterExpr::Kind::kNot:
-      return !EvalFilter(*f.children[0], mu);
+    case FilterExpr::Kind::kNot: {
+      RWDT_ASSIGN_OR_RETURN(const bool pass, EvalFilter(*f.children[0], mu));
+      return !pass;
+    }
     case FilterExpr::Kind::kExistsPattern:
     case FilterExpr::Kind::kNotExistsPattern: {
-      const auto results = EvalPattern(*f.pattern);
+      RWDT_ASSIGN_OR_RETURN(const std::vector<Binding> results,
+                            EvalPatternImpl(*f.pattern));
       bool exists = false;
       for (const auto& mu2 : results) {
         if (Compatible(mu, mu2)) {
@@ -361,10 +386,16 @@ bool Evaluator::EvalFilter(const FilterExpr& f, const Binding& mu) const {
       return f.kind == FilterExpr::Kind::kExistsPattern ? exists : !exists;
     }
   }
-  return false;
+  return Status::Unsupported("unknown filter kind");
 }
 
-std::vector<Binding> Evaluator::EvalPattern(const Pattern& p) const {
+Result<std::vector<Binding>> Evaluator::EvalPattern(const Pattern& p) const {
+  steps_ = 0;
+  return EvalPatternImpl(p);
+}
+
+Result<std::vector<Binding>> Evaluator::EvalPatternImpl(
+    const Pattern& p) const {
   switch (p.op) {
     case Pattern::Op::kTriple:
       return EvalTriple(p.triple);
@@ -373,35 +404,50 @@ std::vector<Binding> Evaluator::EvalPattern(const Pattern& p) const {
     case Pattern::Op::kAnd: {
       std::vector<Binding> acc = {Binding{}};
       for (const auto& c : p.children) {
-        acc = Join(acc, EvalPattern(*c));
+        RWDT_ASSIGN_OR_RETURN(const std::vector<Binding> rows,
+                              EvalPatternImpl(*c));
+        RWDT_ASSIGN_OR_RETURN(acc, Join(acc, rows));
         if (acc.empty()) break;
       }
       return acc;
     }
     case Pattern::Op::kFilter: {
       std::vector<Binding> out;
-      for (auto& mu : EvalPattern(*p.children[0])) {
-        if (EvalFilter(*p.filter, mu)) out.push_back(std::move(mu));
+      RWDT_ASSIGN_OR_RETURN(std::vector<Binding> rows,
+                            EvalPatternImpl(*p.children[0]));
+      for (auto& mu : rows) {
+        RWDT_ASSIGN_OR_RETURN(const bool pass, EvalFilter(*p.filter, mu));
+        if (pass) out.push_back(std::move(mu));
       }
       return out;
     }
     case Pattern::Op::kUnion: {
-      std::vector<Binding> out = EvalPattern(*p.children[0]);
-      for (auto& mu : EvalPattern(*p.children[1])) {
-        out.push_back(std::move(mu));
-      }
+      RWDT_ASSIGN_OR_RETURN(std::vector<Binding> out,
+                            EvalPatternImpl(*p.children[0]));
+      RWDT_ASSIGN_OR_RETURN(std::vector<Binding> right,
+                            EvalPatternImpl(*p.children[1]));
+      for (auto& mu : right) out.push_back(std::move(mu));
       return out;
     }
-    case Pattern::Op::kOptional:
-      return LeftJoin(EvalPattern(*p.children[0]),
-                      EvalPattern(*p.children[1]));
-    case Pattern::Op::kMinus:
-      return MinusOp(EvalPattern(*p.children[0]),
-                     EvalPattern(*p.children[1]));
+    case Pattern::Op::kOptional: {
+      RWDT_ASSIGN_OR_RETURN(const std::vector<Binding> left,
+                            EvalPatternImpl(*p.children[0]));
+      RWDT_ASSIGN_OR_RETURN(const std::vector<Binding> right,
+                            EvalPatternImpl(*p.children[1]));
+      return LeftJoin(left, right);
+    }
+    case Pattern::Op::kMinus: {
+      RWDT_ASSIGN_OR_RETURN(const std::vector<Binding> left,
+                            EvalPatternImpl(*p.children[0]));
+      RWDT_ASSIGN_OR_RETURN(const std::vector<Binding> right,
+                            EvalPatternImpl(*p.children[1]));
+      return MinusOp(left, right);
+    }
     case Pattern::Op::kGraph:
     case Pattern::Op::kService: {
       // Single default graph; a variable name binds to the default IRI.
-      std::vector<Binding> inner = EvalPattern(*p.children[0]);
+      RWDT_ASSIGN_OR_RETURN(std::vector<Binding> inner,
+                            EvalPatternImpl(*p.children[0]));
       if (p.graph_name.ActsAsVar()) {
         const SymbolId def = dict_->Intern("urn:rwdt:default");
         for (auto& mu : inner) mu.emplace(p.graph_name.id, def);
@@ -409,9 +455,12 @@ std::vector<Binding> Evaluator::EvalPattern(const Pattern& p) const {
       return inner;
     }
     case Pattern::Op::kBind: {
-      std::vector<Binding> inner = p.children.empty()
-                                       ? std::vector<Binding>{Binding{}}
-                                       : EvalPattern(*p.children[0]);
+      std::vector<Binding> inner;
+      if (p.children.empty()) {
+        inner = {Binding{}};
+      } else {
+        RWDT_ASSIGN_OR_RETURN(inner, EvalPatternImpl(*p.children[0]));
+      }
       for (auto& mu : inner) {
         if (!p.bind_var.ActsAsVar()) continue;
         if (p.bind_source.kind == Term::Kind::kNone) continue;
@@ -440,121 +489,110 @@ std::vector<Binding> Evaluator::EvalPattern(const Pattern& p) const {
       return out;
     }
     case Pattern::Op::kSubquery:
-      if (p.subquery == nullptr) return {};
-      return EvalQuery(*p.subquery);
+      if (p.subquery == nullptr) {
+        return Status::Internal("subquery pattern without a query");
+      }
+      return EvalQueryImpl(*p.subquery);
   }
-  return {};
+  return Status::Unsupported("unsupported pattern operator");
 }
 
-namespace {
-
-/// Applies grouping and aggregation for queries that use them.
-std::vector<Binding> Aggregate1(const Query& q, Interner* dict,
-                                std::vector<Binding> rows) {
+Result<std::vector<Binding>> Evaluator::ApplyModifiers(
+    const Query& q, std::vector<Binding> rows) const {
+  // Grouping and aggregation for queries that use them.
   const bool has_aggregates = std::any_of(
       q.projection.begin(), q.projection.end(),
       [](const SelectItem& item) { return item.aggregate.has_value(); });
-  if (!has_aggregates && q.modifiers.group_by.empty()) return rows;
-
-  // Group key = values of group-by variables.
-  std::map<std::vector<SymbolId>, std::vector<Binding>> groups;
-  for (auto& mu : rows) {
-    std::vector<SymbolId> key;
-    for (const Term& g : q.modifiers.group_by) {
-      auto it = mu.find(g.id);
-      key.push_back(it == mu.end() ? kInvalidSymbol : it->second);
+  if (has_aggregates || !q.modifiers.group_by.empty()) {
+    // Group key = values of group-by variables.
+    std::map<std::vector<SymbolId>, std::vector<Binding>> groups;
+    for (auto& mu : rows) {
+      std::vector<SymbolId> key;
+      for (const Term& g : q.modifiers.group_by) {
+        auto it = mu.find(g.id);
+        key.push_back(it == mu.end() ? kInvalidSymbol : it->second);
+      }
+      groups[key].push_back(std::move(mu));
     }
-    groups[key].push_back(std::move(mu));
-  }
-  if (groups.empty() && q.modifiers.group_by.empty()) {
-    groups[{}] = {};  // aggregates over the empty solution set
-  }
-
-  std::vector<Binding> out;
-  for (auto& [key, members] : groups) {
-    Binding mu;
-    for (size_t i = 0; i < q.modifiers.group_by.size(); ++i) {
-      if (key[i] != kInvalidSymbol) {
-        mu[q.modifiers.group_by[i].id] = key[i];
-      }
+    if (groups.empty() && q.modifiers.group_by.empty()) {
+      groups[{}] = {};  // aggregates over the empty solution set
     }
-    for (const auto& item : q.projection) {
-      if (!item.aggregate.has_value()) continue;
-      double acc = 0;
-      uint64_t count = 0;
-      bool first = true;
-      for (const auto& member : members) {
-        SymbolId value = kInvalidSymbol;
-        if (item.aggregate_arg.kind == Term::Kind::kNone) {
-          ++count;  // COUNT(*)
-          continue;
+
+    std::vector<Binding> grouped;
+    for (auto& [key, members] : groups) {
+      Binding mu;
+      for (size_t i = 0; i < q.modifiers.group_by.size(); ++i) {
+        if (key[i] != kInvalidSymbol) {
+          mu[q.modifiers.group_by[i].id] = key[i];
         }
-        auto it = member.find(item.aggregate_arg.id);
-        if (it == member.end()) continue;
-        value = it->second;
-        ++count;
-        double v = 0;
-        const std::string& name = dict->Name(value);
-        std::string body = name;
-        if (!body.empty() && body[0] == '"' && body.size() >= 2) {
-          body = body.substr(1, body.size() - 2);
+      }
+      for (const auto& item : q.projection) {
+        if (!item.aggregate.has_value()) continue;
+        double acc = 0;
+        uint64_t count = 0;
+        bool first = true;
+        for (const auto& member : members) {
+          SymbolId value = kInvalidSymbol;
+          if (item.aggregate_arg.kind == Term::Kind::kNone) {
+            ++count;  // COUNT(*)
+            continue;
+          }
+          auto it = member.find(item.aggregate_arg.id);
+          if (it == member.end()) continue;
+          value = it->second;
+          ++count;
+          double v = 0;
+          const std::string& name = dict_->Name(value);
+          std::string body = name;
+          if (!body.empty() && body[0] == '"' && body.size() >= 2) {
+            body = body.substr(1, body.size() - 2);
+          }
+          char* end = nullptr;
+          v = std::strtod(body.c_str(), &end);
+          const bool numeric = end == body.c_str() + body.size() &&
+                               !body.empty();
+          switch (*item.aggregate) {
+            case Aggregate::kCount:
+              break;
+            case Aggregate::kSum:
+            case Aggregate::kAvg:
+              if (numeric) acc += v;
+              break;
+            case Aggregate::kMin:
+              if (numeric && (first || v < acc)) acc = v;
+              break;
+            case Aggregate::kMax:
+              if (numeric && (first || v > acc)) acc = v;
+              break;
+          }
+          first = false;
         }
-        char* end = nullptr;
-        v = std::strtod(body.c_str(), &end);
-        const bool numeric = end == body.c_str() + body.size() &&
-                             !body.empty();
-        switch (*item.aggregate) {
-          case Aggregate::kCount:
-            break;
-          case Aggregate::kSum:
-          case Aggregate::kAvg:
-            if (numeric) acc += v;
-            break;
-          case Aggregate::kMin:
-            if (numeric && (first || v < acc)) acc = v;
-            break;
-          case Aggregate::kMax:
-            if (numeric && (first || v > acc)) acc = v;
-            break;
+        double result = acc;
+        if (*item.aggregate == Aggregate::kCount) {
+          result = static_cast<double>(count);
+        } else if (*item.aggregate == Aggregate::kAvg && count > 0) {
+          result = acc / static_cast<double>(count);
         }
-        first = false;
+        char buf[32];
+        if (result == static_cast<uint64_t>(result)) {
+          std::snprintf(buf, sizeof(buf), "\"%llu\"",
+                        static_cast<unsigned long long>(result));
+        } else {
+          std::snprintf(buf, sizeof(buf), "\"%g\"", result);
+        }
+        if (item.var.ActsAsVar()) mu[item.var.id] = dict_->Intern(buf);
       }
-      double result = acc;
-      if (*item.aggregate == Aggregate::kCount) {
-        result = static_cast<double>(count);
-      } else if (*item.aggregate == Aggregate::kAvg && count > 0) {
-        result = acc / static_cast<double>(count);
-      }
-      char buf[32];
-      if (result == static_cast<uint64_t>(result)) {
-        std::snprintf(buf, sizeof(buf), "\"%llu\"",
-                      static_cast<unsigned long long>(result));
-      } else {
-        std::snprintf(buf, sizeof(buf), "\"%g\"", result);
-      }
-      if (item.var.ActsAsVar()) mu[item.var.id] = dict->Intern(buf);
+      grouped.push_back(std::move(mu));
     }
-    out.push_back(std::move(mu));
+    rows = std::move(grouped);
   }
-  return out;
-}
-
-}  // namespace
-
-std::vector<Binding> Evaluator::EvalQuery(const Query& q) const {
-  std::vector<Binding> rows;
-  if (q.pattern != nullptr) {
-    rows = EvalPattern(*q.pattern);
-  } else {
-    rows = {Binding{}};
-  }
-
-  rows = Aggregate1(q, dict_, std::move(rows));
 
   if (q.modifiers.having != nullptr) {
     std::vector<Binding> kept;
     for (auto& mu : rows) {
-      if (EvalFilter(*q.modifiers.having, mu)) kept.push_back(std::move(mu));
+      RWDT_ASSIGN_OR_RETURN(const bool pass,
+                            EvalFilter(*q.modifiers.having, mu));
+      if (pass) kept.push_back(std::move(mu));
     }
     rows = std::move(kept);
   }
@@ -623,6 +661,24 @@ std::vector<Binding> Evaluator::EvalQuery(const Query& q) const {
   return rows;
 }
 
-bool Evaluator::Ask(const Query& q) const { return !EvalQuery(q).empty(); }
+Result<std::vector<Binding>> Evaluator::EvalQuery(const Query& q) const {
+  steps_ = 0;
+  return EvalQueryImpl(q);
+}
+
+Result<std::vector<Binding>> Evaluator::EvalQueryImpl(const Query& q) const {
+  std::vector<Binding> rows;
+  if (q.pattern != nullptr) {
+    RWDT_ASSIGN_OR_RETURN(rows, EvalPatternImpl(*q.pattern));
+  } else {
+    rows = {Binding{}};
+  }
+  return ApplyModifiers(q, std::move(rows));
+}
+
+Result<bool> Evaluator::Ask(const Query& q) const {
+  RWDT_ASSIGN_OR_RETURN(const std::vector<Binding> rows, EvalQuery(q));
+  return !rows.empty();
+}
 
 }  // namespace rwdt::sparql

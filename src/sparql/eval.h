@@ -1,6 +1,7 @@
 #ifndef RWDT_SPARQL_EVAL_H_
 #define RWDT_SPARQL_EVAL_H_
 
+#include <cstdint>
 #include <map>
 #include <vector>
 
@@ -18,45 +19,88 @@ using Binding = std::map<SymbolId, SymbolId>;
 /// (Perez-Arenas-Gutierrez semantics).
 bool Compatible(const Binding& a, const Binding& b);
 
+/// Per-evaluation resource guards. Queries from real logs can join
+/// themselves into enormous intermediate results; the evaluator refuses
+/// to run away and returns `Code::kResourceExhausted` instead — the same
+/// contract the parser's ParseLimits established in the ingest taxonomy.
+struct EvalLimits {
+  /// Budget on evaluation steps (~= bindings produced + pairs compared
+  /// across joins). The default is far above anything the bundled
+  /// corpora reach; tests use small values to exercise the error path.
+  uint64_t max_steps = 1ull << 26;
+};
+
 /// Evaluates SPARQL patterns and queries over a triple store under bag
 /// semantics. GRAPH and SERVICE evaluate their pattern against the same
 /// (default) store — the library simulates remote endpoints locally,
 /// binding the name variable (if any) to "urn:rwdt:default".
+///
+/// All fallible entry points follow the repo-wide Result<T>/Status
+/// convention: resource-limit overruns return kResourceExhausted and
+/// malformed algebra (e.g. a subquery node without a query) returns
+/// kInternal, instead of silently yielding empty results.
 class Evaluator {
  public:
-  Evaluator(const graph::TripleStore& store, Interner* dict);
+  Evaluator(const graph::TripleStore& store, Interner* dict,
+            const EvalLimits& limits = {});
 
   /// Multiset of solution mappings of a pattern.
-  std::vector<Binding> EvalPattern(const Pattern& pattern) const;
+  Result<std::vector<Binding>> EvalPattern(const Pattern& pattern) const;
 
   /// Full query evaluation: pattern + aggregation + solution modifiers +
   /// projection. CONSTRUCT/DESCRIBE also return bindings (the mapped
   /// template instantiation is left to callers).
-  std::vector<Binding> EvalQuery(const Query& query) const;
+  Result<std::vector<Binding>> EvalQuery(const Query& query) const;
 
   /// ASK-style evaluation.
-  bool Ask(const Query& query) const;
+  Result<bool> Ask(const Query& query) const;
+
+  /// The solution-modifier pipeline of EvalQuery — aggregation, HAVING,
+  /// projection, ORDER BY, DISTINCT/REDUCED, OFFSET/LIMIT — applied to
+  /// already-computed pattern solutions. Public so alternative pattern
+  /// executors (exec::) share modifier semantics bit-for-bit with the
+  /// reference evaluator.
+  Result<std::vector<Binding>> ApplyModifiers(const Query& query,
+                                              std::vector<Binding> rows) const;
+
+  /// One filter constraint against one mapping. Public for the same
+  /// reason as ApplyModifiers: exec::FilterOp delegates here so filter
+  /// semantics (unbound-variable errors, EXISTS) cannot drift.
+  Result<bool> EvalFilter(const FilterExpr& f, const Binding& mu) const;
+
+  /// Resets the step budget. The evaluator's own entry points do this
+  /// implicitly; alternative executors that drive EvalFilter /
+  /// ApplyModifiers directly start their per-query budget here.
+  void ResetSteps() const { steps_ = 0; }
 
   /// All (start, end) pairs connected by a property path; fixing
-  /// `s`/`o` (non-wildcard) restricts the search.
+  /// `s`/`o` (non-wildcard) restricts the search. Infallible: path
+  /// evaluation under walk semantics always terminates on the finite
+  /// store.
   std::vector<std::pair<SymbolId, SymbolId>> EvalPathPairs(
       const paths::Path& path, SymbolId s = kInvalidSymbol,
       SymbolId o = kInvalidSymbol) const;
 
  private:
-  std::vector<Binding> EvalTriple(const TriplePattern& t) const;
-  std::vector<Binding> EvalPath(const PathTriple& p) const;
-  std::vector<Binding> Join(const std::vector<Binding>& a,
-                            const std::vector<Binding>& b) const;
-  std::vector<Binding> LeftJoin(const std::vector<Binding>& a,
-                                const std::vector<Binding>& b) const;
-  std::vector<Binding> MinusOp(const std::vector<Binding>& a,
-                               const std::vector<Binding>& b) const;
-  bool EvalFilter(const FilterExpr& f, const Binding& mu) const;
+  Result<std::vector<Binding>> EvalPatternImpl(const Pattern& p) const;
+  Result<std::vector<Binding>> EvalQueryImpl(const Query& q) const;
+  Result<std::vector<Binding>> EvalTriple(const TriplePattern& t) const;
+  Result<std::vector<Binding>> EvalPath(const PathTriple& p) const;
+  Result<std::vector<Binding>> Join(const std::vector<Binding>& a,
+                                    const std::vector<Binding>& b) const;
+  Result<std::vector<Binding>> LeftJoin(const std::vector<Binding>& a,
+                                        const std::vector<Binding>& b) const;
+  Result<std::vector<Binding>> MinusOp(const std::vector<Binding>& a,
+                                       const std::vector<Binding>& b) const;
   std::vector<SymbolId> AllTerms() const;
+
+  /// Charges `n` steps against the budget; kResourceExhausted on overrun.
+  Status Charge(uint64_t n) const;
 
   const graph::TripleStore& store_;
   Interner* dict_;
+  EvalLimits limits_;
+  mutable uint64_t steps_ = 0;  // reset at each public entry point
 };
 
 }  // namespace rwdt::sparql

@@ -43,7 +43,10 @@ TEST_P(SparqlPropertyTest, GeneratedQueriesEvaluateWithoutCrashing) {
   for (const auto& entry : loggen::GenerateLog(profile, GetParam())) {
     auto q = ParseSparql(entry.text, &dict_);
     ASSERT_TRUE(q.ok()) << entry.text;
-    const auto rows = eval.EvalQuery(q.value());
+    const auto rows_or = eval.EvalQuery(q.value());
+    ASSERT_TRUE(rows_or.ok()) << entry.text << "\n"
+                              << rows_or.status().ToString();
+    const auto& rows = rows_or.value();
     // Projection invariant: bindings only contain projected variables.
     if (q.value().form == QueryForm::kSelect &&
         !q.value().select_star && !q.value().projection.empty()) {
@@ -81,8 +84,8 @@ TEST_P(SparqlPropertyTest, JoinIsCommutativeUpToMultiset) {
     auto q2 = ParseSparql("SELECT * WHERE { " + b + " . " + a + " }",
                           &dict_);
     ASSERT_TRUE(q1.ok() && q2.ok());
-    auto r1 = eval.EvalQuery(q1.value());
-    auto r2 = eval.EvalQuery(q2.value());
+    auto r1 = eval.EvalQuery(q1.value()).value();
+    auto r2 = eval.EvalQuery(q2.value()).value();
     std::sort(r1.begin(), r1.end());
     std::sort(r2.begin(), r2.end());
     EXPECT_EQ(r1, r2) << a << " / " << b;
@@ -96,9 +99,9 @@ TEST_P(SparqlPropertyTest, UnionCountsAddUp) {
   auto qu = ParseSparql(
       "SELECT * WHERE { { ?x p0 ?y } UNION { ?x p1 ?y } }", &dict_);
   ASSERT_TRUE(qa.ok() && qb.ok() && qu.ok());
-  EXPECT_EQ(eval.EvalQuery(qu.value()).size(),
-            eval.EvalQuery(qa.value()).size() +
-                eval.EvalQuery(qb.value()).size());
+  EXPECT_EQ(eval.EvalQuery(qu.value()).value().size(),
+            eval.EvalQuery(qa.value()).value().size() +
+                eval.EvalQuery(qb.value()).value().size());
 }
 
 TEST_P(SparqlPropertyTest, OptionalNeverLosesLeftSolutions) {
@@ -108,8 +111,8 @@ TEST_P(SparqlPropertyTest, OptionalNeverLosesLeftSolutions) {
       "SELECT ?x WHERE { ?x p0 ?y OPTIONAL { ?y p1 ?z } }", &dict_);
   ASSERT_TRUE(plain.ok() && opt.ok());
   // Every left solution appears at least once after the left join.
-  EXPECT_GE(eval.EvalQuery(opt.value()).size(),
-            eval.EvalQuery(plain.value()).size());
+  EXPECT_GE(eval.EvalQuery(opt.value()).value().size(),
+            eval.EvalQuery(plain.value()).value().size());
 }
 
 TEST_P(SparqlPropertyTest, PathPatternAgreesWithWalkSemantics) {

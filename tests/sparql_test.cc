@@ -39,7 +39,9 @@ class SparqlTest : public ::testing::Test {
   std::vector<Binding> Eval(const std::string& text) {
     Query q = Q(text);
     Evaluator eval(store_, &dict_);
-    return eval.EvalQuery(q);
+    auto rows = eval.EvalQuery(q);
+    EXPECT_TRUE(rows.ok()) << text << "\n" << rows.status().ToString();
+    return rows.ok() ? std::move(rows).value() : std::vector<Binding>{};
   }
 
   SymbolId Value(const Binding& mu, const std::string& var) {
@@ -161,8 +163,8 @@ TEST_F(SparqlTest, PropertyPathSeqAltInverse) {
 
 TEST_F(SparqlTest, AskQueries) {
   Evaluator eval(store_, &dict_);
-  EXPECT_TRUE(eval.Ask(Q("ASK { alice knows bob }")));
-  EXPECT_FALSE(eval.Ask(Q("ASK { bob knows alice }")));
+  EXPECT_TRUE(eval.Ask(Q("ASK { alice knows bob }")).value());
+  EXPECT_FALSE(eval.Ask(Q("ASK { bob knows alice }")).value());
 }
 
 TEST_F(SparqlTest, AggregationCountGroup) {
