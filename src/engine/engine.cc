@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <chrono>
+#include <cstdlib>
 #include <functional>
 #include <thread>
 #include <utility>
@@ -208,11 +209,20 @@ void Engine::StartAdminServer() {
         return resp;
       });
   server->Handle("/tracez",
-                 "drains the active TraceCollector as Chrome trace JSON",
-                 [](const obs::HttpRequest&) {
+                 "drains the active TraceCollector as Chrome trace JSON; "
+                 "?limit=N caps rendered events (default 5000, 0 = all)",
+                 [](const obs::HttpRequest& request) {
                    obs::HttpResponse resp;
+                   // Default cap keeps a scrape of a large multi-thread
+                   // ring from rendering multi-MB; limit=0 disables it.
+                   size_t limit = 5000;
+                   const std::string param =
+                       serve::QueryParam(request.query, "limit");
+                   if (!param.empty()) {
+                     limit = std::strtoull(param.c_str(), nullptr, 10);
+                   }
                    std::string json;
-                   if (obs::DrainActiveTraceJson(&json)) {
+                   if (obs::DrainActiveTraceJson(&json, limit)) {
                      resp.content_type = "application/json; charset=utf-8";
                      resp.body = std::move(json);
                    } else {
@@ -306,8 +316,14 @@ void EngineStream::Feed(const std::vector<loggen::LogEntry>& chunk) {
       eng.ProcessShard(parts[s], &im.shards[s]);
     }
   } else {
+    // Propagate the feeding thread's trace context (captured after
+    // feed_span opened, so it names the feed span) into each pool task:
+    // shard/stage spans recorded on pool threads nest under this Feed,
+    // and a serve worker's request trace crosses the pool handoff.
+    const obs::TraceContext ctx = obs::CurrentTraceContext();
     for (size_t s = 0; s < num_shards; ++s) {
-      eng.pool_->Submit([&eng, &im, s] {
+      eng.pool_->Submit([&eng, &im, ctx, s] {
+        obs::ScopedTraceContext scoped(ctx);
         eng.ProcessShard(im.parts[s], &im.shards[s]);
       });
     }

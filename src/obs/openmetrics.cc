@@ -77,24 +77,25 @@ void AppendLabels(const Labels& labels, std::string* out) {
 
 }  // namespace
 
-void AppendHistogramSamples(const std::vector<double>& bounds,
-                            const std::function<uint64_t(size_t)>& bucket_count,
-                            double sum, const Labels& labels,
-                            std::vector<Sample>* out) {
+void AppendHistogramSamples(
+    const std::vector<double>& bounds,
+    const std::function<uint64_t(size_t)>& bucket_count, double sum,
+    const Labels& labels, std::vector<Sample>* out,
+    const std::function<Exemplar(size_t)>& exemplar) {
   uint64_t cumulative = 0;
-  for (size_t i = 0; i < bounds.size(); ++i) {
+  for (size_t i = 0; i <= bounds.size(); ++i) {
     cumulative += bucket_count(i);
     Labels with_le = labels;
-    with_le.emplace_back("le", FormatOpenMetricsValue(bounds[i]));
-    out->push_back(
-        {"_bucket", std::move(with_le), static_cast<double>(cumulative)});
+    with_le.emplace_back("le", i < bounds.size()
+                                   ? FormatOpenMetricsValue(bounds[i])
+                                   : "+Inf");
+    Sample sample{"_bucket", std::move(with_le),
+                  static_cast<double>(cumulative), {}};
+    if (exemplar) sample.exemplar = exemplar(i);
+    out->push_back(std::move(sample));
   }
-  cumulative += bucket_count(bounds.size());
-  Labels inf = labels;
-  inf.emplace_back("le", "+Inf");
-  out->push_back({"_bucket", std::move(inf), static_cast<double>(cumulative)});
-  out->push_back({"_sum", labels, sum});
-  out->push_back({"_count", labels, static_cast<double>(cumulative)});
+  out->push_back({"_sum", labels, sum, {}});
+  out->push_back({"_count", labels, static_cast<double>(cumulative), {}});
 }
 
 std::vector<FamilySnapshot> MergeFamilies(
@@ -149,6 +150,19 @@ std::string WriteOpenMetrics(const std::vector<FamilySnapshot>& families) {
       AppendLabels(sample.labels, &out);
       out += ' ';
       out += FormatOpenMetricsValue(sample.value);
+      // OpenMetrics exemplar: `<sample> # {<labels>} <value>`. Only
+      // histogram buckets carry them here (the spec also allows counter
+      // exemplars, which we do not produce).
+      if (sample.exemplar.set && sample.suffix == "_bucket") {
+        out += " # ";
+        if (sample.exemplar.labels.empty()) {
+          out += "{}";
+        } else {
+          AppendLabels(sample.exemplar.labels, &out);
+        }
+        out += ' ';
+        out += FormatOpenMetricsValue(sample.exemplar.value);
+      }
       out += '\n';
     }
   }

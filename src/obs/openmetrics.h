@@ -40,11 +40,15 @@ std::vector<FamilySnapshot> MergeFamilies(std::vector<FamilySnapshot> families);
 /// `_sum`, and `_count`. `bucket_count(i)` must return the
 /// NON-cumulative count of bucket `i`, with `i == bounds.size()` the
 /// overflow (+Inf) bucket; `labels` are copied onto every sample with
-/// `le` appended last.
-void AppendHistogramSamples(const std::vector<double>& bounds,
-                            const std::function<uint64_t(size_t)>& bucket_count,
-                            double sum, const Labels& labels,
-                            std::vector<Sample>* out);
+/// `le` appended last. When `exemplar` is non-empty, `exemplar(i)` is
+/// attached to bucket `i`'s sample — because each exemplar records the
+/// bucket its own value landed in, its value always satisfies the
+/// bucket's `le` bound as the spec requires.
+void AppendHistogramSamples(
+    const std::vector<double>& bounds,
+    const std::function<uint64_t(size_t)>& bucket_count, double sum,
+    const Labels& labels, std::vector<Sample>* out,
+    const std::function<Exemplar(size_t)>& exemplar = {});
 
 /// Escapes a label value for exposition (backslash, quote, newline).
 std::string EscapeLabelValue(std::string_view value);

@@ -78,18 +78,40 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   for (size_t i = 0; i <= bounds_.size(); ++i) counts_[i] = 0;
 }
 
-void Histogram::Observe(double v) {
+size_t Histogram::BucketIndex(double v) const {
   // Linear scan: bucket lists are short (the engine's 64-bucket latency
   // families go through the bridge, not through Observe) and the scan is
   // branch-predictable; a binary search would cost more in practice.
   size_t i = 0;
   while (i < bounds_.size() && v > bounds_[i]) ++i;
-  counts_[i].fetch_add(1, std::memory_order_relaxed);
+  return i;
+}
+
+void Histogram::Observe(double v) {
+  counts_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
   uint64_t cur = sum_bits_.load(std::memory_order_relaxed);
   while (!sum_bits_.compare_exchange_weak(
       cur, std::bit_cast<uint64_t>(std::bit_cast<double>(cur) + v),
       std::memory_order_relaxed)) {
   }
+}
+
+void Histogram::ObserveWithExemplar(double v, Labels exemplar_labels) {
+  Observe(v);
+  const size_t i = BucketIndex(v);
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  if (exemplars_ == nullptr) {
+    exemplars_ = std::make_unique<Exemplar[]>(bounds_.size() + 1);
+  }
+  exemplars_[i].labels = std::move(exemplar_labels);
+  exemplars_[i].value = v;
+  exemplars_[i].set = true;
+}
+
+Exemplar Histogram::exemplar(size_t i) const {
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  if (exemplars_ == nullptr || i > bounds_.size()) return {};
+  return exemplars_[i];
 }
 
 uint64_t Histogram::count() const {
@@ -239,11 +261,11 @@ std::vector<FamilySnapshot> MetricRegistry::Collect() const {
         snap.samples.push_back({"", labels, gauge->value()});
       }
       for (const auto& [labels, histogram] : family->histograms) {
-        AppendHistogramSamples(family->bounds,
-                               [&](size_t i) {
-                                 return histogram->bucket_count(i);
-                               },
-                               histogram->sum(), labels, &snap.samples);
+        AppendHistogramSamples(
+            family->bounds,
+            [&](size_t i) { return histogram->bucket_count(i); },
+            histogram->sum(), labels, &snap.samples,
+            [&](size_t i) { return histogram->exemplar(i); });
       }
       out.push_back(std::move(snap));
     }

@@ -25,6 +25,16 @@ const char* MetricTypeName(MetricType t);
 /// `{a="1",b="2"}` and `{b="2",a="1"}` name the same child series.
 using Labels = std::vector<std::pair<std::string, std::string>>;
 
+/// An OpenMetrics exemplar: one concrete observation attached to a
+/// histogram bucket, carrying correlation labels (here: the trace id of
+/// the request that produced it). Rendered as
+/// `... # {trace_id="4f2a..."} 0.0042` after the bucket sample.
+struct Exemplar {
+  Labels labels;
+  double value = 0;
+  bool set = false;
+};
+
 /// Monotone counter. `Increment` is one relaxed atomic RMW on a
 /// registry-owned cache line — the same discipline as the engine's
 /// metric counters, no mutex anywhere near the hot path.
@@ -68,6 +78,16 @@ class Histogram {
 
   void Observe(double v);
 
+  /// Observe(v) plus: remember `(exemplar_labels, v)` as the landing
+  /// bucket's exemplar (latest write wins). The exemplar store is
+  /// mutex-guarded and lazily allocated — callers only pay for it on
+  /// sampled requests, and plain Observe stays lock-free.
+  void ObserveWithExemplar(double v, Labels exemplar_labels);
+
+  /// Copy of bucket `i`'s exemplar (`set == false` when none recorded).
+  /// `i == bounds().size()` is the +Inf bucket.
+  Exemplar exemplar(size_t i) const;
+
   const std::vector<double>& bounds() const { return bounds_; }
   /// Non-cumulative count of bucket `i` (i == bounds().size() is +Inf).
   uint64_t bucket_count(size_t i) const {
@@ -84,16 +104,32 @@ class Histogram {
                                                size_t n);
 
  private:
+  size_t BucketIndex(double v) const;
+
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<uint64_t>[]> counts_;  // bounds_.size() + 1
   std::atomic<uint64_t> sum_bits_{0};
+  // Exemplar storage: written rarely (sampled requests only), read at
+  // scrape time. Allocated on first ObserveWithExemplar.
+  mutable std::mutex exemplar_mu_;
+  std::unique_ptr<Exemplar[]> exemplars_;  // bounds_.size() + 1, or null
 };
 
-/// One exposition sample: `<family name><suffix>{<labels>} <value>`.
+/// One exposition sample: `<family name><suffix>{<labels>} <value>`,
+/// optionally followed by an exemplar (histogram `_bucket` rows only).
 struct Sample {
+  Sample() = default;
+  Sample(std::string suffix_in, Labels labels_in, double value_in,
+         Exemplar exemplar_in = {})
+      : suffix(std::move(suffix_in)),
+        labels(std::move(labels_in)),
+        value(value_in),
+        exemplar(std::move(exemplar_in)) {}
+
   std::string suffix;  // "", "_total", "_bucket", "_sum", "_count"
   Labels labels;
   double value = 0;
+  Exemplar exemplar;
 };
 
 /// A point-in-time copy of one metric family, ready for the OpenMetrics

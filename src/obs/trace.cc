@@ -30,7 +30,8 @@ thread_local ThreadRingCache t_ring_cache;
 
 }  // namespace
 
-void EmitSpanSlow(const char* name, uint64_t ts_ns, uint64_t dur_ns) {
+void EmitSpanSlow(const char* name, uint64_t ts_ns, uint64_t dur_ns,
+                  uint64_t trace_id, uint64_t span_id, uint64_t parent_id) {
   const uint64_t gen = g_generation.load(std::memory_order_acquire);
   if (t_ring_cache.ring == nullptr || t_ring_cache.generation != gen) {
     std::lock_guard<std::mutex> lock(g_install_mu);
@@ -38,15 +39,98 @@ void EmitSpanSlow(const char* name, uint64_t ts_ns, uint64_t dur_ns) {
     t_ring_cache.ring = g_collector->RegisterCurrentThread();
     t_ring_cache.generation = g_generation.load(std::memory_order_relaxed);
   }
-  t_ring_cache.ring->Append(name, ts_ns, dur_ns);
+  t_ring_cache.ring->Append(name, ts_ns, dur_ns, trace_id, span_id, parent_id);
 }
 
 }  // namespace internal
 
-bool DrainActiveTraceJson(std::string* out) {
+uint64_t NewTraceId() {
+  // Per-process random base (the steady clock at first use, mixed) so
+  // two processes started together still mint disjoint id streams; the
+  // counter keeps ids unique within the process. MixBits is bijective,
+  // so collisions within one process are impossible.
+  static const uint64_t base = MixBits(TraceNowNs() | 1);
+  static std::atomic<uint64_t> n{0};
+  const uint64_t id =
+      MixBits(base + n.fetch_add(1, std::memory_order_relaxed));
+  return id != 0 ? id : 1;
+}
+
+uint64_t NewSpanId() {
+  static std::atomic<uint64_t> n{0};
+  const uint64_t id = MixBits(n.fetch_add(1, std::memory_order_relaxed) + 1);
+  return id != 0 ? id : 1;
+}
+
+std::string TraceIdHex(uint64_t id) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+std::string FormatTraceparent(const TraceContext& ctx) {
+  // version 00, 128-bit trace id with our 64 bits in the low half.
+  std::string out = "00-0000000000000000";
+  out += TraceIdHex(ctx.trace_id);
+  out += '-';
+  out += TraceIdHex(ctx.span_id);
+  out += ctx.sampled ? "-01" : "-00";
+  return out;
+}
+
+namespace {
+
+/// Value of one lower-case hex digit, or -1. The W3C spec mandates
+/// lower case on the wire; upper case is malformed by definition.
+int HexVal(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+/// Parses exactly `n` lower-case hex digits into `*out`; false on any
+/// non-hex character.
+bool ParseHex(std::string_view s, size_t pos, size_t n, uint64_t* out) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const int d = HexVal(s[pos + i]);
+    if (d < 0) return false;
+    v = (v << 4) | static_cast<uint64_t>(d);
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+bool ParseTraceparent(std::string_view header, TraceContext* ctx) {
+  // 00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags> == 55 chars.
+  // Unknown future versions may append fields; we accept only the
+  // version-00 shape and hand anything else a fresh trace.
+  if (header.size() != 55) return false;
+  if (header[2] != '-' || header[35] != '-' || header[52] != '-') return false;
+  uint64_t version = 0, hi = 0, lo = 0, parent = 0, flags = 0;
+  if (!ParseHex(header, 0, 2, &version)) return false;
+  if (version == 0xff) return false;  // forbidden by the spec
+  if (!ParseHex(header, 3, 16, &hi) || !ParseHex(header, 19, 16, &lo)) {
+    return false;
+  }
+  if (!ParseHex(header, 36, 16, &parent)) return false;
+  if (!ParseHex(header, 53, 2, &flags)) return false;
+  if ((hi | lo) == 0 || parent == 0) return false;  // all-zero ids invalid
+  // Fold 128 -> 64: keep the low half (ours round-trip exactly); a
+  // foreign id with an all-zero low half keeps its high half instead.
+  ctx->trace_id = lo != 0 ? lo : hi;
+  ctx->span_id = parent;  // the caller's span: our root spans nest under it
+  ctx->sampled = (flags & 1) != 0;
+  return true;
+}
+
+bool DrainActiveTraceJson(std::string* out, size_t limit) {
   std::lock_guard<std::mutex> lock(internal::g_install_mu);
   if (internal::g_collector == nullptr) return false;
-  *out = internal::g_collector->ToChromeJson();
+  *out = internal::g_collector->ToChromeJson(limit);
   return true;
 }
 
@@ -75,6 +159,9 @@ std::vector<TraceEvent> TraceRing::Snapshot() const {
     ev.name = s.name.load(std::memory_order_relaxed);
     ev.ts_ns = s.ts_ns.load(std::memory_order_relaxed);
     ev.dur_ns = s.dur_ns.load(std::memory_order_relaxed);
+    ev.trace_id = s.trace_id.load(std::memory_order_relaxed);
+    ev.span_id = s.span_id.load(std::memory_order_relaxed);
+    ev.parent_id = s.parent_id.load(std::memory_order_relaxed);
     ev.tid = tid_;
     out.push_back(ev);
   }
@@ -96,17 +183,30 @@ std::vector<TraceEvent> TraceRing::Snapshot() const {
 
 TraceCollector::TraceCollector(const TraceOptions& options)
     : options_(options) {
-  std::lock_guard<std::mutex> lock(internal::g_install_mu);
-  if (internal::g_collector != nullptr) return;  // someone else is tracing
-  internal::g_collector = this;
-  internal::g_generation.fetch_add(1, std::memory_order_release);
-  epoch_ns_ = TraceNowNs();
-  installed_ = true;
-  internal::g_trace_active.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(internal::g_install_mu);
+    if (internal::g_collector != nullptr) return;  // someone else is tracing
+    internal::g_collector = this;
+    internal::g_generation.fetch_add(1, std::memory_order_release);
+    epoch_ns_ = TraceNowNs();
+    installed_ = true;
+    internal::g_trace_active.store(true, std::memory_order_release);
+  }
+  // Surface span-loss accounting on /metrics for as long as we record.
+  // Registered outside g_install_mu: the registry lock is taken here and
+  // in CollectMetrics (via Collect), never with g_install_mu held.
+  MetricRegistry& registry = MetricRegistry::Global();
+  metrics_collector_ = ScopedCollector(
+      &registry, registry.AddCollector([this](std::vector<FamilySnapshot>* o) {
+        CollectMetrics(o);
+      }));
 }
 
 TraceCollector::~TraceCollector() {
   if (!installed_) return;
+  // Unhook the scrape callback before tearing down the install, so no
+  // Collect can observe a half-dead collector.
+  metrics_collector_.Reset();
   internal::g_trace_active.store(false, std::memory_order_release);
   std::lock_guard<std::mutex> lock(internal::g_install_mu);
   internal::g_collector = nullptr;
@@ -155,8 +255,64 @@ size_t TraceCollector::threads_seen() const {
   return rings_.size();
 }
 
-std::string TraceCollector::ToChromeJson() const {
+void TraceCollector::CollectMetrics(std::vector<FamilySnapshot>* out) const {
+  // Runs under the registry mutex (scrape time). Only rings_mu_ is taken
+  // here; no path acquires the registry mutex with rings_mu_ held, so
+  // the order registry -> rings is acyclic.
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  uint64_t recorded = 0, dropped = 0;
+  FamilySnapshot occupancy;
+  occupancy.name = "rwdt_trace_ring_occupancy";
+  occupancy.help =
+      "Fraction of each trace thread's ring currently holding events; "
+      "1 means the ring has wrapped and is overwriting its oldest spans";
+  occupancy.type = MetricType::kGauge;
+  for (const auto& ring : rings_) {
+    const uint64_t appended = ring->appended();
+    const uint64_t cap = ring->capacity();
+    recorded += appended;
+    if (appended > cap) dropped += appended - cap;
+    occupancy.samples.push_back(
+        {"",
+         {{"thread", std::to_string(ring->tid())}},
+         static_cast<double>(std::min<uint64_t>(appended, cap)) /
+             static_cast<double>(cap)});
+  }
+  FamilySnapshot rec;
+  rec.name = "rwdt_trace_spans_recorded";
+  rec.help = "Spans appended to trace rings since the collector installed";
+  rec.type = MetricType::kCounter;
+  rec.samples.push_back({"_total", {}, static_cast<double>(recorded)});
+  FamilySnapshot drop;
+  drop.name = "rwdt_trace_spans_dropped";
+  drop.help = "Spans lost to trace ring overwrites (recorded minus retained)";
+  drop.type = MetricType::kCounter;
+  drop.samples.push_back({"_total", {}, static_cast<double>(dropped)});
+  FamilySnapshot threads;
+  threads.name = "rwdt_trace_threads";
+  threads.help = "Threads that have registered a trace ring";
+  threads.type = MetricType::kGauge;
+  threads.samples.push_back({"", {}, static_cast<double>(rings_.size())});
+  out->push_back(std::move(rec));
+  out->push_back(std::move(drop));
+  out->push_back(std::move(threads));
+  out->push_back(std::move(occupancy));
+}
+
+std::string TraceCollector::ToChromeJson(size_t limit) const {
   std::vector<TraceEvent> events = Drain();
+  if (limit > 0 && events.size() > limit) {
+    // Keep the `limit` most recent events by start time (the tail of
+    // the run — what a /tracez scrape of a live server wants), then
+    // restore per-thread order below.
+    std::nth_element(events.begin(), events.begin() + (events.size() - limit),
+                     events.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                       return a.ts_ns < b.ts_ns;
+                     });
+    events.erase(events.begin(),
+                 events.begin() + static_cast<ptrdiff_t>(events.size() - limit));
+  }
   // Sort by (tid, start): Perfetto does not require ordering, but it
   // makes the per-thread timeline directly readable in the raw JSON and
   // gives the tests a crisp monotonicity contract.
@@ -167,7 +323,7 @@ std::string TraceCollector::ToChromeJson() const {
                    });
 
   std::string out = "{\"traceEvents\":[";
-  char buf[192];
+  char buf[384];
   std::snprintf(buf, sizeof(buf),
                 "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
                 "\"args\":{\"name\":\"%s\"}}",
@@ -188,19 +344,35 @@ std::string TraceCollector::ToChromeJson() const {
         ev.ts_ns > epoch_ns_ ? ev.ts_ns - epoch_ns_ : 0;
     std::snprintf(buf, sizeof(buf),
                   ",{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"name\":\"%s\","
-                  "\"cat\":\"rwdt\",\"ts\":%.3f,\"dur\":%.3f}",
+                  "\"cat\":\"rwdt\",\"ts\":%.3f,\"dur\":%.3f",
                   ev.tid,
                   JsonEscape(ev.name != nullptr ? ev.name : "?").c_str(),
                   rel / 1e3, ev.dur_ns / 1e3);
     out += buf;
+    if (ev.span_id != 0) {
+      // Span-tree identity rides in args; Perfetto shows it on click.
+      // trace_id is omitted for request-free spans (engine/bench runs).
+      out += ",\"args\":{";
+      if (ev.trace_id != 0) {
+        out += "\"trace_id\":\"";
+        out += TraceIdHex(ev.trace_id);
+        out += "\",";
+      }
+      out += "\"span_id\":\"";
+      out += TraceIdHex(ev.span_id);
+      out += "\",\"parent_id\":\"";
+      out += TraceIdHex(ev.parent_id);
+      out += "\"}";
+    }
+    out += '}';
   }
   std::snprintf(buf, sizeof(buf),
                 "],\"displayTimeUnit\":\"ms\",\"otherData\":{"
                 "\"events_recorded\":%llu,\"events_dropped\":%llu,"
-                "\"threads\":%zu}}",
+                "\"threads\":%zu,\"events_shown\":%zu}}",
                 static_cast<unsigned long long>(events_recorded()),
                 static_cast<unsigned long long>(events_dropped()),
-                threads_seen());
+                threads_seen(), events.size());
   out += buf;
   return out;
 }

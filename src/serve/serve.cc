@@ -2,11 +2,16 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <sstream>
 #include <utility>
 
 #include "common/json.h"
+#include "exec/planner.h"
+#include "graph/rdf.h"
 #include "ingest/ingest.h"
+#include "obs/log.h"
+#include "sparql/parser.h"
 
 namespace rwdt::serve {
 namespace {
@@ -35,16 +40,25 @@ std::string ErrorBody(const Status& status) {
   return out;
 }
 
-std::string ReasonBody(const char* reason) {
+std::string ReasonBody(const char* reason, uint64_t trace_id = 0) {
   std::string out;
   JsonWriter w(&out);
-  w.BeginObject().StringField("error", reason).EndObject();
+  w.BeginObject().StringField("error", reason);
+  if (trace_id != 0) w.StringField("trace_id", obs::TraceIdHex(trace_id));
+  w.EndObject();
   return out;
 }
 
 std::string TenantOf(const HttpRequest& request) {
   const std::string_view header = request.Header("x-tenant");
   return header.empty() ? "anonymous" : std::string(header);
+}
+
+uint64_t SteadyNs(std::chrono::steady_clock::time_point t) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          t.time_since_epoch())
+          .count());
 }
 
 }  // namespace
@@ -60,6 +74,16 @@ struct ClassifyServer::Job {
   std::string source_name;                      // kIngest
   bool full_report = false;                     // kIngest: /v1/log
   std::chrono::steady_clock::time_point enqueued;
+
+  /// Request trace identity, carried across the handler -> queue ->
+  /// worker handoff. ctx.span_id is the request's root span (emitted by
+  /// the handler once the job completes); the worker installs ctx so
+  /// its spans become the root's children. parent_span is the caller's
+  /// span from `traceparent` (0 when the trace started here).
+  obs::TraceContext ctx;
+  uint64_t parent_span = 0;
+  std::string tenant;          // for the slow-query log
+  const char* route = "";      // static route literal
 
   std::mutex mu;
   std::condition_variable cv;
@@ -88,6 +112,12 @@ Status ServeOptions::Validate() const {
   if (http.handler_threads == 0) {
     return Status::InvalidArgument("http.handler_threads must be > 0");
   }
+  if (!(trace_sample_rate >= 0) || trace_sample_rate > 1) {
+    return Status::InvalidArgument("trace_sample_rate must be in [0, 1]");
+  }
+  if (enable_slow_log && slow_log.capacity == 0) {
+    return Status::InvalidArgument("slow_log.capacity must be > 0");
+  }
   engine::EngineOptions e = engine;
   e.threads = 1;
   return e.Validate();
@@ -112,10 +142,16 @@ Status ClassifyServer::Start() {
   batch_size_ = registry.GetHistogram(
       "rwdt_serve_batch_size", "Jobs popped per worker wakeup",
       {1, 2, 4, 8, 16, 32, 64, 128});
-  process_s_ = registry.GetHistogram(
-      "rwdt_serve_process_seconds",
-      "Worker time per job (classify or ingest), excluding queueing",
+  job_s_ = registry.GetHistogram(
+      "rwdt_serve_job_seconds",
+      "Worker time per job (classify or ingest), excluding queueing; "
+      "buckets carry trace-id exemplars for sampled requests",
       obs::Histogram::ExponentialBounds(1e-5, 4.0, 12));
+
+  sampler_ = {options_.trace_sample_rate, options_.trace_sample_seed};
+  slow_log_ = options_.enable_slow_log
+                  ? std::make_unique<SlowQueryLog>(options_.slow_log)
+                  : nullptr;
 
   // Per-worker engines: single-threaded, no embedded admin server (the
   // serving front end owns /metrics), no per-run progress reporting.
@@ -174,6 +210,12 @@ Status ClassifyServer::Start() {
   });
   http_->Handle("GET", "/statusz", [this](const HttpRequest& r) {
     return HandleStatusz(r);
+  });
+  http_->Handle("GET", "/slowz", [this](const HttpRequest& r) {
+    return HandleSlowz(r);
+  });
+  http_->Handle("GET", "/tracez", [this](const HttpRequest& r) {
+    return HandleTracez(r);
   });
 
   const Status status = http_->Start();
@@ -252,8 +294,25 @@ void ClassifyServer::RequestQuit() {
   if (http_ != nullptr) http_->RequestQuit();
 }
 
+obs::TraceContext ClassifyServer::MakeRequestContext(
+    const HttpRequest& request, uint64_t* parent_span) const {
+  obs::TraceContext ctx;
+  *parent_span = 0;
+  if (!obs::ParseTraceparent(request.Header("traceparent"), &ctx)) {
+    // Absent or malformed header: a fresh trace, head-sampled here.
+    ctx.trace_id = obs::NewTraceId();
+    ctx.sampled = sampler_.Sample(ctx.trace_id);
+  } else {
+    *parent_span = ctx.span_id;  // the caller's span becomes our parent
+  }
+  ctx.span_id = obs::NewSpanId();  // this request's root span
+  return ctx;
+}
+
 HttpResponse ClassifyServer::HandleClassify(const HttpRequest& request) {
   const std::string tenant = TenantOf(request);
+  auto job = std::make_shared<Job>();
+  job->ctx = MakeRequestContext(request, &job->parent_span);
   const Result<QueryLang> lang =
       ParseQueryLang(QueryParam(request.query, "lang"));
   if (!lang.ok()) {
@@ -261,6 +320,8 @@ HttpResponse ClassifyServer::HandleClassify(const HttpRequest& request) {
     resp.status = 400;
     resp.content_type = kJsonType;
     resp.body = ErrorBody(lang.status());
+    resp.extra_headers.push_back(
+        {"traceparent", obs::FormatTraceparent(job->ctx)});
     CountRequest("/v1/classify", resp.status);
     return resp;
   }
@@ -269,10 +330,11 @@ HttpResponse ClassifyServer::HandleClassify(const HttpRequest& request) {
     resp.status = 400;
     resp.content_type = kJsonType;
     resp.body = ReasonBody("empty body: expected one query text");
+    resp.extra_headers.push_back(
+        {"traceparent", obs::FormatTraceparent(job->ctx)});
     CountRequest("/v1/classify", resp.status);
     return resp;
   }
-  auto job = std::make_shared<Job>();
   job->kind = Job::Kind::kClassify;
   job->body = request.body;  // request outlives the wait, but keep it simple
   job->lang = lang.value();
@@ -285,6 +347,7 @@ HttpResponse ClassifyServer::HandleIngest(const HttpRequest& request,
   const std::string tenant = TenantOf(request);
   const std::string format = QueryParam(request.query, "format", "plain");
   auto job = std::make_shared<Job>();
+  job->ctx = MakeRequestContext(request, &job->parent_span);
   if (format == "plain") {
     job->format = ingest::LogFormat::kPlain;
   } else if (format == "tsv") {
@@ -294,6 +357,8 @@ HttpResponse ClassifyServer::HandleIngest(const HttpRequest& request,
     resp.status = 400;
     resp.content_type = kJsonType;
     resp.body = ReasonBody("unknown format (want plain|tsv)");
+    resp.extra_headers.push_back(
+        {"traceparent", obs::FormatTraceparent(job->ctx)});
     CountRequest(route, resp.status);
     return resp;
   }
@@ -322,6 +387,14 @@ HttpResponse ClassifyServer::HandleStatusz(const HttpRequest&) {
   w.UIntField("workers", options_.workers);
   w.UIntField("max_batch", options_.max_batch);
   w.BoolField("quotas_enabled", options_.quota_qps > 0);
+  w.DoubleField("trace_sample_rate", options_.trace_sample_rate);
+  if (slow_log_ != nullptr) {
+    w.Key("slow_log").BeginObject();
+    w.UIntField("capacity", options_.slow_log.capacity);
+    w.UIntField("admitted", slow_log_->admitted());
+    w.UIntField("evicted", slow_log_->evicted());
+    w.EndObject();
+  }
   if (http_ != nullptr) {
     w.Key("http").BeginObject();
     w.UIntField("requests_served", http_->requests_served());
@@ -342,6 +415,38 @@ HttpResponse ClassifyServer::HandleStatusz(const HttpRequest&) {
   resp.content_type = kJsonType;
   resp.body = std::move(out);
   CountRequest("/statusz", resp.status);
+  return resp;
+}
+
+HttpResponse ClassifyServer::HandleSlowz(const HttpRequest&) {
+  HttpResponse resp;
+  resp.content_type = kJsonType;
+  if (slow_log_ == nullptr) {
+    resp.status = 404;
+    resp.body = ReasonBody("slow-query log disabled");
+  } else {
+    resp.body = slow_log_->ToJson();
+  }
+  CountRequest("/slowz", resp.status);
+  return resp;
+}
+
+HttpResponse ClassifyServer::HandleTracez(const HttpRequest& request) {
+  HttpResponse resp;
+  // Default cap: 5000 events per scrape. An 8192-event ring per thread
+  // times a worker pool renders multi-MB otherwise; limit=0 means all.
+  size_t limit = 5000;
+  const std::string param = QueryParam(request.query, "limit");
+  if (!param.empty()) limit = std::strtoull(param.c_str(), nullptr, 10);
+  std::string json;
+  if (obs::DrainActiveTraceJson(&json, limit)) {
+    resp.content_type = kJsonType;
+    resp.body = std::move(json);
+  } else {
+    resp.status = 503;
+    resp.body = "no active trace collector\n";
+  }
+  CountRequest("/tracez", resp.status);
   return resp;
 }
 
@@ -370,7 +475,8 @@ bool ClassifyServer::AdmitTenant(const std::string& tenant) {
 
 HttpResponse ClassifyServer::ShedResponse(int status, const char* reason,
                                           const std::string& tenant,
-                                          const char* route) {
+                                          const char* route,
+                                          const obs::TraceContext& ctx) {
   {
     std::lock_guard<std::mutex> lock(metrics_mu_);
     auto key = std::make_pair(std::string(reason), tenant);
@@ -383,12 +489,19 @@ HttpResponse ClassifyServer::ShedResponse(int status, const char* reason,
     }
     it->second->Increment();
   }
+  // The trace id rides both the JSON body and the log line, so a client
+  // reporting "my request was rejected" and this log line name the same
+  // request — even though no worker ever saw it.
+  RWDT_LOG(WARN) << "shed " << route << " " << status << " reason=" << reason
+                 << " tenant=" << tenant
+                 << " trace_id=" << obs::TraceIdHex(ctx.trace_id);
   HttpResponse resp;
   resp.status = status;
   resp.content_type = kJsonType;
-  resp.body = ReasonBody(reason);
+  resp.body = ReasonBody(reason, ctx.trace_id);
   resp.extra_headers.push_back(
       {"Retry-After", std::to_string(options_.retry_after_s)});
+  resp.extra_headers.push_back({"traceparent", obs::FormatTraceparent(ctx)});
   CountRequest(route, status);
   return resp;
 }
@@ -409,14 +522,19 @@ void ClassifyServer::CountRequest(const char* route, int status) {
 HttpResponse ClassifyServer::Submit(std::shared_ptr<Job> job,
                                     const std::string& tenant,
                                     const char* route) {
+  job->tenant = tenant;
+  job->route = route;
+  const uint64_t start_ns = obs::TraceNowNs();
   if (!AdmitTenant(tenant)) {
-    return ShedResponse(429, "quota_exhausted", tenant, route);
+    return ShedResponse(429, "quota_exhausted", tenant, route, job->ctx);
   }
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
-    if (draining_) return ShedResponse(503, "draining", tenant, route);
+    if (draining_) {
+      return ShedResponse(503, "draining", tenant, route, job->ctx);
+    }
     if (queue_.size() >= options_.queue_capacity) {
-      return ShedResponse(429, "queue_full", tenant, route);
+      return ShedResponse(429, "queue_full", tenant, route, job->ctx);
     }
     job->enqueued = std::chrono::steady_clock::now();
     queue_.push_back(job);
@@ -426,6 +544,13 @@ HttpResponse ClassifyServer::Submit(std::shared_ptr<Job> job,
 
   std::unique_lock<std::mutex> lock(job->mu);
   job->cv.wait(lock, [&] { return job->done; });
+  // The request's root span: admission + queue + worker, named after
+  // the route. Worker-side spans already recorded under job->ctx are
+  // its children; the caller's span (if any) is its parent.
+  obs::EmitSpanAs(job->ctx, job->parent_span, route, start_ns,
+                  obs::TraceNowNs() - start_ns);
+  job->response.extra_headers.push_back(
+      {"traceparent", obs::FormatTraceparent(job->ctx)});
   CountRequest(route, job->response.status);
   return std::move(job->response);
 }
@@ -446,14 +571,33 @@ void ClassifyServer::WorkerLoop(Worker* worker) {
     }
     batch_size_->Observe(static_cast<double>(batch.size()));
     for (auto& job : batch) {
-      queue_wait_s_->Observe(SecondsSince(job->enqueued));
+      const double wait_s = SecondsSince(job->enqueued);
+      queue_wait_s_->Observe(wait_s);
       if (options_.debug_worker_delay_ms > 0) {
         std::this_thread::sleep_for(
             std::chrono::milliseconds(options_.debug_worker_delay_ms));
       }
       const auto start = std::chrono::steady_clock::now();
-      ProcessJob(worker, job.get());
-      process_s_->Observe(SecondsSince(start));
+      {
+        // Adopt the request's trace context for the duration of the
+        // job: spans recorded here (and inside ingest/engine) nest
+        // under the request's root span. queue_wait is backdated to
+        // the enqueue instant so the root span shows the full gap.
+        obs::ScopedTraceContext scoped(job->ctx);
+        obs::EmitSpan("queue_wait", SteadyNs(job->enqueued),
+                      SteadyNs(start) - SteadyNs(job->enqueued));
+        obs::Span span(job->kind == Job::Kind::kClassify ? "classify"
+                                                         : "ingest");
+        ProcessJob(worker, job.get());
+      }
+      const double proc_s = SecondsSince(start);
+      if (job->ctx.sampled && job->ctx.trace_id != 0) {
+        job_s_->ObserveWithExemplar(
+            proc_s, {{"trace_id", obs::TraceIdHex(job->ctx.trace_id)}});
+      } else {
+        job_s_->Observe(proc_s);
+      }
+      MaybeRecordSlow(*job, wait_s, proc_s);
       {
         std::lock_guard<std::mutex> job_lock(job->mu);
         job->done = true;
@@ -461,6 +605,56 @@ void ClassifyServer::WorkerLoop(Worker* worker) {
       job->cv.notify_one();
     }
   }
+}
+
+void ClassifyServer::MaybeRecordSlow(const Job& job, double queue_wait_s,
+                                     double process_s) {
+  if (slow_log_ == nullptr) return;
+  const double total_s = queue_wait_s + process_s;
+  // WouldAdmit first: the explained plan is only generated for requests
+  // that will actually be retained, so the common (fast) request pays
+  // one mutexed scan of a <= capacity-sized vector and nothing else.
+  if (!slow_log_->WouldAdmit(total_s)) return;
+  SlowQueryEntry entry;
+  entry.trace_id = job.ctx.trace_id;
+  entry.route = job.route;
+  entry.tenant = job.tenant;
+  entry.status = job.response.status;
+  entry.queue_wait_s = queue_wait_s;
+  entry.process_s = process_s;
+  entry.total_s = total_s;
+  if (job.kind == Job::Kind::kClassify) {
+    entry.lang = QueryLangName(job.lang);
+    entry.query = job.body;
+    entry.verdict_json = job.response.body;
+    if (job.lang == QueryLang::kSparql && job.response.status == 200) {
+      entry.plan_json = ExplainPlanJson(job.body);
+    }
+  } else {
+    // Ingest jobs stream their body into the engine (it is gone by
+    // now); the source name is the only per-request identity left.
+    entry.query = job.source_name;
+  }
+  slow_log_->Add(std::move(entry));
+}
+
+std::string ClassifyServer::ExplainPlanJson(const std::string& text) const {
+  Interner dict;
+  const Result<sparql::Query> query =
+      sparql::ParseSparql(text, &dict, options_.engine.parse_limits);
+  if (!query.ok()) return "";
+  // Planned against an empty store: strategy dispatch depends only on
+  // the classifier verdict (fragment, acyclicity, htw, shape), so the
+  // explained plan names the same fragment /v1/classify certifies for
+  // this text; only the cardinality-based join order would differ on
+  // real data.
+  const graph::TripleStore store;
+  exec::ExecOptions xopts;
+  xopts.study = options_.engine.study;
+  const exec::Executor executor(store, &dict, xopts);
+  const Result<exec::Plan> plan = executor.MakePlan(query.value());
+  if (!plan.ok()) return "";
+  return plan.value().ToJson();
 }
 
 void ClassifyServer::ProcessJob(Worker* worker, Job* job) {

@@ -14,7 +14,9 @@
 #include "common/status.h"
 #include "engine/engine.h"
 #include "obs/registry.h"
+#include "obs/trace.h"
 #include "serve/http_server.h"
+#include "serve/slow_log.h"
 #include "serve/verdict.h"
 
 namespace rwdt::serve {
@@ -51,6 +53,23 @@ struct ServeOptions {
   double quota_qps = 0;
   double quota_burst = 20;
 
+  /// Head sampling rate for request traces, in [0, 1]. A request that
+  /// arrives with a valid W3C `traceparent` keeps the caller's sampled
+  /// flag (distributed tracing honors the upstream decision); requests
+  /// without one get a fresh trace id whose sampling is decided
+  /// deterministically by (trace id, trace_sample_seed) — the same seed
+  /// always samples the same subset of trace ids. Trace *ids* are
+  /// always assigned; the rate only gates span recording.
+  double trace_sample_rate = 0;
+  uint64_t trace_sample_seed = 0;
+
+  /// Tail sampler: the slow-query log behind GET /slowz. Regardless of
+  /// head sampling, the slowest requests of the recent window are
+  /// retained with their verdict, timing breakdown, and explained plan.
+  /// Disabling removes the per-job WouldAdmit check entirely.
+  bool enable_slow_log = true;
+  SlowLogOptions slow_log;
+
   /// Per-worker engine configuration. `threads` is forced to 1 and the
   /// embedded admin server is forced off — the serving process exposes
   /// one /metrics on its own front end instead of one per worker.
@@ -83,12 +102,25 @@ struct ServeOptions {
 ///   GET  /metrics   obs::MetricRegistry::Global() as OpenMetrics text.
 ///   GET  /statusz   JSON snapshot: queue depth, worker count, shed
 ///                   counts, per-tenant bucket levels.
+///   GET  /slowz     the tail sampler's slow-query log as JSON: the
+///                   slowest requests of the recent window with trace
+///                   id, timing breakdown, verdict, explained plan.
+///   GET  /tracez?limit=N   the active TraceCollector as Chrome trace
+///                   JSON (503 when none); N caps the events rendered.
 ///   GET  /quitquitquit   requests shutdown (releases WaitForQuit).
 ///
 /// Request flow: handler threads validate + check the tenant quota,
 /// enqueue a job into the bounded queue (full -> 429 + Retry-After),
 /// and block until a batch worker completes it. Every request gets a
 /// response — shedding is a fast 429/503, never a dropped connection.
+///
+/// Tracing: every /v1/* request gets a TraceContext (from the caller's
+/// `traceparent` header, or freshly minted) that rides the job across
+/// the queue into the worker, so worker-side spans (queue_wait, the
+/// classify/ingest work, engine stages) nest under one per-request root
+/// span. The response always carries a `traceparent` header, and every
+/// shed response (429/503) carries the trace id in its JSON body and
+/// its log line — a rejected request is still unambiguously reportable.
 ///
 /// Shutdown is a drain, not an abort: BeginDrain() flips /readyz to 503
 /// and makes new submissions fail with 503, while everything already
@@ -126,6 +158,9 @@ class ClassifyServer {
 
   const ServeOptions& options() const { return options_; }
 
+  /// The tail sampler, for the final run report (null when disabled).
+  const SlowQueryLog* slow_log() const { return slow_log_.get(); }
+
  private:
   struct Job;
   struct Worker;
@@ -137,9 +172,19 @@ class ClassifyServer {
   HttpResponse HandleClassify(const HttpRequest& request);
   HttpResponse HandleIngest(const HttpRequest& request, bool full_report);
   HttpResponse HandleStatusz(const HttpRequest& request);
+  HttpResponse HandleSlowz(const HttpRequest& request);
+  HttpResponse HandleTracez(const HttpRequest& request);
+
+  /// The request's trace context: parsed from `traceparent` (keeping
+  /// the caller's trace id and sampled flag, with the caller's span id
+  /// returned in `*parent_span`), or freshly minted + head-sampled when
+  /// absent/malformed. In both cases ctx.span_id is a new span id — the
+  /// server-side root span of this request.
+  obs::TraceContext MakeRequestContext(const HttpRequest& request,
+                                       uint64_t* parent_span) const;
 
   /// Quota check + bounded enqueue + wait for completion. `route` is
-  /// the metrics label.
+  /// the metrics label; the job's ctx/tenant/route must be set.
   HttpResponse Submit(std::shared_ptr<Job> job, const std::string& tenant,
                       const char* route);
   /// Token-bucket admission for `tenant`; true = admit.
@@ -148,11 +193,24 @@ class ClassifyServer {
   void WorkerLoop(Worker* worker);
   void ProcessJob(Worker* worker, Job* job);
 
+  /// Tail-sampling hook, run by the worker after a job completes: if
+  /// (queue wait + process time) beats the slow log's bar, build the
+  /// entry — paying for the explained plan only then — and admit it.
+  void MaybeRecordSlow(const Job& job, double queue_wait_s, double process_s);
+  /// The executor's Plan::ToJson for one SPARQL query text, planned
+  /// against an empty store ("" on parse/plan failure). Plan dispatch
+  /// depends only on the classifier verdict, so the fragment/strategy
+  /// match what /v1/classify says about the same text.
+  std::string ExplainPlanJson(const std::string& text) const;
+
   HttpResponse ShedResponse(int status, const char* reason,
-                            const std::string& tenant, const char* route);
+                            const std::string& tenant, const char* route,
+                            const obs::TraceContext& ctx);
   void CountRequest(const char* route, int status);
 
   ServeOptions options_;
+  obs::TraceSampler sampler_;
+  std::unique_ptr<SlowQueryLog> slow_log_;
   std::unique_ptr<HttpServer> http_;
   std::vector<std::unique_ptr<Worker>> workers_;
 
@@ -175,7 +233,7 @@ class ClassifyServer {
   obs::Gauge* queue_depth_ = nullptr;
   obs::Histogram* queue_wait_s_ = nullptr;
   obs::Histogram* batch_size_ = nullptr;
-  obs::Histogram* process_s_ = nullptr;
+  obs::Histogram* job_s_ = nullptr;
   obs::ScopedCollector http_collector_;
 };
 

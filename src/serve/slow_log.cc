@@ -1,0 +1,138 @@
+#include "serve/slow_log.h"
+
+#include <algorithm>
+
+#include "common/json.h"
+#include "obs/trace.h"
+
+namespace rwdt::serve {
+
+SlowQueryLog::SlowQueryLog(SlowLogOptions options)
+    : options_(options) {
+  if (options_.capacity == 0) options_.capacity = 1;
+  entries_.reserve(options_.capacity);
+}
+
+void SlowQueryLog::PruneLocked(
+    std::chrono::steady_clock::time_point now) const {
+  if (!(options_.window_s > 0)) return;
+  const auto window = std::chrono::duration<double>(options_.window_s);
+  auto expired = [&](const Timed& t) {
+    return std::chrono::duration<double>(now - t.added) > window;
+  };
+  const size_t before = entries_.size();
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(), expired),
+                 entries_.end());
+  evicted_ += before - entries_.size();
+}
+
+bool SlowQueryLog::WouldAdmit(double total_s) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PruneLocked(std::chrono::steady_clock::now());
+  if (entries_.size() < options_.capacity) return true;
+  auto fastest = std::min_element(entries_.begin(), entries_.end(),
+                                  [](const Timed& a, const Timed& b) {
+                                    return a.entry.total_s < b.entry.total_s;
+                                  });
+  return total_s > fastest->entry.total_s;
+}
+
+bool SlowQueryLog::Add(SlowQueryEntry entry) {
+  if (entry.query.size() > options_.max_query_bytes) {
+    entry.query.resize(options_.max_query_bytes);
+    entry.query_truncated = true;
+  }
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  PruneLocked(now);
+  if (entries_.size() >= options_.capacity) {
+    auto fastest = std::min_element(entries_.begin(), entries_.end(),
+                                    [](const Timed& a, const Timed& b) {
+                                      return a.entry.total_s < b.entry.total_s;
+                                    });
+    if (entry.total_s <= fastest->entry.total_s) return false;
+    *fastest = {std::move(entry), now};
+    ++admitted_;
+    ++evicted_;
+    return true;
+  }
+  entries_.push_back({std::move(entry), now});
+  ++admitted_;
+  return true;
+}
+
+std::vector<SlowQueryEntry> SlowQueryLog::Snapshot() const {
+  std::vector<SlowQueryEntry> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PruneLocked(std::chrono::steady_clock::now());
+    out.reserve(entries_.size());
+    for (const Timed& t : entries_) out.push_back(t.entry);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SlowQueryEntry& a, const SlowQueryEntry& b) {
+                     return a.total_s > b.total_s;
+                   });
+  return out;
+}
+
+uint64_t SlowQueryLog::admitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_;
+}
+
+uint64_t SlowQueryLog::evicted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evicted_;
+}
+
+std::string SlowQueryLog::ToJson() const {
+  const std::vector<SlowQueryEntry> entries = Snapshot();
+  uint64_t admitted_now = 0, evicted_now = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    admitted_now = admitted_;
+    evicted_now = evicted_;
+  }
+  std::string out;
+  JsonWriter w(&out);
+  w.BeginObject();
+  w.UIntField("capacity", options_.capacity);
+  w.DoubleField("window_s", options_.window_s);
+  w.UIntField("admitted", admitted_now);
+  w.UIntField("evicted", evicted_now);
+  w.Key("entries").BeginArray();
+  for (const SlowQueryEntry& e : entries) {
+    w.BeginObject();
+    if (e.trace_id != 0) {
+      w.StringField("trace_id", obs::TraceIdHex(e.trace_id));
+    } else {
+      w.Key("trace_id").Null();
+    }
+    w.StringField("route", e.route);
+    w.StringField("tenant", e.tenant);
+    if (!e.lang.empty()) w.StringField("lang", e.lang);
+    w.IntField("status", e.status);
+    w.DoubleField("queue_wait_ms", e.queue_wait_s * 1e3);
+    w.DoubleField("process_ms", e.process_s * 1e3);
+    w.DoubleField("total_ms", e.total_s * 1e3);
+    w.StringField("query", e.query);
+    w.BoolField("query_truncated", e.query_truncated);
+    if (!e.verdict_json.empty()) {
+      w.RawField("verdict", e.verdict_json);
+    } else {
+      w.Key("verdict").Null();
+    }
+    if (!e.plan_json.empty()) {
+      w.RawField("plan", e.plan_json);
+    } else {
+      w.Key("plan").Null();
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return out;
+}
+
+}  // namespace rwdt::serve

@@ -1,0 +1,107 @@
+#ifndef RWDT_SERVE_SLOW_LOG_H_
+#define RWDT_SERVE_SLOW_LOG_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rwdt::serve {
+
+struct SlowLogOptions {
+  /// Worst-K requests retained at any moment. The log is a bounded
+  /// ring in the tail-sampling sense: once full, a new entry must be
+  /// slower than the current fastest retained entry to get in, and
+  /// admission evicts that fastest entry.
+  size_t capacity = 32;
+
+  /// Entries expire this many seconds after admission, so the log is
+  /// "the slowest K of the recent window", not of all time — a cold
+  /// start's slow requests age out instead of pinning the log forever.
+  /// <= 0 disables expiry.
+  double window_s = 300;
+
+  /// Query text stored per entry is truncated to this many bytes
+  /// (`query_truncated` records that it happened). Large enough by
+  /// default that CI can re-classify the stored text verbatim.
+  size_t max_query_bytes = 2048;
+};
+
+/// One tail-sampled request: identity, timing breakdown, verdict, and
+/// the executor's explained plan.
+struct SlowQueryEntry {
+  uint64_t trace_id = 0;  // 0 when the request carried no trace context
+  std::string route;      // "/v1/classify", ...
+  std::string tenant;
+  std::string lang;            // classify only; "" for ingest routes
+  std::string query;           // possibly truncated, see query_truncated
+  bool query_truncated = false;
+  int status = 0;              // HTTP status the request was answered with
+  std::string verdict_json;    // response body (classify verdict / error)
+  std::string plan_json;       // exec::Plan::ToJson(); "" when unavailable
+  double queue_wait_s = 0;     // bounded-queue wait before a worker popped it
+  double process_s = 0;        // worker time (parse + classify / ingest)
+  double total_s = 0;          // queue_wait_s + process_s — the ranking key
+};
+
+/// Tail sampler: a bounded, mutex-guarded log of the slowest requests
+/// in the recent window. Head sampling decides *up front* which traces
+/// record spans; this decides *after the fact* which requests were bad
+/// enough to keep rich evidence for — so the latency tail is always
+/// explained, even at a head-sampling rate near zero.
+///
+/// The intended calling pattern keeps the hot path cheap:
+///
+///   if (slow_log.WouldAdmit(total_s)) {
+///     entry.plan_json = <generate the explained plan>;   // costly
+///     slow_log.Add(std::move(entry));
+///   }
+///
+/// WouldAdmit is one mutex acquisition and a scan of at most
+/// `capacity` entries; only requests that will actually be retained pay
+/// for plan explanation. (Admission is re-checked under the same lock
+/// in Add, so a race between two workers can at worst waste one plan,
+/// never lose a slower entry to a faster one.)
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(SlowLogOptions options);
+
+  /// Whether a request that took `total_s` would currently be admitted.
+  bool WouldAdmit(double total_s) const;
+
+  /// Admits `entry` if the log has room or `entry.total_s` beats the
+  /// fastest retained entry (which is then evicted). Returns whether
+  /// the entry was admitted.
+  bool Add(SlowQueryEntry entry);
+
+  /// Unexpired entries, slowest first.
+  std::vector<SlowQueryEntry> Snapshot() const;
+
+  /// The /slowz document: options, admission counters, and every
+  /// unexpired entry (slowest first) with its timing breakdown, verdict
+  /// and explained plan spliced in as JSON.
+  std::string ToJson() const;
+
+  uint64_t admitted() const;
+  uint64_t evicted() const;
+
+ private:
+  struct Timed {
+    SlowQueryEntry entry;
+    std::chrono::steady_clock::time_point added;
+  };
+
+  /// Drops expired entries. Caller holds mu_.
+  void PruneLocked(std::chrono::steady_clock::time_point now) const;
+
+  SlowLogOptions options_;
+  mutable std::mutex mu_;
+  mutable std::vector<Timed> entries_;  // unordered; capacity is small
+  mutable uint64_t admitted_ = 0;
+  mutable uint64_t evicted_ = 0;  // includes expiries
+};
+
+}  // namespace rwdt::serve
+
+#endif  // RWDT_SERVE_SLOW_LOG_H_

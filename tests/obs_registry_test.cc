@@ -171,6 +171,47 @@ TEST(OpenMetricsTest, ValueFormatting) {
             "+Inf");
 }
 
+TEST(RegistryTest, HistogramExemplarsStoredPerBucket) {
+  MetricRegistry registry;
+  Histogram* h = registry.GetHistogram("test_ex", "h", {1.0, 10.0});
+  EXPECT_FALSE(h->exemplar(0).set);  // nothing recorded yet
+  h->ObserveWithExemplar(0.5, {{"trace_id", "aaaa"}});
+  h->ObserveWithExemplar(7.0, {{"trace_id", "bbbb"}});
+  h->ObserveWithExemplar(99.0, {{"trace_id", "cccc"}});  // +Inf bucket
+  ASSERT_TRUE(h->exemplar(0).set);
+  EXPECT_DOUBLE_EQ(h->exemplar(0).value, 0.5);
+  EXPECT_EQ(h->exemplar(0).labels[0].second, "aaaa");
+  EXPECT_DOUBLE_EQ(h->exemplar(1).value, 7.0);
+  EXPECT_DOUBLE_EQ(h->exemplar(2).value, 99.0);
+  // A later observation in the same bucket replaces the exemplar (most
+  // recent wins — that is what a debugger wants to click on).
+  h->ObserveWithExemplar(0.25, {{"trace_id", "dddd"}});
+  EXPECT_EQ(h->exemplar(0).labels[0].second, "dddd");
+  // Counts and sum are identical to plain Observe.
+  EXPECT_EQ(h->count(), 4u);
+  // Out-of-range index is a harmless empty exemplar.
+  EXPECT_FALSE(h->exemplar(99).set);
+}
+
+TEST(OpenMetricsTest, ExemplarsRenderOnBucketSamplesOnly) {
+  MetricRegistry registry;
+  Histogram* h = registry.GetHistogram("test_exm", "h", {1.0});
+  h->ObserveWithExemplar(0.5, {{"trace_id", "0123456789abcdef"}});
+  h->Observe(3.0);  // +Inf bucket: no exemplar
+  const std::string text = WriteOpenMetrics(registry.Collect());
+  // The exemplar rides the matching bucket line after ` # `.
+  EXPECT_NE(
+      text.find("test_exm_bucket{le=\"1\"} 1 "
+                "# {trace_id=\"0123456789abcdef\"} 0.5\n"),
+      std::string::npos)
+      << text;
+  // Bucket without an exemplar, and _sum/_count, stay bare.
+  EXPECT_NE(text.find("test_exm_bucket{le=\"+Inf\"} 2\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("test_exm_sum 3.5\n"), std::string::npos);
+  EXPECT_NE(text.find("test_exm_count 2\n"), std::string::npos);
+}
+
 TEST(OpenMetricsTest, MergeFamiliesConcatenatesSameName) {
   std::vector<FamilySnapshot> families;
   FamilySnapshot a;

@@ -1,5 +1,6 @@
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -225,6 +226,276 @@ TEST(TraceCollectorTest, EngineRunProducesStageSpans) {
   }
   Interner dict;
   EXPECT_TRUE(tree::ParseJson(json, &dict).ok());
+}
+
+// ---------------------------------------------------------------------
+// TraceContext: traceparent wire format
+
+TEST(TraceparentTest, FormatParsesBackExactly) {
+  TraceContext ctx;
+  ctx.trace_id = 0x0123456789abcdefull;
+  ctx.span_id = 0xfedcba9876543210ull;
+  ctx.sampled = true;
+  const std::string header = FormatTraceparent(ctx);
+  EXPECT_EQ(header,
+            "00-00000000000000000123456789abcdef-fedcba9876543210-01");
+
+  TraceContext parsed;
+  ASSERT_TRUE(ParseTraceparent(header, &parsed));
+  EXPECT_EQ(parsed.trace_id, ctx.trace_id);
+  EXPECT_EQ(parsed.span_id, ctx.span_id);  // caller's span = our parent
+  EXPECT_TRUE(parsed.sampled);
+
+  ctx.sampled = false;
+  ASSERT_TRUE(ParseTraceparent(FormatTraceparent(ctx), &parsed));
+  EXPECT_FALSE(parsed.sampled);
+}
+
+TEST(TraceparentTest, Folds128BitTraceIds) {
+  TraceContext ctx;
+  // Low half nonzero: keep it.
+  ASSERT_TRUE(ParseTraceparent(
+      "00-11112222333344440123456789abcdef-aaaabbbbccccdddd-01", &ctx));
+  EXPECT_EQ(ctx.trace_id, 0x0123456789abcdefull);
+  // Low half all zero: fall back to the high half, not to id 0.
+  ASSERT_TRUE(ParseTraceparent(
+      "00-11112222333344440000000000000000-aaaabbbbccccdddd-00", &ctx));
+  EXPECT_EQ(ctx.trace_id, 0x1111222233334444ull);
+}
+
+TEST(TraceparentTest, MalformedHeadersRejectedAndContextUntouched) {
+  TraceContext ctx;
+  ctx.trace_id = 42;  // sentinel: rejection must not clobber it
+  const char* bad[] = {
+      "",
+      "00",
+      // Uppercase hex (the spec demands lowercase).
+      "00-0000000000000000ABCDEF0123456789-aaaabbbbccccdddd-01",
+      // Wrong length (one digit short).
+      "00-0000000000000000123456789abcdef-aaaabbbbccccdddd-01",
+      // Dash in the wrong position.
+      "00_00000000000000000123456789abcdef-aaaabbbbccccdddd-01",
+      // Forbidden version ff.
+      "ff-00000000000000000123456789abcdef-aaaabbbbccccdddd-01",
+      // All-zero trace id.
+      "00-00000000000000000000000000000000-aaaabbbbccccdddd-01",
+      // All-zero parent span id.
+      "00-00000000000000000123456789abcdef-0000000000000000-01",
+      // Non-hex garbage.
+      "00-0000000000000000012345678zabcdef-aaaabbbbccccdddd-01",
+  };
+  for (const char* header : bad) {
+    EXPECT_FALSE(ParseTraceparent(header, &ctx)) << header;
+    EXPECT_EQ(ctx.trace_id, 42u) << header;
+  }
+}
+
+TEST(TraceparentTest, TraceIdHexIsSixteenLowercaseDigits) {
+  EXPECT_EQ(TraceIdHex(0), "0000000000000000");
+  EXPECT_EQ(TraceIdHex(0x0123456789abcdefull), "0123456789abcdef");
+  EXPECT_EQ(TraceIdHex(0xffffffffffffffffull), "ffffffffffffffff");
+}
+
+TEST(TraceIdTest, NewIdsAreNonZeroAndDistinct) {
+  const uint64_t a = NewTraceId();
+  const uint64_t b = NewTraceId();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+  EXPECT_NE(NewSpanId(), NewSpanId());
+}
+
+// ---------------------------------------------------------------------
+// TraceSampler
+
+TEST(TraceSamplerTest, DeterministicUnderFixedSeed) {
+  const TraceSampler first{0.25, 1234};
+  const TraceSampler second{0.25, 1234};
+  const TraceSampler other_seed{0.25, 99};
+  int sampled = 0, diverged = 0;
+  for (uint64_t id = 1; id <= 4096; ++id) {
+    const bool decision = first.Sample(id);
+    // The decision is a pure function of (id, seed): any process with
+    // the same seed reaches the same verdict for the same trace.
+    EXPECT_EQ(decision, second.Sample(id));
+    if (decision) ++sampled;
+    if (decision != other_seed.Sample(id)) ++diverged;
+  }
+  // Rate is approximately honored (binomial, 4096 draws at p=.25).
+  EXPECT_GT(sampled, 4096 * 0.15);
+  EXPECT_LT(sampled, 4096 * 0.35);
+  // A different seed samples a genuinely different subset.
+  EXPECT_GT(diverged, 0);
+}
+
+TEST(TraceSamplerTest, RateEndpointsAreAbsolute) {
+  const TraceSampler none{0.0, 7};
+  const TraceSampler all{1.0, 7};
+  for (uint64_t id = 1; id <= 64; ++id) {
+    EXPECT_FALSE(none.Sample(id));
+    EXPECT_TRUE(all.Sample(id));
+  }
+  EXPECT_FALSE(all.Sample(0));  // id 0 = "no trace": never sampled
+}
+
+// ---------------------------------------------------------------------
+// Span trees + context propagation
+
+TEST(SpanTreeTest, UnsampledRequestContextSuppressesSpans) {
+  TraceCollector trace;
+  ASSERT_TRUE(trace.installed());
+  TraceContext unsampled;
+  unsampled.trace_id = NewTraceId();
+  unsampled.sampled = false;
+  {
+    ScopedTraceContext scoped(unsampled);
+    EXPECT_FALSE(SpanEnabled());
+    Span span("dropped");
+    EXPECT_EQ(span.span_id(), 0u);
+    EmitSpan("also-dropped", 0, 1);
+  }
+  EXPECT_EQ(trace.events_recorded(), 0u);
+
+  // Request-free context (trace_id 0) records as before — engine and
+  // bench traces are not gated by request sampling.
+  EXPECT_TRUE(SpanEnabled());
+  { Span span("kept"); }
+  EXPECT_EQ(trace.events_recorded(), 1u);
+}
+
+/// Drains the collector's export and returns name -> (trace, span,
+/// parent) ids parsed from each slice's args (hex, as rendered).
+std::map<std::string, std::vector<uint64_t>> SpanIdsByName(
+    const TraceCollector& trace) {
+  Interner dict;
+  const auto parsed = tree::ParseJson(trace.ToChromeJson(), &dict);
+  EXPECT_TRUE(parsed.ok()) << parsed.error_message();
+  std::map<std::string, std::vector<uint64_t>> out;
+  if (!parsed.ok()) return out;
+  for (const tree::JsonPtr& ev : parsed.value()->Get("traceEvents")->items()) {
+    if (ev->Get("ph")->string_value() != "X") continue;
+    const tree::JsonPtr args = ev->Get("args");
+    if (args == nullptr) continue;
+    auto hex = [&args](const char* key) -> uint64_t {
+      const tree::JsonPtr v = args->Get(key);
+      if (v == nullptr) return 0;
+      return std::strtoull(std::string(v->string_value()).c_str(), nullptr,
+                           16);
+    };
+    out[std::string(ev->Get("name")->string_value())] = {
+        hex("trace_id"), hex("span_id"), hex("parent_id")};
+  }
+  return out;
+}
+
+TEST(SpanTreeTest, NestedSpansFormParentChildChain) {
+  TraceCollector trace;
+  ASSERT_TRUE(trace.installed());
+  TraceContext ctx;
+  ctx.trace_id = 0xabcull;
+  ctx.span_id = 0x111ull;  // pre-allocated request root span
+  ctx.sampled = true;
+  {
+    ScopedTraceContext scoped(ctx);
+    Span outer("outer");
+    { Span inner("inner"); }
+    EmitSpanAs(ctx, /*parent_id=*/0, "root", TraceNowNs(), 1);
+  }
+  const auto spans = SpanIdsByName(trace);
+  ASSERT_EQ(spans.size(), 3u);
+  const auto& root = spans.at("root");
+  const auto& outer = spans.at("outer");
+  const auto& inner = spans.at("inner");
+  for (const auto* s : {&root, &outer, &inner}) {
+    EXPECT_EQ((*s)[0], 0xabcull);  // one trace groups the whole tree
+  }
+  EXPECT_EQ(root[1], 0x111ull);     // EmitSpanAs keeps the handed-out id
+  EXPECT_EQ(root[2], 0u);           // ...as a root span
+  EXPECT_EQ(outer[2], root[1]);     // outer nests under the root
+  EXPECT_EQ(inner[2], outer[1]);    // inner nests under outer
+}
+
+TEST(SpanTreeTest, ContextPropagatesAcrossThreadPoolHandoff) {
+  // The serve-worker pattern under TSan: a context created on this
+  // thread rides into pool tasks via ScopedTraceContext, and the spans
+  // those tasks emit parent correctly back to the submitting span.
+  TraceCollector trace;
+  ASSERT_TRUE(trace.installed());
+  TraceContext ctx;
+  ctx.trace_id = NewTraceId();
+  ctx.span_id = NewSpanId();
+  ctx.sampled = true;
+  {
+    ScopedTraceContext scoped(ctx);
+    const TraceContext handoff = CurrentTraceContext();
+    engine::ThreadPool pool(3);
+    for (int i = 0; i < 24; ++i) {
+      pool.Submit([handoff] {
+        ScopedTraceContext worker_scope(handoff);
+        Span span("pool-task");
+      });
+    }
+    pool.Wait();
+  }
+  EXPECT_EQ(trace.events_recorded(), 24u);
+
+  Interner dict;
+  const auto parsed = tree::ParseJson(trace.ToChromeJson(), &dict);
+  ASSERT_TRUE(parsed.ok()) << parsed.error_message();
+  const std::string want_trace = TraceIdHex(ctx.trace_id);
+  const std::string want_parent = TraceIdHex(ctx.span_id);
+  int slices = 0;
+  for (const tree::JsonPtr& ev : parsed.value()->Get("traceEvents")->items()) {
+    if (ev->Get("ph")->string_value() != "X") continue;
+    ++slices;
+    const tree::JsonPtr args = ev->Get("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_EQ(args->Get("trace_id")->string_value(), want_trace);
+    EXPECT_EQ(args->Get("parent_id")->string_value(), want_parent);
+  }
+  EXPECT_EQ(slices, 24);
+}
+
+TEST(TraceCollectorTest, ToChromeJsonLimitKeepsMostRecent) {
+  TraceCollector trace;
+  ASSERT_TRUE(trace.installed());
+  for (int i = 0; i < 10; ++i) {
+    Span span("burst");
+  }
+  EXPECT_EQ(trace.events_recorded(), 10u);
+  Interner dict;
+  const auto parsed = tree::ParseJson(trace.ToChromeJson(/*limit=*/3), &dict);
+  ASSERT_TRUE(parsed.ok()) << parsed.error_message();
+  int slices = 0;
+  for (const tree::JsonPtr& ev : parsed.value()->Get("traceEvents")->items()) {
+    if (ev->Get("ph")->string_value() == "X") ++slices;
+  }
+  EXPECT_EQ(slices, 3);
+  const tree::JsonPtr other = parsed.value()->Get("otherData");
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(other->Get("events_shown")->number_value(), 3.0);
+}
+
+TEST(TraceCollectorTest, ExportsDropAccountingToMetricRegistry) {
+  // While installed, the collector is a registry collector: span loss
+  // is visible on /metrics, not only in the exported trace file.
+  std::string text;
+  {
+    TraceCollector trace;
+    ASSERT_TRUE(trace.installed());
+    { Span span("metered"); }
+    text = MetricRegistry::Global().RenderOpenMetrics();
+    EXPECT_NE(text.find("rwdt_trace_spans_recorded_total 1"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("rwdt_trace_spans_dropped_total 0"),
+              std::string::npos);
+    EXPECT_NE(text.find("rwdt_trace_threads 1"), std::string::npos);
+    EXPECT_NE(text.find("rwdt_trace_ring_occupancy"), std::string::npos);
+  }
+  // Uninstalled: the families disappear from the scrape.
+  text = MetricRegistry::Global().RenderOpenMetrics();
+  EXPECT_EQ(text.find("rwdt_trace_spans_recorded"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------

@@ -363,6 +363,212 @@ TEST(ClassifyServerTest, ValidateRejectsNonsense) {
   opts.quota_qps = 5;
   opts.quota_burst = 0;
   EXPECT_FALSE(opts.Validate().ok());
+  opts = BaseOptions();
+  opts.trace_sample_rate = 1.5;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = BaseOptions();
+  opts.enable_slow_log = true;
+  opts.slow_log.capacity = 0;
+  EXPECT_FALSE(opts.Validate().ok());
+}
+
+// ---------------------------------------------------------------------
+// SlowQueryLog (tail sampler) unit behavior
+
+SlowQueryEntry TimedEntry(double total_s) {
+  SlowQueryEntry e;
+  e.route = "/v1/classify";
+  e.total_s = total_s;
+  return e;
+}
+
+TEST(SlowQueryLogTest, EvictsFastestAndSnapshotsSlowestFirst) {
+  SlowLogOptions opts;
+  opts.capacity = 3;
+  opts.window_s = 0;  // no expiry: eviction order only
+  SlowQueryLog log(opts);
+
+  EXPECT_TRUE(log.WouldAdmit(0.001));  // not yet full: everything admits
+  EXPECT_TRUE(log.Add(TimedEntry(1.0)));
+  EXPECT_TRUE(log.Add(TimedEntry(5.0)));
+  EXPECT_TRUE(log.Add(TimedEntry(3.0)));
+
+  // Full. A slower entry evicts the fastest retained one (1.0)...
+  EXPECT_TRUE(log.WouldAdmit(2.0));
+  EXPECT_TRUE(log.Add(TimedEntry(2.0)));
+  // ...but anything not beating the current fastest (now 2.0) bounces.
+  EXPECT_FALSE(log.WouldAdmit(2.0));  // ties lose: must beat, not match
+  EXPECT_FALSE(log.Add(TimedEntry(0.5)));
+
+  const std::vector<SlowQueryEntry> got = log.Snapshot();
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_DOUBLE_EQ(got[0].total_s, 5.0);  // slowest first
+  EXPECT_DOUBLE_EQ(got[1].total_s, 3.0);
+  EXPECT_DOUBLE_EQ(got[2].total_s, 2.0);
+  EXPECT_EQ(log.admitted(), 4u);
+  EXPECT_EQ(log.evicted(), 1u);
+}
+
+TEST(SlowQueryLogTest, TruncatesStoredQueryText) {
+  SlowLogOptions opts;
+  opts.capacity = 2;
+  opts.max_query_bytes = 8;
+  SlowQueryLog log(opts);
+  SlowQueryEntry e = TimedEntry(1.0);
+  e.query = "SELECT * WHERE { ?s ?p ?o }";
+  ASSERT_TRUE(log.Add(std::move(e)));
+  const auto got = log.Snapshot();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].query, "SELECT *");
+  EXPECT_TRUE(got[0].query_truncated);
+  EXPECT_TRUE(Contains(log.ToJson(), "\"query_truncated\":true"));
+}
+
+// ---------------------------------------------------------------------
+// Request tracing end to end
+
+TEST(ClassifyServerTest, TraceparentRoundTripsAndMalformedGetsFreshTrace) {
+  ClassifyServer server(BaseOptions());
+  ASSERT_TRUE(server.Start().ok());
+  const std::string query = "SELECT ?s WHERE { ?s <p> <o> }";
+
+  // A valid inbound traceparent: the response echoes the same trace id.
+  const HttpResult r = Fetch(
+      server.port(), "POST", "/v1/classify", query,
+      "traceparent: 00-0000000000000000deadbeefcafef00d-0123456789abcdef-01"
+      "\r\n");
+  ASSERT_EQ(r.status, 200) << r.body;
+  EXPECT_TRUE(Contains(r.head, "traceparent: 00-0000000000000000deadbeefcafe"
+                               "f00d-"))
+      << r.head;
+  // The responded span id is the server's root span, not the caller's.
+  EXPECT_FALSE(Contains(r.head, "-0123456789abcdef-")) << r.head;
+
+  // Malformed traceparent: the request is still served, under a fresh
+  // (nonzero, different) trace id.
+  const HttpResult bad = Fetch(server.port(), "POST", "/v1/classify", query,
+                               "traceparent: hello-world\r\n");
+  ASSERT_EQ(bad.status, 200) << bad.body;
+  const size_t at = bad.head.find("traceparent: 00-");
+  ASSERT_NE(at, std::string::npos) << bad.head;
+  const std::string trace_hex = bad.head.substr(at + 16, 32);
+  EXPECT_EQ(trace_hex.find_first_not_of("0123456789abcdef"),
+            std::string::npos);
+  EXPECT_NE(trace_hex, "0000000000000000deadbeefcafef00d");
+  EXPECT_NE(trace_hex, "00000000000000000000000000000000");
+}
+
+TEST(ClassifyServerTest, ShedResponsesCarryTheTraceId) {
+  ServeOptions opts = BaseOptions();
+  opts.quota_qps = 0.001;
+  opts.quota_burst = 1;
+  ClassifyServer server(opts);
+  ASSERT_TRUE(server.Start().ok());
+  const std::string query = "SELECT ?s WHERE { ?s <p> <o> }";
+  const std::string tp =
+      "traceparent: 00-0000000000000000deadbeefcafef00d-0123456789abcdef-01"
+      "\r\n";
+  ASSERT_EQ(Fetch(server.port(), "POST", "/v1/classify", query, tp).status,
+            200);
+  const HttpResult shed =
+      Fetch(server.port(), "POST", "/v1/classify", query, tp);
+  ASSERT_EQ(shed.status, 429);
+  // The rejected request is still reportable: its trace id is in the
+  // JSON body and on the response's traceparent header.
+  EXPECT_TRUE(Contains(shed.body, "\"error\":\"quota_exhausted\""))
+      << shed.body;
+  EXPECT_TRUE(Contains(shed.body, "\"trace_id\":\"deadbeefcafef00d\""))
+      << shed.body;
+  EXPECT_TRUE(Contains(shed.head, "traceparent: 00-0000000000000000deadbeef"))
+      << shed.head;
+
+  // Drain sheds are tagged the same way (fresh tenant: the quota check
+  // runs before the drain check, and this tenant still has budget).
+  server.BeginDrain();
+  const HttpResult drained = Fetch(server.port(), "POST", "/v1/classify",
+                                   query, "X-Tenant: other\r\n" + tp);
+  ASSERT_EQ(drained.status, 503);
+  EXPECT_TRUE(Contains(drained.body, "\"trace_id\":\"deadbeefcafef00d\""))
+      << drained.body;
+}
+
+TEST(ClassifyServerTest, SlowzServesEntriesWithVerdictPlanAndTraceId) {
+  ServeOptions opts = BaseOptions();
+  opts.slow_log.capacity = 4;
+  ClassifyServer server(opts);
+  ASSERT_TRUE(server.Start().ok());
+  const std::string query = "SELECT ?s WHERE { ?s <p> <o> . FILTER(?s > 3) }";
+  const HttpResult classified = Fetch(
+      server.port(), "POST", "/v1/classify", query,
+      "traceparent: 00-0000000000000000deadbeefcafef00d-0123456789abcdef-01"
+      "\r\n");
+  ASSERT_EQ(classified.status, 200);
+
+  const HttpResult slowz = Fetch(server.port(), "GET", "/slowz");
+  ASSERT_EQ(slowz.status, 200) << slowz.body;
+  EXPECT_TRUE(Contains(slowz.head, "application/json")) << slowz.head;
+  // The tail sample carries identity, the verdict, and the explained
+  // plan whose fragment/strategy match the classify response.
+  EXPECT_TRUE(Contains(slowz.body, "\"trace_id\":\"deadbeefcafef00d\""))
+      << slowz.body;
+  EXPECT_TRUE(Contains(slowz.body, "\"route\":\"/v1/classify\""));
+  EXPECT_TRUE(Contains(slowz.body, "\"fragment\":\"cq_f\"")) << slowz.body;
+  EXPECT_TRUE(Contains(slowz.body, "\"plan\":{")) << slowz.body;
+  EXPECT_TRUE(Contains(slowz.body, "\"queue_wait_ms\":")) << slowz.body;
+  EXPECT_TRUE(Contains(slowz.body, "FILTER")) << slowz.body;  // query text
+
+  // /statusz surfaces the tail sampler's admission counters.
+  const HttpResult statusz = Fetch(server.port(), "GET", "/statusz");
+  EXPECT_TRUE(Contains(statusz.body, "\"slow_log\":{")) << statusz.body;
+
+  // Disabled tail sampling: /slowz is an explicit 404, not an empty doc.
+  ServeOptions off = BaseOptions();
+  off.enable_slow_log = false;
+  ClassifyServer server_off(off);
+  ASSERT_TRUE(server_off.Start().ok());
+  EXPECT_EQ(Fetch(server_off.port(), "GET", "/slowz").status, 404);
+  EXPECT_EQ(server_off.slow_log(), nullptr);
+}
+
+TEST(ClassifyServerTest, JobHistogramCarriesExemplarForSampledTrace) {
+  ClassifyServer server(BaseOptions());
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_EQ(
+      Fetch(server.port(), "POST", "/v1/classify",
+            "SELECT ?s WHERE { ?s <p> <o> }",
+            "traceparent: "
+            "00-0000000000000000deadbeefcafef00d-0123456789abcdef-01\r\n")
+          .status,
+      200);
+  const HttpResult metrics = Fetch(server.port(), "GET", "/metrics");
+  ASSERT_EQ(metrics.status, 200);
+  EXPECT_TRUE(Contains(metrics.body, "rwdt_serve_job_seconds_bucket"))
+      << "histogram family missing";
+  EXPECT_TRUE(
+      Contains(metrics.body, "# {trace_id=\"deadbeefcafef00d\"}"))
+      << metrics.body;
+}
+
+TEST(ClassifyServerTest, TracezRequiresACollectorAndHonorsLimit) {
+  ClassifyServer server(BaseOptions());
+  ASSERT_TRUE(server.Start().ok());
+  // No TraceCollector installed: /tracez says so with 503.
+  EXPECT_EQ(Fetch(server.port(), "GET", "/tracez").status, 503);
+
+  obs::TraceCollector collector;
+  ASSERT_TRUE(collector.installed());
+  // Sampled request -> worker spans recorded.
+  ASSERT_EQ(
+      Fetch(server.port(), "POST", "/v1/classify",
+            "SELECT ?s WHERE { ?s <p> <o> }",
+            "traceparent: "
+            "00-0000000000000000deadbeefcafef00d-0123456789abcdef-01\r\n")
+          .status,
+      200);
+  const HttpResult traced = Fetch(server.port(), "GET", "/tracez?limit=2");
+  ASSERT_EQ(traced.status, 200);
+  EXPECT_TRUE(Contains(traced.body, "\"events_shown\":")) << traced.body;
+  EXPECT_TRUE(Contains(traced.body, "deadbeefcafef00d")) << traced.body;
 }
 
 }  // namespace

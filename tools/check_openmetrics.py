@@ -17,6 +17,9 @@ catch every way our writer could regress):
     (non-decreasing in 'le' order)
   * no duplicate series (same name + label set)
   * label syntax: key="value" with keys matching [a-zA-Z_][a-zA-Z0-9_]*
+  * exemplars ('... # {labels} value') appear only on _bucket samples,
+    their labels parse, their value satisfies the bucket's 'le' bound,
+    and a trace_id exemplar label is exactly 16 lowercase hex digits
 
 Exits 0 when valid, 1 with a line-numbered report when not.
 """
@@ -26,9 +29,12 @@ import sys
 
 METRIC_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
 LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+# name{labels} value [timestamp] [# {exemplar-labels} value [timestamp]]
 SAMPLE_RE = re.compile(
-    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)(?: \S+)?$"
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)(?: (?!#)\S+)?"
+    r"(?: # (\{[^}]*\}) (\S+)(?: \S+)?)?$"
 )
+TRACE_ID_RE = re.compile(r"^[0-9a-f]{16}$")
 
 HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
 
@@ -95,12 +101,36 @@ def main():
         if m is None:
             errors.append(f"line {i}: unparsable sample: {line!r}")
             continue
-        sample_name, label_blob, raw_value = m.groups()
+        sample_name, label_blob, raw_value, ex_blob, ex_raw = m.groups()
         try:
             value = parse_value(raw_value)
         except ValueError:
             errors.append(f"line {i}: bad value {raw_value!r}")
             continue
+
+        ex_value = None
+        if ex_blob is not None:
+            if not sample_name.endswith("_bucket"):
+                errors.append(
+                    f"line {i}: exemplar on non-bucket sample {sample_name!r}")
+            try:
+                ex_value = parse_value(ex_raw)
+            except ValueError:
+                errors.append(f"line {i}: bad exemplar value {ex_raw!r}")
+            ex_labels = {}
+            body = ex_blob[1:-1]
+            consumed = 0
+            for lm in LABEL_RE.finditer(body):
+                ex_labels[lm.group(1)] = lm.group(2)
+                consumed += lm.end() - lm.start() + 1
+            if body and consumed < len(body):
+                errors.append(
+                    f"line {i}: malformed exemplar labels {ex_blob!r}")
+            trace_id = ex_labels.get("trace_id")
+            if trace_id is not None and not TRACE_ID_RE.match(trace_id):
+                errors.append(
+                    f"line {i}: exemplar trace_id {trace_id!r} is not 16 "
+                    "lowercase hex digits")
 
         labels = {}
         if label_blob:
@@ -160,6 +190,15 @@ def main():
                     errors.append(f"line {i}: _bucket without le label")
                     continue
                 buckets.setdefault(hkey, []).append((i, le, value))
+                if ex_value is not None:
+                    try:
+                        bound = parse_value(le)
+                    except ValueError:
+                        bound = None
+                    if bound is not None and ex_value > bound:
+                        errors.append(
+                            f"line {i}: exemplar value {ex_value} exceeds "
+                            f"bucket bound le={le}")
             elif suffix == "_count":
                 counts[hkey] = (i, value)
 

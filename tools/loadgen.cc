@@ -34,6 +34,7 @@
 #include "common/json.h"
 #include "loggen/rate_schedule.h"
 #include "loggen/sparql_gen.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -48,14 +49,37 @@ struct Config {
   double duration_s = 10;
   uint64_t seed = 1;
   unsigned connections = 8;
+  /// Send a deterministic W3C traceparent (sampled) on every request,
+  /// and report the slowest requests' trace ids — the client half of
+  /// the measurement-to-server-span correlation.
+  bool trace = false;
   std::string out = "BENCH_serve.json";
+};
+
+/// One completed request's identity, kept only when --trace=1: enough
+/// to name the slowest requests' server-side traces in the report.
+struct RequestRecord {
+  double latency_ms = 0;
+  uint64_t trace_id = 0;
+  int status = 0;
 };
 
 struct SenderStats {
   std::map<int, uint64_t> status_counts;  // HTTP status -> count
   uint64_t transport_errors = 0;
   std::vector<double> latencies_ms;       // completed requests only
+  std::vector<RequestRecord> records;     // --trace=1 only
 };
+
+/// The trace id loadgen assigns to arrival `i`: a pure function of
+/// (seed, i), so a re-run of the same schedule names the same traces —
+/// server-side /slowz entries and exemplars can be correlated across
+/// repeated experiments.
+uint64_t ArrivalTraceId(const Config& config, size_t i) {
+  const uint64_t id =
+      rwdt::obs::MixBits((config.seed << 20) ^ static_cast<uint64_t>(i));
+  return id != 0 ? id : 1;
+}
 
 int Connect(const Config& config) {
   addrinfo hints{};
@@ -119,12 +143,23 @@ int ReadResponse(int fd, std::string* buf) {
   return status;
 }
 
-std::string BuildRequest(const Config& config, const std::string& query) {
+std::string BuildRequest(const Config& config, const std::string& query,
+                         uint64_t trace_id) {
   std::string req;
   req.reserve(query.size() + 256);
   req += "POST " + config.path + "?lang=sparql HTTP/1.1\r\n";
   req += "Host: " + config.host + "\r\n";
   if (!config.tenant.empty()) req += "X-Tenant: " + config.tenant + "\r\n";
+  if (trace_id != 0) {
+    // Sampled flag set: the server records this request's spans and
+    // exemplars regardless of its own head-sampling rate.
+    rwdt::obs::TraceContext ctx;
+    ctx.trace_id = trace_id;
+    ctx.span_id = rwdt::obs::MixBits(trace_id ^ 0x10adc0de);
+    if (ctx.span_id == 0) ctx.span_id = 1;
+    ctx.sampled = true;
+    req += "traceparent: " + rwdt::obs::FormatTraceparent(ctx) + "\r\n";
+  }
   req += "Content-Type: text/plain\r\n";
   req += "Content-Length: " + std::to_string(query.size()) + "\r\n\r\n";
   req += query;
@@ -153,8 +188,9 @@ void Sender(const Config& config, const std::vector<double>& arrivals,
       }
     }
     const auto sent_at = Clock::now();
+    const uint64_t trace_id = config.trace ? ArrivalTraceId(config, i) : 0;
     const std::string request =
-        BuildRequest(config, queries[i % queries.size()]);
+        BuildRequest(config, queries[i % queries.size()], trace_id);
     int status = -1;
     if (SendAll(fd, request)) status = ReadResponse(fd, &buf);
     if (status < 0) {
@@ -163,10 +199,14 @@ void Sender(const Config& config, const std::vector<double>& arrivals,
       fd = -1;
       continue;
     }
-    stats->status_counts[status]++;
-    stats->latencies_ms.push_back(
+    const double latency_ms =
         std::chrono::duration<double, std::milli>(Clock::now() - sent_at)
-            .count());
+            .count();
+    stats->status_counts[status]++;
+    stats->latencies_ms.push_back(latency_ms);
+    if (config.trace) {
+      stats->records.push_back({latency_ms, trace_id, status});
+    }
   }
   if (fd >= 0) close(fd);
 }
@@ -200,6 +240,8 @@ int Usage(const char* argv0) {
       "  --duration=X         run length seconds (default 10)\n"
       "  --seed=N             arrival-schedule seed (default 1)\n"
       "  --connections=N      sender threads (default 8)\n"
+      "  --trace=0|1          send a sampled traceparent per request and\n"
+      "                       report the slowest trace ids (default 0)\n"
       "  --out=FILE           JSON report (default BENCH_serve.json)\n"
       "  --version            print build provenance and exit\n",
       argv0);
@@ -244,6 +286,8 @@ int main(int argc, char** argv) {
       config.seed = std::strtoull(v.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "--connections", &v)) {
       config.connections = static_cast<unsigned>(std::atoi(v.c_str()));
+    } else if (ParseFlag(argv[i], "--trace", &v)) {
+      config.trace = std::atoi(v.c_str()) != 0;
     } else if (ParseFlag(argv[i], "--out", &v)) {
       config.out = v;
     } else {
@@ -295,11 +339,13 @@ int main(int argc, char** argv) {
   std::map<int, uint64_t> status_counts;
   uint64_t transport_errors = 0;
   std::vector<double> latencies;
+  std::vector<RequestRecord> records;
   for (const SenderStats& s : stats) {
     transport_errors += s.transport_errors;
     for (const auto& [code, n] : s.status_counts) status_counts[code] += n;
     latencies.insert(latencies.end(), s.latencies_ms.begin(),
                      s.latencies_ms.end());
+    records.insert(records.end(), s.records.begin(), s.records.end());
   }
   std::sort(latencies.begin(), latencies.end());
   uint64_t completed = 0, ok200 = 0, shed = 0;
@@ -344,6 +390,25 @@ int main(int argc, char** argv) {
   w.DoubleField("p99", Percentile(&latencies, 0.99));
   w.DoubleField("max", latencies.empty() ? 0 : latencies.back());
   w.EndObject();
+  if (config.trace) {
+    // Client-observed slowest requests, named by trace id: look the
+    // same ids up in the server's /slowz, /tracez, and histogram
+    // exemplars to see where each one's time actually went.
+    const size_t top = std::min<size_t>(records.size(), 5);
+    std::partial_sort(records.begin(), records.begin() + top, records.end(),
+                      [](const RequestRecord& a, const RequestRecord& b) {
+                        return a.latency_ms > b.latency_ms;
+                      });
+    w.Key("slowest").BeginArray();
+    for (size_t i = 0; i < top; ++i) {
+      w.BeginObject();
+      w.StringField("trace_id", rwdt::obs::TraceIdHex(records[i].trace_id));
+      w.DoubleField("latency_ms", records[i].latency_ms);
+      w.IntField("status", records[i].status);
+      w.EndObject();
+    }
+    w.EndArray();
+  }
   w.EndObject();
 
   std::ofstream out(config.out);

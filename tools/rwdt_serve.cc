@@ -13,9 +13,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "common/build_info.h"
+#include "common/json.h"
+#include "obs/trace.h"
 #include "serve/serve.h"
 
 namespace {
@@ -47,9 +50,49 @@ int Usage(const char* argv0) {
       "  --max-body-mb=N      request body cap in MiB (default 64)\n"
       "  --quota-qps=X        per-tenant sustained QPS (default 0 = off)\n"
       "  --quota-burst=X      per-tenant burst size (default 20)\n"
+      "  --trace-sample=X     head-sample rate for fresh traces [0,1]\n"
+      "                       (default 0; traceparent'd requests keep\n"
+      "                       the caller's sampled flag either way)\n"
+      "  --trace-seed=N       head-sampler seed (default 0)\n"
+      "  --trace=FILE         install a TraceCollector and write Chrome\n"
+      "                       trace JSON to FILE on exit (also enables\n"
+      "                       GET /tracez; RWDT_TRACE env works too)\n"
+      "  --slow-log=N         slow-query log capacity (default 32;\n"
+      "                       0 disables /slowz)\n"
+      "  --slow-window=X      slow-query log window, seconds (default\n"
+      "                       300; 0 = never expire)\n"
+      "  --report=FILE        write a JSON run report (slow queries,\n"
+      "                       build info) on exit (RWDT_REPORT env too)\n"
       "  --version            print build provenance and exit\n",
       argv0);
   return 2;
+}
+
+/// The final run report: build provenance plus the slow-query log —
+/// the same evidence /slowz serves, preserved after the process exits.
+void WriteRunReport(const std::string& path,
+                    const rwdt::serve::ClassifyServer& server) {
+  std::string out;
+  rwdt::JsonWriter w(&out);
+  w.BeginObject();
+  w.RawField("build", rwdt::common::BuildInfo::Get().ToJson());
+  w.StringField("service", "rwdt_serve");
+  if (server.slow_log() != nullptr) {
+    w.RawField("slow_queries", server.slow_log()->ToJson());
+  } else {
+    w.Key("slow_queries").Null();
+  }
+  w.EndObject();
+  out += '\n';
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "rwdt_serve: cannot write report: %s\n",
+                 path.c_str());
+    return;
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "rwdt_serve: run report written to %s\n", path.c_str());
 }
 
 }  // namespace
@@ -60,6 +103,11 @@ int main(int argc, char** argv) {
   options.http.handler_threads = 8;
   options.http.max_body_bytes = 64u << 20;
   options.workers = 2;
+
+  std::string trace_path;
+  if (const char* env = std::getenv("RWDT_TRACE")) trace_path = env;
+  std::string report_path;
+  if (const char* env = std::getenv("RWDT_REPORT")) report_path = env;
 
   for (int i = 1; i < argc; ++i) {
     std::string v;
@@ -86,9 +134,33 @@ int main(int argc, char** argv) {
       options.quota_qps = std::atof(v.c_str());
     } else if (ParseFlag(argv[i], "--quota-burst", &v)) {
       options.quota_burst = std::atof(v.c_str());
+    } else if (ParseFlag(argv[i], "--trace-sample", &v)) {
+      options.trace_sample_rate = std::atof(v.c_str());
+    } else if (ParseFlag(argv[i], "--trace-seed", &v)) {
+      options.trace_sample_seed =
+          static_cast<uint64_t>(std::strtoull(v.c_str(), nullptr, 10));
+    } else if (ParseFlag(argv[i], "--trace", &v)) {
+      trace_path = v;
+    } else if (ParseFlag(argv[i], "--slow-log", &v)) {
+      const long long n = std::atoll(v.c_str());
+      options.enable_slow_log = n > 0;
+      if (n > 0) options.slow_log.capacity = static_cast<size_t>(n);
+    } else if (ParseFlag(argv[i], "--slow-window", &v)) {
+      options.slow_log.window_s = std::atof(v.c_str());
+    } else if (ParseFlag(argv[i], "--report", &v)) {
+      report_path = v;
     } else {
       return Usage(argv[0]);
     }
+  }
+
+  // The collector (when requested) outlives the server: spans recorded
+  // during the final drain still land in the exported trace.
+  std::unique_ptr<rwdt::obs::TraceCollector> collector;
+  if (!trace_path.empty()) {
+    rwdt::obs::TraceOptions topts;
+    topts.process_name = "rwdt_serve";
+    collector = std::make_unique<rwdt::obs::TraceCollector>(topts);
   }
 
   rwdt::serve::ClassifyServer server(std::move(options));
@@ -116,6 +188,18 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "rwdt_serve: draining\n");
   server.Stop();
   g_server = nullptr;
+
+  if (!report_path.empty()) WriteRunReport(report_path, server);
+  if (collector != nullptr && collector->installed()) {
+    const rwdt::Status written = collector->WriteChromeJson(trace_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "rwdt_serve: trace export failed: %s\n",
+                   written.message().c_str());
+    } else {
+      std::fprintf(stderr, "rwdt_serve: trace written to %s\n",
+                   trace_path.c_str());
+    }
+  }
   std::fprintf(stderr, "rwdt_serve: drained, exiting\n");
   return 0;
 }
