@@ -106,6 +106,20 @@ struct alignas(64) Engine::ShardState {
   /// and slot table are reused allocation-free across queries.
   FlatInterner dict;
   std::vector<uint8_t> verdict;
+  /// Analysis of each distinct text, parallel to `verdict` (null for
+  /// invalid texts), pinned for the stream's lifetime. Duplicates
+  /// aggregate from here instead of re-consulting the bounded LRU cache,
+  /// so a log with more distinct queries than the cache holds never
+  /// re-parses on eviction: each distinct text is computed exactly once
+  /// per stream. Memory is O(distinct texts) — the same class as the
+  /// `seen` interner, which already pins every distinct text itself.
+  std::vector<std::shared_ptr<const CachedQuery>> by_id;
+  /// Deferred duplicate weight, parallel to `by_id`: valid duplicates
+  /// only bump this counter on the hot path; Finish() folds each
+  /// distinct analysis into valid_agg once with its total multiplicity.
+  /// AddToAggregates is weight-linear in every field (unsigned sums), so
+  /// one weighted call is bit-identical to per-occurrence calls.
+  std::vector<uint64_t> dup_extra;
   uint64_t valid = 0;
   uint64_t unique = 0;
   std::array<uint64_t, kNumErrorClasses> errors{};
@@ -288,6 +302,19 @@ EngineStream& EngineStream::operator=(EngineStream&&) noexcept = default;
 EngineStream::~EngineStream() = default;
 
 void EngineStream::Feed(const std::vector<loggen::LogEntry>& chunk) {
+  FeedImpl(chunk.size(), [&chunk](auto&& route) {
+    for (const auto& e : chunk) route(std::string_view(e.text));
+  });
+}
+
+void EngineStream::Feed(std::span<const std::string_view> chunk) {
+  FeedImpl(chunk.size(), [&chunk](auto&& route) {
+    for (const std::string_view text : chunk) route(text);
+  });
+}
+
+template <typename ForEachText>
+void EngineStream::FeedImpl(size_t count, ForEachText&& for_each_text) {
   Impl& im = *impl_;
   Engine& eng = *im.engine;
   obs::Span feed_span("feed");
@@ -302,13 +329,15 @@ void EngineStream::Feed(const std::vector<loggen::LogEntry>& chunk) {
   auto& parts = im.parts;
   for (auto& part : parts) part.clear();
   if (num_shards == 1) {
-    parts[0].reserve(chunk.size());
-    for (const auto& e : chunk) parts[0].push_back({&e, Hash64(e.text)});
+    parts[0].reserve(count);
+    for_each_text([&parts](std::string_view text) {
+      parts[0].push_back({text, Hash64(text)});
+    });
   } else {
-    for (const auto& e : chunk) {
-      const uint64_t h = Hash64(e.text);
-      parts[h % num_shards].push_back({&e, h});
-    }
+    for_each_text([&parts, num_shards](std::string_view text) {
+      const uint64_t h = Hash64(text);
+      parts[h % num_shards].push_back({text, h});
+    });
   }
 
   if (eng.pool_ == nullptr) {
@@ -330,8 +359,8 @@ void EngineStream::Feed(const std::vector<loggen::LogEntry>& chunk) {
     eng.pool_->Wait();
   }
 
-  im.study.total += chunk.size();
-  eng.metrics_.AddEntries(chunk.size());
+  im.study.total += count;
+  eng.metrics_.AddEntries(count);
   eng.metrics_.AddWallNs(NowNs() - t_start);
 }
 
@@ -360,6 +389,15 @@ core::SourceStudy EngineStream::Finish() {
       }
       core::Merge(s.valid_agg, &study.valid_agg);
       core::Merge(s.unique_agg, &study.unique_agg);
+      // Fold the deferred duplicate weight: one weighted AddToAggregates
+      // per distinct text that recurred, replacing what used to be one
+      // call per occurrence on the hot path. Unsigned sums, so folding
+      // into the merged study instead of s.valid_agg changes nothing.
+      for (size_t id = 0; id < s.dup_extra.size(); ++id) {
+        if (s.dup_extra[id] == 0) continue;
+        core::AddToAggregates(s.by_id[id]->verdict.analysis,
+                              s.dup_extra[id], &study.valid_agg);
+      }
     }
     im.shards.clear();
   }
@@ -445,11 +483,13 @@ void Engine::ProcessShard(const std::vector<RoutedEntry>& entries,
   };
 
   // Exact first-occurrence tracking: `verdict[id]` remembers the outcome
-  // of each distinct text, so repeated entries never hit the parser. The
-  // bounded LRU cache is only an accelerator — evictions cause
-  // recomputation, never wrong counts.
+  // of each distinct text and `by_id[id]` pins its analysis, so repeated
+  // entries never hit the parser, the cache mutexes, or — when the log
+  // holds more distinct texts than the cache does — the eviction
+  // recompute path. The bounded LRU cache serves cross-log warm starts;
+  // within one stream, each distinct text is computed exactly once.
   for (const RoutedEntry& routed : entries) {
-    const std::string& text = routed.entry->text;
+    const std::string_view text = routed.text;
     const SymbolId prior = static_cast<SymbolId>(state->seen.size());
     const SymbolId id = state->seen.InternWithHash(routed.hash, text);
     const bool first_occurrence = id == prior;
@@ -460,10 +500,10 @@ void Engine::ProcessShard(const std::vector<RoutedEntry>& entries,
         reject(static_cast<ErrorClass>(v - 1));
         continue;
       }
+      // Valid duplicate: two counter bumps and done. The aggregate fold
+      // happens once per distinct text at Finish, weighted by this count.
       state->valid++;
-      auto cached = cache_.GetWithHash(routed.hash, text);
-      if (cached == nullptr) cached = compute(text, routed.hash);  // evicted
-      aggregate(cached->verdict.analysis, &state->valid_agg);
+      state->dup_extra[id]++;
       continue;
     }
 
@@ -474,6 +514,8 @@ void Engine::ProcessShard(const std::vector<RoutedEntry>& entries,
     if (!cached->parse_ok) {
       state->verdict.push_back(
           static_cast<uint8_t>(1 + static_cast<size_t>(cached->error)));
+      state->by_id.push_back(nullptr);
+      state->dup_extra.push_back(0);
       reject(cached->error);
       continue;
     }
@@ -482,6 +524,8 @@ void Engine::ProcessShard(const std::vector<RoutedEntry>& entries,
     state->unique++;
     aggregate(cached->verdict.analysis, &state->valid_agg);
     aggregate(cached->verdict.analysis, &state->unique_agg);
+    state->by_id.push_back(std::move(cached));
+    state->dup_extra.push_back(0);
   }
 
   metrics_.Merge(local);

@@ -3,7 +3,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include <atomic>
@@ -89,9 +91,12 @@ class Engine;
 /// One log entry routed to a shard, carrying the `common::Hash64` of its
 /// text. The hash is computed exactly once (in EngineStream::Feed) and
 /// reused for shard routing, per-shard dedup, and query-cache lookups —
-/// the hash-once pipeline.
+/// the hash-once pipeline. The text is borrowed, never owned: it may
+/// point into a caller's LogEntry, an mmapped log file, or a chunk
+/// arena, and only needs to stay valid for the duration of the Feed
+/// call that routed it (everything downstream copies on retention).
 struct RoutedEntry {
-  const loggen::LogEntry* entry;
+  std::string_view text;
   uint64_t hash;
 };
 
@@ -116,6 +121,12 @@ class EngineStream {
   /// boundaries never affect results.
   void Feed(const std::vector<loggen::LogEntry>& chunk);
 
+  /// Zero-copy variant: the views are borrowed for the duration of the
+  /// call only (the block ingest path feeds views straight out of an
+  /// mmapped log). Produces bit-identical results to the LogEntry
+  /// overload for the same texts in the same order.
+  void Feed(std::span<const std::string_view> chunk);
+
   /// Counts `n` entries rejected before parsing (oversized lines,
   /// invalid UTF-8, ...). Rejects appear in `total` and in the per-class
   /// error counters, never in valid/unique.
@@ -129,6 +140,11 @@ class EngineStream {
   friend class Engine;
   struct Impl;
   explicit EngineStream(std::unique_ptr<Impl> impl);
+  /// Shared routing pipeline: `for_each_text` invokes its callback once
+  /// per entry text, in order. Both Feed overloads funnel through here
+  /// so they cannot diverge.
+  template <typename ForEachText>
+  void FeedImpl(size_t count, ForEachText&& for_each_text);
   std::unique_ptr<Impl> impl_;
 };
 

@@ -1,0 +1,120 @@
+#include "ingest/block_reader.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <utility>
+
+namespace rwdt::ingest {
+
+Result<BlockReader> BlockReader::OpenFile(const std::string& path,
+                                          const Options& options) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::NotFound("cannot open log file: " + path + ": " +
+                            std::strerror(errno));
+  }
+
+  BlockReader reader;
+  reader.block_bytes_ = options.block_bytes;
+
+  struct stat st = {};
+  if (options.allow_mmap && ::fstat(fd, &st) == 0 && S_ISREG(st.st_mode) &&
+      st.st_size > 0) {
+    void* map = ::mmap(nullptr, static_cast<size_t>(st.st_size), PROT_READ,
+                       MAP_PRIVATE, fd, 0);
+    if (map != MAP_FAILED) {
+      // The mapping owns the pages; the fd is only needed for mmap().
+      ::close(fd);
+#if defined(POSIX_MADV_SEQUENTIAL)
+      ::posix_madvise(map, static_cast<size_t>(st.st_size),
+                      POSIX_MADV_SEQUENTIAL);
+#endif
+      reader.map_ = static_cast<const char*>(map);
+      reader.map_size_ = static_cast<size_t>(st.st_size);
+      return reader;
+    }
+  }
+
+  // Not a regular file, empty, or mmap refused: plain read(2).
+  reader.fd_ = fd;
+  reader.buffer_.resize(reader.block_bytes_);
+  return reader;
+}
+
+BlockReader::BlockReader(std::istream* in, const Options& options)
+    : block_bytes_(options.block_bytes), in_(in) {
+  buffer_.resize(block_bytes_);
+}
+
+BlockReader::~BlockReader() { Close(); }
+
+void BlockReader::Close() {
+  if (map_ != nullptr) {
+    ::munmap(const_cast<char*>(map_), map_size_);
+    map_ = nullptr;
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+BlockReader::BlockReader(BlockReader&& other) noexcept { *this = std::move(other); }
+
+BlockReader& BlockReader::operator=(BlockReader&& other) noexcept {
+  if (this == &other) return *this;
+  Close();
+  block_bytes_ = other.block_bytes_;
+  map_ = std::exchange(other.map_, nullptr);
+  map_size_ = std::exchange(other.map_size_, 0);
+  map_pos_ = std::exchange(other.map_pos_, 0);
+  fd_ = std::exchange(other.fd_, -1);
+  in_ = std::exchange(other.in_, nullptr);
+  buffer_ = std::move(other.buffer_);
+  blocks_read_ = other.blocks_read_;
+  bytes_read_ = other.bytes_read_;
+  return *this;
+}
+
+std::string_view BlockReader::Next() {
+  if (map_ != nullptr) {
+    if (map_pos_ >= map_size_) return {};
+    const size_t n = std::min(block_bytes_, map_size_ - map_pos_);
+    const std::string_view block(map_ + map_pos_, n);
+    map_pos_ += n;
+    blocks_read_++;
+    bytes_read_ += n;
+    return block;
+  }
+
+  size_t filled = 0;
+  if (fd_ >= 0) {
+    // read(2) may return short for signals or pipe scheduling; fill the
+    // whole block so downstream carry stitches stay one-per-block.
+    while (filled < buffer_.size()) {
+      const ssize_t n =
+          ::read(fd_, buffer_.data() + filled, buffer_.size() - filled);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;  // surface whatever was read; EOF ends the stream cleanly
+      }
+      if (n == 0) break;
+      filled += static_cast<size_t>(n);
+    }
+  } else if (in_ != nullptr) {
+    in_->read(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+    filled = static_cast<size_t>(in_->gcount());
+  }
+  if (filled == 0) return {};
+  blocks_read_++;
+  bytes_read_ += filled;
+  return {buffer_.data(), filled};
+}
+
+}  // namespace rwdt::ingest

@@ -1,0 +1,102 @@
+#ifndef RWDT_INGEST_BLOCK_READER_H_
+#define RWDT_INGEST_BLOCK_READER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rwdt::ingest {
+
+/// Hands out a log as a sequence of large contiguous byte blocks —
+/// the zero-copy half of the block ingest pipeline.
+///
+/// Two acquisition modes, chosen at construction:
+///
+///   * **mmap** (`OpenFile` on a regular file): the whole file is mapped
+///     read-only and `Next()` slices consecutive `block_bytes` views out
+///     of the mapping. No bytes are ever copied, and every view stays
+///     valid for the reader's lifetime (`stable_blocks() == true`), so
+///     downstream `string_view` records can flow into the engine without
+///     owning anything.
+///   * **buffered read** (`OpenFile` on a non-regular file, or the
+///     `std::istream` constructor for pipes/sockets/in-memory streams):
+///     `Next()` refills one owned buffer via read(2)/istream::read. The
+///     previous block's memory is recycled by the next `Next()` call
+///     (`stable_blocks() == false`), so consumers must finish borrowing
+///     before advancing — `LineScanner` exposes a release hook for
+///     exactly this.
+///
+/// Counters (`blocks_read`, `bytes_read`, `used_mmap`) feed the ingest
+/// report and the metric registry.
+struct BlockReaderOptions {
+  /// Block granularity. mmap mode slices the mapping at this size; read
+  /// mode allocates one buffer of this size. Tests shrink it to 1 byte
+  /// to sweep records across every possible block boundary.
+  size_t block_bytes = size_t{1} << 20;  // 1 MiB
+
+  /// Escape hatch: force the read(2) path even for regular files
+  /// (differential tests; filesystems where mmap misbehaves).
+  bool allow_mmap = true;
+};
+
+class BlockReader {
+ public:
+  using Options = BlockReaderOptions;
+
+  /// Opens `path`, mapping it when it is a regular file and mmap
+  /// succeeds, else falling back to plain read(2). kNotFound when the
+  /// file cannot be opened.
+  static Result<BlockReader> OpenFile(const std::string& path,
+                                      const Options& options = {});
+
+  /// Wraps a caller-owned stream (must outlive the reader). Always the
+  /// buffered path: generic istreams expose no mappable fd.
+  explicit BlockReader(std::istream* in, const Options& options = {});
+
+  ~BlockReader();
+  BlockReader(BlockReader&& other) noexcept;
+  BlockReader& operator=(BlockReader&& other) noexcept;
+  BlockReader(const BlockReader&) = delete;
+  BlockReader& operator=(const BlockReader&) = delete;
+
+  /// The next block of up to `block_bytes` bytes; empty exactly at end
+  /// of input. In unstable mode this call invalidates the previously
+  /// returned block.
+  std::string_view Next();
+
+  /// True when every view returned by Next() stays valid until the
+  /// reader is destroyed (the mmap path).
+  bool stable_blocks() const { return map_ != nullptr; }
+
+  bool used_mmap() const { return map_ != nullptr; }
+  uint64_t blocks_read() const { return blocks_read_; }
+  uint64_t bytes_read() const { return bytes_read_; }
+
+ private:
+  BlockReader() = default;
+  void Close();
+
+  size_t block_bytes_ = size_t{1} << 20;
+
+  // mmap mode.
+  const char* map_ = nullptr;
+  size_t map_size_ = 0;
+  size_t map_pos_ = 0;
+
+  // read mode: exactly one of fd_ >= 0 or in_ != nullptr.
+  int fd_ = -1;
+  std::istream* in_ = nullptr;
+  std::vector<char> buffer_;
+
+  uint64_t blocks_read_ = 0;
+  uint64_t bytes_read_ = 0;
+};
+
+}  // namespace rwdt::ingest
+
+#endif  // RWDT_INGEST_BLOCK_READER_H_

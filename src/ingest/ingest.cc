@@ -1,15 +1,21 @@
 #include "ingest/ingest.h"
 
+#include <array>
 #include <fstream>
 #include <istream>
 #include <memory>
+#include <optional>
+#include <span>
 #include <streambuf>
+#include <string_view>
 #include <utility>
 #include <vector>
 
-#include <array>
-
+#include "common/arena.h"
 #include "common/json.h"
+#include "common/swar.h"
+#include "ingest/block_reader.h"
+#include "ingest/line_scanner.h"
 #include "loggen/sparql_gen.h"
 #include "obs/log.h"
 #include "obs/progress.h"
@@ -26,6 +32,9 @@ namespace {
 /// false at end of input with nothing read. A trailing '\r' (CRLF logs)
 /// is stripped. `*bytes` counts every byte consumed, terminator
 /// included.
+///
+/// This is the kLegacy reader — the byte-at-a-time baseline the block
+/// pipeline is differentially tested (and benchmarked) against.
 bool ReadLine(std::streambuf* buf, size_t max, std::string* line,
               bool* overflow, uint64_t* bytes) {
   using Traits = std::streambuf::traits_type;
@@ -57,11 +66,16 @@ bool IsBlank(std::string_view s) {
 /// Process-wide first-class registry counters for the reader taxonomy
 /// (`/metrics` shows ingest health without waiting for the final
 /// IngestReport). Instruments are registered once and cached — the
-/// per-line cost is one relaxed fetch_add.
+/// per-line cost is one relaxed fetch_add, and the block counters are
+/// folded in at chunk granularity.
 struct IngestInstruments {
   obs::Counter* lines;
   obs::Counter* bytes;
   obs::Counter* blank_lines;
+  obs::Counter* blocks_mmap;
+  obs::Counter* blocks_fallback;
+  obs::Counter* carry_stitches;
+  std::array<obs::Counter*, 2> runs;  // indexed by ReaderKind
   std::array<obs::Counter*, kNumErrorClasses> rejects;
 
   static const IngestInstruments& Get() {
@@ -74,6 +88,26 @@ struct IngestInstruments {
                                  "Raw bytes consumed by the reader.");
       in->blank_lines = reg.GetCounter("rwdt_ingest_blank_lines",
                                        "Blank lines skipped by the reader.");
+      in->blocks_mmap =
+          reg.GetCounter("rwdt_ingest_blocks",
+                         "Blocks handed out by the block reader, by how the "
+                         "bytes were acquired.",
+                         {{"io", "mmap"}});
+      in->blocks_fallback =
+          reg.GetCounter("rwdt_ingest_blocks",
+                         "Blocks handed out by the block reader, by how the "
+                         "bytes were acquired.",
+                         {{"io", "read"}});
+      in->carry_stitches = reg.GetCounter(
+          "rwdt_ingest_carry_stitches",
+          "Records straddling a block boundary, re-assembled in the carry "
+          "arena.");
+      in->runs[static_cast<size_t>(ReaderKind::kBlock)] =
+          reg.GetCounter("rwdt_ingest_runs", "Ingest runs by reader kind.",
+                         {{"reader", "block"}});
+      in->runs[static_cast<size_t>(ReaderKind::kLegacy)] =
+          reg.GetCounter("rwdt_ingest_runs", "Ingest runs by reader kind.",
+                         {{"reader", "legacy"}});
       for (size_t c = 0; c < kNumErrorClasses; ++c) {
         in->rejects[c] = reg.GetCounter(
             "rwdt_ingest_rejects",
@@ -86,12 +120,18 @@ struct IngestInstruments {
   }
 };
 
-Result<IngestReport> Run(std::istream& in, engine::Engine* engine,
+/// One ingest run. Exactly one of `in` (stream input) or `path` (file
+/// input, eligible for mmap) is non-null. Both readers funnel every
+/// line through the same classification body, so the block pipeline
+/// cannot drift from the legacy semantics it replaces.
+Result<IngestReport> Run(std::istream* in, const std::string* path,
+                         engine::Engine* engine,
                          const IngestOptions& options) {
   RWDT_RETURN_IF_ERROR(options.Validate());
 
   obs::Span ingest_span("ingest");
   IngestReport report;
+  report.reader = options.reader;
   engine::EngineStream stream =
       engine->OpenStream(options.source_name, options.wikidata_like);
 
@@ -106,12 +146,45 @@ Result<IngestReport> Run(std::istream& in, engine::Engine* engine,
         [engine] { return engine->Snapshot(); }, std::move(popts));
   }
 
-  std::vector<loggen::LogEntry> chunk;
+  // The chunk holds borrowed views only. Block reader: views point into
+  // the mmapped file / block buffer, or into `chunk_arena` for the one
+  // record per block that straddles a boundary. Legacy reader: its line
+  // buffer is reused per line, so each line is copied into the arena.
+  // Either way the arena is reset once per flush — the per-entry
+  // allocation of the old std::string-per-line path, batched into one
+  // O(1) clear per chunk.
+  std::vector<std::string_view> chunk;
   chunk.reserve(options.chunk_entries);
+  Arena chunk_arena;
+
+  const IngestInstruments& metrics = IngestInstruments::Get();
+  metrics.runs[static_cast<size_t>(options.reader)]->Increment();
+
+  // Byte/block progress reaches /metrics at chunk granularity (delta at
+  // each flush), not per line — one shared-counter touch per chunk.
+  uint64_t bytes_reported = 0;
+  const BlockReader* active_reader = nullptr;
+  const LineScanner* active_scanner = nullptr;
+  uint64_t blocks_reported = 0;
+  uint64_t stitches_reported = 0;
   auto flush = [&] {
-    if (chunk.empty()) return;
-    stream.Feed(chunk);
-    chunk.clear();
+    if (!chunk.empty()) {
+      stream.Feed(std::span<const std::string_view>(chunk));
+      chunk.clear();
+    }
+    chunk_arena.Clear();
+    metrics.bytes->Increment(report.bytes_read - bytes_reported);
+    bytes_reported = report.bytes_read;
+    if (active_reader != nullptr) {
+      obs::Counter* blocks = active_reader->used_mmap()
+                                 ? metrics.blocks_mmap
+                                 : metrics.blocks_fallback;
+      blocks->Increment(active_reader->blocks_read() - blocks_reported);
+      blocks_reported = active_reader->blocks_read();
+      metrics.carry_stitches->Increment(active_scanner->carry_stitches() -
+                                        stitches_reported);
+      stitches_reported = active_scanner->carry_stitches();
+    }
   };
 
   // Every reader-level reject is a structured log event carrying the
@@ -119,7 +192,6 @@ Result<IngestReport> Run(std::istream& in, engine::Engine* engine,
   // tripped. DEBUG level: per-line events are only composed when the
   // logger is opened up that far, so a 20%-corrupt million-line log
   // costs nothing by default.
-  const IngestInstruments& metrics = IngestInstruments::Get();
   auto reject = [&](ErrorClass c, const char* stage) {
     stream.Reject(c);
     metrics.rejects[static_cast<size_t>(c)]->Increment();
@@ -127,62 +199,89 @@ Result<IngestReport> Run(std::istream& in, engine::Engine* engine,
                     << " line=" << report.lines_read << " stage=" << stage
                     << " source=" << options.source_name;
   };
-  // Byte progress reaches /metrics at chunk granularity (delta at each
-  // flush), not per line — one shared-counter touch per chunk.
-  uint64_t bytes_reported = 0;
-  auto flush_bytes = [&] {
-    metrics.bytes->Increment(report.bytes_read - bytes_reported);
-    bytes_reported = report.bytes_read;
-  };
 
-  std::streambuf* buf = in.rdbuf();
-  std::string line;
-  bool overflow = false;
-  while (ReadLine(buf, options.max_line_bytes, &line, &overflow,
-                  &report.bytes_read)) {
+  // The shared per-line body. `stable` says the view outlives the chunk
+  // (block pipeline); otherwise it is copied into the chunk arena.
+  auto process_line = [&](std::string_view line, bool overflow, bool stable) {
     report.lines_read++;
     metrics.lines->Increment();
     if (options.skip_blank_lines && IsBlank(line)) {
       report.blank_lines++;
       metrics.blank_lines->Increment();
-      continue;
+      return;
     }
     // Oversize first: a truncated line's tab or encoding is meaningless.
     if (overflow) {
       reject(ErrorClass::kResourceExhausted, "read");
-      continue;
+      return;
     }
 
     std::string_view query = line;
     if (options.format == LogFormat::kTsv) {
-      const size_t tab = line.find('\t');
-      if (tab == std::string::npos) {
+      const size_t tab = swar::FindByte(line, '\t');
+      if (tab == std::string_view::npos) {
         // Structurally broken record; no source column to attribute.
         reject(ErrorClass::kParseError, "split");
-        continue;
+        return;
       }
-      report.per_source[line.substr(0, tab)]++;
-      query = std::string_view(line).substr(tab + 1);
+      report.per_source[std::string(line.substr(0, tab))]++;
+      query = line.substr(tab + 1);
     }
 
     if (options.validate_utf8 && !tree::IsValidUtf8(query)) {
       reject(ErrorClass::kEncodingError, "utf8");
-      continue;
+      return;
     }
 
-    chunk.push_back(loggen::LogEntry{std::string(query), true});
-    if (chunk.size() >= options.chunk_entries) {
-      flush();
-      flush_bytes();
+    chunk.push_back(stable ? query : chunk_arena.Copy(query));
+    if (chunk.size() >= options.chunk_entries) flush();
+  };
+
+  if (options.reader == ReaderKind::kLegacy) {
+    std::streambuf* buf = in->rdbuf();
+    std::string line;
+    bool overflow = false;
+    while (ReadLine(buf, options.max_line_bytes, &line, &overflow,
+                    &report.bytes_read)) {
+      process_line(line, overflow, /*stable=*/false);
     }
+  } else {
+    BlockReader::Options bopts;
+    bopts.block_bytes = options.block_bytes;
+    std::optional<BlockReader> reader;
+    if (path != nullptr) {
+      RWDT_ASSIGN_OR_RETURN(BlockReader opened,
+                            BlockReader::OpenFile(*path, bopts));
+      reader.emplace(std::move(opened));
+    } else {
+      reader.emplace(in, bopts);
+    }
+    LineScanner scanner(&*reader, options.max_line_bytes, &chunk_arena);
+    active_reader = &*reader;
+    active_scanner = &scanner;
+    // An unstable (non-mmap) reader reuses its block buffer: the chunk's
+    // borrowed views must reach the engine before the buffer turns over.
+    // mmap blocks are stable for the whole run, so the hook never fires
+    // and chunk size alone decides flush timing.
+    scanner.set_release_hook(flush);
+    LineScanner::Line rec;
+    while (scanner.Next(&rec, &report.bytes_read)) {
+      process_line(rec.text, rec.overflow, /*stable=*/true);
+    }
+    report.used_mmap = reader->used_mmap();
+    report.blocks_read = reader->blocks_read();
+    report.carry_stitches = scanner.carry_stitches();
+    flush();
+    active_reader = nullptr;
+    active_scanner = nullptr;
   }
   flush();
-  flush_bytes();
 
   report.study = stream.Finish();
   if (reporter != nullptr) reporter->Stop();
   report.metrics = engine->Snapshot();
-  RWDT_LOG(INFO) << "ingest " << options.source_name << ": "
+  RWDT_LOG(INFO) << "ingest " << options.source_name << " ("
+                 << ReaderKindName(options.reader) << " reader): "
                  << report.lines_read << " lines, " << report.study.valid
                  << " valid, " << report.study.unique << " unique, "
                  << (report.study.total - report.study.valid)
@@ -192,12 +291,19 @@ Result<IngestReport> Run(std::istream& in, engine::Engine* engine,
 
 }  // namespace
 
+const char* ReaderKindName(ReaderKind k) {
+  return k == ReaderKind::kBlock ? "block" : "legacy";
+}
+
 Status IngestOptions::Validate() const {
   if (chunk_entries == 0) {
     return Status::InvalidArgument("chunk_entries must be > 0");
   }
   if (max_line_bytes == 0) {
     return Status::InvalidArgument("max_line_bytes must be > 0");
+  }
+  if (block_bytes == 0) {
+    return Status::InvalidArgument("block_bytes must be > 0");
   }
   RWDT_RETURN_IF_ERROR(engine.Validate());
   RWDT_RETURN_IF_ERROR(progress.Validate());
@@ -223,6 +329,10 @@ std::string IngestReport::ToJson() const {
   w.UIntField("lines_read", lines_read);
   w.UIntField("blank_lines", blank_lines);
   w.UIntField("bytes_read", bytes_read);
+  w.StringField("reader", ReaderKindName(reader));
+  w.BoolField("used_mmap", used_mmap);
+  w.UIntField("blocks_read", blocks_read);
+  w.UIntField("carry_stitches", carry_stitches);
   w.Key("per_source").BeginObject();
   for (const auto& [source, count] : per_source) {
     // Raw log bytes: the key must be escaped (JsonWriter always does).
@@ -238,21 +348,28 @@ Result<IngestReport> IngestStream(std::istream& in,
                                   const IngestOptions& options) {
   RWDT_RETURN_IF_ERROR(options.Validate());
   engine::Engine engine(options.engine);
-  return Run(in, &engine, options);
+  return Run(&in, nullptr, &engine, options);
 }
 
 Result<IngestReport> IngestStream(std::istream& in, engine::Engine* engine,
                                   const IngestOptions& options) {
-  return Run(in, engine, options);
+  return Run(&in, nullptr, engine, options);
 }
 
 Result<IngestReport> IngestFile(const std::string& path,
                                 const IngestOptions& options) {
+  RWDT_RETURN_IF_ERROR(options.Validate());
+  engine::Engine engine(options.engine);
+  if (options.reader == ReaderKind::kBlock) {
+    // The block reader opens the file itself so regular files can be
+    // mmapped; existence errors surface as kNotFound exactly as before.
+    return Run(nullptr, &path, &engine, options);
+  }
   std::ifstream file(path, std::ios::binary);
   if (!file.is_open()) {
     return Status::NotFound("cannot open log file: " + path);
   }
-  return IngestStream(file, options);
+  return Run(&file, nullptr, &engine, options);
 }
 
 }  // namespace rwdt::ingest

@@ -23,8 +23,29 @@ enum class LogFormat {
   kTsv,
 };
 
+/// Which reader implementation drives the ingest loop.
+enum class ReaderKind {
+  /// Zero-copy block pipeline (the default): BlockReader (mmap for
+  /// regular files, buffered read otherwise) + SWAR LineScanner, query
+  /// text flowing borrower-owned into the engine.
+  kBlock,
+  /// The historical istream/ReadLine/std::string-per-line reader. Kept
+  /// as the differential-testing baseline and for A/B benchmarking;
+  /// produces bit-identical reports by contract.
+  kLegacy,
+};
+
+const char* ReaderKindName(ReaderKind k);
+
 struct IngestOptions {
   LogFormat format = LogFormat::kPlain;
+
+  /// Reader implementation. Results never depend on this; speed does.
+  ReaderKind reader = ReaderKind::kBlock;
+
+  /// Block granularity of the kBlock reader. Tests shrink it to a few
+  /// bytes to sweep records across every block-boundary alignment.
+  size_t block_bytes = size_t{1} << 20;
 
   /// Entries buffered per EngineStream::Feed call — the memory bound.
   /// Peak resident query text is roughly chunk_entries * mean line
@@ -76,6 +97,13 @@ struct IngestReport {
   uint64_t bytes_read = 0;     // payload bytes consumed
   /// kTsv only: entry count per source column value.
   std::map<std::string, uint64_t> per_source;
+
+  /// Reader provenance: which implementation ran and, for kBlock, how
+  /// the bytes were acquired and stitched. Zero/false for kLegacy.
+  ReaderKind reader = ReaderKind::kLegacy;
+  bool used_mmap = false;       // kBlock: file was mapped, not read(2)
+  uint64_t blocks_read = 0;     // kBlock: blocks handed out
+  uint64_t carry_stitches = 0;  // kBlock: records straddling a boundary
 
   /// Single JSON object: study counts (total/valid/unique + per-class
   /// errors), reader counters, per-source counts (keys escaped — source

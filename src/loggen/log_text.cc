@@ -2,6 +2,7 @@
 
 #include <ostream>
 #include <string>
+#include <string_view>
 
 namespace rwdt::loggen {
 namespace {
@@ -14,18 +15,29 @@ std::string Sanitize(std::string_view text, bool strip_tabs) {
   return out;
 }
 
+/// Writes the line terminator for every line except — when
+/// `final_newline` is off — the last one.
+void Terminate(const LogTextOptions& options, bool last, std::ostream& out) {
+  if (last && !options.final_newline) return;
+  if (options.crlf) out << '\r';
+  out << '\n';
+}
+
 }  // namespace
 
-void WriteLogText(const std::vector<LogEntry>& log, std::ostream& out) {
-  for (const LogEntry& e : log) {
-    out << Sanitize(e.text, /*strip_tabs=*/false) << '\n';
+void WriteLogText(const std::vector<LogEntry>& log, std::ostream& out,
+                  const LogTextOptions& options) {
+  for (size_t i = 0; i < log.size(); ++i) {
+    out << Sanitize(log[i].text, /*strip_tabs=*/false);
+    Terminate(options, i + 1 == log.size(), out);
   }
 }
 
 void WriteLogTsv(const std::vector<LogEntry>& log, std::string_view source,
-                 std::ostream& out) {
-  for (const LogEntry& e : log) {
-    out << source << '\t' << Sanitize(e.text, /*strip_tabs=*/true) << '\n';
+                 std::ostream& out, const LogTextOptions& options) {
+  for (size_t i = 0; i < log.size(); ++i) {
+    out << source << '\t' << Sanitize(log[i].text, /*strip_tabs=*/true);
+    Terminate(options, i + 1 == log.size(), out);
   }
 }
 

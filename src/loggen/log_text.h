@@ -9,16 +9,29 @@
 
 namespace rwdt::loggen {
 
+/// Line-ending dialect of the serialized log. Real-world logs arrive in
+/// all four combinations (Windows exports, truncated uploads), so the
+/// writers can produce each one and the ingest scanner is differentially
+/// tested over all of them.
+struct LogTextOptions {
+  /// Terminate lines with "\r\n" instead of "\n".
+  bool crlf = false;
+  /// Write the terminator after the last line too (the POSIX shape).
+  /// When false the file ends mid-record, which ingest must still read.
+  bool final_newline = true;
+};
+
 /// Serializes a log in the raw-text format ingest reads: one query per
 /// line. Embedded newlines in query text are replaced with spaces so the
 /// line framing survives round-trips (generated queries never contain
 /// newlines; corrupted ones may).
-void WriteLogText(const std::vector<LogEntry>& log, std::ostream& out);
+void WriteLogText(const std::vector<LogEntry>& log, std::ostream& out,
+                  const LogTextOptions& options = {});
 
 /// Serializes in the TSV format: "source<TAB>query" per line. Tabs in
 /// the query text are replaced with spaces for the same reason.
 void WriteLogTsv(const std::vector<LogEntry>& log, std::string_view source,
-                 std::ostream& out);
+                 std::ostream& out, const LogTextOptions& options = {});
 
 }  // namespace rwdt::loggen
 

@@ -4,6 +4,8 @@
 #include <set>
 #include <utility>
 
+#include "common/swar.h"
+
 namespace rwdt::tree {
 
 std::string XmlErrorCategoryName(XmlErrorCategory category) {
@@ -41,7 +43,10 @@ bool IsValidUtf8(std::string_view input) {
     const unsigned char c = static_cast<unsigned char>(input[i]);
     size_t extra = 0;
     if (c < 0x80) {
-      extra = 0;
+      // ASCII is the overwhelmingly common case for query logs: skip the
+      // whole run 8-16 bytes per step instead of branching per byte.
+      i += swar::AsciiPrefix(input.data() + i, n - i);
+      continue;
     } else if ((c & 0xe0) == 0xc0) {
       extra = 1;
       if (c < 0xc2) return false;  // overlong

@@ -12,6 +12,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/status.h"
+#include "common/swar.h"
 #include "common/table.h"
 
 namespace rwdt {
@@ -336,6 +337,109 @@ TEST(FlatInternerTest, PropertyMatchesInternerOnRandomMultisets) {
     for (SymbolId id = 0; id < flat.size(); ++id) {
       ASSERT_EQ(flat.Name(id), reference.Name(id));
     }
+  }
+}
+
+size_t NaiveFindByte(const char* p, size_t n, char b) {
+  for (size_t i = 0; i < n; ++i) {
+    if (p[i] == b) return i;
+  }
+  return n;
+}
+
+size_t NaiveAsciiPrefix(const char* p, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (static_cast<unsigned char>(p[i]) >= 0x80) return i;
+  }
+  return n;
+}
+
+TEST(SwarTest, ZeroByteMaskIsExact) {
+  // The classic (w - 0x01..) & ~w & 0x80.. needs the ~w term to be
+  // exact; sweep every byte value in every lane against the definition.
+  for (int v = 0; v < 256; ++v) {
+    for (int lane = 0; lane < 8; ++lane) {
+      uint64_t w = swar::kLowBits * 0x41;  // all 'A'
+      w = (w & ~(uint64_t{0xff} << (8 * lane))) |
+          (static_cast<uint64_t>(v) << (8 * lane));
+      const uint64_t mask = swar::ZeroByteMask(w);
+      const bool lane_set = ((mask >> (8 * lane)) & 0x80) != 0;
+      ASSERT_EQ(lane_set, v == 0) << "v=" << v << " lane=" << lane;
+      ASSERT_EQ(mask & ~(uint64_t{0x80} << (8 * lane)), 0u);
+    }
+  }
+}
+
+TEST(SwarTest, FindByteMatchesNaiveAtEveryOffset) {
+  // Every (haystack length, match offset) pair around the 8/16-byte
+  // step boundaries, for targets that tickle the high-bit trickery:
+  // '\n' (0x0A) must not be confused with 0x8A, and searching for
+  // '\0' and 0xFF must work.
+  for (const char target : {'\n', '\t', '\0', '\x7f', '\xff'}) {
+    for (size_t n = 0; n <= 40; ++n) {
+      std::string hay(n, 'A');
+      // Distractors sharing low bits with the target, high bit flipped.
+      for (size_t i = 0; i < n; i += 3) {
+        hay[i] = static_cast<char>(static_cast<unsigned char>(target) ^ 0x80);
+      }
+      for (size_t at = 0; at <= n; ++at) {
+        std::string h = hay;
+        if (at < n) h[at] = target;
+        const size_t want = NaiveFindByte(h.data(), n, target);
+        ASSERT_EQ(swar::FindByte(h.data(), n, target), want)
+            << "n=" << n << " at=" << at << " target=" << int{target};
+        ASSERT_EQ(swar::FindByteGeneric(h.data(), n, target), want);
+      }
+    }
+  }
+}
+
+TEST(SwarTest, FindByteStringViewReturnsNpos) {
+  EXPECT_EQ(swar::FindByte(std::string_view{}, '\n'), std::string_view::npos);
+  EXPECT_EQ(swar::FindByte(std::string_view{"abc"}, '\n'),
+            std::string_view::npos);
+  EXPECT_EQ(swar::FindByte(std::string_view{"ab\ncd"}, '\n'), 2u);
+}
+
+TEST(SwarTest, AsciiPrefixMatchesNaiveAtEveryOffset) {
+  for (size_t n = 0; n <= 40; ++n) {
+    for (size_t at = 0; at <= n; ++at) {
+      std::string h(n, 'x');
+      if (at < n) h[at] = static_cast<char>(0x80);
+      const size_t want = NaiveAsciiPrefix(h.data(), n);
+      ASSERT_EQ(swar::AsciiPrefix(h.data(), n), want)
+          << "n=" << n << " at=" << at;
+      ASSERT_EQ(swar::AsciiPrefixGeneric(h.data(), n), want);
+    }
+  }
+}
+
+TEST(SwarTest, RandomDifferentialAgainstNaive) {
+  // Random buffers over the full byte range, unaligned starts included:
+  // the active tier (SSE2/NEON/SWAR), the generic tier, and the naive
+  // scan must agree byte-for-byte.
+  Rng rng(0x5747u);  // "SW"
+  for (int round = 0; round < 2000; ++round) {
+    const size_t n = rng.NextBelow(120);
+    std::string buf(n + 1, '\0');
+    for (size_t i = 0; i < n; ++i) {
+      // Bias toward the interesting values so matches are common.
+      const uint64_t kind = rng.NextBelow(4);
+      buf[i] = kind == 0 ? '\n'
+               : kind == 1
+                   ? static_cast<char>(0x80 + rng.NextBelow(0x80))
+                   : static_cast<char>(rng.NextBelow(256));
+    }
+    const size_t skew = rng.NextBelow(2);  // exercise unaligned p
+    const char* p = buf.data() + skew;
+    const size_t len = n - std::min(n, skew);
+    for (const char target : {'\n', '\t', static_cast<char>(0x80)}) {
+      const size_t want = NaiveFindByte(p, len, target);
+      ASSERT_EQ(swar::FindByte(p, len, target), want) << "round " << round;
+      ASSERT_EQ(swar::FindByteGeneric(p, len, target), want);
+    }
+    ASSERT_EQ(swar::AsciiPrefix(p, len), NaiveAsciiPrefix(p, len));
+    ASSERT_EQ(swar::AsciiPrefixGeneric(p, len), NaiveAsciiPrefix(p, len));
   }
 }
 

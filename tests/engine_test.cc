@@ -1,6 +1,8 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
+#include <span>
+#include <string_view>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -90,10 +92,12 @@ TEST(EngineTest, DeterministicAcrossThreadsShardsAndChunking) {
 TEST(EngineTest, ScalingSmokeSameStudyAndCacheConservation) {
   // Scaling smoke for the contention-free hot path: the same 50k-entry
   // log at 1 and 4 threads must produce an identical SourceStudy, and
-  // the cache must stay in the loop — every first occurrence and every
-  // valid duplicate performs exactly one lookup, so
-  // hits + misses == valid + distinct failing texts. A hash-once
-  // rewiring that silently bypassed the cache would break this.
+  // cache accounting must follow the shard-local dedup law — only the
+  // first occurrence of each distinct text performs a lookup (duplicates
+  // are served from the shard's pinned by_id table), so
+  // hits + misses == unique + distinct failing texts, and a cold engine
+  // sees only misses. A rewiring that sent duplicates back through the
+  // cache — or silently bypassed it on first sight — would break this.
   const auto entries = loggen::GenerateLog(loggen::ExampleProfile(50000), 46);
   core::SourceStudy studies[2];
   MetricsSnapshot snaps[2];
@@ -107,14 +111,47 @@ TEST(EngineTest, ScalingSmokeSameStudyAndCacheConservation) {
   }
   EXPECT_EQ(studies[0], studies[1]);
   for (int i = 0; i < 2; ++i) {
-    EXPECT_EQ(snaps[i].cache_hits + snaps[i].cache_misses,
-              studies[i].valid + snaps[i].parse_failures)
+    // Cold engine: every distinct text (valid or failing) misses once.
+    EXPECT_EQ(snaps[i].cache_hits, 0u) << "threads=" << thread_counts[i];
+    EXPECT_EQ(snaps[i].cache_misses,
+              studies[i].unique + snaps[i].parse_failures)
         << "threads=" << thread_counts[i];
-    EXPECT_GT(snaps[i].cache_hits, 0u);
   }
   // Lookup volume itself is thread-count invariant.
   EXPECT_EQ(snaps[0].cache_hits + snaps[0].cache_misses,
             snaps[1].cache_hits + snaps[1].cache_misses);
+}
+
+TEST(EngineTest, SpanFeedMatchesVectorFeed) {
+  // The zero-copy ingest path feeds borrowed string_views; the legacy
+  // path feeds owned LogEntry vectors. Same texts => same SourceStudy,
+  // bit for bit, across thread counts and ragged chunking.
+  const auto entries = loggen::GenerateLog(loggen::ExampleProfile(800), 63);
+  for (unsigned threads : {1u, 4u}) {
+    EngineOptions opts;
+    opts.threads = threads;
+
+    Engine vec_engine(opts);
+    EngineStream vec_stream = vec_engine.OpenStream("span", false);
+    Engine span_engine(opts);
+    EngineStream span_stream = span_engine.OpenStream("span", false);
+
+    constexpr size_t kChunk = 113;
+    for (size_t i = 0; i < entries.size(); i += kChunk) {
+      const size_t end = std::min(entries.size(), i + kChunk);
+      std::vector<loggen::LogEntry> chunk(entries.begin() + i,
+                                          entries.begin() + end);
+      vec_stream.Feed(chunk);
+      std::vector<std::string_view> views;
+      views.reserve(end - i);
+      for (size_t j = i; j < end; ++j) views.push_back(entries[j].text);
+      span_stream.Feed(std::span<const std::string_view>(views));
+    }
+    const core::SourceStudy from_vec = vec_stream.Finish();
+    const core::SourceStudy from_span = span_stream.Finish();
+    EXPECT_EQ(from_vec, from_span) << "threads=" << threads;
+    EXPECT_GT(from_span.valid_agg.queries, 0u);
+  }
 }
 
 TEST(EngineTest, MatchesLegacySingleThreadedPath) {
@@ -134,19 +171,31 @@ TEST(EngineTest, TinyCacheStillExact) {
 }
 
 TEST(EngineTest, CacheHitsOnDuplicates) {
+  // Duplicates within one stream never touch the cache — the shard's
+  // by_id table serves them — so a cold run is all misses. Hits appear
+  // when the engine re-analyzes a log it has already seen: every first
+  // occurrence then lands on the warm cache.
   loggen::SourceProfile p = loggen::ExampleProfile(2000);
   p.duplicate_factor = 4.0;  // Valid/Unique ~ 4, as in the busiest logs
   EngineOptions opts;
   opts.threads = 2;
   Engine engine(opts);
   const core::SourceStudy study = engine.AnalyzeLog(p, 5);
-  const MetricsSnapshot snap = engine.Snapshot();
+  const MetricsSnapshot cold = engine.Snapshot();
   EXPECT_GT(study.valid, study.unique);
-  EXPECT_GT(snap.cache_hits, 0u);
-  EXPECT_GT(snap.CacheHitRate(), 0.0);
-  // Every unique text is analyzed exactly once (no evictions here).
-  EXPECT_EQ(snap.queries_analyzed + snap.parse_failures, snap.cache_misses);
-  EXPECT_EQ(snap.entries_processed, study.total);
+  EXPECT_EQ(cold.cache_hits, 0u);
+  // Every distinct text is analyzed exactly once, duplicates or not.
+  EXPECT_EQ(cold.queries_analyzed + cold.parse_failures, cold.cache_misses);
+  EXPECT_EQ(cold.entries_processed, study.total);
+
+  const core::SourceStudy rerun = engine.AnalyzeLog(p, 5);
+  const MetricsSnapshot warm = engine.Snapshot();
+  EXPECT_EQ(study, rerun);
+  // Second pass: each distinct text hits the warm cache exactly once.
+  EXPECT_EQ(warm.cache_hits, cold.cache_misses);
+  EXPECT_EQ(warm.cache_misses, cold.cache_misses);
+  EXPECT_GT(warm.CacheHitRate(), 0.0);
+  EXPECT_EQ(warm.queries_analyzed, cold.queries_analyzed);
 }
 
 TEST(EngineTest, CacheWarmsAcrossLogs) {

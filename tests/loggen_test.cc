@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <sstream>
 
 #include "common/interner.h"
 #include "loggen/corpus_gen.h"
+#include "loggen/log_text.h"
 #include "loggen/sparql_gen.h"
 #include "schema/dtd.h"
 #include "sparql/parser.h"
@@ -157,6 +159,41 @@ TEST(XPathGenTest, QueriesMostlyParse) {
     ok += xpath::ParseXPath(text, &dict).ok();
   }
   EXPECT_EQ(ok, 500u);
+}
+
+TEST(LogTextTest, DialectOptionsControlLineEndings) {
+  std::vector<LogEntry> log(2);
+  log[0].text = "ASK { ?s ?p ?o }";
+  log[1].text = "SELECT ?x WHERE { ?x a ?y }";
+
+  const auto render = [&log](bool crlf, bool final_newline) {
+    LogTextOptions opts;
+    opts.crlf = crlf;
+    opts.final_newline = final_newline;
+    std::stringstream out;
+    WriteLogText(log, out, opts);
+    return out.str();
+  };
+
+  EXPECT_EQ(render(false, true),
+            "ASK { ?s ?p ?o }\nSELECT ?x WHERE { ?x a ?y }\n");
+  EXPECT_EQ(render(true, true),
+            "ASK { ?s ?p ?o }\r\nSELECT ?x WHERE { ?x a ?y }\r\n");
+  EXPECT_EQ(render(false, false),
+            "ASK { ?s ?p ?o }\nSELECT ?x WHERE { ?x a ?y }");
+  EXPECT_EQ(render(true, false),
+            "ASK { ?s ?p ?o }\r\nSELECT ?x WHERE { ?x a ?y }");
+}
+
+TEST(LogTextTest, TsvDialectAndTabSanitization) {
+  std::vector<LogEntry> log(1);
+  log[0].text = "ASK { ?s\t?p ?o }";  // embedded tab must not split
+  LogTextOptions opts;
+  opts.crlf = true;
+  opts.final_newline = false;
+  std::stringstream out;
+  WriteLogTsv(log, "src", out, opts);
+  EXPECT_EQ(out.str(), "src\tASK { ?s ?p ?o }");
 }
 
 }  // namespace
