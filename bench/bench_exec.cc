@@ -58,6 +58,7 @@ std::vector<sparql::Binding> Sorted(std::vector<sparql::Binding> v) {
 int main() {
   const uint64_t scale = bench::ScaleFromEnv(1);
   auto trace = bench::MaybeStartBenchTrace();
+  auto self_profile = bench::MaybeStartBenchProfile("profile.collapsed");
   std::printf("=== Classifier-dispatched execution vs naive (scale %llu) "
               "===\n",
               static_cast<unsigned long long>(scale));
@@ -190,8 +191,8 @@ int main() {
     JsonWriter w(&out);
     w.BeginObject();
     w.StringField("bench", "bench_exec");
-    w.Key("build");
-    w.Raw(common::BuildInfo::Get().ToJson());
+    w.Key("provenance");
+    w.Raw(bench::ProvenanceJson());
     w.UIntField("scale", scale);
     w.UIntField("store_triples", store.size());
     w.Key("classes");
@@ -236,5 +237,6 @@ int main() {
   }
 
   bench::FinishBenchTrace(std::move(trace));
+  bench::FinishBenchProfile(std::move(self_profile));
   return all_ok ? 0 : 1;
 }

@@ -96,6 +96,7 @@ int main(int argc, char** argv) {
   entries.shrink_to_fit();  // the stream is the only copy from here on
 
   auto trace = bench::MaybeStartBenchTrace();
+  auto self_profile = bench::MaybeStartBenchProfile("profile.collapsed");
 
   ingest::IngestOptions opts;
   opts.source_name = profile.name;
@@ -178,9 +179,9 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(out,
-               "{\"bench\":\"ingest\",\"build\":%s,\"corrupted\":%llu,"
+               "{\"bench\":\"ingest\",\"provenance\":%s,\"corrupted\":%llu,"
                "\"threads\":%u,\"runs\":[",
-               rwdt::common::BuildInfo::Get().ToJson().c_str(),
+               bench::ProvenanceJson().c_str(),
                static_cast<unsigned long long>(summary.corrupted),
                threads);
   for (int i = 0; i < 2; ++i) {
@@ -204,5 +205,6 @@ int main(int argc, char** argv) {
   std::fclose(out);
   std::printf("wrote %s\n", path.c_str());
   bench::FinishBenchTrace(std::move(trace));
+  bench::FinishBenchProfile(std::move(self_profile));
   return 0;
 }

@@ -67,6 +67,7 @@ int main(int argc, char** argv) {
   const uint64_t seed = 2022;
 
   auto trace = bench::MaybeStartBenchTrace();
+  auto self_profile = bench::MaybeStartBenchProfile("profile.collapsed");
   const char* progress_env = std::getenv("RWDT_PROGRESS");
   const uint32_t progress_ms =
       progress_env != nullptr
@@ -146,11 +147,10 @@ int main(int argc, char** argv) {
     if (r.threads == 1) one_thread_ms = r.wall_ms;
   }
   std::fprintf(out,
-               "{\"bench\":\"log_study\",\"build\":%s,"
-               "\"entries\":%zu,\"hw_threads\":%u,"
+               "{\"bench\":\"log_study\",\"provenance\":%s,"
+               "\"entries\":%zu,"
                "\"runs\":[",
-               common::BuildInfo::Get().ToJson().c_str(), entries.size(),
-               std::thread::hardware_concurrency());
+               bench::ProvenanceJson().c_str(), entries.size());
   for (size_t i = 0; i < runs.size(); ++i) {
     std::fprintf(
         out,
@@ -163,5 +163,6 @@ int main(int argc, char** argv) {
   std::fclose(out);
   std::printf("wrote %s\n", path.c_str());
   bench::FinishBenchTrace(std::move(trace));
+  bench::FinishBenchProfile(std::move(self_profile));
   return 0;
 }

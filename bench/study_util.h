@@ -7,15 +7,40 @@
 #include <string>
 #include <vector>
 
+#include <thread>
+
+#include <unistd.h>
+
 #include "common/build_info.h"
 #include "common/json.h"
 #include "core/log_study.h"
 #include "engine/engine.h"
 #include "loggen/sparql_gen.h"
 #include "obs/log.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace rwdt::bench {
+
+/// The shared provenance block every BENCH_*.json carries: build info
+/// (git sha + describe, compiler, build type), hardware threads, and
+/// hostname. tools/bench_trajectory.py keys its per-metric series on
+/// `provenance.build.git_commit`, so no bench hand-rolls this.
+inline std::string ProvenanceJson() {
+  char host[256] = "unknown";
+  if (gethostname(host, sizeof(host) - 1) != 0) {
+    std::snprintf(host, sizeof(host), "unknown");
+  }
+  host[sizeof(host) - 1] = '\0';
+  std::string out;
+  JsonWriter w(&out);
+  w.BeginObject();
+  w.RawField("build", common::BuildInfo::Get().ToJson());
+  w.UIntField("hw_threads", std::thread::hardware_concurrency());
+  w.StringField("hostname", host);
+  w.EndObject();
+  return out;
+}
 
 /// Shared driver for the Table 2-8 / Figure 3 benchmarks: runs the full
 /// log-study pipeline over the seventeen Table 2 source profiles on the
@@ -115,6 +140,24 @@ inline void FinishBenchTrace(std::unique_ptr<obs::TraceCollector> trace) {
                  << trace->threads_seen() << " threads ("
                  << trace->events_dropped() << " dropped) written to "
                  << path << " — open in Perfetto / chrome://tracing";
+}
+
+/// Shared self-profiling hook for bench binaries: when RWDT_PROFILE is
+/// set (a path, or "1" for `default_path`), starts a sampling CPU
+/// capture whose collapsed stacks land next to the bench's JSON report.
+/// RWDT_PROFILE_HZ overrides the 99 Hz default.
+inline std::unique_ptr<obs::ScopedSelfProfile> MaybeStartBenchProfile(
+    const char* default_path = "profile.collapsed") {
+  return obs::MaybeStartEnvProfile(default_path);
+}
+
+inline void FinishBenchProfile(
+    std::unique_ptr<obs::ScopedSelfProfile> profile) {
+  if (profile == nullptr) return;
+  const Status st = profile->Finish();
+  if (!st.ok()) {
+    RWDT_LOG(ERROR) << "profile export failed: " << st.message();
+  }
 }
 
 }  // namespace rwdt::bench

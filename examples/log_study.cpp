@@ -51,6 +51,9 @@ int main(int argc, char** argv) {
       progress_env != nullptr
           ? static_cast<uint32_t>(std::strtoul(progress_env, nullptr, 10))
           : 0;
+  // RWDT_PROFILE=<path|1> samples this whole run's CPU stacks into a
+  // collapsed-stack file (RWDT_PROFILE_HZ overrides the 99 Hz default).
+  auto self_profile = obs::MaybeStartEnvProfile("profile.collapsed");
 
   loggen::SourceProfile profile = loggen::ExampleProfile(n);
   profile.name = "mini-study";
@@ -205,6 +208,13 @@ int main(int argc, char** argv) {
       RWDT_LOG(INFO) << "trace: " << trace->events_recorded()
                      << " spans written to " << trace_path
                      << " — open in Perfetto / chrome://tracing";
+    }
+  }
+
+  if (self_profile != nullptr) {
+    const Status finished = self_profile->Finish();
+    if (!finished.ok()) {
+      RWDT_LOG(ERROR) << "profile export failed: " << finished.message();
     }
   }
 

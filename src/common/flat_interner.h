@@ -54,6 +54,15 @@ class FlatInterner {
 
   size_t size() const { return names_.size(); }
 
+  /// Bytes reserved by the slot table, the arena blocks, and the name
+  /// index — the interner's resident footprint. Clear() keeps reserved
+  /// memory, so this is a high-water mark, which is exactly what the
+  /// occupancy gauges on /metrics want to show.
+  size_t bytes_reserved() const {
+    return slots_.capacity() * sizeof(Slot) + arena_.bytes_reserved() +
+           names_.capacity() * sizeof(std::string_view);
+  }
+
   /// Forgets all symbols but keeps the slot table and arena blocks, so
   /// the next fill cycle allocates nothing (resize-across-clear: a table
   /// grown by one query stays grown for the next).

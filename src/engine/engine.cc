@@ -64,6 +64,9 @@ Status EngineOptions::Validate() const {
   if (admin_port != 0 && admin_bind.empty()) {
     return Status::InvalidArgument("admin_bind must be set when admin is on");
   }
+  if (!profile_path.empty() && (profile_hz < 1.0 || profile_hz > 1000.0)) {
+    return Status::InvalidArgument("profile_hz must be in [1, 1000]");
+  }
   RWDT_RETURN_IF_ERROR(parse_limits.Validate());
   RWDT_RETURN_IF_ERROR(progress.Validate());
   return Status::Ok();
@@ -78,6 +81,9 @@ std::string EngineOptions::ToJson() const {
   out += ",\"collect_stage_timings\":";
   out += collect_stage_timings ? "true" : "false";
   out += ",\"admin_port\":" + std::to_string(admin_port);
+  out += ",";
+  AppendJsonStringField("profile_path", profile_path, &out);
+  out += "\"profile_hz\":" + std::to_string(profile_hz);
   out += ",";
   AppendJsonStringField("admin_bind", admin_bind, &out,
                         /*trailing_comma=*/false);
@@ -156,6 +162,12 @@ Engine::Engine(const EngineOptions& options)
       &obs::MetricRegistry::Global(), this,
       {{"engine", std::to_string(ordinal)}});
   StartAdminServer();
+  if (!options_.profile_path.empty()) {
+    obs::ProfileOptions popts;
+    popts.hz = options_.profile_hz;
+    self_profile_ = std::make_unique<obs::ScopedSelfProfile>(
+        options_.profile_path, popts);
+  }
   ready_->store(true, std::memory_order_release);
 }
 
@@ -165,7 +177,11 @@ Engine::~Engine() {
   // both read engine state, so they must be torn down before the engine
   // members they touch. Stop the server (drains in-flight /metrics
   // scrapes), then unhook the global-registry collector.
+  // Stop the self-profile before teardown starts so the final capture
+  // covers only the engine's working lifetime.
+  self_profile_.reset();
   admin_.reset();
+  proc_stats_.reset();
   registry_collector_.Reset();
 }
 
@@ -236,6 +252,10 @@ void Engine::StartAdminServer() {
                      limit = std::strtoull(param.c_str(), nullptr, 10);
                    }
                    std::string json;
+                   // A trace drain is a point-in-time snapshot; caching
+                   // one would hide every later scrape.
+                   resp.extra_headers.push_back(
+                       {"Cache-Control", "no-store"});
                    if (obs::DrainActiveTraceJson(&json, limit)) {
                      resp.content_type = "application/json; charset=utf-8";
                      resp.body = std::move(json);
@@ -247,6 +267,12 @@ void Engine::StartAdminServer() {
                    }
                    return resp;
                  });
+  server->Handle("/profilez",
+                 "timed sampling CPU profile; ?seconds=N&hz=F"
+                 "&format=collapsed|json (blocks for the capture)",
+                 [](const obs::HttpRequest& request) {
+                   return obs::HandleProfilez(request);
+                 });
 
   Status started = server->Start();
   if (!started.ok()) {
@@ -256,6 +282,9 @@ void Engine::StartAdminServer() {
   }
   RWDT_LOG(INFO) << "admin server listening on " << options_.admin_bind << ":"
                   << server->port();
+  // Process-footprint gauges ride along whenever this engine serves
+  // /metrics (inert if another subsystem already installed them).
+  proc_stats_ = std::make_unique<obs::ProcStatsCollector>();
   admin_ = std::move(server);
 }
 
@@ -362,6 +391,17 @@ void EngineStream::FeedImpl(size_t count, ForEachText&& for_each_text) {
   im.study.total += count;
   eng.metrics_.AddEntries(count);
   eng.metrics_.AddWallNs(NowNs() - t_start);
+
+  // Occupancy telemetry at chunk granularity: one pass over the shard
+  // states after the workers quiesced, never on the per-query path.
+  uint64_t interner_bytes = 0;
+  uint64_t dedup_entries = 0;
+  for (const Engine::ShardState& s : im.shards) {
+    interner_bytes += s.seen.bytes_reserved() + s.dict.bytes_reserved();
+    dedup_entries += s.seen.size();
+  }
+  eng.interner_bytes_.store(interner_bytes, std::memory_order_relaxed);
+  eng.dedup_entries_.store(dedup_entries, std::memory_order_relaxed);
 }
 
 void EngineStream::Reject(ErrorClass c, uint64_t n) {
@@ -400,6 +440,8 @@ core::SourceStudy EngineStream::Finish() {
       }
     }
     im.shards.clear();
+    im.engine->interner_bytes_.store(0, std::memory_order_relaxed);
+    im.engine->dedup_entries_.store(0, std::memory_order_relaxed);
   }
   // Stop after the reduce so the final report's counters are the run's
   // complete totals.
@@ -538,6 +580,8 @@ MetricsSnapshot Engine::Snapshot() const {
   snap.cache_misses = cache_.misses();
   snap.cache_evictions = cache_.evictions();
   snap.cache_size = cache_.size();
+  snap.interner_bytes = interner_bytes_.load(std::memory_order_relaxed);
+  snap.dedup_entries = dedup_entries_.load(std::memory_order_relaxed);
   return snap;
 }
 

@@ -18,6 +18,8 @@
 #include "engine/thread_pool.h"
 #include "loggen/sparql_gen.h"
 #include "obs/admin_server.h"
+#include "obs/proc_stats.h"
+#include "obs/profiler.h"
 #include "obs/progress.h"
 #include "obs/registry.h"
 #include "sparql/parser.h"
@@ -68,6 +70,19 @@ struct EngineOptions {
   /// on Finish a JSON run report goes to `progress.report_path` if set.
   /// Disabled by default (interval 0, empty path).
   obs::ProgressOptions progress;
+
+  /// Self-profiling: when non-empty, the engine starts a sampling CPU
+  /// profile (obs::StartProfiling) at construction and writes
+  /// flamegraph.pl collapsed stacks to this path at destruction.
+  /// Profiling is process-global; if another capture is already running
+  /// the engine logs and continues unprofiled. Tools populate this from
+  /// the RWDT_PROFILE environment variable. Empty (default) = off: no
+  /// timer, no handler, zero overhead.
+  std::string profile_path;
+
+  /// Sampling frequency for `profile_path` captures, in Hz of process
+  /// CPU time. Must be in [1, 1000].
+  double profile_hz = 99;
 
   /// Per-query analysis knobs, forwarded to core::AnalyzeQuery.
   core::LogStudyOptions study;
@@ -224,11 +239,23 @@ class Engine {
   Metrics metrics_;
 
   uint64_t start_ns_ = 0;  // construction time, for /statusz uptime
+  /// Occupancy of the open stream's dedup state, updated by FeedImpl
+  /// (chunk granularity, off the per-query hot path) and read by
+  /// Snapshot — the arena/interner gauges on /metrics.
+  std::atomic<uint64_t> interner_bytes_{0};
+  std::atomic<uint64_t> dedup_entries_{0};
   /// /readyz: true once the constructor completes (the engine accepts
   /// Feed), false again the moment destruction begins.
   std::shared_ptr<std::atomic<bool>> ready_;
   obs::ScopedCollector registry_collector_;  // global-registry bridge
+  /// Process-footprint gauges (rwdt_proc_*) on /metrics while this
+  /// engine's admin server is up; inert if another collector (e.g. a
+  /// serve front end) already installed one.
+  std::unique_ptr<obs::ProcStatsCollector> proc_stats_;
   std::unique_ptr<obs::AdminServer> admin_;
+  /// RWDT_PROFILE / EngineOptions::profile_path self-profile: started
+  /// at construction, collapsed stacks written at destruction.
+  std::unique_ptr<obs::ScopedSelfProfile> self_profile_;
 };
 
 }  // namespace rwdt::engine

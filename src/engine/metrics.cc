@@ -240,6 +240,8 @@ std::string MetricsSnapshot::ToJson() const {
   AppendJsonField(&out, "queries_per_sec", QueriesPerSec());
   AppendJsonField(&out, "wall_ms", wall_ns / 1e6);
   AppendJsonField(&out, "threads", static_cast<double>(threads));
+  AppendJsonField(&out, "interner_bytes", static_cast<double>(interner_bytes));
+  AppendJsonField(&out, "dedup_entries", static_cast<double>(dedup_entries));
   AppendJsonField(&out, "entries_valid",
                   static_cast<double>(entries_processed - TotalErrors()));
   AppendJsonField(&out, "entries_rejected",

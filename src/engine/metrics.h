@@ -92,6 +92,12 @@ struct MetricsSnapshot {
   uint64_t cache_size = 0;
   uint64_t wall_ns = 0;  // cumulative wall time inside AnalyzeEntries
   unsigned threads = 1;
+  /// Occupancy of the currently-open stream's per-shard dedup state
+  /// (interner + parse-dictionary bytes reserved, distinct texts
+  /// pinned). Updated once per Feed chunk, zeroed at Finish — a gauge,
+  /// not a counter.
+  uint64_t interner_bytes = 0;
+  uint64_t dedup_entries = 0;
 
   double CacheHitRate() const {
     const uint64_t lookups = cache_hits + cache_misses;

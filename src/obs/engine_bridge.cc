@@ -111,6 +111,15 @@ void AppendEngineFamilies(const MetricsSnapshot& snap, uint64_t queue_depth,
   out->push_back(GaugeFamily("rwdt_engine_threads", "Engine worker threads.",
                              labels, static_cast<double>(snap.threads)));
   out->push_back(GaugeFamily(
+      "rwdt_engine_interner_bytes",
+      "Bytes reserved by the open stream's dedup interners and parse "
+      "dictionaries.",
+      labels, static_cast<double>(snap.interner_bytes)));
+  out->push_back(GaugeFamily(
+      "rwdt_engine_dedup_entries",
+      "Distinct query texts pinned by the open stream's dedup state.",
+      labels, static_cast<double>(snap.dedup_entries)));
+  out->push_back(GaugeFamily(
       "rwdt_engine_queue_depth",
       "Shard tasks queued or running on the engine's thread pool.", labels,
       static_cast<double>(queue_depth)));

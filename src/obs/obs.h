@@ -13,7 +13,15 @@
 //   * engine_bridge.h — pull-model adapter from engine::MetricsSnapshot
 //                  into registry families (rwdt_engine_*).
 //   * admin_server.h — embedded blocking HTTP/1.1 admin server serving
-//                  /metrics, /healthz, /readyz, /statusz, /tracez.
+//                  /metrics, /healthz, /readyz, /statusz, /tracez,
+//                  /profilez.
+//   * profiler.h — SIGPROF sampling CPU profiler (per-thread lock-free
+//                  sample rings, off-signal-path symbolization) with
+//                  collapsed-stack / JSON export and an off-CPU
+//                  dimension from registered wall-time sources.
+//   * proc_stats.h — scrape-time process footprint (RSS, CPU seconds,
+//                  page faults, context switches, I/O bytes) from
+//                  /proc/self and getrusage as rwdt_proc_* families.
 //
 // Everything here is zero-cost when idle: spans gate on one relaxed
 // atomic load, log statements on one relaxed load before the message is
@@ -26,6 +34,8 @@
 #include "obs/engine_bridge.h"
 #include "obs/log.h"
 #include "obs/openmetrics.h"
+#include "obs/proc_stats.h"
+#include "obs/profiler.h"
 #include "obs/progress.h"
 #include "obs/registry.h"
 #include "obs/trace.h"

@@ -160,6 +160,10 @@ Status ClassifyServer::Start() {
   eopts.num_shards = 1;
   eopts.admin_port = 0;
   eopts.progress = {};
+  // Profiling is process-global; N workers racing to start N captures
+  // (and overwrite one file) would be nonsense. /profilez profiles the
+  // whole serving process instead.
+  eopts.profile_path.clear();
   for (unsigned i = 0; i < options_.workers; ++i) {
     auto worker = std::make_unique<Worker>();
     worker->engine = std::make_unique<engine::Engine>(eopts);
@@ -217,6 +221,11 @@ Status ClassifyServer::Start() {
   http_->Handle("GET", "/tracez", [this](const HttpRequest& r) {
     return HandleTracez(r);
   });
+  http_->Handle("GET", "/profilez", [this](const HttpRequest& r) {
+    HttpResponse resp = obs::HandleProfilez(r);
+    CountRequest("/profilez", resp.status);
+    return resp;
+  });
 
   const Status status = http_->Start();
   if (!status.ok()) {
@@ -243,6 +252,14 @@ Status ClassifyServer::Start() {
              static_cast<double>(http_->connections_shed())});
         out->push_back(std::move(fam));
       }));
+
+  // Off-CPU profile dimension: the queue-wait histogram's cumulative
+  // sum is exactly the wall time jobs spent parked, and the registry
+  // owns the histogram for the process lifetime, so capturing the
+  // pointer (not `this`) keeps the source valid until removal.
+  queue_wait_offcpu_ = obs::ScopedOffCpuSource(
+      "serve.queue_wait", [h = queue_wait_s_] { return h->sum(); });
+  proc_stats_ = std::make_unique<obs::ProcStatsCollector>();
 
   started_ = true;
   stopped_ = false;
@@ -421,6 +438,9 @@ HttpResponse ClassifyServer::HandleStatusz(const HttpRequest&) {
 HttpResponse ClassifyServer::HandleSlowz(const HttpRequest&) {
   HttpResponse resp;
   resp.content_type = kJsonType;
+  // Point-in-time ranking of worst requests; a cached copy would mask
+  // every later scrape.
+  resp.extra_headers.push_back({"Cache-Control", "no-store"});
   if (slow_log_ == nullptr) {
     resp.status = 404;
     resp.body = ReasonBody("slow-query log disabled");
@@ -433,6 +453,7 @@ HttpResponse ClassifyServer::HandleSlowz(const HttpRequest&) {
 
 HttpResponse ClassifyServer::HandleTracez(const HttpRequest& request) {
   HttpResponse resp;
+  resp.extra_headers.push_back({"Cache-Control", "no-store"});
   // Default cap: 5000 events per scrape. An 8192-event ring per thread
   // times a worker pool renders multi-MB otherwise; limit=0 means all.
   size_t limit = 5000;

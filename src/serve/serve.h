@@ -13,6 +13,8 @@
 
 #include "common/status.h"
 #include "engine/engine.h"
+#include "obs/proc_stats.h"
+#include "obs/profiler.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "serve/http_server.h"
@@ -235,6 +237,12 @@ class ClassifyServer {
   obs::Histogram* batch_size_ = nullptr;
   obs::Histogram* job_s_ = nullptr;
   obs::ScopedCollector http_collector_;
+  /// Queue-wait time as a /profilez off-CPU source, so a profile of
+  /// this server shows "parked on the serve queue" next to CPU stacks.
+  obs::ScopedOffCpuSource queue_wait_offcpu_;
+  /// rwdt_proc_* footprint gauges on /metrics (inert if something else
+  /// in the process installed them first).
+  std::unique_ptr<obs::ProcStatsCollector> proc_stats_;
 };
 
 }  // namespace rwdt::serve

@@ -200,6 +200,29 @@ TEST(AdminServerTest, EngineEndToEnd) {
   const HttpResult tracez = HttpGet(port, "/tracez");
   EXPECT_EQ(tracez.status, 200);
   EXPECT_TRUE(tree::ParseJson(tracez.body, &dict).ok());
+  // Point-in-time diagnostics: explicit charset, never cacheable.
+  EXPECT_NE(tracez.raw.find("Content-Type: application/json; charset=utf-8"),
+            std::string::npos)
+      << tracez.raw;
+  EXPECT_NE(tracez.raw.find("Cache-Control: no-store"), std::string::npos)
+      << tracez.raw;
+
+  // /metrics exposes the process footprint via the engine's
+  // ProcStatsCollector (Linux: sampled from /proc at scrape time).
+#if defined(__linux__)
+  EXPECT_NE(metrics.body.find("rwdt_proc_resident_bytes"), std::string::npos);
+  EXPECT_NE(metrics.body.find("rwdt_proc_cpu_seconds"), std::string::npos);
+#endif
+  // And the engine's occupancy gauges ride the same scrape.
+  EXPECT_NE(metrics.body.find("rwdt_engine_interner_bytes"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("rwdt_engine_dedup_entries"),
+            std::string::npos);
+
+  // /profilez mounts on the engine admin too; parameter errors are 400s
+  // without starting a capture (the capture path itself is covered by
+  // obs_profiler_test and serve_test).
+  EXPECT_EQ(HttpGet(port, "/profilez?format=xml").status, 400);
 }
 
 TEST(AdminServerTest, TracezWithoutCollectorIs503) {

@@ -506,7 +506,11 @@ TEST(ClassifyServerTest, SlowzServesEntriesWithVerdictPlanAndTraceId) {
 
   const HttpResult slowz = Fetch(server.port(), "GET", "/slowz");
   ASSERT_EQ(slowz.status, 200) << slowz.body;
-  EXPECT_TRUE(Contains(slowz.head, "application/json")) << slowz.head;
+  EXPECT_TRUE(Contains(slowz.head,
+                       "Content-Type: application/json; charset=utf-8"))
+      << slowz.head;
+  // Point-in-time diagnostics must never be served from a cache.
+  EXPECT_TRUE(Contains(slowz.head, "Cache-Control: no-store")) << slowz.head;
   // The tail sample carries identity, the verdict, and the explained
   // plan whose fragment/strategy match the classify response.
   EXPECT_TRUE(Contains(slowz.body, "\"trace_id\":\"deadbeefcafef00d\""))
@@ -567,8 +571,40 @@ TEST(ClassifyServerTest, TracezRequiresACollectorAndHonorsLimit) {
       200);
   const HttpResult traced = Fetch(server.port(), "GET", "/tracez?limit=2");
   ASSERT_EQ(traced.status, 200);
+  EXPECT_TRUE(Contains(traced.head,
+                       "Content-Type: application/json; charset=utf-8"))
+      << traced.head;
+  EXPECT_TRUE(Contains(traced.head, "Cache-Control: no-store")) << traced.head;
   EXPECT_TRUE(Contains(traced.body, "\"events_shown\":")) << traced.body;
   EXPECT_TRUE(Contains(traced.body, "deadbeefcafef00d")) << traced.body;
+}
+
+TEST(ClassifyServerTest, ProfilezCapturesUnderLoad) {
+  if (!obs::ProfilerSupported()) GTEST_SKIP() << "no backtrace(3) here";
+  ClassifyServer server(BaseOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  // Drive classify traffic while /profilez samples, so the capture has
+  // engine/exec work to attribute.
+  std::atomic<bool> stop{false};
+  std::thread driver([&] {
+    while (!stop.load()) {
+      Fetch(server.port(), "POST", "/v1/classify",
+            "SELECT ?s WHERE { ?s <p> <o> . FILTER(?s > 3) }");
+    }
+  });
+  const HttpResult profile =
+      Fetch(server.port(), "GET", "/profilez?seconds=0.3&hz=400");
+  stop.store(true);
+  driver.join();
+  ASSERT_EQ(profile.status, 200) << profile.body;
+  EXPECT_TRUE(Contains(profile.head, "Cache-Control: no-store"))
+      << profile.head;
+  EXPECT_TRUE(Contains(profile.head, "text/plain; charset=utf-8"))
+      << profile.head;
+  EXPECT_FALSE(profile.body.empty());
+  // A bad format parameter is a client error, not a capture.
+  EXPECT_EQ(Fetch(server.port(), "GET", "/profilez?format=xml").status, 400);
 }
 
 }  // namespace

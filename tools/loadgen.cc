@@ -15,6 +15,7 @@
 // counts, latency percentiles, and the shed rate, keyed by the build.
 
 #include <netdb.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -325,6 +326,10 @@ int main(int argc, char** argv) {
 
   std::vector<SenderStats> stats(config.connections);
   std::vector<std::thread> senders;
+  // Client-side resource cost of the run: rusage deltas around the send
+  // window separate "the server is slow" from "the client is starved".
+  rusage usage_before{};
+  getrusage(RUSAGE_SELF, &usage_before);
   const auto start = Clock::now();
   for (unsigned t = 0; t < config.connections; ++t) {
     senders.emplace_back(Sender, std::cref(config), std::cref(arrivals), t,
@@ -334,6 +339,15 @@ int main(int argc, char** argv) {
   for (auto& thread : senders) thread.join();
   const double wall_s =
       std::chrono::duration<double>(Clock::now() - start).count();
+  rusage usage_after{};
+  getrusage(RUSAGE_SELF, &usage_after);
+  const auto tv_s = [](const timeval& tv) {
+    return static_cast<double>(tv.tv_sec) + tv.tv_usec / 1e6;
+  };
+  const double client_utime_s =
+      tv_s(usage_after.ru_utime) - tv_s(usage_before.ru_utime);
+  const double client_stime_s =
+      tv_s(usage_after.ru_stime) - tv_s(usage_before.ru_stime);
 
   // Merge per-sender stats.
   std::map<int, uint64_t> status_counts;
@@ -389,6 +403,17 @@ int main(int argc, char** argv) {
   w.DoubleField("p90", Percentile(&latencies, 0.90));
   w.DoubleField("p99", Percentile(&latencies, 0.99));
   w.DoubleField("max", latencies.empty() ? 0 : latencies.back());
+  w.EndObject();
+  // If the client burns ~wall_s of CPU, the latency percentiles above
+  // measure loadgen, not the server — this block makes that visible.
+  w.Key("client_rusage").BeginObject();
+  w.DoubleField("utime_s", client_utime_s);
+  w.DoubleField("stime_s", client_stime_s);
+  w.DoubleField("cpu_per_request_us",
+                completed > 0 ? 1e6 * (client_utime_s + client_stime_s) /
+                                    static_cast<double>(completed)
+                              : 0.0);
+  w.UIntField("maxrss_kb", static_cast<uint64_t>(usage_after.ru_maxrss));
   w.EndObject();
   if (config.trace) {
     // Client-observed slowest requests, named by trace id: look the

@@ -18,6 +18,7 @@
 
 #include "common/build_info.h"
 #include "common/json.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "serve/serve.h"
 
@@ -154,6 +155,11 @@ int main(int argc, char** argv) {
     }
   }
 
+  // RWDT_PROFILE=<path|1> self-profiles the whole serve lifetime (an
+  // on-demand window is GET /profilez; the two are mutually exclusive
+  // because the profiler is process-global).
+  auto self_profile = rwdt::obs::MaybeStartEnvProfile("profile.collapsed");
+
   // The collector (when requested) outlives the server: spans recorded
   // during the final drain still land in the exported trace.
   std::unique_ptr<rwdt::obs::TraceCollector> collector;
@@ -198,6 +204,13 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "rwdt_serve: trace written to %s\n",
                    trace_path.c_str());
+    }
+  }
+  if (self_profile != nullptr) {
+    const rwdt::Status finished = self_profile->Finish();
+    if (!finished.ok()) {
+      std::fprintf(stderr, "rwdt_serve: profile export failed: %s\n",
+                   finished.message().c_str());
     }
   }
   std::fprintf(stderr, "rwdt_serve: drained, exiting\n");
